@@ -1,0 +1,186 @@
+// Top-level benchmark harness: one benchmark per table and figure of
+// the reproduced evaluation (see DESIGN.md's per-experiment index).
+// Each benchmark runs the corresponding experiment end to end on the
+// simulated machine and reports the experiment's headline numbers as
+// custom metrics, so `go test -bench=. -benchmem` regenerates the
+// paper's rows. Full tables render via the cmd/ tools
+// (limit-overhead, limit-sync, limit-hw).
+package limitsim_test
+
+import (
+	"testing"
+
+	"limitsim/internal/experiments"
+)
+
+// benchScale keeps bench wall time moderate while preserving every
+// measured shape; the cmd tools default to Full scale.
+const benchScale = experiments.Scale(0.5)
+
+func BenchmarkTable1AccessCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable1(benchScale)
+		lim, _ := r.Row("limit")
+		perf, _ := r.Row("perf")
+		papi, _ := r.Row("papi")
+		b.ReportMetric(lim.NsRead, "ns/limit-read")
+		b.ReportMetric(perf.NsRead, "ns/perf-read")
+		b.ReportMetric(papi.NsRead, "ns/papi-read")
+		b.ReportMetric(perf.CyclesRead/lim.CyclesRead, "perf/limit-ratio")
+	}
+}
+
+func BenchmarkTable2Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable2(benchScale)
+		raw, _ := r.Row(experiments.VariantRaw)
+		stock, _ := r.Row(experiments.VariantStock)
+		locked, _ := r.Row(experiments.VariantLocked)
+		b.ReportMetric(raw.NsRead, "ns/raw-rdpmc")
+		b.ReportMetric(stock.NsRead, "ns/limit-read")
+		b.ReportMetric(locked.NsRead, "ns/lock-based-read")
+	}
+}
+
+func BenchmarkTable3ContextSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable3(benchScale)
+		none, _ := r.Row("no counters")
+		four, _ := r.Row("4 LiMiT counters")
+		hw, _ := r.Row("4 LiMiT + hw-virt (e3)")
+		b.ReportMetric(none.CyclesPerSwitch, "cyc/switch-bare")
+		b.ReportMetric(four.DeltaVsNone, "cyc/switch-4ctr-extra")
+		b.ReportMetric(hw.DeltaVsNone, "cyc/switch-e3-extra")
+	}
+}
+
+func BenchmarkFig1Perturbation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(benchScale)
+		lim, _ := r.Point("limit", 100)
+		perf, _ := r.Point("perf", 100)
+		perfBig, _ := r.Point("perf", 1_000_000)
+		b.ReportMetric(lim.Inflation, "x/limit-100instr")
+		b.ReportMetric(perf.Inflation, "x/perf-100instr")
+		b.ReportMetric(perfBig.Inflation, "x/perf-1Minstr")
+	}
+}
+
+func BenchmarkFig2Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(benchScale)
+		lim, _ := r.Point("limit", 30)
+		perf, _ := r.Point("perf", 30)
+		limSparse, _ := r.Point("limit", 10_000)
+		b.ReportMetric(lim.Slowdown, "x/limit-dense")
+		b.ReportMetric(perf.Slowdown, "x/perf-dense")
+		b.ReportMetric(limSparse.Slowdown, "x/limit-sparse")
+	}
+}
+
+func BenchmarkFig3CriticalSections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCaseStudies(benchScale)
+		for _, app := range r.Apps {
+			b.ReportMetric(float64(app.Profile.CS.Median()), "cyc/cs-median-"+app.Name)
+		}
+	}
+}
+
+func BenchmarkFig4Decomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCaseStudies(benchScale)
+		for _, app := range r.Apps {
+			b.ReportMetric(app.Decomp.SyncShare*100, "pct/sync-"+app.Name)
+		}
+	}
+}
+
+func BenchmarkFig5Longitudinal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig5(benchScale)
+		for _, row := range r.Rows {
+			b.ReportMetric(row.LocksPerTxn, "locks/txn-"+row.Version)
+			b.ReportMetric(row.SyncShare*100, "pct/sync-"+row.Version)
+		}
+	}
+}
+
+func BenchmarkFig6KernelUser(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCaseStudies(benchScale)
+		for _, app := range r.Apps {
+			b.ReportMetric(app.Decomp.KernelShare*100, "pct/kernel-"+app.Name)
+		}
+	}
+}
+
+func BenchmarkTable4Sampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable4(benchScale)
+		b.ReportMetric(r.PreciseAcq*100, "pct/precise-acquire")
+		coarse := r.Rows[0]
+		fine := r.Rows[len(r.Rows)-1]
+		b.ReportMetric((coarse.ErrAcq+coarse.ErrCS)*100, "pct/err-coarse")
+		b.ReportMetric((fine.ErrAcq+fine.ErrCS)*100, "pct/err-fine")
+	}
+}
+
+func BenchmarkAblationOverflowMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationOverflow(benchScale)
+		kf, _ := r.Row("kernel-fold", 12)
+		su, _ := r.Row("signal-user", 12)
+		b.ReportMetric(kf.CyclesPerFold, "cyc/fold-kernel")
+		b.ReportMetric(su.CyclesPerFold, "cyc/fold-signal")
+	}
+}
+
+func BenchmarkAblationQuantum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationQuantum(benchScale)
+		b.ReportMetric(r.Rows[0].RewindsPerKRead, "rewinds/kread-q500")
+		b.ReportMetric(float64(r.Rows[0].Torn), "torn-q500")
+	}
+}
+
+func BenchmarkFig8Bottlenecks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig8(benchScale)
+		for _, p := range r.Profiles {
+			b.ReportMetric(p.InCS.L1DPerKC, "l1dpkc/incs-"+p.App)
+			b.ReportMetric(p.Outside.L1DPerKC, "l1dpkc/out-"+p.App)
+		}
+	}
+}
+
+func BenchmarkTable5Multiplexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable5(benchScale)
+		four, _ := r.Row(4)
+		eight, _ := r.Row(8)
+		b.ReportMetric(four.MeanAbsErr*100, "pct/err-4ctr")
+		b.ReportMetric(eight.MeanAbsErr*100, "pct/err-8ctr")
+	}
+}
+
+func BenchmarkFig9Consolidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig9(benchScale)
+		b.ReportMetric(r.Rows[0].RunMcycles, "Mcyc/solo")
+		b.ReportMetric(r.Rows[1].RunMcycles, "Mcyc/colocated")
+		b.ReportMetric(float64(r.Rows[1].CSP99)/float64(r.Rows[0].CSP99), "x/csp99-stability")
+	}
+}
+
+func BenchmarkFig7Enhancements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig7(benchScale)
+		stock, _ := r.Reads.Row(experiments.VariantStock)
+		e1, _ := r.Reads.Row(experiments.VariantE1)
+		e2, _ := r.Reads.Row(experiments.VariantE2)
+		b.ReportMetric(stock.NsRead, "ns/read-stock")
+		b.ReportMetric(e1.NsRead, "ns/read-e1")
+		b.ReportMetric(e2.NsRead, "ns/read-e2")
+	}
+}

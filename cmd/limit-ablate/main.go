@@ -1,0 +1,47 @@
+// Command limit-ablate runs the design-choice ablations called out in
+// DESIGN.md:
+//
+//	A1  overflow folding mechanism (kernel fold vs userspace signal)
+//	A2  scheduler quantum vs PC-rewind rate (correctness invariant)
+//	A3  mutex spin budget on the MySQL model
+//	A4  scheduler placement policy (migration / work stealing)
+//
+// Usage:
+//
+//	limit-ablate [-scale 1.0] [-a1] [-a2] [-a3] [-a4]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"limitsim/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale factor")
+	a1 := flag.Bool("a1", false, "run A1: overflow folding mechanism")
+	a2 := flag.Bool("a2", false, "run A2: quantum vs rewind rate")
+	a3 := flag.Bool("a3", false, "run A3: spin budget")
+	a4 := flag.Bool("a4", false, "run A4: scheduler policy")
+	flag.Parse()
+
+	all := !(*a1 || *a2 || *a3 || *a4)
+	s := experiments.Scale(*scale)
+	w := os.Stdout
+
+	if all || *a1 {
+		experiments.RunAblationOverflow(s).Render(w)
+	}
+	if all || *a2 {
+		experiments.RunAblationQuantum(s).Render(w)
+	}
+	if all || *a3 {
+		experiments.RunAblationSpins(s).Render(w)
+	}
+	if all || *a4 {
+		experiments.RunAblationScheduler(s).Render(w)
+	}
+}

@@ -1,0 +1,61 @@
+// Command limit-experiments runs the complete reproduction — every
+// table and figure from DESIGN.md's per-experiment index — and writes
+// the results either as plain text (default) or as the Markdown body
+// used in EXPERIMENTS.md (-markdown).
+//
+// Usage:
+//
+//	limit-experiments [-scale 1.0] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"limitsim/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale factor")
+	markdown := flag.Bool("markdown", false, "emit Markdown section wrappers")
+	flag.Parse()
+
+	s := experiments.Scale(*scale)
+	w := os.Stdout
+
+	section := func(title string, render func(io.Writer)) {
+		if *markdown {
+			fmt.Fprintf(w, "### %s\n\n```text\n", title)
+			render(w)
+			fmt.Fprintf(w, "```\n\n")
+			return
+		}
+		fmt.Fprintf(w, "%s\n%s\n\n", title, strings.Repeat("#", len(title)))
+		render(w)
+	}
+
+	section("T1 — Access-method cost", func(w io.Writer) { experiments.RunTable1(s).Render(w) })
+	section("T2 — Read-sequence breakdown", func(w io.Writer) { experiments.RunTable2(s).Render(w) })
+	section("T3 — Context-switch cost", func(w io.Writer) { experiments.RunTable3(s).Render(w) })
+	section("F1 — Measurement self-perturbation", func(w io.Writer) { experiments.RunFig1(s).Render(w) })
+	section("F2 — Slowdown vs instrumentation density", func(w io.Writer) { experiments.RunFig2(s).Render(w) })
+
+	cs := experiments.RunCaseStudies(s)
+	section("F3 — Critical-section length distributions", cs.RenderFig3)
+	section("F4 — Cycle decomposition", cs.RenderFig4)
+	section("F6 — Kernel vs user cycles", cs.RenderFig6)
+	section("F5 — MySQL longitudinal", func(w io.Writer) { experiments.RunFig5(s).Render(w) })
+	section("T4 — Sampling vs precise attribution", func(w io.Writer) { experiments.RunTable4(s).Render(w) })
+	section("T5 — Counter multiplexing estimation error", func(w io.Writer) { experiments.RunTable5(s).Render(w) })
+	section("F7 — Hardware-counter enhancements", func(w io.Writer) { experiments.RunFig7(s).Render(w) })
+	section("F8 — Bottleneck identification (multi-event)", func(w io.Writer) { experiments.RunFig8(s).Render(w) })
+	section("F9 — Consolidation interference", func(w io.Writer) { experiments.RunFig9(s).Render(w) })
+
+	section("A1 — Overflow folding mechanism", func(w io.Writer) { experiments.RunAblationOverflow(s).Render(w) })
+	section("A2 — Quantum vs PC-rewind rate", func(w io.Writer) { experiments.RunAblationQuantum(s).Render(w) })
+	section("A3 — Mutex spin budget", func(w io.Writer) { experiments.RunAblationSpins(s).Render(w) })
+	section("A4 — Scheduler placement policy", func(w io.Writer) { experiments.RunAblationScheduler(s).Render(w) })
+}

@@ -1,0 +1,58 @@
+// Command limit-overhead regenerates the access-cost and overhead
+// artifacts: Table 1 (per-read cost of each access method), Table 2
+// (LiMiT read-sequence breakdown), Table 3 (context-switch cost under
+// counter virtualization), Figure 1 (measurement self-perturbation),
+// Figure 2 (slowdown vs instrumentation density) and Table 4 (sampling
+// vs precise attribution).
+//
+// Usage:
+//
+//	limit-overhead [-scale 1.0] [-table1] [-table2] [-table3] [-fig1] [-fig2] [-table4]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"limitsim/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale factor (iteration multiplier)")
+	t1 := flag.Bool("table1", false, "run Table 1: access-method cost")
+	t2 := flag.Bool("table2", false, "run Table 2: read-sequence breakdown")
+	t3 := flag.Bool("table3", false, "run Table 3: context-switch cost")
+	f1 := flag.Bool("fig1", false, "run Figure 1: self-perturbation")
+	f2 := flag.Bool("fig2", false, "run Figure 2: slowdown vs density")
+	t4 := flag.Bool("table4", false, "run Table 4: sampling vs precise")
+	t5 := flag.Bool("table5", false, "run Table 5: multiplexing error")
+	flag.Parse()
+
+	all := !(*t1 || *t2 || *t3 || *f1 || *f2 || *t4 || *t5)
+	s := experiments.Scale(*scale)
+	w := os.Stdout
+
+	if all || *t1 {
+		experiments.RunTable1(s).Render(w)
+	}
+	if all || *t2 {
+		experiments.RunTable2(s).Render(w)
+	}
+	if all || *t3 {
+		experiments.RunTable3(s).Render(w)
+	}
+	if all || *f1 {
+		experiments.RunFig1(s).Render(w)
+	}
+	if all || *f2 {
+		experiments.RunFig2(s).Render(w)
+	}
+	if all || *t4 {
+		experiments.RunTable4(s).Render(w)
+	}
+	if all || *t5 {
+		experiments.RunTable5(s).Render(w)
+	}
+}

@@ -1,0 +1,52 @@
+// Command limit-sync regenerates the synchronization case studies:
+// Figure 3 (critical-section length histograms for the MySQL, Apache
+// and Firefox models), Figure 4 (user-cycle decomposition), Figure 5
+// (MySQL longitudinal study) and Figure 6 (kernel/user split).
+//
+// Usage:
+//
+//	limit-sync [-scale 1.0] [-fig3] [-fig4] [-fig5] [-fig6]
+//
+// With no selection flags, everything runs. Figures 3, 4 and 6 share
+// one set of instrumented runs.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"limitsim/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment scale factor (iteration multiplier)")
+	f3 := flag.Bool("fig3", false, "run Figure 3: critical-section histograms")
+	f4 := flag.Bool("fig4", false, "run Figure 4: cycle decomposition")
+	f5 := flag.Bool("fig5", false, "run Figure 5: MySQL longitudinal")
+	f6 := flag.Bool("fig6", false, "run Figure 6: kernel vs user")
+	f8 := flag.Bool("fig8", false, "run Figure 8: bottleneck identification")
+	flag.Parse()
+
+	all := !(*f3 || *f4 || *f5 || *f6 || *f8)
+	s := experiments.Scale(*scale)
+	w := os.Stdout
+
+	if all || *f3 || *f4 || *f6 {
+		cs := experiments.RunCaseStudies(s)
+		if all || *f3 {
+			cs.RenderFig3(w)
+		}
+		if all || *f4 {
+			cs.RenderFig4(w)
+		}
+		if all || *f6 {
+			cs.RenderFig6(w)
+		}
+	}
+	if all || *f5 {
+		experiments.RunFig5(s).Render(w)
+	}
+	if all || *f8 {
+		experiments.RunFig8(s).Render(w)
+	}
+}

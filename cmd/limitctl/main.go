@@ -1,0 +1,155 @@
+// Command limitctl runs one workload model under a chosen counter
+// access method and dumps its measurements: scheduler statistics,
+// per-thread synchronization profile, cycle decomposition, and (with
+// -hist) the critical-section histogram. It is the repository's
+// general inspection tool — the equivalent of running the paper's
+// instrumented binaries by hand.
+//
+// Usage:
+//
+//	limitctl -app mysql|mysql-3.23|mysql-4.1|mysql-5.1|apache|firefox
+//	         [-method limit|perf|papi|rdtsc|sample|none]
+//	         [-cores 4] [-scale 1.0] [-hist] [-threads]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"limitsim/internal/analysis"
+	"limitsim/internal/machine"
+	"limitsim/internal/probe"
+	"limitsim/internal/tabwrite"
+	"limitsim/internal/trace"
+	"limitsim/internal/workloads"
+)
+
+func main() {
+	appName := flag.String("app", "mysql", "workload: mysql[-3.23|-4.1|-5.1], apache, firefox, forkjoin")
+	method := flag.String("method", "limit", "access method: limit, perf, papi, rdtsc, sample, none")
+	cores := flag.Int("cores", 4, "simulated core count")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	hist := flag.Bool("hist", false, "print critical-section histogram")
+	perThread := flag.Bool("threads", false, "print per-thread rows")
+	period := flag.Uint64("period", 100_000, "sampling period (method=sample)")
+	traceN := flag.Int("trace", 0, "dump the last N kernel trace events")
+	flag.Parse()
+
+	ins := workloads.Instrumentation{Kind: probe.Kind(*method), SamplePeriod: *period}
+	if ins.Kind == probe.KindLimit {
+		ins = workloads.LimitInstr()
+	}
+
+	scaleN := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	var app *workloads.App
+	switch *appName {
+	case "mysql", "mysql-5.1":
+		cfg := workloads.MySQLVersion("5.1")
+		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
+		app = workloads.BuildMySQL(cfg, ins)
+	case "mysql-3.23":
+		cfg := workloads.MySQLVersion("3.23")
+		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
+		app = workloads.BuildMySQL(cfg, ins)
+	case "mysql-4.1":
+		cfg := workloads.MySQLVersion("4.1")
+		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
+		app = workloads.BuildMySQL(cfg, ins)
+	case "apache":
+		cfg := workloads.DefaultApache()
+		cfg.RequestsPerWorker = scaleN(cfg.RequestsPerWorker)
+		app = workloads.BuildApache(cfg, ins)
+	case "firefox":
+		cfg := workloads.DefaultFirefox()
+		cfg.EventsPerThread = scaleN(cfg.EventsPerThread)
+		app = workloads.BuildFirefox(cfg, ins)
+	case "forkjoin":
+		cfg := workloads.DefaultForkJoin()
+		cfg.Iterations = scaleN(cfg.Iterations)
+		app = workloads.BuildForkJoin(cfg, ins)
+	default:
+		fmt.Fprintf(os.Stderr, "limitctl: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	m := machine.New(machine.Config{NumCores: *cores})
+	var traceBuf *trace.Buffer
+	if *traceN > 0 {
+		traceBuf = trace.NewBuffer(*traceN)
+		m.Kern.SetTracer(traceBuf)
+	}
+	threads := app.Launch(m)
+	res := m.Run(machine.RunLimits{})
+	if len(res.Faults) > 0 {
+		fmt.Fprintf(os.Stderr, "limitctl: faults: %v\n", res.Faults)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %d cores, method=%s: %s\n\n", app.Name, *cores, *method, res)
+
+	kt := tabwrite.New("Kernel statistics", "metric", "value")
+	st := m.Kern.Stats
+	kt.Row("context switches", st.CtxSwitches)
+	kt.Row("preemptions", st.Preemptions)
+	kt.Row("migrations", st.Migrations)
+	kt.Row("work steals", st.Steals)
+	kt.Row("syscalls", st.Syscalls)
+	kt.Row("PMIs", st.PMIs)
+	kt.Row("overflow folds", st.OverflowFolds)
+	kt.Row("signals sent", st.SignalsSent)
+	kt.Row("samples captured", len(m.Kern.Samples()))
+	kt.Render(os.Stdout)
+
+	if !ins.Active() && ins.Kind != probe.KindSample {
+		return
+	}
+
+	if ins.Kind == probe.KindSample {
+		acq, cs, n := analysis.SampledShares(m.Kern.Samples(), app, *period)
+		fmt.Printf("sampled attribution (%d samples): acquire %.1f%%, critical-section %.1f%%\n",
+			n, acq*100, cs*100)
+		return
+	}
+
+	p := analysis.CollectSync(app)
+	d := p.Decompose()
+	dt := tabwrite.New("Synchronization profile", "metric", "value")
+	dt.Row("lock operations", p.OpsTotal())
+	dt.Row("mean acquire (cycles)", p.Acq.Mean())
+	dt.Row("median CS (cycles)", p.CS.Median())
+	dt.Row("p99 CS (cycles)", p.CS.Percentile(99))
+	dt.Row("acquire share", fmt.Sprintf("%.1f%%", d.AcquireShare*100))
+	dt.Row("CS share", fmt.Sprintf("%.1f%%", d.CSShare*100))
+	dt.Row("kernel share", fmt.Sprintf("%.1f%%", d.KernelShare*100))
+	dt.Render(os.Stdout)
+
+	if *perThread {
+		tt := tabwrite.New("Per-thread", "thread", "ops", "acq cycles", "cs cycles", "total", "fixups", "switches")
+		for i, ts := range p.Threads {
+			tt.Row(ts.Name, ts.Ops, ts.AcqCycles, ts.CSCycles, ts.TotalCycles,
+				threads[i].Stats.FixupRewinds, threads[i].Stats.CtxSwitches)
+		}
+		tt.Render(os.Stdout)
+	}
+
+	if *hist {
+		ht := tabwrite.New("Critical-section length histogram (cycles)", "bucket", "count", "share", "")
+		for _, row := range p.CSHist.Rows() {
+			ht.Row(row.Label, row.Count, row.Share, tabwrite.Bar(row.Share, 40))
+		}
+		ht.Render(os.Stdout)
+	}
+
+	if traceBuf != nil {
+		fmt.Printf("Kernel trace (last %d of %d events)\n", *traceN, traceBuf.Total())
+		traceBuf.Dump(os.Stdout, *traceN)
+	}
+}

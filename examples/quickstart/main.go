@@ -1,0 +1,60 @@
+// Quickstart: measure a code region with a LiMiT counter.
+//
+// This example shows the library's core loop end to end: assemble a
+// small program for the simulated machine, attach a LiMiT virtualized
+// instruction counter, measure a region of exactly 10,000 instructions
+// from userspace, and read the result back — demonstrating that the
+// measurement is precise to the instruction and costs tens of
+// nanoseconds per read.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/limit"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+)
+
+func main() {
+	// A fresh address space; programs embed addresses at assembly time.
+	space := mem.NewSpace()
+	resultAddr := space.AllocWords(1)
+	table := limit.AllocTable(space, 1)
+
+	// Assemble: setup → measure 10k instructions → store delta → halt.
+	b := isa.NewBuilder()
+	e := limit.NewEmitter(b, limit.ModeStock, table)
+	ctr := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+
+	e.EmitInit()
+	e.EmitMeasureStart(isa.R4, isa.R5, ctr) // region start
+	b.Compute(10_000)                       // the measured region
+	e.EmitMeasureEnd(isa.R6, isa.R4, isa.R5, ctr)
+	b.MovImm(isa.R7, int64(resultAddr))
+	b.Store(isa.R7, 0, isa.R6)
+	b.Halt()
+	e.EmitFinish()
+
+	// Run it on a single-core machine.
+	m := machine.New(machine.Config{NumCores: 1})
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	th := m.Kern.Spawn(proc, "quickstart", 0, 1)
+	res := m.MustRun(machine.RunLimits{})
+
+	measured := space.Read64(resultAddr)
+	total := limit.MustFinalValue(th, ctr)
+
+	fmt.Println("LiMiT quickstart")
+	fmt.Println("----------------")
+	fmt.Printf("machine ran for            %d cycles (%.0f ns at 3 GHz)\n",
+		res.Cycles, machine.NsFromCycles(res.Cycles))
+	fmt.Printf("measured region            %d instructions (10,000 + 4 read-tail)\n", measured)
+	fmt.Printf("thread total via counter   %d instructions\n", total)
+	fmt.Printf("thread total ground truth  %d instructions\n", th.Stats.UserInstructions)
+	fmt.Printf("fixup rewinds              %d\n", th.Stats.FixupRewinds)
+}

@@ -1,0 +1,3 @@
+module limitsim
+
+go 1.22

@@ -1,0 +1,175 @@
+// Package analysis extracts the measurements the simulated programs
+// recorded (via internal/rec buffers and TLS totals) into structured
+// results: per-thread synchronization profiles, cycle decompositions,
+// critical-section length distributions, kernel/user splits, and
+// sampled-vs-precise attribution comparisons. It is the host-side
+// half of the paper's case studies.
+package analysis
+
+import (
+	"limitsim/internal/kernel"
+	"limitsim/internal/sampling"
+	"limitsim/internal/stats"
+	"limitsim/internal/workloads"
+)
+
+// ThreadSync is one thread's synchronization measurements.
+type ThreadSync struct {
+	Name string
+	Body int
+	// Ops is the number of recorded lock operations.
+	Ops uint64
+	// AcqCycles and CSCycles are summed acquisition and critical-
+	// section cycles.
+	AcqCycles uint64
+	CSCycles  uint64
+	// TotalCycles is the thread's measured total (user ring).
+	TotalCycles uint64
+	// AllRingCycles is the thread's user+kernel total (0 when not
+	// measured).
+	AllRingCycles uint64
+}
+
+// SyncProfile aggregates an app run's synchronization behavior.
+type SyncProfile struct {
+	App     string
+	Threads []ThreadSync
+	// Acq and CS summarize per-operation acquisition latency and
+	// critical-section length across all threads.
+	Acq *stats.Summary
+	CS  *stats.Summary
+	// CSHist is the log2 histogram of critical-section lengths (the
+	// paper's headline case-study figure).
+	CSHist *stats.LogHistogram
+	// AcqHist is the log2 histogram of acquisition latencies.
+	AcqHist *stats.LogHistogram
+	// Barrier summarizes barrier wait cycles (empty for apps without
+	// barriers).
+	Barrier *stats.Summary
+}
+
+// CollectSync reads an app's instrumentation records after a run.
+func CollectSync(app *workloads.App) *SyncProfile {
+	p := &SyncProfile{App: app.Name, CSHist: &stats.LogHistogram{}, AcqHist: &stats.LogHistogram{}}
+	var allAcq, allCS, allBar []uint64
+	for _, plan := range app.Plans {
+		body := app.Bodies[plan.Body]
+		tb := app.ThreadBase(plan)
+		ts := ThreadSync{Name: plan.Name, Body: plan.Body}
+		if body.LockRec.Cap > 0 {
+			for _, r := range body.LockRec.Records(app.Space, tb) {
+				acq, cs := r[0], r[1]
+				ts.Ops++
+				ts.AcqCycles += acq
+				ts.CSCycles += cs
+				allAcq = append(allAcq, acq)
+				allCS = append(allCS, cs)
+				p.AcqHist.Add(acq)
+				p.CSHist.Add(cs)
+			}
+		}
+		if body.BarrierRec.Cap > 0 {
+			allBar = append(allBar, body.BarrierRec.Column(app.Space, tb, 0)...)
+		}
+		ts.TotalCycles = app.Space.Read64(body.TotalCycles.Resolve(tb))
+		if body.HasRing {
+			ts.AllRingCycles = app.Space.Read64(body.AllRingCycles.Resolve(tb))
+		}
+		p.Threads = append(p.Threads, ts)
+	}
+	p.Acq = stats.NewSummary(allAcq)
+	p.CS = stats.NewSummary(allCS)
+	p.Barrier = stats.NewSummary(allBar)
+	return p
+}
+
+// Decomposition is the share of an app's cycles spent in each
+// synchronization category. Shares of user cycles sum with OtherShare
+// to 1; KernelShare is relative to user+kernel cycles and is 0 when
+// ring totals were not measured.
+type Decomposition struct {
+	AcquireShare float64
+	CSShare      float64
+	OtherShare   float64
+	KernelShare  float64
+	// SyncShare = AcquireShare + CSShare.
+	SyncShare float64
+	// Totals (cycles).
+	User    uint64
+	AllRing uint64
+	Acq     uint64
+	CS      uint64
+}
+
+// Decompose computes the cycle decomposition across all threads.
+func (p *SyncProfile) Decompose() Decomposition {
+	var d Decomposition
+	for _, t := range p.Threads {
+		d.User += t.TotalCycles
+		d.AllRing += t.AllRingCycles
+		d.Acq += t.AcqCycles
+		d.CS += t.CSCycles
+	}
+	if d.User > 0 {
+		d.AcquireShare = float64(d.Acq) / float64(d.User)
+		d.CSShare = float64(d.CS) / float64(d.User)
+		d.OtherShare = 1 - d.AcquireShare - d.CSShare
+		d.SyncShare = d.AcquireShare + d.CSShare
+	}
+	if d.AllRing > d.User {
+		d.KernelShare = float64(d.AllRing-d.User) / float64(d.AllRing)
+	}
+	return d
+}
+
+// OpsTotal returns the total recorded lock operations.
+func (p *SyncProfile) OpsTotal() uint64 {
+	var n uint64
+	for _, t := range p.Threads {
+		n += t.Ops
+	}
+	return n
+}
+
+// VersionRow is one longitudinal-study row.
+type VersionRow struct {
+	Version      string
+	LocksPerTxn  float64
+	MeanHold     float64 // mean critical-section cycles
+	MeanAcq      float64 // mean acquisition cycles
+	SyncShare    float64
+	KernelShare  float64
+	TotalMcycles float64
+}
+
+// Longitudinal summarizes one MySQL version run into a row.
+func Longitudinal(version string, txns uint64, p *SyncProfile) VersionRow {
+	d := p.Decompose()
+	row := VersionRow{
+		Version:      version,
+		MeanHold:     p.CS.Mean(),
+		MeanAcq:      p.Acq.Mean(),
+		SyncShare:    d.SyncShare,
+		KernelShare:  d.KernelShare,
+		TotalMcycles: float64(d.User) / 1e6,
+	}
+	if txns > 0 {
+		row.LocksPerTxn = float64(p.OpsTotal()) / float64(txns)
+	}
+	return row
+}
+
+// SampledShares attributes a run's samples to the synchronization
+// symbols and returns (acquireShare, csShare) as fractions of all
+// samples, alongside the total sample count.
+func SampledShares(samples []kernel.Sample, app *workloads.App, period uint64) (acq, cs float64, n uint64) {
+	at := sampling.Attribute(samples, app.Prog, period, -1)
+	n = at.TotalSamples
+	total := at.EstimatedTotal()
+	if total == 0 {
+		return 0, 0, n
+	}
+	acq = float64(at.BySymbol[workloads.SymAcquire]+at.BySymbol[workloads.SymRelease]) / float64(total)
+	cs = float64(at.BySymbol[workloads.SymCS]) / float64(total)
+	return acq, cs, n
+}

@@ -1,0 +1,115 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"limitsim/internal/analysis"
+	"limitsim/internal/machine"
+	"limitsim/internal/probe"
+	"limitsim/internal/workloads"
+)
+
+func runMySQL(t *testing.T, ins workloads.Instrumentation) (*workloads.App, *machine.Machine) {
+	t.Helper()
+	cfg := workloads.MySQLVersion("5.1")
+	cfg.Workers = 4
+	cfg.TxnsPerWorker = 15
+	app := workloads.BuildMySQL(cfg, ins)
+	m, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: 100_000_000})
+	if len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %v", res)
+	}
+	return app, m
+}
+
+func TestCollectSyncConsistency(t *testing.T) {
+	app, _ := runMySQL(t, workloads.LimitInstr())
+	p := analysis.CollectSync(app)
+
+	if len(p.Threads) != 4 {
+		t.Fatalf("threads %d", len(p.Threads))
+	}
+	var opsSum uint64
+	for _, ts := range p.Threads {
+		opsSum += ts.Ops
+		if ts.AcqCycles == 0 || ts.CSCycles == 0 || ts.TotalCycles == 0 {
+			t.Errorf("%s has zero measurements: %+v", ts.Name, ts)
+		}
+		if ts.AcqCycles+ts.CSCycles >= ts.TotalCycles {
+			t.Errorf("%s: sync exceeds total", ts.Name)
+		}
+	}
+	if opsSum != p.OpsTotal() {
+		t.Error("OpsTotal disagrees with per-thread sum")
+	}
+	if uint64(p.CS.N()) != opsSum || p.CSHist.Total() != opsSum {
+		t.Error("summary and histogram must cover every operation")
+	}
+	if p.Acq.N() != p.CS.N() {
+		t.Error("acquisition and CS sample counts must match")
+	}
+}
+
+func TestDecomposeSharesSumToOne(t *testing.T) {
+	app, _ := runMySQL(t, workloads.LimitInstr())
+	d := analysis.CollectSync(app).Decompose()
+	sum := d.AcquireShare + d.CSShare + d.OtherShare
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("user shares sum to %f", sum)
+	}
+	if d.SyncShare != d.AcquireShare+d.CSShare {
+		t.Error("SyncShare must be acquire+cs")
+	}
+	if d.KernelShare <= 0 || d.KernelShare >= 1 {
+		t.Errorf("kernel share %f out of (0,1)", d.KernelShare)
+	}
+	if d.AllRing <= d.User {
+		t.Error("user+kernel cycles must exceed user cycles")
+	}
+}
+
+func TestLongitudinalRow(t *testing.T) {
+	app, _ := runMySQL(t, workloads.LimitInstr())
+	p := analysis.CollectSync(app)
+	row := analysis.Longitudinal("5.1", 4*15, p)
+	if row.LocksPerTxn != float64(p.OpsTotal())/60 {
+		t.Errorf("locks/txn %f", row.LocksPerTxn)
+	}
+	if row.MeanHold <= 0 || row.SyncShare <= 0 || row.TotalMcycles <= 0 {
+		t.Errorf("row fields zero: %+v", row)
+	}
+	zero := analysis.Longitudinal("x", 0, p)
+	if zero.LocksPerTxn != 0 {
+		t.Error("zero transactions must not divide")
+	}
+}
+
+func TestSampledSharesAgainstPrecise(t *testing.T) {
+	// Fine-grained sampling on the same workload should land within a
+	// reasonable distance of the precise decomposition.
+	appP, _ := runMySQL(t, workloads.LimitInstr())
+	d := analysis.CollectSync(appP).Decompose()
+
+	const period = 2_000
+	appS, m := runMySQL(t, workloads.Instrumentation{Kind: probe.KindSample, SamplePeriod: period})
+	acq, cs, n := analysis.SampledShares(m.Kern.Samples(), appS, period)
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	preciseSync := d.SyncShare
+	sampledSync := acq + cs
+	if diff := sampledSync - preciseSync; diff < -0.25 || diff > 0.25 {
+		t.Errorf("sampled sync %f vs precise %f: too far apart", sampledSync, preciseSync)
+	}
+}
+
+func TestDecomposeEmptyProfile(t *testing.T) {
+	p := &analysis.SyncProfile{
+		Acq: nil, CS: nil,
+	}
+	// An empty profile must not panic or divide by zero.
+	d := p.Decompose()
+	if d.SyncShare != 0 || d.KernelShare != 0 {
+		t.Errorf("empty decomposition %+v", d)
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+
+	"limitsim/internal/workloads"
+)
+
+// EventRates are per-kilocycle rates for the bottleneck event set.
+type EventRates struct {
+	Cycles      uint64
+	L1DPerKC    float64 // L1D misses per kilocycle
+	LLCPerKC    float64
+	BrMissPerKC float64
+}
+
+func ratesFrom(vals [4]uint64) EventRates {
+	r := EventRates{Cycles: vals[0]}
+	if vals[0] == 0 {
+		return r
+	}
+	kc := float64(vals[0]) / 1000
+	r.L1DPerKC = float64(vals[1]) / kc
+	r.LLCPerKC = float64(vals[2]) / kc
+	r.BrMissPerKC = float64(vals[3]) / kc
+	return r
+}
+
+// BottleneckProfile compares microarchitectural event rates inside
+// critical sections against the rest of the program — the paper's
+// "rapid identification of architectural bottlenecks" use case. A
+// critical section whose miss rates far exceed the program's baseline
+// is memory-bound under the lock: shrinking its data footprint (or
+// adding speculation) matters more than shortening its instruction
+// path.
+type BottleneckProfile struct {
+	App     string
+	InCS    EventRates
+	Outside EventRates
+	Overall EventRates
+	// CSCycleShare is the fraction of measured cycles spent inside
+	// critical sections.
+	CSCycleShare float64
+}
+
+// CollectBottleneck aggregates an app's bottleneck accumulators. The
+// app must have been built with workloads.BottleneckInstr.
+func CollectBottleneck(app *workloads.App) (*BottleneckProfile, error) {
+	var inCS, totals [4]uint64
+	found := false
+	for _, plan := range app.Plans {
+		body := app.Bodies[plan.Body]
+		if !body.Bottleneck.Valid {
+			continue
+		}
+		found = true
+		tb := app.ThreadBase(plan)
+		for i := range inCS {
+			inCS[i] += app.Space.Read64(body.Bottleneck.InCS.Word(i).Resolve(tb))
+			totals[i] += app.Space.Read64(body.Bottleneck.Totals.Word(i).Resolve(tb))
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("analysis: %s was not built with bottleneck instrumentation", app.Name)
+	}
+	var outside [4]uint64
+	for i := range outside {
+		if totals[i] >= inCS[i] {
+			outside[i] = totals[i] - inCS[i]
+		}
+	}
+	p := &BottleneckProfile{
+		App:     app.Name,
+		InCS:    ratesFrom(inCS),
+		Outside: ratesFrom(outside),
+		Overall: ratesFrom(totals),
+	}
+	if totals[0] > 0 {
+		p.CSCycleShare = float64(inCS[0]) / float64(totals[0])
+	}
+	return p, nil
+}
+
+// MemoryBoundCS reports whether the app's critical sections are
+// memory-bound relative to the rest of the program (L1D miss rate at
+// least 2x the outside rate).
+func (p *BottleneckProfile) MemoryBoundCS() bool {
+	if p.Outside.L1DPerKC == 0 {
+		return p.InCS.L1DPerKC > 0
+	}
+	return p.InCS.L1DPerKC >= 2*p.Outside.L1DPerKC
+}

@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"limitsim/internal/analysis"
+	"limitsim/internal/machine"
+	"limitsim/internal/workloads"
+)
+
+func TestCollectBottleneckMySQL(t *testing.T) {
+	cfg := workloads.MySQLVersion("5.1")
+	cfg.Workers = 4
+	cfg.TxnsPerWorker = 15
+	app := workloads.BuildMySQL(cfg, workloads.BottleneckInstr())
+	_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: 100_000_000})
+	if len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %v", res)
+	}
+
+	p, err := analysis.CollectBottleneck(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.App != "mysql-5.1" {
+		t.Errorf("app name %q", p.App)
+	}
+	if p.InCS.Cycles == 0 || p.Outside.Cycles == 0 {
+		t.Fatalf("cycle accounting empty: %+v", p)
+	}
+	if p.InCS.Cycles+p.Outside.Cycles != p.Overall.Cycles {
+		t.Error("inside + outside must equal overall")
+	}
+	if !p.MemoryBoundCS() {
+		t.Errorf("MySQL CSes walk table data and must show as memory-bound: in %.2f out %.2f",
+			p.InCS.L1DPerKC, p.Outside.L1DPerKC)
+	}
+	if p.CSCycleShare <= 0 || p.CSCycleShare >= 1 {
+		t.Errorf("cs cycle share %f", p.CSCycleShare)
+	}
+}
+
+func TestCollectBottleneckWrongInstrumentation(t *testing.T) {
+	cfg := workloads.MySQLVersion("5.1")
+	cfg.Workers = 2
+	cfg.TxnsPerWorker = 3
+	app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
+	_, res, _ := app.Run(machine.Config{NumCores: 2}, machine.RunLimits{MaxSteps: 100_000_000})
+	if !res.AllDone {
+		t.Fatal(res)
+	}
+	if _, err := analysis.CollectBottleneck(app); err == nil {
+		t.Error("CollectBottleneck must reject non-bottleneck instrumentation")
+	}
+}
+
+func TestMemoryBoundCSZeroOutside(t *testing.T) {
+	p := &analysis.BottleneckProfile{}
+	p.InCS.L1DPerKC = 0.5
+	p.Outside.L1DPerKC = 0
+	if !p.MemoryBoundCS() {
+		t.Error("any in-CS misses against a zero outside rate count as memory-bound")
+	}
+	p.InCS.L1DPerKC = 0
+	if p.MemoryBoundCS() {
+		t.Error("no misses anywhere is not memory-bound")
+	}
+}

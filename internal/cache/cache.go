@@ -1,0 +1,216 @@
+// Package cache models a per-core cache hierarchy: split L1 (only the
+// data side is simulated, since the ISA has no instruction fetch
+// traffic), a unified L2, and a shared-by-convention LLC. Caches are
+// set-associative with LRU replacement.
+//
+// The hierarchy returns, for each access, the latency in cycles and the
+// set of miss events that occurred, which the CPU feeds into the PMU.
+// The model is deliberately simple — no coherence traffic, no MSHRs —
+// because the reproduced paper's results depend on access *costs* and
+// event *counts*, not on detailed memory-system timing.
+package cache
+
+// Level identifies a cache level for miss reporting.
+type Level uint8
+
+// Cache levels.
+const (
+	L1 Level = iota
+	L2
+	LLC
+	Memory
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LLC:
+		return "LLC"
+	case Memory:
+		return "Memory"
+	}
+	return "cache?"
+}
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size, power of two
+	Ways      int // associativity
+	HitCycles int // latency on hit at this level
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	// Cycles is the total access latency.
+	Cycles uint64
+	// MissL1, MissL2, MissLLC report which levels missed.
+	MissL1  bool
+	MissL2  bool
+	MissLLC bool
+}
+
+// set is one associative set; ways are kept in LRU order, index 0 most
+// recent.
+type set struct {
+	tags  []uint64
+	valid []bool
+}
+
+// cacheLevel is a single set-associative cache.
+type cacheLevel struct {
+	cfg       Config
+	sets      []set
+	setMask   uint64
+	lineShift uint
+}
+
+func newLevel(cfg Config) *cacheLevel {
+	lines := cfg.SizeBytes / cfg.LineBytes
+	nsets := lines / cfg.Ways
+	if nsets < 1 {
+		nsets = 1
+	}
+	// nsets must be a power of two for mask indexing.
+	for nsets&(nsets-1) != 0 {
+		nsets--
+	}
+	c := &cacheLevel{
+		cfg:       cfg,
+		sets:      make([]set, nsets),
+		setMask:   uint64(nsets - 1),
+		lineShift: log2(uint64(cfg.LineBytes)),
+	}
+	for i := range c.sets {
+		c.sets[i] = set{
+			tags:  make([]uint64, cfg.Ways),
+			valid: make([]bool, cfg.Ways),
+		}
+	}
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// access probes the level and installs the line on miss. Returns true on
+// hit.
+func (c *cacheLevel) access(addr uint64) bool {
+	line := addr >> c.lineShift
+	s := &c.sets[line&c.setMask]
+	tag := line >> log2(uint64(len(c.sets)))
+	for i, ok := range s.valid {
+		if ok && s.tags[i] == tag {
+			// Move to MRU position.
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = tag
+			return true
+		}
+	}
+	// Miss: evict LRU (last way), install at MRU.
+	copy(s.tags[1:], s.tags[:len(s.tags)-1])
+	copy(s.valid[1:], s.valid[:len(s.valid)-1])
+	s.tags[0] = tag
+	s.valid[0] = true
+	return false
+}
+
+// flushLine invalidates the line containing addr if present.
+func (c *cacheLevel) flushLine(addr uint64) {
+	line := addr >> c.lineShift
+	s := &c.sets[line&c.setMask]
+	tag := line >> log2(uint64(len(c.sets)))
+	for i, ok := range s.valid {
+		if ok && s.tags[i] == tag {
+			s.valid[i] = false
+			return
+		}
+	}
+}
+
+// Hierarchy is a three-level cache hierarchy plus a memory latency.
+type Hierarchy struct {
+	l1, l2, llc *cacheLevel
+	memCycles   int
+}
+
+// HierarchyConfig configures a Hierarchy.
+type HierarchyConfig struct {
+	L1, L2, LLC  Config
+	MemoryCycles int
+}
+
+// DefaultConfig returns a hierarchy resembling a 2011-era x86 core:
+// 32 KiB 8-way L1 (4 cycles), 256 KiB 8-way L2 (12 cycles), 8 MiB
+// 16-way LLC (40 cycles), 200-cycle memory.
+func DefaultConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:           Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitCycles: 4},
+		L2:           Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, HitCycles: 12},
+		LLC:          Config{SizeBytes: 8 << 20, LineBytes: 64, Ways: 16, HitCycles: 40},
+		MemoryCycles: 200,
+	}
+}
+
+// NewHierarchy builds a hierarchy from the config.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		l1:        newLevel(cfg.L1),
+		l2:        newLevel(cfg.L2),
+		llc:       newLevel(cfg.LLC),
+		memCycles: cfg.MemoryCycles,
+	}
+}
+
+// NewDefault builds a hierarchy with DefaultConfig.
+func NewDefault() *Hierarchy { return NewHierarchy(DefaultConfig()) }
+
+// Access simulates a load or store to addr and returns latency and miss
+// events. Stores are write-allocate and cost the same as loads in this
+// model.
+func (h *Hierarchy) Access(addr uint64) Result {
+	if h.l1.access(addr) {
+		return Result{Cycles: uint64(h.l1.cfg.HitCycles)}
+	}
+	r := Result{MissL1: true}
+	if h.l2.access(addr) {
+		r.Cycles = uint64(h.l2.cfg.HitCycles)
+		return r
+	}
+	r.MissL2 = true
+	if h.llc.access(addr) {
+		r.Cycles = uint64(h.llc.cfg.HitCycles)
+		return r
+	}
+	r.MissLLC = true
+	r.Cycles = uint64(h.memCycles)
+	return r
+}
+
+// FlushLine removes the line containing addr from every level. The
+// kernel uses it to approximate cache pollution from context switches.
+func (h *Hierarchy) FlushLine(addr uint64) {
+	h.l1.flushLine(addr)
+	h.l2.flushLine(addr)
+	h.llc.flushLine(addr)
+}
+
+// FlushAll invalidates the entire hierarchy.
+func (h *Hierarchy) FlushAll() {
+	for _, lv := range []*cacheLevel{h.l1, h.l2, h.llc} {
+		for i := range lv.sets {
+			for j := range lv.sets[i].valid {
+				lv.sets[i].valid[j] = false
+			}
+		}
+	}
+}

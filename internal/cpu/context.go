@@ -1,0 +1,54 @@
+package cpu
+
+import (
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+)
+
+// Context is the architectural state of one software thread: register
+// file, program counter, program, address space, and the per-thread
+// deterministic RNG consumed by isa.OpBrRand. The kernel owns Context
+// lifecycles; a Core executes whichever Context the kernel has switched
+// in.
+type Context struct {
+	Regs [isa.NumRegs]uint64
+	PC   int
+	Prog *isa.Program
+	Mem  *mem.Space
+
+	// AllowRdPMC gates userspace counter reads. It is off by default,
+	// as on a stock kernel; the LiMiT setup syscall turns it on
+	// (mirroring the kernel patch that sets CR4.PCE).
+	AllowRdPMC bool
+
+	// SigDepth counts nested signal frames; OpSigReturn faults when it
+	// is zero. Maintained by the kernel's signal delivery code.
+	SigDepth int
+
+	rng uint64
+}
+
+// SeedRNG initializes the context's deterministic RNG. A zero seed is
+// remapped to a fixed non-zero constant, since the xorshift generator
+// has a zero fixed point.
+func (c *Context) SeedRNG(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	c.rng = seed
+}
+
+// Rand returns the next value of the context's xorshift64* stream.
+func (c *Context) Rand() uint64 {
+	x := c.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Clone returns a copy of the context suitable for saving in a signal
+// frame. The RNG state travels with the copy so that handler execution
+// does not perturb the interrupted stream.
+func (c *Context) Clone() Context { return *c }

@@ -1,0 +1,327 @@
+// Package cpu implements the simulated processor core: it executes one
+// instruction of a thread Context per Step, charges cycle costs through
+// the cache and branch-predictor models, and feeds every architectural
+// event into the core's PMU. Traps (syscalls, faults, thread exit) are
+// returned to the caller — the machine loop — which routes them to the
+// kernel; the core itself knows nothing about the OS.
+package cpu
+
+import (
+	"fmt"
+
+	"limitsim/internal/branch"
+	"limitsim/internal/cache"
+	"limitsim/internal/isa"
+	"limitsim/internal/pmu"
+	"limitsim/internal/tlb"
+)
+
+// TrapKind classifies why Step stopped normal execution.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	// TrapNone: the instruction completed; execution may continue.
+	TrapNone TrapKind = iota
+	// TrapSyscall: an OpSyscall executed; SyscallNum carries the number.
+	TrapSyscall
+	// TrapSigReturn: an OpSigReturn executed; the kernel must pop the
+	// signal frame.
+	TrapSigReturn
+	// TrapHalt: the thread executed OpHalt and is done.
+	TrapHalt
+	// TrapFault: the thread did something illegal; Fault describes it.
+	TrapFault
+)
+
+func (t TrapKind) String() string {
+	switch t {
+	case TrapNone:
+		return "none"
+	case TrapSyscall:
+		return "syscall"
+	case TrapSigReturn:
+		return "sigreturn"
+	case TrapHalt:
+		return "halt"
+	case TrapFault:
+		return "fault"
+	}
+	return "trap?"
+}
+
+// StepResult reports the outcome of executing one instruction.
+type StepResult struct {
+	Trap       TrapKind
+	SyscallNum int64
+	Fault      string
+	// Cycles is the cost charged for the instruction.
+	Cycles uint64
+	// Instrs is the number of instructions retired (Imm for OpCompute
+	// blocks, otherwise 1).
+	Instrs uint64
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	ID     int
+	Now    uint64 // local cycle clock
+	Caches *cache.Hierarchy
+	TLB    *tlb.TLB
+	Pred   branch.Predictor
+	PMU    *pmu.PMU
+	Cost   CostModel
+
+	// Instructions retired in user ring, kept outside the PMU as a raw
+	// progress meter for the machine loop's run limits.
+	Retired uint64
+}
+
+// NewCore builds a core with default cache, TLB, predictor, cost
+// model, and the given PMU features.
+func NewCore(id int, feats pmu.Features) *Core {
+	return &Core{
+		ID:     id,
+		Caches: cache.NewDefault(),
+		TLB:    tlb.NewDefault(),
+		Pred:   branch.NewGshare(14),
+		PMU:    pmu.New(feats),
+		Cost:   DefaultCostModel(),
+	}
+}
+
+// count is shorthand for feeding the PMU in user ring.
+func (c *Core) count(ev pmu.Event, n uint64) { c.PMU.AddEvent(pmu.RingUser, ev, n) }
+
+// finish charges cycles in user ring and advances the clock.
+func (c *Core) finish(cycles uint64) uint64 {
+	c.Now += cycles
+	c.count(pmu.EvCycles, cycles)
+	return cycles
+}
+
+// KernelWork models the kernel executing on this core for the given
+// number of cycles, retiring approximately 0.8 instructions per cycle.
+// Events land in the kernel ring. The kernel calls this for every
+// syscall handler, context switch, interrupt, and signal delivery.
+func (c *Core) KernelWork(cycles uint64) {
+	c.Now += cycles
+	c.PMU.AddEvent(pmu.RingKernel, pmu.EvCycles, cycles)
+	c.PMU.AddEvent(pmu.RingKernel, pmu.EvInstructions, cycles*4/5)
+}
+
+// KernelCachePollution models kernel data touching n cache lines
+// starting at base (a per-kernel address region), evicting victim
+// application lines as a side effect and charging the access latency in
+// kernel ring.
+func (c *Core) KernelCachePollution(base uint64, n int) {
+	var cycles uint64
+	for i := 0; i < n; i++ {
+		r := c.Caches.Access(base + uint64(i)*64)
+		cycles += r.Cycles
+		c.PMU.AddEvent(pmu.RingKernel, pmu.EvLoads, 1)
+		if r.MissL1 {
+			c.PMU.AddEvent(pmu.RingKernel, pmu.EvL1DMiss, 1)
+		}
+		if r.MissL2 {
+			c.PMU.AddEvent(pmu.RingKernel, pmu.EvL2Miss, 1)
+		}
+		if r.MissLLC {
+			c.PMU.AddEvent(pmu.RingKernel, pmu.EvLLCMiss, 1)
+		}
+	}
+	c.Now += cycles
+	c.PMU.AddEvent(pmu.RingKernel, pmu.EvCycles, cycles)
+}
+
+func fault(format string, args ...any) StepResult {
+	return StepResult{Trap: TrapFault, Fault: fmt.Sprintf(format, args...)}
+}
+
+// Step executes exactly one instruction of ctx on this core. The
+// caller must check for pending interrupts (timer, PMU overflow) around
+// Step; Step itself never switches contexts.
+func (c *Core) Step(ctx *Context) StepResult {
+	prog := ctx.Prog
+	if ctx.PC < 0 || ctx.PC >= len(prog.Instrs) {
+		return fault("pc %d out of range [0,%d)", ctx.PC, len(prog.Instrs))
+	}
+	in := prog.Instrs[ctx.PC]
+	cost := c.Cost
+	nextPC := ctx.PC + 1
+	cycles := cost.ALU
+	instrs := uint64(1)
+	res := StepResult{}
+
+	switch in.Op {
+	case isa.OpNop:
+		// one ALU cycle
+
+	case isa.OpCompute:
+		cycles = uint64(in.Imm)
+		instrs = uint64(in.Imm)
+
+	case isa.OpMovImm:
+		ctx.Regs[in.Dst] = uint64(in.Imm)
+	case isa.OpMov:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1]
+	case isa.OpAdd:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] + ctx.Regs[in.Src2]
+	case isa.OpAddImm:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] + uint64(in.Imm)
+	case isa.OpSub:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] - ctx.Regs[in.Src2]
+	case isa.OpMul:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] * ctx.Regs[in.Src2]
+		cycles = cost.Mul
+	case isa.OpAnd:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] & ctx.Regs[in.Src2]
+	case isa.OpOr:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] | ctx.Regs[in.Src2]
+	case isa.OpXor:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] ^ ctx.Regs[in.Src2]
+	case isa.OpShl:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] << (uint64(in.Imm) & 63)
+	case isa.OpShr:
+		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] >> (uint64(in.Imm) & 63)
+
+	case isa.OpLoad:
+		addr := ctx.Regs[in.Src1] + uint64(in.Imm)
+		cycles = cost.MemBase + c.memAccess(addr)
+		ctx.Regs[in.Dst] = ctx.Mem.Read64(addr)
+		c.count(pmu.EvLoads, 1)
+
+	case isa.OpStore:
+		addr := ctx.Regs[in.Src1] + uint64(in.Imm)
+		cycles = cost.MemBase + c.memAccess(addr)
+		ctx.Mem.Write64(addr, ctx.Regs[in.Src2])
+		c.count(pmu.EvStores, 1)
+
+	case isa.OpCAS:
+		addr := ctx.Regs[in.Src1]
+		cycles = cost.MemBase + c.memAccess(addr) + cost.AtomicPenalty
+		old := ctx.Mem.Read64(addr)
+		if old == ctx.Regs[in.Src2] {
+			ctx.Mem.Write64(addr, ctx.Regs[isa.Reg(in.Imm)])
+			c.count(pmu.EvStores, 1)
+		}
+		ctx.Regs[in.Dst] = old
+		c.count(pmu.EvLoads, 1)
+		c.count(pmu.EvAtomics, 1)
+
+	case isa.OpXAdd:
+		addr := ctx.Regs[in.Src1]
+		cycles = cost.MemBase + c.memAccess(addr) + cost.AtomicPenalty
+		old := ctx.Mem.Read64(addr)
+		ctx.Mem.Write64(addr, old+ctx.Regs[in.Src2])
+		ctx.Regs[in.Dst] = old
+		c.count(pmu.EvLoads, 1)
+		c.count(pmu.EvStores, 1)
+		c.count(pmu.EvAtomics, 1)
+
+	case isa.OpJmp:
+		nextPC = int(in.Imm)
+		cycles = cost.Branch
+
+	case isa.OpBr:
+		taken := in.Cond.Eval(ctx.Regs[in.Src1], ctx.Regs[in.Src2])
+		cycles = c.branchCost(uint64(ctx.PC), taken)
+		if taken {
+			nextPC = int(in.Imm)
+		}
+
+	case isa.OpBrRand:
+		taken := uint8(ctx.Rand()) < uint8(in.Cond)
+		cycles = c.branchCost(uint64(ctx.PC), taken)
+		if taken {
+			nextPC = int(in.Imm)
+		}
+
+	case isa.OpRand:
+		ctx.Regs[in.Dst] = ctx.Rand()
+		cycles = 6 // inlined xorshift
+
+	case isa.OpRdPMC:
+		if !ctx.AllowRdPMC {
+			return fault("rdpmc at pc %d without userspace counter access", ctx.PC)
+		}
+		idx := int(in.Imm)
+		if idx < 0 || idx >= c.PMU.NumCounters() {
+			return fault("rdpmc of nonexistent counter %d", idx)
+		}
+		if in.Cond != 0 {
+			if !c.PMU.Features().DestructiveReads {
+				return fault("destructive rdpmc without hardware support")
+			}
+			ctx.Regs[in.Dst] = c.PMU.ReadAndReset(idx)
+		} else {
+			ctx.Regs[in.Dst] = c.PMU.Read(idx)
+		}
+		cycles = cost.RdPMC
+
+	case isa.OpRdCycle:
+		ctx.Regs[in.Dst] = c.Now
+		cycles = cost.RdCycle
+
+	case isa.OpSyscall:
+		res.Trap = TrapSyscall
+		res.SyscallNum = in.Imm
+		cycles = cost.TrapEntry
+		c.count(pmu.EvSyscalls, 1)
+
+	case isa.OpSigReturn:
+		if ctx.SigDepth == 0 {
+			return fault("sigreturn outside signal handler at pc %d", ctx.PC)
+		}
+		res.Trap = TrapSigReturn
+
+	case isa.OpHalt:
+		res.Trap = TrapHalt
+
+	default:
+		return fault("illegal opcode %d at pc %d", in.Op, ctx.PC)
+	}
+
+	ctx.PC = nextPC
+	c.count(pmu.EvInstructions, instrs)
+	c.Retired += instrs
+	res.Instrs = instrs
+	res.Cycles = c.finish(cycles)
+	return res
+}
+
+// memAccess runs addr through the TLB and cache hierarchy, counts miss
+// events, and returns the latency.
+func (c *Core) memAccess(addr uint64) uint64 {
+	tr := c.TLB.Translate(addr)
+	if tr.MissL1 {
+		c.count(pmu.EvDTLBMiss, 1)
+	}
+	if tr.MissL2 {
+		c.count(pmu.EvDTLBWalk, 1)
+	}
+	r := c.Caches.Access(addr)
+	if r.MissL1 {
+		c.count(pmu.EvL1DMiss, 1)
+	}
+	if r.MissL2 {
+		c.count(pmu.EvL2Miss, 1)
+	}
+	if r.MissLLC {
+		c.count(pmu.EvLLCMiss, 1)
+	}
+	return tr.Cycles + r.Cycles
+}
+
+// branchCost consults and trains the predictor, counts branch events,
+// and returns the cycle cost.
+func (c *Core) branchCost(pc uint64, taken bool) uint64 {
+	predicted := c.Pred.Predict(pc)
+	c.Pred.Update(pc, taken)
+	c.count(pmu.EvBranches, 1)
+	if predicted != taken {
+		c.count(pmu.EvBranchMiss, 1)
+		return c.Cost.Branch + c.Cost.MispredictPenalty
+	}
+	return c.Cost.Branch
+}

@@ -1,0 +1,376 @@
+package cpu
+
+import (
+	"testing"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+)
+
+// exec runs a program on a fresh core until a trap, returning the core
+// and context for inspection.
+func exec(t *testing.T, build func(b *isa.Builder)) (*Core, *Context, StepResult) {
+	t.Helper()
+	b := isa.NewBuilder()
+	build(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(0, pmu.DefaultFeatures())
+	ctx := &Context{Prog: prog, Mem: mem.NewSpace(), AllowRdPMC: true}
+	ctx.SeedRNG(7)
+	var res StepResult
+	for i := 0; i < 100000; i++ {
+		res = core.Step(ctx)
+		if res.Trap != TrapNone {
+			return core, ctx, res
+		}
+	}
+	t.Fatal("program did not trap within 100k steps")
+	return nil, nil, res
+}
+
+func TestALUSemantics(t *testing.T) {
+	_, ctx, res := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 10)
+		b.MovImm(isa.R2, 3)
+		b.Add(isa.R3, isa.R1, isa.R2) // 13
+		b.Sub(isa.R4, isa.R1, isa.R2) // 7
+		b.Mul(isa.R5, isa.R1, isa.R2) // 30
+		b.And(isa.R6, isa.R1, isa.R2) // 2
+		b.Or(isa.R7, isa.R1, isa.R2)  // 11
+		b.Xor(isa.R8, isa.R1, isa.R2) // 9
+		b.Shl(isa.R9, isa.R1, 2)      // 40
+		b.Shr(isa.R10, isa.R1, 1)     // 5
+		b.AddImm(isa.R11, isa.R1, -4) // 6
+		b.Mov(isa.R12, isa.R5)        // 30
+		b.Halt()
+	})
+	if res.Trap != TrapHalt {
+		t.Fatalf("trap %v, want halt", res.Trap)
+	}
+	want := map[isa.Reg]uint64{
+		isa.R3: 13, isa.R4: 7, isa.R5: 30, isa.R6: 2, isa.R7: 11,
+		isa.R8: 9, isa.R9: 40, isa.R10: 5, isa.R11: 6, isa.R12: 30,
+	}
+	for r, v := range want {
+		if ctx.Regs[r] != v {
+			t.Errorf("%v = %d, want %d", r, ctx.Regs[r], v)
+		}
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	_, ctx, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0x2000)
+		b.MovImm(isa.R2, 77)
+		b.Store(isa.R1, 8, isa.R2)
+		b.Load(isa.R3, isa.R1, 8)
+		b.Halt()
+	})
+	if ctx.Regs[isa.R3] != 77 {
+		t.Errorf("load got %d, want 77", ctx.Regs[isa.R3])
+	}
+}
+
+func TestCASSuccessAndFailure(t *testing.T) {
+	_, ctx, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0x2000)
+		b.MovImm(isa.R2, 0) // expect
+		b.MovImm(isa.R3, 5) // new
+		b.CAS(isa.R4, isa.R1, isa.R2, isa.R3)
+		// Second CAS expects 0 again and must fail (memory now 5).
+		b.CAS(isa.R5, isa.R1, isa.R2, isa.R3)
+		b.Load(isa.R6, isa.R1, 0)
+		b.Halt()
+	})
+	if ctx.Regs[isa.R4] != 0 {
+		t.Errorf("first CAS old = %d, want 0", ctx.Regs[isa.R4])
+	}
+	if ctx.Regs[isa.R5] != 5 {
+		t.Errorf("second CAS old = %d, want 5", ctx.Regs[isa.R5])
+	}
+	if ctx.Regs[isa.R6] != 5 {
+		t.Errorf("memory = %d, want 5 (failed CAS must not store)", ctx.Regs[isa.R6])
+	}
+}
+
+func TestXAdd(t *testing.T) {
+	_, ctx, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0x2000)
+		b.MovImm(isa.R2, 4)
+		b.XAdd(isa.R3, isa.R1, isa.R2)
+		b.XAdd(isa.R4, isa.R1, isa.R2)
+		b.Load(isa.R5, isa.R1, 0)
+		b.Halt()
+	})
+	if ctx.Regs[isa.R3] != 0 || ctx.Regs[isa.R4] != 4 || ctx.Regs[isa.R5] != 8 {
+		t.Errorf("xadd sequence: old1=%d old2=%d mem=%d, want 0 4 8",
+			ctx.Regs[isa.R3], ctx.Regs[isa.R4], ctx.Regs[isa.R5])
+	}
+}
+
+func TestBranchAndLoop(t *testing.T) {
+	_, ctx, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0)
+		b.MovImm(isa.R2, 10)
+		b.Label("loop")
+		b.AddImm(isa.R1, isa.R1, 1)
+		b.Br(isa.CondLT, isa.R1, isa.R2, "loop")
+		b.Halt()
+	})
+	if ctx.Regs[isa.R1] != 10 {
+		t.Errorf("loop counter = %d, want 10", ctx.Regs[isa.R1])
+	}
+}
+
+func TestComputeCostAndRetirement(t *testing.T) {
+	core, _, _ := exec(t, func(b *isa.Builder) {
+		b.Compute(500)
+		b.Halt()
+	})
+	if core.PMU.GroundTruth(pmu.EvInstructions, pmu.RingUser) != 501 { // compute + halt
+		t.Errorf("instructions = %d, want 501",
+			core.PMU.GroundTruth(pmu.EvInstructions, pmu.RingUser))
+	}
+	if cyc := core.PMU.GroundTruth(pmu.EvCycles, pmu.RingUser); cyc != 501 {
+		t.Errorf("cycles = %d, want 501", cyc)
+	}
+}
+
+func TestMemoryEventsCounted(t *testing.T) {
+	core, _, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0x9000)
+		b.Load(isa.R2, isa.R1, 0)  // cold miss
+		b.Load(isa.R3, isa.R1, 0)  // hit
+		b.Store(isa.R1, 0, isa.R2) // hit
+		b.Halt()
+	})
+	gt := func(ev pmu.Event) uint64 { return core.PMU.GroundTruth(ev, pmu.RingUser) }
+	if gt(pmu.EvLoads) != 2 || gt(pmu.EvStores) != 1 {
+		t.Errorf("loads=%d stores=%d, want 2/1", gt(pmu.EvLoads), gt(pmu.EvStores))
+	}
+	if gt(pmu.EvL1DMiss) != 1 || gt(pmu.EvLLCMiss) != 1 {
+		t.Errorf("l1dmiss=%d llcmiss=%d, want 1/1", gt(pmu.EvL1DMiss), gt(pmu.EvLLCMiss))
+	}
+}
+
+func TestBranchEventsCounted(t *testing.T) {
+	core, _, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0)
+		b.MovImm(isa.R2, 20)
+		b.Label("loop")
+		b.AddImm(isa.R1, isa.R1, 1)
+		b.Br(isa.CondLT, isa.R1, isa.R2, "loop")
+		b.Halt()
+	})
+	if got := core.PMU.GroundTruth(pmu.EvBranches, pmu.RingUser); got != 20 {
+		t.Errorf("branches = %d, want 20", got)
+	}
+	// A short loop keeps gshare's history-indexed entries cold for most
+	// of its run; misses must be present but below the branch count.
+	if miss := core.PMU.GroundTruth(pmu.EvBranchMiss, pmu.RingUser); miss == 0 || miss >= 20 {
+		t.Errorf("branch misses = %d, want in (0,20)", miss)
+	}
+}
+
+func TestBrRandDistribution(t *testing.T) {
+	// Taken probability 128/255 ≈ 50%; count takens over many trials.
+	_, ctx, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0) // trials
+		b.MovImm(isa.R2, 0) // takens
+		b.MovImm(isa.R3, 2000)
+		b.Label("loop")
+		b.AddImm(isa.R1, isa.R1, 1)
+		b.BrRand(128, "taken")
+		b.Jmp("cont")
+		b.Label("taken")
+		b.AddImm(isa.R2, isa.R2, 1)
+		b.Label("cont")
+		b.Br(isa.CondLT, isa.R1, isa.R3, "loop")
+		b.Halt()
+	})
+	takens := ctx.Regs[isa.R2]
+	if takens < 800 || takens > 1200 {
+		t.Errorf("BrRand(128) taken %d/2000, want ~1000", takens)
+	}
+}
+
+func TestRandProducesVariedValues(t *testing.T) {
+	_, ctx, _ := exec(t, func(b *isa.Builder) {
+		b.Rand(isa.R1)
+		b.Rand(isa.R2)
+		b.Rand(isa.R3)
+		b.Halt()
+	})
+	if ctx.Regs[isa.R1] == ctx.Regs[isa.R2] || ctx.Regs[isa.R2] == ctx.Regs[isa.R3] {
+		t.Error("consecutive Rand values should differ")
+	}
+}
+
+func TestRdCycleMonotonic(t *testing.T) {
+	_, ctx, _ := exec(t, func(b *isa.Builder) {
+		b.RdCycle(isa.R1)
+		b.Compute(100)
+		b.RdCycle(isa.R2)
+		b.Halt()
+	})
+	if ctx.Regs[isa.R2] <= ctx.Regs[isa.R1] {
+		t.Error("rdcycle must advance with time")
+	}
+	if delta := ctx.Regs[isa.R2] - ctx.Regs[isa.R1]; delta < 100 {
+		t.Errorf("rdcycle delta %d, want >= 100 (the compute block)", delta)
+	}
+}
+
+func TestRdPMCRequiresPermission(t *testing.T) {
+	b := isa.NewBuilder()
+	b.RdPMC(isa.R1, 0)
+	b.Halt()
+	core := NewCore(0, pmu.DefaultFeatures())
+	ctx := &Context{Prog: b.MustBuild(), Mem: mem.NewSpace(), AllowRdPMC: false}
+	if res := core.Step(ctx); res.Trap != TrapFault {
+		t.Errorf("rdpmc without permission: trap %v, want fault", res.Trap)
+	}
+}
+
+func TestRdPMCBadIndexFaults(t *testing.T) {
+	_, _, res := exec(t, func(b *isa.Builder) {
+		b.RdPMC(isa.R1, 99)
+		b.Halt()
+	})
+	if res.Trap != TrapFault {
+		t.Errorf("trap %v, want fault for bad counter index", res.Trap)
+	}
+}
+
+func TestDestructiveRdPMCWithoutHardwareFaults(t *testing.T) {
+	_, _, res := exec(t, func(b *isa.Builder) {
+		b.RdPMCDestructive(isa.R1, 0)
+		b.Halt()
+	})
+	if res.Trap != TrapFault {
+		t.Errorf("trap %v, want fault (stock PMU has no destructive reads)", res.Trap)
+	}
+}
+
+func TestSyscallTrap(t *testing.T) {
+	core, _, res := exec(t, func(b *isa.Builder) {
+		b.Syscall(42)
+	})
+	if res.Trap != TrapSyscall || res.SyscallNum != 42 {
+		t.Errorf("got %+v, want syscall 42", res)
+	}
+	if core.PMU.GroundTruth(pmu.EvSyscalls, pmu.RingUser) != 1 {
+		t.Error("syscall event not counted")
+	}
+}
+
+func TestSigReturnOutsideHandlerFaults(t *testing.T) {
+	_, _, res := exec(t, func(b *isa.Builder) {
+		b.SigReturn()
+	})
+	if res.Trap != TrapFault {
+		t.Errorf("trap %v, want fault", res.Trap)
+	}
+}
+
+func TestPCOutOfRangeFaults(t *testing.T) {
+	_, _, res := exec(t, func(b *isa.Builder) {
+		b.Nop() // runs off the end
+	})
+	if res.Trap != TrapFault {
+		t.Errorf("trap %v, want fault for pc overrun", res.Trap)
+	}
+}
+
+func TestKernelWorkCountsInKernelRing(t *testing.T) {
+	core := NewCore(0, pmu.DefaultFeatures())
+	core.KernelWork(1000)
+	if got := core.PMU.GroundTruth(pmu.EvCycles, pmu.RingKernel); got != 1000 {
+		t.Errorf("kernel cycles = %d, want 1000", got)
+	}
+	if got := core.PMU.GroundTruth(pmu.EvCycles, pmu.RingUser); got != 0 {
+		t.Errorf("user cycles = %d, want 0", got)
+	}
+	if core.Now != 1000 {
+		t.Errorf("clock = %d, want 1000", core.Now)
+	}
+}
+
+func TestKernelCachePollutionEvictsUserLines(t *testing.T) {
+	core := NewCore(0, pmu.DefaultFeatures())
+	// Warm a user line.
+	ctx := &Context{Mem: mem.NewSpace()}
+	b := isa.NewBuilder()
+	b.MovImm(isa.R1, 0x4000)
+	b.Load(isa.R2, isa.R1, 0)
+	b.Halt()
+	ctx.Prog = b.MustBuild()
+	core.Step(ctx)
+	core.Step(ctx)
+	// Pollute an entire L1's worth of kernel lines.
+	core.KernelCachePollution(0xffff_0000_0000_0000, 1024)
+	if got := core.PMU.GroundTruth(pmu.EvL1DMiss, pmu.RingKernel); got == 0 {
+		t.Error("pollution should generate kernel-ring misses")
+	}
+}
+
+func TestContextRNGDeterminism(t *testing.T) {
+	var a, b Context
+	a.SeedRNG(5)
+	b.SeedRNG(5)
+	for i := 0; i < 10; i++ {
+		if a.Rand() != b.Rand() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	var c Context
+	c.SeedRNG(6)
+	if a.Rand() == c.Rand() {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	var c Context
+	c.SeedRNG(0)
+	if c.Rand() == 0 && c.Rand() == 0 {
+		t.Error("zero seed must not produce a stuck-at-zero stream")
+	}
+}
+
+func TestStepResultInstrs(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Compute(250)
+	b.Nop()
+	core := NewCore(0, pmu.DefaultFeatures())
+	ctx := &Context{Prog: b.MustBuild(), Mem: mem.NewSpace()}
+	if res := core.Step(ctx); res.Instrs != 250 {
+		t.Errorf("compute Instrs = %d, want 250", res.Instrs)
+	}
+	if res := core.Step(ctx); res.Instrs != 1 {
+		t.Errorf("nop Instrs = %d, want 1", res.Instrs)
+	}
+}
+
+func TestMispredictPenaltyCharged(t *testing.T) {
+	// A data-random branch stream forces mispredicts; with penalty 15
+	// the average branch cost must exceed the base branch cost.
+	core, _, _ := exec(t, func(b *isa.Builder) {
+		b.MovImm(isa.R1, 0)
+		b.MovImm(isa.R2, 400)
+		b.Label("loop")
+		b.AddImm(isa.R1, isa.R1, 1)
+		b.BrRand(128, "skip")
+		b.Label("skip")
+		b.Br(isa.CondLT, isa.R1, isa.R2, "loop")
+		b.Halt()
+	})
+	miss := core.PMU.GroundTruth(pmu.EvBranchMiss, pmu.RingUser)
+	if miss < 50 {
+		t.Errorf("random branches mispredicted only %d/800", miss)
+	}
+}

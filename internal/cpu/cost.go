@@ -1,0 +1,34 @@
+package cpu
+
+// CostModel fixes the cycle cost of each instruction class. Memory
+// instructions add the cache hierarchy's latency on top of their base
+// cost. The defaults approximate the 2011-era Nehalem/Westmere systems
+// the reproduced paper measured, at a nominal 3 GHz (1 ns = 3 cycles).
+type CostModel struct {
+	ALU               uint64 // simple ALU ops, moves, nop
+	Mul               uint64 // integer multiply
+	Branch            uint64 // correctly predicted branch
+	MispredictPenalty uint64 // added on branch mispredict
+	MemBase           uint64 // added before cache latency on load/store
+	AtomicPenalty     uint64 // added to CAS/XAdd beyond cache latency
+	RdPMC             uint64 // rdpmc instruction
+	RdCycle           uint64 // rdtsc-style cycle read
+	TrapEntry         uint64 // user-side cost of the syscall instruction
+}
+
+// DefaultCostModel returns the calibrated defaults. rdpmc at 24 cycles
+// (~8 ns) plus the rest of LiMiT's read sequence lands total reads in
+// the paper's "low tens of nanoseconds".
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ALU:               1,
+		Mul:               3,
+		Branch:            1,
+		MispredictPenalty: 15,
+		MemBase:           0,
+		AtomicPenalty:     8,
+		RdPMC:             32,
+		RdCycle:           8,
+		TrapEntry:         40,
+	}
+}

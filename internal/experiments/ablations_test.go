@@ -1,0 +1,134 @@
+package experiments
+
+import "testing"
+
+func TestAblationOverflowShape(t *testing.T) {
+	r := RunAblationOverflow(Quick)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	kfFreq, _ := r.Row("kernel-fold", 12)
+	suFreq, _ := r.Row("signal-user", 12)
+	kfRare, _ := r.Row("kernel-fold", 31)
+
+	if kfRare.Folds != 0 {
+		t.Errorf("31-bit width folded %d times in a short run; should be 0", kfRare.Folds)
+	}
+	if kfFreq.Folds == 0 || suFreq.Signals == 0 {
+		t.Fatalf("frequent-overflow runs must fold/signal: folds=%d signals=%d",
+			kfFreq.Folds, suFreq.Signals)
+	}
+	// The deployed design point: kernel folding beats signal delivery.
+	if kfFreq.CyclesPerFold >= suFreq.CyclesPerFold {
+		t.Errorf("kernel fold %.0f cyc should undercut signal path %.0f cyc",
+			kfFreq.CyclesPerFold, suFreq.CyclesPerFold)
+	}
+}
+
+func TestAblationQuantumShape(t *testing.T) {
+	r := RunAblationQuantum(Quick)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Torn != 0 {
+			t.Errorf("quantum %d produced %d torn measurements; fixup must hold at every quantum",
+				row.Quantum, row.Torn)
+		}
+	}
+	// Rewind rate must fall as the quantum grows.
+	if !(r.Rows[0].Rewinds > r.Rows[len(r.Rows)-1].Rewinds) {
+		t.Errorf("rewinds should decrease with quantum: %d -> %d",
+			r.Rows[0].Rewinds, r.Rows[len(r.Rows)-1].Rewinds)
+	}
+}
+
+func TestAblationSpinsShape(t *testing.T) {
+	r := RunAblationSpins(Quick)
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	zero, big := r.Rows[0], r.Rows[len(r.Rows)-1]
+	// No spinning parks on every contended acquire: more switches.
+	if zero.CtxSwitches <= big.CtxSwitches {
+		t.Errorf("spin=0 switches %d should exceed spin=1000 switches %d",
+			zero.CtxSwitches, big.CtxSwitches)
+	}
+	for _, row := range r.Rows {
+		if row.MeanAcquire <= 0 {
+			t.Errorf("spins=%d: zero acquisition latency", row.Spins)
+		}
+	}
+}
+
+func TestAblationSchedulerShape(t *testing.T) {
+	r := RunAblationScheduler(Quick)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	byName := map[string]A4Row{}
+	for _, row := range r.Rows {
+		byName[row.Policy] = row
+	}
+	if byName["migrate-on-wake"].Migrations <= byName["affinity, no stealing"].Migrations {
+		t.Error("migrate-on-wake should migrate more than affinity scheduling")
+	}
+	if byName["affinity + stealing"].Steals == 0 {
+		t.Error("work stealing enabled but no steals observed")
+	}
+}
+
+func TestFig9ConsolidationShape(t *testing.T) {
+	r := RunFig9(Quick)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	solo, co := r.Rows[0], r.Rows[1]
+	if !solo.MeasurementIntact || !co.MeasurementIntact {
+		t.Error("LiMiT measurements must stay intact under consolidation")
+	}
+	if co.RunMcycles <= solo.RunMcycles {
+		t.Errorf("co-location should inflate runtime: solo %.2f vs co %.2f Mcycles",
+			solo.RunMcycles, co.RunMcycles)
+	}
+	// The striking property: critical-section lengths measured in
+	// virtualized user cycles are *stable* under co-location (the
+	// rival's time slices never leak in), even though wall time
+	// inflates. Allow a few percent for contention-induced spinning.
+	ratio := float64(co.CSP99) / float64(solo.CSP99)
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("CS p99 should be stable under co-location: solo %d vs co %d (ratio %.2f)",
+			solo.CSP99, co.CSP99, ratio)
+	}
+}
+
+func TestTable5MultiplexShape(t *testing.T) {
+	r := RunTable5(Quick)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	exact2, _ := r.Row(2)
+	exact4, _ := r.Row(4)
+	mux8, _ := r.Row(8)
+	mux16, _ := r.Row(16)
+
+	// Within capacity the only divergence is the few open-sequence
+	// instructions that retire between successive opens (<0.5%).
+	if exact2.MeanAbsErr > 0.005 || exact4.MeanAbsErr > 0.005 {
+		t.Errorf("within-capacity counters must be near-exact: %.4f %.4f",
+			exact2.MeanAbsErr, exact4.MeanAbsErr)
+	}
+	if mux8.MeanAbsErr < 20*exact4.MeanAbsErr {
+		t.Errorf("multiplexing error %.4f should dwarf the within-capacity skew %.4f",
+			mux8.MeanAbsErr, exact4.MeanAbsErr)
+	}
+	if mux8.MeanAbsErr <= 0 {
+		t.Error("over-subscribed counters must show estimation error")
+	}
+	if mux8.LoadedPct > 60 || mux8.LoadedPct < 40 {
+		t.Errorf("8 counters on 4 slots should be loaded ~50%% of the time, got %.1f%%", mux8.LoadedPct)
+	}
+	if mux16.LoadedPct > mux8.LoadedPct {
+		t.Error("more counters should mean less loaded time each")
+	}
+}

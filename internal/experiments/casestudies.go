@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"limitsim/internal/analysis"
+	"limitsim/internal/machine"
+	"limitsim/internal/tabwrite"
+	"limitsim/internal/workloads"
+)
+
+// AppProfile bundles one application's collected synchronization
+// profile.
+type AppProfile struct {
+	Name    string
+	Profile *analysis.SyncProfile
+	Decomp  analysis.Decomposition
+}
+
+// CaseStudyResult holds the instrumented runs behind Figures 3, 4 and
+// 6: the MySQL, Apache and Firefox models measured with LiMiT.
+type CaseStudyResult struct {
+	Apps []AppProfile
+}
+
+// scaleMySQL shrinks the MySQL config by s.
+func scaleMySQL(cfg workloads.MySQLConfig, s Scale) workloads.MySQLConfig {
+	cfg.TxnsPerWorker = s.iters(cfg.TxnsPerWorker)
+	return cfg
+}
+
+// RunCaseStudies runs the three application models with LiMiT
+// instrumentation on a 4-core machine and collects their profiles.
+func RunCaseStudies(s Scale) *CaseStudyResult {
+	r := &CaseStudyResult{}
+
+	runOne := func(app *workloads.App) {
+		_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
+		if len(res.Faults) > 0 {
+			panic(app.Name + ": " + res.Faults[0])
+		}
+		p := analysis.CollectSync(app)
+		r.Apps = append(r.Apps, AppProfile{Name: app.Name, Profile: p, Decomp: p.Decompose()})
+	}
+
+	runOne(workloads.BuildMySQL(scaleMySQL(workloads.DefaultMySQL(), s), workloads.LimitInstr()))
+
+	acfg := workloads.DefaultApache()
+	acfg.RequestsPerWorker = s.iters(acfg.RequestsPerWorker)
+	runOne(workloads.BuildApache(acfg, workloads.LimitInstr()))
+
+	fcfg := workloads.DefaultFirefox()
+	fcfg.EventsPerThread = s.iters(fcfg.EventsPerThread)
+	runOne(workloads.BuildFirefox(fcfg, workloads.LimitInstr()))
+
+	return r
+}
+
+// App returns the named app's profile.
+func (r *CaseStudyResult) App(name string) (AppProfile, bool) {
+	for _, a := range r.Apps {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AppProfile{}, false
+}
+
+// RenderFig3 writes the critical-section length histograms (the
+// paper's "critical sections are short" figure).
+func (r *CaseStudyResult) RenderFig3(w io.Writer) {
+	for _, a := range r.Apps {
+		t := tabwrite.New(
+			fmt.Sprintf("Figure 3 (%s): critical-section length distribution (cycles), n=%d, median=%d, p99=%d",
+				a.Name, a.Profile.CS.N(), a.Profile.CS.Median(), a.Profile.CS.Percentile(99)),
+			"bucket", "count", "share", "")
+		for _, row := range a.Profile.CSHist.Rows() {
+			t.Row(row.Label, row.Count, row.Share, tabwrite.Bar(row.Share, 40))
+		}
+		t.Render(w)
+	}
+}
+
+// RenderFig4 writes the cycle decomposition per application.
+func (r *CaseStudyResult) RenderFig4(w io.Writer) {
+	t := tabwrite.New("Figure 4: user-cycle decomposition (LiMiT-instrumented)",
+		"app", "lock-acquire", "critical-section", "other", "sync total", "ops")
+	for _, a := range r.Apps {
+		t.Row(a.Name, pct(a.Decomp.AcquireShare), pct(a.Decomp.CSShare),
+			pct(a.Decomp.OtherShare), pct(a.Decomp.SyncShare), a.Profile.OpsTotal())
+	}
+	t.Render(w)
+}
+
+// RenderFig6 writes the kernel/user split per application.
+func (r *CaseStudyResult) RenderFig6(w io.Writer) {
+	t := tabwrite.New("Figure 6: kernel vs user cycles (ring-filtered LiMiT counters)",
+		"app", "user Mcycles", "user+kernel Mcycles", "kernel share")
+	for _, a := range r.Apps {
+		t.Row(a.Name, float64(a.Decomp.User)/1e6, float64(a.Decomp.AllRing)/1e6,
+			pct(a.Decomp.KernelShare))
+	}
+	t.Render(w)
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// F5Result reproduces Figure 5: the MySQL longitudinal study.
+type F5Result struct {
+	Rows []analysis.VersionRow
+}
+
+// RunFig5 runs the three MySQL version presets.
+func RunFig5(s Scale) *F5Result {
+	r := &F5Result{}
+	for _, v := range []string{"3.23", "4.1", "5.1"} {
+		cfg := scaleMySQL(workloads.MySQLVersion(v), s)
+		app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
+		_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
+		if len(res.Faults) > 0 {
+			panic(res.Faults[0])
+		}
+		p := analysis.CollectSync(app)
+		txns := uint64(cfg.Workers * cfg.TxnsPerWorker)
+		r.Rows = append(r.Rows, analysis.Longitudinal(v, txns, p))
+	}
+	return r
+}
+
+// Render writes the longitudinal table.
+func (r *F5Result) Render(w io.Writer) {
+	t := tabwrite.New("Figure 5: MySQL synchronization across versions",
+		"version", "locks/txn", "mean hold (cyc)", "mean acquire (cyc)", "sync share", "kernel share")
+	for _, row := range r.Rows {
+		t.Row(row.Version, row.LocksPerTxn, row.MeanHold, row.MeanAcq,
+			pct(row.SyncShare), pct(row.KernelShare))
+	}
+	t.Render(w)
+}

@@ -1,0 +1,44 @@
+// Package experiments implements the reproduction harness: one runner
+// per table and figure of the paper's evaluation (as reconstructed in
+// DESIGN.md). Each runner executes simulated workloads, extracts
+// measurements, and returns a result type that renders the same rows
+// or series the paper reports. Runners accept a Scale so tests and
+// quick looks can shrink iteration counts without changing shape.
+package experiments
+
+import (
+	"limitsim/internal/machine"
+)
+
+// NsPerCycle converts simulated cycles to nanoseconds at the nominal
+// 3 GHz clock.
+const NsPerCycle = 1.0 / machine.CyclesPerNanosecond
+
+// Scale shrinks experiment sizes. Full is 1.0; tests typically use
+// 0.05–0.2.
+type Scale float64
+
+// Full is the paper-scale configuration.
+const Full Scale = 1.0
+
+// Quick is a fast configuration for smoke runs.
+const Quick Scale = 0.1
+
+func (s Scale) iters(n int) int {
+	v := int(float64(n) * float64(s))
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+func (s Scale) count(n int) int {
+	v := int(float64(n) * float64(s))
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// runSteps is the universal step guard for experiment machines.
+const runSteps = 2_000_000_000

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the *shape* of each reproduced result —
+// who wins, by roughly what factor, where crossovers fall — which is
+// the reproduction target stated in DESIGN.md.
+
+func TestTable1Shape(t *testing.T) {
+	r := RunTable1(Quick)
+	lim, _ := r.Row("limit")
+	perf, _ := r.Row("perf")
+	papi, _ := r.Row("papi")
+	rdtsc, _ := r.Row("rdtsc")
+
+	if lim.NsRead <= 0 || lim.NsRead > 40 {
+		t.Errorf("LiMiT read %.1f ns; paper band is low tens of ns", lim.NsRead)
+	}
+	if ratio := perf.CyclesRead / lim.CyclesRead; ratio < 20 {
+		t.Errorf("perf/limit ratio %.1f; paper reports 1-2 orders of magnitude", ratio)
+	}
+	if papi.CyclesRead < perf.CyclesRead {
+		t.Errorf("papi (%.0f) should cost at least perf (%.0f)", papi.CyclesRead, perf.CyclesRead)
+	}
+	if rdtsc.CyclesRead >= lim.CyclesRead {
+		t.Errorf("rdtsc (%.0f) should undercut limit (%.0f)", rdtsc.CyclesRead, lim.CyclesRead)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "limit") {
+		t.Error("render missing limit row")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := RunTable2(Quick)
+	raw, _ := r.Row(VariantRaw)
+	stock, _ := r.Row(VariantStock)
+	locked, _ := r.Row(VariantLocked)
+	e1, _ := r.Row(VariantE1)
+	e2, _ := r.Row(VariantE2)
+
+	if !(raw.CyclesRead <= stock.CyclesRead) {
+		t.Errorf("raw rdpmc (%.1f) should not exceed full read (%.1f)", raw.CyclesRead, stock.CyclesRead)
+	}
+	if !(stock.CyclesRead < locked.CyclesRead) {
+		t.Errorf("fixup-based read (%.1f) must beat lock-based (%.1f) — the design point", stock.CyclesRead, locked.CyclesRead)
+	}
+	if !(e1.CyclesRead < stock.CyclesRead) {
+		t.Errorf("64-bit counters (%.1f) should beat stock (%.1f)", e1.CyclesRead, stock.CyclesRead)
+	}
+	if !(e2.CyclesRead < stock.CyclesRead) {
+		t.Errorf("destructive read (%.1f) should beat stock (%.1f)", e2.CyclesRead, stock.CyclesRead)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := RunTable3(Quick)
+	c0, _ := r.Row("no counters")
+	c2, _ := r.Row("2 LiMiT counters")
+	c4, _ := r.Row("4 LiMiT counters")
+	p4, _ := r.Row("4 perf counters")
+	e3, _ := r.Row("4 LiMiT + hw-virt (e3)")
+
+	if !(c0.CyclesPerSwitch < c2.CyclesPerSwitch && c2.CyclesPerSwitch < c4.CyclesPerSwitch) {
+		t.Errorf("switch cost should grow with counters: %0.f, %0.f, %0.f",
+			c0.CyclesPerSwitch, c2.CyclesPerSwitch, c4.CyclesPerSwitch)
+	}
+	if p4.DeltaVsNone <= 0 {
+		t.Errorf("perf counters should add switch cost, delta %.0f", p4.DeltaVsNone)
+	}
+	if e3.DeltaVsNone > c4.DeltaVsNone/4 {
+		t.Errorf("hw virtualization delta %.0f should be far below software %.0f",
+			e3.DeltaVsNone, c4.DeltaVsNone)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := RunFig1(Quick)
+	limSmall, _ := r.Point("limit", 100)
+	perfSmall, _ := r.Point("perf", 100)
+	perfBig, _ := r.Point("perf", 1_000_000)
+
+	if limSmall.Inflation > 2.0 {
+		t.Errorf("limit inflation at 100-instr regions %.2f; should stay near 1", limSmall.Inflation)
+	}
+	if perfSmall.Inflation < 5 {
+		t.Errorf("perf inflation at 100-instr regions %.2f; syscall cost should dominate short regions", perfSmall.Inflation)
+	}
+	if perfBig.Inflation > 1.1 {
+		t.Errorf("perf inflation at 1M-instr regions %.3f; should amortize to ~1", perfBig.Inflation)
+	}
+	if !(perfSmall.Inflation > perfBig.Inflation) {
+		t.Error("perf inflation should decrease with region size")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := RunFig2(Quick)
+	limDense, _ := r.Point("limit", 30)
+	perfDense, _ := r.Point("perf", 30)
+	limSparse, _ := r.Point("limit", 10_000)
+	perfSparse, _ := r.Point("perf", 10_000)
+
+	if ratio := perfDense.Slowdown / limDense.Slowdown; ratio < 5 {
+		t.Errorf("at max density perf/limit slowdown ratio %.1f; want >5", ratio)
+	}
+	if limSparse.Slowdown > 1.05 {
+		t.Errorf("limit slowdown at sparse density %.3f; should be ~1", limSparse.Slowdown)
+	}
+	if perfSparse.Slowdown < limSparse.Slowdown {
+		t.Errorf("perf (%.3f) should exceed limit (%.3f) at every density",
+			perfSparse.Slowdown, limSparse.Slowdown)
+	}
+}
+
+func TestCaseStudiesShape(t *testing.T) {
+	r := RunCaseStudies(Quick)
+	if len(r.Apps) != 3 {
+		t.Fatalf("want 3 apps, got %d", len(r.Apps))
+	}
+	mysql, _ := r.App("mysql-5.1")
+	apache, _ := r.App("apache")
+	firefox, _ := r.App("firefox")
+
+	// Fig 3: critical sections are short — medians well under 4k cycles.
+	for _, a := range r.Apps {
+		if med := a.Profile.CS.Median(); med > 4_096 {
+			t.Errorf("%s: median CS %d cycles; case-study point is short CSes", a.Name, med)
+		}
+	}
+	// Firefox's allocator CS should be the shortest of the three.
+	if !(firefox.Profile.CS.Median() < mysql.Profile.CS.Median()) {
+		t.Errorf("firefox median CS (%d) should undercut mysql (%d)",
+			firefox.Profile.CS.Median(), mysql.Profile.CS.Median())
+	}
+	// Fig 4: MySQL spends a visible share in synchronization.
+	if mysql.Decomp.SyncShare < 0.05 {
+		t.Errorf("mysql sync share %.3f; should be non-trivial", mysql.Decomp.SyncShare)
+	}
+	// Fig 6: Apache is the kernel-heavy app.
+	if !(apache.Decomp.KernelShare > mysql.Decomp.KernelShare &&
+		apache.Decomp.KernelShare > firefox.Decomp.KernelShare) {
+		t.Errorf("apache kernel share %.3f should exceed mysql %.3f and firefox %.3f",
+			apache.Decomp.KernelShare, mysql.Decomp.KernelShare, firefox.Decomp.KernelShare)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := RunFig5(Quick)
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 versions, got %d", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		prev, cur := r.Rows[i-1], r.Rows[i]
+		if cur.LocksPerTxn <= prev.LocksPerTxn {
+			t.Errorf("locks/txn should grow: %s %.1f -> %s %.1f",
+				prev.Version, prev.LocksPerTxn, cur.Version, cur.LocksPerTxn)
+		}
+		if cur.MeanHold >= prev.MeanHold {
+			t.Errorf("mean hold should shrink: %s %.0f -> %s %.0f",
+				prev.Version, prev.MeanHold, cur.Version, cur.MeanHold)
+		}
+	}
+	if !(r.Rows[2].SyncShare > r.Rows[0].SyncShare) {
+		t.Errorf("sync share should grow across versions: %.3f -> %.3f",
+			r.Rows[0].SyncShare, r.Rows[2].SyncShare)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r := RunTable4(Quick)
+	if r.PreciseAcq <= 0 || r.PreciseCS <= 0 {
+		t.Fatalf("precise shares must be positive: %.3f %.3f", r.PreciseAcq, r.PreciseCS)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 sampling periods, got %d", len(r.Rows))
+	}
+	coarse, fine := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if coarse.Samples >= fine.Samples {
+		t.Errorf("finer period should take more samples: %d vs %d", coarse.Samples, fine.Samples)
+	}
+	coarseErr := coarse.ErrAcq + coarse.ErrCS
+	fineErr := fine.ErrAcq + fine.ErrCS
+	if fineErr >= coarseErr && coarseErr > 0.01 {
+		t.Errorf("finer sampling should reduce attribution error: coarse %.3f, fine %.3f",
+			coarseErr, fineErr)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := RunFig8(Quick)
+	if len(r.Profiles) != 3 {
+		t.Fatalf("want 3 profiles, got %d", len(r.Profiles))
+	}
+	mysql, _ := r.Profile("mysql-5.1")
+	apache, _ := r.Profile("apache")
+	firefox, _ := r.Profile("firefox")
+
+	// MySQL critical sections walk shared table data: their L1D miss
+	// rate must exceed the program's outside rate — the bottleneck the
+	// study identifies.
+	if !mysql.MemoryBoundCS() {
+		t.Errorf("mysql CSes should be memory-bound: in-CS %.2f vs outside %.2f L1D/kc",
+			mysql.InCS.L1DPerKC, mysql.Outside.L1DPerKC)
+	}
+	// Apache's log-append CS is pure compute while its request path
+	// walks the file cache: in-CS misses must be lower than outside.
+	if apache.InCS.L1DPerKC >= apache.Outside.L1DPerKC {
+		t.Errorf("apache CSes should be compute-only: in-CS %.2f vs outside %.2f L1D/kc",
+			apache.InCS.L1DPerKC, apache.Outside.L1DPerKC)
+	}
+	// Every profile must have consistent accounting.
+	for _, p := range r.Profiles {
+		if p.Overall.Cycles == 0 || p.InCS.Cycles == 0 {
+			t.Errorf("%s: zero cycle accounting", p.App)
+		}
+		if p.InCS.Cycles+p.Outside.Cycles != p.Overall.Cycles {
+			t.Errorf("%s: inside %d + outside %d != total %d",
+				p.App, p.InCS.Cycles, p.Outside.Cycles, p.Overall.Cycles)
+		}
+		if p.CSCycleShare <= 0 || p.CSCycleShare >= 1 {
+			t.Errorf("%s: cs cycle share %.3f", p.App, p.CSCycleShare)
+		}
+	}
+	_ = firefox
+}
+
+func TestFig7Shape(t *testing.T) {
+	r := RunFig7(Quick)
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 7a", "Figure 7b", "e1", "e2", "e3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 7 render missing %q", want)
+		}
+	}
+}

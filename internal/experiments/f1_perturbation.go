@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"io"
+
+	"limitsim/internal/machine"
+	"limitsim/internal/probe"
+	"limitsim/internal/stats"
+	"limitsim/internal/tabwrite"
+	"limitsim/internal/workloads"
+)
+
+// F1Point is one (method, region size) measurement.
+type F1Point struct {
+	Method       string
+	RegionInstrs int64
+	MeanMeasured float64
+	Inflation    float64 // mean measured / ideal region cycles
+}
+
+// F1Result reproduces Figure 1: self-perturbation of region
+// measurements. Counters count user+kernel cycles, so each method's
+// own trap and handler time lands inside the measured window; syscall
+// methods inflate short regions by large factors while LiMiT's
+// inflation stays near 1.
+type F1Result struct {
+	Sizes  []int64
+	Points []F1Point
+}
+
+// RunFig1 sweeps region sizes for each precise method.
+func RunFig1(s Scale) *F1Result {
+	sizes := []int64{100, 300, 1_000, 3_000, 10_000, 100_000, 1_000_000}
+	kinds := []probe.Kind{probe.KindLimit, probe.KindPerf, probe.KindPAPI}
+	r := &F1Result{Sizes: sizes}
+	for _, kind := range kinds {
+		for _, size := range sizes {
+			iters := s.iters(200)
+			if size >= 100_000 {
+				iters = s.iters(30)
+			}
+			app := workloads.BuildMeasuredRegions(workloads.RegionConfig{
+				Name: "f1", RegionInstrs: size, Iters: iters,
+			}, workloads.Instrumentation{Kind: kind, CountKernelRing: true})
+			_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
+			if len(res.Faults) > 0 {
+				panic(res.Faults[0])
+			}
+			body := app.Bodies[0]
+			deltas := body.LockRec.Column(app.Space, app.ThreadBase(app.Plans[0]), 0)
+			mean := stats.NewSummary(deltas).Mean()
+			r.Points = append(r.Points, F1Point{
+				Method:       string(kind),
+				RegionInstrs: size,
+				MeanMeasured: mean,
+				Inflation:    mean / float64(size),
+			})
+		}
+	}
+	return r
+}
+
+// Point returns the (method, size) cell.
+func (r *F1Result) Point(method string, size int64) (F1Point, bool) {
+	for _, p := range r.Points {
+		if p.Method == method && p.RegionInstrs == size {
+			return p, true
+		}
+	}
+	return F1Point{}, false
+}
+
+// Render writes the figure as a series table (inflation factor per
+// region size).
+func (r *F1Result) Render(w io.Writer) {
+	t := tabwrite.New("Figure 1: measurement self-perturbation (measured/true cycles)",
+		"region (instrs)", "limit", "perf", "papi")
+	for _, size := range r.Sizes {
+		l, _ := r.Point("limit", size)
+		p, _ := r.Point("perf", size)
+		pa, _ := r.Point("papi", size)
+		t.Row(size, l.Inflation, p.Inflation, pa.Inflation)
+	}
+	t.Render(w)
+}

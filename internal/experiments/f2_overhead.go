@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"io"
+
+	"limitsim/internal/machine"
+	"limitsim/internal/probe"
+	"limitsim/internal/tabwrite"
+	"limitsim/internal/workloads"
+)
+
+// F2Point is one (method, density) slowdown measurement.
+type F2Point struct {
+	Method        string
+	ReadsPerKInst float64
+	Slowdown      float64 // runtime / uninstrumented runtime
+}
+
+// F2Result reproduces Figure 2: application slowdown versus
+// instrumentation density. LiMiT stays near 1× at densities where the
+// syscall-based methods slow the program down by integer factors —
+// the paper's core overhead result.
+type F2Result struct {
+	Works  []int64 // instruction gap between reads (density knob)
+	Kinds  []probe.Kind
+	Points []F2Point
+}
+
+// RunFig2 sweeps density for each method.
+func RunFig2(s Scale) *F2Result {
+	works := []int64{30_000, 10_000, 3_000, 1_000, 300, 100, 30}
+	kinds := []probe.Kind{probe.KindRdtsc, probe.KindLimit, probe.KindPerf, probe.KindPAPI}
+	r := &F2Result{Works: works, Kinds: kinds}
+
+	run := func(kind probe.Kind, work int64, iters int) uint64 {
+		app := workloads.BuildReadLoop(workloads.ReadLoopConfig{
+			Name: "f2", Threads: 1, Iters: iters, WorkInstrs: work,
+		}, workloads.Instrumentation{Kind: kind})
+		_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
+		if len(res.Faults) > 0 {
+			panic(res.Faults[0])
+		}
+		return res.Cycles
+	}
+
+	for _, work := range works {
+		// Keep total work roughly constant across densities.
+		iters := s.iters(int(10_000_000 / work))
+		base := run(probe.KindNull, work, iters)
+		for _, kind := range kinds {
+			c := run(kind, work, iters)
+			r.Points = append(r.Points, F2Point{
+				Method:        string(kind),
+				ReadsPerKInst: 1000 / float64(work),
+				Slowdown:      float64(c) / float64(base),
+			})
+		}
+	}
+	return r
+}
+
+// Point returns the (method, work) cell.
+func (r *F2Result) Point(method string, work int64) (F2Point, bool) {
+	density := 1000 / float64(work)
+	for _, p := range r.Points {
+		if p.Method == method && p.ReadsPerKInst == density {
+			return p, true
+		}
+	}
+	return F2Point{}, false
+}
+
+// Render writes the figure as a series table (slowdown per density).
+func (r *F2Result) Render(w io.Writer) {
+	header := []string{"reads/kinstr"}
+	for _, k := range r.Kinds {
+		header = append(header, string(k))
+	}
+	t := tabwrite.New("Figure 2: slowdown vs instrumentation density", header...)
+	for _, work := range r.Works {
+		row := []any{tabwrite.FormatFloat(1000 / float64(work))}
+		for _, k := range r.Kinds {
+			p, _ := r.Point(string(k), work)
+			row = append(row, p.Slowdown)
+		}
+		t.Row(row...)
+	}
+	t.Render(w)
+}

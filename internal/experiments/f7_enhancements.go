@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"io"
+
+	"limitsim/internal/tabwrite"
+)
+
+// F7Result reproduces Figure 7: the paper's three proposed hardware
+// enhancements evaluated against stock hardware and the lock-based
+// software alternative —
+//
+//	e1 64-bit writable counters: the virtual counter, overflow folding
+//	   and fixup all disappear; a read is one instruction.
+//	e2 destructive reads: an interval measurement is one atomic
+//	   read-and-reset instruction.
+//	e3 hardware counter virtualization: counter save/restore leaves
+//	   the context-switch path.
+type F7Result struct {
+	Reads    *T2Result
+	Switches *T3Result
+}
+
+// RunFig7 measures all enhancement configurations.
+func RunFig7(s Scale) *F7Result {
+	return &F7Result{Reads: RunTable2(s), Switches: RunTable3(s)}
+}
+
+// Render writes the composed figure.
+func (r *F7Result) Render(w io.Writer) {
+	t := tabwrite.New("Figure 7a: read cost under hardware enhancements",
+		"configuration", "cycles/read", "ns/read", "vs stock")
+	stock, _ := r.Reads.Row(VariantStock)
+	for _, v := range []ReadVariant{VariantLocked, VariantStock, VariantE1, VariantE2} {
+		row, ok := r.Reads.Row(v)
+		if !ok {
+			continue
+		}
+		ratio := 0.0
+		if stock.CyclesRead > 0 {
+			ratio = row.CyclesRead / stock.CyclesRead
+		}
+		t.Row(string(v), row.CyclesRead, row.NsRead, ratio)
+	}
+	t.Render(w)
+
+	t2 := tabwrite.New("Figure 7b: context-switch cost under hardware virtualization",
+		"configuration", "cycles/switch", "extra vs no counters")
+	for _, name := range []string{"no counters", "4 LiMiT counters", "4 perf counters", "4 LiMiT + hw-virt (e3)"} {
+		row, ok := r.Switches.Row(name)
+		if !ok {
+			continue
+		}
+		t2.Row(name, row.CyclesPerSwitch, row.DeltaVsNone)
+	}
+	t2.Render(w)
+}

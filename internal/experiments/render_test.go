@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// renderOf runs render into a string.
+func renderOf(f func(w io.Writer)) string {
+	var sb strings.Builder
+	f(&sb)
+	return sb.String()
+}
+
+// Every experiment's Render must emit its title, its headers, and at
+// least one data row — these tests pin the harness's user-visible
+// output surface.
+
+func TestRenderTable1(t *testing.T) {
+	out := renderOf(func(w io.Writer) { RunTable1(Quick).Render(w) })
+	for _, want := range []string{"Table 1", "ns/read", "limit", "perf", "papi", "rdtsc", "sample", "statistical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	out := renderOf(func(w io.Writer) { RunTable2(Quick).Render(w) })
+	for _, want := range []string{"Table 2", "rdpmc-raw", "limit-stock", "limit-lock-based", "seq instrs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderTable3(t *testing.T) {
+	out := renderOf(func(w io.Writer) { RunTable3(Quick).Render(w) })
+	for _, want := range []string{"Table 3", "no counters", "4 perf counters", "hw-virt", "delta vs none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderFig1And2(t *testing.T) {
+	out := renderOf(func(w io.Writer) { RunFig1(Quick).Render(w) })
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "region (instrs)") {
+		t.Errorf("fig1 render:\n%s", out)
+	}
+	out = renderOf(func(w io.Writer) { RunFig2(Quick).Render(w) })
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "reads/kinstr") {
+		t.Errorf("fig2 render:\n%s", out)
+	}
+}
+
+func TestRenderCaseStudies(t *testing.T) {
+	cs := RunCaseStudies(Quick)
+	out := renderOf(cs.RenderFig3)
+	for _, want := range []string{"Figure 3", "mysql-5.1", "apache", "firefox", "median", "[2^"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 missing %q", want)
+		}
+	}
+	out = renderOf(cs.RenderFig4)
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "%") {
+		t.Errorf("fig4 render:\n%s", out)
+	}
+	out = renderOf(cs.RenderFig6)
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "kernel share") {
+		t.Errorf("fig6 render:\n%s", out)
+	}
+}
+
+func TestRenderFig5AndTable4(t *testing.T) {
+	out := renderOf(func(w io.Writer) { RunFig5(Quick).Render(w) })
+	for _, want := range []string{"Figure 5", "3.23", "4.1", "5.1", "locks/txn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 missing %q", want)
+		}
+	}
+	out = renderOf(func(w io.Writer) { RunTable4(Quick).Render(w) })
+	for _, want := range []string{"Table 4", "LiMiT precise", "sampling @", "err(acquire)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table4 missing %q", want)
+		}
+	}
+}
+
+func TestRenderFig8And9(t *testing.T) {
+	out := renderOf(func(w io.Writer) { RunFig8(Quick).Render(w) })
+	for _, want := range []string{"Figure 8", "L1D in-CS", "memory-bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 missing %q", want)
+		}
+	}
+	out = renderOf(func(w io.Writer) { RunFig9(Quick).Render(w) })
+	for _, want := range []string{"Figure 9", "solo", "co-located", "measurements intact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig9 missing %q", want)
+		}
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	out := renderOf(func(w io.Writer) { RunAblationOverflow(Quick).Render(w) })
+	if !strings.Contains(out, "A1") || !strings.Contains(out, "kernel-fold") {
+		t.Errorf("A1 render:\n%s", out)
+	}
+	out = renderOf(func(w io.Writer) { RunAblationQuantum(Quick).Render(w) })
+	if !strings.Contains(out, "A2") || !strings.Contains(out, "torn") {
+		t.Errorf("A2 render:\n%s", out)
+	}
+	out = renderOf(func(w io.Writer) { RunAblationSpins(Quick).Render(w) })
+	if !strings.Contains(out, "A3") || !strings.Contains(out, "spins") {
+		t.Errorf("A3 render:\n%s", out)
+	}
+	out = renderOf(func(w io.Writer) { RunAblationScheduler(Quick).Render(w) })
+	if !strings.Contains(out, "A4") || !strings.Contains(out, "migrate-on-wake") {
+		t.Errorf("A4 render:\n%s", out)
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if Full.iters(100) != 100 {
+		t.Error("full scale must not shrink")
+	}
+	if Quick.iters(100) != 10 {
+		t.Errorf("quick iters %d", Quick.iters(100))
+	}
+	if Scale(0.0001).iters(100) < 8 {
+		t.Error("iters must have a floor")
+	}
+	if Scale(0.0001).count(100) < 2 {
+		t.Error("count must have a floor")
+	}
+}

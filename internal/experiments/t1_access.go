@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"io"
+
+	"limitsim/internal/machine"
+	"limitsim/internal/probe"
+	"limitsim/internal/tabwrite"
+	"limitsim/internal/workloads"
+)
+
+// T1Row is one access method's measured read cost.
+type T1Row struct {
+	Method      string
+	CyclesRead  float64
+	NsRead      float64
+	RatioVsLiMT float64 // cost relative to LiMiT
+	Precise     bool    // can it measure an individual region?
+	Virtualized bool    // does descheduled time stay out of readings?
+}
+
+// T1Result reproduces Table 1: counter access method comparison.
+type T1Result struct {
+	Rows  []T1Row
+	Iters int
+}
+
+// RunTable1 measures each access method's per-read cost with a
+// tight loop against the uninstrumented baseline.
+func RunTable1(s Scale) *T1Result {
+	iters := s.iters(20_000)
+	const work = 200
+
+	run := func(kind probe.Kind) uint64 {
+		app := workloads.BuildReadLoop(workloads.ReadLoopConfig{
+			Name: "t1-" + string(kind), Threads: 1, Iters: iters, WorkInstrs: work,
+		}, workloads.Instrumentation{Kind: kind})
+		_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
+		if len(res.Faults) > 0 {
+			panic(res.Faults[0])
+		}
+		return res.Cycles
+	}
+
+	base := run(probe.KindNull)
+	perRead := func(kind probe.Kind) float64 {
+		c := run(kind)
+		if c <= base {
+			return 0
+		}
+		return float64(c-base) / float64(iters)
+	}
+
+	r := &T1Result{Iters: iters}
+	type rowSpec struct {
+		kind        probe.Kind
+		precise     bool
+		virtualized bool
+	}
+	specs := []rowSpec{
+		{probe.KindRdtsc, true, false},
+		{probe.KindLimit, true, true},
+		{probe.KindPerf, true, true},
+		{probe.KindPAPI, true, true},
+	}
+	var limitCost float64
+	for _, sp := range specs {
+		c := perRead(sp.kind)
+		if sp.kind == probe.KindLimit {
+			limitCost = c
+		}
+		r.Rows = append(r.Rows, T1Row{
+			Method:      string(sp.kind),
+			CyclesRead:  c,
+			NsRead:      c * NsPerCycle,
+			Precise:     sp.precise,
+			Virtualized: sp.virtualized,
+		})
+	}
+	// Sampling has no reads; its cost is per-interrupt, reported as 0
+	// per read with precision marked absent.
+	r.Rows = append(r.Rows, T1Row{Method: string(probe.KindSample)})
+	for i := range r.Rows {
+		if limitCost > 0 {
+			r.Rows[i].RatioVsLiMT = r.Rows[i].CyclesRead / limitCost
+		}
+	}
+	return r
+}
+
+// LimitNs returns LiMiT's measured per-read nanoseconds.
+func (r *T1Result) LimitNs() float64 {
+	for _, row := range r.Rows {
+		if row.Method == string(probe.KindLimit) {
+			return row.NsRead
+		}
+	}
+	return 0
+}
+
+// Row returns the named method's row.
+func (r *T1Result) Row(method string) (T1Row, bool) {
+	for _, row := range r.Rows {
+		if row.Method == method {
+			return row, true
+		}
+	}
+	return T1Row{}, false
+}
+
+// Render writes the table.
+func (r *T1Result) Render(w io.Writer) {
+	t := tabwrite.New("Table 1: counter access methods (per-read cost)",
+		"method", "cycles/read", "ns/read", "vs LiMiT", "precise", "virtualized")
+	for _, row := range r.Rows {
+		precise, virt := "no", "no"
+		if row.Precise {
+			precise = "yes"
+		}
+		if row.Virtualized {
+			virt = "yes"
+		}
+		if row.Method == string(probe.KindSample) {
+			t.Row(row.Method, "-", "-", "-", "no (statistical)", "yes")
+			continue
+		}
+		t.Row(row.Method, row.CyclesRead, row.NsRead, row.RatioVsLiMT, precise, virt)
+	}
+	t.Render(w)
+}

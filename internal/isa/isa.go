@@ -1,0 +1,350 @@
+// Package isa defines the instruction set of the simulated machine.
+//
+// The simulator executes programs written in a small register ISA. The ISA
+// is deliberately minimal but preserves the one property the reproduced
+// paper depends on: performance-counter reads are multi-instruction
+// sequences that can be interrupted at any instruction boundary by a timer
+// interrupt, a counter-overflow interrupt, or a signal. LiMiT's
+// PC-rewind fixup (see internal/limit and internal/kernel) is only
+// meaningful because of this.
+//
+// Registers are 64-bit. R0..R3 double as syscall argument/return
+// registers. Programs are built with Builder, which provides labels,
+// symbol ranges (used by the sampling profiler for attribution) and
+// named marks (used by LiMiT to register read-critical fixup regions).
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose register. The machine has NumRegs of them.
+type Reg uint8
+
+// General-purpose registers. R0..R3 carry syscall arguments and return
+// values by convention.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NumRegs is the size of the architectural register file.
+	NumRegs = 16
+)
+
+func (r Reg) String() string { return fmt.Sprintf("R%d", uint8(r)) }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	// OpNop does nothing for one cycle.
+	OpNop Op = iota
+
+	// OpCompute models a compressed basic block of Imm ALU instructions:
+	// it retires Imm instructions and consumes Imm cycles. Workload
+	// generators use it for the bulk of "application work" so that
+	// simulations stay fast while instruction and cycle counts remain
+	// meaningful.
+	OpCompute
+
+	// OpMovImm sets Dst = Imm.
+	OpMovImm
+	// OpMov sets Dst = Src1.
+	OpMov
+	// OpAdd sets Dst = Src1 + Src2.
+	OpAdd
+	// OpAddImm sets Dst = Src1 + Imm.
+	OpAddImm
+	// OpSub sets Dst = Src1 - Src2.
+	OpSub
+	// OpMul sets Dst = Src1 * Src2 (3 cycles).
+	OpMul
+	// OpAnd sets Dst = Src1 & Src2.
+	OpAnd
+	// OpOr sets Dst = Src1 | Src2.
+	OpOr
+	// OpXor sets Dst = Src1 ^ Src2.
+	OpXor
+	// OpShl sets Dst = Src1 << (Imm & 63).
+	OpShl
+	// OpShr sets Dst = Src1 >> (Imm & 63).
+	OpShr
+
+	// OpLoad sets Dst = mem64[Src1 + Imm]. Goes through the cache
+	// hierarchy; latency depends on hit level.
+	OpLoad
+	// OpStore sets mem64[Src1 + Imm] = Src2. Write-allocate.
+	OpStore
+	// OpCAS atomically compares mem64[Src1] with Src2 and, if equal,
+	// stores the value of register Dst's *pre-instruction* pair register:
+	// specifically, if mem64[Src1] == Src2 { mem64[Src1] = SrcV } where
+	// SrcV is the register named by Imm. Dst receives the old memory
+	// value. Counts as an atomic and as a store on success.
+	OpCAS
+	// OpXAdd atomically sets Dst = mem64[Src1]; mem64[Src1] += Src2.
+	OpXAdd
+
+	// OpJmp sets PC = Imm (absolute instruction index).
+	OpJmp
+	// OpBr compares Src1 against Src2 using Cond and, if true, sets
+	// PC = Imm. Consults the branch predictor; a mispredict adds the
+	// misprediction penalty.
+	OpBr
+	// OpBrRand branches to Imm with probability Cond/255, drawn from the
+	// executing thread's deterministic RNG. Used by workload generators
+	// to model data-dependent, hard-to-predict control flow.
+	OpBrRand
+
+	// OpRand sets Dst to the next value of the executing thread's
+	// deterministic RNG (modeling an inlined xorshift PRNG; costs a
+	// few cycles). Workload generators use it for data-dependent
+	// choices such as lock selection.
+	OpRand
+
+	// OpRdPMC reads hardware performance counter Imm into Dst (low
+	// CounterWidth bits). Faults unless userspace counter access has
+	// been enabled for the process (the LiMiT kernel patch does this).
+	// If the PMU's DestructiveReads feature is enabled and Cond != 0,
+	// the counter is atomically reset to zero as part of the read
+	// (proposed hardware enhancement e2 in the paper).
+	OpRdPMC
+	// OpRdCycle reads the core's current cycle count into Dst (rdtsc
+	// analogue). Always permitted.
+	OpRdCycle
+
+	// OpSyscall traps into the kernel with syscall number Imm. Arguments
+	// in R0..R3, result in R0.
+	OpSyscall
+	// OpSigReturn returns from a signal handler, restoring the
+	// interrupted context. Faults outside a handler.
+	OpSigReturn
+	// OpHalt terminates the executing thread.
+	OpHalt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop:       "nop",
+	OpCompute:   "compute",
+	OpMovImm:    "movimm",
+	OpMov:       "mov",
+	OpAdd:       "add",
+	OpAddImm:    "addimm",
+	OpSub:       "sub",
+	OpMul:       "mul",
+	OpAnd:       "and",
+	OpOr:        "or",
+	OpXor:       "xor",
+	OpShl:       "shl",
+	OpShr:       "shr",
+	OpLoad:      "load",
+	OpStore:     "store",
+	OpCAS:       "cas",
+	OpXAdd:      "xadd",
+	OpJmp:       "jmp",
+	OpBr:        "br",
+	OpBrRand:    "brrand",
+	OpRand:      "rand",
+	OpRdPMC:     "rdpmc",
+	OpRdCycle:   "rdcycle",
+	OpSyscall:   "syscall",
+	OpSigReturn: "sigreturn",
+	OpHalt:      "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond is the comparison used by OpBr (and the taken-probability numerator
+// for OpBrRand).
+type Cond uint8
+
+// Branch conditions for OpBr.
+const (
+	CondEQ Cond = iota // Src1 == Src2
+	CondNE             // Src1 != Src2
+	CondLT             // Src1 <  Src2 (unsigned)
+	CondGE             // Src1 >= Src2 (unsigned)
+	CondLE             // Src1 <= Src2 (unsigned)
+	CondGT             // Src1 >  Src2 (unsigned)
+)
+
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "eq"
+	case CondNE:
+		return "ne"
+	case CondLT:
+		return "lt"
+	case CondGE:
+		return "ge"
+	case CondLE:
+		return "le"
+	case CondGT:
+		return "gt"
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval reports whether the condition holds for the two operand values.
+func (c Cond) Eval(a, b uint64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondGE:
+		return a >= b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	}
+	return false
+}
+
+// Instr is a single machine instruction.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Cond Cond
+	Imm  int64
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpSigReturn:
+		return in.Op.String()
+	case OpCompute:
+		return fmt.Sprintf("compute %d", in.Imm)
+	case OpMovImm:
+		return fmt.Sprintf("movimm %s, %d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", in.Dst, in.Src1)
+	case OpAddImm:
+		return fmt.Sprintf("addimm %s, %s, %d", in.Dst, in.Src1, in.Imm)
+	case OpShl, OpShr:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load %s, [%s+%d]", in.Dst, in.Src1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store [%s+%d], %s", in.Src1, in.Imm, in.Src2)
+	case OpCAS:
+		return fmt.Sprintf("cas %s, [%s], %s, R%d", in.Dst, in.Src1, in.Src2, in.Imm)
+	case OpXAdd:
+		return fmt.Sprintf("xadd %s, [%s], %s", in.Dst, in.Src1, in.Src2)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	case OpBr:
+		return fmt.Sprintf("br.%s %s, %s, %d", in.Cond, in.Src1, in.Src2, in.Imm)
+	case OpBrRand:
+		return fmt.Sprintf("brrand %d/255, %d", in.Cond, in.Imm)
+	case OpRdPMC:
+		return fmt.Sprintf("rdpmc %s, #%d", in.Dst, in.Imm)
+	case OpRdCycle:
+		return fmt.Sprintf("rdcycle %s", in.Dst)
+	case OpSyscall:
+		return fmt.Sprintf("syscall %d", in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s, %d", in.Op, in.Dst, in.Src1, in.Src2, in.Imm)
+	}
+}
+
+// Symbol names a half-open PC range [Start, End) of a program. The
+// sampling profiler attributes samples to symbols; analysis code uses
+// them to locate instrumentation points.
+type Symbol struct {
+	Name  string
+	Start int
+	End   int
+}
+
+// Contains reports whether pc falls inside the symbol's range.
+func (s Symbol) Contains(pc int) bool { return pc >= s.Start && pc < s.End }
+
+// Program is an executable sequence of instructions plus metadata
+// produced by the Builder.
+type Program struct {
+	Instrs []Instr
+	// Labels maps label names to instruction indices (for diagnostics
+	// and for locating well-known entry points such as signal handlers).
+	Labels map[string]int
+	// Symbols are non-overlapping named PC ranges in definition order.
+	Symbols []Symbol
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Entry returns the instruction index of a label, or an error if the
+// label was never defined.
+func (p *Program) Entry(label string) (int, error) {
+	pc, ok := p.Labels[label]
+	if !ok {
+		return 0, fmt.Errorf("isa: program has no label %q", label)
+	}
+	return pc, nil
+}
+
+// MustEntry is Entry but panics on unknown labels. Intended for
+// workload construction where a missing label is a programming error.
+func (p *Program) MustEntry(label string) int {
+	pc, err := p.Entry(label)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+// SymbolAt returns the innermost symbol containing pc, if any. When
+// symbols nest (a region defined inside another), the latest-defined
+// containing symbol wins, which corresponds to the innermost lexical
+// scope under Builder usage.
+func (p *Program) SymbolAt(pc int) (Symbol, bool) {
+	for i := len(p.Symbols) - 1; i >= 0; i-- {
+		if p.Symbols[i].Contains(pc) {
+			return p.Symbols[i], true
+		}
+	}
+	return Symbol{}, false
+}
+
+// Disassemble renders the program as text, one instruction per line,
+// annotated with labels. Useful in tests and debugging.
+func (p *Program) Disassemble() string {
+	byPC := make(map[int][]string)
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	var out []byte
+	for pc, in := range p.Instrs {
+		for _, l := range byPC[pc] {
+			out = append(out, fmt.Sprintf("%s:\n", l)...)
+		}
+		out = append(out, fmt.Sprintf("%4d  %s\n", pc, in)...)
+	}
+	return string(out)
+}

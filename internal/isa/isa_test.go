@@ -1,0 +1,242 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{CondEQ, 5, 5, true},
+		{CondEQ, 5, 6, false},
+		{CondNE, 5, 6, true},
+		{CondNE, 5, 5, false},
+		{CondLT, 4, 5, true},
+		{CondLT, 5, 5, false},
+		{CondLT, 6, 5, false},
+		{CondGE, 5, 5, true},
+		{CondGE, 6, 5, true},
+		{CondGE, 4, 5, false},
+		{CondLE, 5, 5, true},
+		{CondLE, 4, 5, true},
+		{CondLE, 6, 5, false},
+		{CondGT, 6, 5, true},
+		{CondGT, 5, 5, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("%v.Eval(%d,%d) = %v, want %v", tc.c, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCondEvalComplementary(t *testing.T) {
+	// LT/GE and EQ/NE are exact complements for all inputs.
+	f := func(a, b uint64) bool {
+		return CondLT.Eval(a, b) != CondGE.Eval(a, b) &&
+			CondEQ.Eval(a, b) != CondNE.Eval(a, b) &&
+			CondLE.Eval(a, b) != CondGT.Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnsignedComparison(t *testing.T) {
+	// Comparisons are unsigned: -1 as uint64 is the maximum.
+	if CondLT.Eval(^uint64(0), 1) {
+		t.Error("^0 < 1 should be false under unsigned comparison")
+	}
+	if !CondGT.Eval(^uint64(0), 1) {
+		t.Error("^0 > 1 should be true under unsigned comparison")
+	}
+}
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.Jmp("end") // forward reference
+	b.Compute(5)
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Imm != 2 {
+		t.Errorf("jmp target %d, want 2", p.Instrs[0].Imm)
+	}
+	if pc := p.MustEntry("start"); pc != 0 {
+		t.Errorf("start at %d, want 0", pc)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected undefined-label error")
+	} else if !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("error %q should name the label", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected duplicate-label error")
+	}
+}
+
+func TestBuilderUnclosedSymbol(t *testing.T) {
+	b := NewBuilder()
+	b.BeginSymbol("open").Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected unclosed-symbol error")
+	}
+}
+
+func TestBuilderEndSymbolWithoutBegin(t *testing.T) {
+	b := NewBuilder()
+	b.Nop().EndSymbol()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected EndSymbol-without-Begin error")
+	}
+}
+
+func TestBuilderComputeRejectsNonPositive(t *testing.T) {
+	b := NewBuilder()
+	b.Compute(0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for Compute(0)")
+	}
+}
+
+func TestSymbolNesting(t *testing.T) {
+	b := NewBuilder()
+	b.BeginSymbol("outer")
+	b.Nop()
+	b.BeginSymbol("inner")
+	b.Nop().Nop()
+	b.EndSymbol()
+	b.Nop()
+	b.EndSymbol()
+	p := b.MustBuild()
+
+	if sym, ok := p.SymbolAt(0); !ok || sym.Name != "outer" {
+		t.Errorf("pc 0 in %v, want outer", sym)
+	}
+	if sym, ok := p.SymbolAt(1); !ok || sym.Name != "inner" {
+		t.Errorf("pc 1 in %v, want inner (innermost wins)", sym)
+	}
+	if sym, ok := p.SymbolAt(3); !ok || sym.Name != "outer" {
+		t.Errorf("pc 3 in %v, want outer", sym)
+	}
+	if _, ok := p.SymbolAt(4); ok {
+		t.Error("pc 4 should be outside all symbols")
+	}
+}
+
+func TestMovLabel(t *testing.T) {
+	b := NewBuilder()
+	b.MovLabel(R1, "target")
+	b.Nop()
+	b.Label("target")
+	b.Halt()
+	p := b.MustBuild()
+	if p.Instrs[0].Op != OpMovImm || p.Instrs[0].Imm != 2 {
+		t.Errorf("MovLabel resolved to %+v, want MovImm with Imm=2", p.Instrs[0])
+	}
+}
+
+func TestEntryErrors(t *testing.T) {
+	p := NewBuilder().Nop().MustBuild()
+	if _, err := p.Entry("missing"); err == nil {
+		t.Error("Entry on missing label should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEntry on missing label should panic")
+		}
+	}()
+	p.MustEntry("missing")
+}
+
+func TestDisassembleContainsLabelsAndOps(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.MovImm(R2, 7)
+	b.AddImm(R2, R2, 1)
+	b.Load(R3, R2, 16)
+	b.Store(R2, 8, R3)
+	b.CAS(R4, R2, R3, R5)
+	b.Br(CondLT, R2, R3, "main")
+	b.Syscall(3)
+	b.Halt()
+	text := b.MustBuild().Disassemble()
+	for _, want := range []string{"main:", "movimm R2, 7", "load R3, [R2+16]", "store [R2+8], R3", "cas", "br.lt", "syscall 3", "halt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstrStringsAllOps(t *testing.T) {
+	// Every opcode must render without the fallback "op(N)" form.
+	for op := OpNop; op < numOps; op++ {
+		in := Instr{Op: op, Imm: 1}
+		s := in.String()
+		if strings.Contains(s, "op(") {
+			t.Errorf("op %d renders as %q", op, s)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if R7.String() != "R7" {
+		t.Errorf("R7 renders as %q", R7.String())
+	}
+}
+
+func TestProgramLen(t *testing.T) {
+	p := NewBuilder().Nop().Nop().Halt().MustBuild()
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+}
+
+func TestBuilderChaining(t *testing.T) {
+	// All emit methods return the builder for chaining; a long chain
+	// must produce instructions in order.
+	p := NewBuilder().
+		MovImm(R1, 1).Mov(R2, R1).Add(R3, R1, R2).Sub(R4, R3, R1).
+		Mul(R5, R3, R3).And(R6, R5, R1).Or(R7, R6, R1).Xor(R8, R7, R1).
+		Shl(R9, R8, 2).Shr(R10, R9, 1).XAdd(R11, R1, R2).Rand(R12).
+		RdCycle(R13).Nop().Halt().MustBuild()
+	wantOps := []Op{OpMovImm, OpMov, OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpXAdd, OpRand, OpRdCycle, OpNop, OpHalt}
+	if len(p.Instrs) != len(wantOps) {
+		t.Fatalf("got %d instrs, want %d", len(p.Instrs), len(wantOps))
+	}
+	for i, w := range wantOps {
+		if p.Instrs[i].Op != w {
+			t.Errorf("instr %d is %v, want %v", i, p.Instrs[i].Op, w)
+		}
+	}
+}
+
+func TestRdPMCDestructiveSetsFlag(t *testing.T) {
+	p := NewBuilder().RdPMCDestructive(R1, 2).RdPMC(R2, 3).MustBuild()
+	if p.Instrs[0].Cond == 0 {
+		t.Error("destructive rdpmc must set the destructive flag")
+	}
+	if p.Instrs[1].Cond != 0 {
+		t.Error("plain rdpmc must not set the destructive flag")
+	}
+}

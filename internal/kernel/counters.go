@@ -1,0 +1,225 @@
+package kernel
+
+import "limitsim/internal/pmu"
+
+// flag bits for the perf/limit open syscalls' ring argument.
+const (
+	// FlagUser counts events in the user ring.
+	FlagUser uint64 = 1 << 0
+	// FlagKernel counts events in the kernel ring.
+	FlagKernel uint64 = 1 << 1
+)
+
+// maxCountersPerThread bounds the multiplexed perf pool (a runaway
+// guard; Linux is effectively unbounded).
+const maxCountersPerThread = 32
+
+// allocCounter registers a counter with the thread and returns its
+// index (the userspace fd / rdpmc slot) or errRet. Pinned kinds
+// (LiMiT, sampling) must fit within the PMU's slots because userspace
+// encodes the slot number; perf counters may exceed the hardware and
+// will be time-multiplexed. Closed entries are reused to preserve
+// index stability of the survivors.
+func (k *Kernel) allocCounter(coreID int, t *Thread, tc *ThreadCounter) uint64 {
+	core := k.cores[coreID]
+	ensureSlots(core, t)
+	n := core.PMU.NumCounters()
+	pinned := tc.Kind != KindPerf
+
+	// Close the current multiplexing span before the new counter
+	// enters the table, so its window starts at zero.
+	spanEnd(core, t)
+
+	idx := -1
+	for i, old := range t.counters {
+		if old.Closed && (!pinned || i < n) {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		if pinned && len(t.counters) >= n {
+			return errRet
+		}
+		if len(t.counters) >= maxCountersPerThread {
+			return errRet
+		}
+		t.counters = append(t.counters, tc)
+		idx = len(t.counters) - 1
+	} else {
+		t.counters[idx] = tc
+	}
+	tc.HWSlot = -1
+
+	// Load onto hardware immediately when a slot is available; the
+	// thread is running here.
+	if pinned {
+		if t.hwSlots[idx] != -1 {
+			// Slot occupied by a floating perf counter: evict it.
+			evicted := t.counters[t.hwSlots[idx]]
+			evicted.Acc += core.PMU.Read(idx)
+			evicted.HWSlot = -1
+			t.hwSlots[idx] = -1
+		}
+		k.programSlot(core, t, idx, idx)
+		return uint64(idx)
+	}
+	for slot := 0; slot < n; slot++ {
+		if t.hwSlots[slot] == -1 {
+			k.programSlot(core, t, slot, idx)
+			break
+		}
+	}
+	return uint64(idx)
+}
+
+func (k *Kernel) counterAt(t *Thread, fd uint64) *ThreadCounter {
+	if fd >= uint64(len(t.counters)) || t.counters[fd].Closed {
+		return nil
+	}
+	return t.counters[fd]
+}
+
+// perfOpen implements SysPerfOpen.
+func (k *Kernel) perfOpen(coreID int, t *Thread, event, flags uint64) uint64 {
+	if event >= uint64(pmu.NumEvents) {
+		return errRet
+	}
+	return k.allocCounter(coreID, t, &ThreadCounter{
+		Kind:        KindPerf,
+		Event:       pmu.Event(event),
+		CountUser:   flags&FlagUser != 0,
+		CountKernel: flags&FlagKernel != 0,
+		OverflowBit: -1,
+	})
+}
+
+// perfRead implements SysPerfRead: the 64-bit virtualized value is the
+// kernel accumulator plus the live hardware count. An over-subscribed
+// (multiplexed) counter's raw count is scaled by scheduled-time /
+// loaded-time, exactly as Linux perf's time_enabled/time_running
+// estimate — the estimation error this introduces is measured by the
+// multiplexing experiment.
+func (k *Kernel) perfRead(coreID int, t *Thread, fd uint64) uint64 {
+	tc := k.counterAt(t, fd)
+	if tc == nil {
+		return errRet
+	}
+	core := k.cores[coreID]
+	raw := tc.Acc
+	active, window := tc.ActiveCycles, tc.WindowCycles
+	partial := core.Now - t.spanStartAt
+	window += partial
+	if tc.HWSlot >= 0 {
+		raw += core.PMU.Read(tc.HWSlot)
+		active += partial
+	}
+	if active == 0 {
+		return 0 // never loaded: nothing measured yet
+	}
+	if active >= window {
+		return raw // fully counted: exact
+	}
+	return uint64(float64(raw) * float64(window) / float64(active))
+}
+
+// perfReset implements SysPerfReset.
+func (k *Kernel) perfReset(coreID int, t *Thread, fd uint64) {
+	tc := k.counterAt(t, fd)
+	if tc == nil {
+		return
+	}
+	core := k.cores[coreID]
+	spanEnd(core, t)
+	tc.Acc = 0
+	tc.ActiveCycles = 0
+	tc.WindowCycles = 0
+	if tc.HWSlot >= 0 {
+		core.PMU.Write(tc.HWSlot, 0)
+	}
+}
+
+// counterClose disables a counter, freeing its hardware slot.
+func (k *Kernel) counterClose(coreID int, t *Thread, fd uint64) {
+	tc := k.counterAt(t, fd)
+	if tc == nil {
+		return
+	}
+	core := k.cores[coreID]
+	spanEnd(core, t)
+	tc.Closed = true
+	if tc.HWSlot >= 0 {
+		core.PMU.Configure(tc.HWSlot, pmu.CounterConfig{Enabled: false, OverflowBit: -1})
+		t.hwSlots[tc.HWSlot] = -1
+		tc.HWSlot = -1
+	}
+	if t.sampler == int(fd) {
+		t.sampler = -1
+	}
+}
+
+// limitOverflowBit returns the overflow interrupt position for LiMiT
+// counters on the given PMU: the write-width bit when hardware counters
+// cannot be fully restored by software writes (the stock-hardware
+// case), or -1 with fully writable 64-bit counters (enhancement e1),
+// where no folding is ever needed.
+func limitOverflowBit(p *pmu.PMU) int {
+	f := p.Features()
+	if f.WriteWidth >= f.CounterWidth && f.WriteWidth >= 64 {
+		return -1
+	}
+	return f.WriteWidth
+}
+
+// limitOpen implements SysLimitOpen.
+func (k *Kernel) limitOpen(coreID int, t *Thread, event, flags, tableAddr uint64) uint64 {
+	if event >= uint64(pmu.NumEvents) {
+		return errRet
+	}
+	if !t.Proc.AllowRdPMC {
+		return errRet // SysLimitInit must come first
+	}
+	// Zero the user-visible virtual counter.
+	t.Proc.Mem.Write64(tableAddr, 0)
+	return k.allocCounter(coreID, t, &ThreadCounter{
+		Kind:        KindLimit,
+		Event:       pmu.Event(event),
+		CountUser:   flags&FlagUser != 0,
+		CountKernel: flags&FlagKernel != 0,
+		TableAddr:   tableAddr,
+		OverflowBit: limitOverflowBit(k.cores[coreID].PMU),
+	})
+}
+
+// sampleStart implements SysSampleStart.
+func (k *Kernel) sampleStart(coreID int, t *Thread, event, period uint64) uint64 {
+	core := k.cores[coreID]
+	if event >= uint64(pmu.NumEvents) || period == 0 || period >= core.PMU.WriteLimit() {
+		return errRet
+	}
+	ob := core.PMU.Features().WriteWidth
+	if ob >= 64 {
+		ob = 47
+	}
+	tc := &ThreadCounter{
+		Kind:        KindSample,
+		Event:       pmu.Event(event),
+		CountUser:   true,
+		CountKernel: false,
+		Period:      period,
+		OverflowBit: ob,
+		Saved:       (uint64(1) << uint(ob)) - period,
+	}
+	idx := k.allocCounter(coreID, t, tc)
+	if idx != errRet {
+		t.sampler = int(idx)
+	}
+	return idx
+}
+
+// sampleStop implements SysSampleStop.
+func (k *Kernel) sampleStop(coreID int, t *Thread) {
+	if t.sampler >= 0 {
+		k.counterClose(coreID, t, uint64(t.sampler))
+	}
+}

@@ -1,0 +1,562 @@
+// Package kernel implements the simulated operating system: processes,
+// threads, a preemptive per-core scheduler with work stealing, futexes,
+// signals, and — central to the reproduced paper — three performance-
+// counter access paths:
+//
+//   - a perf_event-style syscall interface (the heavyweight baseline),
+//   - a sampling profiler driven by counter-overflow interrupts,
+//   - the LiMiT kernel patch: userspace rdpmc enablement, per-thread
+//     counter virtualization across context switches, overflow folding
+//     into 64-bit user-memory virtual counters, and the PC-rewind fixup
+//     that makes multi-instruction userspace read sequences atomic
+//     without locks.
+//
+// The kernel runs no simulated instructions of its own; its work is
+// modeled as cycle costs charged in the kernel privilege ring on the
+// core where it executes, so ring-filtered counters observe a realistic
+// user/kernel split.
+package kernel
+
+import (
+	"fmt"
+
+	"limitsim/internal/cpu"
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+	"limitsim/internal/trace"
+)
+
+// Costs fixes the cycle price of each kernel operation. Defaults are
+// calibrated so that a perf_event counter-read syscall costs roughly a
+// microsecond at the nominal 3 GHz while a LiMiT userspace read costs
+// low tens of nanoseconds, matching the one-to-two orders of magnitude
+// the paper reports.
+type Costs struct {
+	SyscallEntry uint64 // kernel-side trap entry
+	SyscallExit  uint64 // return to user
+	Simple       uint64 // trivial handlers (gettid, yield bookkeeping)
+	Futex        uint64 // futex wait/wake handler
+	Nanosleep    uint64
+	Sigaction    uint64
+
+	PerfOpen  uint64
+	PerfRead  uint64
+	PerfReset uint64
+	PerfClose uint64
+
+	LimitInit  uint64 // enable userspace rdpmc for the process
+	LimitOpen  uint64 // allocate and program a virtualized counter
+	LimitFixup uint64 // register a read-critical fixup region
+
+	Spawn uint64 // thread creation
+
+	CtxSwitchBase uint64 // scheduler + address-space switch
+	MSRRead       uint64 // per-counter save on deschedule
+	MSRWrite      uint64 // per-counter restore on schedule
+
+	SignalDeliver uint64
+	SigReturn     uint64
+
+	PMIHandler   uint64 // overflow interrupt entry/dispatch
+	OverflowFold uint64 // folding 2^31 into a virtual counter
+	SampleRecord uint64 // storing one PC sample
+
+	SampleStart uint64
+	SampleStop  uint64
+
+	// IOBase is the fixed part of a SysIO call; the variable part
+	// scales with the byte count.
+	IOBase uint64
+}
+
+// DefaultCosts returns the calibrated cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		SyscallEntry: 150,
+		SyscallExit:  150,
+		Simple:       100,
+		Futex:        500,
+		Nanosleep:    500,
+		Sigaction:    400,
+
+		PerfOpen:  6000,
+		PerfRead:  2600,
+		PerfReset: 800,
+		PerfClose: 500,
+
+		LimitInit:  4000,
+		LimitOpen:  5000,
+		LimitFixup: 800,
+
+		Spawn: 8000,
+
+		CtxSwitchBase: 900,
+		MSRRead:       60,
+		MSRWrite:      90,
+
+		SignalDeliver: 400,
+		SigReturn:     250,
+
+		PMIHandler:   450,
+		OverflowFold: 80,
+		SampleRecord: 300,
+
+		SampleStart: 3000,
+		SampleStop:  800,
+
+		IOBase: 2200,
+	}
+}
+
+// OverflowMode selects how the LiMiT patch folds counter overflows into
+// the 64-bit virtual counters.
+type OverflowMode uint8
+
+const (
+	// FoldInKernel: the PMI handler writes the user-memory virtual
+	// counter directly (the deployed LiMiT design).
+	FoldInKernel OverflowMode = iota
+	// SignalUser: the PMI handler posts SIGPMU and the userspace
+	// handler performs the fold (the alternative design the paper
+	// discusses; strictly slower, kept for the ablation benches).
+	SignalUser
+)
+
+// Config tunes the kernel.
+type Config struct {
+	// Quantum is the scheduler time slice in cycles.
+	Quantum uint64
+	// Costs prices kernel operations.
+	Costs Costs
+	// CtxSwitchPollutionLines is how many cache lines of kernel data a
+	// context switch drags through the core's caches.
+	CtxSwitchPollutionLines int
+	// MigrateOnWake places woken threads on the least-loaded core
+	// instead of their home core, producing cross-core migrations.
+	MigrateOnWake bool
+	// WorkStealing lets idle cores steal ready threads.
+	WorkStealing bool
+	// LimitOverflow selects the overflow folding mechanism.
+	LimitOverflow OverflowMode
+	// Seed drives the kernel's internal tie-breaking RNG.
+	Seed uint64
+}
+
+// DefaultConfig returns a configuration resembling a 2011 Linux desktop:
+// ~3 ms time slices at 3 GHz would be 9M cycles; we default to 300k
+// cycles (100 µs) so that short simulations still exercise preemption
+// heavily, as the paper's multi-threaded workloads do.
+func DefaultConfig() Config {
+	return Config{
+		Quantum:                 300_000,
+		Costs:                   DefaultCosts(),
+		CtxSwitchPollutionLines: 32,
+		MigrateOnWake:           true,
+		WorkStealing:            true,
+		LimitOverflow:           FoldInKernel,
+		Seed:                    1,
+	}
+}
+
+// ThreadState is a thread's scheduler state.
+type ThreadState uint8
+
+// Thread states.
+const (
+	StateReady ThreadState = iota
+	StateRunning
+	StateBlocked  // on a futex
+	StateSleeping // nanosleep
+	StateDone
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateSleeping:
+		return "sleeping"
+	case StateDone:
+		return "done"
+	}
+	return "state?"
+}
+
+// FixupRegion is a registered read-critical PC range [Start, End). A
+// thread interrupted with PC inside the range is rewound to Start.
+type FixupRegion struct {
+	Start int
+	End   int
+}
+
+// Contains reports whether pc is inside the region.
+func (r FixupRegion) Contains(pc int) bool { return pc >= r.Start && pc < r.End }
+
+// Process groups threads sharing an address space and a program.
+type Process struct {
+	ID   int
+	Mem  *mem.Space
+	Prog *isa.Program
+
+	// AllowRdPMC mirrors the CR4.PCE-like flag the LiMiT patch sets.
+	AllowRdPMC bool
+	// FixupRegions are the process's registered read-critical ranges.
+	FixupRegions []FixupRegion
+	// handlers maps signal number to handler entry PC.
+	handlers map[int]int
+}
+
+// Signal numbers.
+const (
+	// SIGPMU is delivered on counter overflow in SignalUser mode; the
+	// overflowed counter index arrives in R0's shadow (handler arg).
+	SIGPMU = 1
+	// SIGUSR1 is free for workload use.
+	SIGUSR1 = 2
+)
+
+type signal struct {
+	num int
+	arg uint64
+}
+
+// CounterKind distinguishes the three counter access paths.
+type CounterKind uint8
+
+// Counter kinds.
+const (
+	KindLimit CounterKind = iota
+	KindPerf
+	KindSample
+)
+
+func (k CounterKind) String() string {
+	switch k {
+	case KindLimit:
+		return "limit"
+	case KindPerf:
+		return "perf"
+	case KindSample:
+		return "sample"
+	}
+	return "kind?"
+}
+
+// ThreadCounter is one virtualized per-thread counter. Its index in the
+// owning thread's counter slice is also the hardware counter index used
+// while the thread runs.
+type ThreadCounter struct {
+	Kind        CounterKind
+	Event       pmu.Event
+	CountUser   bool
+	CountKernel bool
+
+	// Saved holds the hardware value while the thread is descheduled
+	// (LiMiT keeps the raw value; perf and sampling reload from zero).
+	Saved uint64
+	// Acc is the kernel-side 64-bit accumulator (perf only).
+	Acc uint64
+	// TableAddr is the user-memory virtual counter address (LiMiT only).
+	TableAddr uint64
+	// OverflowBit mirrors the PMU programming for this counter.
+	OverflowBit int
+	// Period and armed sampling state (sampling only).
+	Period uint64
+	// Closed counters keep their slot (hardware index stability) but
+	// are disabled.
+	Closed bool
+
+	// Overflows counts folds/sample interrupts taken on this counter.
+	Overflows uint64
+
+	// HWSlot is the hardware counter currently backing this counter,
+	// or -1 while unloaded. LiMiT and sampling counters are pinned
+	// (slot == index) because userspace rdpmc encodes the slot; perf
+	// counters float and are time-multiplexed when the thread has more
+	// of them than the PMU has slots.
+	HWSlot int
+	// WindowCycles and ActiveCycles track scheduled time since open vs
+	// time actually loaded on hardware (perf only); reads scale by
+	// Window/Active exactly as Linux's time_enabled/time_running
+	// multiplexing estimate does.
+	WindowCycles uint64
+	ActiveCycles uint64
+}
+
+// Multiplexed reports whether the counter has spent scheduled time
+// unloaded (its readings are scaled estimates).
+func (tc *ThreadCounter) Multiplexed() bool {
+	return tc.WindowCycles > tc.ActiveCycles
+}
+
+// ThreadStats accumulates per-thread scheduler statistics, including
+// the kernel's omniscient per-thread ground truth used by tests and
+// experiments to validate measured counter values.
+type ThreadStats struct {
+	CtxSwitches  uint64 // times descheduled
+	Preemptions  uint64 // involuntary deschedules
+	Migrations   uint64 // times resumed on a different core
+	FixupRewinds uint64 // PC rewinds applied by the LiMiT patch
+	Signals      uint64 // signals delivered
+	Syscalls     uint64
+
+	// UserInstructions and UserCycles are the thread's true user-ring
+	// totals (including re-executed fixup instructions, which real
+	// hardware also counts).
+	UserInstructions uint64
+	UserCycles       uint64
+}
+
+// Thread is one simulated software thread.
+type Thread struct {
+	ID   int
+	Name string
+	Proc *Process
+	Ctx  cpu.Context
+
+	State    ThreadState
+	HomeCore int
+	// ReadyAt is the earliest cycle the thread may next run (set when
+	// it is woken by an event that happened at a known time).
+	ReadyAt uint64
+	// WakeAt is the nanosleep deadline while sleeping.
+	WakeAt uint64
+
+	counters  []*ThreadCounter
+	sampler   int // index into counters of the active sampler, -1 if none
+	sigFrames []cpu.Context
+	pending   []signal
+	joiners   []*Thread // threads blocked in SysJoin on this thread
+
+	// hwSlots maps hardware slot -> counter index (-1 free) while the
+	// thread's counters are programmed; muxPos rotates floating perf
+	// counters across switch-ins; spanStartAt marks the current
+	// scheduled span for multiplexing bookkeeping.
+	hwSlots     []int
+	muxPos      int
+	spanStartAt uint64
+
+	// FaultMsg records why the thread died, if it faulted.
+	FaultMsg string
+
+	Stats ThreadStats
+}
+
+// Counters exposes the thread's counter table (read-only use intended;
+// experiments inspect Saved/Acc/Overflows).
+func (t *Thread) Counters() []*ThreadCounter { return t.counters }
+
+// Sample is one record captured by the sampling profiler.
+type Sample struct {
+	TID   int
+	PC    int
+	Cycle uint64
+}
+
+// LogEntry is a record emitted by the SysLogValue syscall.
+type LogEntry struct {
+	TID   int
+	Tag   uint64
+	Value uint64
+	Cycle uint64
+}
+
+// Stats accumulates kernel-wide statistics.
+type Stats struct {
+	CtxSwitches   uint64
+	Migrations    uint64
+	Preemptions   uint64
+	PMIs          uint64
+	OverflowFolds uint64
+	Steals        uint64
+	SignalsSent   uint64
+	Syscalls      uint64
+}
+
+// Kernel is the simulated OS instance managing a fixed set of cores.
+type Kernel struct {
+	cfg   Config
+	cores []*cpu.Core
+
+	procs   []*Process
+	threads []*Thread
+
+	cur        []*Thread   // per-core current thread
+	runq       [][]*Thread // per-core ready queues
+	quantumEnd []uint64    // per-core current slice deadline
+	lastProc   []int       // per-core last process ID (TLB flush decisions)
+
+	sleepers []*Thread // unsorted; scanned (small populations)
+	futexes  map[futexKey][]*Thread
+
+	samples []Sample
+	logs    []LogEntry
+	faults  []string
+
+	kernDataBase uint64 // fake kernel addresses for cache pollution
+	rng          uint64
+
+	// Tracer, when non-nil, records scheduling/syscall/interrupt
+	// events. Attach with SetTracer before running.
+	tracer *trace.Buffer
+
+	Stats Stats
+}
+
+type futexKey struct {
+	proc int
+	addr uint64
+}
+
+// New creates a kernel managing the given cores.
+func New(cfg Config, cores []*cpu.Core) *Kernel {
+	if len(cores) == 0 {
+		panic("kernel: need at least one core")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = DefaultConfig().Quantum
+	}
+	k := &Kernel{
+		cfg:          cfg,
+		cores:        cores,
+		cur:          make([]*Thread, len(cores)),
+		runq:         make([][]*Thread, len(cores)),
+		quantumEnd:   make([]uint64, len(cores)),
+		lastProc:     make([]int, len(cores)),
+		futexes:      make(map[futexKey][]*Thread),
+		kernDataBase: 0xffff_8000_0000_0000,
+		rng:          cfg.Seed ^ 0x8c0ffee0,
+	}
+	return k
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Cores returns the managed cores.
+func (k *Kernel) Cores() []*cpu.Core { return k.cores }
+
+// NewProcess creates a process around a program. space may be nil for
+// a fresh address space; passing one allows programs to embed
+// addresses that were allocated before assembly (counter tables,
+// result buffers, locks).
+func (k *Kernel) NewProcess(prog *isa.Program, space *mem.Space) *Process {
+	if space == nil {
+		space = mem.NewSpace()
+	}
+	p := &Process{
+		ID:       len(k.procs) + 1,
+		Mem:      space,
+		Prog:     prog,
+		handlers: make(map[int]int),
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Spawn creates a thread in proc starting at entry (an instruction
+// index, typically prog.MustEntry(label)) and enqueues it on the least-
+// loaded core. Initial register values may be supplied via regs (pairs
+// applied in order).
+func (k *Kernel) Spawn(proc *Process, name string, entry int, seed uint64) *Thread {
+	t := &Thread{
+		ID:      len(k.threads) + 1,
+		Name:    name,
+		Proc:    proc,
+		State:   StateReady,
+		sampler: -1,
+	}
+	t.Ctx.Prog = proc.Prog
+	t.Ctx.Mem = proc.Mem
+	t.Ctx.PC = entry
+	t.Ctx.AllowRdPMC = proc.AllowRdPMC
+	t.Ctx.SeedRNG(seed + uint64(t.ID)*0x9e3779b97f4a7c15)
+	core := k.leastLoadedCore()
+	t.HomeCore = core
+	k.threads = append(k.threads, t)
+	k.runq[core] = append(k.runq[core], t)
+	k.tr(core, t, trace.Spawn, uint64(entry))
+	return t
+}
+
+// SetReg sets an initial register value on a not-yet-run thread.
+func (t *Thread) SetReg(r isa.Reg, v uint64) { t.Ctx.Regs[r] = v }
+
+// Threads returns all threads ever spawned.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// Processes returns all processes.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// Samples returns the sampling profiler's capture buffer.
+func (k *Kernel) Samples() []Sample { return k.samples }
+
+// Logs returns entries recorded via SysLogValue.
+func (k *Kernel) Logs() []LogEntry { return k.logs }
+
+// Faults returns descriptions of threads killed by faults.
+func (k *Kernel) Faults() []string { return k.faults }
+
+// AllDone reports whether every spawned thread has terminated.
+func (k *Kernel) AllDone() bool {
+	for _, t := range k.threads {
+		if t.State != StateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// SetTracer attaches an event trace buffer (nil detaches).
+func (k *Kernel) SetTracer(b *trace.Buffer) { k.tracer = b }
+
+// Tracer returns the attached trace buffer, if any.
+func (k *Kernel) Tracer() *trace.Buffer { return k.tracer }
+
+// tr records a trace event when tracing is attached.
+func (k *Kernel) tr(coreID int, t *Thread, kind trace.Kind, arg uint64) {
+	if k.tracer == nil {
+		return
+	}
+	tid := 0
+	if t != nil {
+		tid = t.ID
+	}
+	k.tracer.Append(trace.Event{
+		Cycle: k.cores[coreID].Now, Core: coreID, TID: tid, Kind: kind, Arg: arg,
+	})
+}
+
+func (k *Kernel) rand() uint64 {
+	x := k.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	k.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (k *Kernel) leastLoadedCore() int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i := range k.cores {
+		load := len(k.runq[i])
+		if k.cur[i] != nil {
+			load++
+		}
+		if load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+func (k *Kernel) fault(t *Thread, msg string) {
+	t.FaultMsg = msg
+	t.State = StateDone
+	k.faults = append(k.faults, fmt.Sprintf("thread %d (%s): %s", t.ID, t.Name, msg))
+}

@@ -1,0 +1,451 @@
+package kernel
+
+import (
+	"limitsim/internal/cpu"
+	"limitsim/internal/pmu"
+	"limitsim/internal/trace"
+)
+
+// StepStatus reports what a StepCore call accomplished.
+type StepStatus uint8
+
+// Step statuses.
+const (
+	// StepRan: one instruction executed (possibly plus trap handling).
+	StepRan StepStatus = iota
+	// StepIdle: the core has nothing runnable now; NextActionTime gives
+	// the earliest cycle at which it might.
+	StepIdle
+)
+
+// NextActionTime returns the earliest cycle at which the core can do
+// useful work, and whether any such time exists. The machine loop uses
+// it to pick the causally-next core.
+func (k *Kernel) NextActionTime(coreID int) (uint64, bool) {
+	now := k.cores[coreID].Now
+	if k.cur[coreID] != nil {
+		return now, true
+	}
+	best, ok := uint64(0), false
+	for _, t := range k.runq[coreID] {
+		at := t.ReadyAt
+		if at < now {
+			at = now
+		}
+		if !ok || at < best {
+			best, ok = at, true
+		}
+	}
+	return best, ok
+}
+
+// NextSleeperWake returns the earliest nanosleep deadline, if any
+// thread is sleeping.
+func (k *Kernel) NextSleeperWake() (uint64, bool) {
+	best, ok := uint64(0), false
+	for _, t := range k.sleepers {
+		if !ok || t.WakeAt < best {
+			best, ok = t.WakeAt, true
+		}
+	}
+	return best, ok
+}
+
+// WakeSleepersUpTo moves every sleeper whose deadline is ≤ cycle onto a
+// run queue.
+func (k *Kernel) WakeSleepersUpTo(cycle uint64) {
+	kept := k.sleepers[:0]
+	for _, t := range k.sleepers {
+		if t.WakeAt <= cycle {
+			t.State = StateReady
+			t.ReadyAt = t.WakeAt
+			k.enqueue(t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	k.sleepers = kept
+}
+
+// enqueue places a ready thread on a core's run queue according to the
+// migration policy.
+func (k *Kernel) enqueue(t *Thread) {
+	core := t.HomeCore
+	if k.cfg.MigrateOnWake {
+		core = k.leastLoadedCore()
+	}
+	k.runq[core] = append(k.runq[core], t)
+}
+
+// StepCore advances core coreID by one instruction (scheduling first if
+// needed) and handles any resulting trap, interrupt, or signal. It is
+// the kernel's single entry point for the machine loop.
+func (k *Kernel) StepCore(coreID int) StepStatus {
+	core := k.cores[coreID]
+
+	// Timer: preempt an expired quantum when others are waiting.
+	if t := k.cur[coreID]; t != nil && core.Now >= k.quantumEnd[coreID] && len(k.runq[coreID]) > 0 {
+		k.preempt(coreID)
+	}
+
+	if k.cur[coreID] == nil {
+		if !k.schedule(coreID) {
+			return StepIdle
+		}
+	}
+
+	t := k.cur[coreID]
+	res := core.Step(&t.Ctx)
+	t.Stats.UserInstructions += res.Instrs
+	t.Stats.UserCycles += res.Cycles
+
+	// Overflow interrupts land at the instruction boundary, before any
+	// trap handling — exactly where they can tear a LiMiT read.
+	if mask := core.PMU.TakePendingOverflows(); mask != 0 {
+		k.handlePMI(coreID, mask)
+	}
+
+	switch res.Trap {
+	case cpu.TrapNone:
+		// fall through to signal delivery
+	case cpu.TrapSyscall:
+		k.syscall(coreID, t, res.SyscallNum)
+	case cpu.TrapSigReturn:
+		k.sigReturn(coreID, t)
+	case cpu.TrapHalt:
+		// Deschedule first so counter state is virtualized; final
+		// LiMiT/perf values survive in the thread's counter table.
+		k.deschedule(coreID, t)
+		t.State = StateDone
+		k.tr(coreID, t, trace.Exit, 0)
+		k.wakeJoiners(t, core.Now)
+	case cpu.TrapFault:
+		k.deschedule(coreID, t)
+		k.fault(t, res.Fault)
+		k.tr(coreID, t, trace.Fault, 0)
+		k.wakeJoiners(t, core.Now)
+	}
+
+	// Deliver pending signals on the way back to user.
+	if ct := k.cur[coreID]; ct != nil && len(ct.pending) > 0 {
+		k.deliverSignals(coreID, ct)
+	}
+	return StepRan
+}
+
+// schedule installs the next runnable thread on the core. Returns false
+// if nothing can run yet. It may steal from other cores when work
+// stealing is enabled and advances the core clock to the thread's
+// ReadyAt when the thread was woken in this core's future.
+func (k *Kernel) schedule(coreID int) bool {
+	core := k.cores[coreID]
+	q := k.runq[coreID]
+	pick := -1
+	for i, t := range q {
+		if t.ReadyAt <= core.Now {
+			pick = i
+			break
+		}
+	}
+	if pick == -1 && k.cfg.WorkStealing {
+		if victim, vi := k.stealVictim(coreID); victim != nil {
+			k.runq[vi] = append(k.runq[vi][:victim.qIdx], k.runq[vi][victim.qIdx+1:]...)
+			q = append(q, victim.t)
+			k.runq[coreID] = q
+			pick = len(q) - 1
+			k.Stats.Steals++
+		}
+	}
+	if pick == -1 {
+		// Nothing immediately runnable: run the earliest future-ready
+		// thread, idling the core until then.
+		var bestAt uint64
+		for i, t := range q {
+			if pick == -1 || t.ReadyAt < bestAt {
+				pick, bestAt = i, t.ReadyAt
+			}
+		}
+		if pick == -1 {
+			return false
+		}
+		if bestAt > core.Now {
+			core.Now = bestAt
+		}
+	}
+	next := q[pick]
+	k.runq[coreID] = append(q[:pick], q[pick+1:]...)
+	k.switchTo(coreID, next)
+	return true
+}
+
+type stolen struct {
+	t    *Thread
+	qIdx int
+}
+
+// stealVictim finds an immediately-runnable thread on the most loaded
+// other core. An idle core steals even a lone waiting thread — sitting
+// idle is never better.
+func (k *Kernel) stealVictim(thief int) (*stolen, int) {
+	now := k.cores[thief].Now
+	bestCore, bestLen := -1, 0
+	for i := range k.cores {
+		if i == thief {
+			continue
+		}
+		if len(k.runq[i]) > bestLen {
+			bestCore, bestLen = i, len(k.runq[i])
+		}
+	}
+	if bestCore == -1 {
+		return nil, 0
+	}
+	for j := len(k.runq[bestCore]) - 1; j >= 0; j-- {
+		if t := k.runq[bestCore][j]; t.ReadyAt <= now {
+			return &stolen{t: t, qIdx: j}, bestCore
+		}
+	}
+	return nil, 0
+}
+
+// preempt deschedules the current thread at end of quantum.
+func (k *Kernel) preempt(coreID int) {
+	t := k.cur[coreID]
+	t.Stats.Preemptions++
+	k.Stats.Preemptions++
+	k.deschedule(coreID, t)
+	t.State = StateReady
+	t.ReadyAt = k.cores[coreID].Now
+	k.runq[coreID] = append(k.runq[coreID], t)
+}
+
+// deschedule saves thread state, applies the LiMiT fixup, and charges
+// the switch-out half of the context switch cost.
+func (k *Kernel) deschedule(coreID int, t *Thread) {
+	core := k.cores[coreID]
+	// Drain overflow interrupts that are still pending so they are
+	// serviced for their rightful owner; left alone, they would be
+	// consumed after the switch and misattributed to the next thread.
+	if mask := core.PMU.TakePendingOverflows(); mask != 0 {
+		k.pmiFor(coreID, t, mask)
+	}
+	k.applyFixup(t)
+	k.saveCounters(core, t)
+	k.tr(coreID, t, trace.SwitchOut, 0)
+	t.Stats.CtxSwitches++
+	k.Stats.CtxSwitches++
+	core.PMU.AddEvent(pmu.RingKernel, pmu.EvCtxSwitches, 1)
+	k.cur[coreID] = nil
+}
+
+// switchTo completes a context switch onto next.
+func (k *Kernel) switchTo(coreID int, next *Thread) {
+	core := k.cores[coreID]
+	c := k.cfg.Costs
+	core.KernelWork(c.CtxSwitchBase)
+	if n := k.cfg.CtxSwitchPollutionLines; n > 0 {
+		k.kernDataBase += 64 // touch a sliding kernel region
+		core.KernelCachePollution(k.kernDataBase, n)
+	}
+	if next.HomeCore != coreID {
+		next.Stats.Migrations++
+		k.Stats.Migrations++
+		next.HomeCore = coreID
+	}
+	// Switching address spaces flushes the untagged TLB.
+	if k.lastProc[coreID] != next.Proc.ID {
+		core.TLB.FlushAll()
+		k.lastProc[coreID] = next.Proc.ID
+	}
+	k.restoreCounters(core, next)
+	next.State = StateRunning
+	next.Ctx.AllowRdPMC = next.Proc.AllowRdPMC
+	k.tr(coreID, next, trace.SwitchIn, 0)
+	k.cur[coreID] = next
+	k.quantumEnd[coreID] = core.Now + k.cfg.Quantum
+}
+
+// applyFixup implements the LiMiT kernel patch's atomicity guarantee:
+// if the thread is stopped inside a registered read-critical region,
+// rewind its PC to the region start so the read sequence re-executes
+// from scratch when the thread resumes.
+func (k *Kernel) applyFixup(t *Thread) {
+	for _, r := range t.Proc.FixupRegions {
+		if r.Contains(t.Ctx.PC) {
+			t.Ctx.PC = r.Start
+			t.Stats.FixupRewinds++
+			return
+		}
+	}
+}
+
+// ensureSlots lazily sizes the thread's slot map to the core's PMU.
+func ensureSlots(core *cpu.Core, t *Thread) {
+	if t.hwSlots == nil {
+		t.hwSlots = make([]int, core.PMU.NumCounters())
+		for i := range t.hwSlots {
+			t.hwSlots[i] = -1
+		}
+	}
+}
+
+// spanEnd closes the thread's current scheduled span for multiplexing
+// bookkeeping: every open perf counter accrues window time, loaded
+// ones accrue active time.
+func spanEnd(core *cpu.Core, t *Thread) {
+	span := core.Now - t.spanStartAt
+	if span == 0 {
+		return
+	}
+	for _, tc := range t.counters {
+		if tc.Closed || tc.Kind != KindPerf {
+			continue
+		}
+		tc.WindowCycles += span
+		if tc.HWSlot >= 0 {
+			tc.ActiveCycles += span
+		}
+	}
+	t.spanStartAt = core.Now
+}
+
+// saveCounters virtualizes the thread's counters on deschedule. With
+// hardware virtualization (enhancement e3) the save is free; otherwise
+// each counter costs an MSR read, plus a write for counters that must
+// be stopped.
+func (k *Kernel) saveCounters(core *cpu.Core, t *Thread) {
+	if len(t.counters) == 0 {
+		return
+	}
+	ensureSlots(core, t)
+	spanEnd(core, t)
+	hwVirt := core.PMU.Features().HardwareVirtualization
+	writeLimit := core.PMU.WriteLimit()
+	for slot, ci := range t.hwSlots {
+		if ci < 0 {
+			continue
+		}
+		tc := t.counters[ci]
+		v := core.PMU.Read(slot)
+		if !hwVirt {
+			core.KernelWork(k.cfg.Costs.MSRRead)
+		}
+		switch tc.Kind {
+		case KindLimit:
+			// The hardware value must stay below the write limit so it
+			// can be restored later; fold any excess now (this happens
+			// when the overflow interrupt was pending at switch time).
+			for v >= writeLimit && writeLimit != ^uint64(0) {
+				t.Proc.Mem.Add64(tc.TableAddr, writeLimit)
+				v -= writeLimit
+				tc.Overflows++
+				k.Stats.OverflowFolds++
+				core.KernelWork(k.cfg.Costs.OverflowFold)
+			}
+			tc.Saved = v
+		case KindPerf:
+			tc.Acc += v
+			tc.Saved = 0
+		case KindSample:
+			tc.Saved = v
+		}
+		// Disable the hardware counter so the next thread's events
+		// don't leak in before restore programs it.
+		core.PMU.Configure(slot, pmu.CounterConfig{Enabled: false, OverflowBit: -1})
+		if !hwVirt {
+			core.KernelWork(k.cfg.Costs.MSRWrite)
+		}
+		tc.HWSlot = -1
+		t.hwSlots[slot] = -1
+	}
+}
+
+// programSlot loads counter ci into hardware slot.
+func (k *Kernel) programSlot(core *cpu.Core, t *Thread, slot, ci int) {
+	tc := t.counters[ci]
+	core.PMU.Configure(slot, pmu.CounterConfig{
+		Event:       tc.Event,
+		CountUser:   tc.CountUser,
+		CountKernel: tc.CountKernel,
+		Enabled:     true,
+		OverflowBit: tc.OverflowBit,
+	})
+	core.PMU.Write(slot, tc.Saved)
+	if !core.PMU.Features().HardwareVirtualization {
+		core.KernelWork(k.cfg.Costs.MSRWrite * 2) // evtsel + value
+	}
+	tc.HWSlot = slot
+	t.hwSlots[slot] = ci
+}
+
+// restoreCounters programs the core's PMU for the incoming thread.
+// LiMiT and sampling counters are pinned to their own indices;
+// floating perf counters fill the remaining slots, rotated each
+// switch-in so that over-subscribed sets time-multiplex.
+func (k *Kernel) restoreCounters(core *cpu.Core, t *Thread) {
+	ensureSlots(core, t)
+	n := core.PMU.NumCounters()
+	for slot := 0; slot < n; slot++ {
+		t.hwSlots[slot] = -1
+	}
+
+	var floaters []int
+	for ci, tc := range t.counters {
+		if tc.Closed {
+			tc.HWSlot = -1
+			continue
+		}
+		if tc.Kind == KindPerf {
+			tc.HWSlot = -1
+			floaters = append(floaters, ci)
+			continue
+		}
+		t.hwSlots[ci] = ci // pinned
+	}
+
+	if len(floaters) > 0 {
+		rot := t.muxPos % len(floaters)
+		t.muxPos++
+		picked := 0
+		for slot := 0; slot < n && picked < len(floaters); slot++ {
+			if t.hwSlots[slot] != -1 {
+				continue
+			}
+			t.hwSlots[slot] = floaters[(rot+picked)%len(floaters)]
+			picked++
+		}
+	}
+
+	for slot := 0; slot < n; slot++ {
+		if ci := t.hwSlots[slot]; ci >= 0 {
+			k.programSlot(core, t, slot, ci)
+		} else {
+			core.PMU.Configure(slot, pmu.CounterConfig{Enabled: false, OverflowBit: -1})
+		}
+	}
+	t.spanStartAt = core.Now
+}
+
+// block removes the current thread from its core with the given state;
+// the caller records it wherever it waits.
+func (k *Kernel) block(coreID int, t *Thread, st ThreadState) {
+	k.deschedule(coreID, t)
+	t.State = st
+}
+
+// wake makes a blocked/sleeping thread runnable no earlier than cycle
+// at.
+func (k *Kernel) wake(t *Thread, at uint64) {
+	t.State = StateReady
+	t.ReadyAt = at
+	k.enqueue(t)
+	k.tr(t.HomeCore, t, trace.Wake, at)
+}
+
+// wakeJoiners releases every thread blocked in SysJoin on t.
+func (k *Kernel) wakeJoiners(t *Thread, at uint64) {
+	for _, j := range t.joiners {
+		k.wake(j, at)
+	}
+	t.joiners = nil
+}

@@ -1,0 +1,253 @@
+package kernel
+
+import (
+	"limitsim/internal/isa"
+	"limitsim/internal/trace"
+)
+
+// Syscall numbers. Arguments travel in R0..R3, the result in R0.
+const (
+	// SysYield voluntarily ends the time slice.
+	SysYield int64 = iota
+	// SysGetTID returns the thread ID.
+	SysGetTID
+	// SysLogValue records (tag=R0, value=R1) in the kernel log for
+	// host-side inspection.
+	SysLogValue
+	// SysNanosleep blocks for R0 cycles.
+	SysNanosleep
+	// SysFutexWait blocks while mem64[R0] == R1; returns 0 when woken,
+	// 1 when the value already differed.
+	SysFutexWait
+	// SysFutexWake wakes up to R1 waiters on mem64[R0]; returns the
+	// count woken.
+	SysFutexWake
+	// SysSigaction installs handler PC R1 for signal R0 (process-wide).
+	SysSigaction
+
+	// SysPerfOpen allocates a perf-style counter for event R0 with ring
+	// flags R1 (bit0 user, bit1 kernel); returns the fd or ^0.
+	SysPerfOpen
+	// SysPerfRead returns the 64-bit virtualized value of counter fd R0.
+	SysPerfRead
+	// SysPerfReset zeroes counter fd R0.
+	SysPerfReset
+	// SysPerfClose releases counter fd R0.
+	SysPerfClose
+
+	// SysLimitInit enables userspace rdpmc for the calling process (the
+	// LiMiT kernel patch's CR4.PCE bit).
+	SysLimitInit
+	// SysLimitOpen allocates a LiMiT counter for event R0 with ring
+	// flags R1, using the user-memory 64-bit virtual counter at address
+	// R2; returns the hardware counter index or ^0.
+	SysLimitOpen
+	// SysLimitRegisterFixup registers the read-critical PC range
+	// [R0, R1) for the calling process.
+	SysLimitRegisterFixup
+	// SysLimitClose releases LiMiT counter index R0.
+	SysLimitClose
+
+	// SysIO performs a modeled blocking I/O write of R0 bytes: a
+	// kernel-heavy operation (copy + device queueing) whose cost scales
+	// with the byte count. Returns the byte count. Workload models use
+	// it for socket/file traffic (the Apache case study's dominant
+	// kernel time).
+	SysIO
+
+	// SysSpawn creates a new thread in the calling process starting at
+	// entry PC R0, with tls.SlotReg-convention register R14 set to R1
+	// and RNG seeded from R2. Returns the new thread's ID.
+	SysSpawn
+	// SysJoin blocks until thread R0 terminates; returns 0, or ^0 for
+	// an unknown thread ID.
+	SysJoin
+
+	// SysSampleStart begins sampled profiling of event R0 with period
+	// R1 on the calling thread; returns the counter index or ^0.
+	SysSampleStart
+	// SysSampleStop ends sampled profiling.
+	SysSampleStop
+
+	numSyscalls
+)
+
+const errRet = ^uint64(0)
+
+// syscall dispatches a trap. The calling thread is current on coreID
+// and its PC already points past the syscall instruction.
+func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
+	core := k.cores[coreID]
+	c := k.cfg.Costs
+	core.KernelWork(c.SyscallEntry)
+	t.Stats.Syscalls++
+	k.Stats.Syscalls++
+	k.tr(coreID, t, trace.Syscall, uint64(num))
+
+	regs := &t.Ctx.Regs
+	switch num {
+	case SysYield:
+		core.KernelWork(c.Simple)
+		k.deschedule(coreID, t)
+		t.State = StateReady
+		t.ReadyAt = core.Now
+		k.runq[coreID] = append(k.runq[coreID], t)
+
+	case SysGetTID:
+		core.KernelWork(c.Simple)
+		regs[isa.R0] = uint64(t.ID)
+
+	case SysLogValue:
+		core.KernelWork(c.Simple)
+		k.logs = append(k.logs, LogEntry{
+			TID: t.ID, Tag: regs[isa.R0], Value: regs[isa.R1], Cycle: core.Now,
+		})
+
+	case SysNanosleep:
+		core.KernelWork(c.Nanosleep)
+		dur := regs[isa.R0]
+		k.block(coreID, t, StateSleeping)
+		t.WakeAt = core.Now + dur
+		k.sleepers = append(k.sleepers, t)
+
+	case SysFutexWait:
+		core.KernelWork(c.Futex)
+		addr, expected := regs[isa.R0], regs[isa.R1]
+		if t.Proc.Mem.Read64(addr) != expected {
+			regs[isa.R0] = 1
+			break
+		}
+		key := futexKey{proc: t.Proc.ID, addr: addr}
+		k.block(coreID, t, StateBlocked)
+		k.futexes[key] = append(k.futexes[key], t)
+
+	case SysFutexWake:
+		core.KernelWork(c.Futex)
+		addr, maxWake := regs[isa.R0], regs[isa.R1]
+		key := futexKey{proc: t.Proc.ID, addr: addr}
+		waiters := k.futexes[key]
+		n := uint64(0)
+		for n < maxWake && len(waiters) > 0 {
+			w := waiters[0]
+			waiters = waiters[1:]
+			k.wake(w, core.Now)
+			n++
+		}
+		if len(waiters) == 0 {
+			delete(k.futexes, key)
+		} else {
+			k.futexes[key] = waiters
+		}
+		regs[isa.R0] = n
+
+	case SysSigaction:
+		core.KernelWork(c.Sigaction)
+		t.Proc.handlers[int(regs[isa.R0])] = int(regs[isa.R1])
+
+	case SysPerfOpen:
+		core.KernelWork(c.PerfOpen)
+		regs[isa.R0] = k.perfOpen(coreID, t, regs[isa.R0], regs[isa.R1])
+	case SysPerfRead:
+		core.KernelWork(c.PerfRead)
+		regs[isa.R0] = k.perfRead(coreID, t, regs[isa.R0])
+	case SysPerfReset:
+		core.KernelWork(c.PerfReset)
+		k.perfReset(coreID, t, regs[isa.R0])
+	case SysPerfClose:
+		core.KernelWork(c.PerfClose)
+		k.counterClose(coreID, t, regs[isa.R0])
+
+	case SysLimitInit:
+		core.KernelWork(c.LimitInit)
+		t.Proc.AllowRdPMC = true
+		t.Ctx.AllowRdPMC = true
+	case SysLimitOpen:
+		core.KernelWork(c.LimitOpen)
+		regs[isa.R0] = k.limitOpen(coreID, t, regs[isa.R0], regs[isa.R1], regs[isa.R2])
+	case SysLimitRegisterFixup:
+		core.KernelWork(c.LimitFixup)
+		t.Proc.FixupRegions = append(t.Proc.FixupRegions, FixupRegion{
+			Start: int(regs[isa.R0]), End: int(regs[isa.R1]),
+		})
+	case SysLimitClose:
+		core.KernelWork(c.Simple)
+		k.counterClose(coreID, t, regs[isa.R0])
+
+	case SysIO:
+		bytes := regs[isa.R0]
+		if bytes > 1<<20 {
+			bytes = 1 << 20
+		}
+		core.KernelWork(c.IOBase + bytes/16)
+		k.kernDataBase += 64
+		core.KernelCachePollution(k.kernDataBase, int(bytes/256)+4)
+
+	case SysSpawn:
+		core.KernelWork(c.Spawn)
+		entry := int(regs[isa.R0])
+		if entry < 0 || entry >= t.Proc.Prog.Len() {
+			regs[isa.R0] = errRet
+			break
+		}
+		nt := k.Spawn(t.Proc, t.Name+"+", entry, regs[isa.R2])
+		nt.Ctx.Regs[isa.R14] = regs[isa.R1]
+		nt.ReadyAt = core.Now
+		regs[isa.R0] = uint64(nt.ID)
+
+	case SysJoin:
+		core.KernelWork(c.Simple)
+		tid := regs[isa.R0]
+		if tid == 0 || tid > uint64(len(k.threads)) {
+			regs[isa.R0] = errRet
+			break
+		}
+		target := k.threads[tid-1]
+		if target == t {
+			regs[isa.R0] = errRet // self-join would deadlock
+			break
+		}
+		if target.State == StateDone {
+			regs[isa.R0] = 0
+			break
+		}
+		k.block(coreID, t, StateBlocked)
+		target.joiners = append(target.joiners, t)
+		regs[isa.R0] = 0
+
+	case SysSampleStart:
+		core.KernelWork(c.SampleStart)
+		regs[isa.R0] = k.sampleStart(coreID, t, regs[isa.R0], regs[isa.R1])
+	case SysSampleStop:
+		core.KernelWork(c.SampleStop)
+		k.sampleStop(coreID, t)
+
+	default:
+		k.fault(t, "unknown syscall "+itoa(num))
+		k.cur[coreID] = nil
+		return
+	}
+
+	core.KernelWork(c.SyscallExit)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [24]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,191 @@
+// Package machine assembles simulated cores and the kernel into a
+// runnable multicore system and drives the discrete-event execution
+// loop. The loop always steps the core with the smallest local clock
+// among those with runnable work, which preserves causality for
+// cross-core interactions (futex wakes, shared-memory updates) without
+// any host-level concurrency — every run is bit-deterministic for a
+// given seed.
+package machine
+
+import (
+	"fmt"
+
+	"limitsim/internal/cpu"
+	"limitsim/internal/kernel"
+	"limitsim/internal/pmu"
+)
+
+// CyclesPerNanosecond is the nominal clock rate used to convert
+// simulated cycles to wall-clock time in reports (3 GHz).
+const CyclesPerNanosecond = 3.0
+
+// NsFromCycles converts simulated cycles to nanoseconds at the nominal
+// clock.
+func NsFromCycles(c uint64) float64 { return float64(c) / CyclesPerNanosecond }
+
+// Config describes a machine.
+type Config struct {
+	// NumCores is the core count (default 4).
+	NumCores int
+	// PMU selects the per-core PMU feature set (default
+	// pmu.DefaultFeatures: 4×48-bit counters, 31-bit writes).
+	PMU pmu.Features
+	// Kernel tunes the simulated OS (default kernel.DefaultConfig).
+	Kernel kernel.Config
+}
+
+// DefaultConfig returns a 4-core machine with stock-2011 PMU features.
+func DefaultConfig() Config {
+	return Config{
+		NumCores: 4,
+		PMU:      pmu.DefaultFeatures(),
+		Kernel:   kernel.DefaultConfig(),
+	}
+}
+
+// Machine is a simulated multicore system.
+type Machine struct {
+	Cores []*cpu.Core
+	Kern  *kernel.Kernel
+}
+
+// New builds a machine from cfg, applying defaults for zero fields.
+func New(cfg Config) *Machine {
+	if cfg.NumCores <= 0 {
+		cfg.NumCores = 4
+	}
+	if cfg.PMU.NumCounters == 0 {
+		cfg.PMU = pmu.DefaultFeatures()
+	}
+	if cfg.Kernel.Quantum == 0 {
+		cfg.Kernel = kernel.DefaultConfig()
+	}
+	cores := make([]*cpu.Core, cfg.NumCores)
+	for i := range cores {
+		cores[i] = cpu.NewCore(i, cfg.PMU)
+	}
+	return &Machine{Cores: cores, Kern: kernel.New(cfg.Kernel, cores)}
+}
+
+// RunLimits bounds a Run call. Zero fields mean "unbounded".
+type RunLimits struct {
+	// MaxCycles stops the run once every core clock is at or beyond
+	// this cycle.
+	MaxCycles uint64
+	// MaxSteps stops after this many executed instructions (a runaway
+	// guard for tests).
+	MaxSteps uint64
+}
+
+// RunResult summarizes a Run.
+type RunResult struct {
+	// Cycles is the final maximum core clock.
+	Cycles uint64
+	// Steps is the number of StepCore calls that executed work.
+	Steps uint64
+	// AllDone reports whether every thread terminated.
+	AllDone bool
+	// Deadlocked reports that threads remained but none could ever run
+	// (blocked forever).
+	Deadlocked bool
+	// Faults carries descriptions of faulted threads.
+	Faults []string
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("cycles=%d steps=%d done=%v deadlock=%v faults=%d",
+		r.Cycles, r.Steps, r.AllDone, r.Deadlocked, len(r.Faults))
+}
+
+// Run executes until all threads finish, a limit is hit, or the system
+// deadlocks.
+func (m *Machine) Run(limits RunLimits) RunResult {
+	var res RunResult
+	for {
+		if m.Kern.AllDone() {
+			res.AllDone = true
+			break
+		}
+		if limits.MaxSteps > 0 && res.Steps >= limits.MaxSteps {
+			break
+		}
+
+		// Pick the causally-next core: smallest next-action time.
+		best, bestT := -1, uint64(0)
+		for i := range m.Cores {
+			if at, ok := m.Kern.NextActionTime(i); ok {
+				if best == -1 || at < bestT {
+					best, bestT = i, at
+				}
+			}
+		}
+
+		if best == -1 {
+			// No core has runnable work; jump to the next sleeper wake.
+			wakeAt, ok := m.Kern.NextSleeperWake()
+			if !ok {
+				res.Deadlocked = true
+				break
+			}
+			if limits.MaxCycles > 0 && wakeAt >= limits.MaxCycles {
+				break
+			}
+			m.Kern.WakeSleepersUpTo(wakeAt)
+			continue
+		}
+
+		if limits.MaxCycles > 0 && bestT >= limits.MaxCycles {
+			break
+		}
+
+		// Wake any sleepers whose deadline the chosen core has reached,
+		// so they compete for cores at the right time.
+		m.Kern.WakeSleepersUpTo(bestT)
+
+		if m.Kern.StepCore(best) == kernel.StepRan {
+			res.Steps++
+		}
+	}
+
+	for _, c := range m.Cores {
+		if c.Now > res.Cycles {
+			res.Cycles = c.Now
+		}
+	}
+	res.Faults = m.Kern.Faults()
+	return res
+}
+
+// MustRun is Run but panics if any thread faulted or the system
+// deadlocked — the common harness case where either indicates a bug in
+// a generated program.
+func (m *Machine) MustRun(limits RunLimits) RunResult {
+	res := m.Run(limits)
+	if len(res.Faults) > 0 {
+		panic(fmt.Sprintf("machine: faults: %v", res.Faults))
+	}
+	if res.Deadlocked {
+		panic("machine: deadlock")
+	}
+	return res
+}
+
+// TotalGroundTruth sums an event's omniscient count over all cores and
+// both rings.
+func (m *Machine) TotalGroundTruth(ev pmu.Event) uint64 {
+	var sum uint64
+	for _, c := range m.Cores {
+		sum += c.PMU.GroundTruthTotal(ev)
+	}
+	return sum
+}
+
+// GroundTruthRing sums an event's omniscient count over all cores for
+// one ring.
+func (m *Machine) GroundTruthRing(ev pmu.Event, ring pmu.Ring) uint64 {
+	var sum uint64
+	for _, c := range m.Cores {
+		sum += c.PMU.GroundTruth(ev, ring)
+	}
+	return sum
+}

@@ -1,0 +1,249 @@
+package machine_test
+
+import (
+	"testing"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+)
+
+// regionProgram builds a program whose single thread measures `iters`
+// regions of exactly `K` compute instructions each with a LiMiT
+// instruction counter and stores every measured delta into a result
+// buffer. Returns the program and the buffer base.
+func regionProgram(t *testing.T, space *mem.Space, mode limit.Mode, k, iters int64, noFixup bool) (*isa.Program, uint64) {
+	t.Helper()
+	table := limit.AllocTable(space, 1)
+	buf := space.AllocWords(uint64(iters))
+
+	b := isa.NewBuilder()
+	e := limit.NewEmitter(b, mode, table)
+	if noFixup {
+		e.DisableFixupRegistration()
+	}
+	ctr := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+
+	e.EmitInit()
+	b.MovImm(isa.R8, 0)           // i
+	b.MovImm(isa.R9, iters)       // limit
+	b.MovImm(isa.R10, int64(buf)) // out pointer
+	b.Label("loop")
+	e.EmitMeasureStart(isa.R4, isa.R5, ctr)
+	b.Compute(k)
+	e.EmitMeasureEnd(isa.R6, isa.R4, isa.R5, ctr)
+	b.Store(isa.R10, 0, isa.R6)
+	b.AddImm(isa.R10, isa.R10, 8)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	b.Halt()
+	e.EmitFinish()
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog, buf
+}
+
+// Instructions counted between the start-read rdpmc's *read* and the
+// end-read rdpmc's *read*: the start rdpmc's own retirement (counters
+// advance after the value is sampled, as on real hardware) plus the
+// movimm+load+add tail of the start sequence — 4 in total — plus the K
+// compute instructions of the region body.
+const stockReadTailInstrs = 4
+
+func TestPreciseRegionMeasurementSingleThread(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	const k, iters = 10_000, 50
+	prog, buf := regionProgram(t, space, limit.ModeStock, k, iters, false)
+	proc := m.Kern.NewProcess(prog, space)
+	m.Kern.Spawn(proc, "worker", 0, 42)
+
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if !res.AllDone {
+		t.Fatalf("run did not finish: %v", res)
+	}
+	if len(res.Faults) > 0 {
+		t.Fatalf("faults: %v", res.Faults)
+	}
+
+	// With one thread on one core nothing can interrupt the read
+	// sequences, so every measurement must be bit-exact.
+	want := uint64(k + stockReadTailInstrs)
+	for i, got := range space.ReadWords(buf, iters) {
+		if got != want {
+			t.Fatalf("measurement %d: got %d, want exactly %d", i, got, want)
+		}
+	}
+}
+
+func TestPreciseRegionMeasurementUnderHeavyPreemption(t *testing.T) {
+	// Two compute-bound threads on one core with a minuscule quantum:
+	// context switches land inside read sequences regularly. The LiMiT
+	// fixup must keep every measurement exact-or-over (re-executed
+	// end-read instructions can only add), never torn.
+	kcfg := kernel.DefaultConfig()
+	kcfg.Quantum = 500
+	m := machine.New(machine.Config{NumCores: 1, Kernel: kcfg})
+	space := mem.NewSpace()
+	const k, iters = 2_000, 200
+	prog, buf := regionProgram(t, space, limit.ModeStock, k, iters, false)
+	proc := m.Kern.NewProcess(prog, space)
+	t1 := m.Kern.Spawn(proc, "w1", 0, 1)
+
+	// Competing process to force preemption.
+	b2 := isa.NewBuilder()
+	b2.MovImm(isa.R1, 0)
+	b2.MovImm(isa.R2, 400_000)
+	b2.Label("l")
+	b2.Compute(100)
+	b2.AddImm(isa.R1, isa.R1, 100)
+	b2.Br(isa.CondLT, isa.R1, isa.R2, "l")
+	b2.Halt()
+	proc2 := m.Kern.NewProcess(b2.MustBuild(), nil)
+	m.Kern.Spawn(proc2, "spoiler", 0, 2)
+
+	res := m.Run(machine.RunLimits{MaxSteps: 50_000_000})
+	if !res.AllDone || len(res.Faults) > 0 {
+		t.Fatalf("run failed: %v", res)
+	}
+	if t1.Stats.Preemptions == 0 {
+		t.Fatalf("expected preemptions with quantum=500, got none")
+	}
+
+	want := uint64(k + stockReadTailInstrs)
+	over := 0
+	for i, got := range space.ReadWords(buf, iters) {
+		if got < want {
+			t.Fatalf("measurement %d torn low: got %d, want >= %d", i, got, want)
+		}
+		// A rewound end-read can add at most a few replays of the
+		// 4-instruction sequence; anything larger indicates tearing.
+		if got > want+64 {
+			t.Fatalf("measurement %d torn high: got %d, want <= %d", i, got, want+64)
+		}
+		if got > want {
+			over++
+		}
+	}
+	t.Logf("preemptions=%d fixups=%d over-measurements=%d/%d",
+		t1.Stats.Preemptions, t1.Stats.FixupRewinds, over, iters)
+}
+
+func TestTornReadsWithoutFixup(t *testing.T) {
+	// Ablation: frequent overflow folds (tiny write width) with fixup
+	// registration disabled must produce torn measurements; with it
+	// enabled, none. This is the paper's core correctness claim.
+	// Tiny write width => fold every 512 events; short regions => the
+	// read sequence is a large fraction of each region, so folds land
+	// inside read sequences often. Everything is deterministic, so the
+	// ablation either tears or it doesn't — no flakiness.
+	feats := pmu.DefaultFeatures()
+	feats.WriteWidth = 9
+	run := func(noFixup bool) (torn int, rewinds uint64) {
+		m := machine.New(machine.Config{NumCores: 1, PMU: feats})
+		space := mem.NewSpace()
+		const k, iters = 20, 2_000
+		prog, buf := regionProgram(t, space, limit.ModeStock, k, iters, noFixup)
+		proc := m.Kern.NewProcess(prog, space)
+		th := m.Kern.Spawn(proc, "w", 0, 7)
+		res := m.Run(machine.RunLimits{MaxSteps: 50_000_000})
+		if !res.AllDone || len(res.Faults) > 0 {
+			t.Fatalf("run failed: %v", res)
+		}
+		want := uint64(k + stockReadTailInstrs)
+		for _, got := range space.ReadWords(buf, iters) {
+			// A torn read is off by ± the fold chunk (2^14); replayed
+			// sequences only add a few instructions.
+			if got < want || got > want+64 {
+				torn++
+			}
+		}
+		return torn, th.Stats.FixupRewinds
+	}
+
+	tornWith, rewinds := run(false)
+	if tornWith != 0 {
+		t.Errorf("with fixup: %d torn measurements, want 0", tornWith)
+	}
+	if rewinds == 0 {
+		t.Errorf("with fixup: expected rewinds under frequent folds, got 0")
+	}
+	tornWithout, _ := run(true)
+	if tornWithout == 0 {
+		t.Errorf("without fixup: expected torn measurements, got none (ablation not exercising the race)")
+	}
+	t.Logf("torn with fixup=%d, without=%d, rewinds=%d", tornWith, tornWithout, rewinds)
+}
+
+func TestLimitCounterMatchesThreadGroundTruth(t *testing.T) {
+	// A user-ring instruction counter opened at thread start must end
+	// equal to the thread's true user instruction count minus the
+	// instructions retired before the counter was opened (the setup
+	// prologue). We bound that prologue rather than hard-coding it.
+	m := machine.New(machine.Config{NumCores: 2})
+	space := mem.NewSpace()
+	table := limit.AllocTable(space, 1)
+
+	b := isa.NewBuilder()
+	e := limit.NewEmitter(b, limit.ModeStock, table)
+	e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+	e.EmitInit()
+	b.MovImm(isa.R1, 0)
+	b.MovImm(isa.R2, 50_000)
+	b.Label("l")
+	b.Compute(250)
+	b.AddImm(isa.R1, isa.R1, 250)
+	b.Br(isa.CondLT, isa.R1, isa.R2, "l")
+	b.Halt()
+	e.EmitFinish()
+	prog := b.MustBuild()
+
+	proc := m.Kern.NewProcess(prog, space)
+	th := m.Kern.Spawn(proc, "w", 0, 3)
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if !res.AllDone || len(res.Faults) > 0 {
+		t.Fatalf("run failed: %v", res)
+	}
+
+	got := limit.MustFinalValue(th, 0)
+	truth := th.Stats.UserInstructions
+	if got > truth {
+		t.Fatalf("counter %d exceeds ground truth %d", got, truth)
+	}
+	if truth-got > 40 { // setup prologue: jmp + init + open movs/syscalls
+		t.Fatalf("counter %d too far below ground truth %d (prologue should be <40 instrs)", got, truth)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		kcfg := kernel.DefaultConfig()
+		kcfg.Quantum = 2_000
+		m := machine.New(machine.Config{NumCores: 2, Kernel: kcfg})
+		space := mem.NewSpace()
+		prog, buf := regionProgram(t, space, limit.ModeStock, 1_000, 100, false)
+		proc := m.Kern.NewProcess(prog, space)
+		m.Kern.Spawn(proc, "a", 0, 11)
+		m.Kern.Spawn(proc, "b", 0, 12)
+		res := m.Run(machine.RunLimits{MaxSteps: 50_000_000})
+		if !res.AllDone {
+			t.Fatalf("not done: %v", res)
+		}
+		var sum uint64
+		for _, v := range space.ReadWords(buf, 100) {
+			sum += v
+		}
+		return res.Cycles, sum
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, s1, c2, s2)
+	}
+}

@@ -1,0 +1,115 @@
+// Package mem implements the simulated physical/virtual memory of the
+// machine: a sparse 64-bit address space backed by fixed-size pages,
+// with word-granularity accessors and a bump allocator.
+//
+// Each simulated process owns one Space. All threads of a process share
+// it. The host-side harness also reads Spaces directly after a run to
+// extract instrumentation buffers the simulated program wrote (the
+// analogue of reading a results file the real benchmark produced).
+package mem
+
+import "fmt"
+
+// PageSize is the backing page granularity in bytes. It is a power of
+// two and at least 8 so that 8-byte words never straddle pages given
+// 8-byte alignment.
+const PageSize = 1 << 12
+
+// Space is a sparse simulated address space. The zero value is not
+// usable; call NewSpace.
+type Space struct {
+	pages map[uint64]*[PageSize]byte
+	brk   uint64 // next allocation address
+}
+
+// NewSpace returns an empty address space. Allocations start at a
+// non-zero base so that address 0 stays invalid (a useful tripwire).
+func NewSpace() *Space {
+	return &Space{
+		pages: make(map[uint64]*[PageSize]byte),
+		brk:   0x1000,
+	}
+}
+
+func (s *Space) page(addr uint64) *[PageSize]byte {
+	base := addr &^ uint64(PageSize-1)
+	p, ok := s.pages[base]
+	if !ok {
+		p = new([PageSize]byte)
+		s.pages[base] = p
+	}
+	return p
+}
+
+// Alloc reserves size bytes aligned to 8 and returns the base address.
+// It never fails; the space is as large as uint64.
+func (s *Space) Alloc(size uint64) uint64 {
+	s.brk = (s.brk + 7) &^ 7
+	addr := s.brk
+	s.brk += size
+	return addr
+}
+
+// AllocWords reserves n 8-byte words and returns the base address.
+func (s *Space) AllocWords(n uint64) uint64 { return s.Alloc(n * 8) }
+
+// Brk returns the current allocation high-water mark.
+func (s *Space) Brk() uint64 { return s.brk }
+
+// Read64 loads the 8-byte little-endian word at addr. addr must be
+// 8-byte aligned; unaligned access panics (simulated programs are
+// generated, so this is a bug trap rather than a runtime condition).
+func (s *Space) Read64(addr uint64) uint64 {
+	checkAligned(addr)
+	p := s.page(addr)
+	off := addr & (PageSize - 1)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(p[off+uint64(i)])
+	}
+	return v
+}
+
+// Write64 stores the 8-byte little-endian word v at addr (8-byte
+// aligned).
+func (s *Space) Write64(addr, v uint64) {
+	checkAligned(addr)
+	p := s.page(addr)
+	off := addr & (PageSize - 1)
+	for i := 0; i < 8; i++ {
+		p[off+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// Add64 adds delta to the word at addr and returns the new value.
+func (s *Space) Add64(addr, delta uint64) uint64 {
+	v := s.Read64(addr) + delta
+	s.Write64(addr, v)
+	return v
+}
+
+// ReadWords reads n consecutive 8-byte words starting at addr.
+func (s *Space) ReadWords(addr uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.Read64(addr + uint64(i)*8)
+	}
+	return out
+}
+
+// WriteWords writes the words consecutively starting at addr.
+func (s *Space) WriteWords(addr uint64, words []uint64) {
+	for i, w := range words {
+		s.Write64(addr+uint64(i)*8, w)
+	}
+}
+
+// PageCount returns the number of backing pages materialized so far.
+// Useful in tests to confirm sparseness.
+func (s *Space) PageCount() int { return len(s.pages) }
+
+func checkAligned(addr uint64) {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("mem: unaligned 64-bit access at %#x", addr))
+	}
+}

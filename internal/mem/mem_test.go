@@ -1,0 +1,132 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := NewSpace()
+	addr := s.AllocWords(1)
+	s.Write64(addr, 0xdeadbeefcafef00d)
+	if got := s.Read64(addr); got != 0xdeadbeefcafef00d {
+		t.Errorf("got %#x", got)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	s := NewSpace()
+	if got := s.Read64(0x4000); got != 0 {
+		t.Errorf("fresh memory reads %#x, want 0", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := NewSpace()
+	f := func(off uint32, v uint64) bool {
+		addr := (uint64(off) &^ 7) + 0x1000
+		s.Write64(addr, v)
+		return s.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	s := NewSpace()
+	s.Write64(0x1000, 0x0102030405060708)
+	// The byte at the lowest address is the least significant.
+	p := s.page(0x1000)
+	if p[0] != 0x08 || p[7] != 0x01 {
+		t.Errorf("layout bytes [0]=%#x [7]=%#x, want little-endian", p[0], p[7])
+	}
+}
+
+func TestCrossPageWords(t *testing.T) {
+	// Aligned 8-byte words never straddle pages, including the last
+	// word of a page.
+	s := NewSpace()
+	last := uint64(PageSize - 8)
+	s.Write64(last, 42)
+	s.Write64(PageSize, 43)
+	if s.Read64(last) != 42 || s.Read64(PageSize) != 43 {
+		t.Error("page-boundary words corrupted")
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	s := NewSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned access should panic")
+		}
+	}()
+	s.Read64(0x1001)
+}
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(13)
+	b := s.Alloc(1)
+	if a&7 != 0 || b&7 != 0 {
+		t.Errorf("allocations %#x, %#x not 8-byte aligned", a, b)
+	}
+	if b < a+13 {
+		t.Errorf("allocations overlap: a=%#x size 13, b=%#x", a, b)
+	}
+	if a == 0 || b == 0 {
+		t.Error("address 0 must never be allocated")
+	}
+}
+
+func TestAdd64(t *testing.T) {
+	s := NewSpace()
+	addr := s.AllocWords(1)
+	s.Write64(addr, 10)
+	if got := s.Add64(addr, 5); got != 15 {
+		t.Errorf("Add64 returned %d, want 15", got)
+	}
+	if got := s.Read64(addr); got != 15 {
+		t.Errorf("after Add64, memory holds %d, want 15", got)
+	}
+	// Wrap-around is two's complement.
+	s.Write64(addr, ^uint64(0))
+	if got := s.Add64(addr, 1); got != 0 {
+		t.Errorf("wrapping Add64 returned %d, want 0", got)
+	}
+}
+
+func TestWordsBulk(t *testing.T) {
+	s := NewSpace()
+	addr := s.AllocWords(4)
+	want := []uint64{1, 2, 3, 4}
+	s.WriteWords(addr, want)
+	got := s.ReadWords(addr, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSparseness(t *testing.T) {
+	s := NewSpace()
+	s.Write64(0x1000, 1)
+	s.Write64(1<<40, 2)
+	if n := s.PageCount(); n != 2 {
+		t.Errorf("%d pages materialized, want 2 (sparse backing)", n)
+	}
+}
+
+func TestBrkMonotonic(t *testing.T) {
+	s := NewSpace()
+	prev := s.Brk()
+	for i := 0; i < 100; i++ {
+		s.Alloc(uint64(i + 1))
+		if s.Brk() <= prev {
+			t.Fatalf("brk not monotonic at allocation %d", i)
+		}
+		prev = s.Brk()
+	}
+}

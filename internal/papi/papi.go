@@ -1,0 +1,116 @@
+// Package papi models the PAPI library layer the paper also measures:
+// a portable event-set abstraction built on top of the perf_event
+// syscall interface. PAPI adds user-level bookkeeping around every
+// operation (event-set validation, per-event state updates, result
+// marshalling), which the paper's measurements show as additional
+// overhead on top of the underlying syscall. PAPI_read also reads
+// *every* counter in the event set, so multi-event sets multiply the
+// syscall cost.
+//
+// The event-set state block (per-event fd and last-read value) lives in
+// simulated memory behind a ref.Ref, so sets can be absolute
+// (single-thread programs) or thread-local (shared-body programs).
+package papi
+
+import (
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/perfevent"
+	"limitsim/internal/pmu"
+	"limitsim/internal/ref"
+)
+
+// Library-work constants (instructions of bookkeeping emitted around
+// the underlying syscalls), calibrated against the ~1.2–1.5×
+// perf_event cost the paper reports for PAPI.
+const (
+	openOverheadInstrs = 900
+	readOverheadInstrs = 350
+	stopOverheadInstrs = 250
+)
+
+// EventSet is a PAPI-style event set being assembled into a program.
+// Its state block holds one fd word and one value word per event.
+type EventSet struct {
+	specs []perfevent.Spec
+	state ref.Ref
+}
+
+// StateWords returns the state block size for n events.
+func StateWords(n int) int { return 2 * n }
+
+// NewEventSet builds an event set of user-ring counters whose state
+// block lives at state (spanning StateWords(len(events)) words).
+func NewEventSet(state ref.Ref, events ...pmu.Event) *EventSet {
+	es := &EventSet{state: state}
+	for _, ev := range events {
+		es.specs = append(es.specs, perfevent.UserSpec(ev))
+	}
+	return es
+}
+
+// NewEventSetSpecs builds an event set from explicit per-event specs
+// (ring filtering included). The state block must span
+// StateWords(len(specs)) words.
+func NewEventSetSpecs(state ref.Ref, specs ...perfevent.Spec) *EventSet {
+	return &EventSet{state: state, specs: specs}
+}
+
+// AllocEventSet allocates an absolute state block in the process
+// address space and builds the event set over it.
+func AllocEventSet(space *mem.Space, events ...pmu.Event) *EventSet {
+	addr := space.AllocWords(uint64(StateWords(len(events))))
+	return NewEventSet(ref.Absolute(addr), events...)
+}
+
+// Len returns the number of events in the set.
+func (es *EventSet) Len() int { return len(es.specs) }
+
+func (es *EventSet) fdRef(i int) ref.Ref    { return es.state.Word(i) }
+func (es *EventSet) valueRef(i int) ref.Ref { return es.state.Word(len(es.specs) + i) }
+
+// EmitStart emits PAPI_start: opens every counter in the set and
+// stores the fds in the state block. Clobbers R0..R3.
+func (es *EventSet) EmitStart(b *isa.Builder) {
+	b.Compute(openOverheadInstrs)
+	for i, spec := range es.specs {
+		perfevent.EmitOpen(b, spec, isa.R2)
+		es.fdRef(i).EmitStore(b, isa.R2, isa.R3)
+	}
+}
+
+// EmitReadSet emits PAPI_read: reads every counter in the set via
+// syscall and stores the values into the state block. Clobbers R0..R3.
+func (es *EventSet) EmitReadSet(b *isa.Builder) {
+	b.Compute(readOverheadInstrs)
+	for i := range es.specs {
+		es.fdRef(i).EmitLoad(b, isa.R0)
+		perfevent.EmitRead(b, isa.R0, isa.R2)
+		es.valueRef(i).EmitStore(b, isa.R2, isa.R3)
+	}
+}
+
+// EmitReadInto emits a PAPI_read and additionally leaves event i's
+// value in dst. Clobbers R0..R3.
+func (es *EventSet) EmitReadInto(b *isa.Builder, i int, dst isa.Reg) {
+	es.EmitReadSet(b)
+	es.valueRef(i).EmitLoad(b, dst)
+}
+
+// EmitStop emits PAPI_stop: a final read followed by closing every
+// counter. Clobbers R0..R3.
+func (es *EventSet) EmitStop(b *isa.Builder) {
+	es.EmitReadSet(b)
+	b.Compute(stopOverheadInstrs)
+	for i := range es.specs {
+		es.fdRef(i).EmitLoad(b, isa.R0)
+		perfevent.EmitClose(b, isa.R0)
+	}
+}
+
+// FinalValue reads event i's last-stored value from the process's
+// memory after a run; threadBase is the TLS base for register-relative
+// sets (ignored for absolute).
+func (es *EventSet) FinalValue(space *mem.Space, threadBase uint64, i int) uint64 {
+	return space.Read64(es.valueRef(i).Resolve(threadBase))
+}

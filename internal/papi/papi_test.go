@@ -1,0 +1,105 @@
+package papi_test
+
+import (
+	"testing"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/papi"
+	"limitsim/internal/pmu"
+)
+
+func TestEventSetStartReadStop(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	es := papi.AllocEventSet(space, pmu.EvInstructions, pmu.EvCycles)
+	if es.Len() != 2 {
+		t.Fatalf("len %d", es.Len())
+	}
+
+	b := isa.NewBuilder()
+	es.EmitStart(b)
+	b.Compute(2_000)
+	es.EmitReadSet(b)
+	b.Compute(1_000)
+	es.EmitStop(b)
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+
+	instrs := es.FinalValue(space, 0, 0)
+	cycles := es.FinalValue(space, 0, 1)
+	// The stop-read happens after ~3000 compute instructions plus PAPI
+	// bookkeeping (~1500 instrs of library work and syscalls).
+	if instrs < 3_000 || instrs > 6_500 {
+		t.Errorf("instructions %d, want 3k..6.5k", instrs)
+	}
+	if cycles < instrs {
+		t.Errorf("cycles %d below instructions %d", cycles, instrs)
+	}
+}
+
+func TestEmitReadInto(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	es := papi.AllocEventSet(space, pmu.EvInstructions)
+	out := space.AllocWords(1)
+
+	b := isa.NewBuilder()
+	es.EmitStart(b)
+	b.Compute(700)
+	es.EmitReadInto(b, 0, isa.R9)
+	b.MovImm(isa.R1, int64(out))
+	b.Store(isa.R1, 0, isa.R9)
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+
+	got := space.Read64(out)
+	if got < 700 || got > 1_500 {
+		t.Errorf("EmitReadInto value %d, want 700..1500", got)
+	}
+	if got != es.FinalValue(space, 0, 0) {
+		t.Error("register value and state block disagree")
+	}
+}
+
+func TestStateWords(t *testing.T) {
+	if papi.StateWords(3) != 6 {
+		t.Errorf("StateWords(3) = %d", papi.StateWords(3))
+	}
+}
+
+func TestPAPICostsMoreThanBareSyscall(t *testing.T) {
+	// PAPI_read must cost more than the underlying syscall read because
+	// of library bookkeeping; this anchors the Table 1 ordering.
+	run := func(withPAPI bool) uint64 {
+		m := machine.New(machine.Config{NumCores: 1})
+		space := mem.NewSpace()
+		es := papi.AllocEventSet(space, pmu.EvCycles)
+		b := isa.NewBuilder()
+		es.EmitStart(b)
+		b.MovImm(isa.R8, 0)
+		b.MovImm(isa.R9, 200)
+		b.Label("loop")
+		if withPAPI {
+			es.EmitReadSet(b)
+		}
+		b.AddImm(isa.R8, isa.R8, 1)
+		b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+		b.Halt()
+		proc := m.Kern.NewProcess(b.MustBuild(), space)
+		m.Kern.Spawn(proc, "w", 0, 1)
+		return m.MustRun(machine.RunLimits{}).Cycles
+	}
+	with, without := run(true), run(false)
+	perRead := float64(with-without) / 200
+	if perRead < 3_000 {
+		t.Errorf("PAPI read %f cycles, want > bare syscall (~2900)", perRead)
+	}
+}

@@ -1,0 +1,115 @@
+// Package perfevent is the heavyweight baseline the paper compares
+// against: a perf_event-style counter interface in which every read is
+// a syscall. The kernel virtualizes the counter to 64 bits (a
+// kernel-side accumulator plus the live hardware count), so reads are
+// precise — but each one pays trap entry, handler, and trap exit,
+// landing around a microsecond versus LiMiT's tens of nanoseconds.
+//
+// Like internal/limit, this package is a code emitter over isa.Builder
+// plus host-side helpers. Userspace keeps the returned fd in a
+// register or memory and passes it to each read.
+package perfevent
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/pmu"
+)
+
+// Spec declares one perf-style counter.
+type Spec struct {
+	Event       pmu.Event
+	CountUser   bool
+	CountKernel bool
+}
+
+// UserSpec counts ev in the user ring only.
+func UserSpec(ev pmu.Event) Spec { return Spec{Event: ev, CountUser: true} }
+
+// AllRingsSpec counts ev in both rings.
+func AllRingsSpec(ev pmu.Event) Spec { return Spec{Event: ev, CountUser: true, CountKernel: true} }
+
+func (s Spec) flags() int64 {
+	f := int64(0)
+	if s.CountUser {
+		f |= int64(kernel.FlagUser)
+	}
+	if s.CountKernel {
+		f |= int64(kernel.FlagKernel)
+	}
+	return f
+}
+
+// EmitOpen emits the perf_open syscall for spec; the fd lands in
+// fdReg. Clobbers R0 and R1 (and fdReg).
+func EmitOpen(b *isa.Builder, spec Spec, fdReg isa.Reg) {
+	b.MovImm(isa.R0, int64(spec.Event))
+	b.MovImm(isa.R1, spec.flags())
+	b.Syscall(kernel.SysPerfOpen)
+	if fdReg != isa.R0 {
+		b.Mov(fdReg, isa.R0)
+	}
+}
+
+// EmitRead emits a counter-read syscall for the fd in fdReg; the
+// 64-bit value lands in dst. Clobbers R0.
+func EmitRead(b *isa.Builder, fdReg, dst isa.Reg) {
+	if fdReg != isa.R0 {
+		b.Mov(isa.R0, fdReg)
+	}
+	b.Syscall(kernel.SysPerfRead)
+	if dst != isa.R0 {
+		b.Mov(dst, isa.R0)
+	}
+}
+
+// EmitReset emits a counter-reset syscall. Clobbers R0.
+func EmitReset(b *isa.Builder, fdReg isa.Reg) {
+	if fdReg != isa.R0 {
+		b.Mov(isa.R0, fdReg)
+	}
+	b.Syscall(kernel.SysPerfReset)
+}
+
+// EmitClose emits a counter-close syscall. Clobbers R0.
+func EmitClose(b *isa.Builder, fdReg isa.Reg) {
+	if fdReg != isa.R0 {
+		b.Mov(isa.R0, fdReg)
+	}
+	b.Syscall(kernel.SysPerfClose)
+}
+
+// FinalValue returns the final 64-bit value of thread t's perf counter
+// fd after the thread has exited (counters are virtualized into the
+// kernel accumulator at the final deschedule). Over-subscribed
+// counters that were time-multiplexed return the Linux-style scaled
+// estimate raw × window/active.
+func FinalValue(t *kernel.Thread, fd int) (uint64, error) {
+	cs := t.Counters()
+	if fd < 0 || fd >= len(cs) {
+		return 0, fmt.Errorf("perfevent: thread %d has no counter %d", t.ID, fd)
+	}
+	tc := cs[fd]
+	if tc.Kind != kernel.KindPerf {
+		return 0, fmt.Errorf("perfevent: thread %d counter %d is %v, not perf", t.ID, fd, tc.Kind)
+	}
+	raw := tc.Acc + tc.Saved
+	if tc.ActiveCycles == 0 {
+		return 0, nil
+	}
+	if !tc.Multiplexed() {
+		return raw, nil
+	}
+	return uint64(float64(raw) * float64(tc.WindowCycles) / float64(tc.ActiveCycles)), nil
+}
+
+// MustFinalValue is FinalValue but panics on error.
+func MustFinalValue(t *kernel.Thread, fd int) uint64 {
+	v, err := FinalValue(t, fd)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

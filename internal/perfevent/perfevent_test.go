@@ -1,0 +1,118 @@
+package perfevent_test
+
+import (
+	"testing"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/perfevent"
+	"limitsim/internal/pmu"
+)
+
+func TestOpenReadRoundTrip(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	out := space.AllocWords(2)
+
+	b := isa.NewBuilder()
+	perfevent.EmitOpen(b, perfevent.UserSpec(pmu.EvInstructions), isa.R7)
+	b.Compute(1_000)
+	perfevent.EmitRead(b, isa.R7, isa.R4)
+	b.MovImm(isa.R1, int64(out))
+	b.Store(isa.R1, 0, isa.R4)
+	b.Compute(2_000)
+	perfevent.EmitRead(b, isa.R7, isa.R4)
+	b.MovImm(isa.R1, int64(out))
+	b.Store(isa.R1, 8, isa.R4)
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+
+	first, second := space.Read64(out), space.Read64(out+8)
+	if first < 1_000 || first > 1_020 {
+		t.Errorf("first read %d, want ~1005", first)
+	}
+	if delta := second - first; delta < 2_000 || delta > 2_020 {
+		t.Errorf("read delta %d, want ~2005", delta)
+	}
+}
+
+func TestKernelRingSpecSeesSyscallTime(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	out := space.AllocWords(2)
+
+	b := isa.NewBuilder()
+	perfevent.EmitOpen(b, perfevent.UserSpec(pmu.EvCycles), isa.R7)
+	perfevent.EmitOpen(b, perfevent.AllRingsSpec(pmu.EvCycles), isa.R6)
+	// A syscall-heavy stretch: the all-rings counter must advance far
+	// beyond the user-only one.
+	for i := 0; i < 5; i++ {
+		b.MovImm(isa.R0, 0)
+		b.Syscall(1) // SysGetTID
+	}
+	perfevent.EmitRead(b, isa.R7, isa.R4)
+	b.MovImm(isa.R1, int64(out))
+	b.Store(isa.R1, 0, isa.R4)
+	perfevent.EmitRead(b, isa.R6, isa.R4)
+	b.MovImm(isa.R1, int64(out))
+	b.Store(isa.R1, 8, isa.R4)
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+
+	user, all := space.Read64(out), space.Read64(out+8)
+	if all < user+1_000 {
+		t.Errorf("all-rings %d vs user %d; kernel time missing", all, user)
+	}
+}
+
+func TestFinalValueAfterExit(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	b := isa.NewBuilder()
+	perfevent.EmitOpen(b, perfevent.UserSpec(pmu.EvInstructions), isa.R7)
+	b.Compute(500)
+	b.Halt()
+	proc := m.Kern.NewProcess(b.MustBuild(), nil)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+
+	v, err := perfevent.MustFinalValue(th, 0), error(nil)
+	_ = err
+	if v < 500 || v > 520 {
+		t.Errorf("final value %d, want ~502", v)
+	}
+	if _, err := perfevent.FinalValue(th, 3); err == nil {
+		t.Error("bad fd should error")
+	}
+}
+
+func TestEmitRegisterPlumbing(t *testing.T) {
+	// fd and dst in non-R0 registers must still work (the emitters
+	// shuffle through R0 internally).
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	out := space.AllocWords(1)
+
+	b := isa.NewBuilder()
+	perfevent.EmitOpen(b, perfevent.UserSpec(pmu.EvInstructions), isa.R13)
+	b.Compute(300)
+	perfevent.EmitRead(b, isa.R13, isa.R12)
+	b.MovImm(isa.R1, int64(out))
+	b.Store(isa.R1, 0, isa.R12)
+	perfevent.EmitReset(b, isa.R13)
+	perfevent.EmitClose(b, isa.R13)
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+	if got := space.Read64(out); got < 300 || got > 320 {
+		t.Errorf("read through R13/R12 got %d", got)
+	}
+}

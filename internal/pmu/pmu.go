@@ -1,0 +1,326 @@
+// Package pmu models a per-core performance monitoring unit: a small
+// number of programmable hardware counters with event selection,
+// privilege-ring filtering, overflow interrupts, and the write-width
+// restriction of real x86 PMUs that motivates much of the reproduced
+// paper's design.
+//
+// Two hardware quirks are modeled faithfully because LiMiT's design
+// depends on them:
+//
+//  1. Counters are CounterWidth bits wide (48 by default), but a
+//     software write can only set the low WriteWidth bits (31 by
+//     default, matching Intel's sign-extended 32-bit MSR writes). The
+//     kernel therefore cannot restore a large counter value on context
+//     switch; LiMiT keeps hardware counts below 2^31 by folding
+//     overflow into a 64-bit virtual counter in user memory.
+//  2. Counter overflow past a configurable bit raises an interrupt
+//     (PMI), which can land between the instructions of a userspace
+//     read sequence.
+//
+// The paper's three proposed hardware enhancements are available as
+// feature flags: 64-bit writable counters (e1), destructive reads (e2),
+// and hardware counter virtualization (e3, consumed by the kernel's
+// context-switch path).
+package pmu
+
+import "fmt"
+
+// Event identifies a countable architectural event.
+type Event uint8
+
+// Countable events.
+const (
+	EvCycles Event = iota
+	EvInstructions
+	EvLoads
+	EvStores
+	EvL1DMiss
+	EvL2Miss
+	EvLLCMiss
+	EvBranches
+	EvBranchMiss
+	EvAtomics
+	EvSyscalls
+	EvCtxSwitches
+	EvDTLBMiss
+	EvDTLBWalk // full TLB miss requiring a page walk
+
+	// NumEvents is the number of distinct events.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	EvCycles:       "cycles",
+	EvInstructions: "instructions",
+	EvLoads:        "loads",
+	EvStores:       "stores",
+	EvL1DMiss:      "l1d-miss",
+	EvL2Miss:       "l2-miss",
+	EvLLCMiss:      "llc-miss",
+	EvBranches:     "branches",
+	EvBranchMiss:   "branch-miss",
+	EvAtomics:      "atomics",
+	EvSyscalls:     "syscalls",
+	EvCtxSwitches:  "ctx-switches",
+	EvDTLBMiss:     "dtlb-miss",
+	EvDTLBWalk:     "dtlb-walk",
+}
+
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Ring is the privilege level at which events occur.
+type Ring uint8
+
+// Privilege rings.
+const (
+	RingUser Ring = iota
+	RingKernel
+)
+
+func (r Ring) String() string {
+	if r == RingUser {
+		return "user"
+	}
+	return "kernel"
+}
+
+// CounterConfig programs one hardware counter.
+type CounterConfig struct {
+	Event       Event
+	CountUser   bool
+	CountKernel bool
+	Enabled     bool
+	// OverflowBit raises an interrupt when the counter value crosses
+	// 1<<OverflowBit. Negative disables overflow interrupts.
+	OverflowBit int
+}
+
+func (c CounterConfig) counts(r Ring) bool {
+	if !c.Enabled {
+		return false
+	}
+	if r == RingUser {
+		return c.CountUser
+	}
+	return c.CountKernel
+}
+
+// Features describes the PMU's hardware capability set.
+type Features struct {
+	// NumCounters is the number of programmable counters.
+	NumCounters int
+	// CounterWidth is the counter width in bits (48 on 2011 x86).
+	CounterWidth int
+	// WriteWidth is how many low bits a software counter write can set
+	// (31 on Intel: 32-bit sign-extended MSR writes). Enhancement e1
+	// raises both widths to 64.
+	WriteWidth int
+	// DestructiveReads enables read-and-reset rdpmc (enhancement e2).
+	DestructiveReads bool
+	// HardwareVirtualization tags counter state per thread so the
+	// kernel context switch need not save/restore counters
+	// (enhancement e3). The PMU itself only advertises the flag; the
+	// kernel consumes it.
+	HardwareVirtualization bool
+}
+
+// DefaultFeatures matches a 2011-era x86 PMU: 4 programmable 48-bit
+// counters with 31-bit writes and no enhancements.
+func DefaultFeatures() Features {
+	return Features{NumCounters: 4, CounterWidth: 48, WriteWidth: 31}
+}
+
+// Enhanced64Bit returns DefaultFeatures with enhancement e1 (fully
+// writable 64-bit counters).
+func Enhanced64Bit() Features {
+	f := DefaultFeatures()
+	f.CounterWidth = 64
+	f.WriteWidth = 64
+	return f
+}
+
+// EnhancedDestructive returns DefaultFeatures with enhancement e2.
+func EnhancedDestructive() Features {
+	f := DefaultFeatures()
+	f.DestructiveReads = true
+	return f
+}
+
+// EnhancedHWVirtualization returns DefaultFeatures with enhancement e3.
+func EnhancedHWVirtualization() Features {
+	f := DefaultFeatures()
+	f.HardwareVirtualization = true
+	return f
+}
+
+type counter struct {
+	cfg   CounterConfig
+	value uint64
+}
+
+// PMU is one core's performance monitoring unit.
+type PMU struct {
+	feats    Features
+	counters []counter
+	mask     uint64 // value mask from CounterWidth
+	pending  uint64 // bitmask of counters with a pending overflow interrupt
+
+	// groundTruth accumulates every event per ring regardless of
+	// counter programming. It models an omniscient observer and is
+	// used by experiments to compute true totals that the paper
+	// obtained from long calibration runs.
+	groundTruth [NumEvents][2]uint64
+}
+
+// New returns a PMU with the given features. All counters start
+// disabled and zero.
+func New(f Features) *PMU {
+	if f.NumCounters <= 0 {
+		panic("pmu: NumCounters must be positive")
+	}
+	if f.CounterWidth <= 0 || f.CounterWidth > 64 {
+		panic("pmu: CounterWidth out of range")
+	}
+	var mask uint64
+	if f.CounterWidth == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << uint(f.CounterWidth)) - 1
+	}
+	return &PMU{
+		feats:    f,
+		counters: make([]counter, f.NumCounters),
+		mask:     mask,
+	}
+}
+
+// Features returns the PMU's capability set.
+func (p *PMU) Features() Features { return p.feats }
+
+// NumCounters returns the number of programmable counters.
+func (p *PMU) NumCounters() int { return len(p.counters) }
+
+func (p *PMU) check(idx int) {
+	if idx < 0 || idx >= len(p.counters) {
+		panic(fmt.Sprintf("pmu: counter index %d out of range [0,%d)", idx, len(p.counters)))
+	}
+}
+
+// Configure programs counter idx. Programming clears any pending
+// overflow on that counter but preserves its value (software writes the
+// value separately, as on real hardware).
+func (p *PMU) Configure(idx int, cfg CounterConfig) {
+	p.check(idx)
+	p.counters[idx].cfg = cfg
+	p.pending &^= 1 << uint(idx)
+}
+
+// Config returns counter idx's current programming.
+func (p *PMU) Config(idx int) CounterConfig {
+	p.check(idx)
+	return p.counters[idx].cfg
+}
+
+// Read returns counter idx's current value (rdpmc and kernel MSR reads
+// both see this).
+func (p *PMU) Read(idx int) uint64 {
+	p.check(idx)
+	return p.counters[idx].value
+}
+
+// ReadAndReset destructively reads counter idx (enhancement e2). It
+// panics if the feature is absent; callers gate on Features.
+func (p *PMU) ReadAndReset(idx int) uint64 {
+	if !p.feats.DestructiveReads {
+		panic("pmu: destructive read without DestructiveReads feature")
+	}
+	p.check(idx)
+	v := p.counters[idx].value
+	p.counters[idx].value = 0
+	p.pending &^= 1 << uint(idx)
+	return v
+}
+
+// Write sets counter idx's value. Only the low WriteWidth bits are
+// honored, mirroring Intel's MSR write restriction; higher bits are
+// silently dropped (the caller — the kernel — is responsible for
+// keeping values in range, which is exactly the constraint LiMiT's
+// overflow folding exists to satisfy).
+func (p *PMU) Write(idx int, v uint64) {
+	p.check(idx)
+	var wmask uint64
+	if p.feats.WriteWidth >= 64 {
+		wmask = ^uint64(0)
+	} else {
+		wmask = (1 << uint(p.feats.WriteWidth)) - 1
+	}
+	p.counters[idx].value = v & wmask
+	p.pending &^= 1 << uint(idx)
+}
+
+// WriteLimit returns the exclusive upper bound on values Write can
+// represent.
+func (p *PMU) WriteLimit() uint64 {
+	if p.feats.WriteWidth >= 64 {
+		return ^uint64(0)
+	}
+	return 1 << uint(p.feats.WriteWidth)
+}
+
+// AddEvent advances every enabled counter whose event and ring filter
+// match by n, records ground truth, and accumulates pending overflow
+// interrupts for counters that crossed their overflow threshold.
+func (p *PMU) AddEvent(ring Ring, ev Event, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.groundTruth[ev][ring] += n
+	for i := range p.counters {
+		c := &p.counters[i]
+		if c.cfg.Event != ev || !c.cfg.counts(ring) {
+			continue
+		}
+		before := c.value
+		c.value = (c.value + n) & p.mask
+		if ob := c.cfg.OverflowBit; ob >= 0 && ob < 64 {
+			threshold := uint64(1) << uint(ob)
+			// Crossing detection: the counter moved from below the
+			// threshold to at-or-above it (or wrapped the full width).
+			if (before < threshold && c.value >= threshold) || c.value < before {
+				p.pending |= 1 << uint(i)
+			}
+		}
+	}
+}
+
+// TakePendingOverflows returns and clears the bitmask of counters with
+// pending overflow interrupts. The machine loop calls this after every
+// instruction and routes nonzero masks to the kernel's PMI handler.
+func (p *PMU) TakePendingOverflows() uint64 {
+	m := p.pending
+	p.pending = 0
+	return m
+}
+
+// HasPending reports whether any overflow interrupt is pending without
+// consuming it.
+func (p *PMU) HasPending() bool { return p.pending != 0 }
+
+// GroundTruth returns the omniscient count of ev in ring since reset.
+func (p *PMU) GroundTruth(ev Event, ring Ring) uint64 {
+	return p.groundTruth[ev][ring]
+}
+
+// GroundTruthTotal returns user+kernel ground truth for ev.
+func (p *PMU) GroundTruthTotal(ev Event) uint64 {
+	return p.groundTruth[ev][RingUser] + p.groundTruth[ev][RingKernel]
+}
+
+// ResetGroundTruth zeroes the omniscient accumulators (counters are
+// unaffected).
+func (p *PMU) ResetGroundTruth() { p.groundTruth = [NumEvents][2]uint64{} }

@@ -1,0 +1,104 @@
+// Package rec implements append-only measurement record buffers in
+// simulated memory. Instrumented programs append fixed-stride records
+// (e.g. lock-acquisition latency and critical-section length pairs);
+// host-side analysis reads them back after the run. Appends are
+// bounds-checked in generated code: a full buffer silently drops
+// records rather than corrupting memory, and the count word reports how
+// many were kept.
+package rec
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/ref"
+)
+
+var labelSeq int
+
+// Buffer describes a record buffer: one count word followed by
+// Cap records of Stride words each.
+type Buffer struct {
+	base   ref.Ref
+	Cap    int
+	Stride int
+}
+
+// SizeWords returns the buffer's total footprint in words.
+func SizeWords(capacity, stride int) int { return 1 + capacity*stride }
+
+// Alloc reserves an absolute buffer in the process address space.
+func Alloc(space *mem.Space, capacity, stride int) Buffer {
+	addr := space.AllocWords(uint64(SizeWords(capacity, stride)))
+	return Buffer{base: ref.Absolute(addr), Cap: capacity, Stride: stride}
+}
+
+// At wraps an already-reserved region (e.g. a tls.Layout field) as a
+// buffer. The region must span SizeWords(capacity, stride) words.
+func At(base ref.Ref, capacity, stride int) Buffer {
+	return Buffer{base: base, Cap: capacity, Stride: stride}
+}
+
+// Base returns the buffer's base reference.
+func (bu Buffer) Base() ref.Ref { return bu.base }
+
+// EmitAppend emits code appending one record whose field values are in
+// vals (len(vals) == Stride). Clobbers the three scratch registers,
+// which must be distinct from each other and from vals.
+func (bu Buffer) EmitAppend(b *isa.Builder, vals []isa.Reg, s1, s2, s3 isa.Reg) {
+	if len(vals) != bu.Stride {
+		panic(fmt.Sprintf("rec: EmitAppend with %d values, stride %d", len(vals), bu.Stride))
+	}
+	labelSeq++
+	skip := fmt.Sprintf("rec.skip.%d", labelSeq)
+
+	bu.base.EmitLea(b, s1)      // s1 = &count
+	b.Load(s2, s1, 0)           // s2 = count
+	b.MovImm(s3, int64(bu.Cap)) // capacity check
+	b.Br(isa.CondGE, s2, s3, skip)
+	b.MovImm(s3, int64(bu.Stride)*8)
+	b.Mul(s3, s2, s3)
+	b.Add(s3, s1, s3) // s3 = &count + count*stride*8
+	for i, v := range vals {
+		b.Store(s3, int64(8+i*8), v)
+	}
+	b.AddImm(s2, s2, 1)
+	b.Store(s1, 0, s2)
+	b.Label(skip)
+}
+
+// Count reads the record count from a run's memory; threadBase is the
+// TLS base for register-relative buffers (ignored for absolute).
+func (bu Buffer) Count(space *mem.Space, threadBase uint64) uint64 {
+	n := space.Read64(bu.base.Resolve(threadBase))
+	if n > uint64(bu.Cap) {
+		n = uint64(bu.Cap)
+	}
+	return n
+}
+
+// Records reads all appended records back from a run's memory.
+func (bu Buffer) Records(space *mem.Space, threadBase uint64) [][]uint64 {
+	n := int(bu.Count(space, threadBase))
+	addr := bu.base.Resolve(threadBase) + 8
+	out := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = space.ReadWords(addr+uint64(i*bu.Stride)*8, bu.Stride)
+	}
+	return out
+}
+
+// Column reads field f of every record.
+func (bu Buffer) Column(space *mem.Space, threadBase uint64, f int) []uint64 {
+	if f < 0 || f >= bu.Stride {
+		panic(fmt.Sprintf("rec: column %d out of stride %d", f, bu.Stride))
+	}
+	n := int(bu.Count(space, threadBase))
+	addr := bu.base.Resolve(threadBase) + 8
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = space.Read64(addr + uint64(i*bu.Stride+f)*8)
+	}
+	return out
+}

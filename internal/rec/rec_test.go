@@ -1,0 +1,133 @@
+package rec
+
+import (
+	"testing"
+
+	"limitsim/internal/cpu"
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+	"limitsim/internal/ref"
+)
+
+func runToHalt(t *testing.T, b *isa.Builder, space *mem.Space) {
+	t.Helper()
+	core := cpu.NewCore(0, pmu.DefaultFeatures())
+	ctx := &cpu.Context{Prog: b.MustBuild(), Mem: space}
+	for i := 0; i < 1_000_000; i++ {
+		res := core.Step(ctx)
+		if res.Trap == cpu.TrapHalt {
+			return
+		}
+		if res.Trap != cpu.TrapNone {
+			t.Fatalf("trap %v: %s", res.Trap, res.Fault)
+		}
+	}
+	t.Fatal("no halt")
+}
+
+func TestAppendAndReadBack(t *testing.T) {
+	space := mem.NewSpace()
+	buf := Alloc(space, 10, 2)
+
+	b := isa.NewBuilder()
+	b.MovImm(isa.R8, 0)
+	b.MovImm(isa.R9, 3)
+	b.Label("loop")
+	b.Mov(isa.R4, isa.R8)        // v0 = i
+	b.AddImm(isa.R5, isa.R8, 10) // v1 = i+10
+	buf.EmitAppend(b, []isa.Reg{isa.R4, isa.R5}, isa.R0, isa.R1, isa.R2)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	b.Halt()
+	runToHalt(t, b, space)
+
+	if n := buf.Count(space, 0); n != 3 {
+		t.Fatalf("count %d, want 3", n)
+	}
+	recs := buf.Records(space, 0)
+	for i, r := range recs {
+		if r[0] != uint64(i) || r[1] != uint64(i+10) {
+			t.Errorf("record %d = %v", i, r)
+		}
+	}
+	col := buf.Column(space, 0, 1)
+	if len(col) != 3 || col[2] != 12 {
+		t.Errorf("column 1 = %v", col)
+	}
+}
+
+func TestAppendStopsAtCapacity(t *testing.T) {
+	space := mem.NewSpace()
+	buf := Alloc(space, 2, 1)
+	sentinel := space.AllocWords(1) // allocated right after the buffer
+	space.Write64(sentinel, 0xabcd)
+
+	b := isa.NewBuilder()
+	b.MovImm(isa.R8, 0)
+	b.MovImm(isa.R9, 5)
+	b.Label("loop")
+	b.Mov(isa.R4, isa.R8)
+	buf.EmitAppend(b, []isa.Reg{isa.R4}, isa.R0, isa.R1, isa.R2)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	b.Halt()
+	runToHalt(t, b, space)
+
+	if n := buf.Count(space, 0); n != 2 {
+		t.Errorf("count %d, want cap 2", n)
+	}
+	if got := space.Read64(sentinel); got != 0xabcd {
+		t.Errorf("overflow clobbered adjacent memory: %#x", got)
+	}
+}
+
+func TestRegRelBuffer(t *testing.T) {
+	space := mem.NewSpace()
+	base := space.AllocWords(uint64(SizeWords(4, 1)))
+	buf := At(ref.RegRel(isa.R15, 0), 4, 1)
+
+	b := isa.NewBuilder()
+	b.MovImm(isa.R15, int64(base))
+	b.MovImm(isa.R4, 99)
+	buf.EmitAppend(b, []isa.Reg{isa.R4}, isa.R0, isa.R1, isa.R2)
+	b.Halt()
+	runToHalt(t, b, space)
+
+	recs := buf.Records(space, base)
+	if len(recs) != 1 || recs[0][0] != 99 {
+		t.Errorf("records %v", recs)
+	}
+}
+
+func TestStrideMismatchPanics(t *testing.T) {
+	space := mem.NewSpace()
+	buf := Alloc(space, 2, 2)
+	b := isa.NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong value count should panic")
+		}
+	}()
+	buf.EmitAppend(b, []isa.Reg{isa.R4}, isa.R0, isa.R1, isa.R2)
+}
+
+func TestColumnBoundsPanics(t *testing.T) {
+	space := mem.NewSpace()
+	buf := Alloc(space, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad column should panic")
+		}
+	}()
+	buf.Column(space, 0, 7)
+}
+
+func TestCorruptedCountClamped(t *testing.T) {
+	space := mem.NewSpace()
+	buf := Alloc(space, 2, 1)
+	space.Write64(buf.Base().Resolve(0), 9999) // corrupt the count word
+	if n := buf.Count(space, 0); n != 2 {
+		t.Errorf("count %d, want clamped to cap", n)
+	}
+}

@@ -1,0 +1,103 @@
+// Package ref provides memory references for generated code: an
+// address that is either absolute (known at assembly time) or
+// register-relative (a per-thread base register plus an offset).
+// Register-relative references are how threads that share one program
+// body address their thread-local data — counter tables, perf fds,
+// measurement record buffers — with the base register initialized from
+// the thread's slot index at spawn time.
+package ref
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+)
+
+// Ref is an 8-byte-aligned memory reference.
+type Ref struct {
+	abs    uint64
+	reg    isa.Reg
+	off    uint64
+	hasReg bool
+}
+
+// Absolute returns a reference to a fixed address.
+func Absolute(addr uint64) Ref { return Ref{abs: addr} }
+
+// RegRel returns a reference to Regs[reg] + off.
+func RegRel(reg isa.Reg, off uint64) Ref {
+	return Ref{reg: reg, off: off, hasReg: true}
+}
+
+// IsRegRel reports whether the reference is register-relative.
+func (r Ref) IsRegRel() bool { return r.hasReg }
+
+// Reg returns the base register of a register-relative reference.
+func (r Ref) Reg() isa.Reg {
+	if !r.hasReg {
+		panic("ref: Reg() on absolute reference")
+	}
+	return r.reg
+}
+
+// Word returns the reference displaced by i 8-byte words.
+func (r Ref) Word(i int) Ref {
+	if r.hasReg {
+		r.off += uint64(i) * 8
+	} else {
+		r.abs += uint64(i) * 8
+	}
+	return r
+}
+
+// Resolve returns the concrete address given the base register's value
+// (ignored for absolute references). Host-side analysis uses it to
+// read back per-thread data after a run.
+func (r Ref) Resolve(regVal uint64) uint64 {
+	if r.hasReg {
+		return regVal + r.off
+	}
+	return r.abs
+}
+
+// EmitLoad emits dst = mem64[ref]. Absolute references clobber dst as
+// their own scratch (movimm dst, addr; load dst, [dst]) so no extra
+// register is needed.
+func (r Ref) EmitLoad(b *isa.Builder, dst isa.Reg) {
+	if r.hasReg {
+		b.Load(dst, r.reg, int64(r.off))
+		return
+	}
+	b.MovImm(dst, int64(r.abs))
+	b.Load(dst, dst, 0)
+}
+
+// EmitStore emits mem64[ref] = src, using scratch for absolute
+// references (scratch must differ from src).
+func (r Ref) EmitStore(b *isa.Builder, src, scratch isa.Reg) {
+	if r.hasReg {
+		b.Store(r.reg, int64(r.off), src)
+		return
+	}
+	if scratch == src {
+		panic("ref: EmitStore scratch must differ from src")
+	}
+	b.MovImm(scratch, int64(r.abs))
+	b.Store(scratch, 0, src)
+}
+
+// EmitLea emits dst = address of ref.
+func (r Ref) EmitLea(b *isa.Builder, dst isa.Reg) {
+	if r.hasReg {
+		b.AddImm(dst, r.reg, int64(r.off))
+		return
+	}
+	b.MovImm(dst, int64(r.abs))
+}
+
+func (r Ref) String() string {
+	if r.hasReg {
+		return fmt.Sprintf("[%s+%d]", r.reg, r.off)
+	}
+	return fmt.Sprintf("[%#x]", r.abs)
+}

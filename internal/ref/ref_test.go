@@ -1,0 +1,122 @@
+package ref
+
+import (
+	"testing"
+
+	"limitsim/internal/cpu"
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+)
+
+func runProg(t *testing.T, b *isa.Builder, setup func(*cpu.Context)) *cpu.Context {
+	t.Helper()
+	b.Halt()
+	core := cpu.NewCore(0, pmu.DefaultFeatures())
+	ctx := &cpu.Context{Prog: b.MustBuild(), Mem: mem.NewSpace()}
+	if setup != nil {
+		setup(ctx)
+	}
+	for i := 0; i < 1000; i++ {
+		if res := core.Step(ctx); res.Trap != cpu.TrapNone {
+			if res.Trap != cpu.TrapHalt {
+				t.Fatalf("trap %v: %s", res.Trap, res.Fault)
+			}
+			return ctx
+		}
+	}
+	t.Fatal("no halt")
+	return nil
+}
+
+func TestAbsoluteLoadStore(t *testing.T) {
+	r := Absolute(0x2000)
+	b := isa.NewBuilder()
+	b.MovImm(isa.R5, 77)
+	r.EmitStore(b, isa.R5, isa.R6)
+	r.EmitLoad(b, isa.R7)
+	ctx := runProg(t, b, nil)
+	if ctx.Regs[isa.R7] != 77 {
+		t.Errorf("round trip got %d", ctx.Regs[isa.R7])
+	}
+}
+
+func TestRegRelLoadStore(t *testing.T) {
+	r := RegRel(isa.R15, 16)
+	b := isa.NewBuilder()
+	b.MovImm(isa.R5, 88)
+	r.EmitStore(b, isa.R5, isa.R6)
+	r.EmitLoad(b, isa.R7)
+	ctx := runProg(t, b, func(c *cpu.Context) { c.Regs[isa.R15] = 0x3000 })
+	if ctx.Regs[isa.R7] != 88 {
+		t.Errorf("round trip got %d", ctx.Regs[isa.R7])
+	}
+	if got := ctx.Mem.Read64(0x3010); got != 88 {
+		t.Errorf("value landed at wrong address; [0x3010]=%d", got)
+	}
+}
+
+func TestWordOffsets(t *testing.T) {
+	a := Absolute(0x1000).Word(3)
+	if got := a.Resolve(0); got != 0x1018 {
+		t.Errorf("absolute Word(3) resolves %#x", got)
+	}
+	r := RegRel(isa.R14, 8).Word(2)
+	if got := r.Resolve(0x5000); got != 0x5018 {
+		t.Errorf("regrel Word(2) resolves %#x", got)
+	}
+	// Word must not mutate the receiver.
+	base := Absolute(0x1000)
+	_ = base.Word(5)
+	if base.Resolve(0) != 0x1000 {
+		t.Error("Word mutated its receiver")
+	}
+}
+
+func TestEmitLea(t *testing.T) {
+	b := isa.NewBuilder()
+	Absolute(0x7000).EmitLea(b, isa.R5)
+	RegRel(isa.R15, 24).EmitLea(b, isa.R6)
+	ctx := runProg(t, b, func(c *cpu.Context) { c.Regs[isa.R15] = 0x100 })
+	if ctx.Regs[isa.R5] != 0x7000 {
+		t.Errorf("absolute lea %#x", ctx.Regs[isa.R5])
+	}
+	if ctx.Regs[isa.R6] != 0x118 {
+		t.Errorf("regrel lea %#x, want 0x118", ctx.Regs[isa.R6])
+	}
+}
+
+func TestIsRegRelAndReg(t *testing.T) {
+	if Absolute(1).IsRegRel() {
+		t.Error("absolute claims regrel")
+	}
+	r := RegRel(isa.R12, 0)
+	if !r.IsRegRel() || r.Reg() != isa.R12 {
+		t.Error("regrel metadata wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Reg() on absolute should panic")
+		}
+	}()
+	Absolute(1).Reg()
+}
+
+func TestEmitStoreScratchCollisionPanics(t *testing.T) {
+	b := isa.NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Error("scratch == src should panic")
+		}
+	}()
+	Absolute(8).EmitStore(b, isa.R5, isa.R5)
+}
+
+func TestStrings(t *testing.T) {
+	if Absolute(0x10).String() != "[0x10]" {
+		t.Errorf("absolute string %q", Absolute(0x10).String())
+	}
+	if RegRel(isa.R3, 8).String() != "[R3+8]" {
+		t.Errorf("regrel string %q", RegRel(isa.R3, 8).String())
+	}
+}

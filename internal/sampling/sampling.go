@@ -1,0 +1,83 @@
+// Package sampling implements the statistical baseline the paper
+// contrasts with precise counting: overflow-driven PC sampling (the
+// mechanism behind perf record / oprofile / VTune). The kernel arms a
+// counter to interrupt every `period` events and records the
+// interrupted PC; post-hoc attribution assigns each sample's period to
+// the program symbol containing the PC.
+//
+// Sampling is cheap per *read* (there are no reads) but imprecise: it
+// cannot measure an individual short region at all, and its aggregate
+// attribution error grows as regions shrink relative to the period —
+// the effect the paper's Table on sampling accuracy quantifies.
+package sampling
+
+import (
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/pmu"
+)
+
+// EmitStart emits the syscall arming sampled profiling of ev with the
+// given period on the calling thread. Clobbers R0, R1.
+func EmitStart(b *isa.Builder, ev pmu.Event, period uint64) {
+	b.MovImm(isa.R0, int64(ev))
+	b.MovImm(isa.R1, int64(period))
+	b.Syscall(kernel.SysSampleStart)
+}
+
+// EmitStop emits the syscall disarming the calling thread's sampler.
+func EmitStop(b *isa.Builder) {
+	b.Syscall(kernel.SysSampleStop)
+}
+
+// Attribution is the result of attributing samples to symbols.
+type Attribution struct {
+	// Period is the sampling period used for scaling.
+	Period uint64
+	// BySymbol maps symbol name to estimated event count
+	// (samples × period).
+	BySymbol map[string]uint64
+	// Unattributed counts samples whose PC fell outside every symbol.
+	Unattributed uint64
+	// TotalSamples is the number of samples considered.
+	TotalSamples uint64
+}
+
+// EstimatedTotal returns the total estimated events across symbols,
+// including unattributed samples.
+func (a *Attribution) EstimatedTotal() uint64 {
+	sum := a.Unattributed * a.Period
+	for _, v := range a.BySymbol {
+		sum += v
+	}
+	return sum
+}
+
+// Share returns symbol's fraction of the estimated total (0 when no
+// samples landed anywhere).
+func (a *Attribution) Share(symbol string) float64 {
+	total := a.EstimatedTotal()
+	if total == 0 {
+		return 0
+	}
+	return float64(a.BySymbol[symbol]) / float64(total)
+}
+
+// Attribute maps each sample to the innermost program symbol containing
+// its PC and scales by the period. Pass tid < 0 to aggregate over all
+// threads.
+func Attribute(samples []kernel.Sample, prog *isa.Program, period uint64, tid int) *Attribution {
+	a := &Attribution{Period: period, BySymbol: make(map[string]uint64)}
+	for _, s := range samples {
+		if tid >= 0 && s.TID != tid {
+			continue
+		}
+		a.TotalSamples++
+		if sym, ok := prog.SymbolAt(s.PC); ok {
+			a.BySymbol[sym.Name] += period
+		} else {
+			a.Unattributed++
+		}
+	}
+	return a
+}

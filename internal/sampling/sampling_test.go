@@ -1,0 +1,134 @@
+package sampling_test
+
+import (
+	"testing"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/machine"
+	"limitsim/internal/pmu"
+	"limitsim/internal/sampling"
+)
+
+// buildTwoPhase builds a program spending ~90% of its instructions in
+// symbol "hot" and ~10% in symbol "cold". Compute work is chunked into
+// small blocks (as the real workload generators do) so that overflow
+// interrupts land at fine instruction granularity.
+func buildTwoPhase(period uint64) *isa.Program {
+	b := isa.NewBuilder()
+	sampling.EmitStart(b, pmu.EvInstructions, period)
+	b.MovImm(isa.R8, 0)
+	b.MovImm(isa.R9, 100)
+	b.Label("loop")
+	b.BeginSymbol("hot")
+	for i := 0; i < 18; i++ {
+		b.Compute(50)
+	}
+	b.EndSymbol()
+	b.BeginSymbol("cold")
+	for i := 0; i < 5; i++ {
+		b.Compute(20)
+	}
+	b.EndSymbol()
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	sampling.EmitStop(b)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestAttributionMatchesWorkloadShape(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	prog := buildTwoPhase(500)
+	proc := m.Kern.NewProcess(prog, nil)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+
+	at := sampling.Attribute(m.Kern.Samples(), prog, 500, -1)
+	if at.TotalSamples < 150 {
+		t.Fatalf("only %d samples; expected ~200", at.TotalSamples)
+	}
+	hot := at.Share("hot")
+	cold := at.Share("cold")
+	if hot < 0.80 || hot > 0.97 {
+		t.Errorf("hot share %.3f, want ~0.9", hot)
+	}
+	if cold < 0.03 || cold > 0.20 {
+		t.Errorf("cold share %.3f, want ~0.1", cold)
+	}
+}
+
+func TestAttributionScalesByPeriod(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	prog := buildTwoPhase(1_000)
+	proc := m.Kern.NewProcess(prog, nil)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	m.MustRun(machine.RunLimits{})
+
+	at := sampling.Attribute(m.Kern.Samples(), prog, 1_000, -1)
+	// ~100k instructions sampled at period 1000 → estimate ~100k events.
+	total := at.EstimatedTotal()
+	if total < 80_000 || total > 120_000 {
+		t.Errorf("estimated total %d, want ~100k", total)
+	}
+}
+
+func TestAttributionFiltersByTID(t *testing.T) {
+	samples := []kernel.Sample{
+		{TID: 1, PC: 0},
+		{TID: 2, PC: 0},
+		{TID: 2, PC: 0},
+	}
+	b := isa.NewBuilder()
+	b.BeginSymbol("only")
+	b.Nop()
+	b.EndSymbol()
+	prog := b.MustBuild()
+
+	at := sampling.Attribute(samples, prog, 10, 2)
+	if at.TotalSamples != 2 {
+		t.Errorf("tid filter kept %d, want 2", at.TotalSamples)
+	}
+	if at.BySymbol["only"] != 20 {
+		t.Errorf("symbol estimate %d, want 20", at.BySymbol["only"])
+	}
+}
+
+func TestUnattributedSamples(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Nop() // pc 0 outside any symbol
+	prog := b.MustBuild()
+	at := sampling.Attribute([]kernel.Sample{{TID: 1, PC: 0}}, prog, 10, -1)
+	if at.Unattributed != 1 {
+		t.Errorf("unattributed %d, want 1", at.Unattributed)
+	}
+	if at.EstimatedTotal() != 10 {
+		t.Errorf("estimated total %d, want 10 (unattributed still counts)", at.EstimatedTotal())
+	}
+	if at.Share("nothing") != 0 {
+		t.Error("missing symbol share should be 0")
+	}
+}
+
+func TestEmptyAttribution(t *testing.T) {
+	prog := isa.NewBuilder().Nop().MustBuild()
+	at := sampling.Attribute(nil, prog, 10, -1)
+	if at.EstimatedTotal() != 0 || at.Share("x") != 0 {
+		t.Error("empty sample set must yield zero estimates")
+	}
+}
+
+func TestSamplingPerturbsLessAtCoarserPeriods(t *testing.T) {
+	run := func(period uint64) uint64 {
+		m := machine.New(machine.Config{NumCores: 1})
+		prog := buildTwoPhase(period)
+		proc := m.Kern.NewProcess(prog, nil)
+		m.Kern.Spawn(proc, "w", 0, 1)
+		return m.MustRun(machine.RunLimits{}).Cycles
+	}
+	fine := run(200)
+	coarse := run(20_000)
+	if fine <= coarse {
+		t.Errorf("fine sampling (%d cycles) should cost more than coarse (%d)", fine, coarse)
+	}
+}

@@ -1,0 +1,206 @@
+// Package stats provides the summary statistics and log-scale
+// histograms the experiment harness uses to reproduce the paper's
+// tables and figures: exact percentiles over recorded samples and
+// power-of-two-bucketed histograms for critical-section length
+// distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds exact order statistics over a sample set.
+type Summary struct {
+	sorted []uint64
+	sum    float64
+	sumSq  float64
+}
+
+// NewSummary builds a summary over values (the slice is copied).
+func NewSummary(values []uint64) *Summary {
+	s := &Summary{sorted: make([]uint64, len(values))}
+	copy(s.sorted, values)
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	for _, v := range values {
+		f := float64(v)
+		s.sum += f
+		s.sumSq += f * f
+	}
+	return s
+}
+
+// N returns the sample count.
+func (s *Summary) N() int { return len(s.sorted) }
+
+// Sum returns the sample total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 for empty summaries).
+func (s *Summary) Mean() float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.sorted))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 {
+	n := float64(len(s.sorted))
+	if n == 0 {
+		return 0
+	}
+	m := s.sum / n
+	v := s.sumSq/n - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (s *Summary) Min() uint64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sorted[0]
+}
+
+// Max returns the largest sample (0 when empty).
+func (s *Summary) Max() uint64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sorted[len(s.sorted)-1]
+}
+
+// Percentile returns the q-th percentile (0 ≤ q ≤ 100) by
+// nearest-rank.
+func (s *Summary) Percentile(q float64) uint64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.sorted[0]
+	}
+	if q >= 100 {
+		return s.sorted[len(s.sorted)-1]
+	}
+	rank := int(math.Ceil(q / 100 * float64(len(s.sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.sorted[rank-1]
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() uint64 { return s.Percentile(50) }
+
+// LogHistogram buckets values by floor(log2(v)); bucket 0 holds 0 and
+// 1, bucket i holds [2^i, 2^(i+1)).
+type LogHistogram struct {
+	buckets [65]uint64
+	total   uint64
+}
+
+// Add records one value.
+func (h *LogHistogram) Add(v uint64) {
+	h.buckets[log2Floor(v)]++
+	h.total++
+}
+
+// AddAll records every value.
+func (h *LogHistogram) AddAll(values []uint64) {
+	for _, v := range values {
+		h.Add(v)
+	}
+}
+
+func log2Floor(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Total returns how many values were recorded.
+func (h *LogHistogram) Total() uint64 { return h.total }
+
+// Bucket returns the count of values in [2^i, 2^(i+1)).
+func (h *LogHistogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// Share returns bucket i's fraction of the total.
+func (h *LogHistogram) Share(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Bucket(i)) / float64(h.total)
+}
+
+// CumulativeShare returns the fraction of values < 2^(i+1).
+func (h *LogHistogram) CumulativeShare(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c uint64
+	for j := 0; j <= i && j < len(h.buckets); j++ {
+		c += h.buckets[j]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Range returns the smallest and largest non-empty bucket indices
+// (0, -1 when empty).
+func (h *LogHistogram) Range() (lo, hi int) {
+	lo, hi = 0, -1
+	seen := false
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if !seen {
+			lo = i
+			seen = true
+		}
+		hi = i
+	}
+	return lo, hi
+}
+
+// Rows renders the histogram as (label, count, share) rows over its
+// non-empty range, e.g. "[2^4,2^5)".
+func (h *LogHistogram) Rows() []HistRow {
+	lo, hi := h.Range()
+	var rows []HistRow
+	for i := lo; i <= hi; i++ {
+		rows = append(rows, HistRow{
+			Label: fmt.Sprintf("[2^%d,2^%d)", i, i+1),
+			Count: h.Bucket(i),
+			Share: h.Share(i),
+		})
+	}
+	return rows
+}
+
+// HistRow is one rendered histogram bucket.
+type HistRow struct {
+	Label string
+	Count uint64
+	Share float64
+}
+
+// Ratio returns a/b guarding the zero denominator.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

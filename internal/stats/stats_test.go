@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary([]uint64{5, 1, 3, 2, 4})
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %d/%d", s.Min(), s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	if s.Median() != 3 {
+		t.Errorf("median = %d", s.Median())
+	}
+	if s.Sum() != 15 {
+		t.Errorf("sum = %f", s.Sum())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary(nil)
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Error("empty summary must be all zeros")
+	}
+}
+
+func TestSummaryDoesNotAliasInput(t *testing.T) {
+	in := []uint64{3, 1, 2}
+	s := NewSummary(in)
+	in[0] = 100
+	if s.Max() == 100 {
+		t.Error("summary aliased its input slice")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := NewSummary([]uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	cases := map[float64]uint64{0: 10, 10: 10, 50: 50, 90: 90, 99: 100, 100: 100}
+	for q, want := range cases {
+		if got := s.Percentile(q); got != want {
+			t.Errorf("p%.0f = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		u := make([]uint64, len(vals))
+		for i, v := range vals {
+			u[i] = uint64(v)
+		}
+		s := NewSummary(u)
+		prev := uint64(0)
+		for q := 0.0; q <= 100; q += 7 {
+			p := s.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return s.Percentile(100) == s.Max() && s.Percentile(0) == s.Min()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	s := NewSummary([]uint64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("stddev = %f, want 2", got)
+	}
+	if NewSummary([]uint64{5, 5, 5}).Stddev() != 0 {
+		t.Error("constant sample must have zero stddev")
+	}
+}
+
+func TestLogHistogramBucketing(t *testing.T) {
+	var h LogHistogram
+	h.AddAll([]uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024})
+	// 0,1 -> bucket 0; 2,3 -> 1; 4,7 -> 2; 8 -> 3; 1023 -> 9; 1024 -> 10
+	want := map[int]uint64{0: 2, 1: 2, 2: 2, 3: 1, 9: 1, 10: 1}
+	for b, n := range want {
+		if got := h.Bucket(b); got != n {
+			t.Errorf("bucket %d = %d, want %d", b, got, n)
+		}
+	}
+	if h.Total() != 9 {
+		t.Errorf("total %d", h.Total())
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Error("out-of-range buckets must read 0")
+	}
+}
+
+func TestLogHistogramShares(t *testing.T) {
+	var h LogHistogram
+	h.AddAll([]uint64{1, 1, 2, 2})
+	if got := h.Share(0); got != 0.5 {
+		t.Errorf("share bucket 0 = %f", got)
+	}
+	if got := h.CumulativeShare(1); got != 1.0 {
+		t.Errorf("cumulative through bucket 1 = %f", got)
+	}
+	var empty LogHistogram
+	if empty.Share(0) != 0 || empty.CumulativeShare(5) != 0 {
+		t.Error("empty histogram shares must be 0")
+	}
+}
+
+func TestLogHistogramRangeAndRows(t *testing.T) {
+	var h LogHistogram
+	h.Add(16)
+	h.Add(17)
+	h.Add(300)
+	lo, hi := h.Range()
+	if lo != 4 || hi != 8 {
+		t.Errorf("range [%d,%d], want [4,8]", lo, hi)
+	}
+	rows := h.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows %d, want 5 (contiguous range)", len(rows))
+	}
+	if rows[0].Label != "[2^4,2^5)" || rows[0].Count != 2 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	var empty LogHistogram
+	if empty.Rows() != nil {
+		t.Error("empty histogram renders no rows")
+	}
+	if lo, hi := empty.Range(); hi != -1 || lo != 0 {
+		t.Errorf("empty range [%d,%d]", lo, hi)
+	}
+}
+
+func TestHistogramTotalMatchesSummary(t *testing.T) {
+	f := func(vals []uint32) bool {
+		u := make([]uint64, len(vals))
+		for i, v := range vals {
+			u[i] = uint64(v)
+		}
+		var h LogHistogram
+		h.AddAll(u)
+		var rowSum uint64
+		for _, r := range h.Rows() {
+			rowSum += r.Count
+		}
+		return h.Total() == uint64(len(vals)) && rowSum == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianAgainstSort(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		u := make([]uint64, len(vals))
+		for i, v := range vals {
+			u[i] = uint64(v)
+		}
+		s := NewSummary(u)
+		sorted := append([]uint64(nil), u...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		want := sorted[(len(sorted)-1)/2] // nearest-rank p50: ceil(n/2)-th
+		return s.Median() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio wrong")
+	}
+	if Ratio(5, 0) != 0 {
+		t.Error("zero denominator must give 0")
+	}
+}

@@ -1,0 +1,100 @@
+// Package tabwrite renders the harness's tables and text "figures" in
+// a consistent style: a title, an underlined header, right-aligned
+// numeric columns, and optional inline bar charts for figure-like
+// series. Built on text/tabwriter.
+package tabwrite
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table accumulates rows for aligned rendering.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float with a precision that suits its
+// magnitude (more digits for small values).
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av < 0.01:
+		return fmt.Sprintf("%.4f", v)
+	case av < 10:
+		return fmt.Sprintf("%.2f", v)
+	case av < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.header, "\t"))
+		under := make([]string, len(t.header))
+		for i, h := range t.header {
+			under[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(under, "\t"))
+	}
+	for _, row := range t.rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Bar renders a proportional text bar of at most width cells for
+// share in [0,1].
+func Bar(share float64, width int) string {
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	n := int(share*float64(width) + 0.5)
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,152 @@
+// Package tlb models a two-level data TLB: a small fully-associative
+// L1 DTLB backed by a larger set-associative STLB, with a fixed
+// page-walk cost on a full miss. Misses feed the PMU's dTLB events; a
+// page walk also stalls the access by WalkCycles.
+//
+// The model is deliberately simple (no PCIDs, no huge pages): the
+// reproduced paper's workloads only need TLB pressure to be *visible*
+// to the counters, not modeled in detail.
+package tlb
+
+// Result describes one translation.
+type Result struct {
+	// Cycles is the added translation latency (0 on an L1 hit).
+	Cycles uint64
+	// MissL1 and MissL2 report which levels missed.
+	MissL1 bool
+	MissL2 bool
+}
+
+// Config sizes the TLB.
+type Config struct {
+	L1Entries int // fully associative
+	L2Entries int
+	L2Ways    int
+	L2Cycles  int // latency when the STLB hits
+	WalkBase  int // page-walk latency on a full miss
+	PageBits  uint
+}
+
+// DefaultConfig approximates a 2011 x86 data TLB: 64-entry DTLB,
+// 512-entry 4-way STLB, 7-cycle STLB hit, 30-cycle walk, 4 KiB pages.
+func DefaultConfig() Config {
+	return Config{
+		L1Entries: 64,
+		L2Entries: 512,
+		L2Ways:    4,
+		L2Cycles:  7,
+		WalkBase:  30,
+		PageBits:  12,
+	}
+}
+
+// TLB is one core's data TLB.
+type TLB struct {
+	cfg Config
+
+	l1      []uint64 // pages, LRU order (index 0 = MRU)
+	l1Valid []bool
+
+	l2Sets  int
+	l2Tags  [][]uint64
+	l2Valid [][]bool
+}
+
+// New builds a TLB.
+func New(cfg Config) *TLB {
+	sets := cfg.L2Entries / cfg.L2Ways
+	if sets < 1 {
+		sets = 1
+	}
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	t := &TLB{
+		cfg:     cfg,
+		l1:      make([]uint64, cfg.L1Entries),
+		l1Valid: make([]bool, cfg.L1Entries),
+		l2Sets:  sets,
+	}
+	t.l2Tags = make([][]uint64, sets)
+	t.l2Valid = make([][]bool, sets)
+	for i := 0; i < sets; i++ {
+		t.l2Tags[i] = make([]uint64, cfg.L2Ways)
+		t.l2Valid[i] = make([]bool, cfg.L2Ways)
+	}
+	return t
+}
+
+// NewDefault builds a TLB with DefaultConfig.
+func NewDefault() *TLB { return New(DefaultConfig()) }
+
+// Translate looks up the page containing addr, filling both levels on
+// a miss and returning the added latency.
+func (t *TLB) Translate(addr uint64) Result {
+	page := addr >> t.cfg.PageBits
+	if t.l1Lookup(page) {
+		return Result{}
+	}
+	r := Result{MissL1: true}
+	t.l1Insert(page)
+	if t.l2Lookup(page) {
+		r.Cycles = uint64(t.cfg.L2Cycles)
+		return r
+	}
+	r.MissL2 = true
+	t.l2Insert(page)
+	r.Cycles = uint64(t.cfg.L2Cycles + t.cfg.WalkBase)
+	return r
+}
+
+func (t *TLB) l1Lookup(page uint64) bool {
+	for i, ok := range t.l1Valid {
+		if ok && t.l1[i] == page {
+			copy(t.l1[1:i+1], t.l1[:i])
+			t.l1[0] = page
+			return true
+		}
+	}
+	return false
+}
+
+func (t *TLB) l1Insert(page uint64) {
+	copy(t.l1[1:], t.l1[:len(t.l1)-1])
+	copy(t.l1Valid[1:], t.l1Valid[:len(t.l1Valid)-1])
+	t.l1[0] = page
+	t.l1Valid[0] = true
+}
+
+func (t *TLB) l2Index(page uint64) int { return int(page) & (t.l2Sets - 1) }
+
+func (t *TLB) l2Lookup(page uint64) bool {
+	s := t.l2Index(page)
+	for i, ok := range t.l2Valid[s] {
+		if ok && t.l2Tags[s][i] == page {
+			copy(t.l2Tags[s][1:i+1], t.l2Tags[s][:i])
+			t.l2Tags[s][0] = page
+			return true
+		}
+	}
+	return false
+}
+
+func (t *TLB) l2Insert(page uint64) {
+	s := t.l2Index(page)
+	copy(t.l2Tags[s][1:], t.l2Tags[s][:len(t.l2Tags[s])-1])
+	copy(t.l2Valid[s][1:], t.l2Valid[s][:len(t.l2Valid[s])-1])
+	t.l2Tags[s][0] = page
+	t.l2Valid[s][0] = true
+}
+
+// FlushAll empties the TLB (address-space switch without tagged
+// entries).
+func (t *TLB) FlushAll() {
+	for i := range t.l1Valid {
+		t.l1Valid[i] = false
+	}
+	for s := range t.l2Valid {
+		for i := range t.l2Valid[s] {
+			t.l2Valid[s][i] = false
+		}
+	}
+}

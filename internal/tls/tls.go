@@ -1,0 +1,87 @@
+// Package tls manages thread-local storage for generated programs
+// whose threads share one code body. Each thread is spawned with its
+// slot index in SlotReg; the layout's prolog computes the thread's TLS
+// base into BaseReg, and every per-thread field is addressed
+// register-relative to BaseReg via ref.RegRel. Host-side code resolves
+// the same fields per slot after a run.
+package tls
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/ref"
+)
+
+// Register conventions for shared-body programs.
+const (
+	// SlotReg carries the thread's slot index, set at spawn time.
+	SlotReg = isa.R14
+	// BaseReg carries the thread's TLS base, computed by EmitProlog.
+	BaseReg = isa.R15
+)
+
+// Layout assembles a per-thread storage block field by field. Reserve
+// all fields before calling Alloc; the layout is then frozen.
+type Layout struct {
+	words  int
+	base   uint64
+	nSlots int
+	frozen bool
+}
+
+// Reserve claims n 8-byte words and returns a register-relative
+// reference to the first.
+func (l *Layout) Reserve(n int) ref.Ref {
+	if l.frozen {
+		panic("tls: Reserve after Alloc")
+	}
+	r := ref.RegRel(BaseReg, uint64(l.words)*8)
+	l.words += n
+	return r
+}
+
+// Words returns the per-thread block size in words.
+func (l *Layout) Words() int { return l.words }
+
+// Alloc reserves backing storage for nSlots thread blocks in the
+// process address space and freezes the layout.
+func (l *Layout) Alloc(space *mem.Space, nSlots int) {
+	if l.frozen {
+		panic("tls: Alloc called twice")
+	}
+	if l.words == 0 {
+		l.words = 1 // keep ThreadBase well-defined for probe-less layouts
+	}
+	l.base = space.AllocWords(uint64(l.words * nSlots))
+	l.nSlots = nSlots
+	l.frozen = true
+}
+
+// ThreadBase returns slot's TLS base address (the value BaseReg holds
+// in that thread). Host-side analysis passes it to ref.Ref.Resolve.
+func (l *Layout) ThreadBase(slot int) uint64 {
+	if !l.frozen {
+		panic("tls: ThreadBase before Alloc")
+	}
+	if slot < 0 || slot >= l.nSlots {
+		panic(fmt.Sprintf("tls: slot %d out of range [0,%d)", slot, l.nSlots))
+	}
+	return l.base + uint64(slot*l.words)*8
+}
+
+// Slots returns the number of allocated thread slots.
+func (l *Layout) Slots() int { return l.nSlots }
+
+// EmitProlog emits BaseReg = base + SlotReg*blockSize at the current
+// position. It must run before any field is touched — in particular
+// before a LiMiT emitter's EmitInit. Clobbers only BaseReg.
+func (l *Layout) EmitProlog(b *isa.Builder) {
+	if !l.frozen {
+		panic("tls: EmitProlog before Alloc")
+	}
+	b.MovImm(BaseReg, int64(l.words)*8)
+	b.Mul(BaseReg, SlotReg, BaseReg)
+	b.AddImm(BaseReg, BaseReg, int64(l.base))
+}

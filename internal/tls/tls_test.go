@@ -1,0 +1,100 @@
+package tls
+
+import (
+	"testing"
+
+	"limitsim/internal/cpu"
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+)
+
+func TestReserveOffsets(t *testing.T) {
+	var l Layout
+	a := l.Reserve(2)
+	b := l.Reserve(1)
+	if a.Resolve(0x100) != 0x100 {
+		t.Errorf("first field at %#x, want base", a.Resolve(0x100))
+	}
+	if b.Resolve(0x100) != 0x110 {
+		t.Errorf("second field at %#x, want base+16", b.Resolve(0x100))
+	}
+	if l.Words() != 3 {
+		t.Errorf("layout words %d, want 3", l.Words())
+	}
+}
+
+func TestThreadBasesDisjoint(t *testing.T) {
+	var l Layout
+	l.Reserve(4)
+	space := mem.NewSpace()
+	l.Alloc(space, 3)
+	if l.Slots() != 3 {
+		t.Errorf("slots %d", l.Slots())
+	}
+	b0, b1, b2 := l.ThreadBase(0), l.ThreadBase(1), l.ThreadBase(2)
+	if b1-b0 != 32 || b2-b1 != 32 {
+		t.Errorf("bases %#x %#x %#x not 32B apart", b0, b1, b2)
+	}
+}
+
+func TestPrologComputesBase(t *testing.T) {
+	var l Layout
+	f := l.Reserve(1)
+	space := mem.NewSpace()
+	l.Alloc(space, 4)
+
+	b := isa.NewBuilder()
+	l.EmitProlog(b)
+	b.MovImm(isa.R5, 42)
+	f.EmitStore(b, isa.R5, isa.R6)
+	b.Halt()
+
+	core := cpu.NewCore(0, pmu.DefaultFeatures())
+	ctx := &cpu.Context{Prog: b.MustBuild(), Mem: space}
+	ctx.Regs[SlotReg] = 2
+	for {
+		if res := core.Step(ctx); res.Trap != cpu.TrapNone {
+			break
+		}
+	}
+	if ctx.Regs[BaseReg] != l.ThreadBase(2) {
+		t.Errorf("prolog computed %#x, host says %#x", ctx.Regs[BaseReg], l.ThreadBase(2))
+	}
+	if got := space.Read64(f.Resolve(l.ThreadBase(2))); got != 42 {
+		t.Errorf("field store landed wrong: %d", got)
+	}
+}
+
+func TestGuards(t *testing.T) {
+	var l Layout
+	l.Reserve(1)
+	space := mem.NewSpace()
+	l.Alloc(space, 1)
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Reserve after Alloc", func() { l.Reserve(1) })
+	mustPanic("double Alloc", func() { l.Alloc(space, 1) })
+	mustPanic("slot out of range", func() { l.ThreadBase(5) })
+
+	var l2 Layout
+	mustPanic("ThreadBase before Alloc", func() { l2.ThreadBase(0) })
+	b := isa.NewBuilder()
+	mustPanic("EmitProlog before Alloc", func() { l2.EmitProlog(b) })
+}
+
+func TestEmptyLayoutStillAllocates(t *testing.T) {
+	var l Layout
+	space := mem.NewSpace()
+	l.Alloc(space, 2)
+	if l.ThreadBase(0) == l.ThreadBase(1) {
+		t.Error("empty layout slots must still be distinct")
+	}
+}

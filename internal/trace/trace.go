@@ -1,0 +1,127 @@
+// Package trace provides an optional kernel event trace: scheduling,
+// syscalls, interrupts and signals recorded as (cycle, core, thread,
+// kind, arg) tuples in a bounded ring. It exists for debugging
+// simulated workloads and for the limitctl -trace timeline; tracing is
+// off unless a buffer is attached, so the hot paths pay one nil check.
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	SwitchIn Kind = iota
+	SwitchOut
+	Syscall
+	Signal
+	PMI
+	Wake
+	Spawn
+	Exit
+	Fault
+)
+
+var kindNames = map[Kind]string{
+	SwitchIn:  "switch-in",
+	SwitchOut: "switch-out",
+	Syscall:   "syscall",
+	Signal:    "signal",
+	PMI:       "pmi",
+	Wake:      "wake",
+	Spawn:     "spawn",
+	Exit:      "exit",
+	Fault:     "fault",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Cycle uint64
+	Core  int
+	TID   int
+	Kind  Kind
+	// Arg carries kind-specific detail: the syscall number, signal
+	// number, or overflow mask.
+	Arg uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12d core%d tid%-3d %-10s arg=%d", e.Cycle, e.Core, e.TID, e.Kind, e.Arg)
+}
+
+// Buffer is a bounded event ring. The zero value is unusable; call
+// NewBuffer.
+type Buffer struct {
+	events []Event
+	next   int
+	full   bool
+	total  uint64
+}
+
+// NewBuffer returns a ring holding the last capacity events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Buffer{events: make([]Event, capacity)}
+}
+
+// Append records one event, evicting the oldest when full.
+func (b *Buffer) Append(e Event) {
+	b.events[b.next] = e
+	b.next = (b.next + 1) % len(b.events)
+	if b.next == 0 {
+		b.full = true
+	}
+	b.total++
+}
+
+// Total returns how many events were ever recorded (including
+// evicted ones).
+func (b *Buffer) Total() uint64 { return b.total }
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if !b.full {
+		out := make([]Event, b.next)
+		copy(out, b.events[:b.next])
+		return out
+	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Dump writes up to max trailing events (0 = all retained) to w.
+func (b *Buffer) Dump(w io.Writer, max int) {
+	evs := b.Events()
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	for _, e := range evs {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// CountKind returns how many retained events have the kind.
+func (b *Buffer) CountKind(k Kind) int {
+	n := 0
+	for _, e := range b.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/mem"
+	"limitsim/internal/rec"
+	"limitsim/internal/tls"
+	"limitsim/internal/usync"
+)
+
+// ApacheConfig parameterizes the web-server model: worker threads
+// handle mostly-independent requests dominated by syscall I/O, with a
+// single short accept/log lock shared across workers. The paper's
+// Apache measurements show kernel time dominating and synchronization
+// being a small share with very short critical sections — the shape
+// this model reproduces.
+type ApacheConfig struct {
+	Name              string
+	Workers           int
+	RequestsPerWorker int
+	ParseInstrs       int64
+	HandleInstrs      int64
+	LogCSInstrs       int64 // critical-section body (log append)
+	IOCalls           int
+	IOBytes           int64
+	FileLines         int64 // file-cache lines touched per request
+	Spins             int
+}
+
+// DefaultApache returns the case-study configuration.
+func DefaultApache() ApacheConfig {
+	return ApacheConfig{
+		Name:              "apache",
+		Workers:           8,
+		RequestsPerWorker: 250,
+		ParseInstrs:       1_800,
+		HandleInstrs:      3_500,
+		LogCSInstrs:       120,
+		IOCalls:           3,
+		IOBytes:           4_096,
+		FileLines:         24,
+		Spins:             60,
+	}
+}
+
+// BuildApache assembles the web-server model.
+func BuildApache(cfg ApacheConfig, ins Instrumentation) *App {
+	space := mem.NewSpace()
+	b := isa.NewBuilder()
+	layout := &tls.Layout{}
+	r := newReader(b, layout, ins)
+
+	recCap := cfg.RequestsPerWorker
+	lockRec := rec.At(layout.Reserve(rec.SizeWords(recCap, 2)), recCap, 2)
+	startRef := layout.Reserve(1)
+	totalRef := layout.Reserve(1)
+	startRingRef := layout.Reserve(1)
+	totalRingRef := layout.Reserve(1)
+
+	logLock := usync.NewMutex(space, cfg.Spins)
+	fileCache := space.Alloc(uint64(cfg.FileLines+8) * 64 * 16)
+	layout.Alloc(space, cfg.Workers)
+
+	b.Label("worker")
+	layout.EmitProlog(b)
+	r.prolog(b)
+	emitTotalsStart(b, r, startRef, startRingRef)
+
+	b.MovImm(regTxn, 0)
+	b.Label("req")
+	// Read the request from the socket.
+	b.MovImm(isa.R0, 512)
+	b.Syscall(kernel.SysIO)
+	emitComputeChunked(b, cfg.ParseInstrs, 250)
+
+	// Serve from the "file cache": walk a pseudo-random file's lines.
+	b.Rand(isa.R11)
+	b.MovImm(isa.R10, 15)
+	b.And(isa.R11, isa.R11, isa.R10)
+	b.MovImm(isa.R12, (cfg.FileLines+8)*64)
+	b.Mul(isa.R10, isa.R11, isa.R12)
+	b.AddImm(isa.R10, isa.R10, int64(fileCache))
+	emitWalk(b, isa.R10, isa.R12, regBnd, cfg.FileLines)
+
+	emitComputeChunked(b, cfg.HandleInstrs, 250)
+
+	// Response I/O: the kernel-heavy phase.
+	for i := 0; i < cfg.IOCalls; i++ {
+		b.MovImm(isa.R0, cfg.IOBytes)
+		b.Syscall(kernel.SysIO)
+	}
+
+	// Append to the shared access log under the log lock; the entry
+	// length varies with the request.
+	emitInstrumentedCS(b, r, logLock.Ref(), cfg.Spins, lockRec, func() {
+		emitComputeChunked(b, cfg.LogCSInstrs, 200)
+		emitComputeJitter(b, isa.R10, regBnd, 8, cfg.LogCSInstrs/4+1)
+	})
+
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.RequestsPerWorker))
+	b.Br(isa.CondLT, regTxn, regBnd, "req")
+
+	emitTotalsEnd(b, r, startRef, totalRef, startRingRef, totalRingRef)
+	b.Halt()
+	r.epilog(b)
+
+	name := cfg.Name
+	if name == "" {
+		name = "apache"
+	}
+	app := &App{
+		Name:   name,
+		Prog:   b.MustBuild(),
+		Space:  space,
+		Layout: layout,
+		Instr:  ins,
+		Bodies: []BodyMeta{{
+			Label:         "worker",
+			LockRec:       lockRec,
+			TotalCycles:   totalRef,
+			AllRingCycles: totalRingRef,
+			HasRing:       ins.hasRing(),
+			Bottleneck:    r.bottleneckMeta(),
+		}},
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		app.Plans = append(app.Plans, ThreadPlan{
+			Name:  fmt.Sprintf("%s-w%d", name, w),
+			Entry: "worker",
+			Slot:  w,
+			Body:  0,
+			Seed:  uint64(2000 + w),
+		})
+	}
+	return app
+}

@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/mem"
+	"limitsim/internal/rec"
+	"limitsim/internal/tls"
+	"limitsim/internal/usync"
+)
+
+// FirefoxConfig parameterizes the browser model: one event-loop thread
+// dispatching UI events plus helper threads doing decode/layout work.
+// Its signature behavior — the one the paper says sampling obscured —
+// is an extremely high rate of *tiny* critical sections from the
+// shared allocator lock, plus a moderately contended shared-state
+// lock touched by the event loop.
+type FirefoxConfig struct {
+	Name            string
+	Helpers         int
+	EventsPerThread int
+	DispatchInstrs  int64 // event-loop work per event
+	DecodeInstrs    int64 // helper work per task
+	MallocsPerTask  int
+	AllocCSInstrs   int64 // allocator critical section (tiny)
+	StateCSInstrs   int64 // event-loop shared-state critical section
+	IOBytesPerEvent int64
+	Spins           int
+}
+
+// DefaultFirefox returns the case-study configuration.
+func DefaultFirefox() FirefoxConfig {
+	return FirefoxConfig{
+		Name:            "firefox",
+		Helpers:         6,
+		EventsPerThread: 160,
+		DispatchInstrs:  2_200,
+		DecodeInstrs:    2_800,
+		MallocsPerTask:  8,
+		AllocCSInstrs:   45,
+		StateCSInstrs:   260,
+		IOBytesPerEvent: 256,
+		Spins:           30,
+	}
+}
+
+// BuildFirefox assembles the browser model. It emits two bodies in
+// one program: "main" (the event loop) and "helper".
+func BuildFirefox(cfg FirefoxConfig, ins Instrumentation) *App {
+	space := mem.NewSpace()
+	b := isa.NewBuilder()
+	layout := &tls.Layout{}
+
+	// Each body gets its own reader (its own per-thread counter state),
+	// but buffers and totals share the layout.
+	rMain := newReader(b, layout, ins)
+	rHelp := newReader(b, layout, ins)
+
+	mainCap := cfg.EventsPerThread
+	helpCap := cfg.EventsPerThread * cfg.MallocsPerTask
+	mainRec := rec.At(layout.Reserve(rec.SizeWords(mainCap, 2)), mainCap, 2)
+	helpRec := rec.At(layout.Reserve(rec.SizeWords(helpCap, 2)), helpCap, 2)
+	mStart, mTotal := layout.Reserve(1), layout.Reserve(1)
+	mStartR, mTotalR := layout.Reserve(1), layout.Reserve(1)
+	hStart, hTotal := layout.Reserve(1), layout.Reserve(1)
+	hStartR, hTotalR := layout.Reserve(1), layout.Reserve(1)
+
+	allocLock := usync.NewMutex(space, cfg.Spins)
+	stateLock := usync.NewMutex(space, cfg.Spins)
+	heap := space.Alloc(1 << 16)
+	layout.Alloc(space, 1+cfg.Helpers)
+
+	// ---- main: the event loop ----
+	b.Label("main")
+	layout.EmitProlog(b)
+	rMain.prolog(b)
+	emitTotalsStart(b, rMain, mStart, mStartR)
+
+	b.MovImm(regTxn, 0)
+	b.Label("event")
+	emitComputeChunked(b, cfg.DispatchInstrs, 200)
+	// Poke the shared state under its lock.
+	emitInstrumentedCS(b, rMain, stateLock.Ref(), cfg.Spins, mainRec, func() {
+		emitComputeChunked(b, cfg.StateCSInstrs, 150)
+		emitComputeJitter(b, isa.R10, regBnd, 8, cfg.StateCSInstrs/4+1)
+	})
+	// Occasional UI I/O.
+	b.MovImm(isa.R0, cfg.IOBytesPerEvent)
+	b.Syscall(kernel.SysIO)
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.EventsPerThread))
+	b.Br(isa.CondLT, regTxn, regBnd, "event")
+
+	emitTotalsEnd(b, rMain, mStart, mTotal, mStartR, mTotalR)
+	b.Halt()
+
+	// ---- helper: decode tasks with allocator churn ----
+	b.Label("helper")
+	layout.EmitProlog(b)
+	rHelp.prolog(b)
+	emitTotalsStart(b, rHelp, hStart, hStartR)
+
+	b.MovImm(regTxn, 0)
+	b.Label("task")
+	emitComputeChunked(b, cfg.DecodeInstrs, 200)
+	b.MovImm(regOpI, 0)
+	b.Label("malloc")
+	emitInstrumentedCS(b, rHelp, allocLock.Ref(), cfg.Spins, helpRec, func() {
+		// The allocator's tiny critical section: bump a freelist word
+		// and do a handful of bookkeeping instructions.
+		b.MovImm(isa.R10, int64(heap))
+		b.Load(isa.R12, isa.R10, 0)
+		b.AddImm(isa.R12, isa.R12, 64)
+		b.Store(isa.R10, 0, isa.R12)
+		emitComputeChunked(b, cfg.AllocCSInstrs, 150)
+		emitComputeJitter(b, isa.R10, regBnd, 8, cfg.AllocCSInstrs/4+1)
+	})
+	b.AddImm(regOpI, regOpI, 1)
+	b.MovImm(regBnd, int64(cfg.MallocsPerTask))
+	b.Br(isa.CondLT, regOpI, regBnd, "malloc")
+
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.EventsPerThread))
+	b.Br(isa.CondLT, regTxn, regBnd, "task")
+
+	emitTotalsEnd(b, rHelp, hStart, hTotal, hStartR, hTotalR)
+	b.Halt()
+
+	rMain.epilog(b)
+	rHelp.epilog(b)
+
+	name := cfg.Name
+	if name == "" {
+		name = "firefox"
+	}
+	app := &App{
+		Name:   name,
+		Prog:   b.MustBuild(),
+		Space:  space,
+		Layout: layout,
+		Instr:  ins,
+		Bodies: []BodyMeta{
+			{Label: "main", LockRec: mainRec, TotalCycles: mTotal, AllRingCycles: mTotalR, HasRing: ins.hasRing(), Bottleneck: rMain.bottleneckMeta()},
+			{Label: "helper", LockRec: helpRec, TotalCycles: hTotal, AllRingCycles: hTotalR, HasRing: ins.hasRing(), Bottleneck: rHelp.bottleneckMeta()},
+		},
+	}
+	app.Plans = append(app.Plans, ThreadPlan{Name: name + "-main", Entry: "main", Slot: 0, Body: 0, Seed: 3000})
+	for w := 0; w < cfg.Helpers; w++ {
+		app.Plans = append(app.Plans, ThreadPlan{
+			Name:  fmt.Sprintf("%s-h%d", name, w),
+			Entry: "helper",
+			Slot:  1 + w,
+			Body:  1,
+			Seed:  uint64(3100 + w),
+		})
+	}
+	return app
+}

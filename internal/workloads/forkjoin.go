@@ -1,0 +1,192 @@
+package workloads
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/mem"
+	"limitsim/internal/rec"
+	"limitsim/internal/tls"
+	"limitsim/internal/usync"
+)
+
+// SymBarrier marks barrier-wait code for sampling attribution.
+const SymBarrier = "sync.barrier"
+
+// ForkJoinConfig parameterizes the iterative parallel-solver model: a
+// parent thread spawns workers at runtime (SysSpawn), each iteration
+// does an unbalanced compute phase, a reduction under a shared lock,
+// and a barrier; the parent joins everyone at the end. The model
+// exercises the synchronization shapes the lock-centric case studies
+// don't: barrier waits under load imbalance and kernel-mediated thread
+// lifecycles.
+type ForkJoinConfig struct {
+	Name           string
+	Workers        int // spawned by the parent at runtime
+	Iterations     int
+	PhaseInstrs    int64 // mean compute per iteration
+	ImbalancePct   uint8 // probability of a 2x-long phase
+	ReduceCSInstrs int64
+	GridLines      int64 // cache lines walked per phase
+	Spins          int
+}
+
+// DefaultForkJoin returns the example configuration.
+func DefaultForkJoin() ForkJoinConfig {
+	return ForkJoinConfig{
+		Name:           "forkjoin",
+		Workers:        6,
+		Iterations:     40,
+		PhaseInstrs:    3_000,
+		ImbalancePct:   64, // 25%
+		ReduceCSInstrs: 90,
+		GridLines:      16,
+		Spins:          50,
+	}
+}
+
+// BuildForkJoin assembles the solver. The parent occupies slot 0;
+// workers get slots 1..Workers. The worker body's BodyMeta carries
+// both the reduction-lock records (LockRec) and per-thread barrier
+// wait records (BarrierRec, stride 1).
+func BuildForkJoin(cfg ForkJoinConfig, ins Instrumentation) *App {
+	space := mem.NewSpace()
+	b := isa.NewBuilder()
+	layout := &tls.Layout{}
+	r := newReader(b, layout, ins)
+
+	lockRec := rec.At(layout.Reserve(rec.SizeWords(cfg.Iterations, 2)), cfg.Iterations, 2)
+	barRec := rec.At(layout.Reserve(rec.SizeWords(cfg.Iterations, 1)), cfg.Iterations, 1)
+	startRef := layout.Reserve(1)
+	totalRef := layout.Reserve(1)
+	startRingRef := layout.Reserve(1)
+	totalRingRef := layout.Reserve(1)
+
+	reduceLock := usync.NewMutex(space, cfg.Spins)
+	bar := usync.NewBarrier(space, cfg.Workers)
+	grid := space.Alloc(uint64(cfg.Workers+1) * uint64(cfg.GridLines+8) * 64)
+	sum := space.AllocWords(1)
+	tidBuf := space.AllocWords(uint64(cfg.Workers))
+	layout.Alloc(space, 1+cfg.Workers)
+
+	// ---- parent: spawn workers, join them ----
+	b.Label("parent")
+	layout.EmitProlog(b)
+	b.MovImm(isa.R10, int64(tidBuf))
+	b.MovImm(isa.R8, 0)
+	b.Label("spawnloop")
+	b.MovLabel(isa.R0, "worker")
+	b.AddImm(isa.R1, isa.R8, 1) // worker slot = index+1
+	b.AddImm(isa.R2, isa.R8, 400)
+	b.Syscall(kernel.SysSpawn)
+	b.MovImm(isa.R9, 8)
+	b.Mul(isa.R9, isa.R8, isa.R9)
+	b.Add(isa.R9, isa.R9, isa.R10)
+	b.Store(isa.R9, 0, isa.R0)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, int64(cfg.Workers))
+	b.Br(isa.CondLT, isa.R8, isa.R9, "spawnloop")
+	b.MovImm(isa.R8, 0)
+	b.Label("joinloop")
+	b.MovImm(isa.R9, 8)
+	b.Mul(isa.R9, isa.R8, isa.R9)
+	b.Add(isa.R9, isa.R9, isa.R10)
+	b.Load(isa.R0, isa.R9, 0)
+	b.Syscall(kernel.SysJoin)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, int64(cfg.Workers))
+	b.Br(isa.CondLT, isa.R8, isa.R9, "joinloop")
+	b.Halt()
+
+	// ---- worker: iterate compute/reduce/barrier ----
+	b.Label("worker")
+	layout.EmitProlog(b)
+	r.prolog(b)
+	emitTotalsStart(b, r, startRef, startRingRef)
+
+	b.MovImm(regTxn, 0)
+	b.Label("iter")
+	// Unbalanced compute phase over this worker's grid slab.
+	long := uniqLabel("fjlong")
+	phaseEnd := uniqLabel("fjend")
+	b.BrRand(cfg.ImbalancePct, long)
+	emitComputeChunked(b, cfg.PhaseInstrs, 300)
+	b.Jmp(phaseEnd)
+	b.Label(long)
+	emitComputeChunked(b, cfg.PhaseInstrs*2, 300)
+	b.Label(phaseEnd)
+	b.MovImm(isa.R10, (cfg.GridLines+8)*64)
+	b.Mul(isa.R10, tls.SlotReg, isa.R10)
+	b.AddImm(isa.R10, isa.R10, int64(grid))
+	emitWalk(b, isa.R10, isa.R12, regBnd, cfg.GridLines)
+
+	// Reduction under the shared lock.
+	emitInstrumentedCS(b, r, reduceLock.Ref(), cfg.Spins, lockRec, func() {
+		b.MovImm(isa.R10, int64(sum))
+		b.Load(isa.R12, isa.R10, 0)
+		b.AddImm(isa.R12, isa.R12, 1)
+		b.Store(isa.R10, 0, isa.R12)
+		emitComputeChunked(b, cfg.ReduceCSInstrs, 150)
+	})
+
+	// Barrier, with the wait measured.
+	b.BeginSymbol(SymBarrier)
+	if r.ins.Active() && !r.bottleneck() {
+		r.read(b, regT0)
+		bar.EmitWait(b)
+		r.read(b, regT2)
+		b.Sub(regT2, regT2, regT0)
+		barRec.EmitAppend(b, []isa.Reg{regT2}, isa.R0, isa.R1, isa.R2)
+	} else {
+		bar.EmitWait(b)
+	}
+	b.EndSymbol()
+
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.Iterations))
+	b.Br(isa.CondLT, regTxn, regBnd, "iter")
+
+	emitTotalsEnd(b, r, startRef, totalRef, startRingRef, totalRingRef)
+	b.Halt()
+	r.epilog(b)
+
+	name := cfg.Name
+	if name == "" {
+		name = "forkjoin"
+	}
+	app := &App{
+		Name:   name,
+		Prog:   b.MustBuild(),
+		Space:  space,
+		Layout: layout,
+		Instr:  ins,
+		Bodies: []BodyMeta{
+			{Label: "parent"},
+			{
+				Label:         "worker",
+				LockRec:       lockRec,
+				BarrierRec:    barRec,
+				TotalCycles:   totalRef,
+				AllRingCycles: totalRingRef,
+				HasRing:       ins.hasRing(),
+				Bottleneck:    r.bottleneckMeta(),
+			},
+		},
+	}
+	// Only the parent is spawned by the host; workers come from
+	// SysSpawn. Worker plans are still listed (slots 1..W, body 1) so
+	// host-side analysis can locate their TLS blocks.
+	app.Plans = append(app.Plans, ThreadPlan{Name: name + "-parent", Entry: "parent", Slot: 0, Body: 0, Seed: 4900})
+	for w := 1; w <= cfg.Workers; w++ {
+		app.Plans = append(app.Plans, ThreadPlan{
+			Name:    fmt.Sprintf("%s-w%d", name, w),
+			Entry:   "worker",
+			Slot:    w,
+			Body:    1,
+			Seed:    uint64(400 + w - 1),
+			Spawned: true,
+		})
+	}
+	return app
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/rec"
+	"limitsim/internal/ref"
+	"limitsim/internal/tls"
+	"limitsim/internal/usync"
+)
+
+// MySQLConfig parameterizes the OLTP database model: worker threads
+// run transactions that acquire per-table locks (Zipf-flavored: a hot
+// table plus a uniform remainder) around short critical sections that
+// touch table data. The shape mirrors what the paper measured in
+// MySQL with SysBench: many lock acquisitions, mostly very short
+// holds, with contention concentrated on hot structures.
+type MySQLConfig struct {
+	Name          string
+	Workers       int
+	Tables        int // power of two
+	HotTablePct   uint8
+	TxnsPerWorker int
+	OpsPerTxn     int
+	ParseInstrs   int64
+	ThinkInstrs   int64
+	CSShortInstrs int64
+	CSLongInstrs  int64
+	LongCSPct     uint8
+	CSLines       int64 // data cache lines touched per operation
+	TableBytes    int64
+	Spins         int
+}
+
+// DefaultMySQL returns the MySQL-5.1-class configuration used by the
+// case studies.
+func DefaultMySQL() MySQLConfig {
+	c := MySQLVersion("5.1")
+	return c
+}
+
+// MySQLVersion returns the longitudinal-study presets. The trend
+// across versions mirrors the paper's finding: newer versions acquire
+// more locks per transaction (finer-grained locking plus new
+// subsystems) with shorter holds, and total synchronization work
+// grows.
+func MySQLVersion(v string) MySQLConfig {
+	base := MySQLConfig{
+		Workers:       8,
+		TxnsPerWorker: 150,
+		ParseInstrs:   2_500,
+		ThinkInstrs:   800,
+		LongCSPct:     26, // ~10%
+		TableBytes:    1 << 14,
+		Spins:         40,
+	}
+	switch v {
+	case "3.23":
+		base.Name = "mysql-3.23"
+		base.Tables = 4
+		base.HotTablePct = 64 // 25% hot
+		base.OpsPerTxn = 2
+		base.CSShortInstrs = 600
+		base.CSLongInstrs = 3_000
+		base.CSLines = 10
+	case "4.1":
+		base.Name = "mysql-4.1"
+		base.Tables = 8
+		base.HotTablePct = 77 // 30% hot
+		base.OpsPerTxn = 5
+		base.CSShortInstrs = 350
+		base.CSLongInstrs = 2_200
+		base.CSLines = 7
+	case "5.1":
+		base.Name = "mysql-5.1"
+		base.Tables = 16
+		base.HotTablePct = 90 // 35% hot
+		base.OpsPerTxn = 11
+		base.CSShortInstrs = 180
+		base.CSLongInstrs = 1_500
+		base.CSLines = 5
+	default:
+		panic(fmt.Sprintf("workloads: unknown MySQL version %q", v))
+	}
+	return base
+}
+
+// BuildMySQL assembles the MySQL model with the given instrumentation.
+func BuildMySQL(cfg MySQLConfig, ins Instrumentation) *App {
+	if cfg.Tables&(cfg.Tables-1) != 0 || cfg.Tables == 0 {
+		panic("workloads: MySQL Tables must be a power of two")
+	}
+	space := mem.NewSpace()
+	b := isa.NewBuilder()
+	layout := &tls.Layout{}
+	r := newReader(b, layout, ins)
+
+	recCap := cfg.TxnsPerWorker * cfg.OpsPerTxn
+	lockRec := rec.At(layout.Reserve(rec.SizeWords(recCap, 2)), recCap, 2)
+	startRef := layout.Reserve(1)
+	totalRef := layout.Reserve(1)
+	startRingRef := layout.Reserve(1)
+	totalRingRef := layout.Reserve(1)
+
+	locks := usync.NewLockArray(space, cfg.Tables, cfg.Spins)
+	dataBase := space.Alloc(uint64(cfg.Tables) * uint64(cfg.TableBytes))
+	layout.Alloc(space, cfg.Workers)
+
+	b.Label("worker")
+	layout.EmitProlog(b)
+	r.prolog(b)
+	emitTotalsStart(b, r, startRef, startRingRef)
+
+	b.MovImm(regTxn, 0)
+	b.Label("txn")
+	emitComputeChunked(b, cfg.ParseInstrs, 250)
+
+	b.MovImm(regOpI, 0)
+	b.Label("op")
+	// Pick a table: hot with probability HotTablePct/255, else uniform.
+	b.Rand(isa.R11)
+	b.MovImm(isa.R10, int64(cfg.Tables-1))
+	b.And(isa.R11, isa.R11, isa.R10)
+	hot := uniqLabel("hot")
+	cont := uniqLabel("cont")
+	b.BrRand(cfg.HotTablePct, hot)
+	b.Jmp(cont)
+	b.Label(hot)
+	b.MovImm(isa.R11, 0)
+	b.Label(cont)
+	locks.EmitComputeAddr(b, isa.R13, isa.R11, isa.R10)
+
+	emitInstrumentedCS(b, r, ref.RegRel(isa.R13, 0), cfg.Spins, lockRec, func() {
+		// Short or long operation, with per-operation length jitter so
+		// hold times form a distribution rather than two spikes.
+		long := uniqLabel("long")
+		csEnd := uniqLabel("csend")
+		b.BrRand(cfg.LongCSPct, long)
+		emitComputeChunked(b, cfg.CSShortInstrs, 200)
+		emitComputeJitter(b, isa.R12, regBnd, 16, cfg.CSShortInstrs/8+1)
+		b.Jmp(csEnd)
+		b.Label(long)
+		emitComputeChunked(b, cfg.CSLongInstrs, 200)
+		emitComputeJitter(b, isa.R12, regBnd, 16, cfg.CSLongInstrs/8+1)
+		b.Label(csEnd)
+		b.MovImm(isa.R12, cfg.TableBytes)
+		b.Mul(isa.R10, isa.R11, isa.R12)
+		b.AddImm(isa.R10, isa.R10, int64(dataBase))
+		emitWalk(b, isa.R10, isa.R12, regBnd, cfg.CSLines)
+	})
+
+	b.AddImm(regOpI, regOpI, 1)
+	b.MovImm(regBnd, int64(cfg.OpsPerTxn))
+	b.Br(isa.CondLT, regOpI, regBnd, "op")
+
+	emitComputeChunked(b, cfg.ThinkInstrs, 250)
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.TxnsPerWorker))
+	b.Br(isa.CondLT, regTxn, regBnd, "txn")
+
+	emitTotalsEnd(b, r, startRef, totalRef, startRingRef, totalRingRef)
+	b.Halt()
+	r.epilog(b)
+
+	name := cfg.Name
+	if name == "" {
+		name = "mysql"
+	}
+	app := &App{
+		Name:   name,
+		Prog:   b.MustBuild(),
+		Space:  space,
+		Layout: layout,
+		Instr:  ins,
+		Bodies: []BodyMeta{{
+			Label:         "worker",
+			LockRec:       lockRec,
+			TotalCycles:   totalRef,
+			AllRingCycles: totalRingRef,
+			HasRing:       ins.hasRing(),
+			Bottleneck:    r.bottleneckMeta(),
+		}},
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		app.Plans = append(app.Plans, ThreadPlan{
+			Name:  fmt.Sprintf("%s-w%d", name, w),
+			Entry: "worker",
+			Slot:  w,
+			Body:  0,
+			Seed:  uint64(1000 + w),
+		})
+	}
+	return app
+}

@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/mem"
+	"limitsim/internal/rec"
+	"limitsim/internal/tls"
+)
+
+// ReadLoopConfig parameterizes the overhead microbenchmark: a loop of
+// fixed compute work with one counter read per iteration. Sweeping
+// WorkInstrs sweeps the instrumentation density (reads per
+// kilo-instruction); comparing total runtime against the
+// uninstrumented build yields each access method's overhead — the
+// paper's slowdown-vs-density figure.
+type ReadLoopConfig struct {
+	Name       string
+	Threads    int
+	Iters      int
+	WorkInstrs int64
+}
+
+// DefaultReadLoop returns a single-thread loop with moderate density.
+func DefaultReadLoop() ReadLoopConfig {
+	return ReadLoopConfig{Name: "readloop", Threads: 1, Iters: 20_000, WorkInstrs: 1_000}
+}
+
+// BuildReadLoop assembles the overhead microbenchmark.
+func BuildReadLoop(cfg ReadLoopConfig, ins Instrumentation) *App {
+	space := mem.NewSpace()
+	b := isa.NewBuilder()
+	layout := &tls.Layout{}
+	r := newReader(b, layout, ins)
+
+	startRef := layout.Reserve(1)
+	totalRef := layout.Reserve(1)
+	startRingRef := layout.Reserve(1)
+	totalRingRef := layout.Reserve(1)
+	layout.Alloc(space, cfg.Threads)
+
+	b.Label("worker")
+	layout.EmitProlog(b)
+	r.prolog(b)
+	emitTotalsStart(b, r, startRef, startRingRef)
+
+	b.MovImm(regTxn, 0)
+	b.Label("loop")
+	if cfg.WorkInstrs > 0 {
+		emitComputeChunked(b, cfg.WorkInstrs, 500)
+	}
+	r.read(b, regT0)
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.Iters))
+	b.Br(isa.CondLT, regTxn, regBnd, "loop")
+
+	emitTotalsEnd(b, r, startRef, totalRef, startRingRef, totalRingRef)
+	b.Halt()
+	r.epilog(b)
+
+	app := &App{
+		Name:   cfg.Name,
+		Prog:   b.MustBuild(),
+		Space:  space,
+		Layout: layout,
+		Instr:  ins,
+		Bodies: []BodyMeta{{
+			Label:         "worker",
+			TotalCycles:   totalRef,
+			AllRingCycles: totalRingRef,
+			HasRing:       ins.hasRing(),
+		}},
+	}
+	for w := 0; w < cfg.Threads; w++ {
+		app.Plans = append(app.Plans, ThreadPlan{
+			Name:  fmt.Sprintf("%s-w%d", cfg.Name, w),
+			Entry: "worker",
+			Slot:  w,
+			Body:  0,
+			Seed:  uint64(4000 + w),
+		})
+	}
+	return app
+}
+
+// RegionConfig parameterizes the measured-regions microbenchmark: a
+// loop that measures a region of exactly RegionInstrs compute
+// instructions with the configured access method and appends each
+// measured cycle delta to a record buffer. With CountKernelRing
+// instrumentation, a method's own trap/kernel time lands inside the
+// measured window — the paper's self-perturbation experiment.
+type RegionConfig struct {
+	Name         string
+	RegionInstrs int64
+	Iters        int
+}
+
+// BuildMeasuredRegions assembles the measured-regions microbenchmark
+// (single thread). The body's Rec buffer holds one measured delta per
+// iteration (stride 1).
+func BuildMeasuredRegions(cfg RegionConfig, ins Instrumentation) *App {
+	space := mem.NewSpace()
+	b := isa.NewBuilder()
+	layout := &tls.Layout{}
+	r := newReader(b, layout, ins)
+
+	buf := rec.At(layout.Reserve(rec.SizeWords(cfg.Iters, 1)), cfg.Iters, 1)
+	startRef := layout.Reserve(1)
+	totalRef := layout.Reserve(1)
+	startRingRef := layout.Reserve(1)
+	totalRingRef := layout.Reserve(1)
+	layout.Alloc(space, 1)
+
+	b.Label("worker")
+	layout.EmitProlog(b)
+	r.prolog(b)
+	emitTotalsStart(b, r, startRef, startRingRef)
+
+	b.MovImm(regTxn, 0)
+	b.Label("loop")
+	r.read(b, regT0) // region start
+	emitComputeChunked(b, cfg.RegionInstrs, 500)
+	r.read(b, regT2) // region end
+	b.Sub(regT2, regT2, regT0)
+	if ins.Active() {
+		buf.EmitAppend(b, []isa.Reg{regT2}, isa.R0, isa.R1, isa.R2)
+	}
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.Iters))
+	b.Br(isa.CondLT, regTxn, regBnd, "loop")
+
+	emitTotalsEnd(b, r, startRef, totalRef, startRingRef, totalRingRef)
+	b.Halt()
+	r.epilog(b)
+
+	app := &App{
+		Name:   cfg.Name,
+		Prog:   b.MustBuild(),
+		Space:  space,
+		Layout: layout,
+		Instr:  ins,
+		Bodies: []BodyMeta{{
+			Label:         "worker",
+			LockRec:       buf,
+			TotalCycles:   totalRef,
+			AllRingCycles: totalRingRef,
+			HasRing:       ins.hasRing(),
+		}},
+	}
+	app.Plans = append(app.Plans, ThreadPlan{Name: cfg.Name, Entry: "worker", Slot: 0, Body: 0, Seed: 4500})
+	return app
+}

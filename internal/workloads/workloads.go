@@ -1,0 +1,529 @@
+// Package workloads builds the synthetic application models the
+// reproduction studies in place of the paper's MySQL, Apache and
+// Firefox binaries, plus the microbenchmarks behind the overhead and
+// precision experiments. Each model is generated ISA code: worker
+// threads share one (or two) program bodies, address their per-thread
+// state through a tls.Layout, synchronize through the usync futex
+// lock library, and are instrumented at lock acquire/release sites
+// with a configurable counter access method — exactly the structure
+// the paper instruments in the real applications.
+package workloads
+
+import (
+	"fmt"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/papi"
+	"limitsim/internal/perfevent"
+	"limitsim/internal/pmu"
+	"limitsim/internal/probe"
+	"limitsim/internal/rec"
+	"limitsim/internal/ref"
+	"limitsim/internal/sampling"
+	"limitsim/internal/tls"
+	"limitsim/internal/usync"
+)
+
+// Symbol names used for sampling attribution of synchronization code.
+const (
+	SymAcquire = "sync.acquire"
+	SymCS      = "sync.cs"
+	SymRelease = "sync.release"
+)
+
+// Instrumentation selects how lock sites and thread totals are
+// measured.
+type Instrumentation struct {
+	// Kind is the access method.
+	Kind probe.Kind
+	// Mode is the LiMiT read-sequence shape (limit only).
+	Mode limit.Mode
+	// SamplePeriod is the sampling period in events (sample only).
+	SamplePeriod uint64
+	// CountKernelRing makes the measurement counter count kernel-ring
+	// cycles too, so a method's own kernel time lands inside measured
+	// windows (the self-perturbation experiment).
+	CountKernelRing bool
+	// MeasureRings additionally opens a user+kernel cycles counter and
+	// records per-thread totals for both, enabling the kernel/user
+	// decomposition (limit only; ignored elsewhere).
+	MeasureRings bool
+	// NoFixup disables LiMiT fixup-region registration (ablation).
+	NoFixup bool
+	// Bottleneck switches lock instrumentation to multi-event
+	// bottleneck identification (limit only): four counters — cycles,
+	// L1D misses, LLC misses, branch misses — are read at critical-
+	// section entry and exit and accumulated per thread, yielding
+	// inside-CS vs overall microarchitectural rates. This is the
+	// paper's title use case; it is only practical because LiMiT reads
+	// cost tens of nanoseconds. Per-operation (acq, cs) records are
+	// not collected in this mode.
+	Bottleneck bool
+}
+
+// LimitInstr is the default instrumentation for the case studies.
+func LimitInstr() Instrumentation {
+	return Instrumentation{Kind: probe.KindLimit, Mode: limit.ModeStock, MeasureRings: true}
+}
+
+// BottleneckInstr is the multi-event instrumentation for the
+// bottleneck-identification study.
+func BottleneckInstr() Instrumentation {
+	return Instrumentation{Kind: probe.KindLimit, Mode: limit.ModeStock, Bottleneck: true}
+}
+
+// BottleneckEvents are the four events the bottleneck study counts, in
+// accumulator order.
+var BottleneckEvents = [4]pmu.Event{pmu.EvCycles, pmu.EvL1DMiss, pmu.EvLLCMiss, pmu.EvBranchMiss}
+
+// BottleneckMeta locates a body's bottleneck accumulators: four words
+// each (BottleneckEvents order).
+type BottleneckMeta struct {
+	Valid bool
+	// InCS accumulates event deltas measured between critical-section
+	// entry and exit.
+	InCS ref.Ref
+	// Totals holds the thread's whole-body event totals.
+	Totals ref.Ref
+}
+
+// hasRing reports whether per-thread user+kernel totals get recorded.
+func (in Instrumentation) hasRing() bool {
+	return in.MeasureRings && in.Kind == probe.KindLimit
+}
+
+// Active reports whether the kind performs explicit reads (as opposed
+// to passive sampling or no instrumentation).
+func (in Instrumentation) Active() bool {
+	switch in.Kind {
+	case probe.KindLimit, probe.KindPerf, probe.KindPAPI, probe.KindRdtsc:
+		return true
+	}
+	return false
+}
+
+// ThreadPlan describes one thread of the app. Host-spawned threads are
+// created by Launch; Spawned plans describe threads the program itself
+// creates at runtime via SysSpawn (listed so host-side analysis can
+// locate their TLS blocks).
+type ThreadPlan struct {
+	Name    string
+	Entry   string // body entry label
+	Slot    int    // TLS slot index
+	Body    int    // index into App.Bodies
+	Seed    uint64
+	Spawned bool // created by the program via SysSpawn, not by Launch
+}
+
+// BodyMeta describes one program body's instrumentation artifacts for
+// host-side extraction.
+type BodyMeta struct {
+	Label string
+	// LockRec holds (acquire-cycles, cs-cycles) records per lock
+	// operation; zero-capacity when the body has no lock sites.
+	LockRec rec.Buffer
+	// BarrierRec holds per-episode barrier wait cycles (stride 1);
+	// zero-capacity when the body has no barriers.
+	BarrierRec rec.Buffer
+	// TotalCycles is the per-thread measured total (user ring, or
+	// user+kernel when CountKernelRing).
+	TotalCycles ref.Ref
+	// AllRingCycles is the per-thread user+kernel total (only when
+	// MeasureRings with the limit kind).
+	AllRingCycles ref.Ref
+	HasRing       bool
+	// Bottleneck locates the multi-event accumulators (Bottleneck
+	// instrumentation only).
+	Bottleneck BottleneckMeta
+}
+
+// App is a built workload ready to launch.
+type App struct {
+	Name   string
+	Prog   *isa.Program
+	Space  *mem.Space
+	Layout *tls.Layout
+	Plans  []ThreadPlan
+	Bodies []BodyMeta
+	Instr  Instrumentation
+}
+
+// Launch creates the app's process and threads on m. Threads receive
+// their TLS slot index in tls.SlotReg.
+func (a *App) Launch(m *machine.Machine) []*kernel.Thread {
+	proc := m.Kern.NewProcess(a.Prog, a.Space)
+	var threads []*kernel.Thread
+	for _, p := range a.Plans {
+		if p.Spawned {
+			continue // the program creates this thread via SysSpawn
+		}
+		t := m.Kern.Spawn(proc, p.Name, a.Prog.MustEntry(p.Entry), p.Seed)
+		t.SetReg(tls.SlotReg, uint64(p.Slot))
+		threads = append(threads, t)
+	}
+	return threads
+}
+
+// Run launches the app on a fresh machine and executes to completion.
+func (a *App) Run(mcfg machine.Config, limits machine.RunLimits) (*machine.Machine, machine.RunResult, []*kernel.Thread) {
+	m := machine.New(mcfg)
+	threads := a.Launch(m)
+	res := m.Run(limits)
+	return m, res, threads
+}
+
+// ThreadBase returns the TLS base for a plan's thread (for reading
+// back its records).
+func (a *App) ThreadBase(plan ThreadPlan) uint64 {
+	return a.Layout.ThreadBase(plan.Slot)
+}
+
+// reader emits measurement reads for one program body under the
+// configured access method.
+type reader struct {
+	ins    Instrumentation
+	le     *limit.Emitter // limit kind
+	ctrU   int
+	ctrUK  int
+	p      probe.Probe // other active kinds
+	fdRef  ref.Ref     // perf
+	es     *papi.EventSet
+	sample bool
+
+	// Bottleneck mode state: counter indices and TLS fields.
+	bctrs    [4]int
+	bScratch ref.Ref // 4 words: entry values held across the CS body
+	bInCS    ref.Ref // 4 words: inside-CS accumulators
+	bStart   ref.Ref // 4 words: body-start values
+	bTotals  ref.Ref // 4 words: whole-body totals
+}
+
+// bottleneck reports whether multi-event CS instrumentation is active.
+func (r *reader) bottleneck() bool {
+	return r.ins.Bottleneck && r.ins.Kind == probe.KindLimit
+}
+
+// bottleneckMeta returns the body's accumulator locations.
+func (r *reader) bottleneckMeta() BottleneckMeta {
+	if !r.bottleneck() {
+		return BottleneckMeta{}
+	}
+	return BottleneckMeta{Valid: true, InCS: r.bInCS, Totals: r.bTotals}
+}
+
+// newReader reserves TLS state and constructs emitters. Must be
+// called while the layout is still open.
+func newReader(b *isa.Builder, layout *tls.Layout, ins Instrumentation) *reader {
+	r := &reader{ins: ins}
+	spec := limit.UserCounter(pmu.EvCycles)
+	if ins.CountKernelRing {
+		spec = limit.AllRingsCounter(pmu.EvCycles)
+	}
+	switch ins.Kind {
+	case probe.KindLimit:
+		if ins.Bottleneck {
+			// Four counters fill the PMU; ring measurement is dropped.
+			r.le = limit.NewEmitter(b, ins.Mode, layout.Reserve(4))
+			if ins.NoFixup {
+				r.le.DisableFixupRegistration()
+			}
+			for i, ev := range BottleneckEvents {
+				r.bctrs[i] = r.le.AddCounter(limit.UserCounter(ev))
+			}
+			r.ctrU = r.bctrs[0] // cycles: keeps totals/CS timing working
+			r.bScratch = layout.Reserve(4)
+			r.bInCS = layout.Reserve(4)
+			r.bStart = layout.Reserve(4)
+			r.bTotals = layout.Reserve(4)
+			break
+		}
+		n := 1
+		if ins.MeasureRings {
+			n = 2
+		}
+		r.le = limit.NewEmitter(b, ins.Mode, layout.Reserve(n))
+		if ins.NoFixup {
+			r.le.DisableFixupRegistration()
+		}
+		r.ctrU = r.le.AddCounter(spec)
+		if ins.MeasureRings {
+			r.ctrUK = r.le.AddCounter(limit.AllRingsCounter(pmu.EvCycles))
+		}
+	case probe.KindPerf:
+		r.fdRef = layout.Reserve(1)
+	case probe.KindPAPI:
+		pspec := perfevent.UserSpec(pmu.EvCycles)
+		if ins.CountKernelRing {
+			pspec = perfevent.AllRingsSpec(pmu.EvCycles)
+		}
+		r.es = papi.NewEventSetSpecs(layout.Reserve(papi.StateWords(1)), pspec)
+	case probe.KindSample:
+		r.sample = true
+	}
+	return r
+}
+
+// prolog emits per-thread setup at body entry (after the TLS prolog).
+func (r *reader) prolog(b *isa.Builder) {
+	switch r.ins.Kind {
+	case probe.KindLimit:
+		r.le.EmitInit()
+	case probe.KindPerf:
+		spec := perfevent.UserSpec(pmu.EvCycles)
+		if r.ins.CountKernelRing {
+			spec = perfevent.AllRingsSpec(pmu.EvCycles)
+		}
+		perfevent.EmitOpen(b, spec, isa.R2)
+		r.fdRef.EmitStore(b, isa.R2, isa.R3)
+	case probe.KindPAPI:
+		r.es.EmitStart(b)
+	case probe.KindSample:
+		period := r.ins.SamplePeriod
+		if period == 0 {
+			period = 100_000
+		}
+		sampling.EmitStart(b, pmu.EvCycles, period)
+	}
+}
+
+// read emits a cycles read into dst. Clobbers R0..R3. No-op (dst=0)
+// for passive kinds.
+func (r *reader) read(b *isa.Builder, dst isa.Reg) {
+	switch r.ins.Kind {
+	case probe.KindLimit:
+		r.le.EmitRead(dst, isa.R3, r.ctrU)
+	case probe.KindPerf:
+		r.fdRef.EmitLoad(b, isa.R0)
+		perfevent.EmitRead(b, isa.R0, dst)
+	case probe.KindPAPI:
+		r.es.EmitReadInto(b, 0, dst)
+	case probe.KindRdtsc:
+		b.RdCycle(dst)
+	default:
+		b.MovImm(dst, 0)
+	}
+}
+
+// readRing emits a user+kernel cycles read (limit with MeasureRings
+// only; dst=0 otherwise).
+func (r *reader) readRing(b *isa.Builder, dst isa.Reg) {
+	if r.ins.Kind == probe.KindLimit && r.ins.MeasureRings {
+		r.le.EmitRead(dst, isa.R3, r.ctrUK)
+		return
+	}
+	b.MovImm(dst, 0)
+}
+
+// epilog emits trailing blocks (the LiMiT setup block).
+func (r *reader) epilog(b *isa.Builder) {
+	if r.ins.Kind == probe.KindLimit {
+		r.le.EmitFinish()
+	}
+}
+
+// Register conventions for instrumented bodies: the wrapper owns
+// R4..R6; bodies may use R7..R13 (R11/R13 carry the lock index and
+// lock address across the wrapper when the caller sets them up);
+// R14/R15 belong to TLS.
+const (
+	regT0  = isa.R4 // start value, then acquire delta
+	regT1  = isa.R5 // post-acquire value (live across the CS body)
+	regT2  = isa.R6 // end value, then CS delta
+	regOpI = isa.R7 // conventional inner loop counter
+	regTxn = isa.R8 // conventional outer loop counter
+	regBnd = isa.R9 // conventional bound/compare scratch
+)
+
+// emitInstrumentedCS emits a measured lock/critical-section/unlock
+// around body:
+//
+//	t0 = read; lock; t1 = read        (symbol sync.acquire)
+//	body; t2 = read                   (symbol sync.cs)
+//	unlock                            (symbol sync.release)
+//	append (t1-t0, t2-t1) to buf
+//
+// The body must preserve R5 (t1) and must not touch R4/R6; reads and
+// lock code clobber R0..R3. With passive instrumentation the reads and
+// the record append are omitted (zero overhead), but the symbols remain
+// for sampling attribution.
+func emitInstrumentedCS(b *isa.Builder, r *reader, word ref.Ref, spins int, buf rec.Buffer, body func()) {
+	if r.bottleneck() {
+		emitBottleneckCS(b, r, word, spins, body)
+		return
+	}
+	active := r.ins.Active()
+	b.BeginSymbol(SymAcquire)
+	if active {
+		r.read(b, regT0)
+	}
+	usync.EmitLock(b, word, spins)
+	if active {
+		r.read(b, regT1)
+		b.Sub(regT0, regT1, regT0) // acquire delta
+	}
+	b.EndSymbol()
+
+	b.BeginSymbol(SymCS)
+	body()
+	if active {
+		r.read(b, regT2)
+		b.Sub(regT2, regT2, regT1) // cs delta
+	}
+	b.EndSymbol()
+
+	b.BeginSymbol(SymRelease)
+	usync.EmitUnlock(b, word)
+	b.EndSymbol()
+
+	if active {
+		buf.EmitAppend(b, []isa.Reg{regT0, regT2}, isa.R0, isa.R1, isa.R2)
+	}
+}
+
+// emitBottleneckCS emits the multi-event variant of the instrumented
+// critical section: all four bottleneck counters are read at CS entry
+// (after the lock is held) and at CS exit, and the deltas accumulate
+// into the thread's inside-CS accumulators. Entry values survive the
+// body in TLS scratch memory rather than registers, so the body's
+// register constraints are the same as the plain wrapper's.
+func emitBottleneckCS(b *isa.Builder, r *reader, word ref.Ref, spins int, body func()) {
+	b.BeginSymbol(SymAcquire)
+	usync.EmitLock(b, word, spins)
+	for i := range BottleneckEvents {
+		r.le.EmitRead(regT0, isa.R3, r.bctrs[i])
+		r.bScratch.Word(i).EmitStore(b, regT0, isa.R1)
+	}
+	b.EndSymbol()
+
+	b.BeginSymbol(SymCS)
+	body()
+	for i := range BottleneckEvents {
+		r.le.EmitRead(regT0, isa.R3, r.bctrs[i])
+		r.bScratch.Word(i).EmitLoad(b, regT1)
+		b.Sub(regT0, regT0, regT1)
+		r.bInCS.Word(i).EmitLoad(b, regT1)
+		b.Add(regT0, regT0, regT1)
+		r.bInCS.Word(i).EmitStore(b, regT0, isa.R1)
+	}
+	b.EndSymbol()
+
+	b.BeginSymbol(SymRelease)
+	usync.EmitUnlock(b, word)
+	b.EndSymbol()
+}
+
+// emitTotalsStart records the body's starting cycle values into the
+// TLS words behind startRef/startRingRef.
+func emitTotalsStart(b *isa.Builder, r *reader, startRef, startRingRef ref.Ref) {
+	if !r.ins.Active() {
+		return
+	}
+	r.read(b, regT0)
+	startRef.EmitStore(b, regT0, isa.R1)
+	if r.ins.MeasureRings && r.ins.Kind == probe.KindLimit {
+		r.readRing(b, regT0)
+		startRingRef.EmitStore(b, regT0, isa.R1)
+	}
+	if r.bottleneck() {
+		for i := range BottleneckEvents {
+			r.le.EmitRead(regT0, isa.R3, r.bctrs[i])
+			r.bStart.Word(i).EmitStore(b, regT0, isa.R1)
+		}
+	}
+}
+
+// emitTotalsEnd computes the body's total cycles (and ring totals) and
+// stores them into totalRef/totalRingRef.
+func emitTotalsEnd(b *isa.Builder, r *reader, startRef, totalRef, startRingRef, totalRingRef ref.Ref) {
+	if !r.ins.Active() {
+		return
+	}
+	r.read(b, regT2)
+	startRef.EmitLoad(b, regT1)
+	b.Sub(regT2, regT2, regT1)
+	totalRef.EmitStore(b, regT2, isa.R1)
+	if r.ins.MeasureRings && r.ins.Kind == probe.KindLimit {
+		r.readRing(b, regT2)
+		startRingRef.EmitLoad(b, regT1)
+		b.Sub(regT2, regT2, regT1)
+		totalRingRef.EmitStore(b, regT2, isa.R1)
+	}
+	if r.bottleneck() {
+		for i := range BottleneckEvents {
+			r.le.EmitRead(regT2, isa.R3, r.bctrs[i])
+			r.bStart.Word(i).EmitLoad(b, regT1)
+			b.Sub(regT2, regT2, regT1)
+			r.bTotals.Word(i).EmitStore(b, regT2, isa.R1)
+		}
+	}
+}
+
+// emitComputeChunked emits n instructions of compute work in blocks of
+// at most chunk, so preemption points occur at realistic intervals.
+func emitComputeChunked(b *isa.Builder, n, chunk int64) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 200
+	}
+	for n > chunk {
+		b.Compute(chunk)
+		n -= chunk
+	}
+	b.Compute(n)
+}
+
+// emitComputeJitter emits a random amount of extra compute: between 0
+// and chunks-1 blocks (chunks must be a power of two) of chunkInstrs
+// each, drawn from the thread's RNG. Workload bodies use it so that
+// region lengths form distributions rather than spikes. Clobbers rA
+// and rB.
+func emitComputeJitter(b *isa.Builder, rA, rB isa.Reg, chunks, chunkInstrs int64) {
+	if chunks <= 1 {
+		return
+	}
+	if chunks&(chunks-1) != 0 {
+		panic("workloads: jitter chunks must be a power of two")
+	}
+	loop := uniqLabel("jit")
+	done := uniqLabel("jitdone")
+	b.Rand(rA)
+	b.MovImm(rB, chunks-1)
+	b.And(rA, rA, rB)
+	b.MovImm(rB, 0)
+	b.Label(loop)
+	b.Br(isa.CondGE, rB, rA, done)
+	b.Compute(chunkInstrs)
+	b.AddImm(rB, rB, 1)
+	b.Jmp(loop)
+	b.Label(done)
+}
+
+// emitWalk emits a pointer walk touching `lines` cache lines starting
+// at the address in ptr (stride 64B), generating realistic data-cache
+// traffic. Clobbers ptr, cnt and bnd.
+func emitWalk(b *isa.Builder, ptr, cnt, bnd isa.Reg, lines int64) {
+	if lines <= 0 {
+		return
+	}
+	loop := uniqLabel("walk")
+	b.MovImm(cnt, 0)
+	b.Label(loop)
+	b.Load(bnd, ptr, 0)
+	b.AddImm(ptr, ptr, 64)
+	b.AddImm(cnt, cnt, 1)
+	b.MovImm(bnd, lines)
+	b.Br(isa.CondLT, cnt, bnd, loop)
+}
+
+var wlLabelSeq int
+
+func uniqLabel(prefix string) string {
+	wlLabelSeq++
+	return fmt.Sprintf("wl.%s.%d", prefix, wlLabelSeq)
+}
