@@ -19,7 +19,10 @@ const benchScale = experiments.Scale(0.5)
 
 func BenchmarkTable1AccessCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunTable1(benchScale)
+		r, err := experiments.RunTable1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		lim, _ := r.Row("limit")
 		perf, _ := r.Row("perf")
 		papi, _ := r.Row("papi")
@@ -32,7 +35,10 @@ func BenchmarkTable1AccessCost(b *testing.B) {
 
 func BenchmarkTable2Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunTable2(benchScale)
+		r, err := experiments.RunTable2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		raw, _ := r.Row(experiments.VariantRaw)
 		stock, _ := r.Row(experiments.VariantStock)
 		locked, _ := r.Row(experiments.VariantLocked)
@@ -44,7 +50,10 @@ func BenchmarkTable2Breakdown(b *testing.B) {
 
 func BenchmarkTable3ContextSwitch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunTable3(benchScale)
+		r, err := experiments.RunTable3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		none, _ := r.Row("no counters")
 		four, _ := r.Row("4 LiMiT counters")
 		hw, _ := r.Row("4 LiMiT + hw-virt (e3)")
@@ -56,7 +65,10 @@ func BenchmarkTable3ContextSwitch(b *testing.B) {
 
 func BenchmarkFig1Perturbation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig1(benchScale)
+		r, err := experiments.RunFig1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		lim, _ := r.Point("limit", 100)
 		perf, _ := r.Point("perf", 100)
 		perfBig, _ := r.Point("perf", 1_000_000)
@@ -68,7 +80,10 @@ func BenchmarkFig1Perturbation(b *testing.B) {
 
 func BenchmarkFig2Overhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig2(benchScale)
+		r, err := experiments.RunFig2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		lim, _ := r.Point("limit", 30)
 		perf, _ := r.Point("perf", 30)
 		limSparse, _ := r.Point("limit", 10_000)
@@ -80,7 +95,10 @@ func BenchmarkFig2Overhead(b *testing.B) {
 
 func BenchmarkFig3CriticalSections(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunCaseStudies(benchScale)
+		r, err := experiments.RunCaseStudies(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, app := range r.Apps {
 			b.ReportMetric(float64(app.Profile.CS.Median()), "cyc/cs-median-"+app.Name)
 		}
@@ -89,7 +107,10 @@ func BenchmarkFig3CriticalSections(b *testing.B) {
 
 func BenchmarkFig4Decomposition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunCaseStudies(benchScale)
+		r, err := experiments.RunCaseStudies(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, app := range r.Apps {
 			b.ReportMetric(app.Decomp.SyncShare*100, "pct/sync-"+app.Name)
 		}
@@ -98,7 +119,10 @@ func BenchmarkFig4Decomposition(b *testing.B) {
 
 func BenchmarkFig5Longitudinal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig5(benchScale)
+		r, err := experiments.RunFig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range r.Rows {
 			b.ReportMetric(row.LocksPerTxn, "locks/txn-"+row.Version)
 			b.ReportMetric(row.SyncShare*100, "pct/sync-"+row.Version)
@@ -108,7 +132,10 @@ func BenchmarkFig5Longitudinal(b *testing.B) {
 
 func BenchmarkFig6KernelUser(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunCaseStudies(benchScale)
+		r, err := experiments.RunCaseStudies(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, app := range r.Apps {
 			b.ReportMetric(app.Decomp.KernelShare*100, "pct/kernel-"+app.Name)
 		}
@@ -117,7 +144,10 @@ func BenchmarkFig6KernelUser(b *testing.B) {
 
 func BenchmarkTable4Sampling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunTable4(benchScale)
+		r, err := experiments.RunTable4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.PreciseAcq*100, "pct/precise-acquire")
 		coarse := r.Rows[0]
 		fine := r.Rows[len(r.Rows)-1]
@@ -128,7 +158,10 @@ func BenchmarkTable4Sampling(b *testing.B) {
 
 func BenchmarkAblationOverflowMode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunAblationOverflow(benchScale)
+		r, err := experiments.RunAblationOverflow(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		kf, _ := r.Row("kernel-fold", 12)
 		su, _ := r.Row("signal-user", 12)
 		b.ReportMetric(kf.CyclesPerFold, "cyc/fold-kernel")
@@ -138,7 +171,10 @@ func BenchmarkAblationOverflowMode(b *testing.B) {
 
 func BenchmarkAblationQuantum(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunAblationQuantum(benchScale)
+		r, err := experiments.RunAblationQuantum(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.Rows[0].RewindsPerKRead, "rewinds/kread-q500")
 		b.ReportMetric(float64(r.Rows[0].Torn), "torn-q500")
 	}
@@ -146,7 +182,10 @@ func BenchmarkAblationQuantum(b *testing.B) {
 
 func BenchmarkFig8Bottlenecks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig8(benchScale)
+		r, err := experiments.RunFig8(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, p := range r.Profiles {
 			b.ReportMetric(p.InCS.L1DPerKC, "l1dpkc/incs-"+p.App)
 			b.ReportMetric(p.Outside.L1DPerKC, "l1dpkc/out-"+p.App)
@@ -156,7 +195,10 @@ func BenchmarkFig8Bottlenecks(b *testing.B) {
 
 func BenchmarkTable5Multiplexing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunTable5(benchScale)
+		r, err := experiments.RunTable5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		four, _ := r.Row(4)
 		eight, _ := r.Row(8)
 		b.ReportMetric(four.MeanAbsErr*100, "pct/err-4ctr")
@@ -166,7 +208,10 @@ func BenchmarkTable5Multiplexing(b *testing.B) {
 
 func BenchmarkFig9Consolidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig9(benchScale)
+		r, err := experiments.RunFig9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.Rows[0].RunMcycles, "Mcyc/solo")
 		b.ReportMetric(r.Rows[1].RunMcycles, "Mcyc/colocated")
 		b.ReportMetric(float64(r.Rows[1].CSP99)/float64(r.Rows[0].CSP99), "x/csp99-stability")
@@ -175,7 +220,10 @@ func BenchmarkFig9Consolidation(b *testing.B) {
 
 func BenchmarkFig7Enhancements(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig7(benchScale)
+		r, err := experiments.RunFig7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		stock, _ := r.Reads.Row(experiments.VariantStock)
 		e1, _ := r.Reads.Row(experiments.VariantE1)
 		e2, _ := r.Reads.Row(experiments.VariantE2)

@@ -10,15 +10,24 @@
 //
 //	limit-ablate [-scale 1.0] [-a1] [-a2] [-a3] [-a4]
 //
-// With no selection flags, everything runs.
+// With no selection flags, everything runs. A failed ablation prints
+// its error (and the kernel trace tail when available), the remaining
+// selections still run, and the process exits nonzero.
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"os"
 
 	"limitsim/internal/experiments"
+	"limitsim/internal/machine"
 )
+
+// renderer is any experiment result that can write itself.
+type renderer interface{ Render(io.Writer) }
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
@@ -31,17 +40,39 @@ func main() {
 	all := !(*a1 || *a2 || *a3 || *a4)
 	s := experiments.Scale(*scale)
 	w := os.Stdout
+	failed := 0
+
+	show := func(r renderer, err error) {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "limit-ablate: %v\n", err)
+			var fe *machine.FaultError
+			if errors.As(err, &fe) {
+				fmt.Fprintln(os.Stderr, "kernel trace tail:")
+				fe.DumpTrace(os.Stderr, 40)
+			}
+			return
+		}
+		r.Render(w)
+	}
 
 	if all || *a1 {
-		experiments.RunAblationOverflow(s).Render(w)
+		r, err := experiments.RunAblationOverflow(s)
+		show(r, err)
 	}
 	if all || *a2 {
-		experiments.RunAblationQuantum(s).Render(w)
+		r, err := experiments.RunAblationQuantum(s)
+		show(r, err)
 	}
 	if all || *a3 {
-		experiments.RunAblationSpins(s).Render(w)
+		r, err := experiments.RunAblationSpins(s)
+		show(r, err)
 	}
 	if all || *a4 {
-		experiments.RunAblationScheduler(s).Render(w)
+		r, err := experiments.RunAblationScheduler(s)
+		show(r, err)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

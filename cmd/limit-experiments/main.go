@@ -3,12 +3,18 @@
 // the results either as plain text (default) or as the Markdown body
 // used in EXPERIMENTS.md (-markdown).
 //
+// A failed experiment (faulted or deadlocked simulation) no longer
+// aborts the whole reproduction: the section reports the error, the
+// kernel trace tail (when available) goes to stderr, the remaining
+// sections still run, and the process exits nonzero.
+//
 // Usage:
 //
 //	limit-experiments [-scale 1.0] [-markdown]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +22,7 @@ import (
 	"strings"
 
 	"limitsim/internal/experiments"
+	"limitsim/internal/machine"
 )
 
 func main() {
@@ -25,37 +32,173 @@ func main() {
 
 	s := experiments.Scale(*scale)
 	w := os.Stdout
+	failed := 0
 
-	section := func(title string, render func(io.Writer)) {
+	report := func(title string, err error) {
+		failed++
+		fmt.Fprintf(os.Stderr, "limit-experiments: %s: %v\n", title, err)
+		var fe *machine.FaultError
+		if errors.As(err, &fe) {
+			fmt.Fprintln(os.Stderr, "kernel trace tail:")
+			fe.DumpTrace(os.Stderr, 40)
+		}
+	}
+
+	section := func(title string, render func(io.Writer) error) {
 		if *markdown {
 			fmt.Fprintf(w, "### %s\n\n```text\n", title)
-			render(w)
+			if err := render(w); err != nil {
+				fmt.Fprintf(w, "(experiment failed: %v)\n", err)
+				report(title, err)
+			}
 			fmt.Fprintf(w, "```\n\n")
 			return
 		}
 		fmt.Fprintf(w, "%s\n%s\n\n", title, strings.Repeat("#", len(title)))
-		render(w)
+		if err := render(w); err != nil {
+			fmt.Fprintf(w, "(experiment failed: %v)\n", err)
+			report(title, err)
+		}
 	}
 
-	section("T1 — Access-method cost", func(w io.Writer) { experiments.RunTable1(s).Render(w) })
-	section("T2 — Read-sequence breakdown", func(w io.Writer) { experiments.RunTable2(s).Render(w) })
-	section("T3 — Context-switch cost", func(w io.Writer) { experiments.RunTable3(s).Render(w) })
-	section("F1 — Measurement self-perturbation", func(w io.Writer) { experiments.RunFig1(s).Render(w) })
-	section("F2 — Slowdown vs instrumentation density", func(w io.Writer) { experiments.RunFig2(s).Render(w) })
+	section("T1 — Access-method cost", func(w io.Writer) error {
+		r, err := experiments.RunTable1(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("T2 — Read-sequence breakdown", func(w io.Writer) error {
+		r, err := experiments.RunTable2(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("T3 — Context-switch cost", func(w io.Writer) error {
+		r, err := experiments.RunTable3(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("F1 — Measurement self-perturbation", func(w io.Writer) error {
+		r, err := experiments.RunFig1(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("F2 — Slowdown vs instrumentation density", func(w io.Writer) error {
+		r, err := experiments.RunFig2(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
 
-	cs := experiments.RunCaseStudies(s)
-	section("F3 — Critical-section length distributions", cs.RenderFig3)
-	section("F4 — Cycle decomposition", cs.RenderFig4)
-	section("F6 — Kernel vs user cycles", cs.RenderFig6)
-	section("F5 — MySQL longitudinal", func(w io.Writer) { experiments.RunFig5(s).Render(w) })
-	section("T4 — Sampling vs precise attribution", func(w io.Writer) { experiments.RunTable4(s).Render(w) })
-	section("T5 — Counter multiplexing estimation error", func(w io.Writer) { experiments.RunTable5(s).Render(w) })
-	section("F7 — Hardware-counter enhancements", func(w io.Writer) { experiments.RunFig7(s).Render(w) })
-	section("F8 — Bottleneck identification (multi-event)", func(w io.Writer) { experiments.RunFig8(s).Render(w) })
-	section("F9 — Consolidation interference", func(w io.Writer) { experiments.RunFig9(s).Render(w) })
+	cs, csErr := experiments.RunCaseStudies(s)
+	renderCS := func(f func(io.Writer)) func(io.Writer) error {
+		return func(w io.Writer) error {
+			if csErr != nil {
+				return csErr
+			}
+			f(w)
+			return nil
+		}
+	}
+	section("F3 — Critical-section length distributions", renderCS(cs.RenderFig3))
+	section("F4 — Cycle decomposition", renderCS(cs.RenderFig4))
+	section("F6 — Kernel vs user cycles", renderCS(cs.RenderFig6))
+	section("F5 — MySQL longitudinal", func(w io.Writer) error {
+		r, err := experiments.RunFig5(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("T4 — Sampling vs precise attribution", func(w io.Writer) error {
+		r, err := experiments.RunTable4(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("T5 — Counter multiplexing estimation error", func(w io.Writer) error {
+		r, err := experiments.RunTable5(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("F7 — Hardware-counter enhancements", func(w io.Writer) error {
+		r, err := experiments.RunFig7(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("F8 — Bottleneck identification (multi-event)", func(w io.Writer) error {
+		r, err := experiments.RunFig8(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("F9 — Consolidation interference", func(w io.Writer) error {
+		r, err := experiments.RunFig9(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
 
-	section("A1 — Overflow folding mechanism", func(w io.Writer) { experiments.RunAblationOverflow(s).Render(w) })
-	section("A2 — Quantum vs PC-rewind rate", func(w io.Writer) { experiments.RunAblationQuantum(s).Render(w) })
-	section("A3 — Mutex spin budget", func(w io.Writer) { experiments.RunAblationSpins(s).Render(w) })
-	section("A4 — Scheduler placement policy", func(w io.Writer) { experiments.RunAblationScheduler(s).Render(w) })
+	section("A1 — Overflow folding mechanism", func(w io.Writer) error {
+		r, err := experiments.RunAblationOverflow(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("A2 — Quantum vs PC-rewind rate", func(w io.Writer) error {
+		r, err := experiments.RunAblationQuantum(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("A3 — Mutex spin budget", func(w io.Writer) error {
+		r, err := experiments.RunAblationSpins(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+	section("A4 — Scheduler placement policy", func(w io.Writer) error {
+		r, err := experiments.RunAblationScheduler(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "limit-experiments: %d section(s) failed\n", failed)
+		os.Exit(1)
+	}
 }

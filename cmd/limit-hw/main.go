@@ -10,14 +10,27 @@
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"os"
 
 	"limitsim/internal/experiments"
+	"limitsim/internal/machine"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (iteration multiplier)")
 	flag.Parse()
-	experiments.RunFig7(experiments.Scale(*scale)).Render(os.Stdout)
+	r, err := experiments.RunFig7(experiments.Scale(*scale))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "limit-hw: %v\n", err)
+		var fe *machine.FaultError
+		if errors.As(err, &fe) {
+			fmt.Fprintln(os.Stderr, "kernel trace tail:")
+			fe.DumpTrace(os.Stderr, 40)
+		}
+		os.Exit(1)
+	}
+	r.Render(os.Stdout)
 }

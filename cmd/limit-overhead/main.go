@@ -9,15 +9,24 @@
 //
 //	limit-overhead [-scale 1.0] [-table1] [-table2] [-table3] [-fig1] [-fig2] [-table4]
 //
-// With no selection flags, everything runs.
+// With no selection flags, everything runs. A failed experiment prints
+// its error (and the kernel trace tail when available), the remaining
+// selections still run, and the process exits nonzero.
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"os"
 
 	"limitsim/internal/experiments"
+	"limitsim/internal/machine"
 )
+
+// renderer is any experiment result that can write itself.
+type renderer interface{ Render(io.Writer) }
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (iteration multiplier)")
@@ -33,26 +42,51 @@ func main() {
 	all := !(*t1 || *t2 || *t3 || *f1 || *f2 || *t4 || *t5)
 	s := experiments.Scale(*scale)
 	w := os.Stdout
+	failed := 0
+
+	show := func(r renderer, err error) {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "limit-overhead: %v\n", err)
+			var fe *machine.FaultError
+			if errors.As(err, &fe) {
+				fmt.Fprintln(os.Stderr, "kernel trace tail:")
+				fe.DumpTrace(os.Stderr, 40)
+			}
+			return
+		}
+		r.Render(w)
+	}
 
 	if all || *t1 {
-		experiments.RunTable1(s).Render(w)
+		r, err := experiments.RunTable1(s)
+		show(r, err)
 	}
 	if all || *t2 {
-		experiments.RunTable2(s).Render(w)
+		r, err := experiments.RunTable2(s)
+		show(r, err)
 	}
 	if all || *t3 {
-		experiments.RunTable3(s).Render(w)
+		r, err := experiments.RunTable3(s)
+		show(r, err)
 	}
 	if all || *f1 {
-		experiments.RunFig1(s).Render(w)
+		r, err := experiments.RunFig1(s)
+		show(r, err)
 	}
 	if all || *f2 {
-		experiments.RunFig2(s).Render(w)
+		r, err := experiments.RunFig2(s)
+		show(r, err)
 	}
 	if all || *t4 {
-		experiments.RunTable4(s).Render(w)
+		r, err := experiments.RunTable4(s)
+		show(r, err)
 	}
 	if all || *t5 {
-		experiments.RunTable5(s).Render(w)
+		r, err := experiments.RunTable5(s)
+		show(r, err)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

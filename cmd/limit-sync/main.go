@@ -8,14 +8,18 @@
 //	limit-sync [-scale 1.0] [-fig3] [-fig4] [-fig5] [-fig6]
 //
 // With no selection flags, everything runs. Figures 3, 4 and 6 share
-// one set of instrumented runs.
+// one set of instrumented runs. A failed run prints its error (and the
+// kernel trace tail when available) and the process exits nonzero.
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"os"
 
 	"limitsim/internal/experiments"
+	"limitsim/internal/machine"
 )
 
 func main() {
@@ -30,23 +34,49 @@ func main() {
 	all := !(*f3 || *f4 || *f5 || *f6 || *f8)
 	s := experiments.Scale(*scale)
 	w := os.Stdout
+	failed := 0
+
+	report := func(err error) {
+		failed++
+		fmt.Fprintf(os.Stderr, "limit-sync: %v\n", err)
+		var fe *machine.FaultError
+		if errors.As(err, &fe) {
+			fmt.Fprintln(os.Stderr, "kernel trace tail:")
+			fe.DumpTrace(os.Stderr, 40)
+		}
+	}
 
 	if all || *f3 || *f4 || *f6 {
-		cs := experiments.RunCaseStudies(s)
-		if all || *f3 {
-			cs.RenderFig3(w)
-		}
-		if all || *f4 {
-			cs.RenderFig4(w)
-		}
-		if all || *f6 {
-			cs.RenderFig6(w)
+		cs, err := experiments.RunCaseStudies(s)
+		if err != nil {
+			report(err)
+		} else {
+			if all || *f3 {
+				cs.RenderFig3(w)
+			}
+			if all || *f4 {
+				cs.RenderFig4(w)
+			}
+			if all || *f6 {
+				cs.RenderFig6(w)
+			}
 		}
 	}
 	if all || *f5 {
-		experiments.RunFig5(s).Render(w)
+		if r, err := experiments.RunFig5(s); err != nil {
+			report(err)
+		} else {
+			r.Render(w)
+		}
 	}
 	if all || *f8 {
-		experiments.RunFig8(s).Render(w)
+		if r, err := experiments.RunFig8(s); err != nil {
+			report(err)
+		} else {
+			r.Render(w)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -38,5 +38,10 @@ func main() {
 
 	fmt.Println("Measuring read and context-switch costs per configuration...")
 	fmt.Println()
-	experiments.RunFig7(experiments.Scale(0.5)).Render(os.Stdout)
+	r, err := experiments.RunFig7(experiments.Scale(0.5))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hw-extensions:", err)
+		os.Exit(1)
+	}
+	r.Render(os.Stdout)
 }

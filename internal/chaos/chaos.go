@@ -1,0 +1,385 @@
+// Package chaos runs seeded fault-injection campaigns against the
+// LiMiT read path: N seeds × a matrix of fault mixes, every run
+// carrying the faultinject injector and the invariant checker. A
+// campaign is the executable form of the paper's atomicity claim —
+// under forced preemption at every read boundary, spurious/delayed
+// overflow interrupts, migration storms, flush storms and narrowed
+// counter widths, the measured per-region deltas must stay exact and
+// the invariant checker must stay silent. Disable fixup registration
+// (the ablation) and the same campaign reports the torn reads instead
+// of panicking.
+//
+// The campaign workload is a multi-threaded read loop: each thread
+// owns a LiMiT instruction counter and repeatedly measures a
+// fixed-size compute region with the stock rdpmc+load+add sequence,
+// storing every measured delta. Because the region's true cost is
+// known statically (K compute instructions + the read sequence
+// itself), every stored delta is its own oracle: a fold landing inside
+// an unrewound read shifts the delta by a full write-limit chunk,
+// orders of magnitude beyond the re-execution slack.
+package chaos
+
+import (
+	"fmt"
+	"io"
+
+	"limitsim/internal/faultinject"
+	"limitsim/internal/invariant"
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+	"limitsim/internal/tabwrite"
+)
+
+// Mix names one fault-injection configuration of the campaign matrix.
+type Mix struct {
+	Name   string
+	Inject faultinject.Config // Seed is overridden per run
+}
+
+// DefaultMixes returns the standard campaign matrix, from a clean
+// baseline to the full storm. Rates use primes so no fault class can
+// phase-lock with the workload's loop period.
+func DefaultMixes() []Mix {
+	return []Mix{
+		{Name: "baseline", Inject: faultinject.Config{}},
+		{Name: "preempt-storm", Inject: faultinject.Config{
+			PreemptInRegions: true, PreemptEvery: 997,
+		}},
+		{Name: "pmi-storm", Inject: faultinject.Config{
+			SpuriousPMIEvery: 211, DelayPMI: true, DelayBoundaries: 3,
+		}},
+		{Name: "migrate+flush", Inject: faultinject.Config{
+			MigrationStorm: true, FlushEvery: 499,
+		}},
+		{Name: "full-mix", Inject: faultinject.Config{
+			PreemptInRegions: true, PreemptEvery: 997,
+			SpuriousPMIEvery: 211, DelayPMI: true, DelayBoundaries: 3,
+			MigrationStorm: true, FlushEvery: 499,
+			SignalDelayBoundaries: 5,
+		}},
+	}
+}
+
+// Config shapes a campaign.
+type Config struct {
+	// Seeds is how many seeds each mix runs (default 8).
+	Seeds int
+	// Threads is the workload's thread count (default 6 — more
+	// threads than the default 4 cores, so natural quantum preemption
+	// and run-queue contention join whatever the mix injects).
+	Threads int
+	// Cores is the machine's core count (default 4).
+	Cores int
+	// Iters is reads per thread (default 400).
+	Iters int
+	// ComputeK is the measured region's compute-instruction count
+	// (default 25).
+	ComputeK int
+	// WriteWidth narrows the PMU's writable counter width so overflow
+	// folds happen constantly (default 12 bits — a fold every 4096
+	// events instead of every 2^31). Must be at least 10 so a torn
+	// read's chunk-sized error stays far above the re-execution slack.
+	WriteWidth int
+	// NoFixup disables fixup-region registration — the ablation that
+	// must make the campaign report torn reads.
+	NoFixup bool
+	// Mixes is the fault matrix (default DefaultMixes).
+	Mixes []Mix
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 8
+	}
+	if c.Threads <= 0 {
+		c.Threads = 6
+	}
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.Iters <= 0 {
+		c.Iters = 400
+	}
+	if c.ComputeK <= 0 {
+		c.ComputeK = 25
+	}
+	if c.WriteWidth <= 0 {
+		c.WriteWidth = 12
+	}
+	if len(c.Mixes) == 0 {
+		c.Mixes = DefaultMixes()
+	}
+	return c
+}
+
+// deltaSlack is the tolerated overshoot of a measured delta above its
+// static cost: re-executed instructions from fixup rewinds (budgeted
+// per region pass) plus the odd natural preemption. A torn read is off
+// by a full write-limit chunk (≥ 2^10), far beyond it.
+const deltaSlack = 256
+
+// runSteps bounds one run; hitting it means a livelock and is reported
+// as a run error rather than a hang.
+const runSteps = 50_000_000
+
+// MixResult aggregates one mix's runs across all seeds.
+type MixResult struct {
+	Name string
+	Runs int
+	// RunErrors counts runs that faulted, deadlocked, or hit the step
+	// bound; Errs keeps one message per failed run.
+	RunErrors int
+	Errs      []string
+
+	Injected faultinject.Stats
+
+	Rewinds        uint64
+	Folds          uint64
+	CtxSwitches    uint64
+	Migrations     uint64
+	ReadsCompleted uint64
+
+	// TornDeltas counts stored deltas outside [want, want+slack] — the
+	// value oracle's torn reads.
+	TornDeltas uint64
+	// CheckerViolations is the invariant checker's total count.
+	CheckerViolations int
+	// Samples holds a few representative checker violations.
+	Samples []invariant.Violation
+}
+
+// Violations is the mix's total evidence of broken invariants from
+// both oracles.
+func (m *MixResult) Violations() uint64 {
+	return m.TornDeltas + uint64(m.CheckerViolations)
+}
+
+// Result is a full campaign's outcome.
+type Result struct {
+	Cfg   Config
+	Mixes []MixResult
+	// Want is the static per-read delta every stored measurement is
+	// judged against.
+	Want uint64
+}
+
+// TotalViolations sums violations across the matrix.
+func (r *Result) TotalViolations() uint64 {
+	var n uint64
+	for i := range r.Mixes {
+		n += r.Mixes[i].Violations()
+	}
+	return n
+}
+
+// TotalRunErrors sums failed runs across the matrix.
+func (r *Result) TotalRunErrors() int {
+	n := 0
+	for i := range r.Mixes {
+		n += r.Mixes[i].RunErrors
+	}
+	return n
+}
+
+// Run executes the campaign: for each mix, Seeds independent runs of
+// the instrumented workload under that mix's injector, every run
+// watched by a fresh invariant checker and scored by the value oracle.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Cfg: cfg, Want: buildWorkload(cfg).want}
+	for mi, mix := range cfg.Mixes {
+		mr := MixResult{Name: mix.Name}
+		for s := 0; s < cfg.Seeds; s++ {
+			seed := uint64(s)*0x9e3779b97f4a7c15 + uint64(mi) + 1
+			runOne(cfg, mix, seed, &mr)
+		}
+		res.Mixes = append(res.Mixes, mr)
+	}
+	return res
+}
+
+// workload is one built campaign program.
+type workload struct {
+	prog    *isa.Program
+	space   *mem.Space
+	entries []int
+	bufs    []uint64
+	regions [][2]int
+	want    uint64 // static per-read delta: ComputeK + read-sequence length
+}
+
+// buildWorkload assembles the multi-threaded read loop. Each thread
+// gets its own body, emitter, counter table and delta buffer, so
+// per-thread virtualization is genuinely independent and the checker's
+// fold generations never alias.
+func buildWorkload(cfg Config) *workload {
+	w := &workload{space: mem.NewSpace()}
+	b := isa.NewBuilder()
+	for i := 0; i < cfg.Threads; i++ {
+		table := limit.AllocTable(w.space, 1)
+		e := limit.NewEmitter(b, limit.ModeStock, table)
+		ctr := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+		if cfg.NoFixup {
+			e.DisableFixupRegistration()
+		}
+		buf := w.space.AllocWords(uint64(cfg.Iters))
+		w.bufs = append(w.bufs, buf)
+		w.entries = append(w.entries, b.PC())
+		e.EmitInit()
+		b.MovImm(isa.R12, int64(buf))
+		b.MovImm(isa.R8, 0)
+		loop := fmt.Sprintf("chaos.t%d.loop", i)
+		b.Label(loop)
+		e.EmitMeasureStart(isa.R4, isa.R5, ctr)
+		b.Compute(int64(cfg.ComputeK))
+		e.EmitMeasureEnd(isa.R6, isa.R4, isa.R5, ctr)
+		b.Shl(isa.R13, isa.R8, 3)
+		b.Add(isa.R13, isa.R13, isa.R12)
+		b.Store(isa.R13, 0, isa.R6)
+		b.AddImm(isa.R8, isa.R8, 1)
+		b.MovImm(isa.R9, int64(cfg.Iters))
+		b.Br(isa.CondLT, isa.R8, isa.R9, loop)
+		b.Halt()
+		e.EmitFinish()
+		w.regions = append(w.regions, e.Regions()...)
+	}
+	w.prog = b.MustBuild()
+	r := w.regions[0]
+	w.want = uint64(cfg.ComputeK) + uint64(r[1]-r[0])
+	return w
+}
+
+// runOne executes a single seeded run and folds its outcome into mr.
+func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult) {
+	mr.Runs++
+
+	feats := pmu.DefaultFeatures()
+	feats.WriteWidth = cfg.WriteWidth
+
+	kcfg := kernel.DefaultConfig()
+	kcfg.Seed = seed
+	kcfg.Quantum = 30_000 // short slices: natural preemption joins the storm
+	kcfg.LimitOverflow = kernel.FoldInKernel
+
+	w := buildWorkload(cfg)
+	m := machine.New(machine.Config{
+		NumCores:      cfg.Cores,
+		PMU:           feats,
+		Kernel:        kcfg,
+		TraceCapacity: 256,
+	})
+
+	icfg := mix.Inject
+	icfg.Seed = seed ^ 0x5ca1ab1e
+	icfg.NumSlots = feats.NumCounters
+	inj := faultinject.New(icfg)
+	inj.SetRegions(w.regions)
+	inj.SetCores(cfg.Cores)
+	inj.Attach(m.Kern)
+
+	chk := invariant.New(w.regions)
+	chk.Attach(m.Kern)
+
+	proc := m.Kern.NewProcess(w.prog, w.space)
+	for i := 0; i < cfg.Threads; i++ {
+		m.Kern.Spawn(proc, fmt.Sprintf("chaos%d", i), w.entries[i], seed*31+uint64(i))
+	}
+
+	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
+	switch {
+	case res.Err != nil:
+		mr.RunErrors++
+		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: %v", seed, res.Err))
+	case !res.AllDone:
+		mr.RunErrors++
+		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: run hit %d-step bound (livelock?)", seed, runSteps))
+	}
+
+	chk.Finalize(proc, m.Kern.Threads(), 0)
+
+	// Value oracle: every stored delta must sit within the static
+	// cost's slack; a torn read is off by a write-limit chunk.
+	for ti := 0; ti < cfg.Threads; ti++ {
+		for it := 0; it < cfg.Iters; it++ {
+			d := w.space.Read64(w.bufs[ti] + uint64(it)*8)
+			if d < w.want || d > w.want+deltaSlack {
+				mr.TornDeltas++
+			}
+		}
+	}
+
+	mr.Injected.ForcedPreemptions += inj.Stats.ForcedPreemptions
+	mr.Injected.RandomPreemptions += inj.Stats.RandomPreemptions
+	mr.Injected.SpuriousPMIs += inj.Stats.SpuriousPMIs
+	mr.Injected.DelayedPMIs += inj.Stats.DelayedPMIs
+	mr.Injected.ReleasedPMIs += inj.Stats.ReleasedPMIs
+	mr.Injected.DrainedPMIs += inj.Stats.DrainedPMIs
+	mr.Injected.Migrations += inj.Stats.Migrations
+	mr.Injected.HeldSignals += inj.Stats.HeldSignals
+	mr.Injected.Flushes += inj.Stats.Flushes
+
+	mr.Folds += m.Kern.Stats.OverflowFolds
+	mr.CtxSwitches += m.Kern.Stats.CtxSwitches
+	mr.Migrations += m.Kern.Stats.Migrations
+	mr.ReadsCompleted += chk.ReadsCompleted
+	for _, t := range m.Kern.Threads() {
+		mr.Rewinds += t.Stats.FixupRewinds
+	}
+	mr.CheckerViolations += chk.Count()
+	for _, v := range chk.Violations() {
+		if len(mr.Samples) >= 8 {
+			break
+		}
+		mr.Samples = append(mr.Samples, v)
+	}
+}
+
+// Render writes the campaign table (and a violation detail section
+// when any invariant broke). Output is byte-deterministic for a given
+// Config.
+func (r *Result) Render(w io.Writer) {
+	fixup := "enabled"
+	if r.Cfg.NoFixup {
+		fixup = "DISABLED (ablation)"
+	}
+	title := fmt.Sprintf("Chaos campaign: %d seed(s) x %d mix(es), %d threads / %d cores, %d-bit writes, fixup %s",
+		r.Cfg.Seeds, len(r.Mixes), r.Cfg.Threads, r.Cfg.Cores, r.Cfg.WriteWidth, fixup)
+	t := tabwrite.New(title,
+		"mix", "runs", "injected", "preempts", "spur-pmi", "delay-pmi",
+		"migrations", "flushes", "rewinds", "folds", "reads", "torn", "violations", "errors")
+	for i := range r.Mixes {
+		m := &r.Mixes[i]
+		t.Row(m.Name, m.Runs, m.Injected.Total(),
+			m.Injected.ForcedPreemptions+m.Injected.RandomPreemptions,
+			m.Injected.SpuriousPMIs, m.Injected.DelayedPMIs,
+			m.Migrations, m.Injected.Flushes,
+			m.Rewinds, m.Folds, m.ReadsCompleted,
+			m.TornDeltas, m.CheckerViolations, m.RunErrors)
+	}
+	t.Render(w)
+
+	if r.TotalViolations() > 0 {
+		d := tabwrite.New("Invariant violations (samples)", "mix", "thread", "kind", "detail")
+		for i := range r.Mixes {
+			m := &r.Mixes[i]
+			for _, v := range m.Samples {
+				d.Row(m.Name, v.TID, v.Kind, v.Detail)
+			}
+			if m.TornDeltas > 0 {
+				d.Row(m.Name, "-", "torn-delta",
+					fmt.Sprintf("%d measured delta(s) outside [%d,%d]",
+						m.TornDeltas, r.Want, r.Want+deltaSlack))
+			}
+		}
+		d.Render(w)
+	}
+	for i := range r.Mixes {
+		for _, e := range r.Mixes[i].Errs {
+			fmt.Fprintf(w, "run error [%s] %s\n", r.Mixes[i].Name, e)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps campaign tests fast while still folding and
+// preempting heavily.
+func quickCfg() Config {
+	return Config{
+		Seeds:      2,
+		Threads:    4,
+		Cores:      2,
+		Iters:      150,
+		ComputeK:   25,
+		WriteWidth: 12,
+	}
+}
+
+// TestCampaignDeterminism runs the identical campaign twice and
+// requires byte-identical rendered output — the replayability claim:
+// same seeds, same config, same faults, same outcome.
+func TestCampaignDeterminism(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		Run(quickCfg()).Render(&sb)
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same config produced different campaign output:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestCampaignInvariantsHoldWithFixup runs the full default mix matrix
+// with the fixup patch active: faults must actually be injected, reads
+// must complete, and not a single invariant may break.
+func TestCampaignInvariantsHoldWithFixup(t *testing.T) {
+	r := Run(quickCfg())
+	if errs := r.TotalRunErrors(); errs != 0 {
+		for _, m := range r.Mixes {
+			for _, e := range m.Errs {
+				t.Logf("[%s] %s", m.Name, e)
+			}
+		}
+		t.Fatalf("%d run(s) failed", errs)
+	}
+	if v := r.TotalViolations(); v != 0 {
+		var sb strings.Builder
+		r.Render(&sb)
+		t.Fatalf("%d invariant violation(s) with fixup enabled:\n%s", v, sb.String())
+	}
+	var injected, reads, folds uint64
+	for i := range r.Mixes {
+		injected += r.Mixes[i].Injected.Total()
+		reads += r.Mixes[i].ReadsCompleted
+		folds += r.Mixes[i].Folds
+	}
+	if injected == 0 {
+		t.Error("campaign injected no faults")
+	}
+	if reads == 0 {
+		t.Error("campaign completed no reads")
+	}
+	if folds == 0 {
+		t.Error("narrowed counters produced no overflow folds")
+	}
+}
+
+// TestCampaignDetectsTornReadsWithoutFixup disables fixup-region
+// registration and requires the campaign to *detect* the resulting torn
+// reads — gracefully, as counted violations rather than a panic — with
+// the generation oracle and the value oracle in agreement that tearing
+// occurred.
+func TestCampaignDetectsTornReadsWithoutFixup(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Seeds = 4
+	cfg.NoFixup = true
+	r := Run(cfg)
+	if errs := r.TotalRunErrors(); errs != 0 {
+		t.Fatalf("%d run(s) failed; detection must be graceful", errs)
+	}
+	if r.TotalViolations() == 0 {
+		t.Fatal("fixup disabled but no torn reads detected — the checker is blind")
+	}
+	var torn uint64
+	checker := 0
+	for i := range r.Mixes {
+		torn += r.Mixes[i].TornDeltas
+		checker += r.Mixes[i].CheckerViolations
+	}
+	if torn == 0 {
+		t.Error("value oracle saw no torn deltas")
+	}
+	if checker == 0 {
+		t.Error("generation oracle saw no violations")
+	}
+}
+
+// TestRenderShape pins the campaign report's user-visible surface.
+func TestRenderShape(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Seeds = 1
+	var sb strings.Builder
+	Run(cfg).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Chaos campaign", "fixup enabled",
+		"baseline", "preempt-storm", "pmi-storm", "migrate+flush", "full-mix",
+		"rewinds", "folds", "torn", "violations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	cfg.NoFixup = true
+	cfg.Mixes = []Mix{DefaultMixes()[2]} // pmi-storm reliably tears
+	sb.Reset()
+	Run(cfg).Render(&sb)
+	out = sb.String()
+	if !strings.Contains(out, "DISABLED (ablation)") {
+		t.Errorf("ablation render missing fixup-disabled banner:\n%s", out)
+	}
+	if !strings.Contains(out, "Invariant violations (samples)") {
+		t.Errorf("ablation render missing violation detail table:\n%s", out)
+	}
+}

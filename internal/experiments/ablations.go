@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"limitsim/internal/analysis"
@@ -39,7 +40,7 @@ type A1Result struct {
 }
 
 // a1run executes a fixed compute+read loop under one configuration.
-func a1run(mode kernel.OverflowMode, writeWidth, iters int) (cycles, folds, signals uint64) {
+func a1run(mode kernel.OverflowMode, writeWidth, iters int) (cycles, folds, signals uint64, err error) {
 	feats := pmu.DefaultFeatures()
 	feats.WriteWidth = writeWidth
 	kcfg := kernel.DefaultConfig()
@@ -67,13 +68,16 @@ func a1run(mode kernel.OverflowMode, writeWidth, iters int) (cycles, folds, sign
 	m := machine.New(machine.Config{NumCores: 1, PMU: feats, Kernel: kcfg})
 	proc := m.Kern.NewProcess(b.MustBuild(), space)
 	m.Kern.Spawn(proc, "a1", 0, 3)
-	res := m.MustRun(machine.RunLimits{MaxSteps: runSteps})
-	return res.Cycles, m.Kern.Stats.OverflowFolds, m.Kern.Stats.SignalsSent
+	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
+	if res.Err != nil {
+		return 0, 0, 0, fmt.Errorf("a1 %v width-%d run: %w", mode, writeWidth, res.Err)
+	}
+	return res.Cycles, m.Kern.Stats.OverflowFolds, m.Kern.Stats.SignalsSent, nil
 }
 
 // RunAblationOverflow measures both folding mechanisms at the stock
 // write width (rare folds) and a narrow one (frequent folds).
-func RunAblationOverflow(s Scale) *A1Result {
+func RunAblationOverflow(s Scale) (*A1Result, error) {
 	iters := s.iters(5_000)
 	r := &A1Result{}
 	for _, spec := range []struct {
@@ -86,7 +90,10 @@ func RunAblationOverflow(s Scale) *A1Result {
 		{kernel.SignalUser, "signal-user", 31},
 		{kernel.SignalUser, "signal-user", 12},
 	} {
-		cycles, folds, signals := a1run(spec.mode, spec.width, iters)
+		cycles, folds, signals, err := a1run(spec.mode, spec.width, iters)
+		if err != nil {
+			return nil, err
+		}
 		row := A1Row{
 			Mode: spec.name, WriteWidth: spec.width,
 			Folds: folds, Signals: signals, RunCycles: cycles,
@@ -106,7 +113,7 @@ func RunAblationOverflow(s Scale) *A1Result {
 			}
 		}
 	}
-	return r
+	return r, nil
 }
 
 // Row returns the (mode, width) row.
@@ -152,7 +159,7 @@ type A2Result struct {
 
 // RunAblationQuantum sweeps the scheduler quantum with two contending
 // threads measuring fixed regions.
-func RunAblationQuantum(s Scale) *A2Result {
+func RunAblationQuantum(s Scale) (*A2Result, error) {
 	iters := s.iters(800)
 	const regionInstrs = 400
 	r := &A2Result{}
@@ -192,7 +199,9 @@ func RunAblationQuantum(s Scale) *A2Result {
 		t0.SetReg(isa.R14, 0)
 		t1 := m.Kern.Spawn(proc, "rival", 0, 6)
 		t1.SetReg(isa.R14, 1)
-		m.MustRun(machine.RunLimits{MaxSteps: runSteps})
+		if res := m.Run(machine.RunLimits{MaxSteps: runSteps}); res.Err != nil {
+			return nil, fmt.Errorf("a2 quantum-%d run: %w", quantum, res.Err)
+		}
 
 		// Each thread performs two reads per iteration (start + end).
 		row := A2Row{Quantum: quantum, Reads: uint64(iters) * 4}
@@ -206,7 +215,7 @@ func RunAblationQuantum(s Scale) *A2Result {
 		}
 		r.Rows = append(r.Rows, row)
 	}
-	return r
+	return r, nil
 }
 
 // Render writes the quantum ablation.
@@ -239,15 +248,15 @@ type A3Result struct {
 }
 
 // RunAblationSpins sweeps the spin budget on the MySQL model.
-func RunAblationSpins(s Scale) *A3Result {
+func RunAblationSpins(s Scale) (*A3Result, error) {
 	r := &A3Result{}
 	for _, spins := range []int{0, 10, 40, 200, 1000} {
 		cfg := scaleMySQL(workloads.DefaultMySQL(), s)
 		cfg.Spins = spins
 		app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
 		m, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(res.Faults[0])
+		if res.Err != nil {
+			return nil, fmt.Errorf("a3 spins-%d run: %w", spins, res.Err)
 		}
 		p := analysis.CollectSync(app)
 		r.Rows = append(r.Rows, A3Row{
@@ -257,7 +266,7 @@ func RunAblationSpins(s Scale) *A3Result {
 			RunMcycles:  float64(res.Cycles) / 1e6,
 		})
 	}
-	return r
+	return r, nil
 }
 
 // Render writes the spin ablation.
@@ -290,7 +299,7 @@ type A4Result struct {
 }
 
 // RunAblationScheduler sweeps placement policies.
-func RunAblationScheduler(s Scale) *A4Result {
+func RunAblationScheduler(s Scale) (*A4Result, error) {
 	r := &A4Result{}
 	for _, spec := range []struct {
 		name           string
@@ -307,8 +316,8 @@ func RunAblationScheduler(s Scale) *A4Result {
 		cfg := scaleMySQL(workloads.DefaultMySQL(), s)
 		app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
 		m, res, _ := app.Run(machine.Config{NumCores: 4, Kernel: kcfg}, machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(res.Faults[0])
+		if res.Err != nil {
+			return nil, fmt.Errorf("a4 %s run: %w", spec.name, res.Err)
 		}
 		r.Rows = append(r.Rows, A4Row{
 			Policy:     spec.name,
@@ -317,7 +326,7 @@ func RunAblationScheduler(s Scale) *A4Result {
 			RunMcycles: float64(res.Cycles) / 1e6,
 		})
 	}
-	return r
+	return r, nil
 }
 
 // Render writes the scheduler ablation.

@@ -3,7 +3,10 @@ package experiments
 import "testing"
 
 func TestAblationOverflowShape(t *testing.T) {
-	r := RunAblationOverflow(Quick)
+	r, err := RunAblationOverflow(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
@@ -26,7 +29,10 @@ func TestAblationOverflowShape(t *testing.T) {
 }
 
 func TestAblationQuantumShape(t *testing.T) {
-	r := RunAblationQuantum(Quick)
+	r, err := RunAblationQuantum(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
@@ -44,7 +50,10 @@ func TestAblationQuantumShape(t *testing.T) {
 }
 
 func TestAblationSpinsShape(t *testing.T) {
-	r := RunAblationSpins(Quick)
+	r, err := RunAblationSpins(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
@@ -62,7 +71,10 @@ func TestAblationSpinsShape(t *testing.T) {
 }
 
 func TestAblationSchedulerShape(t *testing.T) {
-	r := RunAblationScheduler(Quick)
+	r, err := RunAblationScheduler(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
@@ -79,7 +91,10 @@ func TestAblationSchedulerShape(t *testing.T) {
 }
 
 func TestFig9ConsolidationShape(t *testing.T) {
-	r := RunFig9(Quick)
+	r, err := RunFig9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 2 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
@@ -103,7 +118,10 @@ func TestFig9ConsolidationShape(t *testing.T) {
 }
 
 func TestTable5MultiplexShape(t *testing.T) {
-	r := RunTable5(Quick)
+	r, err := RunTable5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}

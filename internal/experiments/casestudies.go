@@ -32,29 +32,36 @@ func scaleMySQL(cfg workloads.MySQLConfig, s Scale) workloads.MySQLConfig {
 
 // RunCaseStudies runs the three application models with LiMiT
 // instrumentation on a 4-core machine and collects their profiles.
-func RunCaseStudies(s Scale) *CaseStudyResult {
+func RunCaseStudies(s Scale) (*CaseStudyResult, error) {
 	r := &CaseStudyResult{}
 
-	runOne := func(app *workloads.App) {
+	runOne := func(app *workloads.App) error {
 		_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(app.Name + ": " + res.Faults[0])
+		if res.Err != nil {
+			return fmt.Errorf("case study %s: %w", app.Name, res.Err)
 		}
 		p := analysis.CollectSync(app)
 		r.Apps = append(r.Apps, AppProfile{Name: app.Name, Profile: p, Decomp: p.Decompose()})
+		return nil
 	}
 
-	runOne(workloads.BuildMySQL(scaleMySQL(workloads.DefaultMySQL(), s), workloads.LimitInstr()))
+	if err := runOne(workloads.BuildMySQL(scaleMySQL(workloads.DefaultMySQL(), s), workloads.LimitInstr())); err != nil {
+		return nil, err
+	}
 
 	acfg := workloads.DefaultApache()
 	acfg.RequestsPerWorker = s.iters(acfg.RequestsPerWorker)
-	runOne(workloads.BuildApache(acfg, workloads.LimitInstr()))
+	if err := runOne(workloads.BuildApache(acfg, workloads.LimitInstr())); err != nil {
+		return nil, err
+	}
 
 	fcfg := workloads.DefaultFirefox()
 	fcfg.EventsPerThread = s.iters(fcfg.EventsPerThread)
-	runOne(workloads.BuildFirefox(fcfg, workloads.LimitInstr()))
+	if err := runOne(workloads.BuildFirefox(fcfg, workloads.LimitInstr())); err != nil {
+		return nil, err
+	}
 
-	return r
+	return r, nil
 }
 
 // App returns the named app's profile.
@@ -112,20 +119,20 @@ type F5Result struct {
 }
 
 // RunFig5 runs the three MySQL version presets.
-func RunFig5(s Scale) *F5Result {
+func RunFig5(s Scale) (*F5Result, error) {
 	r := &F5Result{}
 	for _, v := range []string{"3.23", "4.1", "5.1"} {
 		cfg := scaleMySQL(workloads.MySQLVersion(v), s)
 		app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
 		_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(res.Faults[0])
+		if res.Err != nil {
+			return nil, fmt.Errorf("fig5 mysql-%s: %w", v, res.Err)
 		}
 		p := analysis.CollectSync(app)
 		txns := uint64(cfg.Workers * cfg.TxnsPerWorker)
 		r.Rows = append(r.Rows, analysis.Longitudinal(v, txns, p))
 	}
-	return r
+	return r, nil
 }
 
 // Render writes the longitudinal table.

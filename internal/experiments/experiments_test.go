@@ -10,7 +10,10 @@ import (
 // the reproduction target stated in DESIGN.md.
 
 func TestTable1Shape(t *testing.T) {
-	r := RunTable1(Quick)
+	r, err := RunTable1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lim, _ := r.Row("limit")
 	perf, _ := r.Row("perf")
 	papi, _ := r.Row("papi")
@@ -36,7 +39,10 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	r := RunTable2(Quick)
+	r, err := RunTable2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	raw, _ := r.Row(VariantRaw)
 	stock, _ := r.Row(VariantStock)
 	locked, _ := r.Row(VariantLocked)
@@ -58,7 +64,10 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	r := RunTable3(Quick)
+	r, err := RunTable3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c0, _ := r.Row("no counters")
 	c2, _ := r.Row("2 LiMiT counters")
 	c4, _ := r.Row("4 LiMiT counters")
@@ -79,7 +88,10 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	r := RunFig1(Quick)
+	r, err := RunFig1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	limSmall, _ := r.Point("limit", 100)
 	perfSmall, _ := r.Point("perf", 100)
 	perfBig, _ := r.Point("perf", 1_000_000)
@@ -99,7 +111,10 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
-	r := RunFig2(Quick)
+	r, err := RunFig2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	limDense, _ := r.Point("limit", 30)
 	perfDense, _ := r.Point("perf", 30)
 	limSparse, _ := r.Point("limit", 10_000)
@@ -118,7 +133,10 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestCaseStudiesShape(t *testing.T) {
-	r := RunCaseStudies(Quick)
+	r, err := RunCaseStudies(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Apps) != 3 {
 		t.Fatalf("want 3 apps, got %d", len(r.Apps))
 	}
@@ -150,7 +168,10 @@ func TestCaseStudiesShape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	r := RunFig5(Quick)
+	r, err := RunFig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 3 {
 		t.Fatalf("want 3 versions, got %d", len(r.Rows))
 	}
@@ -172,7 +193,10 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	r := RunTable4(Quick)
+	r, err := RunTable4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.PreciseAcq <= 0 || r.PreciseCS <= 0 {
 		t.Fatalf("precise shares must be positive: %.3f %.3f", r.PreciseAcq, r.PreciseCS)
 	}
@@ -192,7 +216,10 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r := RunFig8(Quick)
+	r, err := RunFig8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Profiles) != 3 {
 		t.Fatalf("want 3 profiles, got %d", len(r.Profiles))
 	}
@@ -230,7 +257,10 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	r := RunFig7(Quick)
+	r, err := RunFig7(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	r.Render(&sb)
 	out := sb.String()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"limitsim/internal/machine"
@@ -29,7 +30,7 @@ type F1Result struct {
 }
 
 // RunFig1 sweeps region sizes for each precise method.
-func RunFig1(s Scale) *F1Result {
+func RunFig1(s Scale) (*F1Result, error) {
 	sizes := []int64{100, 300, 1_000, 3_000, 10_000, 100_000, 1_000_000}
 	kinds := []probe.Kind{probe.KindLimit, probe.KindPerf, probe.KindPAPI}
 	r := &F1Result{Sizes: sizes}
@@ -43,8 +44,8 @@ func RunFig1(s Scale) *F1Result {
 				Name: "f1", RegionInstrs: size, Iters: iters,
 			}, workloads.Instrumentation{Kind: kind, CountKernelRing: true})
 			_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
-			if len(res.Faults) > 0 {
-				panic(res.Faults[0])
+			if res.Err != nil {
+				return nil, fmt.Errorf("fig1 %s@%d run: %w", kind, size, res.Err)
 			}
 			body := app.Bodies[0]
 			deltas := body.LockRec.Column(app.Space, app.ThreadBase(app.Plans[0]), 0)
@@ -57,7 +58,7 @@ func RunFig1(s Scale) *F1Result {
 			})
 		}
 	}
-	return r
+	return r, nil
 }
 
 // Point returns the (method, size) cell.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"limitsim/internal/machine"
@@ -27,28 +28,34 @@ type F2Result struct {
 }
 
 // RunFig2 sweeps density for each method.
-func RunFig2(s Scale) *F2Result {
+func RunFig2(s Scale) (*F2Result, error) {
 	works := []int64{30_000, 10_000, 3_000, 1_000, 300, 100, 30}
 	kinds := []probe.Kind{probe.KindRdtsc, probe.KindLimit, probe.KindPerf, probe.KindPAPI}
 	r := &F2Result{Works: works, Kinds: kinds}
 
-	run := func(kind probe.Kind, work int64, iters int) uint64 {
+	run := func(kind probe.Kind, work int64, iters int) (uint64, error) {
 		app := workloads.BuildReadLoop(workloads.ReadLoopConfig{
 			Name: "f2", Threads: 1, Iters: iters, WorkInstrs: work,
 		}, workloads.Instrumentation{Kind: kind})
 		_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(res.Faults[0])
+		if res.Err != nil {
+			return 0, fmt.Errorf("fig2 %s@%d run: %w", kind, work, res.Err)
 		}
-		return res.Cycles
+		return res.Cycles, nil
 	}
 
 	for _, work := range works {
 		// Keep total work roughly constant across densities.
 		iters := s.iters(int(10_000_000 / work))
-		base := run(probe.KindNull, work, iters)
+		base, err := run(probe.KindNull, work, iters)
+		if err != nil {
+			return nil, err
+		}
 		for _, kind := range kinds {
-			c := run(kind, work, iters)
+			c, err := run(kind, work, iters)
+			if err != nil {
+				return nil, err
+			}
 			r.Points = append(r.Points, F2Point{
 				Method:        string(kind),
 				ReadsPerKInst: 1000 / float64(work),
@@ -56,7 +63,7 @@ func RunFig2(s Scale) *F2Result {
 			})
 		}
 	}
-	return r
+	return r, nil
 }
 
 // Point returns the (method, work) cell.

@@ -22,8 +22,16 @@ type F7Result struct {
 }
 
 // RunFig7 measures all enhancement configurations.
-func RunFig7(s Scale) *F7Result {
-	return &F7Result{Reads: RunTable2(s), Switches: RunTable3(s)}
+func RunFig7(s Scale) (*F7Result, error) {
+	reads, err := RunTable2(s)
+	if err != nil {
+		return nil, err
+	}
+	switches, err := RunTable3(s)
+	if err != nil {
+		return nil, err
+	}
+	return &F7Result{Reads: reads, Switches: switches}, nil
 }
 
 // Render writes the composed figure.

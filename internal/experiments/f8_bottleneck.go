@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"limitsim/internal/analysis"
@@ -24,33 +25,40 @@ type F8Result struct {
 
 // RunFig8 profiles the three application models with multi-event
 // instrumentation.
-func RunFig8(s Scale) *F8Result {
+func RunFig8(s Scale) (*F8Result, error) {
 	r := &F8Result{}
 
-	runOne := func(app *workloads.App) {
+	runOne := func(app *workloads.App) error {
 		_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(app.Name + ": " + res.Faults[0])
+		if res.Err != nil {
+			return fmt.Errorf("fig8 %s: %w", app.Name, res.Err)
 		}
 		p, err := analysis.CollectBottleneck(app)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("fig8 %s: %w", app.Name, err)
 		}
 		r.Profiles = append(r.Profiles, p)
+		return nil
 	}
 
 	mcfg := scaleMySQL(workloads.DefaultMySQL(), s)
-	runOne(workloads.BuildMySQL(mcfg, workloads.BottleneckInstr()))
+	if err := runOne(workloads.BuildMySQL(mcfg, workloads.BottleneckInstr())); err != nil {
+		return nil, err
+	}
 
 	acfg := workloads.DefaultApache()
 	acfg.RequestsPerWorker = s.iters(acfg.RequestsPerWorker)
-	runOne(workloads.BuildApache(acfg, workloads.BottleneckInstr()))
+	if err := runOne(workloads.BuildApache(acfg, workloads.BottleneckInstr())); err != nil {
+		return nil, err
+	}
 
 	fcfg := workloads.DefaultFirefox()
 	fcfg.EventsPerThread = s.iters(fcfg.EventsPerThread)
-	runOne(workloads.BuildFirefox(fcfg, workloads.BottleneckInstr()))
+	if err := runOne(workloads.BuildFirefox(fcfg, workloads.BottleneckInstr())); err != nil {
+		return nil, err
+	}
 
-	return r
+	return r, nil
 }
 
 // Profile returns the named app's profile.

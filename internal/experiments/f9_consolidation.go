@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"limitsim/internal/analysis"
@@ -38,10 +39,10 @@ type F9Result struct {
 
 // RunFig9 runs MySQL solo and co-located with Apache on the same
 // 4-core machine.
-func RunFig9(s Scale) *F9Result {
+func RunFig9(s Scale) (*F9Result, error) {
 	r := &F9Result{}
 
-	run := func(name string, withApache bool) {
+	run := func(name string, withApache bool) error {
 		mcfg := machine.Config{NumCores: 4}
 		m := machine.New(mcfg)
 
@@ -56,8 +57,8 @@ func RunFig9(s Scale) *F9Result {
 		}
 
 		res := m.Run(machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(res.Faults[0])
+		if res.Err != nil {
+			return fmt.Errorf("fig9 %s: %w", name, res.Err)
 		}
 
 		p := analysis.CollectSync(mysql)
@@ -85,11 +86,16 @@ func RunFig9(s Scale) *F9Result {
 			KernelShare:       d.KernelShare,
 			MeasurementIntact: intact,
 		})
+		return nil
 	}
 
-	run("mysql solo", false)
-	run("mysql + apache co-located", true)
-	return r
+	if err := run("mysql solo", false); err != nil {
+		return nil, err
+	}
+	if err := run("mysql + apache co-located", true); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // Render writes the consolidation table.

@@ -18,7 +18,11 @@ func renderOf(f func(w io.Writer)) string {
 // output surface.
 
 func TestRenderTable1(t *testing.T) {
-	out := renderOf(func(w io.Writer) { RunTable1(Quick).Render(w) })
+	r, err := RunTable1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOf(r.Render)
 	for _, want := range []string{"Table 1", "ns/read", "limit", "perf", "papi", "rdtsc", "sample", "statistical"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
@@ -27,7 +31,11 @@ func TestRenderTable1(t *testing.T) {
 }
 
 func TestRenderTable2(t *testing.T) {
-	out := renderOf(func(w io.Writer) { RunTable2(Quick).Render(w) })
+	r, err := RunTable2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOf(r.Render)
 	for _, want := range []string{"Table 2", "rdpmc-raw", "limit-stock", "limit-lock-based", "seq instrs"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q", want)
@@ -36,7 +44,11 @@ func TestRenderTable2(t *testing.T) {
 }
 
 func TestRenderTable3(t *testing.T) {
-	out := renderOf(func(w io.Writer) { RunTable3(Quick).Render(w) })
+	r, err := RunTable3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOf(r.Render)
 	for _, want := range []string{"Table 3", "no counters", "4 perf counters", "hw-virt", "delta vs none"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q", want)
@@ -45,18 +57,29 @@ func TestRenderTable3(t *testing.T) {
 }
 
 func TestRenderFig1And2(t *testing.T) {
-	out := renderOf(func(w io.Writer) { RunFig1(Quick).Render(w) })
+	r1, err := RunFig1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOf(r1.Render)
 	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "region (instrs)") {
 		t.Errorf("fig1 render:\n%s", out)
 	}
-	out = renderOf(func(w io.Writer) { RunFig2(Quick).Render(w) })
+	r2, err := RunFig2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = renderOf(r2.Render)
 	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "reads/kinstr") {
 		t.Errorf("fig2 render:\n%s", out)
 	}
 }
 
 func TestRenderCaseStudies(t *testing.T) {
-	cs := RunCaseStudies(Quick)
+	cs, err := RunCaseStudies(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := renderOf(cs.RenderFig3)
 	for _, want := range []string{"Figure 3", "mysql-5.1", "apache", "firefox", "median", "[2^"} {
 		if !strings.Contains(out, want) {
@@ -74,13 +97,21 @@ func TestRenderCaseStudies(t *testing.T) {
 }
 
 func TestRenderFig5AndTable4(t *testing.T) {
-	out := renderOf(func(w io.Writer) { RunFig5(Quick).Render(w) })
+	r5, err := RunFig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOf(r5.Render)
 	for _, want := range []string{"Figure 5", "3.23", "4.1", "5.1", "locks/txn"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fig5 missing %q", want)
 		}
 	}
-	out = renderOf(func(w io.Writer) { RunTable4(Quick).Render(w) })
+	r4, err := RunTable4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = renderOf(r4.Render)
 	for _, want := range []string{"Table 4", "LiMiT precise", "sampling @", "err(acquire)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table4 missing %q", want)
@@ -89,13 +120,21 @@ func TestRenderFig5AndTable4(t *testing.T) {
 }
 
 func TestRenderFig8And9(t *testing.T) {
-	out := renderOf(func(w io.Writer) { RunFig8(Quick).Render(w) })
+	r8, err := RunFig8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOf(r8.Render)
 	for _, want := range []string{"Figure 8", "L1D in-CS", "memory-bound"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fig8 missing %q", want)
 		}
 	}
-	out = renderOf(func(w io.Writer) { RunFig9(Quick).Render(w) })
+	r9, err := RunFig9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = renderOf(r9.Render)
 	for _, want := range []string{"Figure 9", "solo", "co-located", "measurements intact"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fig9 missing %q", want)
@@ -104,19 +143,35 @@ func TestRenderFig8And9(t *testing.T) {
 }
 
 func TestRenderAblations(t *testing.T) {
-	out := renderOf(func(w io.Writer) { RunAblationOverflow(Quick).Render(w) })
+	a1, err := RunAblationOverflow(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOf(a1.Render)
 	if !strings.Contains(out, "A1") || !strings.Contains(out, "kernel-fold") {
 		t.Errorf("A1 render:\n%s", out)
 	}
-	out = renderOf(func(w io.Writer) { RunAblationQuantum(Quick).Render(w) })
+	a2, err := RunAblationQuantum(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = renderOf(a2.Render)
 	if !strings.Contains(out, "A2") || !strings.Contains(out, "torn") {
 		t.Errorf("A2 render:\n%s", out)
 	}
-	out = renderOf(func(w io.Writer) { RunAblationSpins(Quick).Render(w) })
+	a3, err := RunAblationSpins(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = renderOf(a3.Render)
 	if !strings.Contains(out, "A3") || !strings.Contains(out, "spins") {
 		t.Errorf("A3 render:\n%s", out)
 	}
-	out = renderOf(func(w io.Writer) { RunAblationScheduler(Quick).Render(w) })
+	a4, err := RunAblationScheduler(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = renderOf(a4.Render)
 	if !strings.Contains(out, "A4") || !strings.Contains(out, "migrate-on-wake") {
 		t.Errorf("A4 render:\n%s", out)
 	}

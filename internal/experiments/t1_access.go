@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"limitsim/internal/machine"
@@ -27,28 +28,34 @@ type T1Result struct {
 
 // RunTable1 measures each access method's per-read cost with a
 // tight loop against the uninstrumented baseline.
-func RunTable1(s Scale) *T1Result {
+func RunTable1(s Scale) (*T1Result, error) {
 	iters := s.iters(20_000)
 	const work = 200
 
-	run := func(kind probe.Kind) uint64 {
+	run := func(kind probe.Kind) (uint64, error) {
 		app := workloads.BuildReadLoop(workloads.ReadLoopConfig{
 			Name: "t1-" + string(kind), Threads: 1, Iters: iters, WorkInstrs: work,
 		}, workloads.Instrumentation{Kind: kind})
 		_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
-		if len(res.Faults) > 0 {
-			panic(res.Faults[0])
+		if res.Err != nil {
+			return 0, fmt.Errorf("table1 %s run: %w", kind, res.Err)
 		}
-		return res.Cycles
+		return res.Cycles, nil
 	}
 
-	base := run(probe.KindNull)
-	perRead := func(kind probe.Kind) float64 {
-		c := run(kind)
-		if c <= base {
-			return 0
+	base, err := run(probe.KindNull)
+	if err != nil {
+		return nil, err
+	}
+	perRead := func(kind probe.Kind) (float64, error) {
+		c, err := run(kind)
+		if err != nil {
+			return 0, err
 		}
-		return float64(c-base) / float64(iters)
+		if c <= base {
+			return 0, nil
+		}
+		return float64(c-base) / float64(iters), nil
 	}
 
 	r := &T1Result{Iters: iters}
@@ -65,7 +72,10 @@ func RunTable1(s Scale) *T1Result {
 	}
 	var limitCost float64
 	for _, sp := range specs {
-		c := perRead(sp.kind)
+		c, err := perRead(sp.kind)
+		if err != nil {
+			return nil, err
+		}
 		if sp.kind == probe.KindLimit {
 			limitCost = c
 		}
@@ -85,7 +95,7 @@ func RunTable1(s Scale) *T1Result {
 			r.Rows[i].RatioVsLiMT = r.Rows[i].CyclesRead / limitCost
 		}
 	}
-	return r
+	return r, nil
 }
 
 // LimitNs returns LiMiT's measured per-read nanoseconds.

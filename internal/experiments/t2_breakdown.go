@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"limitsim/internal/isa"
@@ -55,7 +56,7 @@ type T2Result struct {
 // a cycles counter with the given construction, and returns the
 // per-read cost (against an empty-loop baseline) plus the sequence's
 // static instruction count.
-func measureVariant(v ReadVariant, iters int) (float64, int) {
+func measureVariant(v ReadVariant, iters int) (float64, int, error) {
 	feats := pmu.DefaultFeatures()
 	mode := limit.ModeStock
 	switch v {
@@ -108,31 +109,44 @@ func measureVariant(v ReadVariant, iters int) (float64, int) {
 		return prog.Len() - base.Len()
 	}()
 
-	run := func(withRead bool) uint64 {
+	run := func(withRead bool) (uint64, error) {
 		prog, space := build(withRead)
 		m := machine.New(machine.Config{NumCores: 1, PMU: feats})
 		proc := m.Kern.NewProcess(prog, space)
 		m.Kern.Spawn(proc, "t2", 0, 9)
-		res := m.MustRun(machine.RunLimits{MaxSteps: runSteps})
-		return res.Cycles
+		res := m.Run(machine.RunLimits{MaxSteps: runSteps})
+		if res.Err != nil {
+			return 0, fmt.Errorf("table2 %s run: %w", v, res.Err)
+		}
+		return res.Cycles, nil
 	}
 
-	with, without := run(true), run(false)
-	if with <= without {
-		return 0, seqLen
+	with, err := run(true)
+	if err != nil {
+		return 0, 0, err
 	}
-	return float64(with-without) / float64(iters), seqLen
+	without, err := run(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	if with <= without {
+		return 0, seqLen, nil
+	}
+	return float64(with-without) / float64(iters), seqLen, nil
 }
 
 // RunTable2 measures every read variant.
-func RunTable2(s Scale) *T2Result {
+func RunTable2(s Scale) (*T2Result, error) {
 	iters := s.iters(20_000)
 	r := &T2Result{}
 	for _, v := range []ReadVariant{VariantRaw, VariantStock, VariantLocked, VariantE1, VariantE2} {
-		c, n := measureVariant(v, iters)
+		c, n, err := measureVariant(v, iters)
+		if err != nil {
+			return nil, err
+		}
 		r.Rows = append(r.Rows, T2Row{Variant: v, CyclesRead: c, NsRead: c * NsPerCycle, SeqInstrs: n})
 	}
-	return r
+	return r, nil
 }
 
 // Row returns the named variant's row.

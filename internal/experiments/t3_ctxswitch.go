@@ -67,7 +67,7 @@ func buildYieldPong(nCounters int, perfStyle bool, rounds int) (*isa.Program, *m
 	return b.MustBuild(), space
 }
 
-func measureSwitch(nCounters int, perfStyle, hwVirt bool, rounds int) float64 {
+func measureSwitch(nCounters int, perfStyle, hwVirt bool, rounds int) (float64, error) {
 	feats := pmu.DefaultFeatures()
 	if hwVirt {
 		feats = pmu.EnhancedHWVirtualization()
@@ -77,16 +77,20 @@ func measureSwitch(nCounters int, perfStyle, hwVirt bool, rounds int) float64 {
 	proc := m.Kern.NewProcess(prog, space)
 	m.Kern.Spawn(proc, "ping", 0, 21)
 	m.Kern.Spawn(proc, "pong", 0, 22)
-	res := m.MustRun(machine.RunLimits{MaxSteps: runSteps})
+	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
+	if res.Err != nil {
+		return 0, fmt.Errorf("table3 %d-counter run (perf=%v hwvirt=%v): %w",
+			nCounters, perfStyle, hwVirt, res.Err)
+	}
 	switches := m.Kern.Stats.CtxSwitches
 	if switches == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(res.Cycles) / float64(switches)
+	return float64(res.Cycles) / float64(switches), nil
 }
 
 // RunTable3 measures context-switch cost under each counter regime.
-func RunTable3(s Scale) *T3Result {
+func RunTable3(s Scale) (*T3Result, error) {
 	rounds := s.iters(3_000)
 	type spec struct {
 		name     string
@@ -104,7 +108,10 @@ func RunTable3(s Scale) *T3Result {
 	r := &T3Result{}
 	base := 0.0
 	for i, sp := range specs {
-		c := measureSwitch(sp.counters, sp.perf, sp.hwVirt, rounds)
+		c, err := measureSwitch(sp.counters, sp.perf, sp.hwVirt, rounds)
+		if err != nil {
+			return nil, err
+		}
 		if i == 0 {
 			base = c
 		}
@@ -118,7 +125,7 @@ func RunTable3(s Scale) *T3Result {
 			DeltaVsNone:     c - base,
 		})
 	}
-	return r
+	return r, nil
 }
 
 // Row returns the named configuration's row.

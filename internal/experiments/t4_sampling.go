@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math"
 
@@ -38,14 +39,14 @@ type T4Result struct {
 }
 
 // RunTable4 runs the comparison.
-func RunTable4(s Scale) *T4Result {
+func RunTable4(s Scale) (*T4Result, error) {
 	cfg := scaleMySQL(workloads.DefaultMySQL(), s)
 
 	// Precise run.
 	app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
 	_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
-	if len(res.Faults) > 0 {
-		panic(res.Faults[0])
+	if res.Err != nil {
+		return nil, fmt.Errorf("table4 precise run: %w", res.Err)
 	}
 	d := analysis.CollectSync(app).Decompose()
 	r := &T4Result{PreciseAcq: d.AcquireShare, PreciseCS: d.CSShare}
@@ -55,8 +56,8 @@ func RunTable4(s Scale) *T4Result {
 			Kind: probe.KindSample, SamplePeriod: period,
 		})
 		m, sres, _ := sApp.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
-		if len(sres.Faults) > 0 {
-			panic(sres.Faults[0])
+		if sres.Err != nil {
+			return nil, fmt.Errorf("table4 sampled run @%d: %w", period, sres.Err)
 		}
 		acq, cs, n := analysis.SampledShares(m.Kern.Samples(), sApp, period)
 		r.Rows = append(r.Rows, T4Row{
@@ -68,7 +69,7 @@ func RunTable4(s Scale) *T4Result {
 			ErrCS:        math.Abs(cs - r.PreciseCS),
 		})
 	}
-	return r
+	return r, nil
 }
 
 // Render writes the table.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math"
 
@@ -33,7 +34,7 @@ type T5Result struct {
 }
 
 // RunTable5 sweeps the per-thread counter count on a 4-slot PMU.
-func RunTable5(s Scale) *T5Result {
+func RunTable5(s Scale) (*T5Result, error) {
 	iters := s.iters(400)
 	r := &T5Result{}
 	for _, nCounters := range []int{2, 4, 8, 16} {
@@ -67,16 +68,22 @@ func RunTable5(s Scale) *T5Result {
 		proc := m.Kern.NewProcess(prog, nil)
 		th := m.Kern.Spawn(proc, "mux", 0, 31)
 		m.Kern.Spawn(proc, "rival", 0, 32)
-		res := m.MustRun(machine.RunLimits{MaxSteps: runSteps})
+		res := m.Run(machine.RunLimits{MaxSteps: runSteps})
+		if res.Err != nil {
+			return nil, fmt.Errorf("table5 %d-counter run: %w", nCounters, res.Err)
+		}
 		if !res.AllDone {
-			panic("t5: incomplete")
+			return nil, fmt.Errorf("table5 %d-counter run: incomplete after %d steps", nCounters, res.Steps)
 		}
 
 		truth := float64(th.Stats.UserInstructions)
 		row := T5Row{Counters: nCounters}
 		var loadedSum float64
 		for fd := 0; fd < nCounters; fd++ {
-			v := perfevent.MustFinalValue(th, fd)
+			v, ferr := perfevent.FinalValue(th, fd)
+			if ferr != nil {
+				return nil, fmt.Errorf("table5 %d-counter run: %w", nCounters, ferr)
+			}
 			err := math.Abs(float64(v)-truth) / truth
 			row.MeanAbsErr += err
 			if err > row.MaxAbsErr {
@@ -93,7 +100,7 @@ func RunTable5(s Scale) *T5Result {
 		row.LoadedPct = loadedSum / float64(nCounters) * 100
 		r.Rows = append(r.Rows, row)
 	}
-	return r
+	return r, nil
 }
 
 // Row returns the row for a counter count.

@@ -1,0 +1,334 @@
+// Package faultinject deterministically injects adversarial schedules
+// and interrupt timings into a running kernel through the kernel.Chaos
+// hook set. It exists to attack the guarantee at the heart of the
+// reproduced paper: that LiMiT's multi-instruction counter read
+// sequence survives arbitrary preemption, migration and overflow
+// folding without ever combining inconsistent halves.
+//
+// Every decision the injector makes comes from its own seeded xorshift
+// generator, called at deterministic points of the simulation's event
+// loop — so a campaign run is exactly replayable: same seed, same
+// config, same faults, same outcome, bit for bit. That turns "we ran
+// it under stress and nothing broke" into a checkable statement.
+//
+// The faults on offer:
+//
+//   - forced preemption at every instruction boundary inside the
+//     registered read-critical regions (budgeted per region pass so a
+//     rewinding thread cannot livelock);
+//   - random preemption outside regions with probability 1/PreemptEvery;
+//   - spurious overflow interrupts for counters that did not overflow;
+//   - delayed and coalesced overflow interrupts: real PMI bits are
+//     withheld for DelayBoundaries instruction boundaries (merging with
+//     any that arrive meanwhile) before being serviced in one batch,
+//     and are force-drained when the thread leaves the core so they are
+//     never misattributed;
+//   - migration storms: every enqueue lands on a random core;
+//   - signal-delivery delays;
+//   - TLB + full-cache flush storms.
+//
+// Narrowed counter widths — the remaining fault in the chaos matrix —
+// are a PMU feature (pmu.Features.WriteWidth), configured by the
+// campaign driver rather than injected here.
+package faultinject
+
+import (
+	"math/bits"
+
+	"limitsim/internal/kernel"
+)
+
+// Config selects which faults to inject and how hard.
+type Config struct {
+	// Seed drives the injector's private RNG.
+	Seed uint64
+
+	// PreemptInRegions forces a preemption after every instruction
+	// boundary whose PC lies inside a registered region, up to
+	// RegionBudget consecutive preemptions per region pass.
+	PreemptInRegions bool
+	// RegionBudget caps consecutive forced preemptions while a thread
+	// stays inside regions; it refills whenever the thread executes
+	// outside all regions. Without the cap, fixup rewind plus
+	// preempt-on-every-boundary is a livelock. Default 8.
+	RegionBudget int
+	// PreemptEvery, when >0, randomly preempts a thread outside
+	// regions with probability 1/PreemptEvery per boundary.
+	PreemptEvery uint64
+
+	// SpuriousPMIEvery, when >0, injects a spurious overflow interrupt
+	// for a random hardware slot with probability 1/SpuriousPMIEvery
+	// per boundary.
+	SpuriousPMIEvery uint64
+	// NumSlots is the PMU slot count spurious bits are drawn from
+	// (default 4).
+	NumSlots int
+
+	// DelayPMI withholds real overflow interrupts for DelayBoundaries
+	// instruction boundaries, coalescing any that arrive meanwhile.
+	DelayPMI bool
+	// DelayBoundaries is the withholding window (default 3).
+	DelayBoundaries int
+
+	// MigrationStorm redirects every enqueue to a random core.
+	MigrationStorm bool
+
+	// SignalDelayBoundaries, when >0, holds pending-signal delivery
+	// for that many boundaries each time a signal becomes deliverable.
+	SignalDelayBoundaries int
+
+	// FlushEvery, when >0, flushes the executing core's TLB and entire
+	// cache hierarchy with probability 1/FlushEvery per boundary.
+	FlushEvery uint64
+}
+
+// Stats counts every fault the injector actually delivered.
+type Stats struct {
+	ForcedPreemptions uint64 // inside regions (budgeted) and one-shot arms
+	RandomPreemptions uint64 // outside regions
+	SpuriousPMIs      uint64
+	DelayedPMIs       uint64 // overflow bits withheld at least one boundary
+	ReleasedPMIs      uint64 // withheld bits released by window expiry
+	DrainedPMIs       uint64 // withheld bits force-drained at deschedule
+	Migrations        uint64 // enqueues redirected off the default core
+	HeldSignals       uint64 // boundaries at which delivery was deferred
+	Flushes           uint64
+}
+
+// Total sums every delivered fault.
+func (s Stats) Total() uint64 {
+	return s.ForcedPreemptions + s.RandomPreemptions + s.SpuriousPMIs +
+		s.DelayedPMIs + s.Migrations + s.HeldSignals + s.Flushes
+}
+
+// pmiStash is one core's withheld overflow bits.
+type pmiStash struct {
+	mask uint64
+	age  int
+}
+
+// Injector implements the kernel.Chaos hooks for one machine run.
+// It is not safe for concurrent use; the simulator is single-threaded.
+type Injector struct {
+	cfg     Config
+	rng     uint64
+	nCores  int
+	regions []kernel.FixupRegion
+
+	budget  map[int]int // thread ID -> remaining in-region preemptions
+	stash   map[int]*pmiStash
+	sigHold map[int]int // thread ID -> remaining hold boundaries
+	armPC   int         // one-shot preemption trigger, -1 when unarmed
+
+	Stats Stats
+}
+
+// New builds an injector. Zero-valued knobs take the documented
+// defaults; a zero Config injects nothing.
+func New(cfg Config) *Injector {
+	if cfg.RegionBudget <= 0 {
+		cfg.RegionBudget = 8
+	}
+	if cfg.DelayBoundaries <= 0 {
+		cfg.DelayBoundaries = 3
+	}
+	if cfg.NumSlots <= 0 {
+		cfg.NumSlots = 4
+	}
+	return &Injector{
+		cfg:     cfg,
+		rng:     cfg.Seed ^ 0xbadc0ffee0ddf00d,
+		nCores:  1,
+		budget:  make(map[int]int),
+		stash:   make(map[int]*pmiStash),
+		sigHold: make(map[int]int),
+		armPC:   -1,
+	}
+}
+
+// SetRegions tells the injector which PC ranges are read-critical.
+// They are passed explicitly (rather than read from the process) so
+// chaos targeting still works when fixup *registration* is disabled —
+// the ablation where the kernel no longer knows the regions but the
+// injector must still attack them.
+func (in *Injector) SetRegions(regions [][2]int) {
+	in.regions = in.regions[:0]
+	for _, r := range regions {
+		in.regions = append(in.regions, kernel.FixupRegion{Start: r[0], End: r[1]})
+	}
+}
+
+// SetCores tells the injector how many cores migration storms may
+// scatter across.
+func (in *Injector) SetCores(n int) {
+	if n > 0 {
+		in.nCores = n
+	}
+}
+
+// ArmPreemptAt arms a one-shot forced preemption: the next time any
+// thread is at PC pc after retiring an instruction, it is preempted
+// once. Used by the exhaustive preemption sweep.
+func (in *Injector) ArmPreemptAt(pc int) { in.armPC = pc }
+
+// Armed reports whether a one-shot preemption is still pending.
+func (in *Injector) Armed() bool { return in.armPC >= 0 }
+
+// Hooks builds the kernel.Chaos hook set. Only hooks with active
+// configuration are installed, so an idle fault class costs nil checks
+// and nothing else.
+func (in *Injector) Hooks() *kernel.Chaos {
+	c := &kernel.Chaos{}
+	// PreemptAfter doubles as the per-boundary bookkeeping point for
+	// the region budget, so it is installed whenever forced preemption
+	// in any form can happen.
+	c.PreemptAfter = in.preemptAfter
+	if in.cfg.SpuriousPMIEvery > 0 || in.cfg.DelayPMI {
+		c.FilterPMI = in.filterPMI
+		c.DrainPMI = in.drainPMI
+	}
+	if in.cfg.MigrationStorm {
+		c.Place = in.place
+	}
+	if in.cfg.SignalDelayBoundaries > 0 {
+		c.HoldSignal = in.holdSignal
+	}
+	if in.cfg.FlushEvery > 0 {
+		c.FlushAfter = in.flushAfter
+	}
+	return c
+}
+
+// Attach installs the injector's hooks on a kernel.
+func (in *Injector) Attach(k *kernel.Kernel) { k.SetChaos(in.Hooks()) }
+
+func (in *Injector) rand() uint64 {
+	x := in.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	in.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// chance rolls a 1-in-n event; n == 0 never fires.
+func (in *Injector) chance(n uint64) bool {
+	return n > 0 && in.rand()%n == 0
+}
+
+func (in *Injector) inRegion(pc int) bool {
+	for _, r := range in.regions {
+		if r.Contains(pc) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) preemptAfter(coreID int, t *kernel.Thread) bool {
+	pc := t.Ctx.PC
+	if in.armPC >= 0 && pc == in.armPC {
+		in.armPC = -1
+		in.Stats.ForcedPreemptions++
+		return true
+	}
+	if !in.inRegion(pc) {
+		// Out of harm's way: refill the in-region budget and maybe
+		// land a random preemption.
+		in.budget[t.ID] = in.cfg.RegionBudget
+		if in.chance(in.cfg.PreemptEvery) {
+			in.Stats.RandomPreemptions++
+			return true
+		}
+		return false
+	}
+	if !in.cfg.PreemptInRegions {
+		return false
+	}
+	if b, ok := in.budget[t.ID]; !ok {
+		in.budget[t.ID] = in.cfg.RegionBudget
+	} else if b <= 0 {
+		// Budget spent: let the read complete so the fixup's rewind
+		// cannot livelock the thread.
+		return false
+	}
+	in.budget[t.ID]--
+	in.Stats.ForcedPreemptions++
+	return true
+}
+
+func (in *Injector) filterPMI(coreID int, t *kernel.Thread, mask uint64) uint64 {
+	st := in.stash[coreID]
+	if st == nil {
+		st = &pmiStash{}
+		in.stash[coreID] = st
+	}
+	if in.cfg.DelayPMI && mask != 0 {
+		in.Stats.DelayedPMIs += uint64(bits.OnesCount64(mask))
+		st.mask |= mask
+		mask = 0
+	}
+	if st.mask != 0 {
+		st.age++
+		if st.age >= in.cfg.DelayBoundaries {
+			// Window expired: release everything withheld in one
+			// coalesced batch.
+			in.Stats.ReleasedPMIs += uint64(bits.OnesCount64(st.mask))
+			mask |= st.mask
+			st.mask, st.age = 0, 0
+		}
+	}
+	if in.chance(in.cfg.SpuriousPMIEvery) {
+		mask |= 1 << (in.rand() % uint64(in.cfg.NumSlots))
+		in.Stats.SpuriousPMIs++
+	}
+	return mask
+}
+
+func (in *Injector) drainPMI(coreID int, t *kernel.Thread) uint64 {
+	st := in.stash[coreID]
+	if st == nil || st.mask == 0 {
+		return 0
+	}
+	mask := st.mask
+	st.mask, st.age = 0, 0
+	in.Stats.DrainedPMIs += uint64(bits.OnesCount64(mask))
+	return mask
+}
+
+func (in *Injector) place(t *kernel.Thread, def int) int {
+	if in.nCores <= 1 {
+		return def
+	}
+	core := int(in.rand() % uint64(in.nCores))
+	if core != def {
+		in.Stats.Migrations++
+	}
+	return core
+}
+
+func (in *Injector) holdSignal(coreID int, t *kernel.Thread) bool {
+	left, ok := in.sigHold[t.ID]
+	if !ok {
+		// A signal just became deliverable; start a hold window.
+		in.sigHold[t.ID] = in.cfg.SignalDelayBoundaries
+		in.Stats.HeldSignals++
+		return true
+	}
+	if left <= 1 {
+		// Window over: deliver, and re-arm for the next signal.
+		delete(in.sigHold, t.ID)
+		return false
+	}
+	in.sigHold[t.ID] = left - 1
+	in.Stats.HeldSignals++
+	return true
+}
+
+func (in *Injector) flushAfter(coreID int, t *kernel.Thread) bool {
+	if in.chance(in.cfg.FlushEvery) {
+		in.Stats.Flushes++
+		return true
+	}
+	return false
+}

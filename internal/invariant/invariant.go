@@ -1,0 +1,279 @@
+// Package invariant continuously validates the guarantees the LiMiT
+// design makes about virtualized counters, using the kernel.Probes
+// observation hooks. It is the measuring half of the chaos harness:
+// faultinject bends the schedule, this package proves (or disproves)
+// that counter values stayed coherent anyway.
+//
+// Checked invariants:
+//
+//   - No torn reads: a read sequence that retires its rdpmc and later
+//     completes its final add must not have had an overflow fold land
+//     on its virtual counter in between — unless the kernel rewound it
+//     to restart. The checker arms when the region's first instruction
+//     retires, snapshots the counter's fold generation, disarms on
+//     rewind, and flags a violation if the sequence completes with the
+//     generation changed. With the fixup patch active this never
+//     fires; with registration disabled it is exactly the overcount
+//     the paper's design exists to prevent.
+//   - Rewinds land on region starts: every PC rewind must target the
+//     start of the region that contained the interrupted PC.
+//   - Virtual counters are monotone: the 64-bit value (user-memory
+//     table word + saved hardware value) never decreases across
+//     context switches or from switch-out to run end.
+//   - Folds conserve counts: the table word equals exactly the sum of
+//     chunks the kernel folded into it (FoldInKernel mode).
+//   - Per-thread totals sum to the process-wide total reported by
+//     limit.ProcessTotal.
+//
+// The checker observes one process's regions and assumes FoldInKernel
+// overflow mode: in SignalUser mode folds happen in a userspace signal
+// handler the kernel probes cannot see, and delayed signal delivery
+// genuinely tears reads — which is why deployed LiMiT folds in the
+// kernel, and why the chaos campaigns run that mode.
+package invariant
+
+import (
+	"fmt"
+
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+)
+
+// Violation kinds.
+const (
+	KindTornRead     = "torn-read"
+	KindBadRewind    = "bad-rewind"
+	KindNonMonotone  = "non-monotone"
+	KindFoldLoss     = "fold-loss"
+	KindSumMismatch  = "sum-mismatch"
+	KindInvalidState = "invalid-state"
+)
+
+// Violation is one observed breach of a LiMiT invariant.
+type Violation struct {
+	TID    int
+	Kind   string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("tid%d %s: %s", v.TID, v.Kind, v.Detail)
+}
+
+// readState tracks one thread's in-flight read sequence.
+type readState struct {
+	region    kernel.FixupRegion
+	tableAddr uint64
+	genAt     uint64
+}
+
+// maxStored caps how many violations are kept verbatim; the count keeps
+// growing past it.
+const maxStored = 64
+
+// Checker implements the kernel.Probes hooks. One Checker watches one
+// process's read-critical regions for a single machine run; it is not
+// safe for concurrent use (the simulator is single-threaded).
+type Checker struct {
+	regions []kernel.FixupRegion
+
+	gen    map[uint64]uint64 // table word -> fold generation
+	folded map[uint64]uint64 // table word -> sum of folded chunks
+	armed  map[int]*readState
+	low    map[int]map[int]uint64 // thread ID -> counter idx -> floor value
+
+	violations []Violation
+	count      int
+
+	// ReadsCompleted counts read sequences that ran to completion —
+	// the denominator for the torn-read rate.
+	ReadsCompleted uint64
+}
+
+// New builds a checker watching the given read-critical PC ranges
+// (typically limit.Emitter.Regions(), which are known even when the
+// emitter never registered them with the kernel).
+func New(regions [][2]int) *Checker {
+	c := &Checker{
+		gen:    make(map[uint64]uint64),
+		folded: make(map[uint64]uint64),
+		armed:  make(map[int]*readState),
+		low:    make(map[int]map[int]uint64),
+	}
+	for _, r := range regions {
+		c.regions = append(c.regions, kernel.FixupRegion{Start: r[0], End: r[1]})
+	}
+	return c
+}
+
+// Probes builds the kernel.Probes hook set.
+func (c *Checker) Probes() *kernel.Probes {
+	return &kernel.Probes{
+		Step:      c.step,
+		Fold:      c.fold,
+		Rewind:    c.rewind,
+		SwitchOut: c.switchOut,
+	}
+}
+
+// Attach installs the checker's probes on a kernel.
+func (c *Checker) Attach(k *kernel.Kernel) { k.SetProbes(c.Probes()) }
+
+// Violations returns the stored violations (capped; see Count).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Count returns the total number of violations observed, including any
+// beyond the storage cap.
+func (c *Checker) Count() int { return c.count }
+
+func (c *Checker) report(tid int, kind, format string, args ...any) {
+	c.count++
+	if len(c.violations) < maxStored {
+		c.violations = append(c.violations, Violation{
+			TID: tid, Kind: kind, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// step watches instruction retirement for region entry and completion.
+func (c *Checker) step(coreID int, t *kernel.Thread, prevPC, pc int) {
+	if rs := c.armed[t.ID]; rs != nil {
+		switch {
+		case prevPC == rs.region.End-1 && pc == rs.region.End:
+			// The final add retired: the read is complete. Any fold on
+			// this virtual counter since the rdpmc retired means the
+			// two halves are from different epochs.
+			c.ReadsCompleted++
+			if g := c.gen[rs.tableAddr]; g != rs.genAt {
+				c.report(t.ID, KindTornRead,
+					"read over [%d,%d) completed across %d fold(s) without rewind",
+					rs.region.Start, rs.region.End, g-rs.genAt)
+			}
+			delete(c.armed, t.ID)
+		case pc < rs.region.Start || pc >= rs.region.End:
+			// Left the region without completing (branch out or a
+			// rewind observed only via PC). The read was abandoned;
+			// nothing to check.
+			delete(c.armed, t.ID)
+		case pc == rs.region.Start:
+			// Back at the start (rewound between probes): re-arm below.
+			delete(c.armed, t.ID)
+		}
+	}
+	if c.armed[t.ID] == nil {
+		for _, r := range c.regions {
+			if prevPC == r.Start && pc == r.Start+1 {
+				if addr, ok := c.counterAddr(t, r.Start); ok {
+					c.armed[t.ID] = &readState{region: r, tableAddr: addr, genAt: c.gen[addr]}
+				}
+				break
+			}
+		}
+	}
+}
+
+// counterAddr resolves the virtual-counter address read by the rdpmc
+// at pc, which encodes the counter index as its immediate.
+func (c *Checker) counterAddr(t *kernel.Thread, pc int) (uint64, bool) {
+	prog := t.Proc.Prog
+	if pc < 0 || pc >= len(prog.Instrs) {
+		return 0, false
+	}
+	idx := int(prog.Instrs[pc].Imm)
+	cs := t.Counters()
+	if idx < 0 || idx >= len(cs) || cs[idx].Kind != kernel.KindLimit || cs[idx].Closed {
+		return 0, false
+	}
+	return cs[idx].TableAddr, true
+}
+
+// fold bumps the counter's fold generation and conservation ledger.
+func (c *Checker) fold(coreID int, t *kernel.Thread, tc *kernel.ThreadCounter, chunk uint64) {
+	c.gen[tc.TableAddr]++
+	c.folded[tc.TableAddr] += chunk
+}
+
+// rewind validates the fixup's contract: the rewound PC must have been
+// inside a registered region and must land exactly on its start. A
+// rewind also aborts any in-flight read.
+func (c *Checker) rewind(t *kernel.Thread, from, to int) {
+	ok := false
+	for _, r := range c.regions {
+		if r.Contains(from) {
+			ok = to == r.Start
+			break
+		}
+	}
+	if !ok {
+		c.report(t.ID, KindBadRewind, "rewind %d -> %d does not match any region start", from, to)
+	}
+	delete(c.armed, t.ID)
+}
+
+// switchOut checks monotonicity of every LiMiT counter at the moment
+// its state is fully virtualized.
+func (c *Checker) switchOut(coreID int, t *kernel.Thread) {
+	c.checkMonotone(t, "switch-out")
+}
+
+func (c *Checker) checkMonotone(t *kernel.Thread, when string) {
+	for ci, tc := range t.Counters() {
+		if tc.Kind != kernel.KindLimit || tc.Closed {
+			continue
+		}
+		cur := t.Proc.Mem.Read64(tc.TableAddr) + tc.Saved
+		lows := c.low[t.ID]
+		if lows == nil {
+			lows = make(map[int]uint64)
+			c.low[t.ID] = lows
+		}
+		if prev, ok := lows[ci]; ok && cur < prev {
+			c.report(t.ID, KindNonMonotone,
+				"counter %d went backwards at %s: %d -> %d", ci, when, prev, cur)
+		}
+		lows[ci] = cur
+	}
+}
+
+// Finalize runs the end-of-run checks for one process: final
+// monotonicity, fold conservation, and the per-thread-sum identity
+// behind limit.ProcessTotal. Call it after the machine run completes.
+func (c *Checker) Finalize(proc *kernel.Process, threads []*kernel.Thread, counterIdx int) {
+	var sum uint64
+	counted := 0
+	for _, t := range threads {
+		if t.Proc != proc {
+			continue
+		}
+		cs := t.Counters()
+		if counterIdx >= len(cs) || cs[counterIdx].Kind != kernel.KindLimit || cs[counterIdx].Closed {
+			continue
+		}
+		c.checkMonotone(t, "finalize")
+		tc := cs[counterIdx]
+		virt := proc.Mem.Read64(tc.TableAddr)
+		if folded := c.folded[tc.TableAddr]; virt != folded {
+			c.report(t.ID, KindFoldLoss,
+				"counter %d virtual word holds %d but kernel folded %d", counterIdx, virt, folded)
+		}
+		v, err := limit.FinalValue(t, counterIdx)
+		if err != nil {
+			c.report(t.ID, KindInvalidState, "final value: %v", err)
+			continue
+		}
+		sum += v
+		counted++
+	}
+	if counted == 0 {
+		return
+	}
+	total, err := limit.ProcessTotal(proc, threads, counterIdx)
+	if err != nil {
+		c.report(0, KindInvalidState, "process total: %v", err)
+		return
+	}
+	if total != sum {
+		c.report(0, KindSumMismatch,
+			"per-thread final values sum to %d but ProcessTotal reports %d", sum, total)
+	}
+}

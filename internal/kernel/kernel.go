@@ -405,6 +405,11 @@ type Kernel struct {
 	// events. Attach with SetTracer before running.
 	tracer *trace.Buffer
 
+	// chaos and probes are the fault-injection and invariant-checking
+	// hook sets (hooks.go). Attach with SetChaos/SetProbes.
+	chaos  *Chaos
+	probes *Probes
+
 	Stats Stats
 }
 
@@ -501,6 +506,17 @@ func (k *Kernel) Logs() []LogEntry { return k.logs }
 
 // Faults returns descriptions of threads killed by faults.
 func (k *Kernel) Faults() []string { return k.faults }
+
+// FaultedThreads returns every thread that died from a fault.
+func (k *Kernel) FaultedThreads() []*Thread {
+	var out []*Thread
+	for _, t := range k.threads {
+		if t.FaultMsg != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // AllDone reports whether every spawned thread has terminated.
 func (k *Kernel) AllDone() bool {

@@ -66,6 +66,7 @@ func (k *Kernel) pmiFor(coreID int, t *Thread, mask uint64) {
 				core.KernelWork(k.cfg.Costs.OverflowFold)
 				if k.cfg.LimitOverflow == FoldInKernel {
 					t.Proc.Mem.Add64(tc.TableAddr, chunk)
+					k.probeFold(coreID, t, tc, chunk)
 				} else {
 					k.post(t, SIGPMU, uint64(ci))
 				}

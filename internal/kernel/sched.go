@@ -74,6 +74,11 @@ func (k *Kernel) enqueue(t *Thread) {
 	if k.cfg.MigrateOnWake {
 		core = k.leastLoadedCore()
 	}
+	if k.chaos != nil && k.chaos.Place != nil {
+		if c := k.chaos.Place(t, core); c >= 0 && c < len(k.cores) {
+			core = c
+		}
+	}
 	k.runq[core] = append(k.runq[core], t)
 }
 
@@ -95,13 +100,21 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 	}
 
 	t := k.cur[coreID]
+	prevPC := t.Ctx.PC
 	res := core.Step(&t.Ctx)
 	t.Stats.UserInstructions += res.Instrs
 	t.Stats.UserCycles += res.Cycles
+	k.probeStep(coreID, t, prevPC)
 
 	// Overflow interrupts land at the instruction boundary, before any
-	// trap handling — exactly where they can tear a LiMiT read.
-	if mask := core.PMU.TakePendingOverflows(); mask != 0 {
+	// trap handling — exactly where they can tear a LiMiT read. The
+	// chaos filter may delay bits (withholding them for later) or set
+	// extra ones (spurious interrupts).
+	mask := core.PMU.TakePendingOverflows()
+	if k.chaos != nil && k.chaos.FilterPMI != nil {
+		mask = k.chaos.FilterPMI(coreID, t, mask)
+	}
+	if mask != 0 {
 		k.handlePMI(coreID, mask)
 	}
 
@@ -126,9 +139,21 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 		k.wakeJoiners(t, core.Now)
 	}
 
-	// Deliver pending signals on the way back to user.
+	// Chaos: worst-case memory-system perturbation after any boundary.
+	if k.chaos != nil && k.chaos.FlushAfter != nil && k.chaos.FlushAfter(coreID, t) {
+		core.TLB.FlushAll()
+		core.Caches.FlushAll()
+	}
+
+	// Chaos: adversarial timer interrupt at any boundary.
+	k.chaosPreempt(coreID)
+
+	// Deliver pending signals on the way back to user (unless the
+	// chaos hook is delaying delivery at this boundary).
 	if ct := k.cur[coreID]; ct != nil && len(ct.pending) > 0 {
-		k.deliverSignals(coreID, ct)
+		if k.chaos == nil || k.chaos.HoldSignal == nil || !k.chaos.HoldSignal(coreID, ct) {
+			k.deliverSignals(coreID, ct)
+		}
 	}
 	return StepRan
 }
@@ -226,11 +251,20 @@ func (k *Kernel) deschedule(coreID int, t *Thread) {
 	// Drain overflow interrupts that are still pending so they are
 	// serviced for their rightful owner; left alone, they would be
 	// consumed after the switch and misattributed to the next thread.
-	if mask := core.PMU.TakePendingOverflows(); mask != 0 {
+	// Interrupts the chaos layer withheld are drained here too — this
+	// is the single choke point every path off a core goes through.
+	mask := core.PMU.TakePendingOverflows()
+	if k.chaos != nil && k.chaos.DrainPMI != nil {
+		mask |= k.chaos.DrainPMI(coreID, t)
+	}
+	if mask != 0 {
 		k.pmiFor(coreID, t, mask)
 	}
 	k.applyFixup(t)
 	k.saveCounters(core, t)
+	if k.probes != nil && k.probes.SwitchOut != nil {
+		k.probes.SwitchOut(coreID, t)
+	}
 	k.tr(coreID, t, trace.SwitchOut, 0)
 	t.Stats.CtxSwitches++
 	k.Stats.CtxSwitches++
@@ -272,8 +306,12 @@ func (k *Kernel) switchTo(coreID int, next *Thread) {
 func (k *Kernel) applyFixup(t *Thread) {
 	for _, r := range t.Proc.FixupRegions {
 		if r.Contains(t.Ctx.PC) {
+			from := t.Ctx.PC
 			t.Ctx.PC = r.Start
 			t.Stats.FixupRewinds++
+			if k.probes != nil && k.probes.Rewind != nil {
+				k.probes.Rewind(t, from, r.Start)
+			}
 			return
 		}
 	}
@@ -341,6 +379,7 @@ func (k *Kernel) saveCounters(core *cpu.Core, t *Thread) {
 				tc.Overflows++
 				k.Stats.OverflowFolds++
 				core.KernelWork(k.cfg.Costs.OverflowFold)
+				k.probeFold(core.ID, t, tc, writeLimit)
 			}
 			tc.Saved = v
 		case KindPerf:

@@ -9,10 +9,13 @@ package machine
 
 import (
 	"fmt"
+	"io"
+	"strings"
 
 	"limitsim/internal/cpu"
 	"limitsim/internal/kernel"
 	"limitsim/internal/pmu"
+	"limitsim/internal/trace"
 )
 
 // CyclesPerNanosecond is the nominal clock rate used to convert
@@ -32,6 +35,11 @@ type Config struct {
 	PMU pmu.Features
 	// Kernel tunes the simulated OS (default kernel.DefaultConfig).
 	Kernel kernel.Config
+	// TraceCapacity, when positive, attaches a scheduling/interrupt
+	// trace ring of that many events to the kernel. The ring is cheap
+	// (fixed size, overwrites oldest) and is what FaultError carries
+	// for post-mortem diagnosis when a run goes wrong.
+	TraceCapacity int
 }
 
 // DefaultConfig returns a 4-core machine with stock-2011 PMU features.
@@ -64,7 +72,11 @@ func New(cfg Config) *Machine {
 	for i := range cores {
 		cores[i] = cpu.NewCore(i, cfg.PMU)
 	}
-	return &Machine{Cores: cores, Kern: kernel.New(cfg.Kernel, cores)}
+	m := &Machine{Cores: cores, Kern: kernel.New(cfg.Kernel, cores)}
+	if cfg.TraceCapacity > 0 {
+		m.Kern.SetTracer(trace.NewBuffer(cfg.TraceCapacity))
+	}
+	return m
 }
 
 // RunLimits bounds a Run call. Zero fields mean "unbounded".
@@ -90,11 +102,63 @@ type RunResult struct {
 	Deadlocked bool
 	// Faults carries descriptions of faulted threads.
 	Faults []string
+	// Err is non-nil when the run faulted or deadlocked; it is always
+	// a *FaultError carrying the faulting threads and the tail of the
+	// kernel trace ring (if one was attached).
+	Err error
 }
 
 func (r RunResult) String() string {
 	return fmt.Sprintf("cycles=%d steps=%d done=%v deadlock=%v faults=%d",
 		r.Cycles, r.Steps, r.AllDone, r.Deadlocked, len(r.Faults))
+}
+
+// FaultError describes a run that ended badly: one or more threads
+// faulted, or every remaining thread blocked forever. It carries the
+// kernel's scheduling/interrupt trace tail (when a tracer was
+// attached) so the events leading up to the failure are diagnosable
+// without rerunning.
+type FaultError struct {
+	// Faults are the kernel's fault descriptions, one per dead thread.
+	Faults []string
+	// ThreadIDs identifies the faulted threads.
+	ThreadIDs []int
+	// Deadlocked reports that live threads remained but none could run.
+	Deadlocked bool
+	// Trace is the tail of the kernel trace ring at the time of death
+	// (nil when no tracer was attached).
+	Trace []trace.Event
+}
+
+// Error summarizes the failure in one line.
+func (e *FaultError) Error() string {
+	switch {
+	case len(e.Faults) > 0 && e.Deadlocked:
+		return fmt.Sprintf("machine: %d thread(s) faulted and remaining threads deadlocked: %s",
+			len(e.Faults), strings.Join(e.Faults, "; "))
+	case len(e.Faults) > 0:
+		return fmt.Sprintf("machine: %d thread(s) faulted: %s",
+			len(e.Faults), strings.Join(e.Faults, "; "))
+	default:
+		return "machine: deadlock: threads remain but none can run"
+	}
+}
+
+// DumpTrace writes the captured trace tail (up to max events; 0 means
+// all) in the trace package's standard format, or a hint when no
+// tracer was attached.
+func (e *FaultError) DumpTrace(w io.Writer, max int) {
+	if len(e.Trace) == 0 {
+		fmt.Fprintln(w, "  (no trace ring attached; set machine.Config.TraceCapacity)")
+		return
+	}
+	evs := e.Trace
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	for _, ev := range evs {
+		fmt.Fprintln(w, ev)
+	}
 }
 
 // Run executes until all threads finish, a limit is hit, or the system
@@ -153,19 +217,27 @@ func (m *Machine) Run(limits RunLimits) RunResult {
 		}
 	}
 	res.Faults = m.Kern.Faults()
+	if len(res.Faults) > 0 || res.Deadlocked {
+		fe := &FaultError{Faults: res.Faults, Deadlocked: res.Deadlocked}
+		for _, t := range m.Kern.FaultedThreads() {
+			fe.ThreadIDs = append(fe.ThreadIDs, t.ID)
+		}
+		if tr := m.Kern.Tracer(); tr != nil {
+			fe.Trace = tr.Events()
+		}
+		res.Err = fe
+	}
 	return res
 }
 
 // MustRun is Run but panics if any thread faulted or the system
 // deadlocked — the common harness case where either indicates a bug in
-// a generated program.
+// a generated program. Production paths should use Run and handle
+// RunResult.Err instead.
 func (m *Machine) MustRun(limits RunLimits) RunResult {
 	res := m.Run(limits)
-	if len(res.Faults) > 0 {
-		panic(fmt.Sprintf("machine: faults: %v", res.Faults))
-	}
-	if res.Deadlocked {
-		panic("machine: deadlock")
+	if res.Err != nil {
+		panic(res.Err.Error())
 	}
 	return res
 }

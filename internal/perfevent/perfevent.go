@@ -105,11 +105,13 @@ func FinalValue(t *kernel.Thread, fd int) (uint64, error) {
 	return uint64(float64(raw) * float64(tc.WindowCycles) / float64(tc.ActiveCycles)), nil
 }
 
-// MustFinalValue is FinalValue but panics on error.
+// MustFinalValue is FinalValue but panics on error. It exists for
+// tests and examples where a bad fd is a bug in the harness itself;
+// measurement code should call FinalValue and propagate the error.
 func MustFinalValue(t *kernel.Thread, fd int) uint64 {
 	v, err := FinalValue(t, fd)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("perfevent.MustFinalValue(thread %d, fd %d): %v", t.ID, fd, err))
 	}
 	return v
 }
