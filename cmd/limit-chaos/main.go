@@ -9,13 +9,24 @@
 //
 //	limit-chaos [-seeds 32] [-threads 4] [-cores 4] [-iters 400]
 //	            [-k 25] [-width 12] [-nofixup]
+//	limit-chaos -soak [-seeds 8] [-pool 4] [-waves 6] [-iters 40]
+//	            [-k 20] [-cores 4] [-width 10] [-capacity N]
+//	            [-nofixup] [-ablate-reclaim]
 //
-// With the fixup patch active (the default) the campaign must finish
+// With the fixup patch active (the default) a campaign must finish
 // with zero invariant violations — that is the paper's atomicity claim
 // under adversarial schedules, and the process exits nonzero if it
 // breaks. With -nofixup the same campaign must *detect* torn reads:
 // the process exits nonzero if the sabotaged configuration somehow
 // reports none (a dead checker is as bad as a torn read).
+//
+// -soak switches to the lifecycle soak campaign: a churning
+// thread-pool workload (a manager cloning and joining waves of
+// short-lived workers) under kill storms, clone storms and pinned-slot
+// exhaustion, audited for leak-freedom, inheritance conservation and
+// exact-or-flagged measurements. -ablate-reclaim disables exit-time
+// resource reclamation and, symmetrically with -nofixup, the process
+// exits nonzero unless the campaign *detects* the resulting leaks.
 package main
 
 import (
@@ -27,14 +38,40 @@ import (
 )
 
 func main() {
-	seeds := flag.Int("seeds", 32, "seeds per fault mix")
-	threads := flag.Int("threads", 6, "workload threads")
+	soak := flag.Bool("soak", false, "run the thread-lifecycle soak campaign instead of the read-path campaign")
+	seeds := flag.Int("seeds", 0, "seeds per fault mix (default 32, soak 8)")
+	threads := flag.Int("threads", 6, "workload threads (read-path campaign)")
 	cores := flag.Int("cores", 4, "machine cores")
-	iters := flag.Int("iters", 400, "reads per thread")
-	k := flag.Int("k", 25, "compute instructions per measured region")
-	width := flag.Int("width", 12, "PMU writable counter width in bits (narrow = frequent folds)")
+	iters := flag.Int("iters", 0, "reads per thread (default 400, soak 40 per worker)")
+	k := flag.Int("k", 0, "compute instructions per measured region (default 25, soak 20)")
+	width := flag.Int("width", 0, "PMU writable counter width in bits (default 12, soak 10; narrow = frequent folds)")
+	pool := flag.Int("pool", 4, "soak worker-pool width")
+	waves := flag.Int("waves", 6, "soak clone/join waves per run")
+	capacity := flag.Int("capacity", 0, "soak pinned-slot ledger capacity (default 2*(pool+1)+4)")
 	nofixup := flag.Bool("nofixup", false, "disable fixup-region registration (ablation: torn reads expected)")
+	ablateReclaim := flag.Bool("ablate-reclaim", false, "disable exit-time resource reclamation (soak ablation: leaks expected)")
 	flag.Parse()
+
+	if *soak {
+		runSoak(*seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *nofixup, *ablateReclaim)
+		return
+	}
+	if *ablateReclaim {
+		fmt.Fprintln(os.Stderr, "limit-chaos: -ablate-reclaim requires -soak")
+		os.Exit(2)
+	}
+	if *seeds == 0 {
+		*seeds = 32
+	}
+	if *iters == 0 {
+		*iters = 400
+	}
+	if *k == 0 {
+		*k = 25
+	}
+	if *width == 0 {
+		*width = 12
+	}
 
 	res := chaos.Run(chaos.Config{
 		Seeds:      *seeds,
@@ -64,5 +101,49 @@ func main() {
 		fmt.Printf("detected %d torn-read/invariant violation(s) with fixup disabled, as expected\n", violations)
 	} else {
 		fmt.Println("all invariants held under the full fault mix")
+	}
+}
+
+// runSoak executes the lifecycle soak campaign and applies its exit
+// discipline: failed runs are always fatal; a sabotaged configuration
+// (-nofixup or -ablate-reclaim) must detect its own damage; a healthy
+// one must detect nothing.
+func runSoak(seeds, pool, waves, iters, k, cores, width, capacity int, nofixup, ablateReclaim bool) {
+	if seeds == 0 {
+		seeds = 8
+	}
+	res := chaos.RunSoak(chaos.SoakConfig{
+		Seeds:         seeds,
+		Pool:          pool,
+		Waves:         waves,
+		Iters:         iters,
+		ComputeK:      k,
+		Cores:         cores,
+		WriteWidth:    width,
+		SlotCapacity:  capacity,
+		NoFixup:       nofixup,
+		AblateReclaim: ablateReclaim,
+	})
+	res.Render(os.Stdout)
+
+	sabotaged := nofixup || ablateReclaim
+	violations := res.TotalViolations()
+	errs := res.TotalRunErrors()
+	switch {
+	case errs > 0:
+		fmt.Fprintf(os.Stderr, "limit-chaos: %d soak run(s) failed\n", errs)
+		os.Exit(1)
+	case sabotaged && violations == 0:
+		fmt.Fprintln(os.Stderr, "limit-chaos: ablation enabled but no violations detected — the oracles are blind")
+		os.Exit(1)
+	case !sabotaged && violations > 0:
+		fmt.Fprintf(os.Stderr, "limit-chaos: %d violation(s) in a healthy soak\n", violations)
+		os.Exit(1)
+	}
+	if sabotaged {
+		fmt.Printf("detected %d violation(s) under ablation, as expected\n", violations)
+	} else {
+		fmt.Printf("soak clean: churn, kills, clone storms and exhaustion absorbed (%d run(s) degraded gracefully)\n",
+			res.TotalDegraded())
 	}
 }

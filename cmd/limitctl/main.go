@@ -10,6 +10,12 @@
 //	limitctl -app mysql|mysql-3.23|mysql-4.1|mysql-5.1|apache|firefox
 //	         [-method limit|perf|papi|rdtsc|sample|none]
 //	         [-cores 4] [-scale 1.0] [-hist] [-threads]
+//	limitctl -list
+//
+// -list prints the available event/counter configurations — PMU
+// events, counter access methods, and hardware feature presets — and
+// exits. limitctl takes no positional arguments; anything left after
+// flag parsing is an unknown subcommand and exits with usage.
 package main
 
 import (
@@ -19,11 +25,53 @@ import (
 
 	"limitsim/internal/analysis"
 	"limitsim/internal/machine"
+	"limitsim/internal/pmu"
 	"limitsim/internal/probe"
 	"limitsim/internal/tabwrite"
 	"limitsim/internal/trace"
 	"limitsim/internal/workloads"
 )
+
+// methodBlurbs describes each counter access method for -list.
+var methodBlurbs = map[probe.Kind]string{
+	probe.KindNull:   "no instrumentation (baseline)",
+	probe.KindRdtsc:  "timestamp-counter deltas, no event selection",
+	probe.KindLimit:  "userspace rdpmc + virtualized 64-bit counters (the paper's patch)",
+	probe.KindPerf:   "syscall-per-read perf counters, multiplexed past the hardware",
+	probe.KindPAPI:   "PAPI-style layered reads over the perf path",
+	probe.KindSample: "periodic overflow-interrupt sampling",
+}
+
+// listConfigurations prints the available events, access methods and
+// PMU feature presets.
+func listConfigurations(w *os.File) {
+	et := tabwrite.New("PMU events", "id", "event")
+	for ev := pmu.Event(0); ev < pmu.NumEvents; ev++ {
+		et.Row(int(ev), ev)
+	}
+	et.Render(w)
+
+	mt := tabwrite.New("Counter access methods (-method)", "method", "description")
+	for _, k := range probe.AllKinds() {
+		mt.Row(string(k), methodBlurbs[k])
+	}
+	mt.Render(w)
+
+	ft := tabwrite.New("PMU feature presets", "preset", "counters", "width", "write", "notes")
+	for _, p := range []struct {
+		name  string
+		f     pmu.Features
+		notes string
+	}{
+		{"stock", pmu.DefaultFeatures(), "2011-era x86 baseline"},
+		{"e1-64bit", pmu.Enhanced64Bit(), "fully writable 64-bit counters"},
+		{"e2-destructive", pmu.EnhancedDestructive(), "read-and-reset rdpmc"},
+		{"e3-hw-virt", pmu.EnhancedHWVirtualization(), "per-thread counter state in hardware"},
+	} {
+		ft.Row(p.name, p.f.NumCounters, p.f.CounterWidth, p.f.WriteWidth, p.notes)
+	}
+	ft.Render(w)
+}
 
 func main() {
 	appName := flag.String("app", "mysql", "workload: mysql[-3.23|-4.1|-5.1], apache, firefox, forkjoin")
@@ -34,9 +82,24 @@ func main() {
 	perThread := flag.Bool("threads", false, "print per-thread rows")
 	period := flag.Uint64("period", 100_000, "sampling period (method=sample)")
 	traceN := flag.Int("trace", 0, "dump the last N kernel trace events")
+	list := flag.Bool("list", false, "list available events, access methods and PMU presets, then exit")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "limitctl: unknown subcommand %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *list {
+		listConfigurations(os.Stdout)
+		return
+	}
+
 	ins := workloads.Instrumentation{Kind: probe.Kind(*method), SamplePeriod: *period}
+	if _, ok := methodBlurbs[ins.Kind]; !ok {
+		fmt.Fprintf(os.Stderr, "limitctl: unknown method %q (see -list)\n", *method)
+		os.Exit(2)
+	}
 	if ins.Kind == probe.KindLimit {
 		ins = workloads.LimitInstr()
 	}

@@ -1,0 +1,457 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+
+	"limitsim/internal/faultinject"
+	"limitsim/internal/invariant"
+	"limitsim/internal/kernel"
+	"limitsim/internal/machine"
+	"limitsim/internal/pmu"
+	"limitsim/internal/tabwrite"
+	"limitsim/internal/tls"
+	"limitsim/internal/workloads"
+)
+
+// Soak campaign: the lifecycle analogue of the read-path campaign in
+// this package. Where Run hammers a static thread set's read sequences,
+// RunSoak drives the churning thread-pool workload (workloads.Churn —
+// a manager cloning and joining waves of short-lived workers, the
+// MySQL-connection-churn shape) through a matrix of lifecycle fault
+// mixes: forced preemption inside read regions, asynchronous kills of
+// pool workers, clone storms that stampede inheritance, and pinned-slot
+// capacities tight enough to force graceful degradation. Every run
+// carries the invariant checker; after every run the campaign audits
+// leak-freedom (all slots, table words and region registrations
+// returned), inheritance conservation (an inherited counter's reap
+// value equals its thread's true instruction total), and the value
+// oracle over every exact worker measurement. Estimated (degraded)
+// runs are accounted separately — flagged, never silently wrong.
+
+// SoakMix names one lifecycle fault mix. SlotCapacity, when nonzero,
+// overrides the campaign's pinned-slot ledger capacity for this mix —
+// exhaustion is a fault class here, not just a config.
+type SoakMix struct {
+	Name         string
+	Inject       faultinject.Config // Seed/CloneEntry are set per run
+	SlotCapacity int
+}
+
+// DefaultSoakMixes returns the standard lifecycle matrix for a pool of
+// the given width. Rates use primes so no fault class phase-locks with
+// the wave period.
+func DefaultSoakMixes(pool int) []SoakMix {
+	full := 2*(pool+1) + 4
+	return []SoakMix{
+		{Name: "churn-only", Inject: faultinject.Config{}},
+		{Name: "preempt-churn", Inject: faultinject.Config{
+			PreemptInRegions: true, PreemptEvery: 997,
+		}},
+		// Delayed PMIs slide folds into the read window; with fixup
+		// active the rewind absorbs them, without it this is the mix
+		// that reliably exposes torn reads.
+		{Name: "pmi-churn", Inject: faultinject.Config{
+			SpuriousPMIEvery: 211, DelayPMI: true, DelayBoundaries: 3,
+		}},
+		{Name: "kill-storm", Inject: faultinject.Config{
+			KillEvery: 40009, KillClonesOnly: true,
+		}},
+		{Name: "clone-storm", Inject: faultinject.Config{
+			CloneEvery: 20011, CloneBudget: 48,
+		}},
+		{Name: "slot-burst", SlotCapacity: 2 * pool, Inject: faultinject.Config{
+			CloneEvery: 30011, CloneBudget: 32,
+		}},
+		{Name: "mgr-fallback", SlotCapacity: 1, Inject: faultinject.Config{}},
+		{Name: "full-churn", SlotCapacity: full, Inject: faultinject.Config{
+			PreemptInRegions: true, PreemptEvery: 997,
+			KillEvery: 40009, KillClonesOnly: true,
+			CloneEvery: 20011, CloneBudget: 48,
+		}},
+	}
+}
+
+// SoakConfig shapes a soak campaign.
+type SoakConfig struct {
+	// Seeds is how many seeds each mix runs (default 4).
+	Seeds int
+	// Pool is the worker-pool width (default 4).
+	Pool int
+	// Waves is clone/join rounds per run (default 6).
+	Waves int
+	// Iters is measured reads per worker (default 40).
+	Iters int
+	// ComputeK is the measured region's compute count (default 20).
+	ComputeK int
+	// Cores is the machine's core count (default 4).
+	Cores int
+	// WriteWidth narrows the PMU's writable width so even short-lived
+	// workers cross fold boundaries (default 10, the narrowest width
+	// whose chunk still dwarfs the value oracle's slack).
+	WriteWidth int
+	// SlotCapacity is the pinned-slot ledger capacity for mixes that do
+	// not override it (default 2*(Pool+1)+4: the full pool plus
+	// headroom for storm children).
+	SlotCapacity int
+	// Retries is the manager OpenPolicy retry budget (0: policy
+	// default).
+	Retries int
+	// NoFixup disables fixup-region registration — the ablation the
+	// campaign must detect as torn reads.
+	NoFixup bool
+	// AblateReclaim disables exit-time resource reclamation — the
+	// ablation the leak and bad-reap oracles must detect.
+	AblateReclaim bool
+	// Mixes is the lifecycle fault matrix (default DefaultSoakMixes).
+	Mixes []SoakMix
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Seeds <= 0 {
+		c.Seeds = 4
+	}
+	if c.Pool <= 0 {
+		c.Pool = 4
+	}
+	if c.Waves <= 0 {
+		c.Waves = 6
+	}
+	if c.Iters <= 0 {
+		c.Iters = 40
+	}
+	if c.ComputeK <= 0 {
+		c.ComputeK = 20
+	}
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.WriteWidth <= 0 {
+		c.WriteWidth = 10
+	}
+	if c.SlotCapacity <= 0 {
+		c.SlotCapacity = 2*(c.Pool+1) + 4
+	}
+	if len(c.Mixes) == 0 {
+		c.Mixes = DefaultSoakMixes(c.Pool)
+	}
+	return c
+}
+
+func (c SoakConfig) churn() workloads.ChurnConfig {
+	return workloads.ChurnConfig{
+		Pool:     c.Pool,
+		Waves:    c.Waves,
+		Iters:    c.Iters,
+		ComputeK: c.ComputeK,
+		Retries:  c.Retries,
+		NoFixup:  c.NoFixup,
+	}
+}
+
+// WaveAcct is one wave's worker-run accounting, aggregated across a
+// mix's seeds.
+type WaveAcct struct {
+	Exact   uint64 // completed on the exact rdpmc path
+	Est     uint64 // completed on the flagged estimated path
+	Partial uint64 // killed (or degraded mid-run) before finishing
+}
+
+// SoakMixResult aggregates one lifecycle mix's runs across all seeds.
+type SoakMixResult struct {
+	Name      string
+	Runs      int
+	RunErrors int
+	Errs      []string
+
+	Injected faultinject.Stats
+
+	// Kernel lifecycle traffic.
+	Clones uint64
+	Exits  uint64
+	Kills  uint64
+
+	// Slot-ledger pressure and its visible consequences.
+	Denials      uint64
+	DegradedRuns uint64 // worker runs flagged as estimates
+
+	CompletedRuns uint64
+	PartialRuns   uint64
+	Waves         []WaveAcct
+
+	Folds          uint64
+	Rewinds        uint64
+	ReadsCompleted uint64
+
+	// TornDeltas counts exact-path measurements outside the static
+	// cost's slack; BadConservation counts inherited counters whose
+	// reap value diverged from the thread's true instruction count;
+	// Leaks counts resource-leak reports from the end-of-run audit.
+	TornDeltas        uint64
+	BadConservation   uint64
+	Leaks             int
+	CheckerViolations int
+	Samples           []invariant.Violation
+}
+
+// Violations totals the mix's evidence from all three oracles.
+func (m *SoakMixResult) Violations() uint64 {
+	return m.TornDeltas + m.BadConservation + uint64(m.CheckerViolations)
+}
+
+// SoakResult is a full soak campaign's outcome.
+type SoakResult struct {
+	Cfg   SoakConfig
+	Mixes []SoakMixResult
+	// Want is the static per-read delta exact measurements are judged
+	// against.
+	Want uint64
+}
+
+// TotalViolations sums violations across the matrix.
+func (r *SoakResult) TotalViolations() uint64 {
+	var n uint64
+	for i := range r.Mixes {
+		n += r.Mixes[i].Violations()
+	}
+	return n
+}
+
+// TotalRunErrors sums failed runs across the matrix.
+func (r *SoakResult) TotalRunErrors() int {
+	n := 0
+	for i := range r.Mixes {
+		n += r.Mixes[i].RunErrors
+	}
+	return n
+}
+
+// TotalDegraded sums flagged estimated runs across the matrix.
+func (r *SoakResult) TotalDegraded() uint64 {
+	var n uint64
+	for i := range r.Mixes {
+		n += r.Mixes[i].DegradedRuns
+	}
+	return n
+}
+
+// RunSoak executes the soak campaign: for each lifecycle mix, Seeds
+// independent long runs of the churn workload under that mix's
+// injector and slot capacity, each audited by the invariant checker
+// and the campaign's leak, conservation and value oracles.
+func RunSoak(cfg SoakConfig) *SoakResult {
+	cfg = cfg.withDefaults()
+	res := &SoakResult{Cfg: cfg, Want: workloads.BuildChurn(cfg.churn()).Want}
+	for mi, mix := range cfg.Mixes {
+		mr := SoakMixResult{Name: mix.Name, Waves: make([]WaveAcct, cfg.Waves)}
+		for s := 0; s < cfg.Seeds; s++ {
+			seed := uint64(s)*0x9e3779b97f4a7c15 + uint64(mi) + 1
+			runOneSoak(cfg, mix, seed, &mr)
+		}
+		res.Mixes = append(res.Mixes, mr)
+	}
+	return res
+}
+
+// runOneSoak executes a single seeded soak run and folds its outcome
+// into mr.
+func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult) {
+	mr.Runs++
+
+	feats := pmu.DefaultFeatures()
+	feats.WriteWidth = cfg.WriteWidth
+
+	kcfg := kernel.DefaultConfig()
+	kcfg.Seed = seed
+	kcfg.Quantum = 30_000
+	kcfg.LimitOverflow = kernel.FoldInKernel
+	kcfg.VirtSlotCapacity = cfg.SlotCapacity
+	if mix.SlotCapacity > 0 {
+		kcfg.VirtSlotCapacity = mix.SlotCapacity
+	}
+	kcfg.AblateReclaim = cfg.AblateReclaim
+
+	w := workloads.BuildChurn(cfg.churn())
+	m := machine.New(machine.Config{
+		NumCores:      cfg.Cores,
+		PMU:           feats,
+		Kernel:        kcfg,
+		TraceCapacity: 256,
+	})
+
+	icfg := mix.Inject
+	icfg.Seed = seed ^ 0x5ca1ab1e
+	icfg.NumSlots = feats.NumCounters
+	if icfg.CloneEvery > 0 {
+		icfg.CloneEntry = w.StubEntry
+	}
+	inj := faultinject.New(icfg)
+	inj.SetRegions(w.Regions)
+	inj.SetCores(cfg.Cores)
+	inj.Attach(m.Kern)
+
+	chk := invariant.New(w.Regions)
+	chk.Attach(m.Kern)
+
+	proc := m.Kern.NewProcess(w.Prog, w.Space)
+	mgr := m.Kern.Spawn(proc, "churn-mgr", w.Entry, seed*31)
+	mgr.SetReg(tls.SlotReg, uint64(w.ManagerSlot()))
+
+	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
+	switch {
+	case res.Err != nil:
+		mr.RunErrors++
+		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: %v", seed, res.Err))
+	case !res.AllDone:
+		mr.RunErrors++
+		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: run hit %d-step bound (livelock?)", seed, runSteps))
+	}
+
+	// Leak oracle: with every thread exited, the kernel's resource
+	// ledgers must read zero. Under AblateReclaim they must NOT — the
+	// checker reporting the leaks is the ablation detecting itself.
+	if res.AllDone {
+		chk.CheckLeaks(m.Kern.Resources())
+	}
+
+	// Conservation oracle: every cloned thread's inherited instruction
+	// counter (index 0, live from birth to reap) must end exactly equal
+	// to the thread's true retired-user-instruction count. Degraded
+	// children carry perf estimates instead and are exempt by kind.
+	// (The end-of-run Finalize pass is deliberately not used here: the
+	// pool recycles per-slot table words every wave, so dead workers'
+	// counters alias live words; the reap-time capture is the correct
+	// final value.)
+	for _, t := range m.Kern.Threads() {
+		if t.ClonedFrom < 0 {
+			continue
+		}
+		cs := t.Counters()
+		if len(cs) == 0 || cs[0].Kind != kernel.KindLimit || cs[0].Closed {
+			continue
+		}
+		if v, ok := chk.ReapValue(t.ID, 0); ok && v != t.Stats.UserInstructions {
+			mr.BadConservation++
+		}
+	}
+
+	// Value oracle: every exact-path measurement a worker published
+	// before finishing (or dying) must sit within the static cost's
+	// slack; estimated runs are flagged, counted, and skipped.
+	for ri := 0; ri < w.Runs(); ri++ {
+		wave := ri / cfg.Pool
+		est := w.Estimated(ri)
+		if est {
+			mr.DegradedRuns++
+		}
+		n := w.Done(ri)
+		if n > uint64(cfg.Iters) {
+			n = uint64(cfg.Iters)
+		}
+		switch {
+		case n < uint64(cfg.Iters):
+			mr.PartialRuns++
+			mr.Waves[wave].Partial++
+		case est:
+			mr.CompletedRuns++
+			mr.Waves[wave].Est++
+		default:
+			mr.CompletedRuns++
+			mr.Waves[wave].Exact++
+		}
+		if est {
+			continue
+		}
+		for i := uint64(0); i < n; i++ {
+			d := w.Delta(ri, int(i))
+			if d < w.Want || d > w.Want+deltaSlack {
+				mr.TornDeltas++
+			}
+		}
+	}
+
+	mr.Injected.Add(inj.Stats)
+	mr.Clones += m.Kern.Stats.Clones
+	mr.Exits += m.Kern.Stats.Exits
+	mr.Kills += m.Kern.Stats.Kills
+	mr.Denials += m.Kern.Resources().SlotDenials
+	mr.Folds += m.Kern.Stats.OverflowFolds
+	mr.ReadsCompleted += chk.ReadsCompleted
+	for _, t := range m.Kern.Threads() {
+		mr.Rewinds += t.Stats.FixupRewinds
+	}
+	mr.CheckerViolations += chk.Count()
+	for _, v := range chk.Violations() {
+		if v.Kind == invariant.KindLeak {
+			mr.Leaks++
+		}
+		if len(mr.Samples) < 8 {
+			mr.Samples = append(mr.Samples, v)
+		}
+	}
+}
+
+// Render writes the soak report: the mix table, the per-wave
+// accounting, and violation details when any oracle fired. Output is
+// byte-deterministic for a given SoakConfig.
+func (r *SoakResult) Render(w io.Writer) {
+	fixup := "enabled"
+	if r.Cfg.NoFixup {
+		fixup = "DISABLED (ablation)"
+	}
+	reclaim := "enabled"
+	if r.Cfg.AblateReclaim {
+		reclaim = "DISABLED (ablation)"
+	}
+	title := fmt.Sprintf("Soak campaign: %d seed(s) x %d mix(es), pool %d x %d waves x %d reads, %d cores, %d-bit writes, slots %d, fixup %s, reclaim %s",
+		r.Cfg.Seeds, len(r.Mixes), r.Cfg.Pool, r.Cfg.Waves, r.Cfg.Iters,
+		r.Cfg.Cores, r.Cfg.WriteWidth, r.Cfg.SlotCapacity, fixup, reclaim)
+	t := tabwrite.New(title,
+		"mix", "runs", "clones", "exits", "kills", "denials", "degraded",
+		"complete", "partial", "rewinds", "folds", "reads",
+		"torn", "conserve", "leaks", "violations", "errors")
+	for i := range r.Mixes {
+		m := &r.Mixes[i]
+		t.Row(m.Name, m.Runs, m.Clones, m.Exits, m.Kills, m.Denials,
+			m.DegradedRuns, m.CompletedRuns, m.PartialRuns,
+			m.Rewinds, m.Folds, m.ReadsCompleted,
+			m.TornDeltas, m.BadConservation, m.Leaks, m.CheckerViolations, m.RunErrors)
+	}
+	t.Render(w)
+
+	wa := tabwrite.New("Per-wave accounting (worker runs across all seeds)",
+		"mix", "wave", "exact", "estimated", "partial")
+	for i := range r.Mixes {
+		m := &r.Mixes[i]
+		for wv := range m.Waves {
+			wa.Row(m.Name, wv, m.Waves[wv].Exact, m.Waves[wv].Est, m.Waves[wv].Partial)
+		}
+	}
+	wa.Render(w)
+
+	if r.TotalViolations() > 0 {
+		d := tabwrite.New("Invariant violations (samples)", "mix", "thread", "kind", "detail")
+		for i := range r.Mixes {
+			m := &r.Mixes[i]
+			for _, v := range m.Samples {
+				d.Row(m.Name, v.TID, v.Kind, v.Detail)
+			}
+			if m.TornDeltas > 0 {
+				d.Row(m.Name, "-", "torn-delta",
+					fmt.Sprintf("%d exact measurement(s) outside [%d,%d]",
+						m.TornDeltas, r.Want, r.Want+deltaSlack))
+			}
+			if m.BadConservation > 0 {
+				d.Row(m.Name, "-", "bad-conservation",
+					fmt.Sprintf("%d inherited counter(s) diverged from true instruction totals",
+						m.BadConservation))
+			}
+		}
+		d.Render(w)
+	}
+	for i := range r.Mixes {
+		for _, e := range r.Mixes[i].Errs {
+			fmt.Fprintf(w, "run error [%s] %s\n", r.Mixes[i].Name, e)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"limitsim/internal/faultinject"
+	"limitsim/internal/invariant"
+)
+
+// quickSoakCfg keeps soak tests fast while still churning every wave
+// and exercising every mix class; the fault rates are hotter than the
+// campaign defaults so short runs reliably inject.
+func quickSoakCfg() SoakConfig {
+	pool := 3
+	return SoakConfig{
+		Seeds:      2,
+		Pool:       pool,
+		Waves:      3,
+		Iters:      30,
+		ComputeK:   20,
+		Cores:      2,
+		WriteWidth: 11,
+		Mixes: []SoakMix{
+			{Name: "churn-only"},
+			{Name: "preempt-churn", Inject: faultinject.Config{
+				PreemptInRegions: true, PreemptEvery: 499,
+			}},
+			{Name: "kill-storm", Inject: faultinject.Config{
+				KillEvery: 3001, KillClonesOnly: true,
+			}},
+			{Name: "clone-storm", Inject: faultinject.Config{
+				CloneEvery: 2003, CloneBudget: 24,
+			}},
+			{Name: "slot-burst", SlotCapacity: 2 * pool, Inject: faultinject.Config{
+				CloneEvery: 2003, CloneBudget: 16,
+			}},
+			{Name: "mgr-fallback", SlotCapacity: 1},
+			{Name: "full-churn", Inject: faultinject.Config{
+				PreemptInRegions: true, PreemptEvery: 499,
+				KillEvery: 3001, KillClonesOnly: true,
+				CloneEvery: 2003, CloneBudget: 24,
+			}},
+		},
+	}
+}
+
+// TestSoakDeterminism runs the identical soak campaign twice and
+// requires byte-identical rendered output — same seeds, same churn,
+// same kills and clone storms, same report.
+func TestSoakDeterminism(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		RunSoak(quickSoakCfg()).Render(&sb)
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same config produced different soak output:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestSoakInvariantsHold runs the full lifecycle matrix with fixup and
+// reclamation active: thread churn, kills, clone storms and slot
+// exhaustion must all be absorbed with zero violations — every exact
+// measurement right, every inherited counter conserved, every resource
+// returned, every degradation flagged.
+func TestSoakInvariantsHold(t *testing.T) {
+	r := RunSoak(quickSoakCfg())
+	if errs := r.TotalRunErrors(); errs != 0 {
+		for _, m := range r.Mixes {
+			for _, e := range m.Errs {
+				t.Logf("[%s] %s", m.Name, e)
+			}
+		}
+		t.Fatalf("%d run(s) failed", errs)
+	}
+	if v := r.TotalViolations(); v != 0 {
+		var sb strings.Builder
+		r.Render(&sb)
+		t.Fatalf("%d violation(s) with fixup and reclamation enabled:\n%s", v, sb.String())
+	}
+
+	var clones, kills, forced, denials, degraded, reads, folds uint64
+	for i := range r.Mixes {
+		m := &r.Mixes[i]
+		clones += m.Clones
+		kills += m.Kills
+		forced += m.Injected.ForcedClones
+		denials += m.Denials
+		degraded += m.DegradedRuns
+		reads += m.ReadsCompleted
+		folds += m.Folds
+	}
+	if clones == 0 {
+		t.Error("soak cloned no threads")
+	}
+	if kills == 0 {
+		t.Error("kill storm delivered no kills")
+	}
+	if forced == 0 {
+		t.Error("clone storm forced no clones")
+	}
+	if denials == 0 {
+		t.Error("tight slot capacities produced no denials")
+	}
+	if degraded == 0 {
+		t.Error("exhaustion produced no flagged degraded runs")
+	}
+	if reads == 0 {
+		t.Error("soak completed no reads")
+	}
+	if folds == 0 {
+		t.Error("narrowed counters produced no overflow folds")
+	}
+
+	// The starved-manager mix must flag every one of its worker runs.
+	for i := range r.Mixes {
+		m := &r.Mixes[i]
+		if m.Name != "mgr-fallback" {
+			continue
+		}
+		if want := uint64(m.Runs * r.Cfg.Waves * r.Cfg.Pool); m.DegradedRuns != want {
+			t.Errorf("mgr-fallback flagged %d/%d runs", m.DegradedRuns, want)
+		}
+	}
+}
+
+// TestSoakDetectsTornReadsWithoutFixup disables fixup registration:
+// the churning campaign must *detect* the resulting torn reads as
+// counted violations, not panic and not stay silent.
+func TestSoakDetectsTornReadsWithoutFixup(t *testing.T) {
+	cfg := quickSoakCfg()
+	cfg.Seeds = 2
+	// Long worker runs at the narrowest width give every worker several
+	// overflow crossings; delaying each PMI a few boundaries slides the
+	// fold into the unprotected read sequence. (No preemption here — a
+	// preempt storm would drain the withheld PMIs at deschedule before
+	// they can expire inside a read window.)
+	cfg.Iters = 200
+	cfg.WriteWidth = 10
+	cfg.NoFixup = true
+	cfg.Mixes = []SoakMix{
+		{Name: "pmi-churn", Inject: faultinject.Config{
+			SpuriousPMIEvery: 211, DelayPMI: true, DelayBoundaries: 3,
+		}},
+	}
+	r := RunSoak(cfg)
+	if errs := r.TotalRunErrors(); errs != 0 {
+		t.Fatalf("%d run(s) failed; detection must be graceful", errs)
+	}
+	if r.TotalViolations() == 0 {
+		t.Fatal("fixup disabled but the soak detected no torn reads")
+	}
+}
+
+// TestSoakDetectsReclaimAblation disables exit-time reclamation: the
+// leak oracle must report the stranded slots/words/regions and the
+// bad-reap oracle the unreleased counters — detection, not a crash.
+func TestSoakDetectsReclaimAblation(t *testing.T) {
+	cfg := quickSoakCfg()
+	cfg.Seeds = 1
+	cfg.AblateReclaim = true
+	cfg.Mixes = []SoakMix{{Name: "churn-only"}}
+	r := RunSoak(cfg)
+	if errs := r.TotalRunErrors(); errs != 0 {
+		t.Fatalf("%d run(s) failed; detection must be graceful", errs)
+	}
+	if r.TotalViolations() == 0 {
+		t.Fatal("reclamation disabled but no leaks detected")
+	}
+	if r.Mixes[0].Leaks == 0 {
+		t.Error("no resource-leak reports from the end-of-run audit")
+	}
+	kinds := map[string]bool{}
+	for _, v := range r.Mixes[0].Samples {
+		kinds[v.Kind] = true
+	}
+	if !kinds[invariant.KindBadReap] {
+		t.Errorf("no bad-reap violations sampled; kinds seen: %v", kinds)
+	}
+}
+
+// TestSoakRenderShape pins the soak report's user-visible surface.
+func TestSoakRenderShape(t *testing.T) {
+	cfg := quickSoakCfg()
+	cfg.Seeds = 1
+	var sb strings.Builder
+	RunSoak(cfg).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Soak campaign", "fixup enabled", "reclaim enabled",
+		"churn-only", "kill-storm", "clone-storm", "slot-burst", "mgr-fallback", "full-churn",
+		"denials", "degraded", "conserve", "violations",
+		"Per-wave accounting",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -80,6 +80,27 @@ type Config struct {
 	// FlushEvery, when >0, flushes the executing core's TLB and entire
 	// cache hierarchy with probability 1/FlushEvery per boundary.
 	FlushEvery uint64
+
+	// KillEvery, when >0, asynchronously kills the executing thread
+	// with probability 1/KillEvery per boundary, exercising the full
+	// exit/reclamation path at arbitrary points — including mid-read-
+	// sequence.
+	KillEvery uint64
+	// KillClonesOnly restricts random kills to threads that were
+	// cloned (ClonedFrom >= 0), so a storm cannot take down the
+	// workload's root threads and stall the campaign.
+	KillClonesOnly bool
+
+	// CloneEvery, when >0, forces the executing thread to clone a
+	// child at CloneEntry with probability 1/CloneEvery per boundary,
+	// stressing counter inheritance and slot churn.
+	CloneEvery uint64
+	// CloneEntry is the program PC forced children start at. The
+	// campaign points it at a short self-exiting stub.
+	CloneEntry int
+	// CloneBudget caps the total number of forced clones per run so a
+	// storm terminates (default 64).
+	CloneBudget int
 }
 
 // Stats counts every fault the injector actually delivered.
@@ -93,12 +114,30 @@ type Stats struct {
 	Migrations        uint64 // enqueues redirected off the default core
 	HeldSignals       uint64 // boundaries at which delivery was deferred
 	Flushes           uint64
+	Kills             uint64 // asynchronous thread kills delivered
+	ForcedClones      uint64 // clone-storm children forced into existence
+}
+
+// Add accumulates another run's stats into s (campaign roll-ups).
+func (s *Stats) Add(o Stats) {
+	s.ForcedPreemptions += o.ForcedPreemptions
+	s.RandomPreemptions += o.RandomPreemptions
+	s.SpuriousPMIs += o.SpuriousPMIs
+	s.DelayedPMIs += o.DelayedPMIs
+	s.ReleasedPMIs += o.ReleasedPMIs
+	s.DrainedPMIs += o.DrainedPMIs
+	s.Migrations += o.Migrations
+	s.HeldSignals += o.HeldSignals
+	s.Flushes += o.Flushes
+	s.Kills += o.Kills
+	s.ForcedClones += o.ForcedClones
 }
 
 // Total sums every delivered fault.
 func (s Stats) Total() uint64 {
 	return s.ForcedPreemptions + s.RandomPreemptions + s.SpuriousPMIs +
-		s.DelayedPMIs + s.Migrations + s.HeldSignals + s.Flushes
+		s.DelayedPMIs + s.Migrations + s.HeldSignals + s.Flushes +
+		s.Kills + s.ForcedClones
 }
 
 // pmiStash is one core's withheld overflow bits.
@@ -120,6 +159,11 @@ type Injector struct {
 	sigHold map[int]int // thread ID -> remaining hold boundaries
 	armPC   int         // one-shot preemption trigger, -1 when unarmed
 
+	armKillPC   int // one-shot kill trigger, -1 when unarmed
+	armClonePC  int // one-shot clone trigger, -1 when unarmed
+	armCloneEnt int // entry PC for the one-shot forced clone
+	clonesLeft  int // remaining forced-clone budget
+
 	Stats Stats
 }
 
@@ -135,14 +179,21 @@ func New(cfg Config) *Injector {
 	if cfg.NumSlots <= 0 {
 		cfg.NumSlots = 4
 	}
+	if cfg.CloneBudget <= 0 {
+		cfg.CloneBudget = 64
+	}
 	return &Injector{
-		cfg:     cfg,
-		rng:     cfg.Seed ^ 0xbadc0ffee0ddf00d,
-		nCores:  1,
-		budget:  make(map[int]int),
-		stash:   make(map[int]*pmiStash),
-		sigHold: make(map[int]int),
-		armPC:   -1,
+		cfg:         cfg,
+		rng:         cfg.Seed ^ 0xbadc0ffee0ddf00d,
+		nCores:      1,
+		budget:      make(map[int]int),
+		stash:       make(map[int]*pmiStash),
+		sigHold:     make(map[int]int),
+		armPC:       -1,
+		armKillPC:   -1,
+		armClonePC:  -1,
+		armCloneEnt: -1,
+		clonesLeft:  cfg.CloneBudget,
 	}
 }
 
@@ -174,6 +225,27 @@ func (in *Injector) ArmPreemptAt(pc int) { in.armPC = pc }
 // Armed reports whether a one-shot preemption is still pending.
 func (in *Injector) Armed() bool { return in.armPC >= 0 }
 
+// ArmKillAt arms a one-shot asynchronous kill: the next time any
+// thread is at PC pc after retiring an instruction, it is killed.
+// Arm before Attach — Hooks snapshots which hooks to install. Used
+// by the exhaustive exit-at-every-boundary sweep.
+func (in *Injector) ArmKillAt(pc int) { in.armKillPC = pc }
+
+// KillArmed reports whether a one-shot kill is still pending.
+func (in *Injector) KillArmed() bool { return in.armKillPC >= 0 }
+
+// ArmCloneAt arms a one-shot forced clone: the next time any thread
+// is at PC pc after retiring an instruction, it clones a child at
+// entry. Arm before Attach. Used by the clone-at-every-boundary
+// sweep.
+func (in *Injector) ArmCloneAt(pc, entry int) {
+	in.armClonePC = pc
+	in.armCloneEnt = entry
+}
+
+// CloneArmed reports whether a one-shot clone is still pending.
+func (in *Injector) CloneArmed() bool { return in.armClonePC >= 0 }
+
 // Hooks builds the kernel.Chaos hook set. Only hooks with active
 // configuration are installed, so an idle fault class costs nil checks
 // and nothing else.
@@ -195,6 +267,12 @@ func (in *Injector) Hooks() *kernel.Chaos {
 	}
 	if in.cfg.FlushEvery > 0 {
 		c.FlushAfter = in.flushAfter
+	}
+	if in.cfg.KillEvery > 0 || in.armKillPC >= 0 {
+		c.KillAfter = in.killAfter
+	}
+	if in.cfg.CloneEvery > 0 || in.armClonePC >= 0 {
+		c.CloneAfter = in.cloneAfter
 	}
 	return c
 }
@@ -331,4 +409,44 @@ func (in *Injector) flushAfter(coreID int, t *kernel.Thread) bool {
 		return true
 	}
 	return false
+}
+
+func (in *Injector) killAfter(coreID int, t *kernel.Thread) bool {
+	if in.armKillPC >= 0 {
+		if t.Ctx.PC != in.armKillPC {
+			return false
+		}
+		in.armKillPC = -1
+		in.Stats.Kills++
+		return true
+	}
+	if in.cfg.KillClonesOnly && t.ClonedFrom < 0 {
+		return false
+	}
+	if in.chance(in.cfg.KillEvery) {
+		in.Stats.Kills++
+		return true
+	}
+	return false
+}
+
+func (in *Injector) cloneAfter(coreID int, t *kernel.Thread) (int, bool) {
+	if in.armClonePC >= 0 {
+		if t.Ctx.PC != in.armClonePC {
+			return 0, false
+		}
+		entry := in.armCloneEnt
+		in.armClonePC, in.armCloneEnt = -1, -1
+		in.Stats.ForcedClones++
+		return entry, true
+	}
+	if in.clonesLeft <= 0 {
+		return 0, false
+	}
+	if in.chance(in.cfg.CloneEvery) {
+		in.clonesLeft--
+		in.Stats.ForcedClones++
+		return in.cfg.CloneEntry, true
+	}
+	return 0, false
 }

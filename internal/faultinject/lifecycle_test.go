@@ -1,0 +1,306 @@
+package faultinject
+
+import (
+	"testing"
+
+	"limitsim/internal/invariant"
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+)
+
+// lifecycleWorkload extends the sweep workload with a self-exiting
+// stub, the entry point forced clones are pointed at.
+type lifecycleWorkload struct {
+	prog    *isa.Program
+	space   *mem.Space
+	buf     uint64
+	regions [][2]int
+	want    uint64
+	stub    int
+}
+
+func buildLifecycleWorkload() *lifecycleWorkload {
+	w := &lifecycleWorkload{space: mem.NewSpace()}
+	table := limit.AllocTable(w.space, 1)
+	b := isa.NewBuilder()
+	e := limit.NewEmitter(b, limit.ModeStock, table)
+	ctr := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+	w.buf = w.space.AllocWords(sweepIters)
+	e.EmitInit()
+	b.MovImm(isa.R12, int64(w.buf))
+	b.MovImm(isa.R8, 0)
+	b.Label("loop")
+	e.EmitMeasureStart(isa.R4, isa.R5, ctr)
+	b.Compute(sweepK)
+	e.EmitMeasureEnd(isa.R6, isa.R4, isa.R5, ctr)
+	b.Shl(isa.R13, isa.R8, 3)
+	b.Add(isa.R13, isa.R13, isa.R12)
+	b.Store(isa.R13, 0, isa.R6)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, sweepIters)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	b.Halt()
+	// Clone-storm stub: do a little countable work, then exit through
+	// the full teardown path.
+	b.Label("stub")
+	b.Compute(3)
+	b.Syscall(kernel.SysExit)
+	e.EmitFinish()
+	w.prog = b.MustBuild()
+	w.regions = e.Regions()
+	r := w.regions[0]
+	w.want = uint64(sweepK) + uint64(r[1]-r[0])
+	stub, err := w.prog.Entry("stub")
+	if err != nil {
+		panic(err)
+	}
+	w.stub = stub
+	return w
+}
+
+// TestExhaustiveKillSweep kills the measuring thread at every single
+// instruction boundary inside the read-critical regions — including
+// mid-read-sequence — and asserts that teardown never tears a count
+// and never leaks a resource: every delta written before the kill is
+// exact, the invariant oracles stay silent, and the slot / table-word
+// / region ledgers all drain to zero.
+func TestExhaustiveKillSweep(t *testing.T) {
+	probe := buildLifecycleWorkload()
+	if len(probe.regions) == 0 {
+		t.Fatal("workload emitted no read-critical regions")
+	}
+
+	for _, region := range probe.regions {
+		for pc := region[0]; pc <= region[1]; pc++ {
+			w := buildLifecycleWorkload()
+
+			feats := pmu.DefaultFeatures()
+			feats.WriteWidth = 9
+			m := machine.New(machine.Config{
+				NumCores: 1,
+				PMU:      feats,
+				Kernel:   kernel.DefaultConfig(),
+			})
+
+			inj := New(Config{})
+			inj.ArmKillAt(pc)
+			inj.Attach(m.Kern)
+
+			chk := invariant.New(w.regions)
+			chk.Attach(m.Kern)
+
+			proc := m.Kern.NewProcess(w.prog, w.space)
+			th := m.Kern.Spawn(proc, "victim", 0, 7)
+
+			res := m.Run(machine.RunLimits{MaxSteps: 5_000_000})
+			if res.Err != nil {
+				t.Fatalf("pc %d: run failed: %v", pc, res.Err)
+			}
+			if !res.AllDone {
+				t.Fatalf("pc %d: run incomplete after %d steps", pc, res.Steps)
+			}
+			if inj.KillArmed() {
+				t.Fatalf("pc %d: armed kill never fired", pc)
+			}
+			if inj.Stats.Kills != 1 || m.Kern.Stats.Kills != 1 {
+				t.Fatalf("pc %d: want exactly 1 kill, injector %d kernel %d",
+					pc, inj.Stats.Kills, m.Kern.Stats.Kills)
+			}
+			if th.State != kernel.StateDone {
+				t.Fatalf("pc %d: killed thread not done", pc)
+			}
+
+			chk.Finalize(proc, m.Kern.Threads(), 0)
+			chk.CheckLeaks(m.Kern.Resources())
+			for _, v := range chk.Violations() {
+				t.Errorf("pc %d: invariant violation: %v", pc, v)
+			}
+
+			// The victim died mid-loop: iterations completed before the
+			// kill must be exact, iterations after it must be untouched
+			// (zero). A torn value would sit at neither.
+			for i := 0; i < sweepIters; i++ {
+				d := w.space.Read64(w.buf + uint64(i)*8)
+				if d != 0 && (d < w.want || d > w.want+128) {
+					t.Errorf("pc %d: delta[%d] = %d outside {0} ∪ [%d,%d]",
+						pc, i, d, w.want, w.want+128)
+				}
+			}
+
+			// Even on the involuntary path, the counter's final value is
+			// captured at reap. The counter opened a handful of
+			// instructions after thread birth (the init preamble), so its
+			// value trails the thread's true user total by that constant
+			// — never by a fold chunk, which is what a torn teardown
+			// would cost.
+			if v, ok := chk.ReapValue(th.ID, 0); !ok {
+				t.Errorf("pc %d: no reap value captured for the victim", pc)
+			} else if v == 0 || v > th.Stats.UserInstructions ||
+				th.Stats.UserInstructions-v >= 64 {
+				t.Errorf("pc %d: reap value %d vs true user instructions %d",
+					pc, v, th.Stats.UserInstructions)
+			}
+		}
+	}
+}
+
+// TestExhaustiveCloneSweep forces a clone at every instruction
+// boundary inside the read-critical regions. The child inherits the
+// parent's LiMiT counter mid-read-sequence; the parent's measurements
+// must stay exact, the child's inherited counter must conserve (its
+// reap-time value equals the child's true user-instruction total), and
+// the child's kernel-allocated table word and pinned slot must both be
+// reclaimed when it exits.
+func TestExhaustiveCloneSweep(t *testing.T) {
+	probe := buildLifecycleWorkload()
+	if len(probe.regions) == 0 {
+		t.Fatal("workload emitted no read-critical regions")
+	}
+
+	for _, region := range probe.regions {
+		for pc := region[0]; pc <= region[1]; pc++ {
+			w := buildLifecycleWorkload()
+
+			feats := pmu.DefaultFeatures()
+			feats.WriteWidth = 9
+			m := machine.New(machine.Config{
+				NumCores: 1,
+				PMU:      feats,
+				Kernel:   kernel.DefaultConfig(),
+			})
+
+			inj := New(Config{})
+			inj.ArmCloneAt(pc, w.stub)
+			inj.Attach(m.Kern)
+
+			chk := invariant.New(w.regions)
+			chk.Attach(m.Kern)
+
+			proc := m.Kern.NewProcess(w.prog, w.space)
+			parent := m.Kern.Spawn(proc, "parent", 0, 7)
+
+			res := m.Run(machine.RunLimits{MaxSteps: 5_000_000})
+			if res.Err != nil {
+				t.Fatalf("pc %d: run failed: %v", pc, res.Err)
+			}
+			if !res.AllDone {
+				t.Fatalf("pc %d: run incomplete after %d steps", pc, res.Steps)
+			}
+			if inj.CloneArmed() {
+				t.Fatalf("pc %d: armed clone never fired", pc)
+			}
+			if inj.Stats.ForcedClones != 1 || m.Kern.Stats.Clones != 1 {
+				t.Fatalf("pc %d: want exactly 1 clone, injector %d kernel %d",
+					pc, inj.Stats.ForcedClones, m.Kern.Stats.Clones)
+			}
+
+			var child *kernel.Thread
+			for _, th := range m.Kern.Threads() {
+				if th.ClonedFrom == parent.ID {
+					child = th
+				}
+			}
+			if child == nil {
+				t.Fatalf("pc %d: forced clone produced no child", pc)
+			}
+			cc := child.Counters()
+			if len(cc) != 1 || cc[0].Kind != kernel.KindLimit || !cc[0].Inherited {
+				t.Fatalf("pc %d: child did not inherit the LiMiT counter", pc)
+			}
+			if cc[0].Estimated {
+				t.Fatalf("pc %d: child degraded with slots to spare", pc)
+			}
+
+			chk.Finalize(proc, m.Kern.Threads(), 0)
+			chk.CheckLeaks(m.Kern.Resources())
+			for _, v := range chk.Violations() {
+				t.Errorf("pc %d: invariant violation: %v", pc, v)
+			}
+
+			// Conservation: the child's inherited counter started at zero
+			// and ended, at reap, exactly at the child's true total.
+			if v, ok := chk.ReapValue(child.ID, 0); !ok {
+				t.Errorf("pc %d: no reap value captured for the child", pc)
+			} else if v != child.Stats.UserInstructions {
+				t.Errorf("pc %d: child reap value %d != true user instructions %d",
+					pc, v, child.Stats.UserInstructions)
+			}
+
+			// The parent's measurements survive the mid-read clone; the
+			// clone costs kernel time, not user-ring instructions, so the
+			// usual re-execution slack bounds every delta.
+			for i := 0; i < sweepIters; i++ {
+				d := w.space.Read64(w.buf + uint64(i)*8)
+				if d < w.want || d > w.want+256 {
+					t.Errorf("pc %d: delta[%d] = %d outside [%d,%d]",
+						pc, i, d, w.want, w.want+256)
+				}
+			}
+		}
+	}
+}
+
+// TestLifecycleStormDeterminism replays a combined clone-storm +
+// kill-storm configuration twice with the same seed and requires
+// identical fault and kernel lifecycle counts — a soak campaign's
+// replayability depends on it.
+func TestLifecycleStormDeterminism(t *testing.T) {
+	type outcome struct {
+		inj            Stats
+		clones, exits  uint64
+		kills, threads int
+	}
+	run := func() outcome {
+		w := buildLifecycleWorkload()
+		feats := pmu.DefaultFeatures()
+		feats.WriteWidth = 9
+		kcfg := kernel.DefaultConfig()
+		kcfg.Seed = 42
+		kcfg.Quantum = 10_000
+		m := machine.New(machine.Config{NumCores: 2, PMU: feats, Kernel: kcfg})
+		inj := New(Config{
+			Seed:           99,
+			CloneEvery:     97,
+			CloneEntry:     w.stub,
+			CloneBudget:    24,
+			KillEvery:      53,
+			KillClonesOnly: true,
+		})
+		inj.SetRegions(w.regions)
+		inj.SetCores(2)
+		inj.Attach(m.Kern)
+		proc := m.Kern.NewProcess(w.prog, w.space)
+		m.Kern.Spawn(proc, "storm", 0, 7)
+		res := m.Run(machine.RunLimits{MaxSteps: 5_000_000})
+		if res.Err != nil {
+			t.Fatalf("run failed: %v", res.Err)
+		}
+		if !res.AllDone {
+			t.Fatalf("storm run incomplete after %d steps", res.Steps)
+		}
+		if rs := m.Kern.Resources(); rs.SlotsInUse != 0 || rs.TableWordsInUse != 0 || rs.RegionsLive != 0 {
+			t.Fatalf("storm leaked resources: %+v", rs)
+		}
+		return outcome{
+			inj:     inj.Stats,
+			clones:  m.Kern.Stats.Clones,
+			exits:   m.Kern.Stats.Exits,
+			kills:   int(m.Kern.Stats.Kills),
+			threads: len(m.Kern.Threads()),
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different storm outcomes:\n%+v\n%+v", a, b)
+	}
+	if a.inj.ForcedClones == 0 {
+		t.Error("clone storm forced no clones")
+	}
+	if a.clones != a.inj.ForcedClones {
+		t.Errorf("kernel saw %d clones, injector forced %d", a.clones, a.inj.ForcedClones)
+	}
+}

@@ -47,6 +47,9 @@ const (
 	KindFoldLoss     = "fold-loss"
 	KindSumMismatch  = "sum-mismatch"
 	KindInvalidState = "invalid-state"
+	KindBadInherit   = "bad-inheritance"
+	KindBadReap      = "bad-reap"
+	KindLeak         = "resource-leak"
 )
 
 // Violation is one observed breach of a LiMiT invariant.
@@ -82,6 +85,12 @@ type Checker struct {
 	armed  map[int]*readState
 	low    map[int]map[int]uint64 // thread ID -> counter idx -> floor value
 
+	// reapVals captures each LiMiT counter's final value (table word +
+	// saved remainder) at the moment its thread is reaped — before any
+	// later thread recycles the table word, which thread-pool churn
+	// does every wave.
+	reapVals map[int]map[int]uint64 // thread ID -> counter idx -> value
+
 	violations []Violation
 	count      int
 
@@ -95,10 +104,11 @@ type Checker struct {
 // emitter never registered them with the kernel).
 func New(regions [][2]int) *Checker {
 	c := &Checker{
-		gen:    make(map[uint64]uint64),
-		folded: make(map[uint64]uint64),
-		armed:  make(map[int]*readState),
-		low:    make(map[int]map[int]uint64),
+		gen:      make(map[uint64]uint64),
+		folded:   make(map[uint64]uint64),
+		armed:    make(map[int]*readState),
+		low:      make(map[int]map[int]uint64),
+		reapVals: make(map[int]map[int]uint64),
 	}
 	for _, r := range regions {
 		c.regions = append(c.regions, kernel.FixupRegion{Start: r[0], End: r[1]})
@@ -113,6 +123,8 @@ func (c *Checker) Probes() *kernel.Probes {
 		Fold:      c.fold,
 		Rewind:    c.rewind,
 		SwitchOut: c.switchOut,
+		Clone:     c.clone,
+		Reap:      c.reap,
 	}
 }
 
@@ -232,6 +244,112 @@ func (c *Checker) checkMonotone(t *kernel.Thread, when string) {
 				"counter %d went backwards at %s: %d -> %d", ci, when, prev, cur)
 		}
 		lows[ci] = cur
+	}
+}
+
+// clone validates counter inheritance at the child's birth: the
+// child's table must mirror the parent's open set index for index (or
+// be uniformly degraded to flagged perf estimates), and every
+// inherited LiMiT counter must start from zero — table word and saved
+// remainder both — so child and parent deltas conserve: nothing the
+// parent counted leaks into the child.
+func (c *Checker) clone(coreID int, parent, child *kernel.Thread, degraded bool) {
+	pcs, ccs := parent.Counters(), child.Counters()
+	if len(ccs) != len(pcs) {
+		c.report(child.ID, KindBadInherit,
+			"child has %d counters, parent %d", len(ccs), len(pcs))
+		return
+	}
+	for i, cc := range ccs {
+		pc := pcs[i]
+		if pc.Closed {
+			if !cc.Closed {
+				c.report(child.ID, KindBadInherit,
+					"counter %d open in child but closed in parent", i)
+			}
+			continue
+		}
+		if degraded {
+			if cc.Closed && pc.Kind == kernel.KindSample {
+				continue // samplers are dropped, not degraded
+			}
+			if cc.Kind != kernel.KindPerf || !cc.Estimated {
+				c.report(child.ID, KindBadInherit,
+					"degraded child counter %d is %v estimated=%v, want flagged perf",
+					i, cc.Kind, cc.Estimated)
+			}
+			continue
+		}
+		if cc.Kind != pc.Kind || cc.Event != pc.Event ||
+			cc.CountUser != pc.CountUser || cc.CountKernel != pc.CountKernel {
+			c.report(child.ID, KindBadInherit,
+				"counter %d configuration does not mirror the parent's", i)
+		}
+		if cc.Kind != kernel.KindLimit {
+			continue
+		}
+		if v := child.Proc.Mem.Read64(cc.TableAddr); v != 0 || cc.Saved != 0 {
+			c.report(child.ID, KindBadInherit,
+				"counter %d starts at table=%d saved=%d, want zero", i, v, cc.Saved)
+		}
+		// The child's table word may recycle a dead thread's (thread-
+		// pool churn reuses per-slot words every wave); the kernel just
+		// zeroed it, so its fold/conservation ledgers restart too.
+		delete(c.gen, cc.TableAddr)
+		delete(c.folded, cc.TableAddr)
+	}
+}
+
+// reap validates reclamation as a thread dies: its values must still
+// be monotone, every counter's ledger accounting must have been
+// returned, and each live LiMiT counter's final value is captured
+// while its table word is still the thread's own.
+func (c *Checker) reap(coreID int, t *kernel.Thread) {
+	c.checkMonotone(t, "reap")
+	for i, tc := range t.Counters() {
+		if !tc.Released {
+			c.report(t.ID, KindBadReap, "counter %d not released at reap", i)
+		}
+		if tc.Kind != kernel.KindLimit || tc.Closed {
+			continue
+		}
+		vals := c.reapVals[t.ID]
+		if vals == nil {
+			vals = make(map[int]uint64)
+			c.reapVals[t.ID] = vals
+		}
+		vals[i] = t.Proc.Mem.Read64(tc.TableAddr) + tc.Saved
+	}
+}
+
+// ReapValue returns the final value counter idx held at the moment
+// thread tid was reaped, if the reap probe observed one.
+func (c *Checker) ReapValue(tid, idx int) (uint64, bool) {
+	v, ok := c.reapVals[tid][idx]
+	return v, ok
+}
+
+// CheckLeaks audits the kernel's resource accounting after a run in
+// which every thread has exited: anything still outstanding — a pinned
+// counter slot, a kernel-allocated virtual-counter word, a fixup-
+// region registration — was acquired by some thread and never
+// returned, which is exactly the leak class exit-time reclamation
+// exists to prevent.
+func (c *Checker) CheckLeaks(res kernel.Resources) {
+	if res.SlotsInUse != 0 {
+		c.report(0, KindLeak,
+			"%d counter slot(s) never returned (peak %d, capacity %d, denials %d)",
+			res.SlotsInUse, res.SlotsPeak, res.SlotCapacity, res.SlotDenials)
+	}
+	if res.TableWordsInUse != 0 {
+		c.report(0, KindLeak,
+			"%d kernel-allocated virtual-counter word(s) never returned (peak %d)",
+			res.TableWordsInUse, res.TableWordsPeak)
+	}
+	if res.RegionsLive != 0 {
+		c.report(0, KindLeak,
+			"%d fixup-region registration(s) never dropped (peak %d)",
+			res.RegionsLive, res.RegionsPeak)
 	}
 }
 

@@ -8,6 +8,11 @@ const (
 	FlagUser uint64 = 1 << 0
 	// FlagKernel counts events in the kernel ring.
 	FlagKernel uint64 = 1 << 1
+	// FlagEstimated marks a perf counter opened by a degraded access
+	// path (the OpenPolicy fallback after slot exhaustion), so host-
+	// side readers report its values as estimates rather than exact
+	// counts.
+	FlagEstimated uint64 = 1 << 2
 )
 
 // maxCountersPerThread bounds the multiplexed perf pool (a runaway
@@ -39,11 +44,22 @@ func (k *Kernel) allocCounter(coreID int, t *Thread, tc *ThreadCounter) uint64 {
 	}
 	if idx == -1 {
 		if pinned && len(t.counters) >= n {
-			return errRet
+			return RetErr
 		}
 		if len(t.counters) >= maxCountersPerThread {
-			return errRet
+			return RetErr
 		}
+	}
+	// Pinned kinds reserve kernel counter state from the slot ledger;
+	// denial is transient (slots return when their holders close or
+	// exit), so it reports RetAgain rather than RetErr and callers may
+	// back off and retry or fall back to the multiplexed perf path. The
+	// reservation comes after every permanent-failure check so a denied
+	// or failed allocation never holds a slot.
+	if pinned && !k.slots.TryAcquire(1) {
+		return RetAgain
+	}
+	if idx == -1 {
 		t.counters = append(t.counters, tc)
 		idx = len(t.counters) - 1
 	} else {
@@ -90,6 +106,7 @@ func (k *Kernel) perfOpen(coreID int, t *Thread, event, flags uint64) uint64 {
 		Event:       pmu.Event(event),
 		CountUser:   flags&FlagUser != 0,
 		CountKernel: flags&FlagKernel != 0,
+		Estimated:   flags&FlagEstimated != 0,
 		OverflowBit: -1,
 	})
 }
@@ -148,6 +165,7 @@ func (k *Kernel) counterClose(coreID int, t *Thread, fd uint64) {
 	core := k.cores[coreID]
 	spanEnd(core, t)
 	tc.Closed = true
+	k.releaseCounter(tc)
 	if tc.HWSlot >= 0 {
 		core.PMU.Configure(tc.HWSlot, pmu.CounterConfig{Enabled: false, OverflowBit: -1})
 		t.hwSlots[tc.HWSlot] = -1
@@ -211,7 +229,7 @@ func (k *Kernel) sampleStart(coreID int, t *Thread, event, period uint64) uint64
 		Saved:       (uint64(1) << uint(ob)) - period,
 	}
 	idx := k.allocCounter(coreID, t, tc)
-	if idx != errRet {
+	if idx < RetAgain {
 		t.sampler = int(idx)
 	}
 	return idx

@@ -1,5 +1,7 @@
 package kernel
 
+import "limitsim/internal/isa"
+
 // This file is the kernel's instrumentation surface for the chaos
 // harness: a fault-injection hook set (Chaos) that lets a driver bend
 // scheduling, interrupt delivery and placement decisions at every
@@ -53,6 +55,24 @@ type Chaos struct {
 	// the worst-case memory-system perturbation a migration or a
 	// hostile neighbor could cause.
 	FlushAfter func(coreID int, t *Thread) bool
+
+	// CloneAfter is consulted after every retired instruction while t
+	// is still current; returning (entry, true) forces t to clone a
+	// child starting at entry, as if it had issued SysClone at this
+	// boundary. The child inherits t's counters and region holds, its
+	// R14 copies the parent's, its seed derives from the kernel RNG,
+	// and its LiMiT table words are kernel-allocated. Clone storms
+	// stress inheritance and slot churn at arbitrary points, including
+	// mid-read-sequence.
+	CloneAfter func(coreID int, t *Thread) (entry int, ok bool)
+
+	// KillAfter is consulted after every retired instruction while t is
+	// still current; returning true forcibly terminates the thread at
+	// this boundary, as an asynchronous kill would. The kernel runs the
+	// full exit path — counters virtualized and folded, every held
+	// resource reclaimed — no matter where the thread was, including
+	// mid-read-sequence.
+	KillAfter func(coreID int, t *Thread) bool
 }
 
 // Probes is the observation hook set. All hooks are optional; none may
@@ -78,6 +98,19 @@ type Probes struct {
 	// way off a core — the point where Saved/virtual-counter state
 	// must be consistent.
 	SwitchOut func(coreID int, t *Thread)
+
+	// Clone fires after a child thread's counter inheritance is
+	// complete, before the child first runs. degraded reports that
+	// slot exhaustion downgraded the child's counters to multiplexed
+	// perf estimates.
+	Clone func(coreID int, parent, child *Thread, degraded bool)
+
+	// Reap fires after an exiting thread's resources — slot
+	// reservations, kernel table words, region holds — have been
+	// reclaimed. The thread's counter values are still intact (table
+	// word + Saved), so checkers capture final values here, before any
+	// later thread recycles a shared table word.
+	Reap func(coreID int, t *Thread)
 }
 
 // SetChaos attaches a fault-injection hook set (nil detaches).
@@ -108,6 +141,35 @@ func (k *Kernel) chaosPreempt(coreID int) {
 		}
 	}
 	k.runq[core] = append(k.runq[core], t)
+}
+
+// chaosClone asks the injector whether to force a clone at this
+// boundary and performs it. The forced child behaves exactly like a
+// SysClone child with a kernel-allocated virtual-counter table; only
+// its entry PC (the injector's choice) and its seed (kernel RNG)
+// differ from what the parent would have passed.
+func (k *Kernel) chaosClone(coreID int) {
+	t := k.cur[coreID]
+	if t == nil || k.chaos == nil || k.chaos.CloneAfter == nil {
+		return
+	}
+	entry, ok := k.chaos.CloneAfter(coreID, t)
+	if !ok {
+		return
+	}
+	k.cores[coreID].KernelWork(k.cfg.Costs.Clone)
+	k.clone(coreID, t, entry, t.Ctx.Regs[isa.R14], k.rand(), 0)
+}
+
+// chaosKill asks the injector whether to kill the current thread at
+// this boundary and, if so, runs the full exit path on it.
+func (k *Kernel) chaosKill(coreID int) {
+	t := k.cur[coreID]
+	if t == nil || k.chaos == nil || k.chaos.KillAfter == nil || !k.chaos.KillAfter(coreID, t) {
+		return
+	}
+	k.Stats.Kills++
+	k.exitThread(coreID, t, exitKilled)
 }
 
 // probeStep reports a retired instruction to the checker.

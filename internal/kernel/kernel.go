@@ -50,6 +50,8 @@ type Costs struct {
 	LimitFixup uint64 // register a read-critical fixup region
 
 	Spawn uint64 // thread creation
+	Clone uint64 // thread creation with counter inheritance
+	Exit  uint64 // thread teardown and resource reclamation
 
 	CtxSwitchBase uint64 // scheduler + address-space switch
 	MSRRead       uint64 // per-counter save on deschedule
@@ -90,6 +92,8 @@ func DefaultCosts() Costs {
 		LimitFixup: 800,
 
 		Spawn: 8000,
+		Clone: 9500,
+		Exit:  3000,
 
 		CtxSwitchBase: 900,
 		MSRRead:       60,
@@ -141,6 +145,18 @@ type Config struct {
 	LimitOverflow OverflowMode
 	// Seed drives the kernel's internal tie-breaking RNG.
 	Seed uint64
+
+	// VirtSlotCapacity bounds how many pinned virtualized counters
+	// (LiMiT and sampling) may be open kernel-wide at once, modeling the
+	// finite per-thread counter state the real patch allocates. Zero
+	// means unbounded; allocation then never fails but the ledger still
+	// accounts, so the leak oracle works either way.
+	VirtSlotCapacity int
+	// AblateReclaim disables exit-time resource reclamation (slot and
+	// table-word returns, fixup-region drops). Testing only: it exists
+	// so leak-oracle tests can prove they detect the leaks reclamation
+	// prevents.
+	AblateReclaim bool
 }
 
 // DefaultConfig returns a configuration resembling a 2011 Linux desktop:
@@ -207,6 +223,10 @@ type Process struct {
 	AllowRdPMC bool
 	// FixupRegions are the process's registered read-critical ranges.
 	FixupRegions []FixupRegion
+	// regionRefs holds, parallel to FixupRegions, how many live threads
+	// hold a registration on each range; a range is removed when its
+	// last holder exits.
+	regionRefs []int
 	// handlers maps signal number to handler entry PC.
 	handlers map[int]int
 }
@@ -270,6 +290,26 @@ type ThreadCounter struct {
 	// Closed counters keep their slot (hardware index stability) but
 	// are disabled.
 	Closed bool
+	// Released marks that the counter's ledger accounting (pinned slot,
+	// kernel-allocated table word) has been returned — at close or at
+	// exit-time reap. Unlike Closed it does not hide the counter from
+	// host-side reads: a reaped LiMiT counter's final value stays
+	// readable through its virtual-counter word.
+	Released bool
+	// Estimated marks a counter whose values are degraded estimates
+	// rather than exact counts — set when slot exhaustion downgraded an
+	// inherited counter to the multiplexed perf path. Results derived
+	// from it must be flagged, never presented as exact.
+	Estimated bool
+	// Inherited marks a counter created by clone-time inheritance; such
+	// counters count from the child's birth, so for a user-ring
+	// instruction counter the final value must equal the thread's true
+	// retired-instruction total (the conservation oracle).
+	Inherited bool
+	// KernelTable marks a LiMiT counter whose virtual-counter word was
+	// allocated by the kernel at clone time (rather than supplied by
+	// userspace); its accounting is returned at reap.
+	KernelTable bool
 
 	// Overflows counts folds/sample interrupts taken on this counter.
 	Overflows uint64
@@ -327,11 +367,21 @@ type Thread struct {
 	// WakeAt is the nanosleep deadline while sleeping.
 	WakeAt uint64
 
+	// ClonedFrom is the parent thread's ID when this thread was created
+	// by SysClone or a forced chaos clone; -1 for threads spawned from
+	// the host.
+	ClonedFrom int
+
 	counters  []*ThreadCounter
 	sampler   int // index into counters of the active sampler, -1 if none
 	sigFrames []cpu.Context
 	pending   []signal
 	joiners   []*Thread // threads blocked in SysJoin on this thread
+	// regions records the fixup-region registrations this thread holds
+	// (one entry per SysLimitRegisterFixup or clone-time inheritance);
+	// they are dropped at exit, removing each range from the process
+	// table when its last holder dies.
+	regions [][2]int
 
 	// hwSlots maps hardware slot -> counter index (-1 free) while the
 	// thread's counters are programmed; muxPos rotates floating perf
@@ -376,6 +426,9 @@ type Stats struct {
 	Steals        uint64
 	SignalsSent   uint64
 	Syscalls      uint64
+	Clones        uint64 // threads created with counter inheritance
+	Exits         uint64 // threads torn down through the exit path
+	Kills         uint64 // exits forced by chaos injection
 }
 
 // Kernel is the simulated OS instance managing a fixed set of cores.
@@ -400,6 +453,16 @@ type Kernel struct {
 
 	kernDataBase uint64 // fake kernel addresses for cache pollution
 	rng          uint64
+
+	// slots accounts pinned virtualized-counter slots against
+	// cfg.VirtSlotCapacity; tableWords accounts kernel-allocated
+	// virtual-counter words (unbounded, audit only). regionsLive and
+	// regionsPeak track fixup-region registrations the same way. All
+	// three feed Resources(), the leak oracle's ground truth.
+	slots       *pmu.Ledger
+	tableWords  *pmu.Ledger
+	regionsLive int
+	regionsPeak int
 
 	// Tracer, when non-nil, records scheduling/syscall/interrupt
 	// events. Attach with SetTracer before running.
@@ -436,6 +499,8 @@ func New(cfg Config, cores []*cpu.Core) *Kernel {
 		futexes:      make(map[futexKey][]*Thread),
 		kernDataBase: 0xffff_8000_0000_0000,
 		rng:          cfg.Seed ^ 0x8c0ffee0,
+		slots:        pmu.NewLedger(cfg.VirtSlotCapacity),
+		tableWords:   pmu.NewLedger(0),
 	}
 	return k
 }
@@ -470,11 +535,12 @@ func (k *Kernel) NewProcess(prog *isa.Program, space *mem.Space) *Process {
 // applied in order).
 func (k *Kernel) Spawn(proc *Process, name string, entry int, seed uint64) *Thread {
 	t := &Thread{
-		ID:      len(k.threads) + 1,
-		Name:    name,
-		Proc:    proc,
-		State:   StateReady,
-		sampler: -1,
+		ID:         len(k.threads) + 1,
+		Name:       name,
+		Proc:       proc,
+		State:      StateReady,
+		sampler:    -1,
+		ClonedFrom: -1,
 	}
 	t.Ctx.Prog = proc.Prog
 	t.Ctx.Mem = proc.Mem
@@ -571,8 +637,12 @@ func (k *Kernel) leastLoadedCore() int {
 	return best
 }
 
-func (k *Kernel) fault(t *Thread, msg string) {
+// fault kills a thread with a uniformly shaped diagnostic: every fault
+// message names the thread, the core it died on, and the PC at the
+// fault, regardless of which kernel path raised it.
+func (k *Kernel) fault(coreID int, t *Thread, pc int, msg string) {
 	t.FaultMsg = msg
 	t.State = StateDone
-	k.faults = append(k.faults, fmt.Sprintf("thread %d (%s): %s", t.ID, t.Name, msg))
+	k.faults = append(k.faults, fmt.Sprintf(
+		"thread %d (%s) core%d pc=%d: %s", t.ID, t.Name, coreID, pc, msg))
 }

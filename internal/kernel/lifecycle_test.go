@@ -1,0 +1,444 @@
+package kernel_test
+
+import (
+	"regexp"
+	"testing"
+
+	"limitsim/internal/invariant"
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+)
+
+// faultShape is the uniform diagnostic format every kernel fault
+// carries: which thread (ID and name), on which core, at which PC.
+var faultShape = regexp.MustCompile(`^thread \d+ \([^)]+\) core\d+ pc=\d+: .+$`)
+
+// TestFaultMessageShape asserts the uniform fault diagnostic: thread
+// identity, core and PC always present, for both an unknown syscall
+// and a signal-stack underflow.
+func TestFaultMessageShape(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(b *isa.Builder)
+		want *regexp.Regexp
+	}{
+		{
+			name: "unknown-syscall",
+			emit: func(b *isa.Builder) { b.Syscall(99) },
+			want: regexp.MustCompile(`^thread 1 \(oops\) core0 pc=1: unknown syscall 99$`),
+		},
+		{
+			name: "sigreturn-outside-handler",
+			emit: func(b *isa.Builder) { b.SigReturn() },
+			want: regexp.MustCompile(`^thread 1 \(oops\) core0 pc=\d+: sigreturn outside signal handler`),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := machine.New(machine.Config{NumCores: 1})
+			b := isa.NewBuilder()
+			tc.emit(b)
+			b.Halt()
+			proc := m.Kern.NewProcess(b.MustBuild(), nil)
+			m.Kern.Spawn(proc, "oops", 0, 1)
+			// res.Err reports the fault too; the fault list is what this
+			// test is about.
+			res := m.Run(machine.RunLimits{MaxSteps: 1_000_000})
+			if len(res.Faults) != 1 {
+				t.Fatalf("got %d faults, want 1: %v", len(res.Faults), res.Faults)
+			}
+			if !tc.want.MatchString(res.Faults[0]) {
+				t.Errorf("fault %q does not match %v", res.Faults[0], tc.want)
+			}
+			if !faultShape.MatchString(res.Faults[0]) {
+				t.Errorf("fault %q does not match the uniform shape %v", res.Faults[0], faultShape)
+			}
+			// A faulting thread goes through the same teardown as a clean
+			// exit: nothing may remain on the ledgers.
+			if rs := m.Kern.Resources(); rs.SlotsInUse != 0 || rs.RegionsLive != 0 {
+				t.Errorf("fault path leaked resources: %+v", rs)
+			}
+		})
+	}
+}
+
+// TestCloneInheritsCounters spawns a child via SysClone with a caller-
+// provided virtual-counter table and checks the inheritance contract:
+// the child's counter set mirrors the parent's (kinds, events, rings),
+// values start at zero, the parent gets the child TID, the child gets
+// the exact/degraded flag, and everything is reclaimed at exit.
+func TestCloneInheritsCounters(t *testing.T) {
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	parentTable := space.AllocWords(1)
+	childTable := space.AllocWords(1)
+	buf := space.AllocWords(2) // [0] clone result, [1] child degraded flag
+
+	b := isa.NewBuilder()
+	b.Syscall(kernel.SysLimitInit)
+	b.MovImm(isa.R0, int64(pmu.EvInstructions))
+	b.MovImm(isa.R1, int64(kernel.FlagUser))
+	b.MovImm(isa.R2, int64(parentTable))
+	b.Syscall(kernel.SysLimitOpen)
+	b.MovImm(isa.R0, int64(pmu.EvCycles))
+	b.MovImm(isa.R1, int64(kernel.FlagUser|kernel.FlagKernel))
+	b.Syscall(kernel.SysPerfOpen)
+	b.MovLabel(isa.R0, "child")
+	b.MovImm(isa.R1, 0)
+	b.MovImm(isa.R2, 5)
+	b.MovImm(isa.R3, int64(childTable))
+	b.Syscall(kernel.SysClone)
+	b.MovImm(isa.R2, int64(buf))
+	b.Store(isa.R2, 0, isa.R0)
+	b.Syscall(kernel.SysJoin) // R0 still holds the child TID
+	b.Halt()
+
+	b.Label("child")
+	b.MovImm(isa.R2, int64(buf+8))
+	b.Store(isa.R2, 0, isa.R0) // degraded flag
+	b.Compute(50)
+	b.Syscall(kernel.SysExit)
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "parent", 0, 1)
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %+v", res)
+	}
+
+	if got := space.Read64(buf); got != 2 {
+		t.Fatalf("SysClone returned %d, want child TID 2", got)
+	}
+	if got := space.Read64(buf + 8); got != 0 {
+		t.Errorf("child degraded flag = %d, want 0 (slots were free)", got)
+	}
+
+	child := m.Kern.Threads()[1]
+	if child.ClonedFrom != 1 {
+		t.Errorf("child.ClonedFrom = %d, want 1", child.ClonedFrom)
+	}
+	cs := child.Counters()
+	if len(cs) != 2 {
+		t.Fatalf("child has %d counters, want 2 (mirrors parent)", len(cs))
+	}
+	lc := cs[0]
+	if lc.Kind != kernel.KindLimit || lc.Event != pmu.EvInstructions ||
+		!lc.CountUser || lc.CountKernel || !lc.Inherited {
+		t.Errorf("inherited LiMiT counter misconfigured: %+v", lc)
+	}
+	if lc.TableAddr != childTable {
+		t.Errorf("child counter backed by %#x, want caller-provided %#x", lc.TableAddr, childTable)
+	}
+	if lc.Estimated {
+		t.Error("exact inheritance flagged as estimated")
+	}
+	if cs[1].Kind != kernel.KindPerf || !cs[1].Inherited {
+		t.Errorf("inherited perf counter misconfigured: %+v", cs[1])
+	}
+	// The child counted its own work — and only its own work — from
+	// birth: the final value (table word + saved remainder) is exactly
+	// its true user-instruction total.
+	if got := space.Read64(childTable) + lc.Saved; got != child.Stats.UserInstructions {
+		t.Errorf("child counted %d, true user instructions %d", got, child.Stats.UserInstructions)
+	}
+	if m.Kern.Stats.Clones != 1 {
+		t.Errorf("Stats.Clones = %d, want 1", m.Kern.Stats.Clones)
+	}
+	if m.Kern.Stats.Exits != 2 { // child SysExit + parent halt
+		t.Errorf("Stats.Exits = %d, want 2", m.Kern.Stats.Exits)
+	}
+	if rs := m.Kern.Resources(); rs.SlotsInUse != 0 || rs.TableWordsInUse != 0 {
+		t.Errorf("clone/exit leaked resources: %+v", rs)
+	}
+}
+
+// TestSlotExhaustionRetryAfterRelease drives the pinned-slot ledger to
+// capacity: the second open must fail transiently with RetAgain (not
+// RetErr, not a panic), and succeed once the first counter is closed
+// and its slot returns.
+func TestSlotExhaustionRetryAfterRelease(t *testing.T) {
+	kcfg := kernel.DefaultConfig()
+	kcfg.VirtSlotCapacity = 1
+	m := machine.New(machine.Config{NumCores: 1, Kernel: kcfg})
+	space := mem.NewSpace()
+	tableA := space.AllocWords(1)
+	tableB := space.AllocWords(1)
+	buf := space.AllocWords(3)
+
+	open := func(b *isa.Builder, table uint64, slot int64) {
+		b.MovImm(isa.R0, int64(pmu.EvInstructions))
+		b.MovImm(isa.R1, int64(kernel.FlagUser))
+		b.MovImm(isa.R2, int64(table))
+		b.Syscall(kernel.SysLimitOpen)
+		b.MovImm(isa.R2, int64(buf)+slot*8)
+		b.Store(isa.R2, 0, isa.R0)
+	}
+
+	b := isa.NewBuilder()
+	b.Syscall(kernel.SysLimitInit)
+	open(b, tableA, 0) // takes the only slot
+	open(b, tableB, 1) // denied: RetAgain
+	b.MovImm(isa.R0, 0)
+	b.Syscall(kernel.SysLimitClose) // slot returns
+	open(b, tableB, 2)              // retry succeeds
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "w", 0, 1)
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %+v", res)
+	}
+
+	if got := space.Read64(buf); got != 0 {
+		t.Errorf("first open returned %d, want index 0", got)
+	}
+	if got := space.Read64(buf + 8); got != kernel.RetAgain {
+		t.Errorf("over-capacity open returned %#x, want RetAgain %#x", got, kernel.RetAgain)
+	}
+	if got := space.Read64(buf + 16); got != 0 {
+		t.Errorf("retry after release returned %d, want reused index 0", got)
+	}
+	rs := m.Kern.Resources()
+	if rs.SlotDenials != 1 {
+		t.Errorf("SlotDenials = %d, want 1", rs.SlotDenials)
+	}
+	if rs.SlotsInUse != 0 || rs.SlotsPeak != 1 {
+		t.Errorf("slot accounting off: %+v", rs)
+	}
+}
+
+// TestCloneDegradesOnSlotExhaustion pins the only slot in the parent
+// and clones: the child cannot get a pinned slot, so its inherited
+// counter degrades to a flagged multiplexed perf estimate — readable,
+// marked estimated, never silently wrong, never a panic.
+func TestCloneDegradesOnSlotExhaustion(t *testing.T) {
+	kcfg := kernel.DefaultConfig()
+	kcfg.VirtSlotCapacity = 1
+	m := machine.New(machine.Config{NumCores: 1, Kernel: kcfg})
+	space := mem.NewSpace()
+	parentTable := space.AllocWords(1)
+	buf := space.AllocWords(2) // [0] degraded flag, [1] child perf reading
+
+	b := isa.NewBuilder()
+	b.Syscall(kernel.SysLimitInit)
+	b.MovImm(isa.R0, int64(pmu.EvInstructions))
+	b.MovImm(isa.R1, int64(kernel.FlagUser))
+	b.MovImm(isa.R2, int64(parentTable))
+	b.Syscall(kernel.SysLimitOpen)
+	b.MovLabel(isa.R0, "child")
+	b.MovImm(isa.R1, 0)
+	b.MovImm(isa.R2, 9)
+	b.MovImm(isa.R3, 0)
+	b.Syscall(kernel.SysClone)
+	b.Syscall(kernel.SysJoin)
+	b.Halt()
+
+	b.Label("child")
+	b.MovImm(isa.R2, int64(buf))
+	b.Store(isa.R2, 0, isa.R0) // degraded flag
+	b.Compute(200)
+	b.MovImm(isa.R0, 0)
+	b.Syscall(kernel.SysPerfRead) // degraded counters stay readable
+	b.MovImm(isa.R2, int64(buf+8))
+	b.Store(isa.R2, 0, isa.R0)
+	b.Syscall(kernel.SysExit)
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "parent", 0, 1)
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %+v", res)
+	}
+
+	if got := space.Read64(buf); got != 1 {
+		t.Fatalf("child degraded flag = %d, want 1 (slot was exhausted)", got)
+	}
+	child := m.Kern.Threads()[1]
+	cs := child.Counters()
+	if len(cs) != 1 || cs[0].Kind != kernel.KindPerf || !cs[0].Estimated {
+		t.Fatalf("degraded counter not a flagged perf estimate: %+v", cs[0])
+	}
+	if got := space.Read64(buf + 8); got == 0 || got == kernel.RetErr {
+		t.Errorf("degraded counter read returned %#x, want a live estimate", got)
+	}
+	rs := m.Kern.Resources()
+	if rs.SlotDenials == 0 {
+		t.Error("clone degradation recorded no slot denial")
+	}
+	if rs.SlotsInUse != 0 || rs.TableWordsInUse != 0 {
+		t.Errorf("degraded clone leaked resources: %+v", rs)
+	}
+}
+
+// TestAblateReclaimDetectsLeaks disables exit-time reclamation and
+// checks that the harness *notices*: the slot and region ledgers stay
+// non-zero after all threads exit, and the invariant oracles report
+// both the unreleased counter and the leaks.
+func TestAblateReclaimDetectsLeaks(t *testing.T) {
+	kcfg := kernel.DefaultConfig()
+	kcfg.AblateReclaim = true
+	m := machine.New(machine.Config{NumCores: 1, Kernel: kcfg})
+	space := mem.NewSpace()
+	table := space.AllocWords(1)
+
+	b := isa.NewBuilder()
+	b.Syscall(kernel.SysLimitInit)
+	b.MovImm(isa.R0, int64(pmu.EvInstructions))
+	b.MovImm(isa.R1, int64(kernel.FlagUser))
+	b.MovImm(isa.R2, int64(table))
+	b.Syscall(kernel.SysLimitOpen)
+	b.MovImm(isa.R0, 0)
+	b.MovImm(isa.R1, 2)
+	b.Syscall(kernel.SysLimitRegisterFixup)
+	b.Compute(100)
+	b.Syscall(kernel.SysExit)
+
+	chk := invariant.New(nil)
+	chk.Attach(m.Kern)
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	m.Kern.Spawn(proc, "leaker", 0, 1)
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %+v", res)
+	}
+
+	rs := m.Kern.Resources()
+	if rs.SlotsInUse != 1 || rs.RegionsLive != 1 {
+		t.Fatalf("ablated reclaim should leak 1 slot and 1 region, got %+v", rs)
+	}
+	chk.CheckLeaks(rs)
+	leaks, badReaps := 0, 0
+	for _, v := range chk.Violations() {
+		switch v.Kind {
+		case invariant.KindLeak:
+			leaks++
+		case invariant.KindBadReap:
+			badReaps++
+		}
+	}
+	if leaks < 2 {
+		t.Errorf("leak oracle reported %d leak violations, want >= 2", leaks)
+	}
+	if badReaps < 1 {
+		t.Errorf("reap oracle reported %d unreleased counters, want >= 1", badReaps)
+	}
+}
+
+// signalSweepWorkload is the LiMiT read loop plus a signal handler;
+// the sweep lands one delivery at every PC of the read-critical
+// regions.
+type signalSweepWorkload struct {
+	prog    *isa.Program
+	space   *mem.Space
+	buf     uint64
+	regions [][2]int
+	want    uint64
+}
+
+const (
+	sigSweepIters = 30
+	sigSweepK     = 20
+)
+
+func buildSignalSweepWorkload() *signalSweepWorkload {
+	w := &signalSweepWorkload{space: mem.NewSpace()}
+	table := limit.AllocTable(w.space, 1)
+	b := isa.NewBuilder()
+	e := limit.NewEmitter(b, limit.ModeStock, table)
+	ctr := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+	w.buf = w.space.AllocWords(sigSweepIters)
+	e.EmitInit()
+	b.MovImm(isa.R0, 1)
+	b.MovLabel(isa.R1, "handler")
+	b.Syscall(kernel.SysSigaction)
+	b.MovImm(isa.R12, int64(w.buf))
+	b.MovImm(isa.R8, 0)
+	b.Label("loop")
+	e.EmitMeasureStart(isa.R4, isa.R5, ctr)
+	b.Compute(sigSweepK)
+	e.EmitMeasureEnd(isa.R6, isa.R4, isa.R5, ctr)
+	b.Shl(isa.R13, isa.R8, 3)
+	b.Add(isa.R13, isa.R13, isa.R12)
+	b.Store(isa.R13, 0, isa.R6)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, sigSweepIters)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	b.Halt()
+	b.Label("handler")
+	b.Compute(1)
+	b.SigReturn()
+	e.EmitFinish()
+	w.prog = b.MustBuild()
+	w.regions = e.Regions()
+	r := w.regions[0]
+	w.want = uint64(sigSweepK) + uint64(r[1]-r[0])
+	return w
+}
+
+// TestSignalDeliveryInsideFixupRegion lands exactly one signal
+// delivery at every PC of the read-critical regions. Delivery applies
+// the fixup to the *saved* frame, so after the handler sigreturns the
+// read restarts from the region start and every measurement stays
+// exact — the property that lets LiMiT-instrumented programs keep
+// their signal handlers.
+func TestSignalDeliveryInsideFixupRegion(t *testing.T) {
+	probe := buildSignalSweepWorkload()
+	if len(probe.regions) == 0 {
+		t.Fatal("workload emitted no read-critical regions")
+	}
+	for _, region := range probe.regions {
+		for pc := region[0]; pc < region[1]; pc++ {
+			w := buildSignalSweepWorkload()
+			feats := pmu.DefaultFeatures()
+			feats.WriteWidth = 9
+			m := machine.New(machine.Config{NumCores: 1, PMU: feats, Kernel: kernel.DefaultConfig()})
+
+			// Hold delivery until the thread sits exactly at the target
+			// PC, then let it through.
+			target := pc
+			m.Kern.SetChaos(&kernel.Chaos{
+				HoldSignal: func(coreID int, th *kernel.Thread) bool {
+					return th.Ctx.PC != target
+				},
+			})
+			chk := invariant.New(w.regions)
+			chk.Attach(m.Kern)
+
+			proc := m.Kern.NewProcess(w.prog, w.space)
+			th := m.Kern.Spawn(proc, "sig", 0, 3)
+			m.Kern.PostSignal(th, 1, 0)
+
+			res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+			if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+				t.Fatalf("pc %d: run failed: %+v", pc, res)
+			}
+			if th.Stats.Signals != 1 {
+				t.Fatalf("pc %d: %d signals delivered, want 1", pc, th.Stats.Signals)
+			}
+			if pc > region[0] && th.Stats.FixupRewinds == 0 {
+				t.Errorf("pc %d: mid-region delivery produced no rewind", pc)
+			}
+
+			chk.Finalize(proc, m.Kern.Threads(), 0)
+			for _, v := range chk.Violations() {
+				t.Errorf("pc %d: invariant violation: %v", pc, v)
+			}
+			if chk.ReadsCompleted == 0 {
+				t.Fatalf("pc %d: checker observed no completed reads", pc)
+			}
+			for i := 0; i < sigSweepIters; i++ {
+				d := w.space.Read64(w.buf + uint64(i)*8)
+				if d < w.want || d > w.want+128 {
+					t.Errorf("pc %d: delta[%d] = %d outside [%d,%d]",
+						pc, i, d, w.want, w.want+128)
+				}
+			}
+		}
+	}
+}

@@ -126,17 +126,13 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 	case cpu.TrapSigReturn:
 		k.sigReturn(coreID, t)
 	case cpu.TrapHalt:
-		// Deschedule first so counter state is virtualized; final
-		// LiMiT/perf values survive in the thread's counter table.
-		k.deschedule(coreID, t)
-		t.State = StateDone
-		k.tr(coreID, t, trace.Exit, 0)
-		k.wakeJoiners(t, core.Now)
+		// Full exit path: counters are virtualized by the deschedule,
+		// remainders fold into the virtual-counter table, and every held
+		// resource is reclaimed. Final LiMiT/perf values survive for
+		// host-side reads.
+		k.exitThread(coreID, t, exitHalt)
 	case cpu.TrapFault:
-		k.deschedule(coreID, t)
-		k.fault(t, res.Fault)
-		k.tr(coreID, t, trace.Fault, 0)
-		k.wakeJoiners(t, core.Now)
+		k.faultThread(coreID, t, res.Fault)
 	}
 
 	// Chaos: worst-case memory-system perturbation after any boundary.
@@ -145,7 +141,11 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 		core.Caches.FlushAll()
 	}
 
-	// Chaos: adversarial timer interrupt at any boundary.
+	// Chaos: forced clone, asynchronous kill, or adversarial timer
+	// interrupt at any boundary (each checks that the thread is still
+	// current — an earlier hook may have removed it).
+	k.chaosClone(coreID)
+	k.chaosKill(coreID)
 	k.chaosPreempt(coreID)
 
 	// Deliver pending signals on the way back to user (unless the
@@ -431,6 +431,12 @@ func (k *Kernel) restoreCounters(core *cpu.Core, t *Thread) {
 	var floaters []int
 	for ci, tc := range t.counters {
 		if tc.Closed {
+			tc.HWSlot = -1
+			continue
+		}
+		if ci >= n && tc.Kind != KindPerf {
+			// A pinned counter beyond the PMU's slot count can never
+			// load; allocation prevents this, but stay defensive.
 			tc.HWSlot = -1
 			continue
 		}

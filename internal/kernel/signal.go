@@ -49,8 +49,7 @@ func (k *Kernel) deliverSignals(coreID int, t *Thread) {
 // context (including the possibly rewound PC).
 func (k *Kernel) sigReturn(coreID int, t *Thread) {
 	if len(t.sigFrames) == 0 {
-		k.fault(t, "sigreturn with empty signal stack")
-		k.cur[coreID] = nil
+		k.faultThread(coreID, t, "sigreturn with empty signal stack")
 		return
 	}
 	k.cores[coreID].KernelWork(k.cfg.Costs.SigReturn)

@@ -69,10 +69,39 @@ const (
 	// SysSampleStop ends sampled profiling.
 	SysSampleStop
 
+	// SysClone creates a new thread at entry PC R0 with R14 = R1 and
+	// RNG seeded from R2, like SysSpawn — but the child *inherits* the
+	// caller's open counters: same events, rings, and kinds, with values
+	// starting from zero so parent and child deltas fold without double
+	// counting. R3 supplies the base of the child's virtual-counter
+	// table for inherited LiMiT counters (word i backs counter i); 0
+	// lets the kernel allocate backing words instead. The parent
+	// receives the child TID (or RetErr for a bad entry PC). The child
+	// starts with R0 = 0 when inheritance is exact, or 1 when PMU-slot
+	// exhaustion degraded its counters to multiplexed perf estimates.
+	SysClone
+	// SysExit terminates the calling thread through the full teardown
+	// path: its counters are virtualized one final time (a LiMiT
+	// counter's value remains table word + saved remainder, as for any
+	// descheduled thread), then every resource the thread holds —
+	// pinned counter slots, kernel-allocated table words, fixup-region
+	// registrations — is reclaimed.
+	SysExit
+
 	numSyscalls
 )
 
-const errRet = ^uint64(0)
+// Syscall error returns. RetErr is a permanent failure. RetAgain
+// signals transient resource exhaustion (the pinned-counter slot
+// ledger is full): the caller may back off and retry, or fall back to
+// a degraded access path — generated code materializes the sentinels
+// with MovImm(reg, -1) and MovImm(reg, -2).
+const (
+	RetErr   = ^uint64(0)
+	RetAgain = ^uint64(0) - 1
+)
+
+const errRet = RetErr
 
 // syscall dispatches a trap. The calling thread is current on coreID
 // and its PC already points past the syscall instruction.
@@ -166,9 +195,7 @@ func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
 		regs[isa.R0] = k.limitOpen(coreID, t, regs[isa.R0], regs[isa.R1], regs[isa.R2])
 	case SysLimitRegisterFixup:
 		core.KernelWork(c.LimitFixup)
-		t.Proc.FixupRegions = append(t.Proc.FixupRegions, FixupRegion{
-			Start: int(regs[isa.R0]), End: int(regs[isa.R1]),
-		})
+		k.addRegionRef(t, int(regs[isa.R0]), int(regs[isa.R1]))
 	case SysLimitClose:
 		core.KernelWork(c.Simple)
 		k.counterClose(coreID, t, regs[isa.R0])
@@ -221,9 +248,18 @@ func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
 		core.KernelWork(c.SampleStop)
 		k.sampleStop(coreID, t)
 
+	case SysClone:
+		core.KernelWork(c.Clone)
+		regs[isa.R0] = k.clone(coreID, t,
+			int(regs[isa.R0]), regs[isa.R1], regs[isa.R2], regs[isa.R3])
+
+	case SysExit:
+		core.KernelWork(c.Exit)
+		k.exitThread(coreID, t, exitVoluntary)
+		return
+
 	default:
-		k.fault(t, "unknown syscall "+itoa(num))
-		k.cur[coreID] = nil
+		k.faultThread(coreID, t, "unknown syscall "+itoa(num))
 		return
 	}
 

@@ -118,6 +118,50 @@ type Emitter struct {
 	finished bool
 	handler  bool // emit SIGPMU handler (SignalUser kernels)
 	noFixup  bool // ablation: skip fixup-region registration
+	policy   *OpenPolicy
+}
+
+// OpenPolicy shapes how the setup block reacts to counter-slot
+// exhaustion (SysLimitOpen returning kernel.RetAgain). Without a
+// policy, setup assumes allocation succeeds — fine under the kernel's
+// default unbounded slot ledger. With a policy, setup retries each
+// denied open up to Retries times with exponentially growing nanosleep
+// backoff (slots return when other threads close counters or exit),
+// and if the allocation still fails — or fails permanently — it falls
+// back: every already-opened LiMiT counter is closed, every declared
+// counter is reopened through the multiplexed perf path at the same
+// indices, the word at FlagRef is set to 1 so results are flagged as
+// estimates, and control jumps to FallbackLabel instead of the normal
+// body. Degraded, never silently wrong.
+type OpenPolicy struct {
+	// Retries bounds retry attempts per counter (default 3).
+	Retries int
+	// BackoffCycles is the first retry's nanosleep duration; it doubles
+	// on each further attempt (default 2000).
+	BackoffCycles int64
+	// FallbackLabel is the label the degraded path jumps to after
+	// reopening through perf; the code there must read counters with
+	// SysPerfRead instead of the rdpmc sequence.
+	FallbackLabel string
+	// FlagRef is a word the fallback path sets to 1 (the exact path
+	// leaves it untouched; allocate it zeroed).
+	FlagRef ref.Ref
+}
+
+// SetOpenPolicy installs the retry/backoff/fallback policy; call
+// before EmitFinish. The setup block then clobbers R0..R5 rather than
+// R0..R3.
+func (e *Emitter) SetOpenPolicy(p OpenPolicy) {
+	if p.FallbackLabel == "" {
+		panic("limit: OpenPolicy requires a FallbackLabel")
+	}
+	if p.Retries <= 0 {
+		p.Retries = 3
+	}
+	if p.BackoffCycles <= 0 {
+		p.BackoffCycles = 2000
+	}
+	e.policy = &p
 }
 
 // AllocTable reserves a virtual-counter table for n counters in the
@@ -265,17 +309,34 @@ func (e *Emitter) EmitFinish() {
 	b.Syscall(kernel.SysLimitInit)
 	// Open each counter against its virtual table slot.
 	for i, spec := range e.counters {
-		flags := int64(0)
-		if spec.CountUser {
-			flags |= int64(kernel.FlagUser)
+		if e.policy == nil {
+			b.MovImm(isa.R0, int64(spec.Event))
+			b.MovImm(isa.R1, e.specFlags(spec))
+			e.table.Word(i).EmitLea(b, isa.R2)
+			b.Syscall(kernel.SysLimitOpen)
+			continue
 		}
-		if spec.CountKernel {
-			flags |= int64(kernel.FlagKernel)
-		}
+		// Retry loop: R4 counts remaining attempts, R5 the next backoff.
+		try, okL := e.label(fmt.Sprintf("try%d", i)), e.label(fmt.Sprintf("ok%d", i))
+		b.MovImm(isa.R4, int64(e.policy.Retries))
+		b.MovImm(isa.R5, e.policy.BackoffCycles)
+		b.Label(try)
 		b.MovImm(isa.R0, int64(spec.Event))
-		b.MovImm(isa.R1, flags)
+		b.MovImm(isa.R1, e.specFlags(spec))
 		e.table.Word(i).EmitLea(b, isa.R2)
 		b.Syscall(kernel.SysLimitOpen)
+		b.MovImm(isa.R3, -2) // kernel.RetAgain: transient exhaustion
+		b.Br(isa.CondNE, isa.R0, isa.R3, okL)
+		b.MovImm(isa.R3, 0)
+		b.Br(isa.CondEQ, isa.R4, isa.R3, e.label("fallback"))
+		b.Mov(isa.R0, isa.R5)
+		b.Syscall(kernel.SysNanosleep)
+		b.Add(isa.R5, isa.R5, isa.R5) // exponential backoff
+		b.AddImm(isa.R4, isa.R4, -1)
+		b.Jmp(try)
+		b.Label(okL)
+		b.MovImm(isa.R3, -1) // kernel.RetErr: permanent failure degrades too
+		b.Br(isa.CondEQ, isa.R0, isa.R3, e.label("fallback"))
 	}
 	// Register every read-critical region.
 	if !e.noFixup {
@@ -292,6 +353,42 @@ func (e *Emitter) EmitFinish() {
 	}
 	b.Jmp(e.label("body"))
 	b.EndSymbol()
+
+	if e.policy != nil {
+		// Degraded path: return whatever was opened, reopen everything
+		// through the multiplexed perf path (closed-slot reuse keeps
+		// the indices identical), raise the estimate flag, and enter
+		// the fallback body. Fixup regions are never registered — the
+		// rdpmc sequence is not executed on this path.
+		b.Label(e.label("fallback"))
+		b.BeginSymbol("limit.fallback")
+		for i := range e.counters {
+			b.MovImm(isa.R0, int64(i))
+			b.Syscall(kernel.SysLimitClose) // no-op for never-opened indices
+		}
+		for _, spec := range e.counters {
+			b.MovImm(isa.R0, int64(spec.Event))
+			b.MovImm(isa.R1, e.specFlags(spec)|int64(kernel.FlagEstimated))
+			b.Syscall(kernel.SysPerfOpen)
+		}
+		b.MovImm(isa.R3, 1)
+		e.policy.FlagRef.EmitLea(b, isa.R2)
+		b.Store(isa.R2, 0, isa.R3)
+		b.Jmp(e.policy.FallbackLabel)
+		b.EndSymbol()
+	}
+}
+
+// specFlags returns the ring-flag argument for a counter spec.
+func (e *Emitter) specFlags(spec CounterSpec) int64 {
+	flags := int64(0)
+	if spec.CountUser {
+		flags |= int64(kernel.FlagUser)
+	}
+	if spec.CountKernel {
+		flags |= int64(kernel.FlagKernel)
+	}
+	return flags
 }
 
 // Regions returns the collected read-critical PC ranges (for tests).
@@ -319,6 +416,70 @@ func MustFinalValue(t *kernel.Thread, idx int) uint64 {
 		panic(err)
 	}
 	return v
+}
+
+// ThreadValue returns the final 64-bit value of thread t's counter idx
+// regardless of which access path ended up serving it, along with
+// whether the value is a degraded estimate rather than an exact count.
+// A LiMiT counter is exact (virtual table word + saved remainder)
+// unless inheritance flagged it. A perf counter — including counters
+// the OpenPolicy fallback or degraded clone inheritance reopened
+// through the multiplexed path — is scaled by scheduled-time /
+// loaded-time exactly as Linux's time_enabled/time_running estimate,
+// and is flagged whenever it multiplexed or was opened by a degraded
+// path. Callers get a flagged estimate, never a silently wrong exact-
+// looking number.
+func ThreadValue(t *kernel.Thread, idx int) (v uint64, estimated bool, err error) {
+	cs := t.Counters()
+	if idx < 0 || idx >= len(cs) {
+		return 0, false, fmt.Errorf("limit: thread %d has no counter %d", t.ID, idx)
+	}
+	tc := cs[idx]
+	switch tc.Kind {
+	case kernel.KindLimit:
+		return t.Proc.Mem.Read64(tc.TableAddr) + tc.Saved, tc.Estimated, nil
+	case kernel.KindPerf:
+		raw := tc.Acc + tc.Saved
+		est := tc.Estimated || tc.Multiplexed()
+		if tc.ActiveCycles == 0 {
+			return 0, est, nil
+		}
+		if tc.ActiveCycles >= tc.WindowCycles {
+			return raw, est, nil
+		}
+		return uint64(float64(raw) * float64(tc.WindowCycles) / float64(tc.ActiveCycles)), true, nil
+	default:
+		return 0, false, fmt.Errorf("limit: thread %d counter %d is %v", t.ID, idx, tc.Kind)
+	}
+}
+
+// ProcessValue sums counter idx across every thread of the process
+// like ProcessTotal, but tolerates mixed access paths: threads that
+// degraded to the perf fallback contribute their scaled estimates, and
+// the sum is flagged as an estimate if any contribution was one — the
+// reporting-side half of graceful degradation.
+func ProcessValue(proc *kernel.Process, threads []*kernel.Thread, idx int) (sum uint64, estimated bool, err error) {
+	counted := 0
+	for _, t := range threads {
+		if t.Proc != proc {
+			continue
+		}
+		cs := t.Counters()
+		if idx >= len(cs) || cs[idx].Closed {
+			continue
+		}
+		v, est, err := ThreadValue(t, idx)
+		if err != nil {
+			return 0, false, err
+		}
+		sum += v
+		estimated = estimated || est
+		counted++
+	}
+	if counted == 0 {
+		return 0, false, fmt.Errorf("limit: no thread of process %d holds counter %d", proc.ID, idx)
+	}
+	return sum, estimated, nil
 }
 
 // ProcessTotal implements the paper's process-wide counting: it sums

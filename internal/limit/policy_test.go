@@ -1,0 +1,214 @@
+package limit_test
+
+import (
+	"testing"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+	"limitsim/internal/ref"
+)
+
+const (
+	polIters = 20
+	polK     = 40
+)
+
+// TestOpenPolicyFallbackOnExhaustion over-subscribes the pinned-slot
+// ledger permanently: a thread wanting two LiMiT counters on a
+// 1-capacity kernel. The setup block must retry with backoff, then
+// degrade — close what it got, reopen everything through the
+// multiplexed perf path, raise the estimate flag, and run the fallback
+// body. It must never panic, never fault, and never produce an
+// unflagged number.
+func TestOpenPolicyFallbackOnExhaustion(t *testing.T) {
+	kcfg := kernel.DefaultConfig()
+	kcfg.VirtSlotCapacity = 1
+	m := machine.New(machine.Config{NumCores: 1, Kernel: kcfg})
+
+	space := mem.NewSpace()
+	table := limit.AllocTable(space, 2)
+	flag := space.AllocWords(1)
+	buf := space.AllocWords(polIters)
+
+	b := isa.NewBuilder()
+	e := limit.NewEmitter(b, limit.ModeStock, table)
+	c0 := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+	e.AddCounter(limit.UserCounter(pmu.EvCycles))
+	e.SetOpenPolicy(limit.OpenPolicy{
+		FallbackLabel: "deg",
+		FlagRef:       ref.Absolute(flag),
+	})
+	e.EmitInit()
+	// Exact body — must never run in this test.
+	b.MovImm(isa.R12, int64(buf))
+	b.MovImm(isa.R8, 0)
+	b.Label("loop")
+	e.EmitMeasureStart(isa.R4, isa.R5, c0)
+	b.Compute(polK)
+	e.EmitMeasureEnd(isa.R6, isa.R4, isa.R5, c0)
+	b.Shl(isa.R13, isa.R8, 3)
+	b.Add(isa.R13, isa.R13, isa.R12)
+	b.Store(isa.R13, 0, isa.R6)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, polIters)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	b.Halt()
+	// Degraded body: the same measurements through SysPerfRead.
+	b.Label("deg")
+	b.MovImm(isa.R12, int64(buf))
+	b.MovImm(isa.R8, 0)
+	b.Label("dloop")
+	b.MovImm(isa.R0, 0)
+	b.Syscall(kernel.SysPerfRead)
+	b.Mov(isa.R4, isa.R0)
+	b.Compute(polK)
+	b.MovImm(isa.R0, 0)
+	b.Syscall(kernel.SysPerfRead)
+	b.Sub(isa.R6, isa.R0, isa.R4)
+	b.Shl(isa.R13, isa.R8, 3)
+	b.Add(isa.R13, isa.R13, isa.R12)
+	b.Store(isa.R13, 0, isa.R6)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, polIters)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "dloop")
+	b.Halt()
+	e.EmitFinish()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	th := m.Kern.Spawn(proc, "deg", 0, 1)
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %+v", res)
+	}
+
+	if got := space.Read64(flag); got != 1 {
+		t.Fatalf("estimate flag = %d, want 1 (fallback taken)", got)
+	}
+	cs := th.Counters()
+	if len(cs) != 2 {
+		t.Fatalf("thread has %d counters, want 2", len(cs))
+	}
+	for i, tc := range cs {
+		if tc.Kind != kernel.KindPerf || !tc.Estimated {
+			t.Errorf("counter %d after fallback: kind %v estimated %v, want flagged perf",
+				i, tc.Kind, tc.Estimated)
+		}
+	}
+	// The host-side reader reports the degradation too.
+	if _, est, err := limit.ThreadValue(th, 0); err != nil || !est {
+		t.Errorf("ThreadValue est=%v err=%v, want flagged estimate", est, err)
+	}
+	if _, est, err := limit.ProcessValue(proc, m.Kern.Threads(), 0); err != nil || !est {
+		t.Errorf("ProcessValue est=%v err=%v, want flagged estimate", est, err)
+	}
+	// The degraded path still measures: every delta covers at least the
+	// compute kernel.
+	for i := 0; i < polIters; i++ {
+		if d := space.Read64(buf + uint64(i)*8); d < polK {
+			t.Errorf("degraded delta[%d] = %d, want >= %d", i, d, polK)
+		}
+	}
+	rs := m.Kern.Resources()
+	// Retries+1 attempts on the second counter were all denied.
+	if rs.SlotDenials != 4 {
+		t.Errorf("SlotDenials = %d, want 4 (default 3 retries + first attempt)", rs.SlotDenials)
+	}
+	if rs.SlotsInUse != 0 {
+		t.Errorf("slots leaked after fallback + exit: %+v", rs)
+	}
+}
+
+// TestOpenPolicyRetrySucceedsAfterRelease exercises the transient
+// half: another thread holds the only slot for a while, then releases
+// it. The policy's bounded backoff must outlast the holder, land the
+// open on a retry, and run the exact rdpmc path — estimate flag down,
+// measurements exact.
+func TestOpenPolicyRetrySucceedsAfterRelease(t *testing.T) {
+	kcfg := kernel.DefaultConfig()
+	kcfg.VirtSlotCapacity = 1
+	kcfg.Quantum = 5_000
+	m := machine.New(machine.Config{NumCores: 1, Kernel: kcfg})
+
+	space := mem.NewSpace()
+	table := limit.AllocTable(space, 1)
+	holderTable := space.AllocWords(1)
+	flag := space.AllocWords(1)
+	buf := space.AllocWords(polIters)
+
+	b := isa.NewBuilder()
+	b.Label("holder")
+	b.Syscall(kernel.SysLimitInit)
+	b.MovImm(isa.R0, int64(pmu.EvInstructions))
+	b.MovImm(isa.R1, int64(kernel.FlagUser))
+	b.MovImm(isa.R2, int64(holderTable))
+	b.Syscall(kernel.SysLimitOpen)
+	b.Compute(30_000) // hold the slot across several quanta
+	b.MovImm(isa.R0, 0)
+	b.Syscall(kernel.SysLimitClose)
+	b.Halt()
+
+	b.Label("meas")
+	e := limit.NewEmitter(b, limit.ModeStock, table)
+	c0 := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+	e.SetOpenPolicy(limit.OpenPolicy{
+		Retries:       6, // backoff budget 2k..128k cycles, far past the holder
+		FallbackLabel: "deg",
+		FlagRef:       ref.Absolute(flag),
+	})
+	e.EmitInit()
+	b.MovImm(isa.R12, int64(buf))
+	b.MovImm(isa.R8, 0)
+	b.Label("loop")
+	e.EmitMeasureStart(isa.R4, isa.R5, c0)
+	b.Compute(polK)
+	e.EmitMeasureEnd(isa.R6, isa.R4, isa.R5, c0)
+	b.Shl(isa.R13, isa.R8, 3)
+	b.Add(isa.R13, isa.R13, isa.R12)
+	b.Store(isa.R13, 0, isa.R6)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, polIters)
+	b.Br(isa.CondLT, isa.R8, isa.R9, "loop")
+	b.Halt()
+	b.Label("deg")
+	b.Halt() // must not be reached: exhaustion here was transient
+	e.EmitFinish()
+
+	prog := b.MustBuild()
+	proc := m.Kern.NewProcess(prog, space)
+	m.Kern.Spawn(proc, "holder", prog.MustEntry("holder"), 1)
+	meas := m.Kern.Spawn(proc, "meas", prog.MustEntry("meas"), 2)
+	res := m.Run(machine.RunLimits{MaxSteps: 10_000_000})
+	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("run failed: %+v", res)
+	}
+
+	if got := space.Read64(flag); got != 0 {
+		t.Fatalf("estimate flag = %d, want 0 (retry succeeded)", got)
+	}
+	rs := m.Kern.Resources()
+	if rs.SlotDenials == 0 {
+		t.Fatal("no slot denial recorded: the holder never contended")
+	}
+	if rs.SlotsInUse != 0 {
+		t.Errorf("slots leaked: %+v", rs)
+	}
+	cs := meas.Counters()
+	if len(cs) != 1 || cs[0].Kind != kernel.KindLimit || cs[0].Estimated {
+		t.Fatalf("measurer counter after retry: %+v, want exact LiMiT", cs[0])
+	}
+	if _, est, err := limit.ThreadValue(meas, 0); err != nil || est {
+		t.Errorf("ThreadValue est=%v err=%v, want exact", est, err)
+	}
+	r := e.Regions()[0]
+	want := uint64(polK) + uint64(r[1]-r[0])
+	for i := 0; i < polIters; i++ {
+		d := space.Read64(buf + uint64(i)*8)
+		if d < want || d > want+256 {
+			t.Errorf("delta[%d] = %d outside [%d,%d]", i, d, want, want+256)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package pmu
+
+import "testing"
+
+func TestLedgerBoundedAcquireRelease(t *testing.T) {
+	l := NewLedger(3)
+	if !l.TryAcquire(2) {
+		t.Fatal("acquire 2/3 refused")
+	}
+	if l.TryAcquire(2) {
+		t.Fatal("acquire 4/3 allowed")
+	}
+	if l.Denied() != 1 {
+		t.Fatalf("denied = %d, want 1", l.Denied())
+	}
+	if !l.TryAcquire(1) {
+		t.Fatal("acquire 3/3 refused — the denied call must not have reserved anything")
+	}
+	if l.InUse() != 3 || l.Peak() != 3 {
+		t.Fatalf("inUse=%d peak=%d, want 3/3", l.InUse(), l.Peak())
+	}
+	l.Release(3)
+	if l.InUse() != 0 {
+		t.Fatalf("inUse=%d after full release, want 0", l.InUse())
+	}
+	if !l.TryAcquire(3) {
+		t.Fatal("released units not reusable")
+	}
+	if l.Acquired() != 6 || l.Released() != 3 {
+		t.Fatalf("acquired=%d released=%d, want 6/3", l.Acquired(), l.Released())
+	}
+}
+
+func TestLedgerUnboundedStillAccounts(t *testing.T) {
+	l := NewLedger(0)
+	if !l.TryAcquire(1000) {
+		t.Fatal("unbounded ledger refused an acquire")
+	}
+	if l.InUse() != 1000 || l.Peak() != 1000 {
+		t.Fatalf("inUse=%d peak=%d, want 1000/1000", l.InUse(), l.Peak())
+	}
+	l.Release(999)
+	if l.InUse() != 1 {
+		t.Fatalf("inUse=%d, want 1 — unbounded ledgers must still count, the leak oracle reads them", l.InUse())
+	}
+}
+
+func TestLedgerOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-free slipped through the ledger")
+		}
+	}()
+	l := NewLedger(2)
+	l.TryAcquire(1)
+	l.Release(2)
+}

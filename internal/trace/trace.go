@@ -24,6 +24,10 @@ const (
 	Spawn
 	Exit
 	Fault
+	// Clone records a thread created with counter inheritance (arg is
+	// the parent TID); Reap records exit-time resource reclamation.
+	Clone
+	Reap
 )
 
 var kindNames = map[Kind]string{
@@ -36,6 +40,8 @@ var kindNames = map[Kind]string{
 	Spawn:     "spawn",
 	Exit:      "exit",
 	Fault:     "fault",
+	Clone:     "clone",
+	Reap:      "reap",
 }
 
 func (k Kind) String() string {

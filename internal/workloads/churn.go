@@ -1,0 +1,270 @@
+package workloads
+
+import (
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/limit"
+	"limitsim/internal/mem"
+	"limitsim/internal/pmu"
+	"limitsim/internal/ref"
+	"limitsim/internal/tls"
+)
+
+// Churn is a thread-pool connection-churn workload shaped like the
+// MySQL longitudinal study's server: one long-lived manager thread
+// clones a pool of short-lived workers, joins them, and repeats for a
+// fixed number of waves. Every worker inherits the manager's counter
+// configuration through SysClone and measures a fixed compute region
+// with the stock rdpmc read sequence, so the workload exercises the
+// whole lifecycle surface at once: counter inheritance, per-wave
+// virtual-counter-word recycling, slot ledger churn, and exit-time
+// reclamation under kills and forced clones.
+//
+// Degradation is part of the contract, not a failure: if the manager
+// cannot pin its counters it falls back to multiplexed perf estimates
+// via the emitter's OpenPolicy (raising a process-global flag), and if
+// a clone is denied pinned slots the child arrives degraded (clone
+// status register set). Workers check both and route to an estimated
+// SysPerfRead path that marks its runs, so every stored measurement is
+// either exact or flagged — never silently wrong.
+
+// ChurnConfig shapes the churn workload.
+type ChurnConfig struct {
+	// Pool is the worker-pool width: workers cloned (and joined) per
+	// wave (default 4).
+	Pool int
+	// Waves is how many clone/join rounds the manager runs (default 6).
+	Waves int
+	// Iters is measured reads per worker (default 40).
+	Iters int
+	// ComputeK is the measured region's compute-instruction count
+	// (default 20).
+	ComputeK int
+	// Retries is the manager OpenPolicy's transient-exhaustion retry
+	// budget (0: the policy default).
+	Retries int
+	// NoFixup disables fixup-region registration — the ablation that
+	// must make a campaign over this workload report torn reads.
+	NoFixup bool
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Pool <= 0 {
+		c.Pool = 4
+	}
+	if c.Waves <= 0 {
+		c.Waves = 6
+	}
+	if c.Iters <= 0 {
+		c.Iters = 40
+	}
+	if c.ComputeK <= 0 {
+		c.ComputeK = 20
+	}
+	return c
+}
+
+// Churn is one built churn program plus the host-side handles its
+// oracles need.
+type Churn struct {
+	Cfg    ChurnConfig
+	Prog   *isa.Program
+	Space  *mem.Space
+	Layout *tls.Layout
+
+	// Entry is the manager's entry PC; spawn it at slot Pool (set
+	// tls.SlotReg) — worker slots are 0..Pool-1.
+	Entry int
+	// StubEntry is a clone-storm target: inherit, compute briefly, exit.
+	StubEntry int
+	// Regions are the emitter's read-critical PC ranges.
+	Regions [][2]int
+	// Want is the static per-read delta on the exact path: ComputeK plus
+	// the read sequence itself.
+	Want uint64
+
+	deltas uint64 // [Waves*Pool][Iters] measured deltas
+	done   uint64 // [Waves*Pool] completed iterations per worker run
+	est    uint64 // [Waves*Pool] nonzero when the run took the estimated path
+	flag   uint64 // nonzero when the manager itself degraded
+	wave   uint64 // current wave, maintained by the manager
+	tids   uint64 // [Pool] child TIDs of the wave in flight
+}
+
+// ManagerSlot returns the manager's TLS slot index.
+func (c *Churn) ManagerSlot() int { return c.Cfg.Pool }
+
+// Runs returns the total worker-run count (Waves x Pool).
+func (c *Churn) Runs() int { return c.Cfg.Waves * c.Cfg.Pool }
+
+// Done returns how many iterations worker run r completed (kills leave
+// partial runs; entries beyond Done are unwritten).
+func (c *Churn) Done(r int) uint64 {
+	return c.Space.Read64(c.done + uint64(r)*8)
+}
+
+// Estimated reports whether run r's measurements are flagged estimates
+// (a degraded clone, or a manager-wide fallback).
+func (c *Churn) Estimated(r int) bool {
+	return c.Space.Read64(c.est+uint64(r)*8) != 0 || c.ManagerDegraded()
+}
+
+// Delta returns run r's i'th measured delta.
+func (c *Churn) Delta(r, i int) uint64 {
+	return c.Space.Read64(c.deltas + (uint64(r)*uint64(c.Cfg.Iters)+uint64(i))*8)
+}
+
+// ManagerDegraded reports whether the manager's OpenPolicy fell back to
+// multiplexed estimates.
+func (c *Churn) ManagerDegraded() bool { return c.Space.Read64(c.flag) != 0 }
+
+// BuildChurn assembles the churn program. The manager owns two LiMiT
+// counters (user instructions — the conservation oracle's subject — and
+// user cycles for extra slot pressure and overflow-fold traffic); each
+// cloned worker inherits both, backed by the worker slot's TLS table
+// words, which SysClone zeroes every wave.
+func BuildChurn(cfg ChurnConfig) *Churn {
+	cfg = cfg.withDefaults()
+	w := &Churn{Cfg: cfg, Space: mem.NewSpace(), Layout: &tls.Layout{}}
+
+	tableRef := w.Layout.Reserve(2) // offset 0: clone tableBase == slot TLS base
+	w.Layout.Alloc(w.Space, cfg.Pool+1)
+
+	runs := uint64(cfg.Waves * cfg.Pool)
+	w.deltas = w.Space.AllocWords(runs * uint64(cfg.Iters))
+	w.done = w.Space.AllocWords(runs)
+	w.est = w.Space.AllocWords(runs)
+	w.flag = w.Space.AllocWords(1)
+	w.wave = w.Space.AllocWords(1)
+	w.tids = w.Space.AllocWords(uint64(cfg.Pool))
+
+	b := isa.NewBuilder()
+	e := limit.NewEmitter(b, limit.ModeStock, tableRef)
+	c0 := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
+	e.AddCounter(limit.UserCounter(pmu.EvCycles))
+	e.SetOpenPolicy(limit.OpenPolicy{
+		Retries:       cfg.Retries,
+		FallbackLabel: "churn.mgr.run",
+		FlagRef:       ref.Absolute(w.flag),
+	})
+	if cfg.NoFixup {
+		e.DisableFixupRegistration()
+	}
+
+	// Manager: open counters (exact, or degrade via the policy), then
+	// run the wave loop either way — a degraded manager still serves.
+	w.Entry = b.PC()
+	w.Layout.EmitProlog(b)
+	e.EmitInit()
+	b.Label("churn.mgr.run")
+	b.MovImm(isa.R8, 0) // wave
+	b.Label("churn.mgr.wave")
+	b.MovImm(isa.R10, int64(w.wave))
+	b.Store(isa.R10, 0, isa.R8)
+	for s := 0; s < cfg.Pool; s++ {
+		b.MovLabel(isa.R0, "churn.worker")
+		b.MovImm(isa.R1, int64(s)) // worker TLS slot
+		b.MovImm(isa.R9, int64(cfg.Pool))
+		b.Mul(isa.R2, isa.R8, isa.R9)
+		b.AddImm(isa.R2, isa.R2, int64(7777+s)) // per-run seed
+		b.MovImm(isa.R3, int64(w.Layout.ThreadBase(s)))
+		b.Syscall(kernel.SysClone)
+		b.MovImm(isa.R10, int64(w.tids+uint64(s)*8))
+		b.Store(isa.R10, 0, isa.R0)
+	}
+	for s := 0; s < cfg.Pool; s++ {
+		b.MovImm(isa.R10, int64(w.tids+uint64(s)*8))
+		b.Load(isa.R0, isa.R10, 0)
+		b.Syscall(kernel.SysJoin)
+	}
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.MovImm(isa.R9, int64(cfg.Waves))
+	b.Br(isa.CondLT, isa.R8, isa.R9, "churn.mgr.wave")
+	b.Halt()
+
+	// Clone-storm stub: inherit whatever the victim holds, burn a few
+	// instructions, exit — pure lifecycle pressure.
+	w.StubEntry = b.PC()
+	b.Compute(3)
+	b.Syscall(kernel.SysExit)
+
+	// Worker: route by degradation state, then measure Iters regions,
+	// storing each delta before bumping the done count so a kill can
+	// never make an unwritten entry look measured.
+	b.Label("churn.worker")
+	w.Layout.EmitProlog(b)
+	b.Mov(isa.R7, isa.R0) // clone status: 1 = this child degraded
+	b.MovImm(isa.R4, int64(w.flag))
+	b.Load(isa.R5, isa.R4, 0)
+	b.MovImm(isa.R6, 0)
+	b.Br(isa.CondNE, isa.R5, isa.R6, "churn.worker.deg")
+	b.Br(isa.CondNE, isa.R7, isa.R6, "churn.worker.deg")
+	emitChurnRunAddrs(b, w, false)
+	b.MovImm(isa.R8, 0)
+	b.Label("churn.worker.loop")
+	e.EmitMeasureStart(isa.R9, isa.R10, c0)
+	b.Compute(int64(cfg.ComputeK))
+	e.EmitMeasureEnd(isa.R11, isa.R9, isa.R10, c0)
+	emitChurnStoreDelta(b, cfg, "churn.worker.loop")
+	b.Syscall(kernel.SysExit)
+
+	// Estimated path: the same measurements through SysPerfRead on the
+	// (multiplexed, flagged) inherited counter 0, with the run marked.
+	b.Label("churn.worker.deg")
+	emitChurnRunAddrs(b, w, true)
+	b.MovImm(isa.R8, 0)
+	b.Label("churn.worker.degloop")
+	b.MovImm(isa.R0, 0)
+	b.Syscall(kernel.SysPerfRead)
+	b.Mov(isa.R9, isa.R0)
+	b.Compute(int64(cfg.ComputeK))
+	b.MovImm(isa.R0, 0)
+	b.Syscall(kernel.SysPerfRead)
+	b.Sub(isa.R11, isa.R0, isa.R9)
+	emitChurnStoreDelta(b, cfg, "churn.worker.degloop")
+	b.Syscall(kernel.SysExit)
+
+	e.EmitFinish()
+	w.Prog = b.MustBuild()
+	w.Regions = e.Regions()
+	r := w.Regions[0]
+	w.Want = uint64(cfg.ComputeK) + uint64(r[1]-r[0])
+	return w
+}
+
+// emitChurnRunAddrs computes the worker's run index (wave*Pool + slot)
+// and leaves the run's delta-buffer base in R6 and its done-word
+// address in R7; when mark is set it also raises the run's estimate
+// marker. Clobbers R4, R5.
+func emitChurnRunAddrs(b *isa.Builder, w *Churn, mark bool) {
+	cfg := w.Cfg
+	b.MovImm(isa.R4, int64(w.wave))
+	b.Load(isa.R5, isa.R4, 0)
+	b.MovImm(isa.R6, int64(cfg.Pool))
+	b.Mul(isa.R5, isa.R5, isa.R6)
+	b.Add(isa.R5, isa.R5, tls.SlotReg) // runIdx = wave*Pool + slot
+	if mark {
+		b.Shl(isa.R4, isa.R5, 3)
+		b.AddImm(isa.R4, isa.R4, int64(w.est))
+		b.MovImm(isa.R6, 1)
+		b.Store(isa.R4, 0, isa.R6)
+	}
+	b.MovImm(isa.R6, int64(cfg.Iters)*8)
+	b.Mul(isa.R6, isa.R5, isa.R6)
+	b.AddImm(isa.R6, isa.R6, int64(w.deltas))
+	b.Shl(isa.R7, isa.R5, 3)
+	b.AddImm(isa.R7, isa.R7, int64(w.done))
+}
+
+// emitChurnStoreDelta stores the delta in R11 at slot R8 of the run's
+// buffer (base R6), advances the iteration counter, publishes it to the
+// done word (R7), and loops to label until Iters. Clobbers R12.
+func emitChurnStoreDelta(b *isa.Builder, cfg ChurnConfig, label string) {
+	b.Shl(isa.R12, isa.R8, 3)
+	b.Add(isa.R12, isa.R12, isa.R6)
+	b.Store(isa.R12, 0, isa.R11)
+	b.AddImm(isa.R8, isa.R8, 1)
+	b.Store(isa.R7, 0, isa.R8)
+	b.MovImm(isa.R12, int64(cfg.Iters))
+	b.Br(isa.CondLT, isa.R8, isa.R12, label)
+}

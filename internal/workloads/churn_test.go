@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"testing"
+
+	"limitsim/internal/kernel"
+	"limitsim/internal/machine"
+	"limitsim/internal/tls"
+)
+
+// churnRun builds and runs one churn workload to completion.
+func churnRun(t *testing.T, cfg ChurnConfig, kcfg kernel.Config) (*Churn, *machine.Machine) {
+	t.Helper()
+	w := BuildChurn(cfg)
+	m := machine.New(machine.Config{NumCores: 2, Kernel: kcfg})
+	proc := m.Kern.NewProcess(w.Prog, w.Space)
+	mgr := m.Kern.Spawn(proc, "churn-mgr", w.Entry, 7)
+	mgr.SetReg(tls.SlotReg, uint64(w.ManagerSlot()))
+	res := m.Run(machine.RunLimits{MaxSteps: 20_000_000})
+	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
+		t.Fatalf("churn run failed: %+v", res)
+	}
+	return w, m
+}
+
+// TestChurnCleanRun drives the pool with no faults and unlimited slots:
+// every worker run must complete on the exact path, every measurement
+// must match the static cost, every clone must be accounted, and the
+// kernel's resource ledgers must read zero afterwards.
+func TestChurnCleanRun(t *testing.T) {
+	cfg := ChurnConfig{Pool: 3, Waves: 4, Iters: 25, ComputeK: 20}
+	w, m := churnRun(t, cfg, kernel.DefaultConfig())
+
+	if w.ManagerDegraded() {
+		t.Fatal("manager degraded with unlimited slots")
+	}
+	for r := 0; r < w.Runs(); r++ {
+		if w.Estimated(r) {
+			t.Errorf("run %d flagged estimated on a clean run", r)
+		}
+		if got := w.Done(r); got != uint64(cfg.Iters) {
+			t.Errorf("run %d completed %d/%d iterations", r, got, cfg.Iters)
+		}
+		for i := 0; i < cfg.Iters; i++ {
+			if d := w.Delta(r, i); d < w.Want || d > w.Want+256 {
+				t.Errorf("run %d delta[%d] = %d outside [%d,%d]", r, i, d, w.Want, w.Want+256)
+			}
+		}
+	}
+	if got, want := m.Kern.Stats.Clones, uint64(w.Runs()); got != want {
+		t.Errorf("kernel saw %d clones, want %d", got, want)
+	}
+	rs := m.Kern.Resources()
+	if rs.SlotsInUse != 0 || rs.TableWordsInUse != 0 || rs.RegionsLive != 0 {
+		t.Errorf("resources leaked after churn: %+v", rs)
+	}
+}
+
+// TestChurnManagerFallback starves the manager itself (capacity 1 can
+// never hold its two pinned counters): the OpenPolicy must degrade it,
+// the process-global flag must reroute every worker to the estimated
+// path, and the pool must still complete every run — flagged, never
+// silently wrong, never stuck.
+func TestChurnManagerFallback(t *testing.T) {
+	cfg := ChurnConfig{Pool: 3, Waves: 3, Iters: 20, ComputeK: 20}
+	kcfg := kernel.DefaultConfig()
+	kcfg.VirtSlotCapacity = 1
+	w, m := churnRun(t, cfg, kcfg)
+
+	if !w.ManagerDegraded() {
+		t.Fatal("manager not degraded at capacity 1")
+	}
+	for r := 0; r < w.Runs(); r++ {
+		if !w.Estimated(r) {
+			t.Errorf("run %d not flagged estimated under manager fallback", r)
+		}
+		if got := w.Done(r); got != uint64(cfg.Iters) {
+			t.Errorf("run %d completed %d/%d iterations", r, got, cfg.Iters)
+		}
+		for i := 0; i < cfg.Iters; i++ {
+			if d := w.Delta(r, i); d < uint64(cfg.ComputeK) || d > uint64(cfg.ComputeK)+64 {
+				t.Errorf("run %d estimated delta[%d] = %d outside [%d,%d]",
+					r, i, d, cfg.ComputeK, cfg.ComputeK+64)
+			}
+		}
+	}
+	rs := m.Kern.Resources()
+	if rs.SlotDenials == 0 {
+		t.Error("no slot denials recorded at capacity 1")
+	}
+	if rs.SlotsInUse != 0 {
+		t.Errorf("slots leaked: %+v", rs)
+	}
+}
