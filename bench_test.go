@@ -11,6 +11,10 @@ import (
 	"testing"
 
 	"limitsim/internal/experiments"
+	"limitsim/internal/kernel"
+	"limitsim/internal/machine"
+	"limitsim/internal/telemetry"
+	"limitsim/internal/workloads"
 )
 
 // benchScale keeps bench wall time moderate while preserving every
@@ -217,6 +221,28 @@ func BenchmarkFig9Consolidation(b *testing.B) {
 		b.ReportMetric(float64(r.Rows[1].CSP99)/float64(r.Rows[0].CSP99), "x/csp99-stability")
 	}
 }
+
+// benchTelemetry runs one instrumented forkjoin workload with or
+// without the kernel telemetry layer attached. Disabled telemetry is
+// the default state and must cost only the nil checks on the kernel's
+// hot paths — the two benchmarks should sit within noise of each other.
+func benchTelemetry(b *testing.B, withMetrics bool) {
+	for i := 0; i < b.N; i++ {
+		app := workloads.BuildForkJoin(workloads.DefaultForkJoin(), workloads.LimitInstr())
+		m := machine.New(machine.Config{NumCores: 4})
+		if withMetrics {
+			m.Kern.SetMetrics(kernel.NewMetrics(telemetry.NewRegistry()))
+		}
+		app.Launch(m)
+		if res := m.Run(machine.RunLimits{}); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetry(b, false) }
+
+func BenchmarkTelemetryEnabled(b *testing.B) { benchTelemetry(b, true) }
 
 func BenchmarkFig7Enhancements(b *testing.B) {
 	for i := 0; i < b.N; i++ {

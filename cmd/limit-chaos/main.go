@@ -8,10 +8,16 @@
 // Usage:
 //
 //	limit-chaos [-seeds 32] [-threads 4] [-cores 4] [-iters 400]
-//	            [-k 25] [-width 12] [-nofixup]
+//	            [-k 25] [-width 12] [-nofixup] [-metrics]
 //	limit-chaos -soak [-seeds 8] [-pool 4] [-waves 6] [-iters 40]
 //	            [-k 20] [-cores 4] [-width 10] [-capacity N]
-//	            [-nofixup] [-ablate-reclaim]
+//	            [-nofixup] [-ablate-reclaim] [-metrics]
+//
+// -metrics attaches the kernel telemetry layer to every run and
+// appends the campaign-wide merged metrics block (context-switch and
+// PMI-latency histograms, rewind/fold/denial counters) to the report;
+// like the rest of the report it is byte-deterministic for a given
+// configuration.
 //
 // With the fixup patch active (the default) a campaign must finish
 // with zero invariant violations — that is the paper's atomicity claim
@@ -50,10 +56,11 @@ func main() {
 	capacity := flag.Int("capacity", 0, "soak pinned-slot ledger capacity (default 2*(pool+1)+4)")
 	nofixup := flag.Bool("nofixup", false, "disable fixup-region registration (ablation: torn reads expected)")
 	ablateReclaim := flag.Bool("ablate-reclaim", false, "disable exit-time resource reclamation (soak ablation: leaks expected)")
+	metrics := flag.Bool("metrics", false, "attach kernel telemetry to every run and append the merged metrics block")
 	flag.Parse()
 
 	if *soak {
-		runSoak(*seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *nofixup, *ablateReclaim)
+		runSoak(*seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *nofixup, *ablateReclaim, *metrics)
 		return
 	}
 	if *ablateReclaim {
@@ -81,6 +88,7 @@ func main() {
 		ComputeK:   *k,
 		WriteWidth: *width,
 		NoFixup:    *nofixup,
+		Metrics:    *metrics,
 	})
 	res.Render(os.Stdout)
 
@@ -108,7 +116,7 @@ func main() {
 // discipline: failed runs are always fatal; a sabotaged configuration
 // (-nofixup or -ablate-reclaim) must detect its own damage; a healthy
 // one must detect nothing.
-func runSoak(seeds, pool, waves, iters, k, cores, width, capacity int, nofixup, ablateReclaim bool) {
+func runSoak(seeds, pool, waves, iters, k, cores, width, capacity int, nofixup, ablateReclaim, metrics bool) {
 	if seeds == 0 {
 		seeds = 8
 	}
@@ -123,6 +131,7 @@ func runSoak(seeds, pool, waves, iters, k, cores, width, capacity int, nofixup, 
 		SlotCapacity:  capacity,
 		NoFixup:       nofixup,
 		AblateReclaim: ablateReclaim,
+		Metrics:       metrics,
 	})
 	res.Render(os.Stdout)
 

@@ -85,6 +85,14 @@ func main() {
 		r.Render(w)
 		return nil
 	})
+	section("S1 — Self-measurement (LiMiT measuring LiMiT)", func(w io.Writer) error {
+		r, err := experiments.RunSelfMeasure(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		return nil
+	})
 	section("F1 — Measurement self-perturbation", func(w io.Writer) error {
 		r, err := experiments.RunFig1(s)
 		if err != nil {

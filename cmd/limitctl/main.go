@@ -11,11 +11,17 @@
 //	         [-method limit|perf|papi|rdtsc|sample|none]
 //	         [-cores 4] [-scale 1.0] [-hist] [-threads]
 //	limitctl -list
+//	limitctl trace [-app ...] [-format text|chrome|jsonl] [-n 4096]
+//	limitctl stats [-app ...] [-format text|jsonl]
 //
 // -list prints the available event/counter configurations — PMU
 // events, counter access methods, and hardware feature presets — and
-// exits. limitctl takes no positional arguments; anything left after
-// flag parsing is an unknown subcommand and exits with usage.
+// exits. The trace subcommand runs a workload with the kernel tracer
+// attached and emits the event stream as text, Chrome trace-event
+// JSON (Perfetto-loadable), or JSONL. The stats subcommand runs a
+// workload with the telemetry layer attached and emits the kernel/
+// pmu/limit self-metrics. Unknown subcommands and unknown -format
+// values exit 2 with usage.
 package main
 
 import (
@@ -40,6 +46,57 @@ var methodBlurbs = map[probe.Kind]string{
 	probe.KindPerf:   "syscall-per-read perf counters, multiplexed past the hardware",
 	probe.KindPAPI:   "PAPI-style layered reads over the perf path",
 	probe.KindSample: "periodic overflow-interrupt sampling",
+}
+
+// buildInstrumentation resolves a -method value, or nil for unknown.
+func buildInstrumentation(method string, period uint64) (workloads.Instrumentation, bool) {
+	ins := workloads.Instrumentation{Kind: probe.Kind(method), SamplePeriod: period}
+	if _, ok := methodBlurbs[ins.Kind]; !ok {
+		return ins, false
+	}
+	if ins.Kind == probe.KindLimit {
+		ins = workloads.LimitInstr()
+	}
+	return ins, true
+}
+
+// buildApp constructs a workload model by name at the given scale, or
+// nil for an unknown name.
+func buildApp(appName string, ins workloads.Instrumentation, scale float64) *workloads.App {
+	scaleN := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	switch appName {
+	case "mysql", "mysql-5.1":
+		cfg := workloads.MySQLVersion("5.1")
+		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
+		return workloads.BuildMySQL(cfg, ins)
+	case "mysql-3.23":
+		cfg := workloads.MySQLVersion("3.23")
+		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
+		return workloads.BuildMySQL(cfg, ins)
+	case "mysql-4.1":
+		cfg := workloads.MySQLVersion("4.1")
+		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
+		return workloads.BuildMySQL(cfg, ins)
+	case "apache":
+		cfg := workloads.DefaultApache()
+		cfg.RequestsPerWorker = scaleN(cfg.RequestsPerWorker)
+		return workloads.BuildApache(cfg, ins)
+	case "firefox":
+		cfg := workloads.DefaultFirefox()
+		cfg.EventsPerThread = scaleN(cfg.EventsPerThread)
+		return workloads.BuildFirefox(cfg, ins)
+	case "forkjoin":
+		cfg := workloads.DefaultForkJoin()
+		cfg.Iterations = scaleN(cfg.Iterations)
+		return workloads.BuildForkJoin(cfg, ins)
+	}
+	return nil
 }
 
 // listConfigurations prints the available events, access methods and
@@ -74,6 +131,22 @@ func listConfigurations(w *os.File) {
 }
 
 func main() {
+	// Subcommands dispatch before flag parsing; a leading non-flag
+	// argument that names no subcommand exits 2 with usage, matching
+	// the unknown-method convention.
+	if len(os.Args) > 1 && len(os.Args[1]) > 0 && os.Args[1][0] != '-' {
+		switch os.Args[1] {
+		case "trace":
+			os.Exit(runTrace(os.Args[2:], os.Stdout, os.Stderr))
+		case "stats":
+			os.Exit(runStats(os.Args[2:], os.Stdout, os.Stderr))
+		default:
+			fmt.Fprintf(os.Stderr, "limitctl: unknown subcommand %q\n", os.Args[1])
+			fmt.Fprintln(os.Stderr, "subcommands: trace, stats (or flags; see -h)")
+			os.Exit(2)
+		}
+	}
+
 	appName := flag.String("app", "mysql", "workload: mysql[-3.23|-4.1|-5.1], apache, firefox, forkjoin")
 	method := flag.String("method", "limit", "access method: limit, perf, papi, rdtsc, sample, none")
 	cores := flag.Int("cores", 4, "simulated core count")
@@ -95,50 +168,14 @@ func main() {
 		return
 	}
 
-	ins := workloads.Instrumentation{Kind: probe.Kind(*method), SamplePeriod: *period}
-	if _, ok := methodBlurbs[ins.Kind]; !ok {
+	ins, ok := buildInstrumentation(*method, *period)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "limitctl: unknown method %q (see -list)\n", *method)
 		os.Exit(2)
 	}
-	if ins.Kind == probe.KindLimit {
-		ins = workloads.LimitInstr()
-	}
 
-	scaleN := func(n int) int {
-		v := int(float64(n) * *scale)
-		if v < 1 {
-			v = 1
-		}
-		return v
-	}
-
-	var app *workloads.App
-	switch *appName {
-	case "mysql", "mysql-5.1":
-		cfg := workloads.MySQLVersion("5.1")
-		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
-		app = workloads.BuildMySQL(cfg, ins)
-	case "mysql-3.23":
-		cfg := workloads.MySQLVersion("3.23")
-		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
-		app = workloads.BuildMySQL(cfg, ins)
-	case "mysql-4.1":
-		cfg := workloads.MySQLVersion("4.1")
-		cfg.TxnsPerWorker = scaleN(cfg.TxnsPerWorker)
-		app = workloads.BuildMySQL(cfg, ins)
-	case "apache":
-		cfg := workloads.DefaultApache()
-		cfg.RequestsPerWorker = scaleN(cfg.RequestsPerWorker)
-		app = workloads.BuildApache(cfg, ins)
-	case "firefox":
-		cfg := workloads.DefaultFirefox()
-		cfg.EventsPerThread = scaleN(cfg.EventsPerThread)
-		app = workloads.BuildFirefox(cfg, ins)
-	case "forkjoin":
-		cfg := workloads.DefaultForkJoin()
-		cfg.Iterations = scaleN(cfg.Iterations)
-		app = workloads.BuildForkJoin(cfg, ins)
-	default:
+	app := buildApp(*appName, ins, *scale)
+	if app == nil {
 		fmt.Fprintf(os.Stderr, "limitctl: unknown app %q\n", *appName)
 		os.Exit(2)
 	}

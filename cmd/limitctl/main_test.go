@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"limitsim/internal/trace"
+)
+
+// traceArgs is a small deterministic workload for the subcommand
+// tests: forkjoin finishes in a few hundred thousand cycles, and the
+// sampling method raises real PMIs.
+var traceArgs = []string{"-app", "forkjoin", "-method", "sample", "-scale", "0.3", "-period", "20000"}
+
+func run(t *testing.T, f func(args []string, stdout, stderr io.Writer) int, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := f(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	return out.String()
+}
+
+func TestTraceGoldenDeterminism(t *testing.T) {
+	for _, format := range []string{"text", "chrome", "jsonl"} {
+		args := append(append([]string{}, traceArgs...), "-format", format)
+		a := run(t, runTrace, args...)
+		b := run(t, runTrace, args...)
+		if a != b {
+			t.Errorf("format=%s: two same-seed runs differ", format)
+		}
+		if a == "" {
+			t.Errorf("format=%s: empty output", format)
+		}
+	}
+}
+
+func TestTraceChromeRoundTrip(t *testing.T) {
+	chromeOut := run(t, runTrace, append(append([]string{}, traceArgs...), "-format", "chrome")...)
+	jsonlOut := run(t, runTrace, append(append([]string{}, traceArgs...), "-format", "jsonl")...)
+
+	// The chrome document must be independently valid JSON.
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(chromeOut), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+
+	fromChrome, err := trace.ParseChrome(strings.NewReader(chromeOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSONL, err := trace.ParseJSONL(strings.NewReader(jsonlOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both exports encode the same deterministic run, so they must
+	// parse back to the identical event sequence.
+	if len(fromChrome) == 0 || len(fromChrome) != len(fromJSONL) {
+		t.Fatalf("chrome %d events, jsonl %d", len(fromChrome), len(fromJSONL))
+	}
+	for i := range fromChrome {
+		if fromChrome[i] != fromJSONL[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, fromChrome[i], fromJSONL[i])
+		}
+	}
+
+	// A real run's trace must show scheduling, syscall and PMI events.
+	seen := map[trace.Kind]bool{}
+	for _, e := range fromChrome {
+		seen[e.Kind] = true
+	}
+	for _, k := range []trace.Kind{trace.SwitchIn, trace.SwitchOut, trace.Syscall, trace.PMI} {
+		if !seen[k] {
+			t.Errorf("trace lacks %v events", k)
+		}
+	}
+}
+
+func TestStatsDeterminism(t *testing.T) {
+	for _, format := range []string{"text", "jsonl"} {
+		args := []string{"-app", "forkjoin", "-scale", "0.3", "-format", format}
+		a := run(t, runStats, args...)
+		b := run(t, runStats, args...)
+		if a != b {
+			t.Errorf("format=%s: two same-seed stats runs differ", format)
+		}
+		for _, want := range []string{"kern.syscalls", "kern.switch.out.cycles", "limit.reads.exact"} {
+			if !strings.Contains(a, want) {
+				t.Errorf("format=%s: output lacks %q", format, want)
+			}
+		}
+	}
+}
+
+func TestStatsJSONLValid(t *testing.T) {
+	out := run(t, runStats, "-app", "forkjoin", "-scale", "0.3", "-format", "jsonl")
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestUnknownFormatExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runTrace([]string{"-format", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("trace -format=bogus exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown -format") || !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("trace error shape: %s", errb.String())
+	}
+	errb.Reset()
+	if code := runStats([]string{"-format", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("stats -format=bogus exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown -format") || !strings.Contains(errb.String(), "Usage") {
+		t.Errorf("stats error shape: %s", errb.String())
+	}
+}
+
+func TestUnknownAppAndMethodExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runTrace([]string{"-app", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("trace -app=nope exited %d, want 2", code)
+	}
+	if code := runStats([]string{"-method", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("stats -method=nope exited %d, want 2", code)
+	}
+}

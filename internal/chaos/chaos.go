@@ -32,6 +32,7 @@ import (
 	"limitsim/internal/mem"
 	"limitsim/internal/pmu"
 	"limitsim/internal/tabwrite"
+	"limitsim/internal/telemetry"
 )
 
 // Mix names one fault-injection configuration of the campaign matrix.
@@ -87,6 +88,11 @@ type Config struct {
 	// NoFixup disables fixup-region registration — the ablation that
 	// must make the campaign report torn reads.
 	NoFixup bool
+	// Metrics attaches the kernel telemetry layer to every run and
+	// merges the per-run registries into Result.Telemetry. Off by
+	// default: campaigns are hot loops and the telemetry block is a
+	// diagnosis aid, not part of the verdict.
+	Metrics bool
 	// Mixes is the fault matrix (default DefaultMixes).
 	Mixes []Mix
 }
@@ -165,6 +171,11 @@ type Result struct {
 	// Want is the static per-read delta every stored measurement is
 	// judged against.
 	Want uint64
+	// Telemetry is the campaign-wide kernel metrics registry, merged
+	// across every run, when Cfg.Metrics is set (nil otherwise).
+	// Byte-deterministic for a given Config, like the rest of the
+	// report.
+	Telemetry *telemetry.Registry
 }
 
 // TotalViolations sums violations across the matrix.
@@ -191,11 +202,17 @@ func (r *Result) TotalRunErrors() int {
 func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	res := &Result{Cfg: cfg, Want: buildWorkload(cfg).want}
+	if cfg.Metrics {
+		// The campaign registry is built by the same constructor as
+		// each run's, so the per-run merges cannot mismatch.
+		res.Telemetry = telemetry.NewRegistry()
+		kernel.NewMetrics(res.Telemetry)
+	}
 	for mi, mix := range cfg.Mixes {
 		mr := MixResult{Name: mix.Name}
 		for s := 0; s < cfg.Seeds; s++ {
 			seed := uint64(s)*0x9e3779b97f4a7c15 + uint64(mi) + 1
-			runOne(cfg, mix, seed, &mr)
+			runOne(cfg, mix, seed, &mr, res.Telemetry)
 		}
 		res.Mixes = append(res.Mixes, mr)
 	}
@@ -253,8 +270,9 @@ func buildWorkload(cfg Config) *workload {
 	return w
 }
 
-// runOne executes a single seeded run and folds its outcome into mr.
-func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult) {
+// runOne executes a single seeded run and folds its outcome into mr
+// (and its telemetry into agg, when campaign metrics are on).
+func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult, agg *telemetry.Registry) {
 	mr.Runs++
 
 	feats := pmu.DefaultFeatures()
@@ -283,6 +301,12 @@ func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult) {
 
 	chk := invariant.New(w.regions)
 	chk.Attach(m.Kern)
+
+	var km *kernel.Metrics
+	if agg != nil {
+		km = kernel.NewMetrics(telemetry.NewRegistry())
+		m.Kern.SetMetrics(km)
+	}
 
 	proc := m.Kern.NewProcess(w.prog, w.space)
 	for i := 0; i < cfg.Threads; i++ {
@@ -336,6 +360,9 @@ func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult) {
 		}
 		mr.Samples = append(mr.Samples, v)
 	}
+	if agg != nil {
+		agg.MustMerge(km.Registry())
+	}
 }
 
 // Render writes the campaign table (and a violation detail section
@@ -381,5 +408,14 @@ func (r *Result) Render(w io.Writer) {
 		for _, e := range r.Mixes[i].Errs {
 			fmt.Fprintf(w, "run error [%s] %s\n", r.Mixes[i].Name, e)
 		}
+	}
+
+	if r.Telemetry != nil {
+		runs := 0
+		for i := range r.Mixes {
+			runs += r.Mixes[i].Runs
+		}
+		fmt.Fprintf(w, "\nKernel telemetry (merged across %d runs)\n", runs)
+		r.Telemetry.Render(w)
 	}
 }

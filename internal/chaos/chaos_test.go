@@ -33,6 +33,91 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
+// TestCampaignTelemetryDeterministic runs the metrics-enabled campaign
+// twice and requires byte-identical reports — the acceptance criterion
+// for the telemetry block — and cross-checks the merged registry
+// against the campaign's own aggregates.
+func TestCampaignTelemetryDeterministic(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Seeds = 1
+	cfg.Metrics = true
+	render := func() (*Result, string) {
+		r := Run(cfg)
+		var sb strings.Builder
+		r.Render(&sb)
+		return r, sb.String()
+	}
+	r, a := render()
+	_, b := render()
+	if a != b {
+		t.Errorf("same config produced different telemetry output:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if r.Telemetry == nil {
+		t.Fatal("Metrics set but Result.Telemetry is nil")
+	}
+	for _, want := range []string{
+		"Kernel telemetry", "kern.switch.out.cycles", "kern.pmi.latency.cycles",
+		"kern.folds", "pmu.slots.occupancy",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("telemetry render missing %q", want)
+		}
+	}
+
+	// The registry's counters and the campaign's own aggregation read
+	// the same kernel, so they must agree exactly.
+	var folds, rewinds uint64
+	for i := range r.Mixes {
+		folds += r.Mixes[i].Folds
+		rewinds += r.Mixes[i].Rewinds
+	}
+	if got := r.Telemetry.LookupCounter("kern.folds").Value(); got != folds {
+		t.Errorf("kern.folds = %d, campaign counted %d", got, folds)
+	}
+	if got := r.Telemetry.LookupCounter("kern.rewinds.taken").Value(); got != rewinds {
+		t.Errorf("kern.rewinds.taken = %d, campaign counted %d", got, rewinds)
+	}
+	if h := r.Telemetry.LookupHistogram("kern.switch.out.cycles"); h.Count() == 0 {
+		t.Error("no context-switch costs observed across a preempting campaign")
+	}
+}
+
+// TestSoakTelemetryDeterministic is the soak-side analogue: lifecycle
+// metrics (clone/exit cost histograms, slot denials) must be present
+// and byte-deterministic.
+func TestSoakTelemetryDeterministic(t *testing.T) {
+	cfg := quickSoakCfg()
+	cfg.Seeds = 1
+	cfg.Metrics = true
+	render := func() (*SoakResult, string) {
+		r := RunSoak(cfg)
+		var sb strings.Builder
+		r.Render(&sb)
+		return r, sb.String()
+	}
+	r, a := render()
+	_, b := render()
+	if a != b {
+		t.Errorf("same config produced different soak telemetry output:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if r.Telemetry == nil {
+		t.Fatal("Metrics set but SoakResult.Telemetry is nil")
+	}
+	if h := r.Telemetry.LookupHistogram("kern.clone.cycles"); h.Count() == 0 {
+		t.Error("no clone costs observed across a churn campaign")
+	}
+	if h := r.Telemetry.LookupHistogram("kern.exit.cycles"); h.Count() == 0 {
+		t.Error("no exit costs observed across a churn campaign")
+	}
+	var denials uint64
+	for i := range r.Mixes {
+		denials += r.Mixes[i].Denials
+	}
+	if got := r.Telemetry.LookupCounter("pmu.slots.denied").Value(); got != denials {
+		t.Errorf("pmu.slots.denied = %d, campaign counted %d", got, denials)
+	}
+}
+
 // TestCampaignInvariantsHoldWithFixup runs the full default mix matrix
 // with the fixup patch active: faults must actually be injected, reads
 // must complete, and not a single invariant may break.

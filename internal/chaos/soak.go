@@ -10,6 +10,7 @@ import (
 	"limitsim/internal/machine"
 	"limitsim/internal/pmu"
 	"limitsim/internal/tabwrite"
+	"limitsim/internal/telemetry"
 	"limitsim/internal/tls"
 	"limitsim/internal/workloads"
 )
@@ -103,6 +104,9 @@ type SoakConfig struct {
 	// AblateReclaim disables exit-time resource reclamation — the
 	// ablation the leak and bad-reap oracles must detect.
 	AblateReclaim bool
+	// Metrics attaches the kernel telemetry layer to every run and
+	// merges the per-run registries into SoakResult.Telemetry.
+	Metrics bool
 	// Mixes is the lifecycle fault matrix (default DefaultSoakMixes).
 	Mixes []SoakMix
 }
@@ -206,6 +210,9 @@ type SoakResult struct {
 	// Want is the static per-read delta exact measurements are judged
 	// against.
 	Want uint64
+	// Telemetry is the campaign-wide kernel metrics registry, merged
+	// across every run, when Cfg.Metrics is set (nil otherwise).
+	Telemetry *telemetry.Registry
 }
 
 // TotalViolations sums violations across the matrix.
@@ -242,11 +249,15 @@ func (r *SoakResult) TotalDegraded() uint64 {
 func RunSoak(cfg SoakConfig) *SoakResult {
 	cfg = cfg.withDefaults()
 	res := &SoakResult{Cfg: cfg, Want: workloads.BuildChurn(cfg.churn()).Want}
+	if cfg.Metrics {
+		res.Telemetry = telemetry.NewRegistry()
+		kernel.NewMetrics(res.Telemetry)
+	}
 	for mi, mix := range cfg.Mixes {
 		mr := SoakMixResult{Name: mix.Name, Waves: make([]WaveAcct, cfg.Waves)}
 		for s := 0; s < cfg.Seeds; s++ {
 			seed := uint64(s)*0x9e3779b97f4a7c15 + uint64(mi) + 1
-			runOneSoak(cfg, mix, seed, &mr)
+			runOneSoak(cfg, mix, seed, &mr, res.Telemetry)
 		}
 		res.Mixes = append(res.Mixes, mr)
 	}
@@ -254,8 +265,8 @@ func RunSoak(cfg SoakConfig) *SoakResult {
 }
 
 // runOneSoak executes a single seeded soak run and folds its outcome
-// into mr.
-func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult) {
+// into mr (and its telemetry into agg, when campaign metrics are on).
+func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg *telemetry.Registry) {
 	mr.Runs++
 
 	feats := pmu.DefaultFeatures()
@@ -292,6 +303,12 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult) {
 
 	chk := invariant.New(w.Regions)
 	chk.Attach(m.Kern)
+
+	var km *kernel.Metrics
+	if agg != nil {
+		km = kernel.NewMetrics(telemetry.NewRegistry())
+		m.Kern.SetMetrics(km)
+	}
 
 	proc := m.Kern.NewProcess(w.Prog, w.Space)
 	mgr := m.Kern.Spawn(proc, "churn-mgr", w.Entry, seed*31)
@@ -389,6 +406,9 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult) {
 			mr.Samples = append(mr.Samples, v)
 		}
 	}
+	if agg != nil {
+		agg.MustMerge(km.Registry())
+	}
 }
 
 // Render writes the soak report: the mix table, the per-wave
@@ -453,5 +473,14 @@ func (r *SoakResult) Render(w io.Writer) {
 		for _, e := range r.Mixes[i].Errs {
 			fmt.Fprintf(w, "run error [%s] %s\n", r.Mixes[i].Name, e)
 		}
+	}
+
+	if r.Telemetry != nil {
+		runs := 0
+		for i := range r.Mixes {
+			runs += r.Mixes[i].Runs
+		}
+		fmt.Fprintf(w, "\nKernel telemetry (merged across %d runs)\n", runs)
+		r.Telemetry.Render(w)
 	}
 }

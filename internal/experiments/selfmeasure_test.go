@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelfMeasureShape asserts the self-measurement's cost ordering:
+// the perf-style read (a syscall plus a heavyweight handler) must dwarf
+// a trivial syscall, which must dwarf the bare read sequence — the
+// paper's access-cost table, measured by LiMiT itself.
+func TestSelfMeasureShape(t *testing.T) {
+	r, err := RunSelfMeasure(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	null, _ := r.Probe("null (read sequence only)")
+	calib, _ := r.Probe("compute-100 (calibration)")
+	gettid, _ := r.Probe("gettid syscall")
+	perfRead, _ := r.Probe("perf counter read")
+	yield, _ := r.Probe("yield round trip")
+
+	for _, p := range r.Probes {
+		if p.N != r.Iters {
+			t.Errorf("%s: %d samples, want %d", p.Name, p.N, r.Iters)
+		}
+		if p.Mean <= 0 {
+			t.Errorf("%s: mean %.1f, want > 0", p.Name, p.Mean)
+		}
+	}
+	if !(null.Mean < gettid.Mean && gettid.Mean < perfRead.Mean) {
+		t.Errorf("cost ordering broken: null %.1f, gettid %.1f, perf-read %.1f",
+			null.Mean, gettid.Mean, perfRead.Mean)
+	}
+	// The calibration block is 100 single-cycle instructions; its net
+	// cost must land near 100.
+	if calib.Net < 80 || calib.Net > 150 {
+		t.Errorf("compute-100 net %.1f cycles, want ~100", calib.Net)
+	}
+	// The syscall probes' minimum must cover at least the static kernel
+	// cost they cross (the mean also carries read-sequence overhead).
+	if uint64(gettid.Mean) < gettid.Static {
+		t.Errorf("gettid mean %.1f below its static kernel cost %d", gettid.Mean, gettid.Static)
+	}
+	if uint64(perfRead.Mean) < perfRead.Static {
+		t.Errorf("perf-read mean %.1f below its static kernel cost %d", perfRead.Mean, perfRead.Static)
+	}
+	// A yield crosses the full deschedule/reschedule path, so it must
+	// out-cost a trivial syscall.
+	if yield.Mean <= gettid.Mean {
+		t.Errorf("yield %.1f should out-cost gettid %.1f", yield.Mean, gettid.Mean)
+	}
+
+	// The outside view must agree that the run really crossed these
+	// paths: syscalls were counted and yields produced context-switch
+	// cost observations.
+	if r.Telemetry == nil {
+		t.Fatal("no telemetry registry attached")
+	}
+	if c := r.Telemetry.LookupCounter("kern.syscalls"); c.Value() == 0 {
+		t.Error("kernel telemetry saw no syscalls")
+	}
+	if h := r.Telemetry.LookupHistogram("kern.switch.out.cycles"); h.Count() == 0 {
+		t.Error("kernel telemetry saw no context switches despite yield probe")
+	}
+
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Self-measurement", "perf counter read", "yield round trip",
+		"Kernel telemetry cross-check", "syscalls handled",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestSelfMeasureDeterminism pins the byte-determinism of the rendered
+// report, like every other reproduction artifact.
+func TestSelfMeasureDeterminism(t *testing.T) {
+	render := func() string {
+		r, err := RunSelfMeasure(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		r.Render(&sb)
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("same scale produced different self-measurement reports")
+	}
+}

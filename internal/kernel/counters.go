@@ -101,6 +101,9 @@ func (k *Kernel) perfOpen(coreID int, t *Thread, event, flags uint64) uint64 {
 	if event >= uint64(pmu.NumEvents) {
 		return errRet
 	}
+	if flags&FlagEstimated != 0 && k.metrics != nil {
+		k.metrics.DegradedOpens.Inc()
+	}
 	return k.allocCounter(coreID, t, &ThreadCounter{
 		Kind:        KindPerf,
 		Event:       pmu.Event(event),

@@ -157,8 +157,12 @@ func (k *Kernel) chaosClone(coreID int) {
 	if !ok {
 		return
 	}
+	start := k.cores[coreID].Now
 	k.cores[coreID].KernelWork(k.cfg.Costs.Clone)
 	k.clone(coreID, t, entry, t.Ctx.Regs[isa.R14], k.rand(), 0)
+	if k.metrics != nil {
+		k.metrics.CloneCycles.Observe(k.cores[coreID].Now - start)
+	}
 }
 
 // chaosKill asks the injector whether to kill the current thread at

@@ -473,6 +473,12 @@ type Kernel struct {
 	chaos  *Chaos
 	probes *Probes
 
+	// metrics, when non-nil, is the kernel's self-measurement surface
+	// (metrics.go). pmiRaiseAt holds per-core, per-slot raise marks for
+	// the PMI latency histogram; both are nil while detached.
+	metrics    *Metrics
+	pmiRaiseAt [][]uint64
+
 	Stats Stats
 }
 

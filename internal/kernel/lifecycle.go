@@ -53,6 +53,9 @@ func (k *Kernel) clone(coreID int, t *Thread, entry int, tlsArg, seed, tableBase
 	degraded := k.inheritCounters(t, nt, tableBase)
 	if degraded {
 		nt.Ctx.Regs[isa.R0] = 1
+		if k.metrics != nil {
+			k.metrics.DegradedClones.Inc()
+		}
 	}
 	k.Stats.Clones++
 	k.tr(coreID, nt, trace.Clone, uint64(t.ID))
@@ -137,11 +140,15 @@ func (k *Kernel) inheritCounters(t, nt *Thread, tableBase uint64) bool {
 // counters), marked done, reaped (resources returned, values left
 // intact), and its joiners woken. how is the trace.Exit argument.
 func (k *Kernel) exitThread(coreID int, t *Thread, how uint64) {
+	start := k.cores[coreID].Now
 	k.deschedule(coreID, t)
 	t.State = StateDone
 	k.reapThread(coreID, t)
 	k.Stats.Exits++
 	k.tr(coreID, t, trace.Exit, how)
+	if k.metrics != nil {
+		k.metrics.ExitCycles.Observe(k.cores[coreID].Now - start)
+	}
 	k.wakeJoiners(t, k.cores[coreID].Now)
 }
 

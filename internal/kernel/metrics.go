@@ -1,0 +1,146 @@
+package kernel
+
+import "limitsim/internal/telemetry"
+
+// Metrics is the kernel's self-measurement surface: cycle-cost
+// histograms for the paths the paper cares about (context switches,
+// PMI service, thread churn) and counters for the events whose
+// frequency determines LiMiT's overhead (fixup rewinds, overflow
+// folds, slot pressure, degradations). All fields are registered on
+// one telemetry.Registry so a run's metrics render and merge as a
+// unit.
+//
+// Discipline mirrors the tracer: metrics are attached explicitly with
+// SetMetrics and every instrumented path pays exactly one nil check
+// when detached. Cycle costs are measured as core-clock deltas around
+// the instrumented path (KernelWork advances the clock), so they
+// include everything the path actually charges — MSR traffic, folds,
+// pollution — not just the base cost constant.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	// Context-switch halves: deschedule (save + fixup + PMI drain) and
+	// switch-in (base cost + pollution + counter restore).
+	SwitchOutCycles *telemetry.Histogram
+	SwitchInCycles  *telemetry.Histogram
+	// PMILatency is raise-to-service: from the cycle an overflow
+	// interrupt was taken off the PMU to the cycle its slot is serviced.
+	// Chaos-delayed interrupts accrue real latency here.
+	PMILatency *telemetry.Histogram
+	// Thread churn: SysClone/forced-clone cost (inheritance included)
+	// and the full exit path (final virtualization + reclamation).
+	CloneCycles *telemetry.Histogram
+	ExitCycles  *telemetry.Histogram
+
+	// Event counts.
+	Syscalls         *telemetry.Counter
+	SignalsDelivered *telemetry.Counter
+	PMIs             *telemetry.Counter
+	Folds            *telemetry.Counter
+	// RewindsTaken counts fixup checks that rewound the PC (the thread
+	// was stopped inside a read-critical region); RewindsAvoided counts
+	// checks that ran with regions registered but found the PC outside.
+	// Their ratio is the paper's "how often does the fixup actually
+	// fire" question.
+	RewindsTaken   *telemetry.Counter
+	RewindsAvoided *telemetry.Counter
+	// OpenPolicy pressure, seen from the kernel side: transient
+	// SysLimitOpen denials (RetAgain), perf opens flagged as degraded
+	// fallbacks, and clones whose inheritance degraded to estimates.
+	LimitOpenAgain *telemetry.Counter
+	DegradedOpens  *telemetry.Counter
+	DegradedClones *telemetry.Counter
+
+	// Slot-ledger pressure (mirrored by pmu.Ledger.Instrument).
+	SlotOccupancy *telemetry.Gauge
+	SlotDenied    *telemetry.Counter
+	TableWords    *telemetry.Gauge
+}
+
+// NewMetrics registers the kernel's metric set on reg and returns the
+// handle to attach with SetMetrics. Registration order is fixed, so
+// every registry built here renders and merges identically.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		reg: reg,
+
+		Syscalls:         reg.Counter("kern.syscalls"),
+		SignalsDelivered: reg.Counter("kern.signals.delivered"),
+		PMIs:             reg.Counter("kern.pmi.count"),
+		Folds:            reg.Counter("kern.folds"),
+		RewindsTaken:     reg.Counter("kern.rewinds.taken"),
+		RewindsAvoided:   reg.Counter("kern.rewinds.avoided"),
+		LimitOpenAgain:   reg.Counter("kern.limitopen.again"),
+		DegradedOpens:    reg.Counter("kern.opens.degraded"),
+		DegradedClones:   reg.Counter("kern.clones.degraded"),
+		SlotDenied:       reg.Counter("pmu.slots.denied"),
+
+		SlotOccupancy: reg.Gauge("pmu.slots.occupancy"),
+		TableWords:    reg.Gauge("pmu.tablewords.occupancy"),
+
+		SwitchOutCycles: reg.Histogram("kern.switch.out.cycles", nil),
+		SwitchInCycles:  reg.Histogram("kern.switch.in.cycles", nil),
+		PMILatency:      reg.Histogram("kern.pmi.latency.cycles", nil),
+		CloneCycles:     reg.Histogram("kern.clone.cycles", nil),
+		ExitCycles:      reg.Histogram("kern.exit.cycles", nil),
+	}
+}
+
+// Registry returns the registry the metrics were registered on.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// SetMetrics attaches a metric set built by NewMetrics (nil detaches).
+// The slot and table-word ledgers are instrumented through to the
+// gauges, synced to their current levels, and per-core PMI raise marks
+// are allocated for the latency histogram.
+func (k *Kernel) SetMetrics(m *Metrics) {
+	k.metrics = m
+	if m == nil {
+		k.slots.Instrument(nil, nil)
+		k.tableWords.Instrument(nil, nil)
+		k.pmiRaiseAt = nil
+		return
+	}
+	k.slots.Instrument(m.SlotOccupancy, m.SlotDenied)
+	k.tableWords.Instrument(m.TableWords, nil)
+	k.pmiRaiseAt = make([][]uint64, len(k.cores))
+	for i, c := range k.cores {
+		k.pmiRaiseAt[i] = make([]uint64, c.PMU.NumCounters())
+	}
+}
+
+// Metrics returns the attached metric set, if any.
+func (k *Kernel) Metrics() *Metrics { return k.metrics }
+
+// markPMIRaise stamps the raise time for every newly taken overflow
+// bit. A slot already carrying a mark keeps the earlier (true) raise
+// time; chaos-delayed bits therefore accrue their full latency.
+func (k *Kernel) markPMIRaise(coreID int, mask uint64) {
+	if k.metrics == nil || mask == 0 {
+		return
+	}
+	now := k.cores[coreID].Now
+	marks := k.pmiRaiseAt[coreID]
+	for slot := 0; mask != 0 && slot < len(marks); slot, mask = slot+1, mask>>1 {
+		if mask&1 == 1 && marks[slot] == 0 {
+			marks[slot] = now
+		}
+	}
+}
+
+// observePMIService records raise-to-service latency for every slot in
+// mask and clears the marks. Bits with no mark (chaos-injected
+// spurious interrupts) are skipped: they were never raised.
+func (k *Kernel) observePMIService(coreID int, mask uint64) {
+	if k.metrics == nil || mask == 0 {
+		return
+	}
+	now := k.cores[coreID].Now
+	marks := k.pmiRaiseAt[coreID]
+	for slot := 0; mask != 0 && slot < len(marks); slot, mask = slot+1, mask>>1 {
+		if mask&1 == 1 && marks[slot] != 0 {
+			k.metrics.PMILatency.Observe(now - marks[slot])
+			marks[slot] = 0
+		}
+	}
+}

@@ -23,9 +23,15 @@ func (k *Kernel) handlePMI(coreID int, mask uint64) {
 	t := k.cur[coreID]
 	core.KernelWork(k.cfg.Costs.PMIHandler)
 	k.Stats.PMIs++
+	if k.metrics != nil {
+		k.metrics.PMIs.Inc()
+	}
 	k.tr(coreID, t, trace.PMI, mask)
 	if t == nil {
-		return // stray interrupt with no owner; nothing to virtualize
+		// Stray interrupt with no owner; nothing to virtualize, but the
+		// interrupt was serviced, so its latency marks must not linger.
+		k.observePMIService(coreID, mask)
+		return
 	}
 	k.pmiFor(coreID, t, mask)
 	k.applyFixup(t)
@@ -37,6 +43,7 @@ func (k *Kernel) handlePMI(coreID int, mask uint64) {
 // table through its slot map.
 func (k *Kernel) pmiFor(coreID int, t *Thread, mask uint64) {
 	core := k.cores[coreID]
+	k.observePMIService(coreID, mask)
 	for slot := 0; mask != 0; slot, mask = slot+1, mask>>1 {
 		if mask&1 == 0 {
 			continue
@@ -63,6 +70,9 @@ func (k *Kernel) pmiFor(coreID int, t *Thread, mask uint64) {
 				v -= chunk
 				tc.Overflows++
 				k.Stats.OverflowFolds++
+				if k.metrics != nil {
+					k.metrics.Folds.Inc()
+				}
 				core.KernelWork(k.cfg.Costs.OverflowFold)
 				if k.cfg.LimitOverflow == FoldInKernel {
 					t.Proc.Mem.Add64(tc.TableAddr, chunk)

@@ -111,6 +111,7 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 	// chaos filter may delay bits (withholding them for later) or set
 	// extra ones (spurious interrupts).
 	mask := core.PMU.TakePendingOverflows()
+	k.markPMIRaise(coreID, mask)
 	if k.chaos != nil && k.chaos.FilterPMI != nil {
 		mask = k.chaos.FilterPMI(coreID, t, mask)
 	}
@@ -248,12 +249,14 @@ func (k *Kernel) preempt(coreID int) {
 // the switch-out half of the context switch cost.
 func (k *Kernel) deschedule(coreID int, t *Thread) {
 	core := k.cores[coreID]
+	start := core.Now
 	// Drain overflow interrupts that are still pending so they are
 	// serviced for their rightful owner; left alone, they would be
 	// consumed after the switch and misattributed to the next thread.
 	// Interrupts the chaos layer withheld are drained here too — this
 	// is the single choke point every path off a core goes through.
 	mask := core.PMU.TakePendingOverflows()
+	k.markPMIRaise(coreID, mask)
 	if k.chaos != nil && k.chaos.DrainPMI != nil {
 		mask |= k.chaos.DrainPMI(coreID, t)
 	}
@@ -269,6 +272,9 @@ func (k *Kernel) deschedule(coreID int, t *Thread) {
 	t.Stats.CtxSwitches++
 	k.Stats.CtxSwitches++
 	core.PMU.AddEvent(pmu.RingKernel, pmu.EvCtxSwitches, 1)
+	if k.metrics != nil {
+		k.metrics.SwitchOutCycles.Observe(core.Now - start)
+	}
 	k.cur[coreID] = nil
 }
 
@@ -276,6 +282,7 @@ func (k *Kernel) deschedule(coreID int, t *Thread) {
 func (k *Kernel) switchTo(coreID int, next *Thread) {
 	core := k.cores[coreID]
 	c := k.cfg.Costs
+	start := core.Now
 	core.KernelWork(c.CtxSwitchBase)
 	if n := k.cfg.CtxSwitchPollutionLines; n > 0 {
 		k.kernDataBase += 64 // touch a sliding kernel region
@@ -295,6 +302,9 @@ func (k *Kernel) switchTo(coreID int, next *Thread) {
 	next.State = StateRunning
 	next.Ctx.AllowRdPMC = next.Proc.AllowRdPMC
 	k.tr(coreID, next, trace.SwitchIn, 0)
+	if k.metrics != nil {
+		k.metrics.SwitchInCycles.Observe(core.Now - start)
+	}
 	k.cur[coreID] = next
 	k.quantumEnd[coreID] = core.Now + k.cfg.Quantum
 }
@@ -309,11 +319,19 @@ func (k *Kernel) applyFixup(t *Thread) {
 			from := t.Ctx.PC
 			t.Ctx.PC = r.Start
 			t.Stats.FixupRewinds++
+			if k.metrics != nil {
+				k.metrics.RewindsTaken.Inc()
+			}
 			if k.probes != nil && k.probes.Rewind != nil {
 				k.probes.Rewind(t, from, r.Start)
 			}
 			return
 		}
+	}
+	// The check ran with regions registered but the PC was outside every
+	// read-critical range: the common case the fixup design keeps free.
+	if k.metrics != nil && len(t.Proc.FixupRegions) > 0 {
+		k.metrics.RewindsAvoided.Inc()
 	}
 }
 
@@ -378,6 +396,9 @@ func (k *Kernel) saveCounters(core *cpu.Core, t *Thread) {
 				v -= writeLimit
 				tc.Overflows++
 				k.Stats.OverflowFolds++
+				if k.metrics != nil {
+					k.metrics.Folds.Inc()
+				}
 				core.KernelWork(k.cfg.Costs.OverflowFold)
 				k.probeFold(core.ID, t, tc, writeLimit)
 			}

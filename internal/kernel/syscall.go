@@ -111,6 +111,9 @@ func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
 	core.KernelWork(c.SyscallEntry)
 	t.Stats.Syscalls++
 	k.Stats.Syscalls++
+	if k.metrics != nil {
+		k.metrics.Syscalls.Inc()
+	}
 	k.tr(coreID, t, trace.Syscall, uint64(num))
 
 	regs := &t.Ctx.Regs
@@ -192,7 +195,11 @@ func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
 		t.Ctx.AllowRdPMC = true
 	case SysLimitOpen:
 		core.KernelWork(c.LimitOpen)
-		regs[isa.R0] = k.limitOpen(coreID, t, regs[isa.R0], regs[isa.R1], regs[isa.R2])
+		r := k.limitOpen(coreID, t, regs[isa.R0], regs[isa.R1], regs[isa.R2])
+		if r == RetAgain && k.metrics != nil {
+			k.metrics.LimitOpenAgain.Inc()
+		}
+		regs[isa.R0] = r
 	case SysLimitRegisterFixup:
 		core.KernelWork(c.LimitFixup)
 		k.addRegionRef(t, int(regs[isa.R0]), int(regs[isa.R1]))
@@ -249,9 +256,13 @@ func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
 		k.sampleStop(coreID, t)
 
 	case SysClone:
+		cloneStart := core.Now
 		core.KernelWork(c.Clone)
 		regs[isa.R0] = k.clone(coreID, t,
 			int(regs[isa.R0]), regs[isa.R1], regs[isa.R2], regs[isa.R3])
+		if k.metrics != nil {
+			k.metrics.CloneCycles.Observe(core.Now - cloneStart)
+		}
 
 	case SysExit:
 		core.KernelWork(c.Exit)

@@ -1,0 +1,156 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"limitsim/internal/telemetry"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := telemetry.NewRegistry()
+	c := r.Counter("a.count")
+	g := r.Gauge("a.level")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g.Add(3)
+	g.Add(-2)
+	g.Add(1)
+	if g.Value() != 2 || g.Peak() != 3 {
+		t.Errorf("gauge value=%d peak=%d, want 2/3", g.Value(), g.Peak())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := telemetry.NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{5, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Errorf("bucket counts %v, want [2 2 2]", counts)
+	}
+	if h.Count() != 6 || h.Min() != 5 || h.Max() != 5000 {
+		t.Errorf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Sum() != 5+10+11+100+101+5000 {
+		t.Errorf("sum=%d", h.Sum())
+	}
+	// p50 of six observations falls in the second bucket (bound 100);
+	// p99 lands in the overflow bucket, reported as the exact max.
+	if q := h.Quantile(0.50); q != 100 {
+		t.Errorf("p50=%d, want 100", q)
+	}
+	if q := h.Quantile(0.99); q != 5000 {
+		t.Errorf("p99=%d, want 5000", q)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	h := telemetry.NewHistogram(nil)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(75)
+	if q := h.Quantile(0.5); q != 100 {
+		t.Errorf("single-observation p50=%d, want bucket bound 100", q)
+	}
+}
+
+func TestMergeAddsEverything(t *testing.T) {
+	build := func() (*telemetry.Registry, *telemetry.Counter, *telemetry.Gauge, *telemetry.Histogram) {
+		r := telemetry.NewRegistry()
+		return r, r.Counter("c"), r.Gauge("g"), r.Histogram("h", []uint64{10, 100})
+	}
+	r1, c1, g1, h1 := build()
+	r2, c2, g2, h2 := build()
+	c1.Add(2)
+	c2.Add(3)
+	g1.Add(4)
+	g1.Add(-4) // peak 4, residual 0
+	g2.Add(2)
+	h1.Observe(5)
+	h2.Observe(500)
+
+	r1.MustMerge(r2)
+	if c1.Value() != 5 {
+		t.Errorf("merged counter %d, want 5", c1.Value())
+	}
+	if g1.Value() != 2 || g1.Peak() != 4 {
+		t.Errorf("merged gauge value=%d peak=%d, want 2/4", g1.Value(), g1.Peak())
+	}
+	if h1.Count() != 2 || h1.Min() != 5 || h1.Max() != 500 {
+		t.Errorf("merged histogram count=%d min=%d max=%d", h1.Count(), h1.Min(), h1.Max())
+	}
+	_ = g2
+	_ = h2
+}
+
+func TestMergeRejectsMissingMetric(t *testing.T) {
+	r1 := telemetry.NewRegistry()
+	r2 := telemetry.NewRegistry()
+	r2.Counter("only-in-r2")
+	if err := r1.Merge(r2); err == nil {
+		t.Error("merge with missing metric must fail")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	build := func() *telemetry.Registry {
+		r := telemetry.NewRegistry()
+		r.Counter("kern.syscalls").Add(7)
+		r.Gauge("pmu.slots").Set(3)
+		h := r.Histogram("kern.switch.cycles", nil)
+		h.Observe(900)
+		h.Observe(1100)
+		return r
+	}
+	var a, b bytes.Buffer
+	build().Render(&a)
+	build().Render(&b)
+	if a.String() != b.String() {
+		t.Error("identical registries must render identically")
+	}
+	for _, want := range []string{"kern.syscalls", "pmu.slots", "kern.switch.cycles"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestWriteJSONLValid(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2)
+	r.Histogram("h", []uint64{10}).Observe(4)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Errorf("invalid JSON line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name must panic")
+		}
+	}()
+	r := telemetry.NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}

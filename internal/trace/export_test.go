@@ -1,0 +1,142 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"limitsim/internal/trace"
+)
+
+func sampleEvents() []trace.Event {
+	return []trace.Event{
+		{Cycle: 0, Core: 0, TID: 1, Kind: trace.Spawn, Arg: 0},
+		{Cycle: 1234, Core: 0, TID: 1, Kind: trace.SwitchIn, Arg: 0},
+		{Cycle: 5678, Core: 1, TID: 2, Kind: trace.Syscall, Arg: 17},
+		{Cycle: 9999, Core: 1, TID: 2, Kind: trace.PMI, Arg: 0b101},
+		{Cycle: 123_456_789, Core: 0, TID: 1, Kind: trace.Exit, Arg: 1},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round trip returned %d events, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if back[i] != evs[i] {
+			t.Errorf("event %d: %+v != %+v", i, back[i], evs[i])
+		}
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, evs, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The document must be valid JSON on its own terms, not just for
+	// our parser.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("document lacks traceEvents")
+	}
+	back, err := trace.ParseChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round trip returned %d events, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if back[i] != evs[i] {
+			t.Errorf("event %d: %+v != %+v", i, back[i], evs[i])
+		}
+	}
+}
+
+func TestChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty document invalid: %v", err)
+	}
+	back, err := trace.ParseChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty round trip: %v %v", back, err)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	evs := sampleEvents()
+	var a, b bytes.Buffer
+	if err := trace.WriteChrome(&a, evs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChrome(&b, evs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("chrome export not byte-deterministic")
+	}
+	a.Reset()
+	b.Reset()
+	if err := trace.WriteJSONL(&a, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("jsonl export not byte-deterministic")
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for k := trace.SwitchIn; k <= trace.Reap; k++ {
+		got, ok := trace.KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := trace.KindFromString("no-such-kind"); ok {
+		t.Error("unknown name must not resolve")
+	}
+}
+
+func TestCountKindMatchesEvents(t *testing.T) {
+	b := trace.NewBuffer(4)
+	for i := 0; i < 7; i++ {
+		k := trace.Syscall
+		if i%2 == 0 {
+			k = trace.PMI
+		}
+		b.Append(trace.Event{Cycle: uint64(i), Kind: k})
+	}
+	for _, k := range []trace.Kind{trace.Syscall, trace.PMI, trace.Exit} {
+		want := 0
+		for _, e := range b.Events() {
+			if e.Kind == k {
+				want++
+			}
+		}
+		if got := b.CountKind(k); got != want {
+			t.Errorf("CountKind(%v) = %d, want %d", k, got, want)
+		}
+	}
+}

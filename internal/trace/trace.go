@@ -30,7 +30,9 @@ const (
 	Reap
 )
 
-var kindNames = map[Kind]string{
+// kindNames is indexed by Kind — the enum is dense, so a slice lookup
+// avoids hashing on every formatted event of a tracing-enabled run.
+var kindNames = [...]string{
 	SwitchIn:  "switch-in",
 	SwitchOut: "switch-out",
 	Syscall:   "syscall",
@@ -45,10 +47,21 @@ var kindNames = map[Kind]string{
 }
 
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if int(k) < len(kindNames) {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString maps a kind name back to its Kind value (the inverse
+// of Kind.String, used by the structured-export parsers).
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
 }
 
 // Event is one trace record.
@@ -121,11 +134,17 @@ func (b *Buffer) Dump(w io.Writer, max int) {
 	}
 }
 
-// CountKind returns how many retained events have the kind.
+// CountKind returns how many retained events have the kind. Order is
+// irrelevant for counting, so the ring is scanned in place rather than
+// through the copying Events accessor.
 func (b *Buffer) CountKind(k Kind) int {
+	retained := b.events[:b.next]
+	if b.full {
+		retained = b.events
+	}
 	n := 0
-	for _, e := range b.Events() {
-		if e.Kind == k {
+	for i := range retained {
+		if retained[i].Kind == k {
 			n++
 		}
 	}
