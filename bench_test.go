@@ -13,6 +13,7 @@ import (
 	"limitsim/internal/experiments"
 	"limitsim/internal/kernel"
 	"limitsim/internal/machine"
+	"limitsim/internal/profile"
 	"limitsim/internal/telemetry"
 	"limitsim/internal/workloads"
 )
@@ -190,10 +191,39 @@ func BenchmarkFig8Bottlenecks(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, p := range r.Profiles {
-			b.ReportMetric(p.InCS.L1DPerKC, "l1dpkc/incs-"+p.App)
-			b.ReportMetric(p.Outside.L1DPerKC, "l1dpkc/out-"+p.App)
+		for _, a := range r.Apps {
+			top := a.Report.Top()
+			b.ReportMetric(top.Share*100, "pct/top-"+a.Name)
+			b.ReportMetric(top.L1DPerKC, "l1dpkc/top-"+a.Name)
 		}
+	}
+}
+
+// BenchmarkProfileRegionEnterExit pins the profiler's per-boundary
+// cost: it runs the region microbenchmark bare (raw LiMiT read pairs)
+// and profiled (full accumulator update) and reports the measured
+// enter/exit pair cost plus its ratio to the bare read-pair floor. The
+// acceptance bound is ratio <= 2x.
+func BenchmarkProfileRegionEnterExit(b *testing.B) {
+	cfg := workloads.DefaultRegionBench()
+	spec := profile.DefaultSpec()
+	run := func(mode workloads.RegionBenchMode) float64 {
+		app := workloads.BuildRegionBench(cfg, spec, mode)
+		m := machine.New(machine.Config{NumCores: 1})
+		app.Launch(m)
+		if res := m.Run(machine.RunLimits{}); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		return float64(workloads.RegionBenchTotal(app))
+	}
+	for i := 0; i < b.N; i++ {
+		none := run(workloads.RegionBenchNone)
+		bare := run(workloads.RegionBenchBare)
+		profiled := run(workloads.RegionBenchProfiled)
+		iters := float64(cfg.Iters)
+		b.ReportMetric((profiled-none)/iters, "cyc/pair")
+		b.ReportMetric((bare-none)/iters, "cyc/bare-pair")
+		b.ReportMetric((profiled-none)/(bare-none), "x/vs-bare")
 	}
 }
 

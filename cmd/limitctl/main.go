@@ -7,26 +7,28 @@
 //
 // Usage:
 //
-//	limitctl -app mysql|mysql-3.23|mysql-4.1|mysql-5.1|apache|firefox
+//	limitctl [run] -app mysql|mysql-3.23|mysql-4.1|mysql-5.1|apache|firefox
 //	         [-method limit|perf|papi|rdtsc|sample|none]
 //	         [-cores 4] [-scale 1.0] [-hist] [-threads]
-//	limitctl -list
+//	limitctl list   (or -list)
 //	limitctl trace [-app ...] [-format text|chrome|jsonl] [-n 4096]
 //	limitctl stats [-app ...] [-format text|jsonl]
 //
-// -list prints the available event/counter configurations — PMU
-// events, counter access methods, and hardware feature presets — and
-// exits. The trace subcommand runs a workload with the kernel tracer
-// attached and emits the event stream as text, Chrome trace-event
-// JSON (Perfetto-loadable), or JSONL. The stats subcommand runs a
-// workload with the telemetry layer attached and emits the kernel/
-// pmu/limit self-metrics. Unknown subcommands and unknown -format
-// values exit 2 with usage.
+// Bare "limitctl" (or -h) prints the help with the subcommand index
+// and exits 0. -list/list prints the available event/counter
+// configurations — PMU events, counter access methods, and hardware
+// feature presets — and exits. The trace subcommand runs a workload
+// with the kernel tracer attached and emits the event stream as text,
+// Chrome trace-event JSON (Perfetto-loadable), or JSONL. The stats
+// subcommand runs a workload with the telemetry layer attached and
+// emits the kernel/pmu/limit self-metrics. Unknown subcommands and
+// unknown -format values exit 2 with usage.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"limitsim/internal/analysis"
@@ -130,23 +132,34 @@ func listConfigurations(w *os.File) {
 	ft.Render(w)
 }
 
-func main() {
-	// Subcommands dispatch before flag parsing; a leading non-flag
-	// argument that names no subcommand exits 2 with usage, matching
-	// the unknown-method convention.
-	if len(os.Args) > 1 && len(os.Args[1]) > 0 && os.Args[1][0] != '-' {
-		switch os.Args[1] {
-		case "trace":
-			os.Exit(runTrace(os.Args[2:], os.Stdout, os.Stderr))
-		case "stats":
-			os.Exit(runStats(os.Args[2:], os.Stdout, os.Stderr))
-		default:
-			fmt.Fprintf(os.Stderr, "limitctl: unknown subcommand %q\n", os.Args[1])
-			fmt.Fprintln(os.Stderr, "subcommands: trace, stats (or flags; see -h)")
-			os.Exit(2)
-		}
-	}
+// subcommands is the registry the dispatcher and the help text share;
+// a subcommand added here is automatically named by -h.
+var subcommands = []struct {
+	Name  string
+	Blurb string
+	Run   func(args []string, stdout, stderr io.Writer) int
+}{
+	{"run", "run a workload and dump scheduler/sync measurements (the default; takes the flags below)", nil},
+	{"list", "print available events, access methods and PMU presets (alias of -list)", nil},
+	{"trace", "run with the kernel tracer attached; -format text|chrome|jsonl", runTrace},
+	{"stats", "run with the telemetry layer attached; -format text|jsonl", runStats},
+}
 
+// usage writes the flag help plus the subcommand index.
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintln(w, "usage: limitctl [subcommand] [flags]")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "subcommands:")
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "  %-8s %s\n", sc.Name, sc.Blurb)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "flags:")
+	fs.SetOutput(w)
+	fs.PrintDefaults()
+}
+
+func main() {
 	appName := flag.String("app", "mysql", "workload: mysql[-3.23|-4.1|-5.1], apache, firefox, forkjoin")
 	method := flag.String("method", "limit", "access method: limit, perf, papi, rdtsc, sample, none")
 	cores := flag.Int("cores", 4, "simulated core count")
@@ -156,6 +169,38 @@ func main() {
 	period := flag.Uint64("period", 100_000, "sampling period (method=sample)")
 	traceN := flag.Int("trace", 0, "dump the last N kernel trace events")
 	list := flag.Bool("list", false, "list available events, access methods and PMU presets, then exit")
+	flag.Usage = func() { usage(os.Stderr, flag.CommandLine) }
+
+	// Bare "limitctl" prints the help (with the subcommand index) and
+	// exits 0; running a workload is an explicit choice.
+	if len(os.Args) == 1 {
+		usage(os.Stdout, flag.CommandLine)
+		return
+	}
+
+	// Subcommands dispatch before flag parsing; a leading non-flag
+	// argument that names no subcommand exits 2 with usage, matching
+	// the unknown-method convention.
+	if len(os.Args[1]) > 0 && os.Args[1][0] != '-' {
+		name := os.Args[1]
+		rest := os.Args[2:]
+		switch name {
+		case "run":
+			os.Args = append(os.Args[:1], rest...)
+		case "list":
+			listConfigurations(os.Stdout)
+			return
+		default:
+			for _, sc := range subcommands {
+				if sc.Name == name && sc.Run != nil {
+					os.Exit(sc.Run(rest, os.Stdout, os.Stderr))
+				}
+			}
+			fmt.Fprintf(os.Stderr, "limitctl: unknown subcommand %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 	flag.Parse()
 
 	if flag.NArg() > 0 {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"io"
 	"strings"
 	"testing"
@@ -102,6 +103,42 @@ func TestStatsJSONLValid(t *testing.T) {
 		if err := json.Unmarshal([]byte(ln), &m); err != nil {
 			t.Fatalf("invalid JSONL line %q: %v", ln, err)
 		}
+	}
+}
+
+func TestHelpNamesEverySubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	usage(&buf, flag.NewFlagSet("limitctl", flag.ContinueOnError))
+	help := buf.String()
+	if len(subcommands) < 4 {
+		t.Fatalf("subcommand registry shrank to %d entries", len(subcommands))
+	}
+	for _, sc := range subcommands {
+		if !strings.Contains(help, sc.Name) {
+			t.Errorf("help does not name subcommand %q:\n%s", sc.Name, help)
+		}
+		if sc.Blurb == "" {
+			t.Errorf("subcommand %q has no blurb", sc.Name)
+		}
+	}
+	if !strings.Contains(help, "usage: limitctl") {
+		t.Errorf("help lacks the usage line:\n%s", help)
+	}
+}
+
+func TestRegistryRunnersMatchDispatch(t *testing.T) {
+	// Every registry entry with a Run function must be one of the
+	// in-process subcommand bodies the other tests exercise; entries
+	// without one ("run", "list") are handled inline by main.
+	byName := map[string]bool{}
+	for _, sc := range subcommands {
+		byName[sc.Name] = sc.Run != nil
+	}
+	if !byName["trace"] || !byName["stats"] {
+		t.Error("trace and stats must carry Run functions")
+	}
+	if byName["run"] || byName["list"] {
+		t.Error("run and list are inline dispatches, not Run functions")
 	}
 }
 

@@ -1,14 +1,15 @@
 // bottleneck-hunt: the paper's title in action.
 //
-// Attach four LiMiT counters (cycles, L1D misses, LLC misses, branch
-// misses) and read all of them at every critical-section boundary of
-// the MySQL and Apache models — eight precise reads per lock
-// operation, affordable only because each read costs tens of
-// nanoseconds. Comparing in-CS event rates against the rest of the
-// program identifies *where* the architectural bottleneck lives:
-// MySQL's critical sections are memory-bound (they walk shared table
-// data), while Apache's log-append sections are pure compute and the
-// misses live outside the locks.
+// Opt the MySQL and Apache models into the region-attribution profiler
+// (internal/profile): every annotated region boundary — lock acquires,
+// critical sections, request phases, syscall spans — reads a
+// four-event LiMiT bundle (cycles, all-rings cycles, L1D misses,
+// branch misses), affordable only because each read costs tens of
+// nanoseconds. The ranked report identifies *where* the architectural
+// bottleneck lives: MySQL's table critical sections are memory-bound
+// (they walk shared table data under the lock), while Apache's
+// log-append sections are pure compute and the misses live outside the
+// locks.
 //
 // Run with: go run ./examples/bottleneck-hunt
 package main
@@ -17,52 +18,42 @@ import (
 	"fmt"
 	"os"
 
-	"limitsim/internal/analysis"
 	"limitsim/internal/machine"
-	"limitsim/internal/tabwrite"
+	"limitsim/internal/profile"
 	"limitsim/internal/workloads"
 )
 
 func main() {
-	profiles := []*analysis.BottleneckProfile{}
-
 	for _, build := range []func() *workloads.App{
 		func() *workloads.App {
-			return workloads.BuildMySQL(workloads.DefaultMySQL(), workloads.BottleneckInstr())
+			return workloads.BuildMySQL(workloads.DefaultMySQL(), workloads.ProfileInstr(profile.DefaultSpec()))
 		},
 		func() *workloads.App {
-			return workloads.BuildApache(workloads.DefaultApache(), workloads.BottleneckInstr())
+			return workloads.BuildApache(workloads.DefaultApache(), workloads.ProfileInstr(profile.DefaultSpec()))
 		},
 	} {
 		app := build()
 		_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{})
-		if len(res.Faults) > 0 {
-			fmt.Fprintln(os.Stderr, "faults:", res.Faults)
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, res.Err)
 			os.Exit(1)
 		}
-		p, err := analysis.CollectBottleneck(app)
+		p, err := workloads.CollectProfile(app)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		profiles = append(profiles, p)
-	}
+		rep := profile.NewReport(p)
+		rep.RenderText(os.Stdout, 6)
+		fmt.Println()
 
-	t := tabwrite.New("Bottleneck identification (events per kilocycle)",
-		"app", "region", "L1D miss", "LLC miss", "branch miss", "cycles (M)")
-	for _, p := range profiles {
-		t.Row(p.App, "inside CS", p.InCS.L1DPerKC, p.InCS.LLCPerKC,
-			p.InCS.BrMissPerKC, float64(p.InCS.Cycles)/1e6)
-		t.Row("", "outside", p.Outside.L1DPerKC, p.Outside.LLCPerKC,
-			p.Outside.BrMissPerKC, float64(p.Outside.Cycles)/1e6)
-	}
-	t.Render(os.Stdout)
-
-	for _, p := range profiles {
-		verdict := "compute-bound under the lock: optimize the lock path itself"
-		if p.MemoryBoundCS() {
-			verdict = "memory-bound under the lock: shrink shared data or add speculation"
-		}
-		fmt.Printf("%-10s -> %s\n", p.App, verdict)
+		top := rep.Top()
+		verdict := map[profile.Class]string{
+			profile.ClassMemoryBound:  "memory-bound: shrink shared data or add speculation",
+			profile.ClassComputeBound: "compute-bound: shorten the instruction path",
+			profile.ClassKernelBound:  "kernel-bound: batch or avoid the syscalls",
+			profile.ClassContention:   "contention: reduce sharing or split the lock",
+		}[top.Class]
+		fmt.Printf("%-10s -> top region %s (%s)\n\n", p.App, top.Region.Path, verdict)
 	}
 }

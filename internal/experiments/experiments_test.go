@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"limitsim/internal/profile"
 )
 
 // The experiment tests assert the *shape* of each reproduced result —
@@ -220,37 +222,74 @@ func TestFig8Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Profiles) != 3 {
-		t.Fatalf("want 3 profiles, got %d", len(r.Profiles))
+	if len(r.Apps) != 3 {
+		t.Fatalf("want 3 apps, got %d", len(r.Apps))
 	}
-	mysql, _ := r.Profile("mysql-5.1")
-	apache, _ := r.Profile("apache")
-	firefox, _ := r.Profile("firefox")
+	mysql, _ := r.App("mysql-5.1")
+	apache, _ := r.App("apache")
+	firefox, _ := r.App("firefox")
 
-	// MySQL critical sections walk shared table data: their L1D miss
-	// rate must exceed the program's outside rate — the bottleneck the
-	// study identifies.
-	if !mysql.MemoryBoundCS() {
-		t.Errorf("mysql CSes should be memory-bound: in-CS %.2f vs outside %.2f L1D/kc",
-			mysql.InCS.L1DPerKC, mysql.Outside.L1DPerKC)
+	// MySQL's table critical sections walk shared table data: the
+	// profiler must rank them top and classify them memory-bound — the
+	// bottleneck the study identifies.
+	top := mysql.Report.Top()
+	if top.Region.Path != "txn/table.cs" {
+		t.Errorf("mysql top region = %s, want txn/table.cs", top.Region.Path)
+	}
+	if top.Class != profile.ClassMemoryBound {
+		t.Errorf("mysql table.cs class = %s, want memory-bound (l1d/kc %.2f vs baseline %.2f)",
+			top.Class, top.L1DPerKC, mysql.Report.BaselineL1DPerKC)
 	}
 	// Apache's log-append CS is pure compute while its request path
-	// walks the file cache: in-CS misses must be lower than outside.
-	if apache.InCS.L1DPerKC >= apache.Outside.L1DPerKC {
-		t.Errorf("apache CSes should be compute-only: in-CS %.2f vs outside %.2f L1D/kc",
-			apache.InCS.L1DPerKC, apache.Outside.L1DPerKC)
+	// walks the file cache and its response path lives in the kernel.
+	var logCS, reqIO profile.Finding
+	for _, f := range apache.Report.Findings {
+		switch f.Region.Path {
+		case "request/log.cs":
+			logCS = f
+		case "request/io":
+			reqIO = f
+		}
 	}
-	// Every profile must have consistent accounting.
-	for _, p := range r.Profiles {
-		if p.Overall.Cycles == 0 || p.InCS.Cycles == 0 {
-			t.Errorf("%s: zero cycle accounting", p.App)
+	if logCS.Region == nil || logCS.Class != profile.ClassComputeBound {
+		t.Errorf("apache log.cs should be compute-bound, got %+v", logCS.Class)
+	}
+	if reqIO.Region == nil || reqIO.Class != profile.ClassKernelBound {
+		t.Errorf("apache io region should be kernel-bound, got %+v", reqIO.Class)
+	}
+	// Every profile must have consistent accounting: counted regions,
+	// shares summing to ~1, children bounded by their parents.
+	for _, a := range r.Apps {
+		if len(a.Report.Findings) == 0 || a.Report.TotalCycles == 0 {
+			t.Fatalf("%s: empty report", a.Name)
 		}
-		if p.InCS.Cycles+p.Outside.Cycles != p.Overall.Cycles {
-			t.Errorf("%s: inside %d + outside %d != total %d",
-				p.App, p.InCS.Cycles, p.Outside.Cycles, p.Overall.Cycles)
+		var share float64
+		for _, f := range a.Report.Findings {
+			share += f.Share
+			if f.Region.Count == 0 {
+				t.Errorf("%s: region %s never measured", a.Name, f.Region.Path)
+			}
+			if f.Region.Min > f.Region.Max {
+				t.Errorf("%s: region %s min %d > max %d", a.Name, f.Region.Path, f.Region.Min, f.Region.Max)
+			}
+			if f.Region.Hist == nil || f.Region.Hist.Total() != f.Region.Count {
+				t.Errorf("%s: region %s histogram total mismatch", a.Name, f.Region.Path)
+			}
 		}
-		if p.CSCycleShare <= 0 || p.CSCycleShare >= 1 {
-			t.Errorf("%s: cs cycle share %.3f", p.App, p.CSCycleShare)
+		if share < 0.999 || share > 1.001 {
+			t.Errorf("%s: self shares sum to %.4f", a.Name, share)
+		}
+		for _, reg := range a.Profile.Regions {
+			var child uint64
+			for _, c := range a.Profile.Children(reg) {
+				child += c.Cycles()
+			}
+			// Allow 2% skew: a child's exit read lands a few cycles
+			// after its parent's enclosing reads.
+			if float64(child) > float64(reg.Cycles())*1.02 {
+				t.Errorf("%s: children of %s sum to %d > parent %d",
+					a.Name, reg.Path, child, reg.Cycles())
+			}
 		}
 	}
 	_ = firefox

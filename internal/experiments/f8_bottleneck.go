@@ -4,27 +4,34 @@ import (
 	"fmt"
 	"io"
 
-	"limitsim/internal/analysis"
 	"limitsim/internal/machine"
-	"limitsim/internal/tabwrite"
+	"limitsim/internal/profile"
 	"limitsim/internal/workloads"
 )
 
-// F8Result reproduces the paper's title use case: rapid identification
-// of architectural bottlenecks. Four LiMiT counters (cycles, L1D
-// misses, LLC misses, branch misses) are read at every critical-
-// section boundary — eight precise reads per lock operation, which is
-// only affordable because each read costs tens of nanoseconds — and
-// the inside-CS event rates are compared against the rest of the
-// program. Critical sections that touch shared data show elevated
-// miss rates (they are memory-bound under the lock); compute-only
-// critical sections show the opposite.
-type F8Result struct {
-	Profiles []*analysis.BottleneckProfile
+// F8App is one application's region-attribution profile and its ranked
+// bottleneck report.
+type F8App struct {
+	Name    string
+	Profile *profile.Profile
+	Report  *profile.Report
 }
 
-// RunFig8 profiles the three application models with multi-event
-// instrumentation.
+// F8Result reproduces the paper's title use case: rapid identification
+// of architectural bottlenecks. Every annotated region boundary reads
+// the default four-event bundle (cycles, all-rings cycles, L1D misses,
+// branch misses) — affordable only because each LiMiT read costs tens
+// of nanoseconds — and the region-attribution profiler ranks regions
+// by attributed self-cost with a memory/compute/kernel/contention
+// classification. MySQL's table critical sections come out
+// memory-bound (they walk shared table data under the lock); Apache's
+// log critical section is compute-only.
+type F8Result struct {
+	Apps []F8App
+}
+
+// RunFig8 profiles the three application models with the
+// region-attribution profiler.
 func RunFig8(s Scale) (*F8Result, error) {
 	r := &F8Result{}
 
@@ -33,58 +40,51 @@ func RunFig8(s Scale) (*F8Result, error) {
 		if res.Err != nil {
 			return fmt.Errorf("fig8 %s: %w", app.Name, res.Err)
 		}
-		p, err := analysis.CollectBottleneck(app)
+		p, err := workloads.CollectProfile(app)
 		if err != nil {
 			return fmt.Errorf("fig8 %s: %w", app.Name, err)
 		}
-		r.Profiles = append(r.Profiles, p)
+		r.Apps = append(r.Apps, F8App{Name: app.Name, Profile: p, Report: profile.NewReport(p)})
 		return nil
 	}
 
 	mcfg := scaleMySQL(workloads.DefaultMySQL(), s)
-	if err := runOne(workloads.BuildMySQL(mcfg, workloads.BottleneckInstr())); err != nil {
+	if err := runOne(workloads.BuildMySQL(mcfg, workloads.ProfileInstr(profile.DefaultSpec()))); err != nil {
 		return nil, err
 	}
 
 	acfg := workloads.DefaultApache()
 	acfg.RequestsPerWorker = s.iters(acfg.RequestsPerWorker)
-	if err := runOne(workloads.BuildApache(acfg, workloads.BottleneckInstr())); err != nil {
+	if err := runOne(workloads.BuildApache(acfg, workloads.ProfileInstr(profile.DefaultSpec()))); err != nil {
 		return nil, err
 	}
 
 	fcfg := workloads.DefaultFirefox()
 	fcfg.EventsPerThread = s.iters(fcfg.EventsPerThread)
-	if err := runOne(workloads.BuildFirefox(fcfg, workloads.BottleneckInstr())); err != nil {
+	if err := runOne(workloads.BuildFirefox(fcfg, workloads.ProfileInstr(profile.DefaultSpec()))); err != nil {
 		return nil, err
 	}
 
 	return r, nil
 }
 
-// Profile returns the named app's profile.
-func (r *F8Result) Profile(name string) (*analysis.BottleneckProfile, bool) {
-	for _, p := range r.Profiles {
-		if p.App == name {
-			return p, true
+// App returns the named app's profile and report.
+func (r *F8Result) App(name string) (F8App, bool) {
+	for _, a := range r.Apps {
+		if a.Name == name {
+			return a, true
 		}
 	}
-	return nil, false
+	return F8App{}, false
 }
 
-// Render writes the bottleneck table.
+// Render writes each app's ranked bottleneck report (top 8 regions)
+// with the profiler's self-overhead disclosure.
 func (r *F8Result) Render(w io.Writer) {
-	t := tabwrite.New("Figure 8: microarchitectural rates inside vs outside critical sections (per kilocycle)",
-		"app", "L1D in-CS", "L1D outside", "LLC in-CS", "LLC outside", "br-miss in-CS", "br-miss outside", "memory-bound CS?")
-	for _, p := range r.Profiles {
-		verdict := "no"
-		if p.MemoryBoundCS() {
-			verdict = "yes"
-		}
-		t.Row(p.App,
-			p.InCS.L1DPerKC, p.Outside.L1DPerKC,
-			p.InCS.LLCPerKC, p.Outside.LLCPerKC,
-			p.InCS.BrMissPerKC, p.Outside.BrMissPerKC,
-			verdict)
+	fmt.Fprintln(w, "Figure 8: region-attribution bottleneck profiles")
+	fmt.Fprintln(w)
+	for _, a := range r.Apps {
+		a.Report.RenderText(w, 8)
+		fmt.Fprintln(w)
 	}
-	t.Render(w)
 }

@@ -125,7 +125,7 @@ func TestRenderFig8And9(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := renderOf(r8.Render)
-	for _, want := range []string{"Figure 8", "L1D in-CS", "memory-bound"} {
+	for _, want := range []string{"Figure 8", "l1d/kc", "memory-bound", "profiler self-cost"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fig8 missing %q", want)
 		}

@@ -61,6 +61,13 @@ func AllKinds() []Kind {
 	return []Kind{KindNull, KindRdtsc, KindLimit, KindPerf, KindPAPI, KindSample}
 }
 
+// Profilable reports whether the kind's reads are cheap and precise
+// enough to carry region-attribution profiling (internal/profile):
+// multi-event bundle reads at every region boundary. Only the LiMiT
+// path qualifies — syscall-per-read methods would perturb the regions
+// they measure (the paper's Figure 1 argument).
+func (k Kind) Profilable() bool { return k == KindLimit }
+
 // Config parameterizes probe construction.
 type Config struct {
 	Event pmu.Event

@@ -1,0 +1,30 @@
+package profile
+
+import "math"
+
+// StrideForBudget picks the measurement stride that keeps profiling
+// overhead within an overall slowdown budget, given the measured
+// slowdown at stride 1. The F2 overhead experiment shows LiMiT's
+// slowdown is linear in read density, so measuring every S-th
+// execution scales the excess slowdown by 1/S:
+//
+//	slowdown(S) ≈ 1 + (slowdown(1) − 1)/S
+//
+// The returned stride is the smallest S meeting budget (≥ 1). A budget
+// at or below 1.0 (impossible: some overhead always remains) returns
+// the stride that keeps excess under 1%.
+func StrideForBudget(strideOneSlowdown, budget float64) int {
+	excess := strideOneSlowdown - 1
+	if excess <= 0 {
+		return 1
+	}
+	allowed := budget - 1
+	if allowed <= 0 {
+		allowed = 0.01
+	}
+	s := int(math.Ceil(excess / allowed))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

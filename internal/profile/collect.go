@@ -1,0 +1,270 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"limitsim/internal/cpu"
+	"limitsim/internal/mem"
+	"limitsim/internal/stats"
+)
+
+// Region is one collected region accumulator, merged across threads.
+// Sums are inclusive (they contain nested child regions); the report
+// layer derives self-time by subtracting children.
+type Region struct {
+	// Path is the "/"-joined lexical nesting path ("txn/table.cs").
+	Path string
+	// Name is the last path element.
+	Name string
+	// Parent is the parent region's path ("" for roots).
+	Parent string
+	Kind   RegionKind
+	Depth  int
+	// Count is how many measured executions exited the region.
+	Count uint64
+	// Sums holds the accumulated per-event deltas, Spec.Events order.
+	Sums []uint64
+	// Min and Max bound the measured cycle deltas (event 0).
+	Min, Max uint64
+	// Hist is the log2 cycle-length histogram (nil when disabled).
+	Hist *stats.LogHistogram
+}
+
+// Cycles returns the accumulated user-ring cycle sum (event 0).
+func (r *Region) Cycles() uint64 { return r.Sums[0] }
+
+// Profile is a collected, merged region profile for one app run.
+type Profile struct {
+	App  string
+	Spec Spec
+	// Threads is how many thread accumulator sets were folded in.
+	Threads int
+	// Regions is ordered by Path, which for "/"-joined paths is a
+	// deterministic depth-first preorder of the region tree.
+	Regions []*Region
+}
+
+// Collect reads the instrumenter's per-thread TLS accumulators back
+// from space (one base per profiled thread) and folds them into a
+// Profile. Deterministic: regions come out in path order and fold
+// order cannot affect any value (sums and counts are commutative,
+// min/max are order-free).
+func (ins *Instrumenter) Collect(space *mem.Space, bases []uint64) *Profile {
+	k := len(ins.spec.Events)
+	p := &Profile{Spec: ins.spec, Threads: len(bases)}
+	for _, r := range ins.regions {
+		out := &Region{
+			Path:  r.path,
+			Name:  r.name,
+			Kind:  r.kind,
+			Depth: strings.Count(r.path, "/"),
+			Sums:  make([]uint64, k),
+		}
+		if i := strings.LastIndex(r.path, "/"); i >= 0 {
+			out.Parent = r.path[:i]
+		}
+		if ins.spec.Hist {
+			out.Hist = &stats.LogHistogram{}
+		}
+		for _, base := range bases {
+			count := space.Read64(r.field(fldCount).Resolve(base))
+			if count == 0 {
+				continue
+			}
+			for i := 0; i < k; i++ {
+				out.Sums[i] += space.Read64(r.field(fldStart + k + i).Resolve(base))
+			}
+			min := space.Read64(r.field(fldStart + 2*k).Resolve(base))
+			max := space.Read64(r.field(fldStart + 2*k + 1).Resolve(base))
+			if out.Count == 0 || min < out.Min {
+				out.Min = min
+			}
+			if max > out.Max {
+				out.Max = max
+			}
+			out.Count += count
+			if ins.spec.Hist {
+				for i := 0; i < HistBuckets; i++ {
+					out.Hist.AddBucket(i, space.Read64(r.field(fldStart+2*k+2+i).Resolve(base)))
+				}
+			}
+		}
+		p.Regions = append(p.Regions, out)
+	}
+	sort.Slice(p.Regions, func(i, j int) bool { return p.Regions[i].Path < p.Regions[j].Path })
+	return p
+}
+
+// Merge folds other into p: same-path regions accumulate, new paths
+// append. Used to combine the profiles of multi-body apps (and of
+// repeated runs); the result is independent of merge order up to the
+// final path sort. Specs must describe the same bundle.
+func (p *Profile) Merge(other *Profile) error {
+	if err := p.Spec.compatible(other.Spec); err != nil {
+		return err
+	}
+	byPath := make(map[string]*Region, len(p.Regions))
+	for _, r := range p.Regions {
+		byPath[r.Path] = r
+	}
+	for _, o := range other.Regions {
+		r, ok := byPath[o.Path]
+		if !ok {
+			c := *o
+			c.Sums = append([]uint64(nil), o.Sums...)
+			if o.Hist != nil {
+				c.Hist = &stats.LogHistogram{}
+				c.Hist.Merge(o.Hist)
+			}
+			p.Regions = append(p.Regions, &c)
+			continue
+		}
+		if r.Kind != o.Kind {
+			return fmt.Errorf("profile: merging region %s with kind %s vs %s", o.Path, r.Kind, o.Kind)
+		}
+		for i := range r.Sums {
+			r.Sums[i] += o.Sums[i]
+		}
+		if o.Count > 0 {
+			if r.Count == 0 || o.Min < r.Min {
+				r.Min = o.Min
+			}
+			if o.Max > r.Max {
+				r.Max = o.Max
+			}
+		}
+		r.Count += o.Count
+		if r.Hist != nil && o.Hist != nil {
+			r.Hist.Merge(o.Hist)
+		}
+	}
+	p.Threads += other.Threads
+	sort.Slice(p.Regions, func(i, j int) bool { return p.Regions[i].Path < p.Regions[j].Path })
+	return nil
+}
+
+func (s Spec) compatible(o Spec) error {
+	if len(s.Events) != len(o.Events) {
+		return fmt.Errorf("profile: merging bundles with %d vs %d events", len(s.Events), len(o.Events))
+	}
+	for i := range s.Events {
+		if s.Events[i] != o.Events[i] {
+			return fmt.Errorf("profile: bundle event %d differs (%s vs %s)", i, s.Events[i], o.Events[i])
+		}
+	}
+	if s.Stride != o.Stride {
+		return fmt.Errorf("profile: merging profiles with stride %d vs %d", s.Stride, o.Stride)
+	}
+	return nil
+}
+
+// Region returns the region with the given path, if collected.
+func (p *Profile) Region(path string) (*Region, bool) {
+	for _, r := range p.Regions {
+		if r.Path == path {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Children returns r's direct children in path order.
+func (p *Profile) Children(r *Region) []*Region {
+	var out []*Region
+	for _, c := range p.Regions {
+		if c.Parent == r.Path {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Roots returns the top-level regions in path order.
+func (p *Profile) Roots() []*Region {
+	var out []*Region
+	for _, r := range p.Regions {
+		if r.Parent == "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PairCost models the cycle cost of the profiler's instrumentation
+// under the default cost model: one measured enter/exit pair versus
+// the bare back-to-back LiMiT read pair over the same bundle that an
+// uninstrumented measurement would pay anyway. The report layer prints
+// the ratio so every profile carries its own overhead disclosure; the
+// workloads regionbench test pins the measured ratio to the same ~2×
+// bound.
+type PairCost struct {
+	// EnterCycles and ExitCycles model one measured boundary each.
+	EnterCycles float64
+	ExitCycles  float64
+	// BareReadPairCycles models 2×K reads with start values parked in
+	// TLS — the minimum any bundle measurement costs.
+	BareReadPairCycles float64
+}
+
+// Pair returns the modeled enter+exit cost.
+func (c PairCost) Pair() float64 { return c.EnterCycles + c.ExitCycles }
+
+// Ratio returns the modeled pair cost over the bare read pair.
+func (c PairCost) Ratio() float64 { return c.Pair() / c.BareReadPairCycles }
+
+// modelPairCost prices the emitted sequences against the cost model.
+// meanHistIters is the average number of log2 loop iterations per exit
+// (the measured mean cycle-length bucket); pass 0 when Hist is off.
+func (s Spec) modelPairCost(meanHistIters float64) PairCost {
+	cm := cpu.DefaultCostModel()
+	hit := 4.0 // L1 hit latency: TLS accumulators stay resident
+	alu := float64(cm.ALU)
+	br := float64(cm.Branch)
+	read := float64(cm.RdPMC) + hit + alu // rdpmc + table load + add
+	k := float64(len(s.Events))
+
+	enter := k * (read + hit) // read + start store
+	// Exit: per event read+start load+sub+sum load+add+sum store, plus
+	// the cycles-delta mov, count load/inc/store and the min/max branch
+	// ladder (two load+branch pairs, one jmp on the common path).
+	exit := k*(read+2*hit+2*alu+hit) + alu
+	exit += 2*hit + alu                // count++
+	exit += alu + br + 2*(hit+br) + br // min/max ladder
+	if s.Hist {
+		exit += 3*alu + br                            // setup + clamp check
+		exit += meanHistIters * (br + alu + alu + br) // loop body
+		exit += 2*alu + hit + alu + 2*hit + alu       // shl/lea/add + bucket rmw
+	}
+	bare := 2 * k * (read + hit)
+	return PairCost{EnterCycles: enter, ExitCycles: exit, BareReadPairCycles: bare}
+}
+
+// SelfCost models the profiler's total attributed overhead across the
+// profile: measured pairs priced by the emitted sequences (histogram
+// loop priced at each region's mean length bucket), plus the stride
+// gate on skipped executions.
+func (p *Profile) SelfCost() PairCost {
+	var total PairCost
+	for _, r := range p.Regions {
+		c := p.Spec.modelPairCost(r.meanHistIters())
+		total.EnterCycles += c.EnterCycles * float64(r.Count)
+		total.ExitCycles += c.ExitCycles * float64(r.Count)
+		total.BareReadPairCycles += c.BareReadPairCycles * float64(r.Count)
+	}
+	return total
+}
+
+// meanHistIters returns the count-weighted mean histogram bucket index
+// (the log2 loop iteration count), 0 when the histogram is off/empty.
+func (r *Region) meanHistIters() float64 {
+	if r.Hist == nil || r.Hist.Total() == 0 {
+		return 0
+	}
+	var w float64
+	for i := 0; i < HistBuckets; i++ {
+		w += float64(i) * float64(r.Hist.Bucket(i))
+	}
+	return w / float64(r.Hist.Total())
+}

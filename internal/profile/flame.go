@@ -1,0 +1,44 @@
+package profile
+
+import "limitsim/internal/trace"
+
+// FlameSpans renders the profile's region hierarchy as an aggregate
+// flame graph: one trace.Span per region, with each region's span
+// covering its stride-scaled inclusive cycles, children packed
+// left-to-right inside their parent, and the uncovered remainder of a
+// parent reading as self time. Loaded into Perfetto via
+// trace.WriteChromeSpans this gives the classic self-time hierarchy
+// view. Deterministic: regions place in path order from cycle 0.
+func (p *Profile) FlameSpans() []trace.Span {
+	var spans []trace.Span
+	stride := uint64(p.Spec.Stride)
+	var place func(r *Region, start, dur uint64)
+	place = func(r *Region, start, dur uint64) {
+		spans = append(spans, trace.Span{
+			Name:       r.Path,
+			StartCycle: start,
+			DurCycles:  dur,
+		})
+		off := start
+		for _, c := range p.Children(r) {
+			cdur := c.Cycles() * stride
+			// Nested sums can exceed the parent's by read-boundary
+			// skew; clamp so the flame stays well-formed.
+			if off >= start+dur {
+				break
+			}
+			if off+cdur > start+dur {
+				cdur = start + dur - off
+			}
+			place(c, off, cdur)
+			off += cdur
+		}
+	}
+	var cursor uint64
+	for _, r := range p.Roots() {
+		dur := r.Cycles() * stride
+		place(r, cursor, dur)
+		cursor += dur
+	}
+	return spans
+}

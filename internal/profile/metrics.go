@@ -1,0 +1,46 @@
+package profile
+
+import "limitsim/internal/telemetry"
+
+// Metrics is the profiler's self-measurement surface: how many region
+// executions were measured, how many counter reads that cost, and the
+// modeled cycles the instrumentation itself consumed — so a profiling
+// run's telemetry block discloses the profiler's footprint next to the
+// kernel's and LiMiT's.
+type Metrics struct {
+	// RegionsDefined counts distinct regions across collected profiles.
+	RegionsDefined *telemetry.Counter
+	// PairsMeasured counts measured enter/exit pairs.
+	PairsMeasured *telemetry.Counter
+	// ReadsIssued counts the boundary counter reads those pairs issued
+	// (2 × bundle size per pair).
+	ReadsIssued *telemetry.Counter
+	// SelfCycles accumulates the modeled instrumentation cost.
+	SelfCycles *telemetry.Counter
+}
+
+// NewMetrics registers the profiler's metric set on reg. Registration
+// order is fixed for render/merge determinism.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		RegionsDefined: reg.Counter("profile.regions"),
+		PairsMeasured:  reg.Counter("profile.pairs"),
+		ReadsIssued:    reg.Counter("profile.reads"),
+		SelfCycles:     reg.Counter("profile.self.cycles"),
+	}
+}
+
+// Account folds a collected profile's footprint into m.
+func (p *Profile) Account(m *Metrics) {
+	if m == nil {
+		return
+	}
+	m.RegionsDefined.Add(uint64(len(p.Regions)))
+	var pairs uint64
+	for _, r := range p.Regions {
+		pairs += r.Count
+	}
+	m.PairsMeasured.Add(pairs)
+	m.ReadsIssued.Add(pairs * 2 * uint64(len(p.Spec.Events)))
+	m.SelfCycles.Add(uint64(p.SelfCost().Pair()))
+}

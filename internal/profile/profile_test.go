@@ -1,0 +1,352 @@
+package profile_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"limitsim/internal/machine"
+	"limitsim/internal/pmu"
+	"limitsim/internal/profile"
+	"limitsim/internal/telemetry"
+	"limitsim/internal/trace"
+	"limitsim/internal/workloads"
+)
+
+func runProfiled(t *testing.T, mode workloads.RegionBenchMode) (*workloads.App, *machine.Machine) {
+	t.Helper()
+	app := workloads.BuildRegionBench(workloads.DefaultRegionBench(), profile.DefaultSpec(), mode)
+	m, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return app, m
+}
+
+func TestSpecNormalized(t *testing.T) {
+	s := profile.Spec{}.Normalized()
+	if len(s.Events) != 4 || s.Stride != 1 || s.MaxRegions != 16 {
+		t.Errorf("zero spec should normalize to defaults, got %+v", s)
+	}
+	if s.Events[0].Event != pmu.EvCycles || s.Events[0].AllRings {
+		t.Errorf("default bundle must lead with user cycles, got %v", s.Events[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bundle without leading user cycles should panic")
+		}
+	}()
+	profile.Spec{Events: []profile.BundleEvent{{Event: pmu.EvL1DMiss}}}.Normalized()
+}
+
+func TestStrideForBudget(t *testing.T) {
+	cases := []struct {
+		s1, budget float64
+		want       int
+	}{
+		{1.5, 1.1, 5}, // 50% excess into a 10% budget
+		{1.5, 1.5, 1}, // budget already met at stride 1
+		{2.0, 1.05, 20},
+		{1.0, 1.1, 1},  // no overhead at all
+		{1.5, 1.0, 50}, // impossible budget: cap excess at 1%
+	}
+	for _, c := range cases {
+		if got := profile.StrideForBudget(c.s1, c.budget); got != c.want {
+			t.Errorf("StrideForBudget(%.2f, %.2f) = %d, want %d", c.s1, c.budget, got, c.want)
+		}
+	}
+}
+
+// TestGroundTruthCrossCheck verifies the profiler's per-region sums
+// against the machine's omniscient counters: on a single-thread
+// workload whose loop body is one measured region, the region's
+// attributed cycles and L1D misses must account for most of the
+// ground-truth user-ring totals (the remainder is loop/prolog overhead
+// and the instrumentation itself).
+func TestGroundTruthCrossCheck(t *testing.T) {
+	app, m := runProfiled(t, workloads.RegionBenchProfiled)
+	p, err := workloads.CollectProfile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := p.Region("work")
+	if !ok {
+		t.Fatal("work region not collected")
+	}
+	cfg := workloads.DefaultRegionBench()
+	if r.Count != uint64(cfg.Iters) {
+		t.Errorf("region count %d, want %d", r.Count, cfg.Iters)
+	}
+
+	gtCycles := m.GroundTruthRing(pmu.EvCycles, pmu.RingUser)
+	if r.Cycles() > gtCycles {
+		t.Errorf("region cycles %d exceed ground-truth user cycles %d", r.Cycles(), gtCycles)
+	}
+	if ratio := float64(r.Cycles()) / float64(gtCycles); ratio < 0.5 {
+		t.Errorf("region cycles cover only %.2f of ground truth; region should dominate the run", ratio)
+	}
+
+	l1dIdx, ok := p.Spec.EventIndex(pmu.EvL1DMiss)
+	if !ok {
+		t.Fatal("default bundle lacks l1d-miss")
+	}
+	gtL1D := m.GroundTruthRing(pmu.EvL1DMiss, pmu.RingUser)
+	if got := r.Sums[l1dIdx]; got > gtL1D {
+		t.Errorf("region L1D misses %d exceed ground truth %d", got, gtL1D)
+	}
+
+	ringIdx, ok := p.Spec.AllRingsCyclesIndex()
+	if !ok {
+		t.Fatal("default bundle lacks all-rings cycles")
+	}
+	if r.Sums[ringIdx] < r.Cycles() {
+		t.Errorf("all-rings cycles %d below user cycles %d", r.Sums[ringIdx], r.Cycles())
+	}
+}
+
+// TestOverheadWithinBareReadPairBound pins the acceptance bound: the
+// full profiler boundary (accumulators, min/max, histogram) must cost
+// at most ~2x the bare LiMiT read pair over the same bundle.
+func TestOverheadWithinBareReadPairBound(t *testing.T) {
+	totals := map[workloads.RegionBenchMode]uint64{}
+	for _, mode := range []workloads.RegionBenchMode{
+		workloads.RegionBenchNone, workloads.RegionBenchBare, workloads.RegionBenchProfiled,
+	} {
+		app, _ := runProfiled(t, mode)
+		totals[mode] = workloads.RegionBenchTotal(app)
+	}
+	base := totals[workloads.RegionBenchNone]
+	bare := totals[workloads.RegionBenchBare] - base
+	prof := totals[workloads.RegionBenchProfiled] - base
+	if totals[workloads.RegionBenchBare] <= base {
+		t.Fatalf("bare read pairs added no cost: %d vs %d", totals[workloads.RegionBenchBare], base)
+	}
+	ratio := float64(prof) / float64(bare)
+	t.Logf("bare pair overhead %d cyc, profiled %d cyc, ratio %.2fx", bare, prof, ratio)
+	if ratio > 2.0 {
+		t.Errorf("profiler boundary costs %.2fx the bare read pair; bound is ~2x", ratio)
+	}
+
+	// The modeled self-cost the report discloses must agree with the
+	// bound too.
+	app, _ := runProfiled(t, workloads.RegionBenchProfiled)
+	p, err := workloads.CollectProfile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr := p.SelfCost().Ratio(); mr > 2.0 {
+		t.Errorf("modeled pair ratio %.2fx exceeds 2x", mr)
+	}
+}
+
+func collectMySQL(t *testing.T) *profile.Profile {
+	t.Helper()
+	cfg := workloads.DefaultMySQL()
+	cfg.TxnsPerWorker = 20
+	app := workloads.BuildMySQL(cfg, workloads.ProfileInstr(profile.DefaultSpec()))
+	_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	p, err := workloads.CollectProfile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestReportDeterminism: same seed, same workload — byte-identical
+// text, markdown and JSONL renders across two full runs.
+func TestReportDeterminism(t *testing.T) {
+	render := func() (string, string, string) {
+		rep := profile.NewReport(collectMySQL(t))
+		var txt, md, jl bytes.Buffer
+		rep.RenderText(&txt, 0)
+		rep.RenderMarkdown(&md, 0)
+		if err := rep.WriteJSONL(&jl); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), md.String(), jl.String()
+	}
+	t1, m1, j1 := render()
+	t2, m2, j2 := render()
+	if t1 != t2 {
+		t.Error("text render differs across same-seed runs")
+	}
+	if m1 != m2 {
+		t.Error("markdown render differs across same-seed runs")
+	}
+	if j1 != j2 {
+		t.Error("jsonl differs across same-seed runs")
+	}
+	if !strings.Contains(t1, "profiler self-cost") || !strings.Contains(t1, "vs bare 4-event LiMiT read pair") {
+		t.Error("text render must disclose profiler overhead")
+	}
+	for i, line := range strings.Split(strings.TrimSpace(j1), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("jsonl line %d invalid: %v", i+1, err)
+		}
+	}
+}
+
+// TestThreadMergeDeterminism: collecting thread accumulators in any
+// base order folds to the same profile.
+func TestThreadMergeDeterminism(t *testing.T) {
+	cfg := workloads.DefaultMySQL()
+	cfg.TxnsPerWorker = 10
+	app := workloads.BuildMySQL(cfg, workloads.ProfileInstr(profile.DefaultSpec()))
+	_, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	ins := app.Bodies[0].Profiler
+	var fwd, rev []uint64
+	for _, plan := range app.Plans {
+		fwd = append(fwd, app.ThreadBase(plan))
+	}
+	for i := len(fwd) - 1; i >= 0; i-- {
+		rev = append(rev, fwd[i])
+	}
+	a := ins.Collect(app.Space, fwd)
+	b := ins.Collect(app.Space, rev)
+	var ja, jb bytes.Buffer
+	if err := profile.NewReport(a).WriteJSONL(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.NewReport(b).WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Error("fold order changed the collected profile")
+	}
+}
+
+func TestProfileMergeSchemaMismatch(t *testing.T) {
+	a := collectMySQL(t)
+	spec := profile.DefaultSpec()
+	spec.Events = spec.Events[:2]
+	b := &profile.Profile{Spec: spec.Normalized()}
+	if err := a.Merge(b); err == nil {
+		t.Error("merging mismatched bundles should fail")
+	}
+	c := collectMySQL(t)
+	before, _ := a.Region("txn/table.cs")
+	want := before.Count * 2
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := a.Region("txn/table.cs")
+	if after.Count != want {
+		t.Errorf("merged count %d, want %d", after.Count, want)
+	}
+}
+
+// TestFlameSpans: the exported hierarchy is well-formed (children
+// nested inside parents) and round-trips through the Chrome span
+// encoding as valid JSON.
+func TestFlameSpans(t *testing.T) {
+	p := collectMySQL(t)
+	spans := p.FlameSpans()
+	if len(spans) != len(p.Regions) {
+		t.Fatalf("%d spans for %d regions", len(spans), len(p.Regions))
+	}
+	byName := map[string]trace.Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	for _, r := range p.Regions {
+		if r.Parent == "" {
+			continue
+		}
+		child, parent := byName[r.Path], byName[r.Parent]
+		if child.StartCycle < parent.StartCycle ||
+			child.StartCycle+child.DurCycles > parent.StartCycle+parent.DurCycles {
+			t.Errorf("span %s [%d,%d) escapes parent %s [%d,%d)",
+				r.Path, child.StartCycle, child.StartCycle+child.DurCycles,
+				r.Parent, parent.StartCycle, parent.StartCycle+parent.DurCycles)
+		}
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChromeSpans(&buf, spans, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome span export is not valid JSON: %v", err)
+	}
+	back, err := trace.ParseChromeSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(spans) {
+		t.Fatalf("round-trip lost spans: %d vs %d", len(back), len(spans))
+	}
+	for i := range back {
+		if back[i] != spans[i] {
+			t.Errorf("span %d round-trip mismatch: %+v vs %+v", i, back[i], spans[i])
+		}
+	}
+}
+
+func TestStrideScalesSums(t *testing.T) {
+	spec := profile.DefaultSpec()
+	spec.Stride = 4
+	app := workloads.BuildRegionBench(workloads.DefaultRegionBench(), spec, workloads.RegionBenchProfiled)
+	_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	p, err := workloads.CollectProfile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := p.Region("work")
+	want := uint64(workloads.DefaultRegionBench().Iters / 4)
+	if r.Count != want {
+		t.Errorf("stride-4 measured %d executions, want %d", r.Count, want)
+	}
+	// The report scales sums back by the stride, so attributed cycles
+	// land near the stride-1 attribution.
+	full := profile.NewReport(collectRegionBench(t, 1))
+	strided := profile.NewReport(p)
+	f, s := full.Top().SelfSums[0], strided.Top().SelfSums[0]
+	ratio := float64(s) / float64(f)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("stride-scaled attribution off: %d vs %d (%.2fx)", s, f, ratio)
+	}
+}
+
+func collectRegionBench(t *testing.T, stride int) *profile.Profile {
+	t.Helper()
+	spec := profile.DefaultSpec()
+	spec.Stride = stride
+	app := workloads.BuildRegionBench(workloads.DefaultRegionBench(), spec, workloads.RegionBenchProfiled)
+	_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	p, err := workloads.CollectProfile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMetricsAccount(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := profile.NewMetrics(reg)
+	p := collectRegionBench(t, 1)
+	p.Account(m)
+	iters := uint64(workloads.DefaultRegionBench().Iters)
+	if got := m.PairsMeasured.Value(); got != iters {
+		t.Errorf("pairs metric %d, want %d", got, iters)
+	}
+	if got := m.ReadsIssued.Value(); got != iters*8 {
+		t.Errorf("reads metric %d, want %d (2 boundaries x 4 events)", got, iters*8)
+	}
+	if m.SelfCycles.Value() == 0 {
+		t.Error("self-cycles metric empty")
+	}
+}

@@ -1,0 +1,285 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"limitsim/internal/pmu"
+	"limitsim/internal/stats"
+	"limitsim/internal/tabwrite"
+)
+
+// Class is the bottleneck classification of a region.
+type Class string
+
+// Classifications, in decision order.
+const (
+	// ClassContention: a lock-acquire/wait region — its cycles are
+	// serialization, the fix is less sharing, not faster code.
+	ClassContention Class = "contention"
+	// ClassKernelBound: a large share of the region's cycles run in
+	// kernel ring (syscall-heavy).
+	ClassKernelBound Class = "kernel-bound"
+	// ClassMemoryBound: the region's L1D miss rate far exceeds the
+	// rest of the program's.
+	ClassMemoryBound Class = "memory-bound"
+	// ClassComputeBound: none of the above dominates.
+	ClassComputeBound Class = "compute-bound"
+)
+
+// Classification thresholds.
+const (
+	// KernelShareThreshold marks a region kernel-bound when at least
+	// this fraction of its cycles are kernel-ring.
+	KernelShareThreshold = 0.25
+	// MemoryBoundFactor marks a region memory-bound when its L1D
+	// misses/kcycle reach this multiple of the rest-of-program rate —
+	// the same 2× criterion the F8 study applies to critical sections.
+	MemoryBoundFactor = 2.0
+)
+
+// Finding is one ranked region with its derived metrics. Self values
+// exclude nested child regions; rates are computed over self cycles so
+// a parent is not blamed for its children's misses.
+type Finding struct {
+	Region *Region
+	// SelfSums is Sums minus the direct children's sums per event,
+	// clamped at zero, scaled by Stride to estimate full coverage.
+	SelfSums []uint64
+	// Score is the region's share of total attributed self cycles —
+	// the ranking key.
+	Score float64
+	// Share mirrors Score (fraction of attributed cycles).
+	Share float64
+	// MeanCycles is self cycles per measured execution.
+	MeanCycles float64
+	// KernelShare is (all-rings − user)/all-rings cycles, when the
+	// bundle carries all-rings cycles.
+	KernelShare float64
+	// L1DPerKC and BrMissPerKC are self misses per self kilocycle,
+	// when the bundle carries the events.
+	L1DPerKC    float64
+	BrMissPerKC float64
+	Class       Class
+}
+
+// Report ranks a profile's regions by attributed self-cost.
+type Report struct {
+	Profile *Profile
+	// Findings is ordered by Score descending, path ascending on ties.
+	Findings []Finding
+	// TotalCycles is the sum of attributed self cycles (stride-scaled).
+	TotalCycles uint64
+	// BaselineL1DPerKC is the all-regions L1D rate each region is
+	// compared against (rest-of-program baseline uses total − region).
+	BaselineL1DPerKC float64
+	// Self is the profiler's modeled instrumentation cost.
+	Self PairCost
+}
+
+// NewReport computes derived metrics, classifies and ranks.
+func NewReport(p *Profile) *Report {
+	rep := &Report{Profile: p, Self: p.SelfCost()}
+	stride := uint64(p.Spec.Stride)
+	k := len(p.Spec.Events)
+	ringIdx, hasRing := p.Spec.AllRingsCyclesIndex()
+	l1dIdx, hasL1D := p.Spec.EventIndex(pmu.EvL1DMiss)
+	brIdx, hasBr := p.Spec.EventIndex(pmu.EvBranchMiss)
+
+	var totals []uint64 = make([]uint64, k)
+	selfs := make(map[string][]uint64, len(p.Regions))
+	for _, r := range p.Regions {
+		self := make([]uint64, k)
+		for i := 0; i < k; i++ {
+			self[i] = r.Sums[i] * stride
+		}
+		for _, c := range p.Children(r) {
+			for i := 0; i < k; i++ {
+				child := c.Sums[i] * stride
+				if child > self[i] {
+					self[i] = 0
+				} else {
+					self[i] -= child
+				}
+			}
+		}
+		selfs[r.Path] = self
+		for i := 0; i < k; i++ {
+			totals[i] += self[i]
+		}
+	}
+	rep.TotalCycles = totals[0]
+	if hasL1D && totals[0] > 0 {
+		rep.BaselineL1DPerKC = float64(totals[l1dIdx]) / (float64(totals[0]) / 1000)
+	}
+
+	for _, r := range p.Regions {
+		self := selfs[r.Path]
+		f := Finding{Region: r, SelfSums: self}
+		cyc := float64(self[0])
+		if rep.TotalCycles > 0 {
+			f.Score = cyc / float64(rep.TotalCycles)
+			f.Share = f.Score
+		}
+		if r.Count > 0 {
+			f.MeanCycles = cyc / float64(r.Count*stride)
+		}
+		if hasRing && self[ringIdx] > self[0] {
+			f.KernelShare = float64(self[ringIdx]-self[0]) / float64(self[ringIdx])
+		}
+		if cyc > 0 {
+			if hasL1D {
+				f.L1DPerKC = float64(self[l1dIdx]) / (cyc / 1000)
+			}
+			if hasBr {
+				f.BrMissPerKC = float64(self[brIdx]) / (cyc / 1000)
+			}
+		}
+		// Rest-of-program L1D baseline: everything outside this region.
+		baseline := 0.0
+		if hasL1D && totals[0] > self[0] {
+			baseline = float64(totals[l1dIdx]-self[l1dIdx]) / (float64(totals[0]-self[0]) / 1000)
+		}
+		switch {
+		case r.Kind == KindLock:
+			f.Class = ClassContention
+		case hasRing && f.KernelShare >= KernelShareThreshold:
+			f.Class = ClassKernelBound
+		case hasL1D && f.L1DPerKC > 0 && (baseline == 0 || f.L1DPerKC >= MemoryBoundFactor*baseline):
+			f.Class = ClassMemoryBound
+		default:
+			f.Class = ClassComputeBound
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Region.Path < b.Region.Path
+	})
+	return rep
+}
+
+// Top returns the highest-ranked finding.
+func (rep *Report) Top() Finding {
+	if len(rep.Findings) == 0 {
+		return Finding{}
+	}
+	return rep.Findings[0]
+}
+
+// overheadLines renders the profiler's self-cost disclosure.
+func (rep *Report) overheadLines(w io.Writer) {
+	pair := rep.Self.Pair()
+	var pairs uint64
+	for _, r := range rep.Profile.Regions {
+		pairs += r.Count
+	}
+	share := 0.0
+	if rep.TotalCycles > 0 {
+		share = pair / float64(rep.TotalCycles)
+	}
+	perPair := 0.0
+	ratio := 0.0
+	if pairs > 0 {
+		perPair = pair / float64(pairs)
+		ratio = rep.Self.Ratio()
+	}
+	fmt.Fprintf(w, "profiler self-cost: %.0f cycles over %d enter/exit pairs (%.1f cyc/pair, %.2f%% of attributed cycles)\n",
+		pair, pairs, perPair, share*100)
+	fmt.Fprintf(w, "profiler pair cost vs bare %d-event LiMiT read pair: %.2fx\n",
+		len(rep.Profile.Spec.Events), ratio)
+}
+
+// RenderText writes the ranked report as an aligned text table.
+// Byte-deterministic for a given profile.
+func (rep *Report) RenderText(w io.Writer, top int) {
+	t := tabwrite.New(
+		fmt.Sprintf("Bottleneck profile: %s (stride %d, %d threads)", rep.Profile.App, rep.Profile.Spec.Stride, rep.Profile.Threads),
+		"rank", "region", "kind", "class", "share", "self-Mcyc", "count", "mean-cyc", "kernel%", "l1d/kc", "brmiss/kc", "")
+	for i, f := range rep.rankedTop(top) {
+		t.Row(i+1, f.Region.Path, f.Region.Kind.String(), string(f.Class),
+			fmt.Sprintf("%.1f%%", f.Share*100),
+			fmt.Sprintf("%.2f", float64(f.SelfSums[0])/1e6),
+			f.Region.Count, fmt.Sprintf("%.0f", f.MeanCycles),
+			fmt.Sprintf("%.1f", f.KernelShare*100),
+			fmt.Sprintf("%.2f", f.L1DPerKC), fmt.Sprintf("%.2f", f.BrMissPerKC),
+			tabwrite.Bar(f.Share, 20))
+	}
+	t.Render(w)
+	rep.overheadLines(w)
+}
+
+// RenderMarkdown writes the ranked report as a markdown table.
+func (rep *Report) RenderMarkdown(w io.Writer, top int) {
+	fmt.Fprintf(w, "## Bottleneck profile: %s\n\n", rep.Profile.App)
+	fmt.Fprintf(w, "stride %d, %d threads, bundle %s\n\n", rep.Profile.Spec.Stride, rep.Profile.Threads, bundleString(rep.Profile.Spec))
+	fmt.Fprintln(w, "| rank | region | kind | class | share | self-Mcyc | count | mean-cyc | kernel% | l1d/kc | brmiss/kc |")
+	fmt.Fprintln(w, "|-----:|--------|------|-------|------:|----------:|------:|---------:|--------:|-------:|----------:|")
+	for i, f := range rep.rankedTop(top) {
+		fmt.Fprintf(w, "| %d | `%s` | %s | %s | %.1f%% | %.2f | %d | %.0f | %.1f | %.2f | %.2f |\n",
+			i+1, f.Region.Path, f.Region.Kind, f.Class, f.Share*100,
+			float64(f.SelfSums[0])/1e6, f.Region.Count, f.MeanCycles,
+			f.KernelShare*100, f.L1DPerKC, f.BrMissPerKC)
+	}
+	fmt.Fprintln(w)
+	rep.overheadLines(w)
+}
+
+// WriteJSONL writes one JSON object per finding in rank order, plus a
+// trailing self-cost record. Hand-formatted for byte determinism.
+func (rep *Report) WriteJSONL(w io.Writer) error {
+	for i, f := range rep.Findings {
+		sums := make([]string, len(f.SelfSums))
+		for j, s := range f.SelfSums {
+			sums[j] = fmt.Sprintf("%d", s)
+		}
+		_, err := fmt.Fprintf(w,
+			"{\"rank\":%d,\"region\":%q,\"kind\":%q,\"class\":%q,\"share\":%.6f,\"count\":%d,\"self\":[%s],\"min\":%d,\"max\":%d,\"mean_cycles\":%.2f,\"kernel_share\":%.6f,\"l1d_per_kc\":%.4f,\"brmiss_per_kc\":%.4f}\n",
+			i+1, f.Region.Path, f.Region.Kind.String(), string(f.Class), f.Share,
+			f.Region.Count, strings.Join(sums, ","), f.Region.Min, f.Region.Max,
+			f.MeanCycles, f.KernelShare, f.L1DPerKC, f.BrMissPerKC)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "{\"profiler_self_cycles\":%.0f,\"pair_vs_bare_ratio\":%.4f}\n",
+		rep.Self.Pair(), rep.Self.Ratio())
+	return err
+}
+
+// RenderHistograms writes each region's cycle-length histogram.
+func (rep *Report) RenderHistograms(w io.Writer) {
+	for _, f := range rep.Findings {
+		h := f.Region.Hist
+		if h == nil || h.Total() == 0 {
+			continue
+		}
+		t := tabwrite.New(fmt.Sprintf("%s cycle lengths (measured: %d)", f.Region.Path, h.Total()), "bucket", "count", "share", "")
+		for _, row := range histRows(h) {
+			t.Row(row.Label, row.Count, fmt.Sprintf("%.1f%%", row.Share*100), tabwrite.Bar(row.Share, 30))
+		}
+		t.Render(w)
+	}
+}
+
+func histRows(h *stats.LogHistogram) []stats.HistRow { return h.Rows() }
+
+func (rep *Report) rankedTop(top int) []Finding {
+	if top <= 0 || top > len(rep.Findings) {
+		return rep.Findings
+	}
+	return rep.Findings[:top]
+}
+
+func bundleString(s Spec) string {
+	parts := make([]string, len(s.Events))
+	for i, ev := range s.Events {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, ",")
+}

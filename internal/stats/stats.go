@@ -117,6 +117,31 @@ func (h *LogHistogram) AddAll(values []uint64) {
 	}
 }
 
+// AddBucket folds n values directly into bucket i, for callers that
+// maintain bucketed counts elsewhere (e.g. generated-code accumulators
+// read back after a run). Out-of-range i clamps to the last bucket.
+func (h *LogHistogram) AddBucket(i int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i] += n
+	h.total += n
+}
+
+// Merge folds o's counts into h.
+func (h *LogHistogram) Merge(o *LogHistogram) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.total += o.total
+}
+
 func log2Floor(v uint64) int {
 	n := 0
 	for v > 1 {

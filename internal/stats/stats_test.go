@@ -33,6 +33,47 @@ func TestSummaryEmpty(t *testing.T) {
 	}
 }
 
+func TestSummaryEmptyPercentiles(t *testing.T) {
+	s := NewSummary(nil)
+	for _, q := range []float64{-10, 0, 50, 100, 110} {
+		if got := s.Percentile(q); got != 0 {
+			t.Errorf("empty p%.0f = %d, want 0", q, got)
+		}
+	}
+	if s.N() != 0 || s.Sum() != 0 {
+		t.Errorf("empty N/Sum = %d/%f", s.N(), s.Sum())
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	s := NewSummary([]uint64{42})
+	if s.Min() != 42 || s.Max() != 42 || s.Median() != 42 {
+		t.Errorf("min/max/median = %d/%d/%d", s.Min(), s.Max(), s.Median())
+	}
+	if s.Mean() != 42 || s.Stddev() != 0 {
+		t.Errorf("mean/stddev = %f/%f", s.Mean(), s.Stddev())
+	}
+	for _, q := range []float64{-5, 0, 1, 50, 99, 100, 200} {
+		if got := s.Percentile(q); got != 42 {
+			t.Errorf("p%.0f = %d, want 42", q, got)
+		}
+	}
+}
+
+func TestPercentileClampsOutOfRange(t *testing.T) {
+	s := NewSummary([]uint64{10, 20, 30})
+	if got := s.Percentile(-50); got != 10 {
+		t.Errorf("p-50 = %d, want min", got)
+	}
+	if got := s.Percentile(250); got != 30 {
+		t.Errorf("p250 = %d, want max", got)
+	}
+	// Tiny positive q must not underflow the rank below 1.
+	if got := s.Percentile(1e-9); got != 10 {
+		t.Errorf("p~0 = %d, want min", got)
+	}
+}
+
 func TestSummaryDoesNotAliasInput(t *testing.T) {
 	in := []uint64{3, 1, 2}
 	s := NewSummary(in)
@@ -142,6 +183,47 @@ func TestLogHistogramRangeAndRows(t *testing.T) {
 	}
 	if lo, hi := empty.Range(); hi != -1 || lo != 0 {
 		t.Errorf("empty range [%d,%d]", lo, hi)
+	}
+}
+
+func TestLogHistogramAddBucket(t *testing.T) {
+	var h LogHistogram
+	h.AddBucket(3, 5)
+	h.AddBucket(3, 0) // no-op
+	h.AddBucket(-2, 1)
+	h.AddBucket(1000, 2)
+	if h.Bucket(3) != 5 {
+		t.Errorf("bucket 3 = %d", h.Bucket(3))
+	}
+	if h.Bucket(0) != 1 {
+		t.Errorf("negative index must clamp to bucket 0, got %d", h.Bucket(0))
+	}
+	if h.Bucket(64) != 2 {
+		t.Errorf("oversized index must clamp to bucket 64, got %d", h.Bucket(64))
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	var a, b LogHistogram
+	a.AddAll([]uint64{1, 2, 4})
+	b.AddAll([]uint64{2, 1024})
+	a.Merge(&b)
+	if a.Total() != 5 {
+		t.Errorf("merged total = %d", a.Total())
+	}
+	if a.Bucket(1) != 2 {
+		t.Errorf("merged bucket 1 = %d, want 2", a.Bucket(1))
+	}
+	if a.Bucket(10) != 1 {
+		t.Errorf("merged bucket 10 = %d, want 1", a.Bucket(10))
+	}
+	var empty LogHistogram
+	a.Merge(&empty)
+	if a.Total() != 5 {
+		t.Error("merging an empty histogram must not change totals")
 	}
 }
 

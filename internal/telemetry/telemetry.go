@@ -166,8 +166,8 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max
 }
 
-// merge folds o into h; bounds must match.
-func (h *Histogram) merge(o *Histogram) error {
+// checkBounds verifies o is mergeable into h (identical bucket bounds).
+func (h *Histogram) checkBounds(o *Histogram) error {
 	if len(h.bounds) != len(o.bounds) {
 		return fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
 	}
@@ -176,8 +176,13 @@ func (h *Histogram) merge(o *Histogram) error {
 			return fmt.Errorf("telemetry: histogram bound %d differs (%d vs %d)", i, h.bounds[i], o.bounds[i])
 		}
 	}
+	return nil
+}
+
+// merge folds o into h; the caller has already checked bounds.
+func (h *Histogram) merge(o *Histogram) {
 	if o.n == 0 {
-		return nil
+		return
 	}
 	for i := range h.counts {
 		h.counts[i] += o.counts[i]
@@ -190,7 +195,6 @@ func (h *Histogram) merge(o *Histogram) error {
 	}
 	h.n += o.n
 	h.sum += o.sum
-	return nil
 }
 
 // Registry holds named metrics in registration order. Names are
@@ -290,20 +294,33 @@ func (r *Registry) LookupHistogram(name string) *Histogram {
 // Merge folds o's metrics into r, matching by name. Every metric of o
 // must exist in r with the same kind (and histogram bounds) — merged
 // registries are meant to be built by the same constructor, as the
-// chaos campaigns do per run.
+// chaos campaigns do per run. On error r is left unmodified: the whole
+// schema is validated before any counts move.
 func (r *Registry) Merge(o *Registry) error {
-	for i, name := range o.counterIDs {
-		c := r.LookupCounter(name)
-		if c == nil {
+	for _, name := range o.counterIDs {
+		if r.LookupCounter(name) == nil {
 			return fmt.Errorf("telemetry: merge target lacks counter %s", name)
 		}
-		c.Add(o.counters[i].Value())
+	}
+	for _, name := range o.gaugeIDs {
+		if r.LookupGauge(name) == nil {
+			return fmt.Errorf("telemetry: merge target lacks gauge %s", name)
+		}
+	}
+	for i, name := range o.histIDs {
+		h := r.LookupHistogram(name)
+		if h == nil {
+			return fmt.Errorf("telemetry: merge target lacks histogram %s", name)
+		}
+		if err := h.checkBounds(o.hists[i]); err != nil {
+			return fmt.Errorf("%w (%s)", err, name)
+		}
+	}
+	for i, name := range o.counterIDs {
+		r.LookupCounter(name).Add(o.counters[i].Value())
 	}
 	for i, name := range o.gaugeIDs {
 		g := r.LookupGauge(name)
-		if g == nil {
-			return fmt.Errorf("telemetry: merge target lacks gauge %s", name)
-		}
 		// Residual levels add; the merged peak is the max of peaks (runs
 		// are sequential, never concurrent).
 		g.v += o.gauges[i].v
@@ -312,13 +329,7 @@ func (r *Registry) Merge(o *Registry) error {
 		}
 	}
 	for i, name := range o.histIDs {
-		h := r.LookupHistogram(name)
-		if h == nil {
-			return fmt.Errorf("telemetry: merge target lacks histogram %s", name)
-		}
-		if err := h.merge(o.hists[i]); err != nil {
-			return fmt.Errorf("%w (%s)", err, name)
-		}
+		r.LookupHistogram(name).merge(o.hists[i])
 	}
 	return nil
 }

@@ -100,6 +100,74 @@ func TestMergeRejectsMissingMetric(t *testing.T) {
 	}
 }
 
+func TestMergeRejectsKindMismatch(t *testing.T) {
+	r1 := telemetry.NewRegistry()
+	r1.Counter("m")
+	r2 := telemetry.NewRegistry()
+	r2.Gauge("m")
+	if err := r1.Merge(r2); err == nil {
+		t.Error("merging a gauge into a counter slot must fail")
+	}
+
+	r3 := telemetry.NewRegistry()
+	r3.Gauge("h")
+	r4 := telemetry.NewRegistry()
+	r4.Histogram("h", []uint64{10})
+	if err := r3.Merge(r4); err == nil {
+		t.Error("merging a histogram into a gauge slot must fail")
+	}
+}
+
+func TestMergeRejectsHistogramBoundMismatch(t *testing.T) {
+	build := func(bounds []uint64) *telemetry.Registry {
+		r := telemetry.NewRegistry()
+		r.Histogram("h", bounds)
+		return r
+	}
+	// Bucket-count mismatch.
+	err := build([]uint64{10, 100}).Merge(build([]uint64{10}))
+	if err == nil || !strings.Contains(err.Error(), "2 vs 1 bounds") {
+		t.Errorf("bucket-count mismatch error = %v", err)
+	}
+	// Same count, different bound values.
+	err = build([]uint64{10, 100}).Merge(build([]uint64{10, 200}))
+	if err == nil || !strings.Contains(err.Error(), "bound 1 differs") {
+		t.Errorf("bound-value mismatch error = %v", err)
+	}
+	// The error names the offending metric.
+	if err != nil && !strings.Contains(err.Error(), "h") {
+		t.Errorf("error does not name the metric: %v", err)
+	}
+}
+
+func TestMergeErrorLeavesNoPartialCounter(t *testing.T) {
+	r1 := telemetry.NewRegistry()
+	c := r1.Counter("a")
+	c.Add(10)
+	r2 := telemetry.NewRegistry()
+	r2.Counter("a").Add(5)
+	r2.Counter("b") // missing in r1: merge fails
+	if err := r1.Merge(r2); err == nil {
+		t.Fatal("merge must fail on the missing counter")
+	}
+	// Counters are validated before any fold, so "a" must be untouched.
+	if c.Value() != 10 {
+		t.Errorf("failed merge mutated counter: %d, want 10", c.Value())
+	}
+}
+
+func TestMustMergePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMerge on mismatched registries must panic")
+		}
+	}()
+	r1 := telemetry.NewRegistry()
+	r2 := telemetry.NewRegistry()
+	r2.Counter("only-here")
+	r1.MustMerge(r2)
+}
+
 func TestRenderDeterministic(t *testing.T) {
 	build := func() *telemetry.Registry {
 		r := telemetry.NewRegistry()

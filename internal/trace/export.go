@@ -112,6 +112,74 @@ type chromeEvent struct {
 	} `json:"args"`
 }
 
+// Span is a named duration on a (pid, tid) track — the hierarchy/
+// flame-graph form of a trace. The profiler exports its region tree
+// this way: nested regions become nested complete events, and the
+// gaps between a span and its children read as self time.
+type Span struct {
+	Name       string
+	PID, TID   int
+	StartCycle uint64
+	DurCycles  uint64
+}
+
+// WriteChromeSpans writes spans as Chrome trace-event "complete"
+// events ("ph":"X"), Perfetto-loadable like WriteChrome. ts/dur are
+// cycle counts converted to microseconds at cyclesPerUsec (0 defaults
+// to 3000); the exact cycles travel in args. Byte-deterministic.
+func WriteChromeSpans(w io.Writer, spans []Span, cyclesPerUsec float64) error {
+	if cyclesPerUsec <= 0 {
+		cyclesPerUsec = 3000
+	}
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, s := range spans {
+		sep := ","
+		if i == len(spans)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w,
+			"{\"name\":%q,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"start_cycle\":%d,\"dur_cycles\":%d}}%s\n",
+			s.Name, float64(s.StartCycle)/cyclesPerUsec, float64(s.DurCycles)/cyclesPerUsec,
+			s.PID, s.TID, s.StartCycle, s.DurCycles, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ns\"}\n")
+	return err
+}
+
+// chromeSpan is the parse shape for one WriteChromeSpans event.
+type chromeSpan struct {
+	Name string `json:"name"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	Args struct {
+		StartCycle uint64 `json:"start_cycle"`
+		DurCycles  uint64 `json:"dur_cycles"`
+	} `json:"args"`
+}
+
+// ParseChromeSpans reads a WriteChromeSpans document back into the
+// exact span sequence.
+func ParseChromeSpans(r io.Reader) ([]Span, error) {
+	var doc struct {
+		TraceEvents []chromeSpan `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: chrome spans: %w", err)
+	}
+	out := make([]Span, 0, len(doc.TraceEvents))
+	for _, cs := range doc.TraceEvents {
+		out = append(out, Span{
+			Name: cs.Name, PID: cs.PID, TID: cs.TID,
+			StartCycle: cs.Args.StartCycle, DurCycles: cs.Args.DurCycles,
+		})
+	}
+	return out, nil
+}
+
 // ParseChrome reads a WriteChrome document back into the exact event
 // sequence (cycle and arg come from args, not the rounded ts).
 func ParseChrome(r io.Reader) ([]Event, error) {

@@ -107,6 +107,63 @@ func TestWriteDeterministic(t *testing.T) {
 	}
 }
 
+func sampleSpans() []trace.Span {
+	return []trace.Span{
+		{Name: "txn", PID: 1, TID: 1, StartCycle: 0, DurCycles: 10_000},
+		{Name: "txn/parse", PID: 1, TID: 1, StartCycle: 0, DurCycles: 2_500},
+		{Name: "txn/table.cs", PID: 1, TID: 1, StartCycle: 2_500, DurCycles: 6_000},
+		{Name: "request", PID: 2, TID: 3, StartCycle: 500, DurCycles: 123_456},
+	}
+}
+
+func TestChromeSpansRoundTrip(t *testing.T) {
+	spans := sampleSpans()
+	var buf bytes.Buffer
+	if err := trace.WriteChromeSpans(&buf, spans, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("span export is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("span export lacks traceEvents array")
+	}
+	back, err := trace.ParseChromeSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(spans) {
+		t.Fatalf("round trip returned %d spans, want %d", len(back), len(spans))
+	}
+	for i := range spans {
+		if back[i] != spans[i] {
+			t.Errorf("span %d: %+v != %+v", i, back[i], spans[i])
+		}
+	}
+}
+
+func TestChromeSpansDeterministicAndEmpty(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := trace.WriteChromeSpans(&a, sampleSpans(), 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChromeSpans(&b, sampleSpans(), 3000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("span export not byte-deterministic")
+	}
+	a.Reset()
+	if err := trace.WriteChromeSpans(&a, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ParseChromeSpans(bytes.NewReader(a.Bytes()))
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty span round trip: %v %v", back, err)
+	}
+}
+
 func TestKindFromString(t *testing.T) {
 	for k := trace.SwitchIn; k <= trace.Reap; k++ {
 		got, ok := trace.KindFromString(k.String())

@@ -6,6 +6,7 @@ import (
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
 	"limitsim/internal/mem"
+	"limitsim/internal/profile"
 	"limitsim/internal/rec"
 	"limitsim/internal/tls"
 	"limitsim/internal/usync"
@@ -71,12 +72,18 @@ func BuildApache(cfg ApacheConfig, ins Instrumentation) *App {
 
 	b.MovImm(regTxn, 0)
 	b.Label("req")
+	r.enterRegion("request", profile.KindPhase)
 	// Read the request from the socket.
+	r.enterRegion("read", profile.KindIO)
 	b.MovImm(isa.R0, 512)
 	b.Syscall(kernel.SysIO)
+	r.exitRegion()
+	r.enterRegion("parse", profile.KindPhase)
 	emitComputeChunked(b, cfg.ParseInstrs, 250)
+	r.exitRegion()
 
 	// Serve from the "file cache": walk a pseudo-random file's lines.
+	r.enterRegion("file", profile.KindPhase)
 	b.Rand(isa.R11)
 	b.MovImm(isa.R10, 15)
 	b.And(isa.R11, isa.R11, isa.R10)
@@ -84,22 +91,28 @@ func BuildApache(cfg ApacheConfig, ins Instrumentation) *App {
 	b.Mul(isa.R10, isa.R11, isa.R12)
 	b.AddImm(isa.R10, isa.R10, int64(fileCache))
 	emitWalk(b, isa.R10, isa.R12, regBnd, cfg.FileLines)
+	r.exitRegion()
 
+	r.enterRegion("handle", profile.KindPhase)
 	emitComputeChunked(b, cfg.HandleInstrs, 250)
+	r.exitRegion()
 
 	// Response I/O: the kernel-heavy phase.
+	r.enterRegion("io", profile.KindIO)
 	for i := 0; i < cfg.IOCalls; i++ {
 		b.MovImm(isa.R0, cfg.IOBytes)
 		b.Syscall(kernel.SysIO)
 	}
+	r.exitRegion()
 
 	// Append to the shared access log under the log lock; the entry
 	// length varies with the request.
-	emitInstrumentedCS(b, r, logLock.Ref(), cfg.Spins, lockRec, func() {
+	emitInstrumentedCS(b, r, "log", logLock.Ref(), cfg.Spins, lockRec, func() {
 		emitComputeChunked(b, cfg.LogCSInstrs, 200)
 		emitComputeJitter(b, isa.R10, regBnd, 8, cfg.LogCSInstrs/4+1)
 	})
 
+	r.exitRegion() // request
 	b.AddImm(regTxn, regTxn, 1)
 	b.MovImm(regBnd, int64(cfg.RequestsPerWorker))
 	b.Br(isa.CondLT, regTxn, regBnd, "req")
@@ -124,7 +137,7 @@ func BuildApache(cfg ApacheConfig, ins Instrumentation) *App {
 			TotalCycles:   totalRef,
 			AllRingCycles: totalRingRef,
 			HasRing:       ins.hasRing(),
-			Bottleneck:    r.bottleneckMeta(),
+			Profiler:      r.prof,
 		}},
 	}
 	for w := 0; w < cfg.Workers; w++ {

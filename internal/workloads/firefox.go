@@ -6,6 +6,7 @@ import (
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
 	"limitsim/internal/mem"
+	"limitsim/internal/profile"
 	"limitsim/internal/rec"
 	"limitsim/internal/tls"
 	"limitsim/internal/usync"
@@ -80,15 +81,21 @@ func BuildFirefox(cfg FirefoxConfig, ins Instrumentation) *App {
 
 	b.MovImm(regTxn, 0)
 	b.Label("event")
+	rMain.enterRegion("event", profile.KindPhase)
+	rMain.enterRegion("dispatch", profile.KindPhase)
 	emitComputeChunked(b, cfg.DispatchInstrs, 200)
+	rMain.exitRegion()
 	// Poke the shared state under its lock.
-	emitInstrumentedCS(b, rMain, stateLock.Ref(), cfg.Spins, mainRec, func() {
+	emitInstrumentedCS(b, rMain, "state", stateLock.Ref(), cfg.Spins, mainRec, func() {
 		emitComputeChunked(b, cfg.StateCSInstrs, 150)
 		emitComputeJitter(b, isa.R10, regBnd, 8, cfg.StateCSInstrs/4+1)
 	})
 	// Occasional UI I/O.
+	rMain.enterRegion("io", profile.KindIO)
 	b.MovImm(isa.R0, cfg.IOBytesPerEvent)
 	b.Syscall(kernel.SysIO)
+	rMain.exitRegion()
+	rMain.exitRegion() // event
 	b.AddImm(regTxn, regTxn, 1)
 	b.MovImm(regBnd, int64(cfg.EventsPerThread))
 	b.Br(isa.CondLT, regTxn, regBnd, "event")
@@ -104,10 +111,13 @@ func BuildFirefox(cfg FirefoxConfig, ins Instrumentation) *App {
 
 	b.MovImm(regTxn, 0)
 	b.Label("task")
+	rHelp.enterRegion("task", profile.KindPhase)
+	rHelp.enterRegion("decode", profile.KindPhase)
 	emitComputeChunked(b, cfg.DecodeInstrs, 200)
+	rHelp.exitRegion()
 	b.MovImm(regOpI, 0)
 	b.Label("malloc")
-	emitInstrumentedCS(b, rHelp, allocLock.Ref(), cfg.Spins, helpRec, func() {
+	emitInstrumentedCS(b, rHelp, "alloc", allocLock.Ref(), cfg.Spins, helpRec, func() {
 		// The allocator's tiny critical section: bump a freelist word
 		// and do a handful of bookkeeping instructions.
 		b.MovImm(isa.R10, int64(heap))
@@ -121,6 +131,7 @@ func BuildFirefox(cfg FirefoxConfig, ins Instrumentation) *App {
 	b.MovImm(regBnd, int64(cfg.MallocsPerTask))
 	b.Br(isa.CondLT, regOpI, regBnd, "malloc")
 
+	rHelp.exitRegion() // task
 	b.AddImm(regTxn, regTxn, 1)
 	b.MovImm(regBnd, int64(cfg.EventsPerThread))
 	b.Br(isa.CondLT, regTxn, regBnd, "task")
@@ -142,8 +153,8 @@ func BuildFirefox(cfg FirefoxConfig, ins Instrumentation) *App {
 		Layout: layout,
 		Instr:  ins,
 		Bodies: []BodyMeta{
-			{Label: "main", LockRec: mainRec, TotalCycles: mTotal, AllRingCycles: mTotalR, HasRing: ins.hasRing(), Bottleneck: rMain.bottleneckMeta()},
-			{Label: "helper", LockRec: helpRec, TotalCycles: hTotal, AllRingCycles: hTotalR, HasRing: ins.hasRing(), Bottleneck: rHelp.bottleneckMeta()},
+			{Label: "main", LockRec: mainRec, TotalCycles: mTotal, AllRingCycles: mTotalR, HasRing: ins.hasRing(), Profiler: rMain.prof},
+			{Label: "helper", LockRec: helpRec, TotalCycles: hTotal, AllRingCycles: hTotalR, HasRing: ins.hasRing(), Profiler: rHelp.prof},
 		},
 	}
 	app.Plans = append(app.Plans, ThreadPlan{Name: name + "-main", Entry: "main", Slot: 0, Body: 0, Seed: 3000})

@@ -6,6 +6,7 @@ import (
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
 	"limitsim/internal/mem"
+	"limitsim/internal/profile"
 	"limitsim/internal/rec"
 	"limitsim/internal/tls"
 	"limitsim/internal/usync"
@@ -107,7 +108,9 @@ func BuildForkJoin(cfg ForkJoinConfig, ins Instrumentation) *App {
 
 	b.MovImm(regTxn, 0)
 	b.Label("iter")
+	r.enterRegion("iter", profile.KindPhase)
 	// Unbalanced compute phase over this worker's grid slab.
+	r.enterRegion("compute", profile.KindPhase)
 	long := uniqLabel("fjlong")
 	phaseEnd := uniqLabel("fjend")
 	b.BrRand(cfg.ImbalancePct, long)
@@ -120,9 +123,10 @@ func BuildForkJoin(cfg ForkJoinConfig, ins Instrumentation) *App {
 	b.Mul(isa.R10, tls.SlotReg, isa.R10)
 	b.AddImm(isa.R10, isa.R10, int64(grid))
 	emitWalk(b, isa.R10, isa.R12, regBnd, cfg.GridLines)
+	r.exitRegion()
 
 	// Reduction under the shared lock.
-	emitInstrumentedCS(b, r, reduceLock.Ref(), cfg.Spins, lockRec, func() {
+	emitInstrumentedCS(b, r, "reduce", reduceLock.Ref(), cfg.Spins, lockRec, func() {
 		b.MovImm(isa.R10, int64(sum))
 		b.Load(isa.R12, isa.R10, 0)
 		b.AddImm(isa.R12, isa.R12, 1)
@@ -130,19 +134,26 @@ func BuildForkJoin(cfg ForkJoinConfig, ins Instrumentation) *App {
 		emitComputeChunked(b, cfg.ReduceCSInstrs, 150)
 	})
 
-	// Barrier, with the wait measured.
+	// Barrier, with the wait measured (as a wait-kind region when
+	// profiling, as a per-episode record otherwise).
 	b.BeginSymbol(SymBarrier)
-	if r.ins.Active() && !r.bottleneck() {
+	switch {
+	case r.prof != nil:
+		r.enterRegion("barrier", profile.KindLock)
+		bar.EmitWait(b)
+		r.exitRegion()
+	case r.ins.Active():
 		r.read(b, regT0)
 		bar.EmitWait(b)
 		r.read(b, regT2)
 		b.Sub(regT2, regT2, regT0)
 		barRec.EmitAppend(b, []isa.Reg{regT2}, isa.R0, isa.R1, isa.R2)
-	} else {
+	default:
 		bar.EmitWait(b)
 	}
 	b.EndSymbol()
 
+	r.exitRegion() // iter
 	b.AddImm(regTxn, regTxn, 1)
 	b.MovImm(regBnd, int64(cfg.Iterations))
 	b.Br(isa.CondLT, regTxn, regBnd, "iter")
@@ -170,7 +181,7 @@ func BuildForkJoin(cfg ForkJoinConfig, ins Instrumentation) *App {
 				TotalCycles:   totalRef,
 				AllRingCycles: totalRingRef,
 				HasRing:       ins.hasRing(),
-				Bottleneck:    r.bottleneckMeta(),
+				Profiler:      r.prof,
 			},
 		},
 	}

@@ -5,6 +5,7 @@ import (
 
 	"limitsim/internal/isa"
 	"limitsim/internal/mem"
+	"limitsim/internal/profile"
 	"limitsim/internal/rec"
 	"limitsim/internal/ref"
 	"limitsim/internal/tls"
@@ -115,7 +116,10 @@ func BuildMySQL(cfg MySQLConfig, ins Instrumentation) *App {
 
 	b.MovImm(regTxn, 0)
 	b.Label("txn")
+	r.enterRegion("txn", profile.KindPhase)
+	r.enterRegion("parse", profile.KindPhase)
 	emitComputeChunked(b, cfg.ParseInstrs, 250)
+	r.exitRegion()
 
 	b.MovImm(regOpI, 0)
 	b.Label("op")
@@ -132,7 +136,7 @@ func BuildMySQL(cfg MySQLConfig, ins Instrumentation) *App {
 	b.Label(cont)
 	locks.EmitComputeAddr(b, isa.R13, isa.R11, isa.R10)
 
-	emitInstrumentedCS(b, r, ref.RegRel(isa.R13, 0), cfg.Spins, lockRec, func() {
+	emitInstrumentedCS(b, r, "table", ref.RegRel(isa.R13, 0), cfg.Spins, lockRec, func() {
 		// Short or long operation, with per-operation length jitter so
 		// hold times form a distribution rather than two spikes.
 		long := uniqLabel("long")
@@ -155,7 +159,10 @@ func BuildMySQL(cfg MySQLConfig, ins Instrumentation) *App {
 	b.MovImm(regBnd, int64(cfg.OpsPerTxn))
 	b.Br(isa.CondLT, regOpI, regBnd, "op")
 
+	r.enterRegion("think", profile.KindPhase)
 	emitComputeChunked(b, cfg.ThinkInstrs, 250)
+	r.exitRegion()
+	r.exitRegion() // txn
 	b.AddImm(regTxn, regTxn, 1)
 	b.MovImm(regBnd, int64(cfg.TxnsPerWorker))
 	b.Br(isa.CondLT, regTxn, regBnd, "txn")
@@ -180,7 +187,7 @@ func BuildMySQL(cfg MySQLConfig, ins Instrumentation) *App {
 			TotalCycles:   totalRef,
 			AllRingCycles: totalRingRef,
 			HasRing:       ins.hasRing(),
-			Bottleneck:    r.bottleneckMeta(),
+			Profiler:      r.prof,
 		}},
 	}
 	for w := 0; w < cfg.Workers; w++ {

@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"limitsim/internal/isa"
+	"limitsim/internal/limit"
+	"limitsim/internal/mem"
+	"limitsim/internal/probe"
+	"limitsim/internal/profile"
+	"limitsim/internal/ref"
+	"limitsim/internal/tls"
+)
+
+// RegionBenchMode selects what the region-overhead microbenchmark
+// wraps around each loop iteration's work.
+type RegionBenchMode int
+
+const (
+	// RegionBenchNone runs the bare loop: no boundary instrumentation.
+	RegionBenchNone RegionBenchMode = iota
+	// RegionBenchBare brackets the work with raw LiMiT read pairs over
+	// the bundle — start values parked in TLS, deltas computed at exit —
+	// the floor any bundle measurement pays.
+	RegionBenchBare
+	// RegionBenchProfiled brackets the work with a full profiler region
+	// (accumulators, min/max, histogram).
+	RegionBenchProfiled
+)
+
+// RegionBenchConfig parameterizes the single-thread overhead loop.
+type RegionBenchConfig struct {
+	Iters      int
+	WorkInstrs int64
+	// Lines is how many cache lines each iteration walks (data-cache
+	// traffic, so profiled event sums have ground truth to check).
+	Lines int64
+}
+
+// DefaultRegionBench returns the configuration the overhead pinning
+// tests and BenchmarkProfileRegionEnterExit use.
+func DefaultRegionBench() RegionBenchConfig {
+	return RegionBenchConfig{Iters: 2_000, WorkInstrs: 150, Lines: 8}
+}
+
+// BuildRegionBench assembles the microbenchmark: one thread, one hot
+// loop, one measured region. The app's body total (TotalCycles) is the
+// measured runtime; comparing modes isolates the profiler's enter/exit
+// cost against the bare read-pair floor.
+func BuildRegionBench(cfg RegionBenchConfig, spec profile.Spec, mode RegionBenchMode) *App {
+	spec = spec.Normalized()
+	k := len(spec.Events)
+	space := mem.NewSpace()
+	b := isa.NewBuilder()
+	layout := &tls.Layout{}
+
+	le := limit.NewEmitter(b, limit.ModeStock, layout.Reserve(k))
+	var prof *profile.Instrumenter
+	var ctrs []int
+	var scratch ref.Ref
+	if mode == RegionBenchProfiled {
+		prof = profile.NewInstrumenter(b, layout, le, spec)
+		for i := 0; i < k; i++ {
+			ctrs = append(ctrs, prof.CounterIndex(i))
+		}
+	} else {
+		for _, ev := range spec.Events {
+			ctrs = append(ctrs, le.AddCounter(ev.CounterSpec()))
+		}
+		scratch = layout.Reserve(2 * k)
+	}
+	startRef := layout.Reserve(1)
+	totalRef := layout.Reserve(1)
+
+	grid := space.Alloc(uint64(cfg.Lines+8) * 64)
+	layout.Alloc(space, 1)
+
+	work := func() {
+		emitComputeChunked(b, cfg.WorkInstrs, 200)
+		if cfg.Lines > 0 {
+			b.MovImm(isa.R10, int64(grid))
+			emitWalk(b, isa.R10, isa.R12, regBnd, cfg.Lines)
+		}
+	}
+
+	b.Label("bench")
+	layout.EmitProlog(b)
+	le.EmitInit()
+	le.EmitRead(isa.R4, isa.R3, ctrs[0])
+	startRef.EmitStore(b, isa.R4, isa.R3)
+
+	b.MovImm(regTxn, 0)
+	b.Label("loop")
+	switch mode {
+	case RegionBenchProfiled:
+		prof.Region("work", profile.KindPhase, work)
+	case RegionBenchBare:
+		for i := 0; i < k; i++ {
+			le.EmitRead(isa.R4, isa.R3, ctrs[i])
+			scratch.Word(i).EmitStore(b, isa.R4, isa.R3)
+		}
+		work()
+		for i := 0; i < k; i++ {
+			le.EmitRead(isa.R4, isa.R3, ctrs[i])
+			scratch.Word(i).EmitLoad(b, isa.R5)
+			b.Sub(isa.R4, isa.R4, isa.R5)
+			scratch.Word(k+i).EmitStore(b, isa.R4, isa.R3)
+		}
+	default:
+		work()
+	}
+	b.AddImm(regTxn, regTxn, 1)
+	b.MovImm(regBnd, int64(cfg.Iters))
+	b.Br(isa.CondLT, regTxn, regBnd, "loop")
+
+	le.EmitRead(isa.R4, isa.R3, ctrs[0])
+	startRef.EmitLoad(b, isa.R5)
+	b.Sub(isa.R4, isa.R4, isa.R5)
+	totalRef.EmitStore(b, isa.R4, isa.R3)
+	b.Halt()
+	le.EmitFinish()
+
+	app := &App{
+		Name:   "regionbench",
+		Prog:   b.MustBuild(),
+		Space:  space,
+		Layout: layout,
+		Instr:  Instrumentation{Kind: probe.KindLimit, Mode: limit.ModeStock},
+		Bodies: []BodyMeta{{Label: "bench", TotalCycles: totalRef, Profiler: prof}},
+		Plans:  []ThreadPlan{{Name: "regionbench", Entry: "bench", Slot: 0, Body: 0, Seed: 7000}},
+	}
+	return app
+}
+
+// RegionBenchTotal reads back the measured body runtime in user cycles.
+func RegionBenchTotal(app *App) uint64 {
+	return app.Space.Read64(app.Bodies[0].TotalCycles.Resolve(app.ThreadBase(app.Plans[0])))
+}

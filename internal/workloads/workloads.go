@@ -21,6 +21,7 @@ import (
 	"limitsim/internal/perfevent"
 	"limitsim/internal/pmu"
 	"limitsim/internal/probe"
+	"limitsim/internal/profile"
 	"limitsim/internal/rec"
 	"limitsim/internal/ref"
 	"limitsim/internal/sampling"
@@ -54,15 +55,14 @@ type Instrumentation struct {
 	MeasureRings bool
 	// NoFixup disables LiMiT fixup-region registration (ablation).
 	NoFixup bool
-	// Bottleneck switches lock instrumentation to multi-event
-	// bottleneck identification (limit only): four counters — cycles,
-	// L1D misses, LLC misses, branch misses — are read at critical-
-	// section entry and exit and accumulated per thread, yielding
-	// inside-CS vs overall microarchitectural rates. This is the
-	// paper's title use case; it is only practical because LiMiT reads
-	// cost tens of nanoseconds. Per-operation (acq, cs) records are
-	// not collected in this mode.
-	Bottleneck bool
+	// Profile switches the body to region-attribution profiling (limit
+	// only): every annotated region boundary reads the spec's event
+	// bundle through a profile.Instrumenter and streams the deltas into
+	// bounded per-region accumulators. This is the paper's title use
+	// case — it is only practical because LiMiT reads cost tens of
+	// nanoseconds. Per-operation (acq, cs) records are not collected in
+	// this mode.
+	Profile *profile.Spec
 }
 
 // LimitInstr is the default instrumentation for the case studies.
@@ -70,30 +70,26 @@ func LimitInstr() Instrumentation {
 	return Instrumentation{Kind: probe.KindLimit, Mode: limit.ModeStock, MeasureRings: true}
 }
 
-// BottleneckInstr is the multi-event instrumentation for the
-// bottleneck-identification study.
-func BottleneckInstr() Instrumentation {
-	return Instrumentation{Kind: probe.KindLimit, Mode: limit.ModeStock, Bottleneck: true}
-}
-
-// BottleneckEvents are the four events the bottleneck study counts, in
-// accumulator order.
-var BottleneckEvents = [4]pmu.Event{pmu.EvCycles, pmu.EvL1DMiss, pmu.EvLLCMiss, pmu.EvBranchMiss}
-
-// BottleneckMeta locates a body's bottleneck accumulators: four words
-// each (BottleneckEvents order).
-type BottleneckMeta struct {
-	Valid bool
-	// InCS accumulates event deltas measured between critical-section
-	// entry and exit.
-	InCS ref.Ref
-	// Totals holds the thread's whole-body event totals.
-	Totals ref.Ref
+// ProfileInstr is region-attribution profiling instrumentation with
+// the given bundle spec (ring measurement follows the bundle: present
+// exactly when it carries all-rings cycles).
+func ProfileInstr(spec profile.Spec) Instrumentation {
+	spec = spec.Normalized()
+	in := Instrumentation{Kind: probe.KindLimit, Mode: limit.ModeStock, Profile: &spec}
+	_, in.MeasureRings = spec.AllRingsCyclesIndex()
+	return in
 }
 
 // hasRing reports whether per-thread user+kernel totals get recorded.
 func (in Instrumentation) hasRing() bool {
 	return in.MeasureRings && in.Kind == probe.KindLimit
+}
+
+// Profiling reports whether bodies build with region-attribution
+// profiling: a profile spec on an access method cheap enough to carry
+// it (probe.Kind.Profilable).
+func (in Instrumentation) Profiling() bool {
+	return in.Profile != nil && in.Kind.Profilable()
 }
 
 // Active reports whether the kind performs explicit reads (as opposed
@@ -136,9 +132,9 @@ type BodyMeta struct {
 	// MeasureRings with the limit kind).
 	AllRingCycles ref.Ref
 	HasRing       bool
-	// Bottleneck locates the multi-event accumulators (Bottleneck
+	// Profiler owns the body's region accumulators (Profile
 	// instrumentation only).
-	Bottleneck BottleneckMeta
+	Profiler *profile.Instrumenter
 }
 
 // App is a built workload ready to launch.
@@ -194,25 +190,22 @@ type reader struct {
 	es     *papi.EventSet
 	sample bool
 
-	// Bottleneck mode state: counter indices and TLS fields.
-	bctrs    [4]int
-	bScratch ref.Ref // 4 words: entry values held across the CS body
-	bInCS    ref.Ref // 4 words: inside-CS accumulators
-	bStart   ref.Ref // 4 words: body-start values
-	bTotals  ref.Ref // 4 words: whole-body totals
+	// prof is the region-attribution instrumenter (Profile mode only).
+	prof *profile.Instrumenter
 }
 
-// bottleneck reports whether multi-event CS instrumentation is active.
-func (r *reader) bottleneck() bool {
-	return r.ins.Bottleneck && r.ins.Kind == probe.KindLimit
-}
-
-// bottleneckMeta returns the body's accumulator locations.
-func (r *reader) bottleneckMeta() BottleneckMeta {
-	if !r.bottleneck() {
-		return BottleneckMeta{}
+// enterRegion/exitRegion annotate a profiled region boundary; no-ops
+// without Profile instrumentation, so bodies annotate unconditionally.
+func (r *reader) enterRegion(name string, kind profile.RegionKind) {
+	if r.prof != nil {
+		r.prof.Enter(name, kind)
 	}
-	return BottleneckMeta{Valid: true, InCS: r.bInCS, Totals: r.bTotals}
+}
+
+func (r *reader) exitRegion() {
+	if r.prof != nil {
+		r.prof.Exit()
+	}
 }
 
 // newReader reserves TLS state and constructs emitters. Must be
@@ -225,20 +218,23 @@ func newReader(b *isa.Builder, layout *tls.Layout, ins Instrumentation) *reader 
 	}
 	switch ins.Kind {
 	case probe.KindLimit:
-		if ins.Bottleneck {
-			// Four counters fill the PMU; ring measurement is dropped.
-			r.le = limit.NewEmitter(b, ins.Mode, layout.Reserve(4))
+		if ins.Profiling() {
+			// The bundle's counters fill the PMU; the profiler's own
+			// cycles (and all-rings cycles, when bundled) double as the
+			// totals counters.
+			pspec := ins.Profile.Normalized()
+			r.le = limit.NewEmitter(b, ins.Mode, layout.Reserve(len(pspec.Events)))
 			if ins.NoFixup {
 				r.le.DisableFixupRegistration()
 			}
-			for i, ev := range BottleneckEvents {
-				r.bctrs[i] = r.le.AddCounter(limit.UserCounter(ev))
+			r.prof = profile.NewInstrumenter(b, layout, r.le, pspec)
+			r.ctrU = r.prof.CounterIndex(0)
+			if i, ok := pspec.AllRingsCyclesIndex(); ok {
+				r.ctrUK = r.prof.CounterIndex(i)
+				r.ins.MeasureRings = true
+			} else {
+				r.ins.MeasureRings = false
 			}
-			r.ctrU = r.bctrs[0] // cycles: keeps totals/CS timing working
-			r.bScratch = layout.Reserve(4)
-			r.bInCS = layout.Reserve(4)
-			r.bStart = layout.Reserve(4)
-			r.bTotals = layout.Reserve(4)
 			break
 		}
 		n := 1
@@ -350,9 +346,28 @@ const (
 // lock code clobber R0..R3. With passive instrumentation the reads and
 // the record append are omitted (zero overhead), but the symbols remain
 // for sampling attribution.
-func emitInstrumentedCS(b *isa.Builder, r *reader, word ref.Ref, spins int, buf rec.Buffer, body func()) {
-	if r.bottleneck() {
-		emitBottleneckCS(b, r, word, spins, body)
+//
+// With Profile instrumentation the site name becomes two regions —
+// "<site>.acquire" (lock kind) around the acquire and "<site>.cs" (cs
+// kind) around the held section — and the bounded region accumulators
+// replace the per-operation records.
+func emitInstrumentedCS(b *isa.Builder, r *reader, site string, word ref.Ref, spins int, buf rec.Buffer, body func()) {
+	if r.prof != nil {
+		b.BeginSymbol(SymAcquire)
+		r.prof.Enter(site+".acquire", profile.KindLock)
+		usync.EmitLock(b, word, spins)
+		r.prof.Exit()
+		b.EndSymbol()
+
+		b.BeginSymbol(SymCS)
+		r.prof.Enter(site+".cs", profile.KindCS)
+		body()
+		r.prof.Exit()
+		b.EndSymbol()
+
+		b.BeginSymbol(SymRelease)
+		usync.EmitUnlock(b, word)
+		b.EndSymbol()
 		return
 	}
 	active := r.ins.Active()
@@ -384,38 +399,6 @@ func emitInstrumentedCS(b *isa.Builder, r *reader, word ref.Ref, spins int, buf 
 	}
 }
 
-// emitBottleneckCS emits the multi-event variant of the instrumented
-// critical section: all four bottleneck counters are read at CS entry
-// (after the lock is held) and at CS exit, and the deltas accumulate
-// into the thread's inside-CS accumulators. Entry values survive the
-// body in TLS scratch memory rather than registers, so the body's
-// register constraints are the same as the plain wrapper's.
-func emitBottleneckCS(b *isa.Builder, r *reader, word ref.Ref, spins int, body func()) {
-	b.BeginSymbol(SymAcquire)
-	usync.EmitLock(b, word, spins)
-	for i := range BottleneckEvents {
-		r.le.EmitRead(regT0, isa.R3, r.bctrs[i])
-		r.bScratch.Word(i).EmitStore(b, regT0, isa.R1)
-	}
-	b.EndSymbol()
-
-	b.BeginSymbol(SymCS)
-	body()
-	for i := range BottleneckEvents {
-		r.le.EmitRead(regT0, isa.R3, r.bctrs[i])
-		r.bScratch.Word(i).EmitLoad(b, regT1)
-		b.Sub(regT0, regT0, regT1)
-		r.bInCS.Word(i).EmitLoad(b, regT1)
-		b.Add(regT0, regT0, regT1)
-		r.bInCS.Word(i).EmitStore(b, regT0, isa.R1)
-	}
-	b.EndSymbol()
-
-	b.BeginSymbol(SymRelease)
-	usync.EmitUnlock(b, word)
-	b.EndSymbol()
-}
-
 // emitTotalsStart records the body's starting cycle values into the
 // TLS words behind startRef/startRingRef.
 func emitTotalsStart(b *isa.Builder, r *reader, startRef, startRingRef ref.Ref) {
@@ -427,12 +410,6 @@ func emitTotalsStart(b *isa.Builder, r *reader, startRef, startRingRef ref.Ref) 
 	if r.ins.MeasureRings && r.ins.Kind == probe.KindLimit {
 		r.readRing(b, regT0)
 		startRingRef.EmitStore(b, regT0, isa.R1)
-	}
-	if r.bottleneck() {
-		for i := range BottleneckEvents {
-			r.le.EmitRead(regT0, isa.R3, r.bctrs[i])
-			r.bStart.Word(i).EmitStore(b, regT0, isa.R1)
-		}
 	}
 }
 
@@ -451,14 +428,6 @@ func emitTotalsEnd(b *isa.Builder, r *reader, startRef, totalRef, startRingRef, 
 		startRingRef.EmitLoad(b, regT1)
 		b.Sub(regT2, regT2, regT1)
 		totalRingRef.EmitStore(b, regT2, isa.R1)
-	}
-	if r.bottleneck() {
-		for i := range BottleneckEvents {
-			r.le.EmitRead(regT2, isa.R3, r.bctrs[i])
-			r.bStart.Word(i).EmitLoad(b, regT1)
-			b.Sub(regT2, regT2, regT1)
-			r.bTotals.Word(i).EmitStore(b, regT2, isa.R1)
-		}
 	}
 }
 
@@ -519,6 +488,37 @@ func emitWalk(b *isa.Builder, ptr, cnt, bnd isa.Reg, lines int64) {
 	b.AddImm(cnt, cnt, 1)
 	b.MovImm(bnd, lines)
 	b.Br(isa.CondLT, cnt, bnd, loop)
+}
+
+// CollectProfile reads every profiled thread's region accumulators
+// back and merges them into one deterministic profile for the app. The
+// app must have been built with ProfileInstr.
+func CollectProfile(app *App) (*profile.Profile, error) {
+	var out *profile.Profile
+	for bi := range app.Bodies {
+		ins := app.Bodies[bi].Profiler
+		if ins == nil {
+			continue
+		}
+		var bases []uint64
+		for _, plan := range app.Plans {
+			if plan.Body != bi {
+				continue
+			}
+			bases = append(bases, app.ThreadBase(plan))
+		}
+		p := ins.Collect(app.Space, bases)
+		if out == nil {
+			out = p
+		} else if err := out.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("workloads: %s was not built with profile instrumentation", app.Name)
+	}
+	out.App = app.Name
+	return out, nil
 }
 
 var wlLabelSeq int
