@@ -10,6 +10,7 @@ package limitsim_test
 import (
 	"testing"
 
+	"limitsim/internal/chaos"
 	"limitsim/internal/experiments"
 	"limitsim/internal/kernel"
 	"limitsim/internal/machine"
@@ -273,6 +274,27 @@ func benchTelemetry(b *testing.B, withMetrics bool) {
 func BenchmarkTelemetryDisabled(b *testing.B) { benchTelemetry(b, false) }
 
 func BenchmarkTelemetryEnabled(b *testing.B) { benchTelemetry(b, true) }
+
+// benchCampaign runs one full chaos campaign per iteration at the
+// given pool width. Serial vs parallel is the execution engine's
+// headline comparison: identical work, identical report, wall-clock
+// divided by the worker count (pinned to byte-equality by
+// TestCampaignParallelDeterminism). -benchmem makes the per-run
+// allocation savings from worker pooling visible alongside.
+func benchCampaign(b *testing.B, parallel int) {
+	cfg := chaos.Config{Seeds: 4, Threads: 4, Iters: 200, Parallel: parallel}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := chaos.Run(cfg)
+		if v := res.TotalViolations(); v != 0 {
+			b.Fatalf("campaign reported %d violations", v)
+		}
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }
 
 func BenchmarkFig7Enhancements(b *testing.B) {
 	for i := 0; i < b.N; i++ {

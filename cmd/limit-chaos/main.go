@@ -8,10 +8,15 @@
 // Usage:
 //
 //	limit-chaos [-seeds 32] [-threads 4] [-cores 4] [-iters 400]
-//	            [-k 25] [-width 12] [-nofixup] [-metrics]
+//	            [-k 25] [-width 12] [-nofixup] [-metrics] [-parallel N]
 //	limit-chaos -soak [-seeds 8] [-pool 4] [-waves 6] [-iters 40]
 //	            [-k 20] [-cores 4] [-width 10] [-capacity N]
-//	            [-nofixup] [-ablate-reclaim] [-metrics]
+//	            [-nofixup] [-ablate-reclaim] [-metrics] [-parallel N]
+//
+// -parallel fans independent runs out across N workers (0, the
+// default, uses GOMAXPROCS; 1 selects the serial engine). Runs are
+// self-contained simulations whose outcomes merge in (mix, seed) key
+// order, so the report is byte-identical at every width.
 //
 // -metrics attaches the kernel telemetry layer to every run and
 // appends the campaign-wide merged metrics block (context-switch and
@@ -57,10 +62,11 @@ func main() {
 	nofixup := flag.Bool("nofixup", false, "disable fixup-region registration (ablation: torn reads expected)")
 	ablateReclaim := flag.Bool("ablate-reclaim", false, "disable exit-time resource reclamation (soak ablation: leaks expected)")
 	metrics := flag.Bool("metrics", false, "attach kernel telemetry to every run and append the merged metrics block")
+	parallel := flag.Int("parallel", 0, "worker count runs fan out across (0 = GOMAXPROCS, 1 = serial); the report is byte-identical at every width")
 	flag.Parse()
 
 	if *soak {
-		runSoak(*seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *nofixup, *ablateReclaim, *metrics)
+		runSoak(*seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *parallel, *nofixup, *ablateReclaim, *metrics)
 		return
 	}
 	if *ablateReclaim {
@@ -89,6 +95,7 @@ func main() {
 		WriteWidth: *width,
 		NoFixup:    *nofixup,
 		Metrics:    *metrics,
+		Parallel:   *parallel,
 	})
 	res.Render(os.Stdout)
 
@@ -116,7 +123,7 @@ func main() {
 // discipline: failed runs are always fatal; a sabotaged configuration
 // (-nofixup or -ablate-reclaim) must detect its own damage; a healthy
 // one must detect nothing.
-func runSoak(seeds, pool, waves, iters, k, cores, width, capacity int, nofixup, ablateReclaim, metrics bool) {
+func runSoak(seeds, pool, waves, iters, k, cores, width, capacity, parallel int, nofixup, ablateReclaim, metrics bool) {
 	if seeds == 0 {
 		seeds = 8
 	}
@@ -132,6 +139,7 @@ func runSoak(seeds, pool, waves, iters, k, cores, width, capacity int, nofixup, 
 		NoFixup:       nofixup,
 		AblateReclaim: ablateReclaim,
 		Metrics:       metrics,
+		Parallel:      parallel,
 	})
 	res.Render(os.Stdout)
 

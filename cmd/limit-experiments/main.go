@@ -10,7 +10,13 @@
 //
 // Usage:
 //
-//	limit-experiments [-scale 1.0] [-markdown]
+//	limit-experiments [-scale 1.0] [-markdown] [-parallel N]
+//
+// -parallel fans each experiment's independent trials out across N
+// workers (0, the default, uses GOMAXPROCS; 1 selects the serial
+// engine). Trials are self-contained simulations and results land in
+// trial-index order, so every table and figure is byte-identical at
+// every width.
 package main
 
 import (
@@ -28,8 +34,10 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
 	markdown := flag.Bool("markdown", false, "emit Markdown section wrappers")
+	parallel := flag.Int("parallel", 0, "worker count trials fan out across (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every width")
 	flag.Parse()
 
+	experiments.SetParallel(*parallel)
 	s := experiments.Scale(*scale)
 	w := os.Stdout
 	failed := 0

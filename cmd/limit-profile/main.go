@@ -13,7 +13,7 @@
 //	              [-events cycles,cycles:k,l1d-miss,branch-miss]
 //	              [-stride N | -budget 1.05]
 //	              [-top 10] [-format text|markdown|jsonl]
-//	              [-flame FILE] [-hist] [-metrics]
+//	              [-flame FILE] [-hist] [-metrics] [-parallel N]
 //
 // -events takes a comma-separated bundle; a ":k" suffix counts the
 // event across all rings (user+kernel) instead of user-only. The first
@@ -37,6 +37,7 @@ import (
 	"limitsim/internal/pmu"
 	"limitsim/internal/probe"
 	"limitsim/internal/profile"
+	"limitsim/internal/runner"
 	"limitsim/internal/telemetry"
 	"limitsim/internal/trace"
 	"limitsim/internal/workloads"
@@ -129,21 +130,36 @@ func runCycles(name string, ins workloads.Instrumentation, scale float64, cores 
 }
 
 // calibrateStride runs a short uninstrumented baseline and a stride-1
-// profiled run at reduced scale, then picks the stride that keeps the
-// projected slowdown under budget.
-func calibrateStride(name string, spec profile.Spec, scale float64, cores int, budget float64, stdout, stderr io.Writer) (int, int) {
+// profiled run at reduced scale — the two A/B arms fan out across the
+// runner engine — then picks the stride that keeps the projected
+// slowdown under budget.
+func calibrateStride(name string, spec profile.Spec, scale float64, cores, parallel int, budget float64, stdout, stderr io.Writer) (int, int) {
 	calScale := scale * 0.25
-	_, base, code := runCycles(name, workloads.Instrumentation{Kind: probe.KindNull}, calScale, cores, stderr)
-	if code != 0 {
-		return 0, code
+	if buildWorkload(name, workloads.Instrumentation{Kind: probe.KindNull}, calScale) == nil {
+		fmt.Fprintf(stderr, "limit-profile: unknown workload %q\n", name)
+		return 0, 2
 	}
 	calSpec := spec
 	calSpec.Stride = 1
-	_, dense, code := runCycles(name, workloads.ProfileInstr(calSpec), calScale, cores, stderr)
-	if code != 0 {
-		return 0, code
+	arms := []workloads.Instrumentation{
+		{Kind: probe.KindNull},
+		workloads.ProfileInstr(calSpec),
 	}
-	slowdown := float64(dense) / float64(base)
+	cycles, err := runner.Map(runner.Config{Jobs: len(arms), Parallel: parallel}, func(j, _ int) (uint64, error) {
+		app := buildWorkload(name, arms[j], calScale)
+		m := machine.New(machine.Config{NumCores: cores})
+		app.Launch(m)
+		res := m.Run(machine.RunLimits{})
+		if res.Err != nil {
+			return 0, res.Err
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "limit-profile: %s: %v\n", name, err)
+		return 0, 1
+	}
+	slowdown := float64(cycles[1]) / float64(cycles[0])
 	stride := profile.StrideForBudget(slowdown, budget)
 	fmt.Fprintf(stdout, "calibration: stride-1 slowdown %.3fx -> stride %d for budget %.3fx\n\n",
 		slowdown, stride, budget)
@@ -166,6 +182,7 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	flame := fs.String("flame", "", "write the self-time hierarchy as Chrome trace JSON to FILE")
 	hist := fs.Bool("hist", false, "append per-region latency histograms (text format)")
 	metrics := fs.Bool("metrics", false, "append the profiler's telemetry registry (text format)")
+	parallel := fs.Int("parallel", 0, "worker count calibration arms fan out across (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every width")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -197,7 +214,7 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	spec.Stride = *stride
 
 	if *budget > 0 {
-		s, code := calibrateStride(*workload, spec, *scale, *cores, *budget, stdout, stderr)
+		s, code := calibrateStride(*workload, spec, *scale, *cores, *parallel, *budget, stdout, stderr)
 		if code != 0 {
 			return code
 		}

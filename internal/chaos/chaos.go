@@ -31,6 +31,7 @@ import (
 	"limitsim/internal/machine"
 	"limitsim/internal/mem"
 	"limitsim/internal/pmu"
+	"limitsim/internal/runner"
 	"limitsim/internal/tabwrite"
 	"limitsim/internal/telemetry"
 )
@@ -93,6 +94,11 @@ type Config struct {
 	// default: campaigns are hot loops and the telemetry block is a
 	// diagnosis aid, not part of the verdict.
 	Metrics bool
+	// Parallel is the worker count runs fan out across: 1 is the
+	// serial engine, <= 0 uses GOMAXPROCS. Reports are byte-identical
+	// at every width — runs are independent simulations and results
+	// merge in (mix, seed) key order after the pool drains.
+	Parallel int
 	// Mixes is the fault matrix (default DefaultMixes).
 	Mixes []Mix
 }
@@ -198,25 +204,58 @@ func (r *Result) TotalRunErrors() int {
 
 // Run executes the campaign: for each mix, Seeds independent runs of
 // the instrumented workload under that mix's injector, every run
-// watched by a fresh invariant checker and scored by the value oracle.
+// watched by the invariant checker and scored by the value oracle.
+//
+// Runs fan out across cfg.Parallel workers through the runner engine.
+// Each run is a self-contained simulation (own machine, own restored
+// workload memory), outcomes land in slots keyed by (mix, seed) and
+// fold into mix results in key order after the pool drains, and
+// telemetry merges are commutative sums — so the rendered report is
+// byte-identical at every pool width, including the serial engine.
 func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	res := &Result{Cfg: cfg, Want: buildWorkload(cfg).want}
 	if cfg.Metrics {
 		// The campaign registry is built by the same constructor as
-		// each run's, so the per-run merges cannot mismatch.
+		// each worker's, so the post-barrier merges cannot mismatch.
 		res.Telemetry = telemetry.NewRegistry()
 		kernel.NewMetrics(res.Telemetry)
 	}
-	for mi, mix := range cfg.Mixes {
-		mr := MixResult{Name: mix.Name}
+	rc := runner.Config{Jobs: len(cfg.Mixes) * cfg.Seeds, Parallel: cfg.Parallel}
+	workers := make([]*campaignWorker, rc.Workers())
+	outs := make([]runOutcome, rc.Jobs)
+	runner.Run(rc, func(j, wi int) error {
+		if workers[wi] == nil {
+			workers[wi] = newCampaignWorker(cfg)
+		}
+		mi, s := j/cfg.Seeds, j%cfg.Seeds
+		runOne(cfg, cfg.Mixes[mi], RunSeed(mi, s), workers[wi], &outs[j])
+		return nil
+	})
+	for mi := range cfg.Mixes {
+		mr := MixResult{Name: cfg.Mixes[mi].Name}
 		for s := 0; s < cfg.Seeds; s++ {
-			seed := uint64(s)*0x9e3779b97f4a7c15 + uint64(mi) + 1
-			runOne(cfg, mix, seed, &mr, res.Telemetry)
+			outs[mi*cfg.Seeds+s].foldInto(&mr)
 		}
 		res.Mixes = append(res.Mixes, mr)
 	}
+	mergeWorkerTelemetry(res.Telemetry, workers)
 	return res
+}
+
+// mergeWorkerTelemetry folds each worker's aggregate registry into the
+// campaign registry, post-barrier, in worker order. The fold is a
+// commutative sum, so which worker executed which run cannot change
+// the merged block.
+func mergeWorkerTelemetry[W interface{ aggregate() *telemetry.Registry }](agg *telemetry.Registry, workers []W) {
+	if agg == nil {
+		return
+	}
+	for _, ws := range workers {
+		if r := ws.aggregate(); r != nil {
+			agg.MustMerge(r)
+		}
+	}
 }
 
 // workload is one built campaign program.
@@ -270,11 +309,95 @@ func buildWorkload(cfg Config) *workload {
 	return w
 }
 
-// runOne executes a single seeded run and folds its outcome into mr
-// (and its telemetry into agg, when campaign metrics are on).
-func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult, agg *telemetry.Registry) {
-	mr.Runs++
+// campaignWorker holds one pool worker's reusable run artifacts: the
+// workload (program, memory image, counter tables, delta buffers) is
+// built once and its memory snapshotted, then every run restores the
+// snapshot instead of reassembling; the invariant checker, injector
+// and telemetry registry are Reset between runs instead of
+// reallocated. Only the machine is rebuilt per run — it is the
+// simulation state itself, not scaffolding.
+type campaignWorker struct {
+	w    *workload
+	snap *mem.Snapshot
+	chk  *invariant.Checker
+	inj  *faultinject.Injector
+	reg  *telemetry.Registry // per-run scratch registry (nil without Metrics)
+	km   *kernel.Metrics
+	agg  *telemetry.Registry // this worker's cross-run aggregate
+}
 
+func newCampaignWorker(cfg Config) *campaignWorker {
+	ws := &campaignWorker{w: buildWorkload(cfg)}
+	ws.snap = ws.w.space.Snapshot()
+	ws.chk = invariant.New(ws.w.regions)
+	ws.inj = faultinject.New(faultinject.Config{})
+	ws.inj.SetRegions(ws.w.regions)
+	ws.inj.SetCores(cfg.Cores)
+	if cfg.Metrics {
+		ws.reg = telemetry.NewRegistry()
+		ws.km = kernel.NewMetrics(ws.reg)
+		ws.agg = telemetry.NewRegistry()
+		kernel.NewMetrics(ws.agg)
+	}
+	return ws
+}
+
+// aggregate is nil-receiver-safe: a pool wider than the job count
+// leaves its surplus worker slots nil.
+func (ws *campaignWorker) aggregate() *telemetry.Registry {
+	if ws == nil {
+		return nil
+	}
+	return ws.agg
+}
+
+// runOutcome is one run's contribution to its mix result, recorded in
+// a keyed slot so the post-barrier fold is order-independent.
+type runOutcome struct {
+	errMsg string
+
+	injected faultinject.Stats
+
+	rewinds        uint64
+	folds          uint64
+	ctxSwitches    uint64
+	migrations     uint64
+	readsCompleted uint64
+
+	tornDeltas        uint64
+	checkerViolations int
+	samples           []invariant.Violation
+}
+
+// foldInto replays the outcome onto the mix aggregate exactly as the
+// serial loop used to.
+func (o *runOutcome) foldInto(mr *MixResult) {
+	mr.Runs++
+	if o.errMsg != "" {
+		mr.RunErrors++
+		mr.Errs = append(mr.Errs, o.errMsg)
+	}
+	mr.Injected.Add(o.injected)
+	mr.Rewinds += o.rewinds
+	mr.Folds += o.folds
+	mr.CtxSwitches += o.ctxSwitches
+	mr.Migrations += o.migrations
+	mr.ReadsCompleted += o.readsCompleted
+	mr.TornDeltas += o.tornDeltas
+	mr.CheckerViolations += o.checkerViolations
+	for _, v := range o.samples {
+		if len(mr.Samples) >= 8 {
+			break
+		}
+		mr.Samples = append(mr.Samples, v)
+	}
+}
+
+// runOne executes a single seeded run on worker ws and records its
+// outcome into out. The worker's pooled artifacts are restored/reset
+// to their pristine state first, so a run's behaviour cannot depend on
+// which runs the worker executed before it.
+func runOne(cfg Config, mix Mix, seed uint64, ws *campaignWorker, out *runOutcome) {
 	feats := pmu.DefaultFeatures()
 	feats.WriteWidth = cfg.WriteWidth
 
@@ -283,7 +406,8 @@ func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult, agg *telemetry.Regi
 	kcfg.Quantum = 30_000 // short slices: natural preemption joins the storm
 	kcfg.LimitOverflow = kernel.FoldInKernel
 
-	w := buildWorkload(cfg)
+	w := ws.w
+	w.space.Restore(ws.snap)
 	m := machine.New(machine.Config{
 		NumCores:      cfg.Cores,
 		PMU:           feats,
@@ -294,18 +418,15 @@ func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult, agg *telemetry.Regi
 	icfg := mix.Inject
 	icfg.Seed = seed ^ 0x5ca1ab1e
 	icfg.NumSlots = feats.NumCounters
-	inj := faultinject.New(icfg)
-	inj.SetRegions(w.regions)
-	inj.SetCores(cfg.Cores)
-	inj.Attach(m.Kern)
+	ws.inj.Reset(icfg)
+	ws.inj.Attach(m.Kern)
 
-	chk := invariant.New(w.regions)
-	chk.Attach(m.Kern)
+	ws.chk.Reset()
+	ws.chk.Attach(m.Kern)
 
-	var km *kernel.Metrics
-	if agg != nil {
-		km = kernel.NewMetrics(telemetry.NewRegistry())
-		m.Kern.SetMetrics(km)
+	if ws.km != nil {
+		ws.reg.Reset()
+		m.Kern.SetMetrics(ws.km)
 	}
 
 	proc := m.Kern.NewProcess(w.prog, w.space)
@@ -316,14 +437,12 @@ func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult, agg *telemetry.Regi
 	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
 	switch {
 	case res.Err != nil:
-		mr.RunErrors++
-		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: %v", seed, res.Err))
+		out.errMsg = fmt.Sprintf("seed %#x: %v", seed, res.Err)
 	case !res.AllDone:
-		mr.RunErrors++
-		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: run hit %d-step bound (livelock?)", seed, runSteps))
+		out.errMsg = fmt.Sprintf("seed %#x: run hit %d-step bound (livelock?)", seed, runSteps)
 	}
 
-	chk.Finalize(proc, m.Kern.Threads(), 0)
+	ws.chk.Finalize(proc, m.Kern.Threads(), 0)
 
 	// Value oracle: every stored delta must sit within the static
 	// cost's slack; a torn read is off by a write-limit chunk.
@@ -331,37 +450,29 @@ func runOne(cfg Config, mix Mix, seed uint64, mr *MixResult, agg *telemetry.Regi
 		for it := 0; it < cfg.Iters; it++ {
 			d := w.space.Read64(w.bufs[ti] + uint64(it)*8)
 			if d < w.want || d > w.want+deltaSlack {
-				mr.TornDeltas++
+				out.tornDeltas++
 			}
 		}
 	}
 
-	mr.Injected.ForcedPreemptions += inj.Stats.ForcedPreemptions
-	mr.Injected.RandomPreemptions += inj.Stats.RandomPreemptions
-	mr.Injected.SpuriousPMIs += inj.Stats.SpuriousPMIs
-	mr.Injected.DelayedPMIs += inj.Stats.DelayedPMIs
-	mr.Injected.ReleasedPMIs += inj.Stats.ReleasedPMIs
-	mr.Injected.DrainedPMIs += inj.Stats.DrainedPMIs
-	mr.Injected.Migrations += inj.Stats.Migrations
-	mr.Injected.HeldSignals += inj.Stats.HeldSignals
-	mr.Injected.Flushes += inj.Stats.Flushes
+	out.injected = ws.inj.Stats
 
-	mr.Folds += m.Kern.Stats.OverflowFolds
-	mr.CtxSwitches += m.Kern.Stats.CtxSwitches
-	mr.Migrations += m.Kern.Stats.Migrations
-	mr.ReadsCompleted += chk.ReadsCompleted
+	out.folds = m.Kern.Stats.OverflowFolds
+	out.ctxSwitches = m.Kern.Stats.CtxSwitches
+	out.migrations = m.Kern.Stats.Migrations
+	out.readsCompleted = ws.chk.ReadsCompleted
 	for _, t := range m.Kern.Threads() {
-		mr.Rewinds += t.Stats.FixupRewinds
+		out.rewinds += t.Stats.FixupRewinds
 	}
-	mr.CheckerViolations += chk.Count()
-	for _, v := range chk.Violations() {
-		if len(mr.Samples) >= 8 {
+	out.checkerViolations = ws.chk.Count()
+	for _, v := range ws.chk.Violations() {
+		if len(out.samples) >= 8 {
 			break
 		}
-		mr.Samples = append(mr.Samples, v)
+		out.samples = append(out.samples, v)
 	}
-	if agg != nil {
-		agg.MustMerge(km.Registry())
+	if ws.km != nil {
+		ws.agg.MustMerge(ws.reg)
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 	"limitsim/internal/invariant"
 	"limitsim/internal/kernel"
 	"limitsim/internal/machine"
+	"limitsim/internal/mem"
 	"limitsim/internal/pmu"
+	"limitsim/internal/runner"
 	"limitsim/internal/tabwrite"
 	"limitsim/internal/telemetry"
 	"limitsim/internal/tls"
@@ -107,6 +109,11 @@ type SoakConfig struct {
 	// Metrics attaches the kernel telemetry layer to every run and
 	// merges the per-run registries into SoakResult.Telemetry.
 	Metrics bool
+	// Parallel is the worker count seeds fan out across within each
+	// mix: 1 is the serial engine, <= 0 uses GOMAXPROCS. Mixes run
+	// sequentially (workers persist across them); reports stay
+	// byte-identical at every width.
+	Parallel int
 	// Mixes is the lifecycle fault matrix (default DefaultSoakMixes).
 	Mixes []SoakMix
 }
@@ -246,6 +253,12 @@ func (r *SoakResult) TotalDegraded() uint64 {
 // independent long runs of the churn workload under that mix's
 // injector and slot capacity, each audited by the invariant checker
 // and the campaign's leak, conservation and value oracles.
+//
+// Within each mix, seeds fan out across cfg.Parallel workers through
+// the runner engine; mixes themselves run sequentially so the worker
+// pool (and its prebuilt churn workloads) persists across the matrix.
+// Outcomes land in seed-keyed slots and fold in seed order, so the
+// report is byte-identical at every pool width.
 func RunSoak(cfg SoakConfig) *SoakResult {
 	cfg = cfg.withDefaults()
 	res := &SoakResult{Cfg: cfg, Want: workloads.BuildChurn(cfg.churn()).Want}
@@ -253,22 +266,134 @@ func RunSoak(cfg SoakConfig) *SoakResult {
 		res.Telemetry = telemetry.NewRegistry()
 		kernel.NewMetrics(res.Telemetry)
 	}
-	for mi, mix := range cfg.Mixes {
+	rc := runner.Config{Jobs: cfg.Seeds, Parallel: cfg.Parallel}
+	workers := make([]*soakWorker, rc.Workers())
+	for mi := range cfg.Mixes {
+		mix := cfg.Mixes[mi]
+		outs := make([]soakOutcome, cfg.Seeds)
+		runner.Run(rc, func(j, wi int) error {
+			if workers[wi] == nil {
+				workers[wi] = newSoakWorker(cfg)
+			}
+			runOneSoak(cfg, mix, RunSeed(mi, j), workers[wi], &outs[j])
+			return nil
+		})
 		mr := SoakMixResult{Name: mix.Name, Waves: make([]WaveAcct, cfg.Waves)}
-		for s := 0; s < cfg.Seeds; s++ {
-			seed := uint64(s)*0x9e3779b97f4a7c15 + uint64(mi) + 1
-			runOneSoak(cfg, mix, seed, &mr, res.Telemetry)
+		for s := range outs {
+			outs[s].foldInto(&mr)
 		}
 		res.Mixes = append(res.Mixes, mr)
 	}
+	mergeWorkerTelemetry(res.Telemetry, workers)
 	return res
 }
 
-// runOneSoak executes a single seeded soak run and folds its outcome
-// into mr (and its telemetry into agg, when campaign metrics are on).
-func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg *telemetry.Registry) {
-	mr.Runs++
+// soakWorker holds one pool worker's reusable soak artifacts: the
+// churn workload is built once and its memory image snapshotted, the
+// checker/injector/registries are Reset between runs. The machine is
+// rebuilt per run.
+type soakWorker struct {
+	w    *workloads.Churn
+	snap *mem.Snapshot
+	chk  *invariant.Checker
+	inj  *faultinject.Injector
+	reg  *telemetry.Registry
+	km   *kernel.Metrics
+	agg  *telemetry.Registry
+}
 
+func newSoakWorker(cfg SoakConfig) *soakWorker {
+	ws := &soakWorker{w: workloads.BuildChurn(cfg.churn())}
+	ws.snap = ws.w.Space.Snapshot()
+	ws.chk = invariant.New(ws.w.Regions)
+	ws.inj = faultinject.New(faultinject.Config{})
+	ws.inj.SetRegions(ws.w.Regions)
+	ws.inj.SetCores(cfg.Cores)
+	if cfg.Metrics {
+		ws.reg = telemetry.NewRegistry()
+		ws.km = kernel.NewMetrics(ws.reg)
+		ws.agg = telemetry.NewRegistry()
+		kernel.NewMetrics(ws.agg)
+	}
+	return ws
+}
+
+// aggregate is nil-receiver-safe: a pool wider than the job count
+// leaves its surplus worker slots nil.
+func (ws *soakWorker) aggregate() *telemetry.Registry {
+	if ws == nil {
+		return nil
+	}
+	return ws.agg
+}
+
+// soakOutcome is one soak run's contribution to its mix result,
+// recorded in a seed-keyed slot for the order-independent fold.
+type soakOutcome struct {
+	errMsg string
+
+	injected faultinject.Stats
+
+	clones  uint64
+	exits   uint64
+	kills   uint64
+	denials uint64
+
+	degradedRuns  uint64
+	completedRuns uint64
+	partialRuns   uint64
+	waves         []WaveAcct
+
+	folds          uint64
+	rewinds        uint64
+	readsCompleted uint64
+
+	tornDeltas        uint64
+	badConservation   uint64
+	leaks             int
+	checkerViolations int
+	samples           []invariant.Violation
+}
+
+// foldInto replays the outcome onto the mix aggregate exactly as the
+// serial loop used to.
+func (o *soakOutcome) foldInto(mr *SoakMixResult) {
+	mr.Runs++
+	if o.errMsg != "" {
+		mr.RunErrors++
+		mr.Errs = append(mr.Errs, o.errMsg)
+	}
+	mr.Injected.Add(o.injected)
+	mr.Clones += o.clones
+	mr.Exits += o.exits
+	mr.Kills += o.kills
+	mr.Denials += o.denials
+	mr.DegradedRuns += o.degradedRuns
+	mr.CompletedRuns += o.completedRuns
+	mr.PartialRuns += o.partialRuns
+	for wv := range o.waves {
+		mr.Waves[wv].Exact += o.waves[wv].Exact
+		mr.Waves[wv].Est += o.waves[wv].Est
+		mr.Waves[wv].Partial += o.waves[wv].Partial
+	}
+	mr.Folds += o.folds
+	mr.Rewinds += o.rewinds
+	mr.ReadsCompleted += o.readsCompleted
+	mr.TornDeltas += o.tornDeltas
+	mr.BadConservation += o.badConservation
+	mr.Leaks += o.leaks
+	mr.CheckerViolations += o.checkerViolations
+	for _, v := range o.samples {
+		if len(mr.Samples) >= 8 {
+			break
+		}
+		mr.Samples = append(mr.Samples, v)
+	}
+}
+
+// runOneSoak executes a single seeded soak run on worker ws and
+// records its outcome into out.
+func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, ws *soakWorker, out *soakOutcome) {
 	feats := pmu.DefaultFeatures()
 	feats.WriteWidth = cfg.WriteWidth
 
@@ -282,7 +407,8 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg
 	}
 	kcfg.AblateReclaim = cfg.AblateReclaim
 
-	w := workloads.BuildChurn(cfg.churn())
+	w := ws.w
+	w.Space.Restore(ws.snap)
 	m := machine.New(machine.Config{
 		NumCores:      cfg.Cores,
 		PMU:           feats,
@@ -296,18 +422,15 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg
 	if icfg.CloneEvery > 0 {
 		icfg.CloneEntry = w.StubEntry
 	}
-	inj := faultinject.New(icfg)
-	inj.SetRegions(w.Regions)
-	inj.SetCores(cfg.Cores)
-	inj.Attach(m.Kern)
+	ws.inj.Reset(icfg)
+	ws.inj.Attach(m.Kern)
 
-	chk := invariant.New(w.Regions)
-	chk.Attach(m.Kern)
+	ws.chk.Reset()
+	ws.chk.Attach(m.Kern)
 
-	var km *kernel.Metrics
-	if agg != nil {
-		km = kernel.NewMetrics(telemetry.NewRegistry())
-		m.Kern.SetMetrics(km)
+	if ws.km != nil {
+		ws.reg.Reset()
+		m.Kern.SetMetrics(ws.km)
 	}
 
 	proc := m.Kern.NewProcess(w.Prog, w.Space)
@@ -317,18 +440,16 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg
 	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
 	switch {
 	case res.Err != nil:
-		mr.RunErrors++
-		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: %v", seed, res.Err))
+		out.errMsg = fmt.Sprintf("seed %#x: %v", seed, res.Err)
 	case !res.AllDone:
-		mr.RunErrors++
-		mr.Errs = append(mr.Errs, fmt.Sprintf("seed %#x: run hit %d-step bound (livelock?)", seed, runSteps))
+		out.errMsg = fmt.Sprintf("seed %#x: run hit %d-step bound (livelock?)", seed, runSteps)
 	}
 
 	// Leak oracle: with every thread exited, the kernel's resource
 	// ledgers must read zero. Under AblateReclaim they must NOT — the
 	// checker reporting the leaks is the ablation detecting itself.
 	if res.AllDone {
-		chk.CheckLeaks(m.Kern.Resources())
+		ws.chk.CheckLeaks(m.Kern.Resources())
 	}
 
 	// Conservation oracle: every cloned thread's inherited instruction
@@ -347,19 +468,20 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg
 		if len(cs) == 0 || cs[0].Kind != kernel.KindLimit || cs[0].Closed {
 			continue
 		}
-		if v, ok := chk.ReapValue(t.ID, 0); ok && v != t.Stats.UserInstructions {
-			mr.BadConservation++
+		if v, ok := ws.chk.ReapValue(t.ID, 0); ok && v != t.Stats.UserInstructions {
+			out.badConservation++
 		}
 	}
 
 	// Value oracle: every exact-path measurement a worker published
 	// before finishing (or dying) must sit within the static cost's
 	// slack; estimated runs are flagged, counted, and skipped.
+	out.waves = make([]WaveAcct, cfg.Waves)
 	for ri := 0; ri < w.Runs(); ri++ {
 		wave := ri / cfg.Pool
 		est := w.Estimated(ri)
 		if est {
-			mr.DegradedRuns++
+			out.degradedRuns++
 		}
 		n := w.Done(ri)
 		if n > uint64(cfg.Iters) {
@@ -367,14 +489,14 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg
 		}
 		switch {
 		case n < uint64(cfg.Iters):
-			mr.PartialRuns++
-			mr.Waves[wave].Partial++
+			out.partialRuns++
+			out.waves[wave].Partial++
 		case est:
-			mr.CompletedRuns++
-			mr.Waves[wave].Est++
+			out.completedRuns++
+			out.waves[wave].Est++
 		default:
-			mr.CompletedRuns++
-			mr.Waves[wave].Exact++
+			out.completedRuns++
+			out.waves[wave].Exact++
 		}
 		if est {
 			continue
@@ -382,32 +504,32 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, mr *SoakMixResult, agg
 		for i := uint64(0); i < n; i++ {
 			d := w.Delta(ri, int(i))
 			if d < w.Want || d > w.Want+deltaSlack {
-				mr.TornDeltas++
+				out.tornDeltas++
 			}
 		}
 	}
 
-	mr.Injected.Add(inj.Stats)
-	mr.Clones += m.Kern.Stats.Clones
-	mr.Exits += m.Kern.Stats.Exits
-	mr.Kills += m.Kern.Stats.Kills
-	mr.Denials += m.Kern.Resources().SlotDenials
-	mr.Folds += m.Kern.Stats.OverflowFolds
-	mr.ReadsCompleted += chk.ReadsCompleted
+	out.injected = ws.inj.Stats
+	out.clones = m.Kern.Stats.Clones
+	out.exits = m.Kern.Stats.Exits
+	out.kills = m.Kern.Stats.Kills
+	out.denials = m.Kern.Resources().SlotDenials
+	out.folds = m.Kern.Stats.OverflowFolds
+	out.readsCompleted = ws.chk.ReadsCompleted
 	for _, t := range m.Kern.Threads() {
-		mr.Rewinds += t.Stats.FixupRewinds
+		out.rewinds += t.Stats.FixupRewinds
 	}
-	mr.CheckerViolations += chk.Count()
-	for _, v := range chk.Violations() {
+	out.checkerViolations = ws.chk.Count()
+	for _, v := range ws.chk.Violations() {
 		if v.Kind == invariant.KindLeak {
-			mr.Leaks++
+			out.leaks++
 		}
-		if len(mr.Samples) < 8 {
-			mr.Samples = append(mr.Samples, v)
+		if len(out.samples) < 8 {
+			out.samples = append(out.samples, v)
 		}
 	}
-	if agg != nil {
-		agg.MustMerge(km.Registry())
+	if ws.km != nil {
+		ws.agg.MustMerge(ws.reg)
 	}
 }
 

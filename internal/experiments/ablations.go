@@ -80,7 +80,7 @@ func a1run(mode kernel.OverflowMode, writeWidth, iters int) (cycles, folds, sign
 func RunAblationOverflow(s Scale) (*A1Result, error) {
 	iters := s.iters(5_000)
 	r := &A1Result{}
-	for _, spec := range []struct {
+	specs := []struct {
 		mode  kernel.OverflowMode
 		name  string
 		width int
@@ -89,17 +89,22 @@ func RunAblationOverflow(s Scale) (*A1Result, error) {
 		{kernel.FoldInKernel, "kernel-fold", 12},
 		{kernel.SignalUser, "signal-user", 31},
 		{kernel.SignalUser, "signal-user", 12},
-	} {
+	}
+	rows, err := runPar(len(specs), func(i int) (A1Row, error) {
+		spec := specs[i]
 		cycles, folds, signals, err := a1run(spec.mode, spec.width, iters)
 		if err != nil {
-			return nil, err
+			return A1Row{}, err
 		}
-		row := A1Row{
+		return A1Row{
 			Mode: spec.name, WriteWidth: spec.width,
 			Folds: folds, Signals: signals, RunCycles: cycles,
-		}
-		r.Rows = append(r.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	r.Rows = rows
 	// Marginal fold cost: frequent-fold run vs the same mode's
 	// rare-fold baseline.
 	for i := range r.Rows {
@@ -162,8 +167,9 @@ type A2Result struct {
 func RunAblationQuantum(s Scale) (*A2Result, error) {
 	iters := s.iters(800)
 	const regionInstrs = 400
-	r := &A2Result{}
-	for _, quantum := range []uint64{500, 2_000, 20_000, 300_000} {
+	quanta := []uint64{500, 2_000, 20_000, 300_000}
+	rows, err := runPar(len(quanta), func(qi int) (A2Row, error) {
+		quantum := quanta[qi]
 		kcfg := kernel.DefaultConfig()
 		kcfg.Quantum = quantum
 
@@ -200,7 +206,7 @@ func RunAblationQuantum(s Scale) (*A2Result, error) {
 		t1 := m.Kern.Spawn(proc, "rival", 0, 6)
 		t1.SetReg(isa.R14, 1)
 		if res := m.Run(machine.RunLimits{MaxSteps: runSteps}); res.Err != nil {
-			return nil, fmt.Errorf("a2 quantum-%d run: %w", quantum, res.Err)
+			return A2Row{}, fmt.Errorf("a2 quantum-%d run: %w", quantum, res.Err)
 		}
 
 		// Each thread performs two reads per iteration (start + end).
@@ -213,9 +219,12 @@ func RunAblationQuantum(s Scale) (*A2Result, error) {
 				row.Torn++
 			}
 		}
-		r.Rows = append(r.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &A2Result{Rows: rows}, nil
 }
 
 // Render writes the quantum ablation.
@@ -249,24 +258,28 @@ type A3Result struct {
 
 // RunAblationSpins sweeps the spin budget on the MySQL model.
 func RunAblationSpins(s Scale) (*A3Result, error) {
-	r := &A3Result{}
-	for _, spins := range []int{0, 10, 40, 200, 1000} {
+	budgets := []int{0, 10, 40, 200, 1000}
+	rows, err := runPar(len(budgets), func(i int) (A3Row, error) {
+		spins := budgets[i]
 		cfg := scaleMySQL(workloads.DefaultMySQL(), s)
 		cfg.Spins = spins
 		app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
 		m, res, _ := app.Run(machine.Config{NumCores: 4}, machine.RunLimits{MaxSteps: runSteps})
 		if res.Err != nil {
-			return nil, fmt.Errorf("a3 spins-%d run: %w", spins, res.Err)
+			return A3Row{}, fmt.Errorf("a3 spins-%d run: %w", spins, res.Err)
 		}
 		p := analysis.CollectSync(app)
-		r.Rows = append(r.Rows, A3Row{
+		return A3Row{
 			Spins:       spins,
 			MeanAcquire: p.Acq.Mean(),
 			CtxSwitches: m.Kern.Stats.CtxSwitches,
 			RunMcycles:  float64(res.Cycles) / 1e6,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &A3Result{Rows: rows}, nil
 }
 
 // Render writes the spin ablation.
@@ -300,8 +313,7 @@ type A4Result struct {
 
 // RunAblationScheduler sweeps placement policies.
 func RunAblationScheduler(s Scale) (*A4Result, error) {
-	r := &A4Result{}
-	for _, spec := range []struct {
+	specs := []struct {
 		name           string
 		migrate, steal bool
 	}{
@@ -309,7 +321,9 @@ func RunAblationScheduler(s Scale) (*A4Result, error) {
 		{"affinity + stealing", false, true},
 		{"migrate-on-wake", true, false},
 		{"migrate + stealing", true, true},
-	} {
+	}
+	rows, err := runPar(len(specs), func(i int) (A4Row, error) {
+		spec := specs[i]
 		kcfg := kernel.DefaultConfig()
 		kcfg.MigrateOnWake = spec.migrate
 		kcfg.WorkStealing = spec.steal
@@ -317,16 +331,19 @@ func RunAblationScheduler(s Scale) (*A4Result, error) {
 		app := workloads.BuildMySQL(cfg, workloads.LimitInstr())
 		m, res, _ := app.Run(machine.Config{NumCores: 4, Kernel: kcfg}, machine.RunLimits{MaxSteps: runSteps})
 		if res.Err != nil {
-			return nil, fmt.Errorf("a4 %s run: %w", spec.name, res.Err)
+			return A4Row{}, fmt.Errorf("a4 %s run: %w", spec.name, res.Err)
 		}
-		r.Rows = append(r.Rows, A4Row{
+		return A4Row{
 			Policy:     spec.name,
 			Migrations: m.Kern.Stats.Migrations,
 			Steals:     m.Kern.Stats.Steals,
 			RunMcycles: float64(res.Cycles) / 1e6,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &A4Result{Rows: rows}, nil
 }
 
 // Render writes the scheduler ablation.

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"limitsim/internal/machine"
+	"limitsim/internal/runner"
 )
 
 // NsPerCycle converts simulated cycles to nanoseconds at the nominal
@@ -42,3 +43,22 @@ func (s Scale) count(n int) int {
 
 // runSteps is the universal step guard for experiment machines.
 const runSteps = 2_000_000_000
+
+// parallel is the worker count experiment trials fan out across: 1 is
+// the serial engine, <= 0 uses GOMAXPROCS. Set once by the CLI before
+// any runner executes; trials are independent simulations and results
+// land in trial-index order, so every table and figure is
+// byte-identical at every width.
+var parallel = 1
+
+// SetParallel sets the trial fan-out width for subsequent runners.
+func SetParallel(n int) { parallel = n }
+
+// runPar executes n independent trials through the runner engine and
+// returns their results in trial-index order. The first error (by
+// trial index, matching the serial loop) aborts unstarted trials.
+func runPar[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return runner.Map(runner.Config{Jobs: n, Parallel: parallel}, func(j, _ int) (T, error) {
+		return fn(j)
+	})
+}

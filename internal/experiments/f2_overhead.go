@@ -44,22 +44,37 @@ func RunFig2(s Scale) (*F2Result, error) {
 		return res.Cycles, nil
 	}
 
+	// One cell per (density, method) plus the density's uninstrumented
+	// baseline; every cell is an independent machine, so the whole grid
+	// fans out at once.
+	type cell struct {
+		work  int64
+		iters int
+		kind  probe.Kind
+	}
+	var grid []cell
 	for _, work := range works {
 		// Keep total work roughly constant across densities.
 		iters := s.iters(int(10_000_000 / work))
-		base, err := run(probe.KindNull, work, iters)
-		if err != nil {
-			return nil, err
-		}
+		grid = append(grid, cell{work, iters, probe.KindNull})
 		for _, kind := range kinds {
-			c, err := run(kind, work, iters)
-			if err != nil {
-				return nil, err
-			}
+			grid = append(grid, cell{work, iters, kind})
+		}
+	}
+	cycles, err := runPar(len(grid), func(i int) (uint64, error) {
+		return run(grid[i].kind, grid[i].work, grid[i].iters)
+	})
+	if err != nil {
+		return nil, err
+	}
+	stride := 1 + len(kinds)
+	for wi, work := range works {
+		base := cycles[wi*stride]
+		for ki, kind := range kinds {
 			r.Points = append(r.Points, F2Point{
 				Method:        string(kind),
 				ReadsPerKInst: 1000 / float64(work),
-				Slowdown:      float64(c) / float64(base),
+				Slowdown:      float64(cycles[wi*stride+1+ki]) / float64(base),
 			})
 		}
 	}

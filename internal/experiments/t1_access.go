@@ -43,21 +43,6 @@ func RunTable1(s Scale) (*T1Result, error) {
 		return res.Cycles, nil
 	}
 
-	base, err := run(probe.KindNull)
-	if err != nil {
-		return nil, err
-	}
-	perRead := func(kind probe.Kind) (float64, error) {
-		c, err := run(kind)
-		if err != nil {
-			return 0, err
-		}
-		if c <= base {
-			return 0, nil
-		}
-		return float64(c-base) / float64(iters), nil
-	}
-
 	r := &T1Result{Iters: iters}
 	type rowSpec struct {
 		kind        probe.Kind
@@ -65,17 +50,29 @@ func RunTable1(s Scale) (*T1Result, error) {
 		virtualized bool
 	}
 	specs := []rowSpec{
+		{probe.KindNull, false, false}, // uninstrumented baseline, not a row
 		{probe.KindRdtsc, true, false},
 		{probe.KindLimit, true, true},
 		{probe.KindPerf, true, true},
 		{probe.KindPAPI, true, true},
 	}
-	var limitCost float64
-	for _, sp := range specs {
-		c, err := perRead(sp.kind)
-		if err != nil {
-			return nil, err
+	cycles, err := runPar(len(specs), func(i int) (uint64, error) {
+		return run(specs[i].kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := cycles[0]
+	perRead := func(c uint64) float64 {
+		if c <= base {
+			return 0
 		}
+		return float64(c-base) / float64(iters)
+	}
+
+	var limitCost float64
+	for i, sp := range specs[1:] {
+		c := perRead(cycles[1+i])
 		if sp.kind == probe.KindLimit {
 			limitCost = c
 		}

@@ -36,8 +36,9 @@ type T5Result struct {
 // RunTable5 sweeps the per-thread counter count on a 4-slot PMU.
 func RunTable5(s Scale) (*T5Result, error) {
 	iters := s.iters(400)
-	r := &T5Result{}
-	for _, nCounters := range []int{2, 4, 8, 16} {
+	counts := []int{2, 4, 8, 16}
+	rows, err := runPar(len(counts), func(ci int) (T5Row, error) {
+		nCounters := counts[ci]
 		kcfg := kernel.DefaultConfig()
 		kcfg.Quantum = 4_000
 
@@ -70,10 +71,10 @@ func RunTable5(s Scale) (*T5Result, error) {
 		m.Kern.Spawn(proc, "rival", 0, 32)
 		res := m.Run(machine.RunLimits{MaxSteps: runSteps})
 		if res.Err != nil {
-			return nil, fmt.Errorf("table5 %d-counter run: %w", nCounters, res.Err)
+			return T5Row{}, fmt.Errorf("table5 %d-counter run: %w", nCounters, res.Err)
 		}
 		if !res.AllDone {
-			return nil, fmt.Errorf("table5 %d-counter run: incomplete after %d steps", nCounters, res.Steps)
+			return T5Row{}, fmt.Errorf("table5 %d-counter run: incomplete after %d steps", nCounters, res.Steps)
 		}
 
 		truth := float64(th.Stats.UserInstructions)
@@ -82,7 +83,7 @@ func RunTable5(s Scale) (*T5Result, error) {
 		for fd := 0; fd < nCounters; fd++ {
 			v, ferr := perfevent.FinalValue(th, fd)
 			if ferr != nil {
-				return nil, fmt.Errorf("table5 %d-counter run: %w", nCounters, ferr)
+				return T5Row{}, fmt.Errorf("table5 %d-counter run: %w", nCounters, ferr)
 			}
 			err := math.Abs(float64(v)-truth) / truth
 			row.MeanAbsErr += err
@@ -98,9 +99,12 @@ func RunTable5(s Scale) (*T5Result, error) {
 		}
 		row.MeanAbsErr /= float64(nCounters)
 		row.LoadedPct = loadedSum / float64(nCounters) * 100
-		r.Rows = append(r.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return &T5Result{Rows: rows}, nil
 }
 
 // Row returns the row for a counter count.

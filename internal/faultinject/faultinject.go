@@ -170,6 +170,21 @@ type Injector struct {
 // New builds an injector. Zero-valued knobs take the documented
 // defaults; a zero Config injects nothing.
 func New(cfg Config) *Injector {
+	inj := &Injector{
+		nCores:  1,
+		budget:  make(map[int]int),
+		stash:   make(map[int]*pmiStash),
+		sigHold: make(map[int]int),
+	}
+	inj.Reset(cfg)
+	return inj
+}
+
+// Reset reinitializes the injector for a fresh run under cfg, reusing
+// its allocated maps — the runner's worker pools reset one injector
+// per worker (with a new per-run seed) instead of allocating one per
+// run. Regions and the core count survive a Reset; stats do not.
+func (inj *Injector) Reset(cfg Config) {
 	if cfg.RegionBudget <= 0 {
 		cfg.RegionBudget = 8
 	}
@@ -182,19 +197,17 @@ func New(cfg Config) *Injector {
 	if cfg.CloneBudget <= 0 {
 		cfg.CloneBudget = 64
 	}
-	return &Injector{
-		cfg:         cfg,
-		rng:         cfg.Seed ^ 0xbadc0ffee0ddf00d,
-		nCores:      1,
-		budget:      make(map[int]int),
-		stash:       make(map[int]*pmiStash),
-		sigHold:     make(map[int]int),
-		armPC:       -1,
-		armKillPC:   -1,
-		armClonePC:  -1,
-		armCloneEnt: -1,
-		clonesLeft:  cfg.CloneBudget,
-	}
+	inj.cfg = cfg
+	inj.rng = cfg.Seed ^ 0xbadc0ffee0ddf00d
+	clear(inj.budget)
+	clear(inj.stash)
+	clear(inj.sigHold)
+	inj.armPC = -1
+	inj.armKillPC = -1
+	inj.armClonePC = -1
+	inj.armCloneEnt = -1
+	inj.clonesLeft = cfg.CloneBudget
+	inj.Stats = Stats{}
 }
 
 // SetRegions tells the injector which PC ranges are read-critical.

@@ -116,6 +116,22 @@ func New(regions [][2]int) *Checker {
 	return c
 }
 
+// Reset clears every observation so the checker can watch a fresh run
+// over the same regions, reusing its allocated maps — the runner's
+// worker pools reset one checker per worker instead of allocating one
+// per run. Stored violations are dropped (slice capacity kept); the
+// caller must have copied out whatever it wants to keep.
+func (c *Checker) Reset() {
+	clear(c.gen)
+	clear(c.folded)
+	clear(c.armed)
+	clear(c.low)
+	clear(c.reapVals)
+	c.violations = c.violations[:0]
+	c.count = 0
+	c.ReadsCompleted = 0
+}
+
 // Probes builds the kernel.Probes hook set.
 func (c *Checker) Probes() *kernel.Probes {
 	return &kernel.Probes{

@@ -36,6 +36,7 @@ package limit
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
@@ -141,7 +142,11 @@ func AllRingsCounter(ev pmu.Event) CounterSpec {
 	return CounterSpec{Event: ev, CountUser: true, CountKernel: true}
 }
 
-var emitterSeq int
+// emitterSeq is atomic: independent programs are built concurrently by
+// the runner's worker pool, and label uniqueness must survive that.
+// Labels resolve to PCs inside a single builder, so the numbering gaps
+// concurrency introduces never reach the generated program bytes.
+var emitterSeq atomic.Int64
 
 // Emitter generates LiMiT library code into an isa.Builder. One
 // Emitter serves one program body; its counter table is a ref.Ref:
@@ -215,8 +220,7 @@ func AllocTable(space *mem.Space, n int) ref.Ref {
 // must be set before the EmitInit point executes and must not be one
 // of R0..R3 (the setup block's scratch registers).
 func NewEmitter(b *isa.Builder, mode Mode, table ref.Ref) *Emitter {
-	emitterSeq++
-	return &Emitter{b: b, mode: mode, table: table, id: emitterSeq}
+	return &Emitter{b: b, mode: mode, table: table, id: int(emitterSeq.Add(1))}
 }
 
 // Mode returns the emitter's read-sequence mode.

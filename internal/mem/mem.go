@@ -108,6 +108,52 @@ func (s *Space) WriteWords(addr uint64, words []uint64) {
 // Useful in tests to confirm sparseness.
 func (s *Space) PageCount() int { return len(s.pages) }
 
+// Snapshot is a frozen copy of a Space's full state, taken with
+// Space.Snapshot and reapplied with Space.Restore. The runner's worker
+// pools use it to reuse one built workload across many runs: build
+// once, snapshot, then Restore before each run instead of paying the
+// whole program/emitter/allocation construction again.
+type Snapshot struct {
+	pages map[uint64]*[PageSize]byte
+	brk   uint64
+}
+
+// Snapshot captures the space's current contents and allocation mark.
+// The returned snapshot owns copies of every page; later writes to the
+// space do not leak into it.
+func (s *Space) Snapshot() *Snapshot {
+	snap := &Snapshot{pages: make(map[uint64]*[PageSize]byte, len(s.pages)), brk: s.brk}
+	for base, p := range s.pages {
+		cp := new([PageSize]byte)
+		*cp = *p
+		snap.pages[base] = cp
+	}
+	return snap
+}
+
+// Restore rewinds the space to exactly the snapshot's state: pages
+// materialized since are dropped, surviving pages are restored byte
+// for byte, and the allocation mark rewinds. After Restore the space
+// is indistinguishable from the one Snapshot saw.
+func (s *Space) Restore(snap *Snapshot) {
+	for base, p := range s.pages {
+		orig, ok := snap.pages[base]
+		if !ok {
+			delete(s.pages, base)
+			continue
+		}
+		*p = *orig
+	}
+	for base, orig := range snap.pages {
+		if _, ok := s.pages[base]; !ok {
+			cp := new([PageSize]byte)
+			*cp = *orig
+			s.pages[base] = cp
+		}
+	}
+	s.brk = snap.brk
+}
+
 func checkAligned(addr uint64) {
 	if addr&7 != 0 {
 		panic(fmt.Sprintf("mem: unaligned 64-bit access at %#x", addr))

@@ -130,3 +130,72 @@ func TestBrkMonotonic(t *testing.T) {
 		prev = s.Brk()
 	}
 }
+
+// TestSnapshotRestore pins the pooled-workload contract: after
+// arbitrary writes and fresh allocations, Restore returns the space to
+// the exact snapshotted bytes and allocation mark.
+func TestSnapshotRestore(t *testing.T) {
+	s := NewSpace()
+	a := s.AllocWords(4)
+	s.Write64(a, 111)
+	s.Write64(a+8, 222)
+	snap := s.Snapshot()
+	brk := s.Brk()
+
+	// Mutate existing words, then allocate and touch a far page.
+	s.Write64(a, 999)
+	b := s.Alloc(3 * PageSize)
+	s.Write64(b+2*PageSize, 777)
+	if s.Brk() == brk {
+		t.Fatal("allocation did not move brk")
+	}
+
+	s.Restore(snap)
+	if got := s.Read64(a); got != 111 {
+		t.Errorf("restored word = %d, want 111", got)
+	}
+	if got := s.Read64(a + 8); got != 222 {
+		t.Errorf("restored word = %d, want 222", got)
+	}
+	if s.Brk() != brk {
+		t.Errorf("restored brk = %#x, want %#x", s.Brk(), brk)
+	}
+	if got := s.Read64(b + 2*PageSize); got != 0 {
+		t.Errorf("post-snapshot page survived restore: %d", got)
+	}
+
+	// The snapshot is isolated from writes made after Restore too.
+	s.Write64(a, 5)
+	s.Restore(snap)
+	if got := s.Read64(a); got != 111 {
+		t.Errorf("second restore = %d, want 111", got)
+	}
+}
+
+// TestSnapshotRestoreEquivalence: a restored space must behave exactly
+// like a freshly built one (same reads, same page count).
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	build := func() (*Space, uint64) {
+		s := NewSpace()
+		base := s.AllocWords(64)
+		for i := uint64(0); i < 64; i++ {
+			s.Write64(base+i*8, i*i)
+		}
+		return s, base
+	}
+	fresh, fbase := build()
+	pooled, pbase := build()
+	snap := pooled.Snapshot()
+	for i := uint64(0); i < 64; i++ {
+		pooled.Write64(pbase+i*8, ^uint64(0))
+	}
+	pooled.Restore(snap)
+	if fresh.PageCount() != pooled.PageCount() {
+		t.Errorf("page counts differ: fresh %d, restored %d", fresh.PageCount(), pooled.PageCount())
+	}
+	for i := uint64(0); i < 64; i++ {
+		if f, p := fresh.Read64(fbase+i*8), pooled.Read64(pbase+i*8); f != p {
+			t.Errorf("word %d: fresh %d, restored %d", i, f, p)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package profile
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"limitsim/internal/isa"
 	"limitsim/internal/limit"
@@ -216,7 +217,9 @@ type Instrumenter struct {
 
 // labelSeq is package-global: multiple instrumenters may share one
 // builder (multi-body programs), so labels must be unique across them.
-var labelSeq int
+// Atomic because independent programs are built concurrently by the
+// runner's worker pool; numbering never reaches generated bytes.
+var labelSeq atomic.Int64
 
 // NewInstrumenter reserves TLS space for the profiler and declares the
 // bundle's counters on e (which must not have called EmitInit yet).
@@ -273,8 +276,7 @@ func (ins *Instrumenter) define(name string, kind RegionKind) *region {
 }
 
 func (ins *Instrumenter) label(s string) string {
-	labelSeq++
-	return fmt.Sprintf("profile.%s.%d", s, labelSeq)
+	return fmt.Sprintf("profile.%s.%d", s, labelSeq.Add(1))
 }
 
 // field returns region r's TLS word at index i.

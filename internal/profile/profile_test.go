@@ -109,18 +109,29 @@ func TestGroundTruthCrossCheck(t *testing.T) {
 // full profiler boundary (accumulators, min/max, histogram) must cost
 // at most ~2x the bare LiMiT read pair over the same bundle.
 func TestOverheadWithinBareReadPairBound(t *testing.T) {
-	totals := map[workloads.RegionBenchMode]uint64{}
-	for _, mode := range []workloads.RegionBenchMode{
+	modes := []workloads.RegionBenchMode{
 		workloads.RegionBenchNone, workloads.RegionBenchBare, workloads.RegionBenchProfiled,
-	} {
-		app, _ := runProfiled(t, mode)
-		totals[mode] = workloads.RegionBenchTotal(app)
 	}
-	base := totals[workloads.RegionBenchNone]
-	bare := totals[workloads.RegionBenchBare] - base
-	prof := totals[workloads.RegionBenchProfiled] - base
-	if totals[workloads.RegionBenchBare] <= base {
-		t.Fatalf("bare read pairs added no cost: %d vs %d", totals[workloads.RegionBenchBare], base)
+	// The arms run through the parallel A/B helper; a serial re-run of
+	// one arm must agree exactly, pinning arm independence.
+	arms, err := workloads.RunRegionBenchModes(workloads.DefaultRegionBench(), profile.DefaultSpec(), modes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialBare, err := workloads.RunRegionBenchModes(
+		workloads.DefaultRegionBench(), profile.DefaultSpec(),
+		[]workloads.RegionBenchMode{workloads.RegionBenchBare}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialBare[0] != arms[1] {
+		t.Errorf("parallel arm total %d differs from serial %d", arms[1], serialBare[0])
+	}
+	base := arms[0]
+	bare := arms[1] - base
+	prof := arms[2] - base
+	if arms[1] <= base {
+		t.Fatalf("bare read pairs added no cost: %d vs %d", arms[1], base)
 	}
 	ratio := float64(prof) / float64(bare)
 	t.Logf("bare pair overhead %d cyc, profiled %d cyc, ratio %.2fx", bare, prof, ratio)

@@ -9,13 +9,16 @@ package rec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"limitsim/internal/isa"
 	"limitsim/internal/mem"
 	"limitsim/internal/ref"
 )
 
-var labelSeq int
+// labelSeq is atomic: programs are built concurrently by the runner's
+// worker pool. Label numbering never reaches generated program bytes.
+var labelSeq atomic.Int64
 
 // Buffer describes a record buffer: one count word followed by
 // Cap records of Stride words each.
@@ -50,8 +53,7 @@ func (bu Buffer) EmitAppend(b *isa.Builder, vals []isa.Reg, s1, s2, s3 isa.Reg) 
 	if len(vals) != bu.Stride {
 		panic(fmt.Sprintf("rec: EmitAppend with %d values, stride %d", len(vals), bu.Stride))
 	}
-	labelSeq++
-	skip := fmt.Sprintf("rec.skip.%d", labelSeq)
+	skip := fmt.Sprintf("rec.skip.%d", labelSeq.Add(1))
 
 	bu.base.EmitLea(b, s1)      // s1 = &count
 	b.Load(s2, s1, 0)           // s2 = count

@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		jobs, parallel, min, max int
+	}{
+		{10, 1, 1, 1},
+		{10, 4, 4, 4},
+		{2, 8, 2, 2},   // clamped to jobs
+		{10, 0, 1, 10}, // GOMAXPROCS, whatever it is, clamped to jobs
+		{0, 4, 1, 1},
+	}
+	for _, c := range cases {
+		got := Config{Jobs: c.jobs, Parallel: c.parallel}.Workers()
+		if got < c.min || got > c.max {
+			t.Errorf("Workers(jobs=%d, parallel=%d) = %d, want in [%d,%d]",
+				c.jobs, c.parallel, got, c.min, c.max)
+		}
+	}
+}
+
+// TestMapKeyedSlots checks that results land at their job key for every
+// pool width, identical to the serial engine's output.
+func TestMapKeyedSlots(t *testing.T) {
+	const jobs = 64
+	want := make([]int, jobs)
+	for j := range want {
+		want[j] = j * j
+	}
+	for _, parallel := range []int{1, 2, 4, 8, 0} {
+		got, err := Map(Config{Jobs: jobs, Parallel: parallel}, func(j, w int) (int, error) {
+			return j * j, nil
+		})
+		if err != nil {
+			t.Fatalf("parallel %d: %v", parallel, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("parallel %d: slot %d = %d, want %d", parallel, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestEveryJobRunsOnce counts invocations per key under contention.
+func TestEveryJobRunsOnce(t *testing.T) {
+	const jobs = 200
+	var counts [jobs]atomic.Int64
+	err := Run(Config{Jobs: jobs, Parallel: 8}, func(j, w int) error {
+		counts[j].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range counts {
+		if n := counts[j].Load(); n != 1 {
+			t.Errorf("job %d ran %d times", j, n)
+		}
+	}
+}
+
+// TestWorkerIndexBounds verifies worker indexes stay dense within
+// Workers(), the contract per-worker artifact pools rely on.
+func TestWorkerIndexBounds(t *testing.T) {
+	cfg := Config{Jobs: 100, Parallel: 5}
+	limit := cfg.Workers()
+	var bad atomic.Int64
+	err := Run(cfg, func(j, w int) error {
+		if w < 0 || w >= limit {
+			bad.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("%d job(s) saw a worker index outside [0,%d)", bad.Load(), limit)
+	}
+}
+
+// TestErrorIsLowestKeyed makes the error rule concrete: whichever
+// worker fails first, the returned error is the lowest failing key's —
+// exactly what the serial loop returns.
+func TestErrorIsLowestKeyed(t *testing.T) {
+	fail := map[int]bool{7: true, 23: true, 61: true}
+	for _, parallel := range []int{1, 2, 8} {
+		err := Run(Config{Jobs: 64, Parallel: parallel}, func(j, w int) error {
+			if fail[j] {
+				return fmt.Errorf("job %d failed", j)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Errorf("parallel %d: err = %v, want job 7's", parallel, err)
+		}
+	}
+}
+
+// TestCancellationSkipsQueuedJobs: after the first error, jobs not yet
+// claimed must never start.
+func TestCancellationSkipsQueuedJobs(t *testing.T) {
+	const jobs = 10_000
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := Run(Config{Jobs: jobs, Parallel: 4}, func(j, w int) error {
+		ran.Add(1)
+		if j == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= jobs {
+		t.Errorf("all %d jobs ran despite an early error", n)
+	} else {
+		t.Logf("ran %d of %d jobs before cancellation", n, jobs)
+	}
+}
+
+// TestSerialStopsAtFirstError pins the Parallel==1 inline path.
+func TestSerialStopsAtFirstError(t *testing.T) {
+	var ran int
+	err := Run(Config{Jobs: 100, Parallel: 1}, func(j, w int) error {
+		ran++
+		if j == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Errorf("serial path ran %d jobs (err %v), want exactly 4", ran, err)
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	called := false
+	if err := Run(Config{Jobs: 0, Parallel: 4}, func(j, w int) error {
+		called = true
+		return nil
+	}); err != nil || called {
+		t.Errorf("zero jobs: err=%v called=%v", err, called)
+	}
+}

@@ -166,17 +166,18 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max
 }
 
-// checkBounds verifies o is mergeable into h (identical bucket bounds).
-func (h *Histogram) checkBounds(o *Histogram) error {
+// checkBounds verifies o is mergeable into h (identical bucket bounds);
+// the returned detail slots into a SchemaError.
+func (h *Histogram) checkBounds(o *Histogram) string {
 	if len(h.bounds) != len(o.bounds) {
-		return fmt.Errorf("telemetry: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
+		return fmt.Sprintf("%d vs %d bounds", len(h.bounds), len(o.bounds))
 	}
 	for i := range h.bounds {
 		if h.bounds[i] != o.bounds[i] {
-			return fmt.Errorf("telemetry: histogram bound %d differs (%d vs %d)", i, h.bounds[i], o.bounds[i])
+			return fmt.Sprintf("bound %d differs (%d vs %d)", i, h.bounds[i], o.bounds[i])
 		}
 	}
-	return nil
+	return ""
 }
 
 // merge folds o into h; the caller has already checked bounds.
@@ -291,29 +292,67 @@ func (r *Registry) LookupHistogram(name string) *Histogram {
 	return nil
 }
 
-// Merge folds o's metrics into r, matching by name. Every metric of o
-// must exist in r with the same kind (and histogram bounds) — merged
-// registries are meant to be built by the same constructor, as the
-// chaos campaigns do per run. On error r is left unmodified: the whole
-// schema is validated before any counts move.
+// SchemaError reports a registry merge whose source schema drifted
+// from the target's: a metric missing on either side, registered under
+// a different kind, or a histogram with different bucket bounds. It is
+// a typed error so campaign engines can distinguish schema drift (a
+// programming error in per-run registry construction — the merge moved
+// nothing) from ordinary failures, and fail loudly instead of
+// aggregating a silently incomplete report.
+type SchemaError struct {
+	// Kind is the metric kind in the registry that has it ("counter",
+	// "gauge", "histogram").
+	Kind string
+	// Name is the drifting metric's name.
+	Name string
+	// Detail says what drifted (which side lacks it, or how histogram
+	// bounds differ).
+	Detail string
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("telemetry: merge schema drift on %s %q: %s", e.Kind, e.Name, e.Detail)
+}
+
+// Merge folds o's metrics into r, matching by name. The schemas must
+// be identical — every metric present on both sides with the same kind
+// and histogram bounds — because merged registries are meant to be
+// built by the same constructor, as the campaign engines do per run. A
+// drifted schema returns a *SchemaError and r is left unmodified: the
+// whole schema is validated before any counts move.
 func (r *Registry) Merge(o *Registry) error {
 	for _, name := range o.counterIDs {
 		if r.LookupCounter(name) == nil {
-			return fmt.Errorf("telemetry: merge target lacks counter %s", name)
+			return &SchemaError{Kind: "counter", Name: name, Detail: "missing from merge target"}
 		}
 	}
 	for _, name := range o.gaugeIDs {
 		if r.LookupGauge(name) == nil {
-			return fmt.Errorf("telemetry: merge target lacks gauge %s", name)
+			return &SchemaError{Kind: "gauge", Name: name, Detail: "missing from merge target"}
 		}
 	}
 	for i, name := range o.histIDs {
 		h := r.LookupHistogram(name)
 		if h == nil {
-			return fmt.Errorf("telemetry: merge target lacks histogram %s", name)
+			return &SchemaError{Kind: "histogram", Name: name, Detail: "missing from merge target"}
 		}
-		if err := h.checkBounds(o.hists[i]); err != nil {
-			return fmt.Errorf("%w (%s)", err, name)
+		if detail := h.checkBounds(o.hists[i]); detail != "" {
+			return &SchemaError{Kind: "histogram", Name: name, Detail: detail}
+		}
+	}
+	for _, name := range r.counterIDs {
+		if o.LookupCounter(name) == nil {
+			return &SchemaError{Kind: "counter", Name: name, Detail: "missing from merge source"}
+		}
+	}
+	for _, name := range r.gaugeIDs {
+		if o.LookupGauge(name) == nil {
+			return &SchemaError{Kind: "gauge", Name: name, Detail: "missing from merge source"}
+		}
+	}
+	for _, name := range r.histIDs {
+		if o.LookupHistogram(name) == nil {
+			return &SchemaError{Kind: "histogram", Name: name, Detail: "missing from merge source"}
 		}
 	}
 	for i, name := range o.counterIDs {
@@ -321,8 +360,11 @@ func (r *Registry) Merge(o *Registry) error {
 	}
 	for i, name := range o.gaugeIDs {
 		g := r.LookupGauge(name)
-		// Residual levels add; the merged peak is the max of peaks (runs
-		// are sequential, never concurrent).
+		// Residual levels add; the merged peak is the max of peaks.
+		// Both operations are commutative and associative, so a
+		// campaign merge is order-independent — the keyed post-barrier
+		// merge order is a presentation convention, not a correctness
+		// requirement.
 		g.v += o.gauges[i].v
 		if o.gauges[i].peak > g.peak {
 			g.peak = o.gauges[i].peak
@@ -339,6 +381,23 @@ func (r *Registry) Merge(o *Registry) error {
 func (r *Registry) MustMerge(o *Registry) {
 	if err := r.Merge(o); err != nil {
 		panic(err)
+	}
+}
+
+// Reset zeroes every registered metric in place, preserving the schema
+// and registration order. The runner's worker pools use it to reuse
+// one per-run registry (and its instrumented metric handles) across
+// many runs instead of reconstructing the whole metric set each time.
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, g := range r.gauges {
+		*g = Gauge{}
+	}
+	for _, h := range r.hists {
+		clear(h.counts)
+		h.n, h.sum, h.min, h.max = 0, 0, 0, 0
 	}
 }
 

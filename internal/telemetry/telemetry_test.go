@@ -3,6 +3,7 @@ package telemetry_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -221,4 +222,90 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 	r := telemetry.NewRegistry()
 	r.Counter("x")
 	r.Gauge("x")
+}
+
+// TestMergeSchemaError pins the typed error contract: every drift
+// direction surfaces as a *telemetry.SchemaError naming the metric, and the
+// target registry is untouched.
+func TestMergeSchemaError(t *testing.T) {
+	build := func(extra bool) *telemetry.Registry {
+		r := telemetry.NewRegistry()
+		r.Counter("runs")
+		r.Gauge("level")
+		r.Histogram("cost", []uint64{10, 100})
+		if extra {
+			r.Counter("drifted")
+		}
+		return r
+	}
+
+	// Source has a metric the target lacks.
+	target, src := build(false), build(true)
+	src.LookupCounter("runs").Add(7)
+	err := target.Merge(src)
+	var se *telemetry.SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *telemetry.SchemaError", err, err)
+	}
+	if se.Kind != "counter" || se.Name != "drifted" {
+		t.Errorf("telemetry.SchemaError = %+v, want counter/drifted", se)
+	}
+	if got := target.LookupCounter("runs").Value(); got != 0 {
+		t.Errorf("failed merge moved counts: runs = %d, want 0", got)
+	}
+
+	// Target has a metric the source lacks — also drift, also loud.
+	err = build(true).Merge(build(false))
+	if !errors.As(err, &se) {
+		t.Fatalf("reverse drift: err = %v (%T), want *telemetry.SchemaError", err, err)
+	}
+	if se.Name != "drifted" || se.Detail != "missing from merge source" {
+		t.Errorf("reverse drift telemetry.SchemaError = %+v", se)
+	}
+
+	// Histogram bound drift carries the histogram kind.
+	a, b := telemetry.NewRegistry(), telemetry.NewRegistry()
+	a.Histogram("cost", []uint64{10, 100})
+	b.Histogram("cost", []uint64{10, 200})
+	if err := a.Merge(b); !errors.As(err, &se) || se.Kind != "histogram" {
+		t.Errorf("bound drift: err = %v, want histogram *telemetry.SchemaError", err)
+	}
+}
+
+// TestRegistryReset verifies Reset zeroes values but preserves schema,
+// handles and render order — the pooling contract.
+func TestRegistryReset(t *testing.T) {
+	r := telemetry.NewRegistry()
+	c := r.Counter("runs")
+	g := r.Gauge("level")
+	h := r.Histogram("cost", []uint64{10, 100})
+
+	var before strings.Builder
+	r.Render(&before)
+
+	c.Add(5)
+	g.Add(3)
+	g.Add(-1)
+	h.Observe(7)
+	h.Observe(5000)
+	r.Reset()
+
+	if c.Value() != 0 || g.Value() != 0 || g.Peak() != 0 {
+		t.Errorf("Reset left counter=%d gauge=%d peak=%d", c.Value(), g.Value(), g.Peak())
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("Reset left histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+	var after strings.Builder
+	r.Render(&after)
+	if before.String() != after.String() {
+		t.Errorf("reset registry renders differently:\n--- fresh ---\n%s--- reset ---\n%s",
+			before.String(), after.String())
+	}
+	// Handles stay live: the same pointers keep recording after Reset.
+	c.Inc()
+	h.Observe(50)
+	if r.LookupCounter("runs").Value() != 1 || r.LookupHistogram("cost").Count() != 1 {
+		t.Error("handles went stale after Reset")
+	}
 }

@@ -15,6 +15,7 @@ package usync
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
@@ -22,11 +23,12 @@ import (
 	"limitsim/internal/ref"
 )
 
-var labelSeq int
+// labelSeq is atomic: programs are built concurrently by the runner's
+// worker pool. Label numbering never reaches generated program bytes.
+var labelSeq atomic.Int64
 
 func uniq(prefix string) string {
-	labelSeq++
-	return fmt.Sprintf("usync.%s.%d", prefix, labelSeq)
+	return fmt.Sprintf("usync.%s.%d", prefix, labelSeq.Add(1))
 }
 
 // EmitLock emits the futex-mutex acquire path for the lock word at

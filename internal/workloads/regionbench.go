@@ -1,12 +1,16 @@
 package workloads
 
 import (
+	"fmt"
+
 	"limitsim/internal/isa"
 	"limitsim/internal/limit"
+	"limitsim/internal/machine"
 	"limitsim/internal/mem"
 	"limitsim/internal/probe"
 	"limitsim/internal/profile"
 	"limitsim/internal/ref"
+	"limitsim/internal/runner"
 	"limitsim/internal/tls"
 )
 
@@ -133,4 +137,21 @@ func BuildRegionBench(cfg RegionBenchConfig, spec profile.Spec, mode RegionBench
 // RegionBenchTotal reads back the measured body runtime in user cycles.
 func RegionBenchTotal(app *App) uint64 {
 	return app.Space.Read64(app.Bodies[0].TotalCycles.Resolve(app.ThreadBase(app.Plans[0])))
+}
+
+// RunRegionBenchModes builds and runs one benchmark per mode — the
+// A/B arms of an overhead comparison — fanning the arms out across
+// parallel workers (1 = serial, <= 0 = GOMAXPROCS) through the runner
+// engine, and returns each arm's measured body runtime in mode order.
+// Arms are independent single-core machines, so the totals are
+// identical at every width.
+func RunRegionBenchModes(cfg RegionBenchConfig, spec profile.Spec, modes []RegionBenchMode, parallel int) ([]uint64, error) {
+	return runner.Map(runner.Config{Jobs: len(modes), Parallel: parallel}, func(j, _ int) (uint64, error) {
+		app := BuildRegionBench(cfg, spec, modes[j])
+		_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{})
+		if res.Err != nil {
+			return 0, fmt.Errorf("regionbench mode %d: %w", modes[j], res.Err)
+		}
+		return RegionBenchTotal(app), nil
+	})
 }

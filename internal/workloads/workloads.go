@@ -11,6 +11,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
@@ -521,9 +522,10 @@ func CollectProfile(app *App) (*profile.Profile, error) {
 	return out, nil
 }
 
-var wlLabelSeq int
+// wlLabelSeq is atomic: workloads are built concurrently by the
+// runner's worker pool. Label numbering never reaches generated bytes.
+var wlLabelSeq atomic.Int64
 
 func uniqLabel(prefix string) string {
-	wlLabelSeq++
-	return fmt.Sprintf("wl.%s.%d", prefix, wlLabelSeq)
+	return fmt.Sprintf("wl.%s.%d", prefix, wlLabelSeq.Add(1))
 }
