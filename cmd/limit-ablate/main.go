@@ -37,6 +37,11 @@ func main() {
 	a4 := flag.Bool("a4", false, "run A4: scheduler policy")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "limit-ablate: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
 	all := !(*a1 || *a2 || *a3 || *a4)
 	s := experiments.Scale(*scale)
 	w := os.Stdout

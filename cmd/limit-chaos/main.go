@@ -43,6 +43,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"limitsim/internal/chaos"
@@ -63,10 +64,27 @@ func main() {
 	ablateReclaim := flag.Bool("ablate-reclaim", false, "disable exit-time resource reclamation (soak ablation: leaks expected)")
 	metrics := flag.Bool("metrics", false, "attach kernel telemetry to every run and append the merged metrics block")
 	parallel := flag.Int("parallel", 0, "worker count runs fan out across (0 = GOMAXPROCS, 1 = serial); the report is byte-identical at every width")
+	report := flag.String("report", "", "write the campaign report to FILE instead of stdout (verdict lines stay on stdout/stderr)")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "limit-chaos: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "limit-chaos: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
 	if *soak {
-		runSoak(*seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *parallel, *nofixup, *ablateReclaim, *metrics)
+		runSoak(out, *seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *parallel, *nofixup, *ablateReclaim, *metrics)
 		return
 	}
 	if *ablateReclaim {
@@ -97,7 +115,7 @@ func main() {
 		Metrics:    *metrics,
 		Parallel:   *parallel,
 	})
-	res.Render(os.Stdout)
+	res.Render(out)
 
 	violations := res.TotalViolations()
 	errs := res.TotalRunErrors()
@@ -123,7 +141,7 @@ func main() {
 // discipline: failed runs are always fatal; a sabotaged configuration
 // (-nofixup or -ablate-reclaim) must detect its own damage; a healthy
 // one must detect nothing.
-func runSoak(seeds, pool, waves, iters, k, cores, width, capacity, parallel int, nofixup, ablateReclaim, metrics bool) {
+func runSoak(out io.Writer, seeds, pool, waves, iters, k, cores, width, capacity, parallel int, nofixup, ablateReclaim, metrics bool) {
 	if seeds == 0 {
 		seeds = 8
 	}
@@ -141,7 +159,7 @@ func runSoak(seeds, pool, waves, iters, k, cores, width, capacity, parallel int,
 		Metrics:       metrics,
 		Parallel:      parallel,
 	})
-	res.Render(os.Stdout)
+	res.Render(out)
 
 	sabotaged := nofixup || ablateReclaim
 	violations := res.TotalViolations()

@@ -37,6 +37,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count trials fan out across (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every width")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "limit-experiments: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
 	experiments.SetParallel(*parallel)
 	s := experiments.Scale(*scale)
 	w := os.Stdout

@@ -22,6 +22,11 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale factor (iteration multiplier)")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "limit-hw: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	r, err := experiments.RunFig7(experiments.Scale(*scale))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "limit-hw: %v\n", err)

@@ -39,6 +39,11 @@ func main() {
 	t5 := flag.Bool("table5", false, "run Table 5: multiplexing error")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "limit-overhead: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
 	all := !(*t1 || *t2 || *t3 || *f1 || *f2 || *t4 || *t5)
 	s := experiments.Scale(*scale)
 	w := os.Stdout

@@ -186,6 +186,10 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "limit-profile: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
 	switch *format {
 	case "text", "markdown", "jsonl":
 	default:

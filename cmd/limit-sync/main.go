@@ -31,6 +31,11 @@ func main() {
 	f8 := flag.Bool("fig8", false, "run Figure 8: bottleneck identification")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "limit-sync: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
 	all := !(*f3 || *f4 || *f5 || *f6 || *f8)
 	s := experiments.Scale(*scale)
 	w := os.Stdout

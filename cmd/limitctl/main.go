@@ -13,6 +13,7 @@
 //	limitctl list   (or -list)
 //	limitctl trace [-app ...] [-format text|chrome|jsonl] [-n 4096]
 //	limitctl stats [-app ...] [-format text|jsonl]
+//	limitctl merge [-format text|jsonl] <file.jsonl> <file.jsonl> [...]
 //
 // Bare "limitctl" (or -h) prints the help with the subcommand index
 // and exits 0. -list/list prints the available event/counter
@@ -21,8 +22,12 @@
 // with the kernel tracer attached and emits the event stream as text,
 // Chrome trace-event JSON (Perfetto-loadable), or JSONL. The stats
 // subcommand runs a workload with the telemetry layer attached and
-// emits the kernel/pmu/limit self-metrics. Unknown subcommands and
-// unknown -format values exit 2 with usage.
+// emits the kernel/pmu/limit self-metrics. The merge subcommand folds
+// telemetry JSONL files (from stats -format jsonl, or shipped by fleet
+// workers) into one registry with the campaign engines' commutative
+// merge; schema drift between files exits 1 naming the metric. Unknown
+// subcommands, unknown -format values, and merge with no input files
+// exit 2 with usage.
 package main
 
 import (
@@ -143,6 +148,7 @@ var subcommands = []struct {
 	{"list", "print available events, access methods and PMU presets (alias of -list)", nil},
 	{"trace", "run with the kernel tracer attached; -format text|chrome|jsonl", runTrace},
 	{"stats", "run with the telemetry layer attached; -format text|jsonl", runStats},
+	{"merge", "fold telemetry JSONL files into one registry; drift between files is an error", runMerge},
 }
 
 // usage writes the flag help plus the subcommand index.

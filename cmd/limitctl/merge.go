@@ -1,0 +1,89 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"limitsim/internal/telemetry"
+)
+
+// runMerge folds two or more telemetry JSONL files (the stats
+// subcommand's -format jsonl output, or the per-run blocks a fleet
+// worker ships) into one registry and emits it. Merging is the same
+// commutative fold the campaign engines use — counters add, gauges add
+// with peak-max, histograms add bucketwise — so the output is
+// byte-identical regardless of how the inputs were sharded.
+//
+// Schema drift between files is an error, not a best-effort union: a
+// metric present in one file and missing in another, or a histogram
+// whose bucket bounds changed, aborts with the file and metric named.
+// Returns the process exit code.
+func runMerge(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("limitctl merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text, jsonl")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: limitctl merge [-format text|jsonl] <file.jsonl> <file.jsonl> [...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "text", "jsonl":
+	default:
+		fmt.Fprintf(stderr, "limitctl merge: unknown -format %q (text, jsonl)\n", *format)
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "limitctl merge: no input files")
+		fs.Usage()
+		return 2
+	}
+
+	var merged *telemetry.Registry
+	var first string
+	for _, path := range fs.Args() {
+		reg, err := parseJSONLFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "limitctl merge: %s: %v\n", path, err)
+			return 1
+		}
+		if merged == nil {
+			merged, first = reg, path
+			continue
+		}
+		if err := merged.Merge(reg); err != nil {
+			var se *telemetry.SchemaError
+			if errors.As(err, &se) {
+				fmt.Fprintf(stderr, "limitctl merge: schema drift between %s and %s: %v\n", first, path, se)
+			} else {
+				fmt.Fprintf(stderr, "limitctl merge: merging %s: %v\n", path, err)
+			}
+			return 1
+		}
+	}
+
+	if *format == "jsonl" {
+		if err := merged.WriteJSONL(stdout); err != nil {
+			fmt.Fprintf(stderr, "limitctl merge: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	merged.Render(stdout)
+	return 0
+}
+
+func parseJSONLFile(path string) (*telemetry.Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ParseJSONL(f)
+}

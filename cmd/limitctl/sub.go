@@ -33,6 +33,10 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "limitctl trace: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
 	switch *format {
 	case "text", "chrome", "jsonl":
 	default:
@@ -74,6 +78,10 @@ func runStats(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	format := fs.String("format", "text", "output format: text, jsonl")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "limitctl stats: unexpected argument %q\n", fs.Arg(0))
 		return 2
 	}
 	switch *format {

@@ -1,0 +1,352 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"limitsim/internal/faultinject"
+	"limitsim/internal/invariant"
+	"limitsim/internal/kernel"
+	"limitsim/internal/telemetry"
+	"limitsim/internal/workloads"
+)
+
+// Fleet adapters: the campaign and soak matrices exposed as shardable
+// job spaces. A job is one seeded run — a pure function of (defaulted
+// config, key) — whose outcome is serialized to a deterministic JSON
+// payload, so runs can execute on any worker process, be retried or
+// speculatively duplicated, and still assemble into a Result that is
+// byte-identical to what Run/RunSoak produce in one process. The
+// telemetry block rides along as a JSONL string per run; telemetry
+// merges are commutative sums, so merging per-run registries in key
+// order here equals merging per-worker aggregates in worker order
+// there.
+
+// outcomeWire is runOutcome in wire form.
+type outcomeWire struct {
+	Err               string                `json:"err,omitempty"`
+	Injected          faultinject.Stats     `json:"injected"`
+	Rewinds           uint64                `json:"rewinds"`
+	Folds             uint64                `json:"folds"`
+	CtxSwitches       uint64                `json:"ctx_switches"`
+	Migrations        uint64                `json:"migrations"`
+	ReadsCompleted    uint64                `json:"reads_completed"`
+	TornDeltas        uint64                `json:"torn_deltas"`
+	CheckerViolations int                   `json:"checker_violations"`
+	Samples           []invariant.Violation `json:"samples,omitempty"`
+	Telemetry         string                `json:"telemetry,omitempty"`
+}
+
+func (w *outcomeWire) from(o *runOutcome) {
+	w.Err = o.errMsg
+	w.Injected = o.injected
+	w.Rewinds = o.rewinds
+	w.Folds = o.folds
+	w.CtxSwitches = o.ctxSwitches
+	w.Migrations = o.migrations
+	w.ReadsCompleted = o.readsCompleted
+	w.TornDeltas = o.tornDeltas
+	w.CheckerViolations = o.checkerViolations
+	w.Samples = o.samples
+}
+
+func (w *outcomeWire) outcome() runOutcome {
+	return runOutcome{
+		errMsg:            w.Err,
+		injected:          w.Injected,
+		rewinds:           w.Rewinds,
+		folds:             w.Folds,
+		ctxSwitches:       w.CtxSwitches,
+		migrations:        w.Migrations,
+		readsCompleted:    w.ReadsCompleted,
+		tornDeltas:        w.TornDeltas,
+		checkerViolations: w.CheckerViolations,
+		samples:           w.Samples,
+	}
+}
+
+// soakOutcomeWire is soakOutcome in wire form.
+type soakOutcomeWire struct {
+	Err               string                `json:"err,omitempty"`
+	Injected          faultinject.Stats     `json:"injected"`
+	Clones            uint64                `json:"clones"`
+	Exits             uint64                `json:"exits"`
+	Kills             uint64                `json:"kills"`
+	Denials           uint64                `json:"denials"`
+	DegradedRuns      uint64                `json:"degraded_runs"`
+	CompletedRuns     uint64                `json:"completed_runs"`
+	PartialRuns       uint64                `json:"partial_runs"`
+	Waves             []WaveAcct            `json:"waves"`
+	Folds             uint64                `json:"folds"`
+	Rewinds           uint64                `json:"rewinds"`
+	ReadsCompleted    uint64                `json:"reads_completed"`
+	TornDeltas        uint64                `json:"torn_deltas"`
+	BadConservation   uint64                `json:"bad_conservation"`
+	Leaks             int                   `json:"leaks"`
+	CheckerViolations int                   `json:"checker_violations"`
+	Samples           []invariant.Violation `json:"samples,omitempty"`
+	Telemetry         string                `json:"telemetry,omitempty"`
+}
+
+func (w *soakOutcomeWire) from(o *soakOutcome) {
+	w.Err = o.errMsg
+	w.Injected = o.injected
+	w.Clones = o.clones
+	w.Exits = o.exits
+	w.Kills = o.kills
+	w.Denials = o.denials
+	w.DegradedRuns = o.degradedRuns
+	w.CompletedRuns = o.completedRuns
+	w.PartialRuns = o.partialRuns
+	w.Waves = o.waves
+	w.Folds = o.folds
+	w.Rewinds = o.rewinds
+	w.ReadsCompleted = o.readsCompleted
+	w.TornDeltas = o.tornDeltas
+	w.BadConservation = o.badConservation
+	w.Leaks = o.leaks
+	w.CheckerViolations = o.checkerViolations
+	w.Samples = o.samples
+}
+
+func (w *soakOutcomeWire) outcome() soakOutcome {
+	return soakOutcome{
+		errMsg:            w.Err,
+		injected:          w.Injected,
+		clones:            w.Clones,
+		exits:             w.Exits,
+		kills:             w.Kills,
+		denials:           w.Denials,
+		degradedRuns:      w.DegradedRuns,
+		completedRuns:     w.CompletedRuns,
+		partialRuns:       w.PartialRuns,
+		waves:             w.Waves,
+		folds:             w.Folds,
+		rewinds:           w.Rewinds,
+		readsCompleted:    w.ReadsCompleted,
+		tornDeltas:        w.TornDeltas,
+		badConservation:   w.BadConservation,
+		leaks:             w.Leaks,
+		checkerViolations: w.CheckerViolations,
+		samples:           w.Samples,
+	}
+}
+
+// workerPool lazily builds one pooled artifact set per worker index.
+// The fleet contract says a given worker index never runs two jobs
+// concurrently, but different indices do, so the map itself is locked.
+type workerPool[W any] struct {
+	mu      sync.Mutex
+	build   func() W
+	workers map[int]W
+}
+
+func (p *workerPool[W]) get(wi int) W {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.workers == nil {
+		p.workers = map[int]W{}
+	}
+	ws, ok := p.workers[wi]
+	if !ok {
+		ws = p.build()
+		p.workers[wi] = ws
+	}
+	return ws
+}
+
+// CampaignSpace is the read-path campaign as a shardable job space:
+// one job per (mix, seed) cell, keyed mix-major exactly like Run's
+// runner jobs.
+type CampaignSpace struct {
+	cfg  Config
+	pool workerPool[*campaignWorker]
+}
+
+// NewCampaignSpace builds the space over the defaulted config.
+func NewCampaignSpace(cfg Config) *CampaignSpace {
+	cfg = cfg.withDefaults()
+	s := &CampaignSpace{cfg: cfg}
+	s.pool.build = func() *campaignWorker { return newCampaignWorker(cfg) }
+	return s
+}
+
+// Config returns the defaulted campaign config the space runs.
+func (s *CampaignSpace) Config() Config { return s.cfg }
+
+// NumJobs is mixes × seeds.
+func (s *CampaignSpace) NumJobs() int { return len(s.cfg.Mixes) * s.cfg.Seeds }
+
+// Run executes the (mix, seed) cell job names and returns its outcome
+// payload. Deterministic: two executions of the same key produce the
+// same bytes regardless of worker or attempt.
+func (s *CampaignSpace) Run(job, worker int) ([]byte, error) {
+	if job < 0 || job >= s.NumJobs() {
+		return nil, fmt.Errorf("chaos: campaign job %d outside space [0,%d)", job, s.NumJobs())
+	}
+	ws := s.pool.get(worker)
+	mi, sd := job/s.cfg.Seeds, job%s.cfg.Seeds
+	var out runOutcome
+	runOne(s.cfg, s.cfg.Mixes[mi], RunSeed(mi, sd), ws, &out)
+	var w outcomeWire
+	w.from(&out)
+	if ws.reg != nil {
+		// ws.reg still holds this run's values; it is Reset at the start
+		// of the worker's next run, not after this one.
+		var buf bytes.Buffer
+		if err := ws.reg.WriteJSONL(&buf); err != nil {
+			return nil, err
+		}
+		w.Telemetry = buf.String()
+	}
+	return json.Marshal(&w)
+}
+
+// AssembleCampaign rebuilds a campaign Result from the space's keyed
+// payloads. The folds happen in (mix, seed) key order — the same order
+// Run folds its outcome slots — so the rendered report is
+// byte-identical to a single-process campaign's.
+func AssembleCampaign(cfg Config, payloads [][]byte) (*Result, error) {
+	cfg = cfg.withDefaults()
+	want := len(cfg.Mixes) * cfg.Seeds
+	if len(payloads) != want {
+		return nil, fmt.Errorf("chaos: assemble: %d payload(s) for a %d-job campaign", len(payloads), want)
+	}
+	res := &Result{Cfg: cfg, Want: buildWorkload(cfg).want}
+	if cfg.Metrics {
+		res.Telemetry = telemetry.NewRegistry()
+		kernel.NewMetrics(res.Telemetry)
+	}
+	for mi := range cfg.Mixes {
+		mr := MixResult{Name: cfg.Mixes[mi].Name}
+		for sd := 0; sd < cfg.Seeds; sd++ {
+			j := mi*cfg.Seeds + sd
+			var w outcomeWire
+			if err := decodeOutcome(payloads[j], j, &w); err != nil {
+				return nil, err
+			}
+			out := w.outcome()
+			out.foldInto(&mr)
+			if err := mergeWireTelemetry(res.Telemetry, w.Telemetry, j); err != nil {
+				return nil, err
+			}
+		}
+		res.Mixes = append(res.Mixes, mr)
+	}
+	return res, nil
+}
+
+// SoakSpace is the lifecycle soak campaign as a shardable job space:
+// one job per (mix, seed) cell, keyed mix-major with the same RunSeed
+// derivation RunSoak uses.
+type SoakSpace struct {
+	cfg  SoakConfig
+	pool workerPool[*soakWorker]
+}
+
+// NewSoakSpace builds the space over the defaulted config.
+func NewSoakSpace(cfg SoakConfig) *SoakSpace {
+	cfg = cfg.withDefaults()
+	s := &SoakSpace{cfg: cfg}
+	s.pool.build = func() *soakWorker { return newSoakWorker(cfg) }
+	return s
+}
+
+// Config returns the defaulted soak config the space runs.
+func (s *SoakSpace) Config() SoakConfig { return s.cfg }
+
+// NumJobs is mixes × seeds.
+func (s *SoakSpace) NumJobs() int { return len(s.cfg.Mixes) * s.cfg.Seeds }
+
+// Run executes the (mix, seed) soak cell and returns its outcome
+// payload.
+func (s *SoakSpace) Run(job, worker int) ([]byte, error) {
+	if job < 0 || job >= s.NumJobs() {
+		return nil, fmt.Errorf("chaos: soak job %d outside space [0,%d)", job, s.NumJobs())
+	}
+	ws := s.pool.get(worker)
+	mi, sd := job/s.cfg.Seeds, job%s.cfg.Seeds
+	var out soakOutcome
+	runOneSoak(s.cfg, s.cfg.Mixes[mi], RunSeed(mi, sd), ws, &out)
+	var w soakOutcomeWire
+	w.from(&out)
+	if ws.reg != nil {
+		var buf bytes.Buffer
+		if err := ws.reg.WriteJSONL(&buf); err != nil {
+			return nil, err
+		}
+		w.Telemetry = buf.String()
+	}
+	return json.Marshal(&w)
+}
+
+// AssembleSoak rebuilds a SoakResult from the space's keyed payloads,
+// byte-identical to RunSoak's for the same config.
+func AssembleSoak(cfg SoakConfig, payloads [][]byte) (*SoakResult, error) {
+	cfg = cfg.withDefaults()
+	want := len(cfg.Mixes) * cfg.Seeds
+	if len(payloads) != want {
+		return nil, fmt.Errorf("chaos: assemble: %d payload(s) for a %d-job soak", len(payloads), want)
+	}
+	res := &SoakResult{Cfg: cfg, Want: workloadsChurnWant(cfg)}
+	if cfg.Metrics {
+		res.Telemetry = telemetry.NewRegistry()
+		kernel.NewMetrics(res.Telemetry)
+	}
+	for mi := range cfg.Mixes {
+		mr := SoakMixResult{Name: cfg.Mixes[mi].Name, Waves: make([]WaveAcct, cfg.Waves)}
+		for sd := 0; sd < cfg.Seeds; sd++ {
+			j := mi*cfg.Seeds + sd
+			var w soakOutcomeWire
+			if err := decodeOutcome(payloads[j], j, &w); err != nil {
+				return nil, err
+			}
+			out := w.outcome()
+			out.foldInto(&mr)
+			if err := mergeWireTelemetry(res.Telemetry, w.Telemetry, j); err != nil {
+				return nil, err
+			}
+		}
+		res.Mixes = append(res.Mixes, mr)
+	}
+	return res, nil
+}
+
+// workloadsChurnWant derives the soak value-oracle target the same way
+// RunSoak does: from a built churn workload.
+func workloadsChurnWant(cfg SoakConfig) uint64 {
+	return workloads.BuildChurn(cfg.churn()).Want
+}
+
+func decodeOutcome(payload []byte, job int, into any) error {
+	if payload == nil {
+		return fmt.Errorf("chaos: assemble: job %d has no payload", job)
+	}
+	if err := json.Unmarshal(payload, into); err != nil {
+		return fmt.Errorf("chaos: assemble: job %d payload: %w", job, err)
+	}
+	return nil
+}
+
+// mergeWireTelemetry folds one run's JSONL telemetry block into the
+// campaign registry. Schema drift between runs is a hard error: two
+// runs of the same config must expose the same metrics.
+func mergeWireTelemetry(agg *telemetry.Registry, block string, job int) error {
+	if agg == nil {
+		return nil
+	}
+	if block == "" {
+		return fmt.Errorf("chaos: assemble: job %d payload is missing its telemetry block", job)
+	}
+	reg, err := telemetry.ParseJSONL(strings.NewReader(block))
+	if err != nil {
+		return fmt.Errorf("chaos: assemble: job %d telemetry: %w", job, err)
+	}
+	if err := agg.Merge(reg); err != nil {
+		return fmt.Errorf("chaos: assemble: job %d telemetry: %w", job, err)
+	}
+	return nil
+}

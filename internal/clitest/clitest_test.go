@@ -1,0 +1,191 @@
+package clitest
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binDir holds the freshly built cmd binaries for the whole run.
+var binDir string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(runMain(m))
+}
+
+func runMain(m *testing.M) int {
+	if testing.Short() {
+		return m.Run() // every test skips under -short
+	}
+	dir, err := os.MkdirTemp("", "clitest")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	out, err := exec.Command("go", "build", "-o", dir, "limitsim/cmd/...").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clitest: building cmds: %v\n%s", err, out)
+		return 1
+	}
+	binDir = dir
+	return m.Run()
+}
+
+// run executes one built binary and returns its exit code and stderr.
+func run(t *testing.T, name string, args ...string) (int, string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("clitest runs real binaries")
+	}
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if err == nil {
+		return 0, errb.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return ee.ExitCode(), errb.String()
+}
+
+// TestExitCodeContract is the table-driven pin of the uniform exit
+// discipline: 0 ok, 1 runtime failure, 2 usage error — across every
+// binary in cmd/. Usage errors (stray positional arguments, unknown
+// flags, invalid combinations) must be cheap: they exit before any
+// simulation work starts.
+func TestExitCodeContract(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want int
+	}{
+		// Exit 0: cheap successful invocations.
+		{"limitctl bare help", "limitctl", nil, 0},
+		{"limit-chaos tiny campaign", "limit-chaos", []string{"-seeds", "1", "-threads", "2", "-cores", "2", "-iters", "20"}, 0},
+		{"limit-fleet in-process tiny", "limit-fleet", []string{"-workers", "0", "-seeds", "1", "-threads", "2", "-cores", "2", "-iters", "20"}, 0},
+
+		// Exit 2: stray positional arguments, everywhere.
+		{"limit-chaos stray arg", "limit-chaos", []string{"bogus"}, 2},
+		{"limit-fleet stray arg", "limit-fleet", []string{"bogus"}, 2},
+		{"limit-ablate stray arg", "limit-ablate", []string{"bogus"}, 2},
+		{"limit-experiments stray arg", "limit-experiments", []string{"bogus"}, 2},
+		{"limit-hw stray arg", "limit-hw", []string{"bogus"}, 2},
+		{"limit-overhead stray arg", "limit-overhead", []string{"bogus"}, 2},
+		{"limit-profile stray arg", "limit-profile", []string{"bogus"}, 2},
+		{"limit-sync stray arg", "limit-sync", []string{"bogus"}, 2},
+		{"limitctl unknown subcommand", "limitctl", []string{"bogus"}, 2},
+
+		// Exit 2: unknown flags (the flag package's own discipline)
+		// and invalid flag combinations.
+		{"limit-chaos unknown flag", "limit-chaos", []string{"-no-such-flag"}, 2},
+		{"limit-fleet unknown flag", "limit-fleet", []string{"-no-such-flag"}, 2},
+		{"limit-chaos ablate without soak", "limit-chaos", []string{"-ablate-reclaim"}, 2},
+		{"limit-fleet unknown space", "limit-fleet", []string{"-space", "bogus"}, 2},
+		{"limit-fleet ablate without soak", "limit-fleet", []string{"-ablate-reclaim"}, 2},
+		{"limitctl merge no files", "limitctl", []string{"merge"}, 2},
+		{"limitctl merge unknown format", "limitctl", []string{"merge", "-format", "bogus", "x.jsonl"}, 2},
+		{"limitctl trace stray arg", "limitctl", []string{"trace", "bogus"}, 2},
+		{"limitctl stats stray arg", "limitctl", []string{"stats", "bogus"}, 2},
+
+		// Exit 1: runtime failures.
+		{"limitctl merge missing file", "limitctl", []string{"merge", filepath.Join(tmp, "absent.jsonl")}, 1},
+		{"limit-chaos unwritable report", "limit-chaos", []string{"-report", filepath.Join(tmp, "no-such-dir", "r.txt")}, 1},
+		{"limit-fleet unwritable report", "limit-fleet", []string{"-report", filepath.Join(tmp, "no-such-dir", "r.txt")}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := run(t, tc.bin, tc.args...)
+			if code != tc.want {
+				t.Errorf("%s %v: exit %d, want %d\nstderr: %s", tc.bin, tc.args, code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+// campaignArgs is the shared tiny campaign both engines run for the
+// byte-identity oracles: small enough for a test, wide enough (5 mixes
+// × 2 seeds = 10 jobs) to shard meaningfully, with telemetry attached
+// so merged metrics cross the process boundary too.
+var campaignArgs = []string{"-seeds", "2", "-threads", "3", "-cores", "2", "-iters", "60", "-metrics"}
+
+// singleProcessReport runs limit-chaos once and returns its report.
+func singleProcessReport(t *testing.T) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "single.txt")
+	args := append(append([]string{}, campaignArgs...), "-parallel", "4", "-report", path)
+	if code, stderr := run(t, "limit-chaos", args...); code != 0 {
+		t.Fatalf("limit-chaos exit %d\nstderr: %s", code, stderr)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFleetReportMatchesSingleProcess is the real-process keystone:
+// the limit-fleet report assembled across OS worker processes must be
+// byte-identical to limit-chaos's single-process report at every
+// shard width.
+func TestFleetReportMatchesSingleProcess(t *testing.T) {
+	want := singleProcessReport(t)
+	for _, workers := range []string{"1", "4"} {
+		path := filepath.Join(t.TempDir(), "fleet.txt")
+		args := append(append([]string{}, campaignArgs...), "-workers", workers, "-report", path)
+		code, stderr := run(t, "limit-fleet", args...)
+		if code != 0 {
+			t.Fatalf("workers=%s: limit-fleet exit %d\nstderr: %s", workers, code, stderr)
+		}
+		if !strings.Contains(stderr, "fleet summary") {
+			t.Errorf("workers=%s: stderr lacks the fleet summary", workers)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%s: fleet report differs from single-process report\n--- fleet ---\n%s\n--- single ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestFleetKillStormRealProcesses turns the fleet's self-chaos on with
+// real worker processes — SIGKILLed mid-job, stalled past the
+// heartbeat deadline, frames truncated — and requires the same
+// contract: exit 0 (complete, audit-clean) and a byte-identical
+// report.
+func TestFleetKillStormRealProcesses(t *testing.T) {
+	want := singleProcessReport(t)
+	path := filepath.Join(t.TempDir(), "storm.txt")
+	args := append(append([]string{}, campaignArgs...),
+		"-workers", "4", "-chaos-workers", "-fleet-seed", "11", "-hb-timeout", "1s", "-report", path)
+	code, stderr := run(t, "limit-fleet", args...)
+	if code != 0 {
+		t.Fatalf("kill-storm limit-fleet exit %d\nstderr: %s", code, stderr)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("kill-storm fleet report differs from single-process report\n--- fleet ---\n%s\n--- single ---\n%s",
+			got, want)
+	}
+	if !strings.Contains(stderr, "fleet summary") {
+		t.Errorf("stderr lacks the fleet summary:\n%s", stderr)
+	}
+}

@@ -27,49 +27,67 @@ type F2Result struct {
 	Points []F2Point
 }
 
-// RunFig2 sweeps density for each method.
-func RunFig2(s Scale) (*F2Result, error) {
-	works := []int64{30_000, 10_000, 3_000, 1_000, 300, 100, 30}
-	kinds := []probe.Kind{probe.KindRdtsc, probe.KindLimit, probe.KindPerf, probe.KindPAPI}
-	r := &F2Result{Works: works, Kinds: kinds}
+func f2Works() []int64 {
+	return []int64{30_000, 10_000, 3_000, 1_000, 300, 100, 30}
+}
 
-	run := func(kind probe.Kind, work int64, iters int) (uint64, error) {
-		app := workloads.BuildReadLoop(workloads.ReadLoopConfig{
-			Name: "f2", Threads: 1, Iters: iters, WorkInstrs: work,
-		}, workloads.Instrumentation{Kind: kind})
-		_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
-		if res.Err != nil {
-			return 0, fmt.Errorf("fig2 %s@%d run: %w", kind, work, res.Err)
-		}
-		return res.Cycles, nil
-	}
+func f2Kinds() []probe.Kind {
+	return []probe.Kind{probe.KindRdtsc, probe.KindLimit, probe.KindPerf, probe.KindPAPI}
+}
 
-	// One cell per (density, method) plus the density's uninstrumented
-	// baseline; every cell is an independent machine, so the whole grid
-	// fans out at once.
-	type cell struct {
-		work  int64
-		iters int
-		kind  probe.Kind
-	}
-	var grid []cell
-	for _, work := range works {
+// F2Cell is one independent cell of the Figure 2 sweep: a (density,
+// method) run, or — with KindNull — the density's uninstrumented
+// baseline. Cells are pure functions of their fields, so the grid can
+// fan out across processes and reassemble.
+type F2Cell struct {
+	Work  int64      `json:"work"`
+	Iters int        `json:"iters"`
+	Kind  probe.Kind `json:"kind"`
+}
+
+// F2Grid enumerates the sweep in canonical order: for each density,
+// the uninstrumented baseline followed by every method (stride
+// 1+len(kinds)); AssembleF2 depends on this layout.
+func F2Grid(s Scale) []F2Cell {
+	var grid []F2Cell
+	for _, work := range f2Works() {
 		// Keep total work roughly constant across densities.
 		iters := s.iters(int(10_000_000 / work))
-		grid = append(grid, cell{work, iters, probe.KindNull})
-		for _, kind := range kinds {
-			grid = append(grid, cell{work, iters, kind})
+		grid = append(grid, F2Cell{Work: work, Iters: iters, Kind: probe.KindNull})
+		for _, kind := range f2Kinds() {
+			grid = append(grid, F2Cell{Work: work, Iters: iters, Kind: kind})
 		}
 	}
-	cycles, err := runPar(len(grid), func(i int) (uint64, error) {
-		return run(grid[i].kind, grid[i].work, grid[i].iters)
-	})
-	if err != nil {
-		return nil, err
+	return grid
+}
+
+// RunF2Cell executes one grid cell on its own single-core machine and
+// returns the run's cycle count.
+func RunF2Cell(c F2Cell) (uint64, error) {
+	app := workloads.BuildReadLoop(workloads.ReadLoopConfig{
+		Name: "f2", Threads: 1, Iters: c.Iters, WorkInstrs: c.Work,
+	}, workloads.Instrumentation{Kind: c.Kind})
+	_, res, _ := app.Run(machine.Config{NumCores: 1}, machine.RunLimits{MaxSteps: runSteps})
+	if res.Err != nil {
+		return 0, fmt.Errorf("fig2 %s@%d run: %w", c.Kind, c.Work, res.Err)
 	}
+	return res.Cycles, nil
+}
+
+// AssembleF2 folds the grid's cycle counts (in F2Grid order) into the
+// figure.
+func AssembleF2(cycles []uint64) (*F2Result, error) {
+	works, kinds := f2Works(), f2Kinds()
 	stride := 1 + len(kinds)
+	if len(cycles) != len(works)*stride {
+		return nil, fmt.Errorf("fig2: %d cycle count(s) for a %d-cell grid", len(cycles), len(works)*stride)
+	}
+	r := &F2Result{Works: works, Kinds: kinds}
 	for wi, work := range works {
 		base := cycles[wi*stride]
+		if base == 0 {
+			return nil, fmt.Errorf("fig2: zero-cycle baseline at density %d", work)
+		}
 		for ki, kind := range kinds {
 			r.Points = append(r.Points, F2Point{
 				Method:        string(kind),
@@ -79,6 +97,18 @@ func RunFig2(s Scale) (*F2Result, error) {
 		}
 	}
 	return r, nil
+}
+
+// RunFig2 sweeps density for each method.
+func RunFig2(s Scale) (*F2Result, error) {
+	grid := F2Grid(s)
+	cycles, err := runPar(len(grid), func(i int) (uint64, error) {
+		return RunF2Cell(grid[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return AssembleF2(cycles)
 }
 
 // Point returns the (method, work) cell.

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// F2Space is the Figure 2 grid as a shardable job space: one job per
+// grid cell, payload the cell's cycle count as JSON. Cells are pure
+// functions of (scale, key), so the sweep can fan out across worker
+// processes and reassemble byte-identically.
+type F2Space struct {
+	grid []F2Cell
+}
+
+// NewF2Space builds the space for the given scale.
+func NewF2Space(s Scale) *F2Space { return &F2Space{grid: F2Grid(s)} }
+
+// NumJobs is the grid size.
+func (s *F2Space) NumJobs() int { return len(s.grid) }
+
+// Run executes one grid cell and returns its cycle count as JSON.
+func (s *F2Space) Run(job, worker int) ([]byte, error) {
+	if job < 0 || job >= len(s.grid) {
+		return nil, fmt.Errorf("fig2: job %d outside grid [0,%d)", job, len(s.grid))
+	}
+	cycles, err := RunF2Cell(s.grid[job])
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cycles)
+}
+
+// AssembleF2Payloads rebuilds the figure from the space's keyed
+// payloads, byte-identical to RunFig2's result for the same scale.
+func AssembleF2Payloads(payloads [][]byte) (*F2Result, error) {
+	cycles := make([]uint64, len(payloads))
+	for i, p := range payloads {
+		if p == nil {
+			return nil, fmt.Errorf("fig2: cell %d has no payload", i)
+		}
+		if err := json.Unmarshal(p, &cycles[i]); err != nil {
+			return nil, fmt.Errorf("fig2: cell %d payload: %w", i, err)
+		}
+	}
+	return AssembleF2(cycles)
+}

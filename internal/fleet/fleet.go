@@ -1,0 +1,131 @@
+// Package fleet shards a campaign's job space across OS worker
+// processes, with failure as the design center: workers crash, hang,
+// stall, and write torn frames, and the fleet-wide result must still be
+// byte-identical to the single-process engine's. It is the
+// cross-process extension of internal/runner — same keyed job space,
+// same canonical merge order — with a supervision layer between the
+// claim and the result:
+//
+//   - The coordinator speaks length-prefixed, versioned JSON frames
+//     (telemetry.WriteFrame/ReadFrame) with each worker over its
+//     stdin/stdout. A torn, oversized, or version-skewed frame is a
+//     typed *telemetry.WireError and counts as a worker failure — it
+//     never merges.
+//   - Every busy worker heartbeats; silence past the heartbeat timeout
+//     means the worker is hung and it is killed. A worker that still
+//     heartbeats but exceeds the per-job deadline is merely slow: the
+//     job is speculatively retried on another worker, and whichever
+//     result lands first wins.
+//   - Failed jobs retry with exponential backoff and seeded jitter
+//     (RetryDelay is a pure function of seed, job, and attempt, so
+//     retry schedules are deterministic in tests). After MaxAttempts
+//     failures a job is quarantined — enumerated in the report, never
+//     silently dropped.
+//   - Results land in slots keyed by job; a duplicate result for an
+//     already-settled key (the speculative race, or a retry that raced
+//     a crash) is deduplicated by key and byte-compared against the
+//     winner — a mismatch is an audit violation, because job payloads
+//     are pure functions of (space config, key).
+//   - When no workers can be spawned (or none survive), the
+//     coordinator degrades gracefully to in-process execution through
+//     internal/runner.
+//
+// Correctness is auditable: Report.Audit checks that every job is
+// accounted exactly once (settled XOR quarantined), that merged plus
+// deduplicated results equal results received, and that per-worker
+// result contributions conserve against the merged total — the fleet
+// analogue of internal/invariant's oracles.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// JobSpace is a shardable campaign: a fixed number of independent
+// jobs, each a pure function of (space config, key) producing a
+// wire-encodable payload. The worker index has the same meaning as in
+// internal/runner — a stable slot identity that implementations may
+// use to pool expensive per-run artifacts; a given worker index never
+// runs two jobs concurrently.
+type JobSpace interface {
+	// NumJobs is the job-space size; keys are 0..NumJobs-1.
+	NumJobs() int
+	// Run executes job key and returns its payload. The payload must be
+	// deterministic: any two executions of the same key return the same
+	// bytes, which is what makes retry, speculation, and dedup safe.
+	Run(job, worker int) ([]byte, error)
+}
+
+// SpaceSpec names a job space on the wire: a registered kind plus its
+// JSON config. The coordinator and every worker build their own
+// instance from the same spec, so they cannot disagree about the job
+// space's shape.
+type SpaceSpec struct {
+	Kind   string          `json:"kind"`
+	Config json.RawMessage `json:"config"`
+}
+
+var (
+	spaceMu       sync.Mutex
+	spaceBuilders = map[string]func(cfg json.RawMessage) (JobSpace, error){}
+)
+
+// Register installs a job-space builder under kind. Adapters (the
+// chaos campaign/soak spaces, experiment grids) register themselves so
+// that worker processes can reconstruct the space from its wire spec.
+// Registering a duplicate kind panics: it is a wiring error.
+func Register(kind string, build func(cfg json.RawMessage) (JobSpace, error)) {
+	spaceMu.Lock()
+	defer spaceMu.Unlock()
+	if _, dup := spaceBuilders[kind]; dup {
+		panic("fleet: duplicate job-space kind " + kind)
+	}
+	spaceBuilders[kind] = build
+}
+
+// Kinds returns the registered job-space kinds, sorted.
+func Kinds() []string {
+	spaceMu.Lock()
+	defer spaceMu.Unlock()
+	out := make([]string, 0, len(spaceBuilders))
+	for k := range spaceBuilders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildSpace constructs the job space a spec names.
+func BuildSpace(spec SpaceSpec) (JobSpace, error) {
+	spaceMu.Lock()
+	build := spaceBuilders[spec.Kind]
+	spaceMu.Unlock()
+	if build == nil {
+		return nil, fmt.Errorf("fleet: unknown job-space kind %q (registered: %v)", spec.Kind, Kinds())
+	}
+	return build(spec.Config)
+}
+
+// Transport is one spawned worker's connection: frames are read from
+// and written to it, Kill hard-stops the worker (SIGKILL for a real
+// process), and Wait reaps it after the stream ends.
+type Transport interface {
+	io.Reader
+	io.Writer
+	// Kill hard-stops the worker; subsequent reads fail.
+	Kill()
+	// Wait blocks until the worker is reaped. Must be callable after
+	// Kill, and exactly once.
+	Wait() error
+}
+
+// Spawner starts worker number id and returns its transport. The
+// coordinator calls it for the initial fleet and for every
+// replacement; returning an error counts toward the spawn-failure
+// budget, after which the coordinator degrades to in-process
+// execution.
+type Spawner func(id int) (Transport, error)

@@ -1,0 +1,85 @@
+// Package spaces wires the repo's shardable job spaces into the fleet
+// registry. Importing it (for side effects) is what lets a coordinator
+// name a space on the wire and a worker process rebuild it from the
+// spec:
+//
+//	"campaign" — the chaos read-path campaign (chaos.Config)
+//	"soak"     — the chaos lifecycle soak campaign (chaos.SoakConfig)
+//	"f2"       — the Figure 2 overhead sweep ({"scale": 0.1})
+//
+// The package exists to break an import cycle: fleet stays generic
+// (it cannot import chaos or experiments, which its workers execute),
+// so the adapters register here and binaries import this glue.
+package spaces
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"limitsim/internal/chaos"
+	"limitsim/internal/experiments"
+	"limitsim/internal/fleet"
+)
+
+// F2Config is the wire config of the "f2" space.
+type F2Config struct {
+	Scale float64 `json:"scale"`
+}
+
+func init() {
+	fleet.Register("campaign", func(cfg json.RawMessage) (fleet.JobSpace, error) {
+		var c chaos.Config
+		if err := decode(cfg, &c); err != nil {
+			return nil, fmt.Errorf("campaign space: %w", err)
+		}
+		return chaos.NewCampaignSpace(c), nil
+	})
+	fleet.Register("soak", func(cfg json.RawMessage) (fleet.JobSpace, error) {
+		var c chaos.SoakConfig
+		if err := decode(cfg, &c); err != nil {
+			return nil, fmt.Errorf("soak space: %w", err)
+		}
+		return chaos.NewSoakSpace(c), nil
+	})
+	fleet.Register("f2", func(cfg json.RawMessage) (fleet.JobSpace, error) {
+		var c F2Config
+		if err := decode(cfg, &c); err != nil {
+			return nil, fmt.Errorf("f2 space: %w", err)
+		}
+		s := experiments.Scale(c.Scale)
+		if s <= 0 {
+			s = experiments.Quick
+		}
+		return experiments.NewF2Space(s), nil
+	})
+}
+
+// CampaignSpec builds the wire spec for a campaign config.
+func CampaignSpec(cfg chaos.Config) (fleet.SpaceSpec, error) {
+	return spec("campaign", cfg)
+}
+
+// SoakSpec builds the wire spec for a soak config.
+func SoakSpec(cfg chaos.SoakConfig) (fleet.SpaceSpec, error) {
+	return spec("soak", cfg)
+}
+
+// F2Spec builds the wire spec for a Figure 2 sweep at the given scale.
+func F2Spec(s experiments.Scale) (fleet.SpaceSpec, error) {
+	return spec("f2", F2Config{Scale: float64(s)})
+}
+
+func spec(kind string, cfg any) (fleet.SpaceSpec, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return fleet.SpaceSpec{}, fmt.Errorf("%s space: encoding config: %w", kind, err)
+	}
+	return fleet.SpaceSpec{Kind: kind, Config: raw}, nil
+}
+
+func decode(cfg json.RawMessage, into any) error {
+	if len(cfg) == 0 {
+		return nil
+	}
+	return json.Unmarshal(cfg, into)
+}

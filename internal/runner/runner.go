@@ -29,7 +29,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -60,12 +62,74 @@ func (c Config) Workers() int {
 	return p
 }
 
+// Claimer hands out job keys to workers. Claim returns the next job
+// key and true, or false when the job space is exhausted. The runner's
+// own claimer is Sequence; it is an interface so engines layered on
+// the pool (the fleet coordinator's retry queue, most notably) can
+// substitute richer claim policies while reusing the worker shape.
+type Claimer interface {
+	Claim() (job int, ok bool)
+}
+
+// Sequence is the runner's claim source: job keys 0..n-1 handed out in
+// ascending order from a shared atomic counter. Safe for concurrent
+// claims; the ascending order is what makes the pool's lowest-keyed
+// error match the serial engine's first failure.
+type Sequence struct {
+	next atomic.Int64
+	n    int64
+}
+
+// NewSequence returns a claimer over keys 0..n-1.
+func NewSequence(n int) *Sequence {
+	return &Sequence{n: int64(n)}
+}
+
+// Claim returns the next unclaimed key in ascending order.
+func (s *Sequence) Claim() (int, bool) {
+	j := s.next.Add(1) - 1
+	if j >= s.n {
+		return 0, false
+	}
+	return int(j), true
+}
+
+// PanicError is a panic recovered from a job function, converted into
+// an ordinary job error: the pool must never lose a whole campaign's
+// results (or crash the coordinating process) because one run's
+// simulation hit a bug. It carries the job key and the goroutine stack
+// at the panic site, and is returned by Run/Map under the same
+// lowest-keyed rule as any other job error.
+type PanicError struct {
+	// Job is the job key whose function panicked.
+	Job int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Job, e.Value)
+}
+
+// call runs fn(job, worker), converting a panic into a *PanicError.
+func call(fn func(job, worker int) error, job, worker int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Job: job, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(job, worker)
+}
+
 // Run executes fn(job, worker) for every job key. The worker index
 // identifies which pool slot is calling (always 0 when serial), so fn
 // may freely mutate per-worker state indexed by it. The first error
 // cancels every job not yet claimed and is returned; it is always the
 // lowest-keyed error, which is the error the serial loop would have
-// stopped on.
+// stopped on. A panic inside fn is recovered into a *PanicError
+// carrying the job key and stack, and follows the same rule.
 func Run(cfg Config, fn func(job, worker int) error) error {
 	n := cfg.Jobs
 	if n <= 0 {
@@ -73,7 +137,7 @@ func Run(cfg Config, fn func(job, worker int) error) error {
 	}
 	if cfg.Workers() == 1 {
 		for j := 0; j < n; j++ {
-			if err := fn(j, 0); err != nil {
+			if err := call(fn, j, 0); err != nil {
 				return err
 			}
 		}
@@ -81,10 +145,10 @@ func Run(cfg Config, fn func(job, worker int) error) error {
 	}
 
 	var (
-		next atomic.Int64
 		stop atomic.Bool
 		wg   sync.WaitGroup
 	)
+	claims := NewSequence(n)
 	// One slot per job: workers write disjoint elements, no locking.
 	errs := make([]error, n)
 	for w := 0; w < cfg.Workers(); w++ {
@@ -92,11 +156,11 @@ func Run(cfg Config, fn func(job, worker int) error) error {
 		go func(worker int) {
 			defer wg.Done()
 			for {
-				j := int(next.Add(1)) - 1
-				if j >= n || stop.Load() {
+				j, ok := claims.Claim()
+				if !ok || stop.Load() {
 					return
 				}
-				if err := fn(j, worker); err != nil {
+				if err := call(fn, j, worker); err != nil {
 					errs[j] = err
 					stop.Store(true)
 				}

@@ -143,6 +143,70 @@ func TestSerialStopsAtFirstError(t *testing.T) {
 	}
 }
 
+// TestPanicBecomesTypedError: a panicking job must surface as a
+// *PanicError carrying the job key and stack instead of crashing the
+// process, on both the serial and pooled paths, and it obeys the
+// lowest-keyed rule like any other job error.
+func TestPanicBecomesTypedError(t *testing.T) {
+	for _, parallel := range []int{1, 2, 8} {
+		err := Run(Config{Jobs: 64, Parallel: parallel}, func(j, w int) error {
+			if j == 9 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallel %d: err = %v (%T), want *PanicError", parallel, err, err)
+		}
+		if pe.Job != 9 {
+			t.Errorf("parallel %d: PanicError.Job = %d, want 9", parallel, pe.Job)
+		}
+		if pe.Value != "kaboom" {
+			t.Errorf("parallel %d: PanicError.Value = %v, want kaboom", parallel, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("parallel %d: PanicError.Stack is empty", parallel)
+		}
+		if want := "runner: job 9 panicked: kaboom"; pe.Error() != want {
+			t.Errorf("parallel %d: Error() = %q, want %q", parallel, pe.Error(), want)
+		}
+	}
+}
+
+// TestPanicLowestKeyedVsError: a panic competes with ordinary errors
+// under the same lowest-key rule.
+func TestPanicLowestKeyedVsError(t *testing.T) {
+	err := Run(Config{Jobs: 64, Parallel: 1}, func(j, w int) error {
+		switch j {
+		case 3:
+			panic("first")
+		case 7:
+			return errors.New("later")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Job != 3 {
+		t.Fatalf("err = %v, want job 3's *PanicError", err)
+	}
+}
+
+// TestSequenceClaimsAscendingOnce: the extracted claimer hands out each
+// key exactly once, in ascending order from a single goroutine.
+func TestSequenceClaimsAscendingOnce(t *testing.T) {
+	s := NewSequence(5)
+	for want := 0; want < 5; want++ {
+		j, ok := s.Claim()
+		if !ok || j != want {
+			t.Fatalf("Claim() = %d,%v, want %d,true", j, ok, want)
+		}
+	}
+	if _, ok := s.Claim(); ok {
+		t.Error("Claim() after exhaustion returned ok")
+	}
+}
+
 func TestZeroJobs(t *testing.T) {
 	called := false
 	if err := Run(Config{Jobs: 0, Parallel: 4}, func(j, w int) error {

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	type payload struct {
+		Key int    `json:"key"`
+		Msg string `json:"msg"`
+	}
+	if err := WriteFrame(&buf, "job", payload{Key: 7, Msg: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, "shutdown", nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, data, err := ReadFrame(&buf)
+	if err != nil || typ != "job" {
+		t.Fatalf("ReadFrame = %q, %v", typ, err)
+	}
+	var p payload
+	if err := json.Unmarshal(data, &p); err != nil || p.Key != 7 || p.Msg != "hi" {
+		t.Fatalf("payload = %+v, %v", p, err)
+	}
+	typ, data, err = ReadFrame(&buf)
+	if err != nil || typ != "shutdown" || len(data) != 0 {
+		t.Fatalf("shutdown frame = %q, %q, %v", typ, data, err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+// TestWireTornFrame: a body cut short mid-frame must produce a
+// *WireError naming the body field — never a short, silently-parsed
+// payload.
+func TestWireTornFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "result", map[string]int{"key": 3}); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-5]
+	_, _, err := ReadFrame(bytes.NewReader(torn))
+	var we *WireError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v (%T), want *WireError", err, err)
+	}
+	if we.Field != "body" || !strings.Contains(we.Detail, "torn") {
+		t.Errorf("WireError = %+v, want Field=body naming the tear", we)
+	}
+}
+
+// TestWireVersionSkew: a frame from a different wire version is
+// rejected with a *WireError naming the version field and the frame
+// type, so a skewed worker fails loudly at the handshake.
+func TestWireVersionSkew(t *testing.T) {
+	body := []byte(`{"v":2,"type":"hello","data":{}}`)
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	_, _, err := ReadFrame(&buf)
+	var we *WireError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WireError", err)
+	}
+	if we.Frame != "hello" || we.Field != "v" || !strings.Contains(we.Detail, "version skew") {
+		t.Errorf("WireError = %+v, want frame hello field v", we)
+	}
+}
+
+func TestWireRejectsBadLengthAndJSON(t *testing.T) {
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameLen+1)
+	buf.Write(hdr[:])
+	var we *WireError
+	if _, _, err := ReadFrame(&buf); !errors.As(err, &we) || we.Field != "len" {
+		t.Errorf("oversized length: err = %v, want *WireError on len", err)
+	}
+	// Unparseable body.
+	buf.Reset()
+	body := []byte(`{"v":1,`)
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, _, err := ReadFrame(&buf); !errors.As(err, &we) || we.Field != "json" {
+		t.Errorf("bad json: err = %v, want *WireError on json", err)
+	}
+	// Missing type.
+	buf.Reset()
+	body = []byte(`{"v":1,"data":{}}`)
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, _, err := ReadFrame(&buf); !errors.As(err, &we) || we.Field != "type" {
+		t.Errorf("missing type: err = %v, want *WireError on type", err)
+	}
+	// Truncated length prefix (one byte of header).
+	buf.Reset()
+	buf.Write([]byte{0x00})
+	if _, _, err := ReadFrame(&buf); !errors.As(err, &we) || we.Field != "len" {
+		t.Errorf("torn header: err = %v, want *WireError on len", err)
+	}
+}
+
+// sampleRegistry builds a registry with every metric kind populated,
+// including a negative gauge level.
+func sampleRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("fleet.results")
+	c.Add(41)
+	g := r.Gauge("fleet.inflight")
+	g.Add(5)
+	g.Add(-7) // value -2, peak 5
+	h := r.Histogram("fleet.cost", []uint64{10, 100, 1000})
+	h.Observe(3)
+	h.Observe(45)
+	h.Observe(99999)
+	return r
+}
+
+// TestParseJSONLRoundTrip: WriteJSONL → ParseJSONL reproduces the
+// registry exactly — byte-identical re-render and re-emit, and
+// mergeable with a same-schema registry.
+func TestParseJSONLRoundTrip(t *testing.T) {
+	r := sampleRegistry()
+	var out bytes.Buffer
+	if err := r.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	r.Render(&a)
+	got.Render(&b)
+	if a.String() != b.String() {
+		t.Errorf("re-render differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var re bytes.Buffer
+	if err := got.WriteJSONL(&re); err != nil {
+		t.Fatal(err)
+	}
+	if re.String() != out.String() {
+		t.Errorf("re-emit differs:\n%q\nvs\n%q", re.String(), out.String())
+	}
+	// Merging two parsed copies doubles counters and histogram counts.
+	second, err := ParseJSONL(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Merge(second); err != nil {
+		t.Fatal(err)
+	}
+	if v := got.LookupCounter("fleet.results").Value(); v != 82 {
+		t.Errorf("merged counter = %d, want 82", v)
+	}
+	if h := got.LookupHistogram("fleet.cost"); h.Count() != 6 || h.Sum() != 2*(3+45+99999) {
+		t.Errorf("merged histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+// TestParseJSONLRejectsMalformed: corrupt lines fail loudly with the
+// line number, never parse partially.
+func TestParseJSONLRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad json", "{nope}", "line 1"},
+		{"unknown type", `{"type":"sparkline","name":"x","value":1}`, "unknown metric type"},
+		{"missing name", `{"type":"counter","value":1}`, "missing metric name"},
+		{"missing value", `{"type":"counter","name":"x"}`, "missing value"},
+		{"negative counter", `{"type":"counter","name":"x","value":-4}`, "value"},
+		{"dup name", `{"type":"counter","name":"x","value":1}` + "\n" + `{"type":"gauge","name":"x","value":1,"peak":1}`, "duplicate metric"},
+		{"count mismatch", `{"type":"histogram","name":"h","count":9,"sum":1,"min":1,"max":1,"bounds":[10],"counts":[1,0]}`, "sum to 1, count says 9"},
+		{"bad bucket shape", `{"type":"histogram","name":"h","count":1,"sum":1,"min":1,"max":1,"bounds":[10,20],"counts":[1]}`, "want bounds+1"},
+	}
+	for _, c := range cases {
+		if _, err := ParseJSONL(strings.NewReader(c.in)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestParsedRegistriesSchemaDrift: two files with drifted schemas fail
+// the merge with the usual typed *SchemaError naming the metric.
+func TestParsedRegistriesSchemaDrift(t *testing.T) {
+	a, err := ParseJSONL(strings.NewReader(`{"type":"counter","name":"kern.folds","value":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseJSONL(strings.NewReader(`{"type":"counter","name":"kern.rewinds","value":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se *SchemaError
+	if err := a.Merge(b); !errors.As(err, &se) || se.Name != "kern.rewinds" {
+		t.Errorf("merge err = %v, want *SchemaError naming kern.rewinds", err)
+	}
+}
