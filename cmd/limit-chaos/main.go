@@ -8,10 +8,24 @@
 // Usage:
 //
 //	limit-chaos [-seeds 32] [-threads 4] [-cores 4] [-iters 400]
-//	            [-k 25] [-width 12] [-nofixup] [-metrics] [-parallel N]
+//	            [-k 25] [-width 12] [-tenants N] [-mix NAME]
+//	            [-nofixup] [-metrics] [-parallel N]
 //	limit-chaos -soak [-seeds 8] [-pool 4] [-waves 6] [-iters 40]
 //	            [-k 20] [-cores 4] [-width 10] [-capacity N]
+//	            [-tenants N] [-mix NAME]
 //	            [-nofixup] [-ablate-reclaim] [-metrics] [-parallel N]
+//
+// -tenants N (N > 1) activates the kernel's guest-scheduler layer: the
+// workload's threads are dealt across N tenant VMs that time-share the
+// cores under a second scheduling level, every run carries a shared
+// socket uncore counter block, the fault matrix switches to the
+// vCPU-preemption mixes, and the per-tenant attribution oracles
+// (conservation, no cross-tenant leakage, uncore share bounds) run
+// after every run. The report gains a tenant-layer table quantifying
+// double context switches and the share-by-cycles attribution error.
+//
+// -mix NAME restricts the campaign to the single named fault mix; an
+// unknown name prints the available mixes and exits 2.
 //
 // -parallel fans independent runs out across N workers (0, the
 // default, uses GOMAXPROCS; 1 selects the serial engine). Runs are
@@ -60,6 +74,8 @@ func main() {
 	pool := flag.Int("pool", 4, "soak worker-pool width")
 	waves := flag.Int("waves", 6, "soak clone/join waves per run")
 	capacity := flag.Int("capacity", 0, "soak pinned-slot ledger capacity (default 2*(pool+1)+4)")
+	tenants := flag.Int("tenants", 0, "guest-VM count; >1 time-shares the cores between tenant VMs under the two-level scheduler")
+	mixName := flag.String("mix", "", "run only the named fault mix (an unknown name lists the available mixes and exits 2)")
 	nofixup := flag.Bool("nofixup", false, "disable fixup-region registration (ablation: torn reads expected)")
 	ablateReclaim := flag.Bool("ablate-reclaim", false, "disable exit-time resource reclamation (soak ablation: leaks expected)")
 	metrics := flag.Bool("metrics", false, "attach kernel telemetry to every run and append the merged metrics block")
@@ -84,7 +100,7 @@ func main() {
 	}
 
 	if *soak {
-		runSoak(out, *seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *parallel, *nofixup, *ablateReclaim, *metrics)
+		runSoak(out, *seeds, *pool, *waves, *iters, *k, *cores, *width, *capacity, *parallel, *tenants, *mixName, *nofixup, *ablateReclaim, *metrics)
 		return
 	}
 	if *ablateReclaim {
@@ -104,7 +120,7 @@ func main() {
 		*width = 12
 	}
 
-	res := chaos.Run(chaos.Config{
+	cfg := chaos.Config{
 		Seeds:      *seeds,
 		Threads:    *threads,
 		Cores:      *cores,
@@ -114,7 +130,27 @@ func main() {
 		NoFixup:    *nofixup,
 		Metrics:    *metrics,
 		Parallel:   *parallel,
-	})
+		Tenants:    *tenants,
+	}
+	if *mixName != "" {
+		matrix := chaos.DefaultMixes()
+		if *tenants > 1 {
+			matrix = chaos.TenantMixes()
+		}
+		for _, m := range matrix {
+			if m.Name == *mixName {
+				cfg.Mixes = []chaos.Mix{m}
+			}
+		}
+		if len(cfg.Mixes) == 0 {
+			names := make([]string, len(matrix))
+			for i, m := range matrix {
+				names[i] = m.Name
+			}
+			unknownMix(*mixName, names)
+		}
+	}
+	res := chaos.Run(cfg)
 	res.Render(out)
 
 	violations := res.TotalViolations()
@@ -141,11 +177,11 @@ func main() {
 // discipline: failed runs are always fatal; a sabotaged configuration
 // (-nofixup or -ablate-reclaim) must detect its own damage; a healthy
 // one must detect nothing.
-func runSoak(out io.Writer, seeds, pool, waves, iters, k, cores, width, capacity, parallel int, nofixup, ablateReclaim, metrics bool) {
+func runSoak(out io.Writer, seeds, pool, waves, iters, k, cores, width, capacity, parallel, tenants int, mixName string, nofixup, ablateReclaim, metrics bool) {
 	if seeds == 0 {
 		seeds = 8
 	}
-	res := chaos.RunSoak(chaos.SoakConfig{
+	cfg := chaos.SoakConfig{
 		Seeds:         seeds,
 		Pool:          pool,
 		Waves:         waves,
@@ -158,7 +194,24 @@ func runSoak(out io.Writer, seeds, pool, waves, iters, k, cores, width, capacity
 		AblateReclaim: ablateReclaim,
 		Metrics:       metrics,
 		Parallel:      parallel,
-	})
+		Tenants:       tenants,
+	}
+	if mixName != "" {
+		matrix := chaos.SoakMixes(pool, tenants)
+		for _, m := range matrix {
+			if m.Name == mixName {
+				cfg.Mixes = []chaos.SoakMix{m}
+			}
+		}
+		if len(cfg.Mixes) == 0 {
+			names := make([]string, len(matrix))
+			for i, m := range matrix {
+				names[i] = m.Name
+			}
+			unknownMix(mixName, names)
+		}
+	}
+	res := chaos.RunSoak(cfg)
 	res.Render(out)
 
 	sabotaged := nofixup || ablateReclaim
@@ -181,4 +234,15 @@ func runSoak(out io.Writer, seeds, pool, waves, iters, k, cores, width, capacity
 		fmt.Printf("soak clean: churn, kills, clone storms and exhaustion absorbed (%d run(s) degraded gracefully)\n",
 			res.TotalDegraded())
 	}
+}
+
+// unknownMix reports an unrecognized -mix name with the valid choices
+// and exits with the usage-error status, matching the unknown-
+// subcommand contract elsewhere in the toolchain.
+func unknownMix(name string, names []string) {
+	fmt.Fprintf(os.Stderr, "limit-chaos: unknown mix %q; available mixes:\n", name)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %s\n", n)
+	}
+	os.Exit(2)
 }

@@ -217,6 +217,17 @@ func main() {
 		r.Render(w)
 		return nil
 	})
+	section("M1 — Multi-tenant attribution under the double context switch", func(w io.Writer) error {
+		r, err := experiments.RunM1(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		if !r.Clean() {
+			return errors.New("tenant attribution oracles reported violations")
+		}
+		return nil
+	})
 
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "limit-experiments: %d section(s) failed\n", failed)

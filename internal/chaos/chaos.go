@@ -66,6 +66,39 @@ func DefaultMixes() []Mix {
 	}
 }
 
+// TenantMixes returns the multi-tenant campaign matrix: vCPU
+// preemption storms at read-region boundaries, cross-tenant migration
+// pressure, and the combined storm at both scheduling levels. The
+// baseline still exercises the double context switch — tenant-quantum
+// rotation alone forces vCPU switches — it just adds no injected
+// faults on top.
+func TenantMixes() []Mix {
+	return []Mix{
+		{Name: "tenant-baseline", Inject: faultinject.Config{}},
+		{Name: "vcpu-preempt-storm", Inject: faultinject.Config{
+			VCpuPreemptInRegions: true, VCpuPreemptEvery: 701,
+		}},
+		// Delayed overflow service with only occasional vCPU churn: the
+		// double switches that do land must not drain the withheld PMIs
+		// so aggressively that folds never meet an in-flight read — this
+		// is the tenant mix whose ablation (-nofixup) demonstrably tears.
+		{Name: "tenant-pmi-storm", Inject: faultinject.Config{
+			SpuriousPMIEvery: 211, DelayPMI: true, DelayBoundaries: 3,
+			VCpuPreemptEvery: 701,
+		}},
+		{Name: "vcpu-migrate+flush", Inject: faultinject.Config{
+			VCpuPreemptEvery: 701, MigrationStorm: true, FlushEvery: 499,
+		}},
+		{Name: "tenant-full-mix", Inject: faultinject.Config{
+			VCpuPreemptInRegions: true, VCpuPreemptEvery: 701,
+			PreemptInRegions: true, PreemptEvery: 997,
+			SpuriousPMIEvery: 211, DelayPMI: true, DelayBoundaries: 3,
+			MigrationStorm: true, FlushEvery: 499,
+			SignalDelayBoundaries: 5,
+		}},
+	}
+}
+
 // Config shapes a campaign.
 type Config struct {
 	// Seeds is how many seeds each mix runs (default 8).
@@ -99,7 +132,15 @@ type Config struct {
 	// at every width — runs are independent simulations and results
 	// merge in (mix, seed) key order after the pool drains.
 	Parallel int
-	// Mixes is the fault matrix (default DefaultMixes).
+	// Tenants, when > 1, activates the kernel's guest-scheduler layer:
+	// workload threads are dealt round-robin across that many tenant
+	// VMs, every run gets a shared uncore counter block, the mix matrix
+	// defaults to TenantMixes, and the tenant attribution oracles
+	// (conservation, no cross-tenant leakage, uncore share bounds) run
+	// after every run.
+	Tenants int
+	// Mixes is the fault matrix (default DefaultMixes; TenantMixes
+	// when Tenants > 1).
 	Mixes []Mix
 }
 
@@ -123,7 +164,11 @@ func (c Config) withDefaults() Config {
 		c.WriteWidth = 12
 	}
 	if len(c.Mixes) == 0 {
-		c.Mixes = DefaultMixes()
+		if c.Tenants > 1 {
+			c.Mixes = TenantMixes()
+		} else {
+			c.Mixes = DefaultMixes()
+		}
 	}
 	return c
 }
@@ -162,6 +207,16 @@ type MixResult struct {
 	CheckerViolations int
 	// Samples holds a few representative checker violations.
 	Samples []invariant.Violation
+
+	// Tenant-layer aggregates (zero unless the campaign ran with
+	// Tenants > 1): double-switch and vCPU-migration counts, the
+	// socket uncore total, and the summed |estimate − truth| error of
+	// the share-by-cycles attribution policy.
+	VCpuSwitches   uint64
+	VCpuMigrations uint64
+	TenantPreempts uint64
+	UncoreTotal    uint64
+	UncoreAbsErr   uint64
 }
 
 // Violations is the mix's total evidence of broken invariants from
@@ -216,10 +271,13 @@ func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	res := &Result{Cfg: cfg, Want: buildWorkload(cfg).want}
 	if cfg.Metrics {
-		// The campaign registry is built by the same constructor as
+		// The campaign registry is built by the same constructors as
 		// each worker's, so the post-barrier merges cannot mismatch.
 		res.Telemetry = telemetry.NewRegistry()
 		kernel.NewMetrics(res.Telemetry)
+		if cfg.Tenants > 1 {
+			kernel.NewTenantMetrics(res.Telemetry, cfg.Tenants)
+		}
 	}
 	rc := runner.Config{Jobs: len(cfg.Mixes) * cfg.Seeds, Parallel: cfg.Parallel}
 	workers := make([]*campaignWorker, rc.Workers())
@@ -323,7 +381,8 @@ type campaignWorker struct {
 	inj  *faultinject.Injector
 	reg  *telemetry.Registry // per-run scratch registry (nil without Metrics)
 	km   *kernel.Metrics
-	agg  *telemetry.Registry // this worker's cross-run aggregate
+	tm   *kernel.TenantMetrics // per-tenant counters (nil unless Metrics && Tenants > 1)
+	agg  *telemetry.Registry   // this worker's cross-run aggregate
 }
 
 func newCampaignWorker(cfg Config) *campaignWorker {
@@ -338,6 +397,10 @@ func newCampaignWorker(cfg Config) *campaignWorker {
 		ws.km = kernel.NewMetrics(ws.reg)
 		ws.agg = telemetry.NewRegistry()
 		kernel.NewMetrics(ws.agg)
+		if cfg.Tenants > 1 {
+			ws.tm = kernel.NewTenantMetrics(ws.reg, cfg.Tenants)
+			kernel.NewTenantMetrics(ws.agg, cfg.Tenants)
+		}
 	}
 	return ws
 }
@@ -367,6 +430,12 @@ type runOutcome struct {
 	tornDeltas        uint64
 	checkerViolations int
 	samples           []invariant.Violation
+
+	vcpuSwitches   uint64
+	vcpuMigrations uint64
+	tenantPreempts uint64
+	uncoreTotal    uint64
+	uncoreAbsErr   uint64
 }
 
 // foldInto replays the outcome onto the mix aggregate exactly as the
@@ -385,6 +454,11 @@ func (o *runOutcome) foldInto(mr *MixResult) {
 	mr.ReadsCompleted += o.readsCompleted
 	mr.TornDeltas += o.tornDeltas
 	mr.CheckerViolations += o.checkerViolations
+	mr.VCpuSwitches += o.vcpuSwitches
+	mr.VCpuMigrations += o.vcpuMigrations
+	mr.TenantPreempts += o.tenantPreempts
+	mr.UncoreTotal += o.uncoreTotal
+	mr.UncoreAbsErr += o.uncoreAbsErr
 	for _, v := range o.samples {
 		if len(mr.Samples) >= 8 {
 			break
@@ -405,6 +479,17 @@ func runOne(cfg Config, mix Mix, seed uint64, ws *campaignWorker, out *runOutcom
 	kcfg.Seed = seed
 	kcfg.Quantum = 30_000 // short slices: natural preemption joins the storm
 	kcfg.LimitOverflow = kernel.FoldInKernel
+	if cfg.Tenants > 1 {
+		kcfg.Tenants = cfg.Tenants
+		// Tenant quantum shorter than the thread quantum: vCPU switches
+		// dominate, so nearly every thread deschedule is the double kind.
+		kcfg.TenantQuantum = 12_000
+		if cfg.Cores > 1 {
+			// Undersubscribe residency so the cap binds and cross-tenant
+			// migration pressure is constant, not incidental.
+			kcfg.VCPUs = cfg.Cores - 1
+		}
+	}
 
 	w := ws.w
 	w.space.Restore(ws.snap)
@@ -413,6 +498,7 @@ func runOne(cfg Config, mix Mix, seed uint64, ws *campaignWorker, out *runOutcom
 		PMU:           feats,
 		Kernel:        kcfg,
 		TraceCapacity: 256,
+		Uncore:        cfg.Tenants > 1,
 	})
 
 	icfg := mix.Inject
@@ -427,11 +513,17 @@ func runOne(cfg Config, mix Mix, seed uint64, ws *campaignWorker, out *runOutcom
 	if ws.km != nil {
 		ws.reg.Reset()
 		m.Kern.SetMetrics(ws.km)
+		if ws.tm != nil {
+			m.Kern.SetTenantMetrics(ws.tm)
+		}
 	}
 
 	proc := m.Kern.NewProcess(w.prog, w.space)
 	for i := 0; i < cfg.Threads; i++ {
-		m.Kern.Spawn(proc, fmt.Sprintf("chaos%d", i), w.entries[i], seed*31+uint64(i))
+		t := m.Kern.Spawn(proc, fmt.Sprintf("chaos%d", i), w.entries[i], seed*31+uint64(i))
+		if cfg.Tenants > 1 {
+			t.Tenant = i % cfg.Tenants // deal threads round-robin across guests
+		}
 	}
 
 	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
@@ -443,6 +535,24 @@ func runOne(cfg Config, mix Mix, seed uint64, ws *campaignWorker, out *runOutcom
 	}
 
 	ws.chk.Finalize(proc, m.Kern.Threads(), 0)
+
+	if accts := m.Kern.TenantAccts(); accts != nil {
+		ut := m.Kern.UncoreTotal()
+		ws.chk.CheckTenants(accts,
+			m.GroundTruthRing(pmu.EvInstructions, pmu.RingUser), ut,
+			m.Kern.Threads())
+		out.uncoreTotal = ut
+		for _, a := range accts {
+			if a.UncoreEst >= a.Uncore {
+				out.uncoreAbsErr += a.UncoreEst - a.Uncore
+			} else {
+				out.uncoreAbsErr += a.Uncore - a.UncoreEst
+			}
+		}
+		out.vcpuSwitches = m.Kern.Stats.VCpuSwitches
+		out.vcpuMigrations = m.Kern.Stats.VCpuMigrations
+		out.tenantPreempts = m.Kern.Stats.TenantPreemptions
+	}
 
 	// Value oracle: every stored delta must sit within the static
 	// cost's slack; a torn read is off by a write-limit chunk.
@@ -499,6 +609,23 @@ func (r *Result) Render(w io.Writer) {
 			m.TornDeltas, m.CheckerViolations, m.RunErrors)
 	}
 	t.Render(w)
+
+	if r.Cfg.Tenants > 1 {
+		tt := tabwrite.New(
+			fmt.Sprintf("Tenant layer (%d tenants): double switches and uncore attribution", r.Cfg.Tenants),
+			"mix", "vcpu-switches", "vcpu-preempts", "vcpu-migrations",
+			"uncore-total", "uncore-abs-err", "err-pct")
+		for i := range r.Mixes {
+			m := &r.Mixes[i]
+			pct := "0.00"
+			if m.UncoreTotal > 0 {
+				pct = fmt.Sprintf("%.2f", 100*float64(m.UncoreAbsErr)/float64(m.UncoreTotal))
+			}
+			tt.Row(m.Name, m.VCpuSwitches, m.TenantPreempts, m.VCpuMigrations,
+				m.UncoreTotal, m.UncoreAbsErr, pct)
+		}
+		tt.Render(w)
+	}
 
 	if r.TotalViolations() > 0 {
 		d := tabwrite.New("Invariant violations (samples)", "mix", "thread", "kind", "detail")

@@ -212,3 +212,164 @@ func TestRenderShape(t *testing.T) {
 		t.Errorf("ablation render missing violation detail table:\n%s", out)
 	}
 }
+
+// quickTenantCfg is the tenant-layer campaign sizing: three guest VMs
+// time-sharing two cores. Iters stays at the production default —
+// tenant runs need enough instructions for natural overflow folds, or
+// the tear oracles have nothing to bite on.
+func quickTenantCfg() Config {
+	return Config{
+		Seeds:      2,
+		Threads:    6,
+		Cores:      2,
+		Iters:      400,
+		ComputeK:   25,
+		WriteWidth: 12,
+		Tenants:    3,
+	}
+}
+
+// TestTenantCampaignInvariantsHold runs the full tenant mix matrix —
+// vCPU preemption storms, cross-tenant migration, PMI delays — with
+// fixup active: the double context switch must not tear a single read,
+// and the attribution oracles (conservation, leakage, uncore share)
+// must hold on every run.
+func TestTenantCampaignInvariantsHold(t *testing.T) {
+	r := Run(quickTenantCfg())
+	if errs := r.TotalRunErrors(); errs != 0 {
+		for _, m := range r.Mixes {
+			for _, e := range m.Errs {
+				t.Logf("[%s] %s", m.Name, e)
+			}
+		}
+		t.Fatalf("%d tenant run(s) failed", errs)
+	}
+	if v := r.TotalViolations(); v != 0 {
+		var sb strings.Builder
+		r.Render(&sb)
+		t.Fatalf("%d invariant violation(s) under the tenant matrix with fixup enabled:\n%s", v, sb.String())
+	}
+	var switches, preempts, uncore uint64
+	for i := range r.Mixes {
+		switches += r.Mixes[i].VCpuSwitches
+		preempts += r.Mixes[i].TenantPreempts
+		uncore += r.Mixes[i].UncoreTotal
+	}
+	if switches == 0 {
+		t.Error("tenant campaign performed no vCPU switches")
+	}
+	if preempts == 0 {
+		t.Error("tenant campaign delivered no vCPU preemptions")
+	}
+	if uncore == 0 {
+		t.Error("tenant campaign observed no socket uncore events")
+	}
+}
+
+// TestTenantCampaignDetectsTornReadsWithoutFixup is the tenant-layer
+// ablation: under delayed-PMI service with vCPU churn, disabling the
+// fixup must produce torn reads that both oracles detect — proving the
+// double-context-switch path is actually load-bearing, not vacuously
+// safe.
+func TestTenantCampaignDetectsTornReadsWithoutFixup(t *testing.T) {
+	cfg := quickTenantCfg()
+	cfg.Seeds = 4
+	cfg.NoFixup = true
+	cfg.Mixes = []Mix{TenantMixes()[2]} // tenant-pmi-storm reliably tears
+	r := Run(cfg)
+	if errs := r.TotalRunErrors(); errs != 0 {
+		t.Fatalf("%d run(s) failed; detection must be graceful", errs)
+	}
+	var torn uint64
+	checker := 0
+	for i := range r.Mixes {
+		torn += r.Mixes[i].TornDeltas
+		checker += r.Mixes[i].CheckerViolations
+	}
+	if torn == 0 {
+		t.Error("value oracle saw no torn deltas under the tenant ablation")
+	}
+	if checker == 0 {
+		t.Error("generation oracle saw no violations under the tenant ablation")
+	}
+}
+
+// TestTenantCampaignDeterministicAcrossWidths runs the metrics-enabled
+// tenant campaign serially and at width 4 and requires byte-identical
+// reports — the fan-out merge must commute over per-tenant metrics and
+// the attribution columns alike.
+func TestTenantCampaignDeterministicAcrossWidths(t *testing.T) {
+	render := func(parallel int) string {
+		cfg := quickTenantCfg()
+		cfg.Metrics = true
+		cfg.Parallel = parallel
+		var sb strings.Builder
+		Run(cfg).Render(&sb)
+		return sb.String()
+	}
+	serial, wide := render(1), render(4)
+	if serial != wide {
+		t.Errorf("tenant campaign output differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, wide)
+	}
+	if !strings.Contains(serial, "tenant.00.instructions") {
+		t.Error("metrics block missing per-tenant counters")
+	}
+}
+
+// TestTenantRenderShape pins the tenant layer's report surface: the
+// attribution table, its columns, and the tenant mix names.
+func TestTenantRenderShape(t *testing.T) {
+	cfg := quickTenantCfg()
+	cfg.Seeds = 1
+	var sb strings.Builder
+	Run(cfg).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"Tenant layer (3 tenants): double switches and uncore attribution",
+		"vcpu-switches", "vcpu-preempts", "vcpu-migrations",
+		"uncore-total", "uncore-abs-err", "err-pct",
+		"tenant-baseline", "vcpu-preempt-storm", "tenant-pmi-storm",
+		"vcpu-migrate+flush", "tenant-full-mix",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tenant render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTenantSoakClean runs the multi-tenant churn soak — every tenant
+// with its own manager cloning worker waves, plus the vcpu-churn mix —
+// and requires zero violations and a tenant table in the report.
+func TestTenantSoakClean(t *testing.T) {
+	cfg := SoakConfig{
+		Seeds:      2,
+		Pool:       3,
+		Waves:      3,
+		Iters:      30,
+		ComputeK:   20,
+		Cores:      2,
+		WriteWidth: 11,
+		Tenants:    2,
+	}
+	r := RunSoak(cfg)
+	if errs := r.TotalRunErrors(); errs != 0 {
+		t.Fatalf("%d tenant soak run(s) failed", errs)
+	}
+	if v := r.TotalViolations(); v != 0 {
+		var sb strings.Builder
+		r.Render(&sb)
+		t.Fatalf("%d violation(s) in a healthy tenant soak:\n%s", v, sb.String())
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"2 tenants x pool 3",
+		"Tenant layer (2 tenants)",
+		"vcpu-churn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tenant soak render missing %q in:\n%s", want, out)
+		}
+	}
+}

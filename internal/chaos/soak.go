@@ -114,6 +114,12 @@ type SoakConfig struct {
 	// sequentially (workers persist across them); reports stay
 	// byte-identical at every width.
 	Parallel int
+	// Tenants, when > 1, runs that many independent manager+pool copies
+	// as guest VMs under the kernel's tenant scheduler: slot capacities
+	// scale with the combined pool, every run gets a shared uncore
+	// block, a vCPU-churn mix joins the matrix, and the tenant
+	// attribution oracles run after every run.
+	Tenants int
 	// Mixes is the lifecycle fault matrix (default DefaultSoakMixes).
 	Mixes []SoakMix
 }
@@ -140,13 +146,36 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.WriteWidth <= 0 {
 		c.WriteWidth = 10
 	}
+	if c.Tenants <= 0 {
+		c.Tenants = 1
+	}
 	if c.SlotCapacity <= 0 {
-		c.SlotCapacity = 2*(c.Pool+1) + 4
+		// The combined pool across all guests, plus storm headroom.
+		c.SlotCapacity = 2*c.Tenants*(c.Pool+1) + 4
 	}
 	if len(c.Mixes) == 0 {
-		c.Mixes = DefaultSoakMixes(c.Pool)
+		c.Mixes = SoakMixes(c.Pool, c.Tenants)
 	}
 	return c
+}
+
+// SoakMixes returns the default lifecycle matrix for a soak of the
+// given per-tenant pool width and tenant count: DefaultSoakMixes sized
+// to the combined pool, plus — when the tenant layer is on — a
+// vCPU-churn mix that lands double context switches inside read
+// regions while the pools churn.
+func SoakMixes(pool, tenants int) []SoakMix {
+	if tenants <= 0 {
+		tenants = 1
+	}
+	mixes := DefaultSoakMixes(tenants * pool)
+	if tenants > 1 {
+		mixes = append(mixes, SoakMix{Name: "vcpu-churn",
+			Inject: faultinject.Config{
+				VCpuPreemptInRegions: true, VCpuPreemptEvery: 701,
+			}})
+	}
+	return mixes
 }
 
 func (c SoakConfig) churn() workloads.ChurnConfig {
@@ -157,6 +186,7 @@ func (c SoakConfig) churn() workloads.ChurnConfig {
 		ComputeK: c.ComputeK,
 		Retries:  c.Retries,
 		NoFixup:  c.NoFixup,
+		Tenants:  c.Tenants,
 	}
 }
 
@@ -203,6 +233,14 @@ type SoakMixResult struct {
 	Leaks             int
 	CheckerViolations int
 	Samples           []invariant.Violation
+
+	// Tenant-layer aggregates (zero unless the soak ran with
+	// Tenants > 1); see MixResult for their meaning.
+	VCpuSwitches   uint64
+	VCpuMigrations uint64
+	TenantPreempts uint64
+	UncoreTotal    uint64
+	UncoreAbsErr   uint64
 }
 
 // Violations totals the mix's evidence from all three oracles.
@@ -265,6 +303,9 @@ func RunSoak(cfg SoakConfig) *SoakResult {
 	if cfg.Metrics {
 		res.Telemetry = telemetry.NewRegistry()
 		kernel.NewMetrics(res.Telemetry)
+		if cfg.Tenants > 1 {
+			kernel.NewTenantMetrics(res.Telemetry, cfg.Tenants)
+		}
 	}
 	rc := runner.Config{Jobs: cfg.Seeds, Parallel: cfg.Parallel}
 	workers := make([]*soakWorker, rc.Workers())
@@ -299,6 +340,7 @@ type soakWorker struct {
 	inj  *faultinject.Injector
 	reg  *telemetry.Registry
 	km   *kernel.Metrics
+	tm   *kernel.TenantMetrics
 	agg  *telemetry.Registry
 }
 
@@ -314,6 +356,10 @@ func newSoakWorker(cfg SoakConfig) *soakWorker {
 		ws.km = kernel.NewMetrics(ws.reg)
 		ws.agg = telemetry.NewRegistry()
 		kernel.NewMetrics(ws.agg)
+		if cfg.Tenants > 1 {
+			ws.tm = kernel.NewTenantMetrics(ws.reg, cfg.Tenants)
+			kernel.NewTenantMetrics(ws.agg, cfg.Tenants)
+		}
 	}
 	return ws
 }
@@ -353,6 +399,12 @@ type soakOutcome struct {
 	leaks             int
 	checkerViolations int
 	samples           []invariant.Violation
+
+	vcpuSwitches   uint64
+	vcpuMigrations uint64
+	tenantPreempts uint64
+	uncoreTotal    uint64
+	uncoreAbsErr   uint64
 }
 
 // foldInto replays the outcome onto the mix aggregate exactly as the
@@ -383,6 +435,11 @@ func (o *soakOutcome) foldInto(mr *SoakMixResult) {
 	mr.BadConservation += o.badConservation
 	mr.Leaks += o.leaks
 	mr.CheckerViolations += o.checkerViolations
+	mr.VCpuSwitches += o.vcpuSwitches
+	mr.VCpuMigrations += o.vcpuMigrations
+	mr.TenantPreempts += o.tenantPreempts
+	mr.UncoreTotal += o.uncoreTotal
+	mr.UncoreAbsErr += o.uncoreAbsErr
 	for _, v := range o.samples {
 		if len(mr.Samples) >= 8 {
 			break
@@ -406,6 +463,13 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, ws *soakWorker, out *s
 		kcfg.VirtSlotCapacity = mix.SlotCapacity
 	}
 	kcfg.AblateReclaim = cfg.AblateReclaim
+	if cfg.Tenants > 1 {
+		kcfg.Tenants = cfg.Tenants
+		kcfg.TenantQuantum = 12_000
+		if cfg.Cores > 1 {
+			kcfg.VCPUs = cfg.Cores - 1
+		}
+	}
 
 	w := ws.w
 	w.Space.Restore(ws.snap)
@@ -414,6 +478,7 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, ws *soakWorker, out *s
 		PMU:           feats,
 		Kernel:        kcfg,
 		TraceCapacity: 256,
+		Uncore:        cfg.Tenants > 1,
 	})
 
 	icfg := mix.Inject
@@ -431,11 +496,21 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, ws *soakWorker, out *s
 	if ws.km != nil {
 		ws.reg.Reset()
 		m.Kern.SetMetrics(ws.km)
+		if ws.tm != nil {
+			m.Kern.SetTenantMetrics(ws.tm)
+		}
 	}
 
 	proc := m.Kern.NewProcess(w.Prog, w.Space)
-	mgr := m.Kern.Spawn(proc, "churn-mgr", w.Entry, seed*31)
-	mgr.SetReg(tls.SlotReg, uint64(w.ManagerSlot()))
+	for mt := 0; mt < cfg.Tenants; mt++ {
+		name := "churn-mgr"
+		if cfg.Tenants > 1 {
+			name = fmt.Sprintf("churn-mgr%d", mt)
+		}
+		mgr := m.Kern.Spawn(proc, name, w.Entries[mt], seed*31+uint64(mt))
+		mgr.SetReg(tls.SlotReg, uint64(w.ManagerSlot(mt)))
+		mgr.Tenant = mt
+	}
 
 	res := m.Run(machine.RunLimits{MaxSteps: runSteps})
 	switch {
@@ -478,7 +553,7 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, ws *soakWorker, out *s
 	// slack; estimated runs are flagged, counted, and skipped.
 	out.waves = make([]WaveAcct, cfg.Waves)
 	for ri := 0; ri < w.Runs(); ri++ {
-		wave := ri / cfg.Pool
+		wave := ri / (cfg.Tenants * cfg.Pool)
 		est := w.Estimated(ri)
 		if est {
 			out.degradedRuns++
@@ -507,6 +582,27 @@ func runOneSoak(cfg SoakConfig, mix SoakMix, seed uint64, ws *soakWorker, out *s
 				out.tornDeltas++
 			}
 		}
+	}
+
+	// Tenant attribution oracles: per-guest instruction conservation,
+	// no cross-tenant leakage, and uncore-share bounds — they must hold
+	// under every lifecycle storm, kills and clone stampedes included.
+	if accts := m.Kern.TenantAccts(); accts != nil {
+		ut := m.Kern.UncoreTotal()
+		ws.chk.CheckTenants(accts,
+			m.GroundTruthRing(pmu.EvInstructions, pmu.RingUser), ut,
+			m.Kern.Threads())
+		out.uncoreTotal = ut
+		for _, a := range accts {
+			if a.UncoreEst >= a.Uncore {
+				out.uncoreAbsErr += a.UncoreEst - a.Uncore
+			} else {
+				out.uncoreAbsErr += a.Uncore - a.UncoreEst
+			}
+		}
+		out.vcpuSwitches = m.Kern.Stats.VCpuSwitches
+		out.vcpuMigrations = m.Kern.Stats.VCpuMigrations
+		out.tenantPreempts = m.Kern.Stats.TenantPreemptions
 	}
 
 	out.injected = ws.inj.Stats
@@ -545,8 +641,12 @@ func (r *SoakResult) Render(w io.Writer) {
 	if r.Cfg.AblateReclaim {
 		reclaim = "DISABLED (ablation)"
 	}
-	title := fmt.Sprintf("Soak campaign: %d seed(s) x %d mix(es), pool %d x %d waves x %d reads, %d cores, %d-bit writes, slots %d, fixup %s, reclaim %s",
-		r.Cfg.Seeds, len(r.Mixes), r.Cfg.Pool, r.Cfg.Waves, r.Cfg.Iters,
+	pool := fmt.Sprintf("pool %d", r.Cfg.Pool)
+	if r.Cfg.Tenants > 1 {
+		pool = fmt.Sprintf("%d tenants x pool %d", r.Cfg.Tenants, r.Cfg.Pool)
+	}
+	title := fmt.Sprintf("Soak campaign: %d seed(s) x %d mix(es), %s x %d waves x %d reads, %d cores, %d-bit writes, slots %d, fixup %s, reclaim %s",
+		r.Cfg.Seeds, len(r.Mixes), pool, r.Cfg.Waves, r.Cfg.Iters,
 		r.Cfg.Cores, r.Cfg.WriteWidth, r.Cfg.SlotCapacity, fixup, reclaim)
 	t := tabwrite.New(title,
 		"mix", "runs", "clones", "exits", "kills", "denials", "degraded",
@@ -560,6 +660,23 @@ func (r *SoakResult) Render(w io.Writer) {
 			m.TornDeltas, m.BadConservation, m.Leaks, m.CheckerViolations, m.RunErrors)
 	}
 	t.Render(w)
+
+	if r.Cfg.Tenants > 1 {
+		tt := tabwrite.New(
+			fmt.Sprintf("Tenant layer (%d tenants): double switches and uncore attribution", r.Cfg.Tenants),
+			"mix", "vcpu-switches", "vcpu-preempts", "vcpu-migrations",
+			"uncore-total", "uncore-abs-err", "err-pct")
+		for i := range r.Mixes {
+			m := &r.Mixes[i]
+			pct := "0.00"
+			if m.UncoreTotal > 0 {
+				pct = fmt.Sprintf("%.2f", 100*float64(m.UncoreAbsErr)/float64(m.UncoreTotal))
+			}
+			tt.Row(m.Name, m.VCpuSwitches, m.TenantPreempts, m.VCpuMigrations,
+				m.UncoreTotal, m.UncoreAbsErr, pct)
+		}
+		tt.Render(w)
+	}
 
 	wa := tabwrite.New("Per-wave accounting (worker runs across all seeds)",
 		"mix", "wave", "exact", "estimated", "partial")

@@ -93,6 +93,9 @@ func TestExitCodeContract(t *testing.T) {
 		{"limit-chaos unknown flag", "limit-chaos", []string{"-no-such-flag"}, 2},
 		{"limit-fleet unknown flag", "limit-fleet", []string{"-no-such-flag"}, 2},
 		{"limit-chaos ablate without soak", "limit-chaos", []string{"-ablate-reclaim"}, 2},
+		{"limit-chaos unknown mix", "limit-chaos", []string{"-mix", "bogus"}, 2},
+		{"limit-chaos unknown tenant mix", "limit-chaos", []string{"-tenants", "3", "-mix", "bogus"}, 2},
+		{"limit-chaos unknown soak mix", "limit-chaos", []string{"-soak", "-mix", "bogus"}, 2},
 		{"limit-fleet unknown space", "limit-fleet", []string{"-space", "bogus"}, 2},
 		{"limit-fleet ablate without soak", "limit-fleet", []string{"-ablate-reclaim"}, 2},
 		{"limitctl merge no files", "limitctl", []string{"merge"}, 2},
@@ -112,6 +115,32 @@ func TestExitCodeContract(t *testing.T) {
 				t.Errorf("%s %v: exit %d, want %d\nstderr: %s", tc.bin, tc.args, code, tc.want, stderr)
 			}
 		})
+	}
+}
+
+// TestUnknownMixListsAvailable pins the -mix error surface: an unknown
+// name must name itself and enumerate the matrix it was matched
+// against — the tenant matrix when -tenants is active, the default
+// otherwise.
+func TestUnknownMixListsAvailable(t *testing.T) {
+	code, stderr := run(t, "limit-chaos", "-mix", "bogus")
+	if code != 2 {
+		t.Fatalf("unknown mix exited %d, want 2\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{`unknown mix "bogus"`, "available mixes:", "pmi-storm", "full-mix"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("unknown-mix stderr missing %q:\n%s", want, stderr)
+		}
+	}
+
+	code, stderr = run(t, "limit-chaos", "-tenants", "3", "-mix", "bogus")
+	if code != 2 {
+		t.Fatalf("unknown tenant mix exited %d, want 2\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{"vcpu-preempt-storm", "tenant-pmi-storm", "tenant-full-mix"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("tenant unknown-mix stderr missing %q:\n%s", want, stderr)
+		}
 	}
 }
 

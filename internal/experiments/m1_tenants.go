@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"limitsim/internal/chaos"
+	"limitsim/internal/faultinject"
+	"limitsim/internal/tabwrite"
+)
+
+// M1 — multi-tenant counter virtualization under the double context
+// switch. A guest scheduler time-shares the simulated cores between N
+// tenant VMs, so every vCPU preemption is a second scheduling level
+// stacked on the thread scheduler: counters must survive save/restore
+// at both levels and the PC-rewind fixup window must extend across the
+// extra switch. This experiment sweeps tenant count × vCPU preemption
+// rate and reports (a) the rewind traffic the double switch induces,
+// (b) the share-by-cycles uncore attribution error against per-tenant
+// ground truth, and (c) the invariant-oracle verdict — which must be
+// zero violations at every cell, or the reproduction fails.
+
+// M1Row is one (tenant count, preemption rate) cell.
+type M1Row struct {
+	Tenants int
+	// Rate names the vCPU preemption intensity: "quantum-only" (tenant
+	// quantum rotation, no injection), "1/N" (random preemption with
+	// probability 1/N per boundary outside read regions), or
+	// "region-storm" (forced preemption at every boundary inside a
+	// registered read region — the adversarial placement).
+	Rate string
+
+	VCpuSwitches   uint64
+	TenantPreempts uint64
+	VCpuMigrations uint64
+	Rewinds        uint64
+	ReadsCompleted uint64
+
+	UncoreTotal  uint64
+	UncoreAbsErr uint64
+
+	Violations uint64
+	RunErrors  int
+}
+
+// UncoreErrPct is the attribution policy's summed |estimate − truth|
+// as a percentage of the socket total.
+func (r M1Row) UncoreErrPct() float64 {
+	if r.UncoreTotal == 0 {
+		return 0
+	}
+	return 100 * float64(r.UncoreAbsErr) / float64(r.UncoreTotal)
+}
+
+// M1Result is the full sweep.
+type M1Result struct {
+	Rows  []M1Row
+	Seeds int
+}
+
+// RunM1 sweeps tenant count × vCPU preemption rate. Every cell is a
+// small chaos campaign (the production harness, not a special path):
+// the invariant checker and the tenant attribution oracles run on
+// every seed.
+func RunM1(s Scale) (*M1Result, error) {
+	tenants := []int{2, 3, 4}
+	type level struct {
+		name   string
+		inject faultinject.Config
+	}
+	levels := []level{
+		{"quantum-only", faultinject.Config{}},
+		{"1/2099", faultinject.Config{VCpuPreemptEvery: 2099}},
+		{"1/701", faultinject.Config{VCpuPreemptEvery: 701}},
+		{"region-storm", faultinject.Config{VCpuPreemptInRegions: true}},
+	}
+	seeds := s.count(4)
+	iters := s.iters(400)
+
+	type cell struct {
+		tenants int
+		level   level
+	}
+	var cells []cell
+	for _, tn := range tenants {
+		for _, lv := range levels {
+			cells = append(cells, cell{tn, lv})
+		}
+	}
+
+	rows, err := runPar(len(cells), func(ci int) (M1Row, error) {
+		c := cells[ci]
+		res := chaos.Run(chaos.Config{
+			Seeds:    seeds,
+			Iters:    iters,
+			Tenants:  c.tenants,
+			Parallel: 1, // cells already fan out; keep each cell serial
+			Mixes: []chaos.Mix{{
+				Name:   fmt.Sprintf("m1.t%d.%s", c.tenants, c.level.name),
+				Inject: c.level.inject,
+			}},
+		})
+		m := &res.Mixes[0]
+		return M1Row{
+			Tenants:        c.tenants,
+			Rate:           c.level.name,
+			VCpuSwitches:   m.VCpuSwitches,
+			TenantPreempts: m.TenantPreempts,
+			VCpuMigrations: m.VCpuMigrations,
+			Rewinds:        m.Rewinds,
+			ReadsCompleted: m.ReadsCompleted,
+			UncoreTotal:    m.UncoreTotal,
+			UncoreAbsErr:   m.UncoreAbsErr,
+			Violations:     m.Violations(),
+			RunErrors:      m.RunErrors,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &M1Result{Rows: rows, Seeds: seeds}, nil
+}
+
+// Clean reports whether every cell held all invariants and completed
+// every run.
+func (r *M1Result) Clean() bool {
+	for _, row := range r.Rows {
+		if row.Violations != 0 || row.RunErrors != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the sweep table.
+func (r *M1Result) Render(w io.Writer) {
+	t := tabwrite.New(
+		fmt.Sprintf("M1: tenant virtualization — attribution error and rewinds vs tenants x vCPU preemption rate (%d seeds/cell)", r.Seeds),
+		"tenants", "preempt-rate", "vcpu-switches", "vcpu-preempts",
+		"vcpu-migrations", "rewinds", "reads", "uncore-err %", "violations")
+	for _, row := range r.Rows {
+		t.Row(row.Tenants, row.Rate, row.VCpuSwitches, row.TenantPreempts,
+			row.VCpuMigrations, row.Rewinds, row.ReadsCompleted,
+			fmt.Sprintf("%.2f", row.UncoreErrPct()), row.Violations)
+	}
+	t.Render(w)
+}

@@ -101,6 +101,17 @@ type Config struct {
 	// CloneBudget caps the total number of forced clones per run so a
 	// storm terminates (default 64).
 	CloneBudget int
+
+	// VCpuPreemptInRegions forces a tenant-level (vCPU) preemption
+	// after every instruction boundary inside a registered region, up
+	// to RegionBudget consecutive preemptions per region pass (its own
+	// budget, separate from the thread-level one) — the double context
+	// switch landing exactly where it can tear a read. Requires the
+	// kernel's tenant layer; the hook is a no-op otherwise.
+	VCpuPreemptInRegions bool
+	// VCpuPreemptEvery, when >0, forces a vCPU preemption outside
+	// regions with probability 1/VCpuPreemptEvery per boundary.
+	VCpuPreemptEvery uint64
 }
 
 // Stats counts every fault the injector actually delivered.
@@ -116,6 +127,7 @@ type Stats struct {
 	Flushes           uint64
 	Kills             uint64 // asynchronous thread kills delivered
 	ForcedClones      uint64 // clone-storm children forced into existence
+	VCpuPreemptions   uint64 // tenant-level (vCPU) preemptions forced
 }
 
 // Add accumulates another run's stats into s (campaign roll-ups).
@@ -131,13 +143,14 @@ func (s *Stats) Add(o Stats) {
 	s.Flushes += o.Flushes
 	s.Kills += o.Kills
 	s.ForcedClones += o.ForcedClones
+	s.VCpuPreemptions += o.VCpuPreemptions
 }
 
 // Total sums every delivered fault.
 func (s Stats) Total() uint64 {
 	return s.ForcedPreemptions + s.RandomPreemptions + s.SpuriousPMIs +
 		s.DelayedPMIs + s.Migrations + s.HeldSignals + s.Flushes +
-		s.Kills + s.ForcedClones
+		s.Kills + s.ForcedClones + s.VCpuPreemptions
 }
 
 // pmiStash is one core's withheld overflow bits.
@@ -155,6 +168,7 @@ type Injector struct {
 	regions []kernel.FixupRegion
 
 	budget  map[int]int // thread ID -> remaining in-region preemptions
+	vbudget map[int]int // thread ID -> remaining in-region vCPU preemptions
 	stash   map[int]*pmiStash
 	sigHold map[int]int // thread ID -> remaining hold boundaries
 	armPC   int         // one-shot preemption trigger, -1 when unarmed
@@ -173,6 +187,7 @@ func New(cfg Config) *Injector {
 	inj := &Injector{
 		nCores:  1,
 		budget:  make(map[int]int),
+		vbudget: make(map[int]int),
 		stash:   make(map[int]*pmiStash),
 		sigHold: make(map[int]int),
 	}
@@ -200,6 +215,7 @@ func (inj *Injector) Reset(cfg Config) {
 	inj.cfg = cfg
 	inj.rng = cfg.Seed ^ 0xbadc0ffee0ddf00d
 	clear(inj.budget)
+	clear(inj.vbudget)
 	clear(inj.stash)
 	clear(inj.sigHold)
 	inj.armPC = -1
@@ -287,6 +303,9 @@ func (in *Injector) Hooks() *kernel.Chaos {
 	if in.cfg.CloneEvery > 0 || in.armClonePC >= 0 {
 		c.CloneAfter = in.cloneAfter
 	}
+	if in.cfg.VCpuPreemptInRegions || in.cfg.VCpuPreemptEvery > 0 {
+		c.VCpuPreemptAfter = in.vcpuPreemptAfter
+	}
 	return c
 }
 
@@ -345,6 +364,34 @@ func (in *Injector) preemptAfter(coreID int, t *kernel.Thread) bool {
 	}
 	in.budget[t.ID]--
 	in.Stats.ForcedPreemptions++
+	return true
+}
+
+// vcpuPreemptAfter mirrors preemptAfter at the tenant level: budgeted
+// double-switch storms inside read-critical regions, random vCPU
+// preemptions outside them. A separate budget map keeps the two storm
+// classes independently capped, so combining them cannot livelock a
+// rewinding thread.
+func (in *Injector) vcpuPreemptAfter(coreID int, t *kernel.Thread) bool {
+	pc := t.Ctx.PC
+	if !in.inRegion(pc) {
+		in.vbudget[t.ID] = in.cfg.RegionBudget
+		if in.chance(in.cfg.VCpuPreemptEvery) {
+			in.Stats.VCpuPreemptions++
+			return true
+		}
+		return false
+	}
+	if !in.cfg.VCpuPreemptInRegions {
+		return false
+	}
+	if b, ok := in.vbudget[t.ID]; !ok {
+		in.vbudget[t.ID] = in.cfg.RegionBudget
+	} else if b <= 0 {
+		return false
+	}
+	in.vbudget[t.ID]--
+	in.Stats.VCpuPreemptions++
 	return true
 }
 

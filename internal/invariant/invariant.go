@@ -50,6 +50,14 @@ const (
 	KindBadInherit   = "bad-inheritance"
 	KindBadReap      = "bad-reap"
 	KindLeak         = "resource-leak"
+
+	// Tenant-layer oracles (CheckTenants): conservation of per-tenant
+	// instruction attribution against the machine total, cross-tenant
+	// leakage (a tenant's ledger disagreeing with its own threads'
+	// ground truth), and the uncore share-by-cycles policy bounds.
+	KindTenantConserve = "tenant-conservation"
+	KindTenantLeak     = "tenant-leak"
+	KindUncoreShare    = "uncore-share"
 )
 
 // Violation is one observed breach of a LiMiT invariant.
@@ -366,6 +374,60 @@ func (c *Checker) CheckLeaks(res kernel.Resources) {
 		c.report(0, KindLeak,
 			"%d fixup-region registration(s) never dropped (peak %d)",
 			res.RegionsLive, res.RegionsPeak)
+	}
+}
+
+// CheckTenants audits the tenant attribution ledger after a run with
+// the guest-scheduler layer active:
+//
+//   - Conservation: tenant instruction ledgers sum exactly to the
+//     machine's user-ring ground truth — the double context switch
+//     lost nothing and invented nothing.
+//   - No cross-tenant leakage: each tenant's ledger equals the sum of
+//     its own threads' true retired-instruction counts, so no tenant
+//     was billed for another's work.
+//   - Uncore share bounds: the share-by-cycles estimates sum exactly
+//     to the socket total and no single estimate exceeds it. (The
+//     estimate-vs-truth gap is a reported measurement, not a
+//     violation — the policy is approximate by design.)
+//
+// machineUserInstr is machine.GroundTruthRing(EvInstructions,
+// RingUser); uncoreTotal the socket-wide uncore-event count.
+func (c *Checker) CheckTenants(accts []kernel.TenantAcct, machineUserInstr, uncoreTotal uint64, threads []*kernel.Thread) {
+	if len(accts) == 0 {
+		return
+	}
+	var instrSum, estSum uint64
+	perTenant := make([]uint64, len(accts))
+	for _, t := range threads {
+		tid := t.Tenant
+		if tid < 0 || tid >= len(accts) {
+			tid = 0 // mirror the kernel's tenantOf clamp
+		}
+		perTenant[tid] += t.Stats.UserInstructions
+	}
+	for _, a := range accts {
+		instrSum += a.Instructions
+		estSum += a.UncoreEst
+		if a.Instructions != perTenant[a.ID] {
+			c.report(0, KindTenantLeak,
+				"tenant %d ledger holds %d user instructions but its threads retired %d",
+				a.ID, a.Instructions, perTenant[a.ID])
+		}
+		if a.UncoreEst > uncoreTotal {
+			c.report(0, KindUncoreShare,
+				"tenant %d uncore estimate %d exceeds socket total %d",
+				a.ID, a.UncoreEst, uncoreTotal)
+		}
+	}
+	if instrSum != machineUserInstr {
+		c.report(0, KindTenantConserve,
+			"tenant ledgers sum to %d user instructions but the machine retired %d",
+			instrSum, machineUserInstr)
+	}
+	if estSum != uncoreTotal {
+		c.report(0, KindUncoreShare,
+			"uncore estimates sum to %d but the socket counted %d", estSum, uncoreTotal)
 	}
 }
 

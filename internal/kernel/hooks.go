@@ -73,6 +73,14 @@ type Chaos struct {
 	// resource reclaimed — no matter where the thread was, including
 	// mid-read-sequence.
 	KillAfter func(coreID int, t *Thread) bool
+
+	// VCpuPreemptAfter is consulted after every retired instruction
+	// while t is still current and the tenant layer is active;
+	// returning true forces a tenant-level (vCPU) preemption at this
+	// boundary regardless of the tenant quantum — the double context
+	// switch, landable anywhere, including mid-read-sequence. Ignored
+	// when Config.Tenants <= 1.
+	VCpuPreemptAfter func(coreID int, t *Thread) bool
 }
 
 // Probes is the observation hook set. All hooks are optional; none may

@@ -56,6 +56,7 @@ type Costs struct {
 	CtxSwitchBase uint64 // scheduler + address-space switch
 	MSRRead       uint64 // per-counter save on deschedule
 	MSRWrite      uint64 // per-counter restore on schedule
+	VCpuSwitch    uint64 // tenant (guest-scheduler) residency switch
 
 	SignalDeliver uint64
 	SigReturn     uint64
@@ -98,6 +99,7 @@ func DefaultCosts() Costs {
 		CtxSwitchBase: 900,
 		MSRRead:       60,
 		MSRWrite:      90,
+		VCpuSwitch:    2500,
 
 		SignalDeliver: 400,
 		SigReturn:     250,
@@ -157,6 +159,23 @@ type Config struct {
 	// so leak-oracle tests can prove they detect the leaks reclamation
 	// prevents.
 	AblateReclaim bool
+
+	// Tenants, when > 1, activates the guest-scheduler layer: threads
+	// carry a tenant id and each core runs one resident tenant at a
+	// time, with vCPU switches between them (tenant.go). <= 1 disables
+	// the layer entirely; existing paths pay nothing.
+	Tenants int
+	// TenantQuantum is the tenant-level time slice in cycles (default
+	// 3× Quantum, so several thread slices fit inside one vCPU slice).
+	TenantQuantum uint64
+	// VCPUs caps how many cores one tenant may be resident on at once
+	// (0: unbounded). Caps below the core count force cross-core vCPU
+	// migration under load.
+	VCPUs int
+	// UncoreEvent selects which event the socket-level attribution
+	// policy divides among tenants (default EvLLCMiss — the canonical
+	// shared-resource event).
+	UncoreEvent pmu.Event
 }
 
 // DefaultConfig returns a configuration resembling a 2011 Linux desktop:
@@ -372,6 +391,11 @@ type Thread struct {
 	// the host.
 	ClonedFrom int
 
+	// Tenant is the guest VM this thread belongs to when the tenant
+	// layer is active (Config.Tenants > 1); children inherit it across
+	// clone. Out-of-range values are treated as tenant 0.
+	Tenant int
+
 	counters  []*ThreadCounter
 	sampler   int // index into counters of the active sampler, -1 if none
 	sigFrames []cpu.Context
@@ -429,6 +453,10 @@ type Stats struct {
 	Clones        uint64 // threads created with counter inheritance
 	Exits         uint64 // threads torn down through the exit path
 	Kills         uint64 // exits forced by chaos injection
+
+	VCpuSwitches      uint64 // tenant residency changes on a core
+	VCpuMigrations    uint64 // cross-core vCPU moves + cap-driven thread moves
+	TenantPreemptions uint64 // vCPU preemptions (quantum expiry or chaos)
 }
 
 // Kernel is the simulated OS instance managing a fixed set of cores.
@@ -479,6 +507,10 @@ type Kernel struct {
 	metrics    *Metrics
 	pmiRaiseAt [][]uint64
 
+	// ts is the guest-scheduler (tenant) layer, nil unless
+	// Config.Tenants > 1 (tenant.go).
+	ts *tenantSched
+
 	Stats Stats
 }
 
@@ -507,6 +539,14 @@ func New(cfg Config, cores []*cpu.Core) *Kernel {
 		rng:          cfg.Seed ^ 0x8c0ffee0,
 		slots:        pmu.NewLedger(cfg.VirtSlotCapacity),
 		tableWords:   pmu.NewLedger(0),
+	}
+	if cfg.Tenants > 1 {
+		// The zero UncoreEvent (EvCycles) means "default": attribute the
+		// canonical shared-resource event.
+		if k.cfg.UncoreEvent == pmu.EvCycles {
+			k.cfg.UncoreEvent = pmu.EvLLCMiss
+		}
+		k.ts = newTenantSched(k.cfg, len(cores))
 	}
 	return k
 }

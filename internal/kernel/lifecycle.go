@@ -39,6 +39,7 @@ func (k *Kernel) clone(coreID int, t *Thread, entry int, tlsArg, seed, tableBase
 	core := k.cores[coreID]
 	nt := k.Spawn(t.Proc, t.Name+"*", entry, seed)
 	nt.ClonedFrom = t.ID
+	nt.Tenant = t.Tenant // a guest VM's threads stay in the guest
 	nt.Ctx.Regs[isa.R14] = tlsArg
 	nt.ReadyAt = core.Now
 

@@ -88,6 +88,11 @@ func (k *Kernel) enqueue(t *Thread) {
 func (k *Kernel) StepCore(coreID int) StepStatus {
 	core := k.cores[coreID]
 
+	// Tenant timer first: an expired vCPU quantum preempts the whole
+	// guest (the double context switch), before the thread-level timer
+	// gets a say.
+	k.tenantTick(coreID)
+
 	// Timer: preempt an expired quantum when others are waiting.
 	if t := k.cur[coreID]; t != nil && core.Now >= k.quantumEnd[coreID] && len(k.runq[coreID]) > 0 {
 		k.preempt(coreID)
@@ -147,6 +152,7 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 	// current — an earlier hook may have removed it).
 	k.chaosClone(coreID)
 	k.chaosKill(coreID)
+	k.chaosVCpuPreempt(coreID)
 	k.chaosPreempt(coreID)
 
 	// Deliver pending signals on the way back to user (unless the
@@ -165,12 +171,19 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 // ReadyAt when the thread was woken in this core's future.
 func (k *Kernel) schedule(coreID int) bool {
 	core := k.cores[coreID]
+	if k.ts != nil {
+		k.tenantMigrate(coreID)
+	}
 	q := k.runq[coreID]
 	pick := -1
-	for i, t := range q {
-		if t.ReadyAt <= core.Now {
-			pick = i
-			break
+	if k.ts != nil {
+		pick = k.tenantPick(coreID)
+	} else {
+		for i, t := range q {
+			if t.ReadyAt <= core.Now {
+				pick = i
+				break
+			}
 		}
 	}
 	if pick == -1 && k.cfg.WorkStealing {
@@ -227,7 +240,7 @@ func (k *Kernel) stealVictim(thief int) (*stolen, int) {
 		return nil, 0
 	}
 	for j := len(k.runq[bestCore]) - 1; j >= 0; j-- {
-		if t := k.runq[bestCore][j]; t.ReadyAt <= now {
+		if t := k.runq[bestCore][j]; t.ReadyAt <= now && k.tenantStealOK(thief, t) {
 			return &stolen{t: t, qIdx: j}, bestCore
 		}
 	}
@@ -280,6 +293,13 @@ func (k *Kernel) deschedule(coreID int, t *Thread) {
 
 // switchTo completes a context switch onto next.
 func (k *Kernel) switchTo(coreID int, next *Thread) {
+	// Guest level first: make next's tenant resident (charging the vCPU
+	// switch when the core changes hands between tenants) before the
+	// thread-level switch costs start, so the base switch histograms
+	// stay comparable with the tenant layer off.
+	if k.ts != nil {
+		k.tenantEnsure(coreID, k.ts.tenantOf(next))
+	}
 	core := k.cores[coreID]
 	c := k.cfg.Costs
 	start := core.Now

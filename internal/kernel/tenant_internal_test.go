@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// ledgers builds a TenantLedger slice from per-tenant cycle counts.
+func ledgers(cycles ...uint64) []TenantLedger {
+	led := make([]TenantLedger, len(cycles))
+	for i, c := range cycles {
+		led[i].Cycles = c
+	}
+	return led
+}
+
+// TestApportionSumsToTotal checks the policy's hard guarantee: the
+// share-by-cycles estimates always sum to the socket total exactly,
+// whatever the cycle distribution.
+func TestApportionSumsToTotal(t *testing.T) {
+	cases := []struct {
+		total  uint64
+		cycles []uint64
+	}{
+		{100, []uint64{1, 2, 3}},
+		{7, []uint64{3, 3, 3}},
+		{1, []uint64{1000, 1}},
+		{999_999_937, []uint64{13, 4096, 7777, 1}},
+		{42, []uint64{0, 0, 5}},
+	}
+	for _, tc := range cases {
+		led := ledgers(tc.cycles...)
+		var totalCyc uint64
+		for _, c := range tc.cycles {
+			totalCyc += c
+		}
+		est := apportion(tc.total, totalCyc, led)
+		var sum uint64
+		for i, e := range est {
+			sum += e
+			if e > tc.total {
+				t.Errorf("apportion(%d, %v): est[%d]=%d exceeds total", tc.total, tc.cycles, i, e)
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("apportion(%d, %v) sums to %d", tc.total, tc.cycles, sum)
+		}
+	}
+}
+
+// TestApportionZeroCycles pins the documented fallback: with no
+// attributed cycles the whole total goes to tenant 0.
+func TestApportionZeroCycles(t *testing.T) {
+	est := apportion(55, 0, ledgers(0, 0, 0))
+	if est[0] != 55 || est[1] != 0 || est[2] != 0 {
+		t.Errorf("zero-cycle apportion = %v, want [55 0 0]", est)
+	}
+}
+
+// TestApportionZeroTotal: nothing to divide, everyone gets zero.
+func TestApportionZeroTotal(t *testing.T) {
+	for _, e := range apportion(0, 100, ledgers(40, 60)) {
+		if e != 0 {
+			t.Fatalf("zero-total apportion produced %d", e)
+		}
+	}
+}
+
+// TestApportionLargestRemainderTies: equal shares of an indivisible
+// total — the remainder units go to the lowest tenant ids, one each.
+func TestApportionLargestRemainderTies(t *testing.T) {
+	est := apportion(10, 3, ledgers(1, 1, 1))
+	want := []uint64{4, 3, 3}
+	for i := range want {
+		if est[i] != want[i] {
+			t.Fatalf("tie-break apportion = %v, want %v", est, want)
+		}
+	}
+}
+
+// TestApportionProportional: exact divisibility must produce the exact
+// proportional split with no remainder redistribution.
+func TestApportionProportional(t *testing.T) {
+	est := apportion(100, 10, ledgers(1, 2, 3, 4))
+	want := []uint64{10, 20, 30, 40}
+	for i := range want {
+		if est[i] != want[i] {
+			t.Fatalf("proportional apportion = %v, want %v", est, want)
+		}
+	}
+}
+
+// TestApportionNoOverflow drives total*cycles far past 64 bits: the
+// 128-bit intermediate must keep the split exact at any magnitude.
+func TestApportionNoOverflow(t *testing.T) {
+	big := uint64(math.MaxUint64 / 2)
+	led := ledgers(big, big/3, 17)
+	totalCyc := led[0].Cycles + led[1].Cycles + led[2].Cycles
+	total := uint64(math.MaxUint64 - 12345)
+	est := apportion(total, totalCyc, led)
+	var sum uint64
+	for _, e := range est {
+		sum += e
+	}
+	if sum != total {
+		t.Errorf("large-magnitude apportion sums to %d, want %d", sum, total)
+	}
+	if est[0] <= est[1] || est[1] <= est[2] {
+		t.Errorf("apportion lost proportionality at scale: %v", est)
+	}
+}
+
+// TestTenantOfClamp: out-of-range tenant tags are owned by tenant 0,
+// never dropped.
+func TestTenantOfClamp(t *testing.T) {
+	ts := &tenantSched{n: 3}
+	for tag, want := range map[int]int{-1: 0, 0: 0, 2: 2, 3: 0, 99: 0} {
+		if got := ts.tenantOf(&Thread{Tenant: tag}); got != want {
+			t.Errorf("tenantOf(%d) = %d, want %d", tag, got, want)
+		}
+	}
+}

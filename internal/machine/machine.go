@@ -40,6 +40,10 @@ type Config struct {
 	// (fixed size, overwrites oldest) and is what FaultError carries
 	// for post-mortem diagnosis when a run goes wrong.
 	TraceCapacity int
+	// Uncore attaches one shared socket-level counter block to every
+	// core's PMU (required by the kernel's tenant attribution layer;
+	// off by default because it adds a branch to every AddEvent).
+	Uncore bool
 }
 
 // DefaultConfig returns a 4-core machine with stock-2011 PMU features.
@@ -55,6 +59,9 @@ func DefaultConfig() Config {
 type Machine struct {
 	Cores []*cpu.Core
 	Kern  *kernel.Kernel
+	// Uncore is the socket-level shared counter block when
+	// Config.Uncore was set (nil otherwise).
+	Uncore *pmu.Uncore
 }
 
 // New builds a machine from cfg, applying defaults for zero fields.
@@ -69,10 +76,17 @@ func New(cfg Config) *Machine {
 		cfg.Kernel = kernel.DefaultConfig()
 	}
 	cores := make([]*cpu.Core, cfg.NumCores)
+	var uncore *pmu.Uncore
+	if cfg.Uncore {
+		uncore = pmu.NewUncore()
+	}
 	for i := range cores {
 		cores[i] = cpu.NewCore(i, cfg.PMU)
+		if uncore != nil {
+			cores[i].PMU.AttachUncore(uncore)
+		}
 	}
-	m := &Machine{Cores: cores, Kern: kernel.New(cfg.Kernel, cores)}
+	m := &Machine{Cores: cores, Kern: kernel.New(cfg.Kernel, cores), Uncore: uncore}
 	if cfg.TraceCapacity > 0 {
 		m.Kern.SetTracer(trace.NewBuffer(cfg.TraceCapacity))
 	}

@@ -175,6 +175,11 @@ type PMU struct {
 	// used by experiments to compute true totals that the paper
 	// obtained from long calibration runs.
 	groundTruth [NumEvents][2]uint64
+
+	// uncore, when attached, receives a copy of every event. Several
+	// cores on one socket share a single Uncore, modeling socket-level
+	// resources that cannot be filtered per thread or ring.
+	uncore *Uncore
 }
 
 // New returns a PMU with the given features. All counters start
@@ -280,6 +285,9 @@ func (p *PMU) AddEvent(ring Ring, ev Event, n uint64) {
 		return
 	}
 	p.groundTruth[ev][ring] += n
+	if p.uncore != nil {
+		p.uncore.add(ev, n)
+	}
 	for i := range p.counters {
 		c := &p.counters[i]
 		if c.cfg.Event != ev || !c.cfg.counts(ring) {

@@ -1,0 +1,34 @@
+package pmu
+
+// Uncore models a socket-level shared-resource counter block: one set
+// of event accumulators fed by every core on the socket. Unlike the
+// per-core counters it has no ring filter, no overflow interrupt, and
+// — crucially — no notion of which thread (or tenant) caused an event,
+// so it cannot be virtualized by the kernel's save/restore path. Any
+// per-tenant attribution of uncore counts is therefore a *policy*
+// (the kernel applies share-by-cycles) whose error against true
+// causation must be measured rather than assumed zero.
+type Uncore struct {
+	values [NumEvents]uint64
+}
+
+// NewUncore returns an empty socket counter block.
+func NewUncore() *Uncore { return &Uncore{} }
+
+// add accumulates n occurrences of ev. Called from PMU.AddEvent on
+// every attached core.
+func (u *Uncore) add(ev Event, n uint64) { u.values[ev] += n }
+
+// Value returns the socket-wide count of ev since reset.
+func (u *Uncore) Value(ev Event) uint64 { return u.values[ev] }
+
+// Reset zeroes all accumulators.
+func (u *Uncore) Reset() { u.values = [NumEvents]uint64{} }
+
+// AttachUncore connects this core's PMU to a shared socket counter
+// block; every subsequent event is mirrored into it. Pass nil to
+// detach.
+func (p *PMU) AttachUncore(u *Uncore) { p.uncore = u }
+
+// Uncore returns the attached socket counter block (nil if none).
+func (p *PMU) Uncore() *Uncore { return p.uncore }

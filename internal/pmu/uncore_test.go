@@ -1,0 +1,44 @@
+package pmu
+
+import "testing"
+
+// TestUncoreSharedAcrossCores: one socket block attached to two core
+// PMUs accumulates both cores' events with no ring filter — the
+// "cannot be per-thread virtualized" property in miniature.
+func TestUncoreSharedAcrossCores(t *testing.T) {
+	u := NewUncore()
+	p0 := New(DefaultFeatures())
+	p1 := New(DefaultFeatures())
+	p0.AttachUncore(u)
+	p1.AttachUncore(u)
+
+	p0.AddEvent(RingUser, EvLLCMiss, 3)
+	p1.AddEvent(RingKernel, EvLLCMiss, 4)
+	p0.AddEvent(RingUser, EvCycles, 10)
+
+	if got := u.Value(EvLLCMiss); got != 7 {
+		t.Errorf("socket LLC-miss count = %d, want 7 (both cores, both rings)", got)
+	}
+	if got := u.Value(EvCycles); got != 10 {
+		t.Errorf("socket cycle count = %d, want 10", got)
+	}
+	if got := u.Value(EvInstructions); got != 0 {
+		t.Errorf("untouched event reads %d, want 0", got)
+	}
+
+	if p0.Uncore() != u || p1.Uncore() != u {
+		t.Error("Uncore() does not return the attached block")
+	}
+
+	u.Reset()
+	if u.Value(EvLLCMiss) != 0 {
+		t.Error("Reset left a nonzero accumulator")
+	}
+
+	// Detach: subsequent events stay off the socket block.
+	p0.AttachUncore(nil)
+	p0.AddEvent(RingUser, EvLLCMiss, 5)
+	if got := u.Value(EvLLCMiss); got != 0 {
+		t.Errorf("detached core still fed the socket block: %d", got)
+	}
+}

@@ -28,22 +28,32 @@ const (
 	// the parent TID); Reap records exit-time resource reclamation.
 	Clone
 	Reap
+	// VCpuPreempt, VCpuResume and VCpuMigrate are tenant-scheduler
+	// events: a guest vCPU forced off a core mid-quantum, a tenant
+	// regaining residency on a core, and a tenant's thread moved to a
+	// core its vCPU already occupies (arg is the tenant id).
+	VCpuPreempt
+	VCpuResume
+	VCpuMigrate
 )
 
 // kindNames is indexed by Kind — the enum is dense, so a slice lookup
 // avoids hashing on every formatted event of a tracing-enabled run.
 var kindNames = [...]string{
-	SwitchIn:  "switch-in",
-	SwitchOut: "switch-out",
-	Syscall:   "syscall",
-	Signal:    "signal",
-	PMI:       "pmi",
-	Wake:      "wake",
-	Spawn:     "spawn",
-	Exit:      "exit",
-	Fault:     "fault",
-	Clone:     "clone",
-	Reap:      "reap",
+	SwitchIn:    "switch-in",
+	SwitchOut:   "switch-out",
+	Syscall:     "syscall",
+	Signal:      "signal",
+	PMI:         "pmi",
+	Wake:        "wake",
+	Spawn:       "spawn",
+	Exit:        "exit",
+	Fault:       "fault",
+	Clone:       "clone",
+	Reap:        "reap",
+	VCpuPreempt: "vcpu-preempt",
+	VCpuResume:  "vcpu-resume",
+	VCpuMigrate: "vcpu-migrate",
 }
 
 func (k Kind) String() string {

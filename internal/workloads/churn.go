@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
 	"limitsim/internal/limit"
@@ -20,20 +22,26 @@ import (
 // virtual-counter-word recycling, slot ledger churn, and exit-time
 // reclamation under kills and forced clones.
 //
-// Degradation is part of the contract, not a failure: if the manager
+// With Tenants > 1 the program carries that many independent
+// manager+pool copies — one guest VM each, every copy with its own
+// emitter, counters, degradation flag and wave word — so a multi-tenant
+// soak churns all lifecycle surfaces inside every guest while the
+// tenant scheduler time-shares the cores between them.
+//
+// Degradation is part of the contract, not a failure: if a manager
 // cannot pin its counters it falls back to multiplexed perf estimates
-// via the emitter's OpenPolicy (raising a process-global flag), and if
-// a clone is denied pinned slots the child arrives degraded (clone
+// via the emitter's OpenPolicy (raising that tenant's flag), and if a
+// clone is denied pinned slots the child arrives degraded (clone
 // status register set). Workers check both and route to an estimated
 // SysPerfRead path that marks its runs, so every stored measurement is
 // either exact or flagged — never silently wrong.
 
 // ChurnConfig shapes the churn workload.
 type ChurnConfig struct {
-	// Pool is the worker-pool width: workers cloned (and joined) per
-	// wave (default 4).
+	// Pool is the worker-pool width per tenant: workers cloned (and
+	// joined) per wave (default 4).
 	Pool int
-	// Waves is how many clone/join rounds the manager runs (default 6).
+	// Waves is how many clone/join rounds each manager runs (default 6).
 	Waves int
 	// Iters is measured reads per worker (default 40).
 	Iters int
@@ -46,6 +54,9 @@ type ChurnConfig struct {
 	// NoFixup disables fixup-region registration — the ablation that
 	// must make a campaign over this workload report torn reads.
 	NoFixup bool
+	// Tenants is how many independent manager+pool copies the program
+	// carries (default 1 — the classic single-tenant churn).
+	Tenants int
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -61,6 +72,9 @@ func (c ChurnConfig) withDefaults() ChurnConfig {
 	if c.ComputeK <= 0 {
 		c.ComputeK = 20
 	}
+	if c.Tenants <= 0 {
+		c.Tenants = 1
+	}
 	return c
 }
 
@@ -72,30 +86,39 @@ type Churn struct {
 	Space  *mem.Space
 	Layout *tls.Layout
 
-	// Entry is the manager's entry PC; spawn it at slot Pool (set
-	// tls.SlotReg) — worker slots are 0..Pool-1.
-	Entry int
+	// Entries[m] is tenant m's manager entry PC; spawn it at slot
+	// ManagerSlot(m). Entry is Entries[0], kept for the single-tenant
+	// spelling. Worker slots are global: tenant m owns m*Pool ..
+	// m*Pool+Pool-1.
+	Entries []int
+	Entry   int
 	// StubEntry is a clone-storm target: inherit, compute briefly, exit.
 	StubEntry int
-	// Regions are the emitter's read-critical PC ranges.
+	// Regions are the emitters' read-critical PC ranges.
 	Regions [][2]int
 	// Want is the static per-read delta on the exact path: ComputeK plus
 	// the read sequence itself.
 	Want uint64
 
-	deltas uint64 // [Waves*Pool][Iters] measured deltas
-	done   uint64 // [Waves*Pool] completed iterations per worker run
-	est    uint64 // [Waves*Pool] nonzero when the run took the estimated path
-	flag   uint64 // nonzero when the manager itself degraded
-	wave   uint64 // current wave, maintained by the manager
-	tids   uint64 // [Pool] child TIDs of the wave in flight
+	deltas uint64 // [Waves*Tenants*Pool][Iters] measured deltas
+	done   uint64 // [Waves*Tenants*Pool] completed iterations per worker run
+	est    uint64 // [Waves*Tenants*Pool] nonzero when the run took the estimated path
+	flag   uint64 // [Tenants] nonzero when that tenant's manager degraded
+	wave   uint64 // [Tenants] current wave, maintained by each manager
+	tids   uint64 // [Tenants*Pool] child TIDs of the waves in flight
 }
 
-// ManagerSlot returns the manager's TLS slot index.
-func (c *Churn) ManagerSlot() int { return c.Cfg.Pool }
+// ManagerSlot returns tenant m's manager TLS slot index (managers sit
+// above every tenant's worker slots).
+func (c *Churn) ManagerSlot(m int) int { return c.Cfg.Tenants*c.Cfg.Pool + m }
 
-// Runs returns the total worker-run count (Waves x Pool).
-func (c *Churn) Runs() int { return c.Cfg.Waves * c.Cfg.Pool }
+// Runs returns the total worker-run count (Waves x Tenants x Pool).
+func (c *Churn) Runs() int { return c.Cfg.Waves * c.Cfg.Tenants * c.Cfg.Pool }
+
+// TenantOfRun returns which tenant worker run r belongs to.
+func (c *Churn) TenantOfRun(r int) int {
+	return (r % (c.Cfg.Tenants * c.Cfg.Pool)) / c.Cfg.Pool
+}
 
 // Done returns how many iterations worker run r completed (kills leave
 // partial runs; entries beyond Done are unwritten).
@@ -104,9 +127,9 @@ func (c *Churn) Done(r int) uint64 {
 }
 
 // Estimated reports whether run r's measurements are flagged estimates
-// (a degraded clone, or a manager-wide fallback).
+// (a degraded clone, or a fallback by the owning tenant's manager).
 func (c *Churn) Estimated(r int) bool {
-	return c.Space.Read64(c.est+uint64(r)*8) != 0 || c.ManagerDegraded()
+	return c.Space.Read64(c.est+uint64(r)*8) != 0 || c.TenantDegraded(c.TenantOfRun(r))
 }
 
 // Delta returns run r's i'th measured delta.
@@ -114,38 +137,76 @@ func (c *Churn) Delta(r, i int) uint64 {
 	return c.Space.Read64(c.deltas + (uint64(r)*uint64(c.Cfg.Iters)+uint64(i))*8)
 }
 
-// ManagerDegraded reports whether the manager's OpenPolicy fell back to
-// multiplexed estimates.
-func (c *Churn) ManagerDegraded() bool { return c.Space.Read64(c.flag) != 0 }
+// TenantDegraded reports whether tenant m's manager OpenPolicy fell
+// back to multiplexed estimates.
+func (c *Churn) TenantDegraded(m int) bool {
+	return c.Space.Read64(c.flag+uint64(m)*8) != 0
+}
 
-// BuildChurn assembles the churn program. The manager owns two LiMiT
-// counters (user instructions — the conservation oracle's subject — and
-// user cycles for extra slot pressure and overflow-fold traffic); each
-// cloned worker inherits both, backed by the worker slot's TLS table
-// words, which SysClone zeroes every wave.
+// ManagerDegraded reports whether any tenant's manager degraded.
+func (c *Churn) ManagerDegraded() bool {
+	for m := 0; m < c.Cfg.Tenants; m++ {
+		if c.TenantDegraded(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildChurn assembles the churn program. Each tenant's manager owns
+// two LiMiT counters (user instructions — the conservation oracle's
+// subject — and user cycles for extra slot pressure and overflow-fold
+// traffic); each cloned worker inherits both, backed by the worker
+// slot's TLS table words, which SysClone zeroes every wave.
 func BuildChurn(cfg ChurnConfig) *Churn {
 	cfg = cfg.withDefaults()
 	w := &Churn{Cfg: cfg, Space: mem.NewSpace(), Layout: &tls.Layout{}}
 
 	tableRef := w.Layout.Reserve(2) // offset 0: clone tableBase == slot TLS base
-	w.Layout.Alloc(w.Space, cfg.Pool+1)
+	w.Layout.Alloc(w.Space, cfg.Tenants*cfg.Pool+cfg.Tenants)
 
-	runs := uint64(cfg.Waves * cfg.Pool)
+	runs := uint64(cfg.Waves * cfg.Tenants * cfg.Pool)
 	w.deltas = w.Space.AllocWords(runs * uint64(cfg.Iters))
 	w.done = w.Space.AllocWords(runs)
 	w.est = w.Space.AllocWords(runs)
-	w.flag = w.Space.AllocWords(1)
-	w.wave = w.Space.AllocWords(1)
-	w.tids = w.Space.AllocWords(uint64(cfg.Pool))
+	w.flag = w.Space.AllocWords(uint64(cfg.Tenants))
+	w.wave = w.Space.AllocWords(uint64(cfg.Tenants))
+	w.tids = w.Space.AllocWords(uint64(cfg.Tenants * cfg.Pool))
 
 	b := isa.NewBuilder()
+
+	// Clone-storm stub, shared by every tenant: inherit whatever the
+	// victim holds, burn a few instructions, exit — pure lifecycle
+	// pressure.
+	w.StubEntry = b.PC()
+	b.Compute(3)
+	b.Syscall(kernel.SysExit)
+
+	for m := 0; m < cfg.Tenants; m++ {
+		buildChurnTenant(b, w, m, tableRef)
+	}
+	w.Entry = w.Entries[0]
+
+	w.Prog = b.MustBuild()
+	r := w.Regions[0]
+	w.Want = uint64(cfg.ComputeK) + uint64(r[1]-r[0])
+	return w
+}
+
+// buildChurnTenant emits tenant m's complete program copy: its own
+// emitter (and therefore counters, fixup regions and OpenPolicy), the
+// manager wave loop, and the exact and estimated worker bodies.
+func buildChurnTenant(b *isa.Builder, w *Churn, m int, tableRef ref.Ref) {
+	cfg := w.Cfg
+	lbl := func(s string) string { return fmt.Sprintf("churn.%s.%d", s, m) }
+
 	e := limit.NewEmitter(b, limit.ModeStock, tableRef)
 	c0 := e.AddCounter(limit.UserCounter(pmu.EvInstructions))
 	e.AddCounter(limit.UserCounter(pmu.EvCycles))
 	e.SetOpenPolicy(limit.OpenPolicy{
 		Retries:       cfg.Retries,
-		FallbackLabel: "churn.mgr.run",
-		FlagRef:       ref.Absolute(w.flag),
+		FallbackLabel: lbl("mgr.run"),
+		FlagRef:       ref.Absolute(w.flag + uint64(m)*8),
 	})
 	if cfg.NoFixup {
 		e.DisableFixupRegistration()
@@ -153,67 +214,63 @@ func BuildChurn(cfg ChurnConfig) *Churn {
 
 	// Manager: open counters (exact, or degrade via the policy), then
 	// run the wave loop either way — a degraded manager still serves.
-	w.Entry = b.PC()
+	w.Entries = append(w.Entries, b.PC())
 	w.Layout.EmitProlog(b)
 	e.EmitInit()
-	b.Label("churn.mgr.run")
+	b.Label(lbl("mgr.run"))
 	b.MovImm(isa.R8, 0) // wave
-	b.Label("churn.mgr.wave")
-	b.MovImm(isa.R10, int64(w.wave))
+	b.Label(lbl("mgr.wave"))
+	b.MovImm(isa.R10, int64(w.wave+uint64(m)*8))
 	b.Store(isa.R10, 0, isa.R8)
 	for s := 0; s < cfg.Pool; s++ {
-		b.MovLabel(isa.R0, "churn.worker")
-		b.MovImm(isa.R1, int64(s)) // worker TLS slot
-		b.MovImm(isa.R9, int64(cfg.Pool))
+		slot := m*cfg.Pool + s
+		b.MovLabel(isa.R0, lbl("worker"))
+		b.MovImm(isa.R1, int64(slot)) // worker TLS slot (global)
+		b.MovImm(isa.R9, int64(cfg.Tenants*cfg.Pool))
 		b.Mul(isa.R2, isa.R8, isa.R9)
-		b.AddImm(isa.R2, isa.R2, int64(7777+s)) // per-run seed
-		b.MovImm(isa.R3, int64(w.Layout.ThreadBase(s)))
+		b.AddImm(isa.R2, isa.R2, int64(7777+slot)) // per-run seed
+		b.MovImm(isa.R3, int64(w.Layout.ThreadBase(slot)))
 		b.Syscall(kernel.SysClone)
-		b.MovImm(isa.R10, int64(w.tids+uint64(s)*8))
+		b.MovImm(isa.R10, int64(w.tids+uint64(slot)*8))
 		b.Store(isa.R10, 0, isa.R0)
 	}
 	for s := 0; s < cfg.Pool; s++ {
-		b.MovImm(isa.R10, int64(w.tids+uint64(s)*8))
+		slot := m*cfg.Pool + s
+		b.MovImm(isa.R10, int64(w.tids+uint64(slot)*8))
 		b.Load(isa.R0, isa.R10, 0)
 		b.Syscall(kernel.SysJoin)
 	}
 	b.AddImm(isa.R8, isa.R8, 1)
 	b.MovImm(isa.R9, int64(cfg.Waves))
-	b.Br(isa.CondLT, isa.R8, isa.R9, "churn.mgr.wave")
+	b.Br(isa.CondLT, isa.R8, isa.R9, lbl("mgr.wave"))
 	b.Halt()
-
-	// Clone-storm stub: inherit whatever the victim holds, burn a few
-	// instructions, exit — pure lifecycle pressure.
-	w.StubEntry = b.PC()
-	b.Compute(3)
-	b.Syscall(kernel.SysExit)
 
 	// Worker: route by degradation state, then measure Iters regions,
 	// storing each delta before bumping the done count so a kill can
 	// never make an unwritten entry look measured.
-	b.Label("churn.worker")
+	b.Label(lbl("worker"))
 	w.Layout.EmitProlog(b)
 	b.Mov(isa.R7, isa.R0) // clone status: 1 = this child degraded
-	b.MovImm(isa.R4, int64(w.flag))
+	b.MovImm(isa.R4, int64(w.flag+uint64(m)*8))
 	b.Load(isa.R5, isa.R4, 0)
 	b.MovImm(isa.R6, 0)
-	b.Br(isa.CondNE, isa.R5, isa.R6, "churn.worker.deg")
-	b.Br(isa.CondNE, isa.R7, isa.R6, "churn.worker.deg")
-	emitChurnRunAddrs(b, w, false)
+	b.Br(isa.CondNE, isa.R5, isa.R6, lbl("worker.deg"))
+	b.Br(isa.CondNE, isa.R7, isa.R6, lbl("worker.deg"))
+	emitChurnRunAddrs(b, w, m, false)
 	b.MovImm(isa.R8, 0)
-	b.Label("churn.worker.loop")
+	b.Label(lbl("worker.loop"))
 	e.EmitMeasureStart(isa.R9, isa.R10, c0)
 	b.Compute(int64(cfg.ComputeK))
 	e.EmitMeasureEnd(isa.R11, isa.R9, isa.R10, c0)
-	emitChurnStoreDelta(b, cfg, "churn.worker.loop")
+	emitChurnStoreDelta(b, cfg, lbl("worker.loop"))
 	b.Syscall(kernel.SysExit)
 
 	// Estimated path: the same measurements through SysPerfRead on the
 	// (multiplexed, flagged) inherited counter 0, with the run marked.
-	b.Label("churn.worker.deg")
-	emitChurnRunAddrs(b, w, true)
+	b.Label(lbl("worker.deg"))
+	emitChurnRunAddrs(b, w, m, true)
 	b.MovImm(isa.R8, 0)
-	b.Label("churn.worker.degloop")
+	b.Label(lbl("worker.degloop"))
 	b.MovImm(isa.R0, 0)
 	b.Syscall(kernel.SysPerfRead)
 	b.Mov(isa.R9, isa.R0)
@@ -221,28 +278,25 @@ func BuildChurn(cfg ChurnConfig) *Churn {
 	b.MovImm(isa.R0, 0)
 	b.Syscall(kernel.SysPerfRead)
 	b.Sub(isa.R11, isa.R0, isa.R9)
-	emitChurnStoreDelta(b, cfg, "churn.worker.degloop")
+	emitChurnStoreDelta(b, cfg, lbl("worker.degloop"))
 	b.Syscall(kernel.SysExit)
 
 	e.EmitFinish()
-	w.Prog = b.MustBuild()
-	w.Regions = e.Regions()
-	r := w.Regions[0]
-	w.Want = uint64(cfg.ComputeK) + uint64(r[1]-r[0])
-	return w
+	w.Regions = append(w.Regions, e.Regions()...)
 }
 
-// emitChurnRunAddrs computes the worker's run index (wave*Pool + slot)
-// and leaves the run's delta-buffer base in R6 and its done-word
-// address in R7; when mark is set it also raises the run's estimate
-// marker. Clobbers R4, R5.
-func emitChurnRunAddrs(b *isa.Builder, w *Churn, mark bool) {
+// emitChurnRunAddrs computes the worker's run index
+// (wave*Tenants*Pool + slot, the slot already tenant-offset) and leaves
+// the run's delta-buffer base in R6 and its done-word address in R7;
+// when mark is set it also raises the run's estimate marker. Clobbers
+// R4, R5.
+func emitChurnRunAddrs(b *isa.Builder, w *Churn, m int, mark bool) {
 	cfg := w.Cfg
-	b.MovImm(isa.R4, int64(w.wave))
+	b.MovImm(isa.R4, int64(w.wave+uint64(m)*8))
 	b.Load(isa.R5, isa.R4, 0)
-	b.MovImm(isa.R6, int64(cfg.Pool))
+	b.MovImm(isa.R6, int64(cfg.Tenants*cfg.Pool))
 	b.Mul(isa.R5, isa.R5, isa.R6)
-	b.Add(isa.R5, isa.R5, tls.SlotReg) // runIdx = wave*Pool + slot
+	b.Add(isa.R5, isa.R5, tls.SlotReg) // runIdx = wave*Tenants*Pool + slot
 	if mark {
 		b.Shl(isa.R4, isa.R5, 3)
 		b.AddImm(isa.R4, isa.R4, int64(w.est))

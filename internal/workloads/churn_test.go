@@ -14,8 +14,11 @@ func churnRun(t *testing.T, cfg ChurnConfig, kcfg kernel.Config) (*Churn, *machi
 	w := BuildChurn(cfg)
 	m := machine.New(machine.Config{NumCores: 2, Kernel: kcfg})
 	proc := m.Kern.NewProcess(w.Prog, w.Space)
-	mgr := m.Kern.Spawn(proc, "churn-mgr", w.Entry, 7)
-	mgr.SetReg(tls.SlotReg, uint64(w.ManagerSlot()))
+	for mt := 0; mt < len(w.Entries); mt++ {
+		mgr := m.Kern.Spawn(proc, "churn-mgr", w.Entries[mt], 7+uint64(mt))
+		mgr.SetReg(tls.SlotReg, uint64(w.ManagerSlot(mt)))
+		mgr.Tenant = mt
+	}
 	res := m.Run(machine.RunLimits{MaxSteps: 20_000_000})
 	if res.Err != nil || len(res.Faults) > 0 || !res.AllDone {
 		t.Fatalf("churn run failed: %+v", res)
@@ -90,5 +93,51 @@ func TestChurnManagerFallback(t *testing.T) {
 	}
 	if rs.SlotsInUse != 0 {
 		t.Errorf("slots leaked: %+v", rs)
+	}
+}
+
+// TestChurnMultiTenant builds the pool for two tenants — one manager
+// and worker set per tenant, disjoint slot and result ranges, a
+// per-tenant degradation flag — under the kernel's guest-scheduler
+// layer, and checks that every tenant's every run completes exactly
+// and that the layout actually partitions by tenant.
+func TestChurnMultiTenant(t *testing.T) {
+	cfg := ChurnConfig{Pool: 2, Waves: 3, Iters: 20, ComputeK: 20, Tenants: 2}
+	kcfg := kernel.DefaultConfig()
+	kcfg.Tenants = 2
+	kcfg.TenantQuantum = 3_000
+	w, m := churnRun(t, cfg, kcfg)
+
+	if len(w.Entries) != 2 {
+		t.Fatalf("built %d manager entries, want one per tenant", len(w.Entries))
+	}
+	if got, want := w.Runs(), cfg.Waves*cfg.Tenants*cfg.Pool; got != want {
+		t.Fatalf("Runs() = %d, want %d", got, want)
+	}
+	for r := 0; r < w.Runs(); r++ {
+		if tid := w.TenantOfRun(r); tid < 0 || tid >= cfg.Tenants {
+			t.Fatalf("run %d maps to tenant %d", r, tid)
+		}
+		if w.Estimated(r) {
+			t.Errorf("run %d flagged estimated on a clean run", r)
+		}
+		if got := w.Done(r); got != uint64(cfg.Iters) {
+			t.Errorf("run %d completed %d/%d iterations", r, got, cfg.Iters)
+		}
+	}
+	for mt := 0; mt < cfg.Tenants; mt++ {
+		if w.TenantDegraded(mt) {
+			t.Errorf("tenant %d degraded with unlimited slots", mt)
+		}
+	}
+	if m.Kern.Stats.VCpuSwitches == 0 {
+		t.Error("two-tenant churn performed no vCPU switches")
+	}
+	if got, want := m.Kern.Stats.Clones, uint64(w.Runs()); got != want {
+		t.Errorf("kernel saw %d clones, want %d", got, want)
+	}
+	rs := m.Kern.Resources()
+	if rs.SlotsInUse != 0 || rs.TableWordsInUse != 0 || rs.RegionsLive != 0 {
+		t.Errorf("resources leaked after tenant churn: %+v", rs)
 	}
 }
