@@ -10,13 +10,17 @@
 //
 // Usage:
 //
-//	limit-experiments [-scale 1.0] [-markdown] [-parallel N]
+//	limit-experiments [-scale 1.0] [-markdown] [-parallel N] [-only PREFIX]
 //
 // -parallel fans each experiment's independent trials out across N
 // workers (0, the default, uses GOMAXPROCS; 1 selects the serial
 // engine). Trials are self-contained simulations and results land in
 // trial-index order, so every table and figure is byte-identical at
 // every width.
+//
+// -only runs just the sections whose title starts with the given
+// prefix (case-insensitive), e.g. -only M2 or -only "F5". Sections not
+// selected are skipped entirely — their simulations never run.
 package main
 
 import (
@@ -35,6 +39,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
 	markdown := flag.Bool("markdown", false, "emit Markdown section wrappers")
 	parallel := flag.Int("parallel", 0, "worker count trials fan out across (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every width")
+	only := flag.String("only", "", "run only sections whose title starts with this prefix (case-insensitive)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -58,6 +63,9 @@ func main() {
 	}
 
 	section := func(title string, render func(io.Writer) error) {
+		if *only != "" && !strings.HasPrefix(strings.ToLower(title), strings.ToLower(*only)) {
+			return
+		}
 		if *markdown {
 			fmt.Fprintf(w, "### %s\n\n```text\n", title)
 			if err := render(w); err != nil {
@@ -123,19 +131,34 @@ func main() {
 		return nil
 	})
 
-	cs, csErr := experiments.RunCaseStudies(s)
-	renderCS := func(f func(io.Writer)) func(io.Writer) error {
+	// Case studies run lazily on first use, so -only selections that
+	// skip F3/F4/F6 never pay for them.
+	var cs *experiments.CaseStudyResult
+	var csErr error
+	csDone := false
+	getCS := func() (*experiments.CaseStudyResult, error) {
+		if !csDone {
+			csDone = true
+			cs, csErr = experiments.RunCaseStudies(s)
+		}
+		return cs, csErr
+	}
+	renderCS := func(f func(r *experiments.CaseStudyResult, w io.Writer)) func(io.Writer) error {
 		return func(w io.Writer) error {
-			if csErr != nil {
-				return csErr
+			r, err := getCS()
+			if err != nil {
+				return err
 			}
-			f(w)
+			f(r, w)
 			return nil
 		}
 	}
-	section("F3 — Critical-section length distributions", renderCS(cs.RenderFig3))
-	section("F4 — Cycle decomposition", renderCS(cs.RenderFig4))
-	section("F6 — Kernel vs user cycles", renderCS(cs.RenderFig6))
+	section("F3 — Critical-section length distributions",
+		renderCS(func(r *experiments.CaseStudyResult, w io.Writer) { r.RenderFig3(w) }))
+	section("F4 — Cycle decomposition",
+		renderCS(func(r *experiments.CaseStudyResult, w io.Writer) { r.RenderFig4(w) }))
+	section("F6 — Kernel vs user cycles",
+		renderCS(func(r *experiments.CaseStudyResult, w io.Writer) { r.RenderFig6(w) }))
 	section("F5 — MySQL longitudinal", func(w io.Writer) error {
 		r, err := experiments.RunFig5(s)
 		if err != nil {
@@ -225,6 +248,17 @@ func main() {
 		r.Render(w)
 		if !r.Clean() {
 			return errors.New("tenant attribution oracles reported violations")
+		}
+		return nil
+	})
+	section("M2 — Multiplexed-estimate error vs exact LiMiT reads", func(w io.Writer) error {
+		r, err := experiments.RunM2(s)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		if !r.Clean() {
+			return errors.New("group accounting oracles reported violations")
 		}
 		return nil
 	})

@@ -14,6 +14,8 @@
 //	limitctl trace [-app ...] [-format text|chrome|jsonl] [-n 4096]
 //	limitctl stats [-app ...] [-format text|jsonl]
 //	limitctl merge [-format text|jsonl] <file.jsonl> <file.jsonl> [...]
+//	limitctl metrics [-app ...] [-rotation N] [-width N] [-metric cpi,ipc,...]
+//	         [-format text|frames]
 //
 // Bare "limitctl" (or -h) prints the help with the subcommand index
 // and exits 0. -list/list prints the available event/counter
@@ -25,9 +27,13 @@
 // emits the kernel/pmu/limit self-metrics. The merge subcommand folds
 // telemetry JSONL files (from stats -format jsonl, or shipped by fleet
 // workers) into one registry with the campaign engines' commutative
-// merge; schema drift between files exits 1 naming the metric. Unknown
-// subcommands, unknown -format values, and merge with no input files
-// exit 2 with usage.
+// merge; schema drift between files exits 1 naming the metric. The
+// metrics subcommand runs a workload with the full derived-metric
+// event set opened as multiplexed groups and reports derived metrics
+// over the scaled estimates — or the raw per-rotation frame stream as
+// JSONL with -format frames. Unknown subcommands, unknown -format
+// values, unknown -metric names, and merge with no input files exit 2
+// with usage.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 
 	"limitsim/internal/analysis"
 	"limitsim/internal/machine"
+	"limitsim/internal/metrics"
 	"limitsim/internal/pmu"
 	"limitsim/internal/probe"
 	"limitsim/internal/tabwrite"
@@ -135,6 +142,13 @@ func listConfigurations(w *os.File) {
 		ft.Row(p.name, p.f.NumCounters, p.f.CounterWidth, p.f.WriteWidth, p.notes)
 	}
 	ft.Render(w)
+
+	dt := tabwrite.New("Derived metrics (limitctl metrics -metric)", "metric", "definition", "description")
+	for i := range metrics.Builtin {
+		d := &metrics.Builtin[i]
+		dt.Row(d.Name, d.Expr, d.Desc)
+	}
+	dt.Render(w)
 }
 
 // subcommands is the registry the dispatcher and the help text share;
@@ -149,6 +163,7 @@ var subcommands = []struct {
 	{"trace", "run with the kernel tracer attached; -format text|chrome|jsonl", runTrace},
 	{"stats", "run with the telemetry layer attached; -format text|jsonl", runStats},
 	{"merge", "fold telemetry JSONL files into one registry; drift between files is an error", runMerge},
+	{"metrics", "run with multiplexed event groups and report derived metrics; -format text|frames", runMetrics},
 }
 
 // usage writes the flag help plus the subcommand index.

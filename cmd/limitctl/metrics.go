@@ -1,0 +1,136 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"limitsim/internal/kernel"
+	"limitsim/internal/machine"
+	"limitsim/internal/metrics"
+	"limitsim/internal/pmu"
+	"limitsim/internal/tabwrite"
+	"limitsim/internal/workloads"
+)
+
+// runMetrics runs one workload with the full derived-metric event set
+// opened as multiplexed groups alongside the LiMiT instrumentation,
+// then either renders derived metrics over the end-of-run totals
+// (-format text) or streams the raw per-rotation frames as JSONL
+// (-format frames). Unknown metric names are rejected before any
+// simulation runs. Returns the process exit code.
+func runMetrics(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("limitctl metrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "mysql", "workload: mysql[-3.23|-4.1|-5.1], apache, firefox, forkjoin")
+	cores := fs.Int("cores", 4, "simulated core count")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	rotation := fs.Uint64("rotation", 0, "group rotation quantum in scheduled cycles (0 = kernel default, quantum/6)")
+	width := fs.Int("width", 4, "events per multiplexed group")
+	counters := fs.Int("counters", 6, "PMU counter slots (2 are pinned by LiMiT; the rest rotate groups)")
+	metricList := fs.String("metric", "", "comma-separated derived metrics to report (default: all built-ins)")
+	format := fs.String("format", "text", "output format: text, frames")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "limitctl metrics: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	switch *format {
+	case "text", "frames":
+	default:
+		fmt.Fprintf(stderr, "limitctl metrics: unknown -format %q (text, frames)\n", *format)
+		fs.Usage()
+		return 2
+	}
+
+	// Resolve the metric selection before running anything: a typo must
+	// cost a usage message, not a simulation.
+	var defs []*metrics.Def
+	if *metricList == "" {
+		for i := range metrics.Builtin {
+			defs = append(defs, &metrics.Builtin[i])
+		}
+	} else {
+		for _, name := range strings.Split(*metricList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			d := metrics.Lookup(name)
+			if d == nil {
+				fmt.Fprintf(stderr, "limitctl metrics: unknown metric %q; built-ins:\n", name)
+				for i := range metrics.Builtin {
+					fmt.Fprintf(stderr, "  %-18s %s\n", metrics.Builtin[i].Name, metrics.Builtin[i].Desc)
+				}
+				return 2
+			}
+			defs = append(defs, d)
+		}
+		if len(defs) == 0 {
+			fmt.Fprintln(stderr, "limitctl metrics: -metric selected no metrics")
+			return 2
+		}
+	}
+
+	ins := workloads.LimitInstr()
+	ins.MuxGroups = workloads.DefaultMuxGroups(*width)
+	app := buildApp(*appName, ins, *scale)
+	if app == nil {
+		fmt.Fprintf(stderr, "limitctl metrics: unknown app %q\n", *appName)
+		return 2
+	}
+
+	f := pmu.DefaultFeatures()
+	f.NumCounters = *counters
+	kcfg := kernel.DefaultConfig()
+	kcfg.MuxQuantum = *rotation
+	m := machine.New(machine.Config{NumCores: *cores, PMU: f, Kernel: kcfg})
+	app.Launch(m)
+	res := m.Run(machine.RunLimits{})
+	if len(res.Faults) > 0 {
+		fmt.Fprintf(stderr, "limitctl metrics: faults: %v\n", res.Faults)
+		return 1
+	}
+
+	frames := metrics.FromKernel(m.Kern)
+	if *format == "frames" {
+		if err := metrics.WriteJSONL(stdout, frames); err != nil {
+			fmt.Fprintf(stderr, "limitctl metrics: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "%s on %d cores: %s\n", app.Name, *cores, res)
+	fmt.Fprintf(stdout, "%d frames, %d rotations, rotation quantum %d cycles\n\n",
+		len(frames), m.Kern.Stats.MuxRotations, m.Kern.Config().MuxQuantum)
+
+	totals := metrics.Totals(frames)
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	et := tabwrite.New("Event totals (scaled estimates, summed across threads)", "event", "estimate")
+	for _, name := range names {
+		et.Row(name, totals[name])
+	}
+	et.Render(stdout)
+
+	env := metrics.Env(totals)
+	dt := tabwrite.New("Derived metrics", "metric", "value", "definition")
+	for _, d := range defs {
+		v, err := d.Compiled().Eval(env)
+		if err != nil {
+			dt.Row(d.Name, "n/a", fmt.Sprintf("%s (%v)", d.Expr, err))
+			continue
+		}
+		dt.Row(d.Name, fmt.Sprintf("%.4f", v), d.Expr)
+	}
+	dt.Render(stdout)
+	return 0
+}

@@ -102,6 +102,10 @@ func TestExitCodeContract(t *testing.T) {
 		{"limitctl merge unknown format", "limitctl", []string{"merge", "-format", "bogus", "x.jsonl"}, 2},
 		{"limitctl trace stray arg", "limitctl", []string{"trace", "bogus"}, 2},
 		{"limitctl stats stray arg", "limitctl", []string{"stats", "bogus"}, 2},
+		{"limitctl metrics stray arg", "limitctl", []string{"metrics", "bogus"}, 2},
+		{"limitctl metrics unknown metric", "limitctl", []string{"metrics", "-metric", "bogus"}, 2},
+		{"limitctl metrics unknown format", "limitctl", []string{"metrics", "-format", "bogus"}, 2},
+		{"limitctl metrics empty selection", "limitctl", []string{"metrics", "-metric", ","}, 2},
 
 		// Exit 1: runtime failures.
 		{"limitctl merge missing file", "limitctl", []string{"merge", filepath.Join(tmp, "absent.jsonl")}, 1},
@@ -140,6 +144,21 @@ func TestUnknownMixListsAvailable(t *testing.T) {
 	for _, want := range []string{"vcpu-preempt-storm", "tenant-pmi-storm", "tenant-full-mix"} {
 		if !strings.Contains(stderr, want) {
 			t.Errorf("tenant unknown-mix stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestUnknownMetricListsBuiltins pins the metrics error surface: an
+// unknown -metric name must exit 2 before any simulation runs and
+// enumerate the built-in catalogue.
+func TestUnknownMetricListsBuiltins(t *testing.T) {
+	code, stderr := run(t, "limitctl", "metrics", "-metric", "bogus")
+	if code != 2 {
+		t.Fatalf("unknown metric exited %d, want 2\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{`unknown metric "bogus"`, "cpi", "kernel_share", "tma_backend"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("unknown-metric stderr missing %q:\n%s", want, stderr)
 		}
 	}
 }

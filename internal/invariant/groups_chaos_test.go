@@ -1,0 +1,138 @@
+package invariant
+
+import (
+	"fmt"
+	"testing"
+
+	"limitsim/internal/faultinject"
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/perfevent"
+	"limitsim/internal/pmu"
+)
+
+// buildGroupChaosWorkload assembles a thread body that oversubscribes
+// the PMU with three two-event groups, starts a sampling profiler (a
+// steady source of real overflow interrupts for the PMI-delay mixes),
+// and loops over memory so every group event counts.
+func buildGroupChaosWorkload(space *mem.Space) *isa.Program {
+	b := isa.NewBuilder()
+	for _, specs := range [][]perfevent.Spec{
+		{perfevent.UserSpec(pmu.EvCycles), perfevent.UserSpec(pmu.EvInstructions)},
+		{perfevent.AllRingsSpec(pmu.EvCycles), perfevent.KernelSpec(pmu.EvCycles)},
+		{perfevent.UserSpec(pmu.EvLoads), perfevent.UserSpec(pmu.EvStores)},
+	} {
+		table := perfevent.GroupTable(space, specs)
+		perfevent.EmitGroupOpen(b, table, len(specs))
+	}
+	b.MovImm(isa.R0, int64(pmu.EvInstructions))
+	b.MovImm(isa.R1, 60_000)
+	b.Syscall(kernel.SysSampleStart)
+
+	buf := space.AllocWords(8)
+	b.MovImm(isa.R1, 250_000)
+	b.MovImm(isa.R2, 0)
+	b.MovImm(isa.R3, int64(buf))
+	b.Label("loop")
+	b.Store(isa.R3, 0, isa.R1)
+	b.Load(isa.R4, isa.R3, 0)
+	b.AddImm(isa.R1, isa.R1, -1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestCheckGroupsUnderChaos sweeps fault mixes and seeds over an
+// oversubscribed group workload: rotation boundaries colliding with
+// forced preemptions, delayed and spurious PMIs, migration storms,
+// and asynchronous kills must never tear group enabled/running
+// accounting or the frame stream.
+func TestCheckGroupsUnderChaos(t *testing.T) {
+	mixes := []struct {
+		name string
+		cfg  faultinject.Config
+		kill bool
+	}{
+		{"preempt-storm", faultinject.Config{PreemptEvery: 400}, false},
+		{"delayed-pmi", faultinject.Config{DelayPMI: true, DelayBoundaries: 5, SpuriousPMIEvery: 900}, false},
+		{"migration-storm", faultinject.Config{MigrationStorm: true, PreemptEvery: 600}, false},
+		{"kill-storm", faultinject.Config{KillEvery: 350_000, PreemptEvery: 500}, true},
+	}
+	for _, mix := range mixes {
+		for seed := uint64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", mix.name, seed), func(t *testing.T) {
+				m := machine.New(machine.Config{NumCores: 2})
+				space := mem.NewSpace()
+				prog := buildGroupChaosWorkload(space)
+				proc := m.Kern.NewProcess(prog, space)
+				m.Kern.Spawn(proc, "a", 0, seed)
+				m.Kern.Spawn(proc, "b", 0, seed+100)
+
+				cfg := mix.cfg
+				cfg.Seed = seed
+				inj := faultinject.New(cfg)
+				inj.SetCores(2)
+				inj.Attach(m.Kern)
+
+				res := m.Run(machine.RunLimits{MaxSteps: 200_000_000})
+				if !mix.kill {
+					if len(res.Faults) > 0 {
+						t.Fatalf("faults: %v", res.Faults)
+					}
+					if !res.AllDone {
+						t.Fatal("run incomplete")
+					}
+				}
+				if m.Kern.Stats.MuxRotations == 0 {
+					t.Fatal("no rotations fired; the mix starved the scheduler")
+				}
+
+				c := New(nil)
+				c.CheckGroups(m.Kern)
+				for _, v := range c.Violations() {
+					t.Errorf("violation: %v", v)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckGroupsSyntheticTear proves the oracle detects what it
+// claims to: frames fabricated with regressing samples and a group
+// whose enabled time disagrees with scheduled time must be reported.
+func TestCheckGroupsSyntheticTear(t *testing.T) {
+	// Real run first, then corrupt the thread's group state in place.
+	m := machine.New(machine.Config{NumCores: 1})
+	space := mem.NewSpace()
+	prog := buildGroupChaosWorkload(space)
+	proc := m.Kern.NewProcess(prog, space)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	res := m.Run(machine.RunLimits{MaxSteps: 200_000_000})
+	if !res.AllDone || len(res.Faults) > 0 {
+		t.Fatalf("setup run failed: %+v", res)
+	}
+
+	c := New(nil)
+	c.CheckGroups(m.Kern)
+	if c.Count() != 0 {
+		t.Fatalf("clean run reported violations: %v", c.Violations())
+	}
+
+	g := th.Groups()[0]
+	g.EnabledCycles++ // conservation breach
+	c2 := New(nil)
+	c2.CheckGroups(m.Kern)
+	if countKind(c2, KindGroupConserve) == 0 {
+		t.Error("oracle missed a conservation breach")
+	}
+	g.EnabledCycles--
+
+	g.RunningCycles = g.EnabledCycles + 1 // running > enabled
+	c3 := New(nil)
+	c3.CheckGroups(m.Kern)
+	if countKind(c3, KindGroupTear) == 0 {
+		t.Error("oracle missed running > enabled")
+	}
+}

@@ -32,8 +32,9 @@ func (k *Kernel) allocCounter(coreID int, t *Thread, tc *ThreadCounter) uint64 {
 	pinned := tc.Kind != KindPerf
 
 	// Close the current multiplexing span before the new counter
-	// enters the table, so its window starts at zero.
-	spanEnd(core, t)
+	// enters the table, so its window starts at zero. This also drains
+	// any loaded event groups, so a group evicted below loses nothing.
+	k.spanClose(core, t)
 
 	idx := -1
 	for i, old := range t.counters {
@@ -77,11 +78,17 @@ func (k *Kernel) allocCounter(coreID int, t *Thread, tc *ThreadCounter) uint64 {
 			evicted.HWSlot = -1
 			t.hwSlots[idx] = -1
 		}
+		if t.groupSlots != nil && t.groupSlots[idx] != -1 {
+			// Slot backs an event group: counters outrank groups, so the
+			// whole group yields (atomic scheduling — it loads all slots or
+			// none) and waits for the next rotation window.
+			k.groupPark(core, t, t.groups[t.groupSlots[idx]])
+		}
 		k.programSlot(core, t, idx, idx)
 		return uint64(idx)
 	}
 	for slot := 0; slot < n; slot++ {
-		if t.hwSlots[slot] == -1 {
+		if t.hwSlots[slot] == -1 && (t.groupSlots == nil || t.groupSlots[slot] == -1) {
 			k.programSlot(core, t, slot, idx)
 			break
 		}
@@ -140,7 +147,7 @@ func (k *Kernel) perfRead(coreID int, t *Thread, fd uint64) uint64 {
 	if active >= window {
 		return raw // fully counted: exact
 	}
-	return uint64(float64(raw) * float64(window) / float64(active))
+	return pmu.Scale(raw, window, active)
 }
 
 // perfReset implements SysPerfReset.
@@ -150,7 +157,7 @@ func (k *Kernel) perfReset(coreID int, t *Thread, fd uint64) {
 		return
 	}
 	core := k.cores[coreID]
-	spanEnd(core, t)
+	k.spanClose(core, t)
 	tc.Acc = 0
 	tc.ActiveCycles = 0
 	tc.WindowCycles = 0
@@ -166,7 +173,7 @@ func (k *Kernel) counterClose(coreID int, t *Thread, fd uint64) {
 		return
 	}
 	core := k.cores[coreID]
-	spanEnd(core, t)
+	k.spanClose(core, t)
 	tc.Closed = true
 	k.releaseCounter(tc)
 	if tc.HWSlot >= 0 {

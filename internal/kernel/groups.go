@@ -1,0 +1,521 @@
+package kernel
+
+import (
+	"limitsim/internal/cpu"
+	"limitsim/internal/pmu"
+	"limitsim/internal/trace"
+)
+
+// Event-group multiplexing: Linux-perf-shaped groups of events — often
+// more events than the PMU has counters — opened atomically and rotated
+// round-robin on a configurable rotation quantum. A group loads all of
+// its events onto hardware or none of them (atomic scheduling), accrues
+// enabled time while open and running time while loaded, and reads back
+// Linux's time_enabled/time_running scaled estimate, computed with
+// 128-bit integer arithmetic (pmu.Scale), never float.
+//
+// This is the estimated world the paper's exact LiMiT reads are argued
+// against; the M2 experiment family quantifies the gap. Two accounting
+// properties are invariant-checked (invariant.CheckGroups):
+//
+//   - Conservation: a group's enabled time equals the thread's
+//     scheduled cycles since the group opened, exactly.
+//   - Exactness: a group whose running time equals its enabled time was
+//     loaded for its entire life, and its raw counts must equal the
+//     kernel's omniscient ground truth per event, exactly.
+//
+// The second property holds because every transfer between hardware
+// counters and group accumulators happens at one instant on the core
+// clock: spanClose drains loaded counters, attributes the span's
+// ground-truth deltas, and re-marks the truth baseline with no kernel
+// work charged in between. MSR costs are charged strictly outside the
+// enabled-and-marked window (before counters enable on load, after the
+// drain on unload), so a never-unloaded group misses nothing.
+
+// maxGroupsPerThread bounds a thread's open group table.
+const maxGroupsPerThread = 16
+
+// GroupEvent is one event slot of a group: an event plus its ring
+// filter (the descriptor-word flags of SysGroupOpen).
+type GroupEvent struct {
+	Event       pmu.Event
+	CountUser   bool
+	CountKernel bool
+}
+
+// EventGroup is one atomically scheduled set of events. Raw holds the
+// drained hardware counts (only while loaded does hardware count);
+// True holds the omniscient per-event totals over the same enabled
+// intervals — the oracle a scaled estimate is judged against.
+type EventGroup struct {
+	Events []GroupEvent
+	Raw    []uint64
+	True   []uint64
+
+	// EnabledCycles is scheduled time since open; RunningCycles is the
+	// subset spent loaded on hardware. Their ratio is the scale factor.
+	EnabledCycles uint64
+	RunningCycles uint64
+	// OpenSchedMark is the thread's SchedCycles at open and
+	// CloseSchedMark at close; conservation demands
+	// Enabled == (CloseSchedMark | SchedCycles) − OpenSchedMark.
+	OpenSchedMark  uint64
+	CloseSchedMark uint64
+
+	Loaded bool
+	Closed bool
+	// slots are the hardware counters backing the group while loaded.
+	slots []int
+}
+
+// Estimate returns event i's cumulative scaled estimate:
+// raw × enabled/running in 128-bit integer arithmetic. A group loaded
+// for its whole life returns the raw count unscaled (exact).
+func (g *EventGroup) Estimate(i int) uint64 {
+	if g.RunningCycles == 0 {
+		return 0
+	}
+	if g.RunningCycles >= g.EnabledCycles {
+		return g.Raw[i]
+	}
+	return pmu.Scale(g.Raw[i], g.EnabledCycles, g.RunningCycles)
+}
+
+// Multiplexed reports whether the group spent enabled time unloaded.
+func (g *EventGroup) Multiplexed() bool { return g.EnabledCycles > g.RunningCycles }
+
+// Groups exposes the thread's event groups (read-only use intended).
+func (t *Thread) Groups() []*EventGroup { return t.groups }
+
+// FrameSample is one event's cumulative state within a frame.
+type FrameSample struct {
+	Group    int // owning group id (index into Thread.Groups)
+	Event    GroupEvent
+	Estimate uint64
+	Enabled  uint64
+	Running  uint64
+}
+
+// Frame is one snapshot of a thread's event groups, emitted at every
+// rotation and once (Final) when the thread is reaped. Seq is the
+// kernel-wide emission order; frames are deterministic by construction
+// because the simulation is.
+type Frame struct {
+	Seq     uint64
+	Cycle   uint64
+	Core    int
+	TID     int
+	Final   bool
+	Samples []FrameSample
+}
+
+// Frames returns every event frame emitted during the run.
+func (k *Kernel) Frames() []Frame { return k.frames }
+
+// openGroupIdx returns the indices of the thread's open groups.
+func (t *Thread) openGroupIdx() []int {
+	var open []int
+	for gi, g := range t.groups {
+		if !g.Closed {
+			open = append(open, gi)
+		}
+	}
+	return open
+}
+
+// ensureGroupSlots lazily sizes the slot→group ledger alongside the
+// slot→counter one.
+func ensureGroupSlots(core *cpu.Core, t *Thread) {
+	ensureSlots(core, t)
+	if t.groupSlots == nil {
+		t.groupSlots = make([]int, core.PMU.NumCounters())
+		for i := range t.groupSlots {
+			t.groupSlots[i] = -1
+		}
+	}
+}
+
+// groupMark re-snapshots the per-event ground-truth baseline for the
+// thread's next truth interval. Must be called at the same core-clock
+// instant the group hardware is (re)enabled or drained.
+func (k *Kernel) groupMark(core *cpu.Core, t *Thread) {
+	if len(t.groups) == 0 {
+		return
+	}
+	if t.gtMark == nil {
+		t.gtMark = new([pmu.NumEvents][2]uint64)
+	}
+	for ev := pmu.Event(0); ev < pmu.NumEvents; ev++ {
+		t.gtMark[ev][pmu.RingUser] = core.PMU.GroundTruth(ev, pmu.RingUser)
+		t.gtMark[ev][pmu.RingKernel] = core.PMU.GroundTruth(ev, pmu.RingKernel)
+	}
+}
+
+// spanClose closes the thread's current scheduled span: perf counters
+// accrue window/active time (spanEnd), and — when the thread holds
+// event groups — scheduled cycles and group enabled/running times
+// accrue, loaded group counters are drained into Raw, the span's
+// ground-truth deltas are attributed to True, and the truth baseline
+// is re-marked. Drain, attribution and re-mark happen with no kernel
+// work charged between them; that single-instant discipline is what
+// makes a never-unloaded group exact (Raw == True per event).
+func (k *Kernel) spanClose(core *cpu.Core, t *Thread) {
+	span := core.Now - t.spanStartAt
+	spanEnd(core, t)
+	if len(t.groups) == 0 {
+		return
+	}
+	if span != 0 {
+		t.Stats.SchedCycles += span
+		t.muxSpent += span
+		for _, g := range t.groups {
+			if g.Closed {
+				continue
+			}
+			g.EnabledCycles += span
+			if g.Loaded {
+				g.RunningCycles += span
+			}
+		}
+	}
+	for _, g := range t.groups {
+		if g.Closed {
+			continue
+		}
+		for i := range g.Events {
+			ge := &g.Events[i]
+			var d uint64
+			if ge.CountUser {
+				d += core.PMU.GroundTruth(ge.Event, pmu.RingUser) - t.gtMark[ge.Event][pmu.RingUser]
+			}
+			if ge.CountKernel {
+				d += core.PMU.GroundTruth(ge.Event, pmu.RingKernel) - t.gtMark[ge.Event][pmu.RingKernel]
+			}
+			g.True[i] += d
+			if g.Loaded {
+				slot := g.slots[i]
+				g.Raw[i] += core.PMU.Read(slot)
+				core.PMU.Write(slot, 0)
+			}
+		}
+	}
+	k.groupMark(core, t)
+}
+
+// groupPlan is a pure placement decision: which groups load into which
+// free slots.
+type groupPlan struct {
+	gis   []int
+	slots [][]int
+	n     int
+}
+
+// planGroups decides which open groups fit the PMU slots left free by
+// the thread's pinned and floating counters, walking the open set
+// cyclically from rot so successive rotations advance the window. A
+// group takes all its slots or none. ignoreGroups treats slots held by
+// (about-to-be-parked) groups as free — the rotation path plans the
+// post-park state before touching any counter.
+func planGroups(core *cpu.Core, t *Thread, rot int, ignoreGroups bool) groupPlan {
+	var p groupPlan
+	open := t.openGroupIdx()
+	if len(open) == 0 {
+		return p
+	}
+	n := core.PMU.NumCounters()
+	var free []int
+	for slot := 0; slot < n; slot++ {
+		if t.hwSlots[slot] != -1 {
+			continue
+		}
+		if !ignoreGroups && t.groupSlots[slot] != -1 {
+			continue
+		}
+		free = append(free, slot)
+	}
+	start := rot % len(open)
+	for j := 0; j < len(open); j++ {
+		gi := open[(start+j)%len(open)]
+		g := t.groups[gi]
+		if !ignoreGroups && g.Loaded {
+			continue
+		}
+		if len(g.Events) > len(free)-p.n {
+			continue
+		}
+		p.gis = append(p.gis, gi)
+		p.slots = append(p.slots, free[p.n:p.n+len(g.Events)])
+		p.n += len(g.Events)
+	}
+	return p
+}
+
+// applyGroupPlan programs the planned slots: event selection, ring
+// filter, enable, value zeroed. Costless at the simulation level — the
+// caller has already charged the MSR traffic, before this instant.
+func (k *Kernel) applyGroupPlan(core *cpu.Core, t *Thread, p groupPlan) {
+	for j, gi := range p.gis {
+		g := t.groups[gi]
+		g.slots = append(g.slots[:0], p.slots[j]...)
+		g.Loaded = true
+		for i, slot := range g.slots {
+			ge := g.Events[i]
+			core.PMU.Configure(slot, pmu.CounterConfig{
+				Event:       ge.Event,
+				CountUser:   ge.CountUser,
+				CountKernel: ge.CountKernel,
+				Enabled:     true,
+				OverflowBit: -1, // groups never interrupt; spans stay far below the counter width
+			})
+			core.PMU.Write(slot, 0)
+			t.groupSlots[slot] = gi
+		}
+	}
+}
+
+// groupsLoad charges the MSR traffic for every open group that fits
+// the free slots, then programs them. Used on switch-in: the caller
+// sets spanStartAt and re-marks immediately after, so the enable
+// instant and the truth mark coincide.
+func (k *Kernel) groupsLoad(core *cpu.Core, t *Thread) {
+	ensureGroupSlots(core, t)
+	p := planGroups(core, t, t.muxRot, false)
+	if p.n == 0 {
+		return
+	}
+	if !core.PMU.Features().HardwareVirtualization {
+		core.KernelWork(k.cfg.Costs.MSRWrite * 2 * uint64(p.n)) // evtsel + value per slot
+	}
+	k.applyGroupPlan(core, t, p)
+}
+
+// groupsPark disables the hardware slots of loaded groups and frees
+// them. The spanClose drain has already banked their counts; leftover
+// cycles counted between drain and disable are discarded by the
+// Write(0) at next load, never entering Raw. Returns slots parked; the
+// caller prices the MSR traffic.
+func (k *Kernel) groupsPark(core *cpu.Core, t *Thread) int {
+	n := 0
+	for _, g := range t.groups {
+		if !g.Loaded {
+			continue
+		}
+		n += k.groupPark(core, t, g)
+	}
+	return n
+}
+
+// groupPark unloads one group.
+func (k *Kernel) groupPark(core *cpu.Core, t *Thread, g *EventGroup) int {
+	n := 0
+	for _, slot := range g.slots {
+		core.PMU.Configure(slot, pmu.CounterConfig{Enabled: false, OverflowBit: -1})
+		t.groupSlots[slot] = -1
+		n++
+	}
+	g.slots = g.slots[:0]
+	g.Loaded = false
+	return n
+}
+
+// loadedGroupSlots counts hardware slots currently backing groups.
+func (t *Thread) loadedGroupSlots() int {
+	n := 0
+	for _, g := range t.groups {
+		if g.Loaded {
+			n += len(g.slots)
+		}
+	}
+	return n
+}
+
+// muxTick fires group rotation once the thread's scheduled time since
+// the last rotation reaches the rotation quantum. Called from StepCore
+// before each instruction of a group-holding thread; the fast path is
+// one add and compare.
+func (k *Kernel) muxTick(coreID int, t *Thread) {
+	core := k.cores[coreID]
+	if t.muxSpent+(core.Now-t.spanStartAt) < k.cfg.MuxQuantum {
+		return
+	}
+	k.muxRotate(coreID, t)
+}
+
+// muxRotate advances the round-robin cursor and reprograms the PMU:
+// price the handler and all MSR traffic first (inside the old span,
+// where hardware and truth both count it), then atomically close the
+// span — draining loaded groups and re-marking truth — park everything,
+// load the next window, and emit one event frame.
+func (k *Kernel) muxRotate(coreID int, t *Thread) {
+	core := k.cores[coreID]
+	open := t.openGroupIdx()
+	if len(open) == 0 {
+		// Every group closed: nothing rotates, but close the span so the
+		// quantum check restarts instead of firing each instruction.
+		k.spanClose(core, t)
+		t.muxSpent = 0
+		return
+	}
+	nextRot := (t.muxRot + 1) % len(open)
+	ensureGroupSlots(core, t)
+	plan := planGroups(core, t, nextRot, true)
+
+	// Price everything before the atomic instant: rotation handler,
+	// save-side MSR reads/writes for loaded slots, load-side writes for
+	// the planned ones.
+	core.KernelWork(k.cfg.Costs.MuxRotate)
+	if !core.PMU.Features().HardwareVirtualization {
+		if loaded := t.loadedGroupSlots(); loaded > 0 {
+			core.KernelWork((k.cfg.Costs.MSRRead + k.cfg.Costs.MSRWrite) * uint64(loaded))
+		}
+		if plan.n > 0 {
+			core.KernelWork(k.cfg.Costs.MSRWrite * 2 * uint64(plan.n))
+		}
+	}
+
+	k.spanClose(core, t)
+	k.groupsPark(core, t)
+	t.muxRot = nextRot
+	k.applyGroupPlan(core, t, plan)
+	t.muxSpent = 0
+
+	k.Stats.MuxRotations++
+	k.emitFrame(coreID, t, false)
+	k.tr(coreID, t, trace.MuxRotate, uint64(t.muxRot))
+	if k.metrics != nil {
+		k.metrics.MuxRotations.Inc()
+	}
+}
+
+// emitFrame appends one frame snapshotting every group of t. Callers
+// guarantee freshness: a spanClose ran at the current core clock.
+func (k *Kernel) emitFrame(coreID int, t *Thread, final bool) {
+	if len(t.groups) == 0 {
+		return
+	}
+	f := Frame{
+		Seq:   k.frameSeq,
+		Cycle: k.cores[coreID].Now,
+		Core:  coreID,
+		TID:   t.ID,
+		Final: final,
+	}
+	k.frameSeq++
+	for gi, g := range t.groups {
+		for i := range g.Events {
+			f.Samples = append(f.Samples, FrameSample{
+				Group:    gi,
+				Event:    g.Events[i],
+				Estimate: g.Estimate(i),
+				Enabled:  g.EnabledCycles,
+				Running:  g.RunningCycles,
+			})
+		}
+	}
+	k.frames = append(k.frames, f)
+	if k.metrics != nil {
+		k.metrics.GroupFrames.Inc()
+	}
+}
+
+// groupOpen implements SysGroupOpen: R0 is the address of a descriptor
+// table (one word per event: event id in the low 32 bits, FlagUser/
+// FlagKernel in the high 32), R1 the event count. Validation is
+// all-or-nothing — a bad descriptor opens nothing. The group starts
+// counting at the instant it is appended; when it fits the free slots
+// it loads immediately, with the MSR traffic priced before the span
+// closes so enabled and running time start together (a group that is
+// never subsequently unloaded stays exact).
+func (k *Kernel) groupOpen(coreID int, t *Thread, tableAddr, count uint64) uint64 {
+	core := k.cores[coreID]
+	if count == 0 || count > uint64(core.PMU.NumCounters()) || len(t.groups) >= maxGroupsPerThread {
+		return RetErr
+	}
+	evs := make([]GroupEvent, count)
+	for i := range evs {
+		word := t.Proc.Mem.Read64(tableAddr + uint64(i)*8)
+		ev := word & 0xffffffff
+		flags := word >> 32
+		if ev >= uint64(pmu.NumEvents) || flags&(FlagUser|FlagKernel) == 0 {
+			return RetErr
+		}
+		evs[i] = GroupEvent{
+			Event:       pmu.Event(ev),
+			CountUser:   flags&FlagUser != 0,
+			CountKernel: flags&FlagKernel != 0,
+		}
+	}
+	ensureGroupSlots(core, t)
+
+	// Placement for the new group only: it may take any slot free of
+	// counters and of already-loaded groups.
+	var free []int
+	for slot := 0; slot < core.PMU.NumCounters(); slot++ {
+		if t.hwSlots[slot] == -1 && t.groupSlots[slot] == -1 {
+			free = append(free, slot)
+		}
+	}
+	loads := len(evs) <= len(free)
+	if loads && !core.PMU.Features().HardwareVirtualization {
+		core.KernelWork(k.cfg.Costs.MSRWrite * 2 * uint64(len(evs)))
+	}
+
+	k.spanClose(core, t)
+	g := &EventGroup{
+		Events: evs,
+		Raw:    make([]uint64, count),
+		True:   make([]uint64, count),
+	}
+	t.groups = append(t.groups, g)
+	g.OpenSchedMark = t.Stats.SchedCycles
+	k.groupMark(core, t)
+	if loads {
+		gi := len(t.groups) - 1
+		k.applyGroupPlan(core, t, groupPlan{
+			gis:   []int{gi},
+			slots: [][]int{free[:len(evs)]},
+			n:     len(evs),
+		})
+	}
+	return uint64(len(t.groups) - 1)
+}
+
+// groupAt validates a group id.
+func groupAt(t *Thread, gid uint64) *EventGroup {
+	if gid >= uint64(len(t.groups)) || t.groups[gid].Closed {
+		return nil
+	}
+	return t.groups[gid]
+}
+
+// groupRead implements SysGroupRead: the scaled estimate of event R1
+// in group R0, fresh as of this instant.
+func (k *Kernel) groupRead(coreID int, t *Thread, gid, idx uint64) uint64 {
+	g := groupAt(t, gid)
+	if g == nil || idx >= uint64(len(g.Events)) {
+		return RetErr
+	}
+	k.spanClose(k.cores[coreID], t)
+	return g.Estimate(int(idx))
+}
+
+// groupClose implements SysGroupClose: the group stops accruing, its
+// hardware slots free up for the remaining groups, and its values
+// freeze for host-side reads.
+func (k *Kernel) groupClose(coreID int, t *Thread, gid uint64) uint64 {
+	g := groupAt(t, gid)
+	if g == nil {
+		return RetErr
+	}
+	core := k.cores[coreID]
+	if g.Loaded && !core.PMU.Features().HardwareVirtualization {
+		core.KernelWork((k.cfg.Costs.MSRRead + k.cfg.Costs.MSRWrite) * uint64(len(g.slots)))
+	}
+	k.spanClose(core, t)
+	if g.Loaded {
+		k.groupPark(core, t, g)
+	}
+	g.Closed = true
+	g.CloseSchedMark = t.Stats.SchedCycles
+	return 0
+}

@@ -1,0 +1,312 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/mem"
+	"limitsim/internal/perfevent"
+	"limitsim/internal/pmu"
+)
+
+// groupProg assembles a program that opens one event group per spec
+// slice, runs a counted busy loop, group-reads (gid 0, idx 0) into the
+// kernel log with tag 7, and halts.
+func groupProg(space *mem.Space, iters int64, groups ...[]perfevent.Spec) *isa.Program {
+	b := isa.NewBuilder()
+	for _, specs := range groups {
+		table := perfevent.GroupTable(space, specs)
+		perfevent.EmitGroupOpen(b, table, len(specs))
+	}
+	b.MovImm(isa.R1, iters)
+	b.MovImm(isa.R2, 0)
+	b.Label("loop")
+	b.AddImm(isa.R1, isa.R1, -1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "loop")
+	perfevent.EmitGroupRead(b, 0, 0, isa.R1)
+	b.MovImm(isa.R0, 7)
+	b.Syscall(kernel.SysLogValue)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// A group that fits the free counters and is never evicted must be
+// exact: running time equals enabled time, raw counts equal the
+// kernel's omniscient ground truth, and the estimate is the raw count
+// — across rotations and context switches alike.
+func TestGroupExactWhenFitsCounters(t *testing.T) {
+	m := newMachine(1)
+	space := mem.NewSpace()
+	prog := groupProg(space, 400_000,
+		[]perfevent.Spec{perfevent.UserSpec(pmu.EvCycles), perfevent.UserSpec(pmu.EvInstructions)})
+	proc := m.Kern.NewProcess(prog, space)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	run(t, m)
+
+	gs := th.Groups()
+	if len(gs) != 1 {
+		t.Fatalf("got %d groups, want 1", len(gs))
+	}
+	g := gs[0]
+	if g.EnabledCycles == 0 {
+		t.Fatal("group accrued no enabled time")
+	}
+	if g.RunningCycles != g.EnabledCycles {
+		t.Errorf("running %d != enabled %d for a group that always fits",
+			g.RunningCycles, g.EnabledCycles)
+	}
+	for i := range g.Events {
+		if g.Raw[i] != g.True[i] {
+			t.Errorf("event %d raw %d != ground truth %d", i, g.Raw[i], g.True[i])
+		}
+		if g.Estimate(i) != g.Raw[i] {
+			t.Errorf("event %d estimate %d != raw %d for an exact group", i, g.Estimate(i), g.Raw[i])
+		}
+	}
+	if g.Multiplexed() {
+		t.Error("fitting group reported as multiplexed")
+	}
+	if m.Kern.Stats.MuxRotations == 0 {
+		t.Error("no rotations fired over a 400k-iteration run")
+	}
+	// The loop retires ≥ 2 instructions per iteration; the instruction
+	// estimate must cover it.
+	if est := g.Estimate(1); est < 800_000 {
+		t.Errorf("instruction estimate %d < the loop's 800k floor", est)
+	}
+	// Conservation: enabled time is exactly the scheduled time since
+	// open.
+	if want := th.Stats.SchedCycles - g.OpenSchedMark; g.EnabledCycles != want {
+		t.Errorf("enabled %d != scheduled-since-open %d", g.EnabledCycles, want)
+	}
+}
+
+// Three two-event groups on a four-counter PMU oversubscribe it: the
+// rotation must multiplex them, every group must keep conserving
+// enabled time, and the scaled cycle estimates must land near truth
+// for a uniform loop.
+func TestGroupRotationScalesEstimates(t *testing.T) {
+	m := newMachine(1)
+	space := mem.NewSpace()
+	two := func(a, b pmu.Event) []perfevent.Spec {
+		return []perfevent.Spec{perfevent.UserSpec(a), perfevent.UserSpec(b)}
+	}
+	prog := groupProg(space, 600_000,
+		two(pmu.EvCycles, pmu.EvInstructions),
+		two(pmu.EvBranches, pmu.EvBranchMiss),
+		two(pmu.EvLoads, pmu.EvStores))
+	proc := m.Kern.NewProcess(prog, space)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	run(t, m)
+
+	if m.Kern.Stats.MuxRotations == 0 {
+		t.Fatal("oversubscribed groups but no rotations")
+	}
+	sawMux := false
+	for gi, g := range th.Groups() {
+		if want := th.Stats.SchedCycles - g.OpenSchedMark; g.EnabledCycles != want {
+			t.Errorf("group %d enabled %d != scheduled-since-open %d", gi, g.EnabledCycles, want)
+		}
+		if g.RunningCycles > g.EnabledCycles {
+			t.Errorf("group %d running %d > enabled %d", gi, g.RunningCycles, g.EnabledCycles)
+		}
+		if g.Multiplexed() {
+			sawMux = true
+		}
+		if g.RunningCycles == 0 {
+			t.Errorf("group %d never loaded", gi)
+		}
+	}
+	if !sawMux {
+		t.Error("no group was multiplexed despite 6 events on 4 counters")
+	}
+	// The uniform loop makes scaled cycle estimates track truth; allow
+	// 10% for window placement.
+	g := th.Groups()[0]
+	est, truth := g.Estimate(0), g.True[0]
+	diff := est - truth
+	if est < truth {
+		diff = truth - est
+	}
+	if truth == 0 || diff*10 > truth {
+		t.Errorf("cycle estimate %d vs truth %d: error above 10%%", est, truth)
+	}
+}
+
+// Context switches between two group-holding threads must not break
+// exactness: park and reload bracket each scheduled span, so a fitting
+// group still ends with running == enabled and raw == truth.
+func TestGroupExactAcrossContextSwitches(t *testing.T) {
+	m := newMachine(1) // one core, two threads: forced preemption traffic
+	space := mem.NewSpace()
+	prog := groupProg(space, 500_000,
+		[]perfevent.Spec{perfevent.UserSpec(pmu.EvInstructions)})
+	proc := m.Kern.NewProcess(prog, space)
+	a := m.Kern.Spawn(proc, "a", 0, 1)
+	bTh := m.Kern.Spawn(proc, "b", 0, 2)
+	run(t, m)
+
+	if a.Stats.CtxSwitches == 0 && bTh.Stats.CtxSwitches == 0 {
+		t.Fatal("no context switches; test needs preemption traffic")
+	}
+	for _, th := range []*kernel.Thread{a, bTh} {
+		g := th.Groups()[0]
+		if g.RunningCycles != g.EnabledCycles {
+			t.Errorf("thread %d running %d != enabled %d", th.ID, g.RunningCycles, g.EnabledCycles)
+		}
+		if g.Raw[0] != g.True[0] {
+			t.Errorf("thread %d raw %d != truth %d", th.ID, g.Raw[0], g.True[0])
+		}
+		if want := th.Stats.SchedCycles - g.OpenSchedMark; g.EnabledCycles != want {
+			t.Errorf("thread %d enabled %d != scheduled-since-open %d", th.ID, g.EnabledCycles, want)
+		}
+	}
+}
+
+// Pinned counters outrank groups: a LiMiT open that needs a group-held
+// slot forces the whole group to yield (atomic scheduling), degrading
+// it to a scaled estimate while the pinned counter stays exact.
+func TestPinnedCounterEvictsGroup(t *testing.T) {
+	m := newMachine(1)
+	space := mem.NewSpace()
+	word := space.AllocWords(1)
+	table := perfevent.GroupTable(space, []perfevent.Spec{
+		perfevent.UserSpec(pmu.EvCycles), perfevent.UserSpec(pmu.EvInstructions),
+		perfevent.UserSpec(pmu.EvBranches), perfevent.UserSpec(pmu.EvLoads),
+	})
+
+	b := isa.NewBuilder()
+	b.Syscall(kernel.SysLimitInit)
+	perfevent.EmitGroupOpen(b, table, 4) // fills all 4 counters
+	b.MovImm(isa.R1, 100_000)
+	b.MovImm(isa.R2, 0)
+	b.Label("warm")
+	b.AddImm(isa.R1, isa.R1, -1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "warm")
+	// LiMiT open wants hardware slot 0 — the group must yield it.
+	b.MovImm(isa.R0, int64(pmu.EvInstructions))
+	b.MovImm(isa.R1, int64(kernel.FlagUser))
+	b.MovImm(isa.R2, int64(word))
+	b.Syscall(kernel.SysLimitOpen)
+	b.MovImm(isa.R1, 100_000)
+	b.MovImm(isa.R2, 0)
+	b.Label("work")
+	b.AddImm(isa.R1, isa.R1, -1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "work")
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	run(t, m)
+
+	g := th.Groups()[0]
+	if g.RunningCycles >= g.EnabledCycles {
+		t.Errorf("evicted group not multiplexed: running %d enabled %d",
+			g.RunningCycles, g.EnabledCycles)
+	}
+	if g.RunningCycles == 0 {
+		t.Error("group never ran before eviction")
+	}
+	if want := th.Stats.SchedCycles - g.OpenSchedMark; g.EnabledCycles != want {
+		t.Errorf("enabled %d != scheduled-since-open %d", g.EnabledCycles, want)
+	}
+	// The pinned counter is exact: its virtual word plus remainder is
+	// the thread's instruction count over the second loop.
+	lim := th.Counters()[0]
+	if lim.Kind != kernel.KindLimit {
+		t.Fatalf("counter 0 is %v, want limit", lim.Kind)
+	}
+	if v := space.Read64(word) + lim.Saved; v < 200_000 {
+		t.Errorf("limit counter %d < the work loop's 200k floor", v)
+	}
+}
+
+// Bad group descriptors open nothing, atomically.
+func TestGroupOpenValidation(t *testing.T) {
+	m := newMachine(1)
+	space := mem.NewSpace()
+	// Table with one valid word and one bad event id.
+	table := space.AllocWords(2)
+	space.Write64(table, perfevent.GroupWord(perfevent.UserSpec(pmu.EvCycles)))
+	space.Write64(table+8, uint64(pmu.NumEvents)|uint64(kernel.FlagUser)<<32)
+
+	b := isa.NewBuilder()
+	perfevent.EmitGroupOpen(b, table, 2) // bad event in slot 1
+	b.Mov(isa.R1, isa.R0)
+	b.MovImm(isa.R0, 1)
+	b.Syscall(kernel.SysLogValue)
+	perfevent.EmitGroupOpen(b, table, 0) // zero events
+	b.Mov(isa.R1, isa.R0)
+	b.MovImm(isa.R0, 2)
+	b.Syscall(kernel.SysLogValue)
+	b.MovImm(isa.R0, int64(table))
+	b.MovImm(isa.R1, 99) // more events than any PMU has counters
+	b.Syscall(kernel.SysGroupOpen)
+	b.Mov(isa.R1, isa.R0)
+	b.MovImm(isa.R0, 3)
+	b.Syscall(kernel.SysLogValue)
+	b.Halt()
+
+	proc := m.Kern.NewProcess(b.MustBuild(), space)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	run(t, m)
+
+	for _, e := range m.Kern.Logs() {
+		if e.Value != kernel.RetErr {
+			t.Errorf("open case %d returned %d, want RetErr", e.Tag, e.Value)
+		}
+	}
+	if len(th.Groups()) != 0 {
+		t.Errorf("%d groups opened from invalid descriptors", len(th.Groups()))
+	}
+}
+
+// Frames: every rotation emits one, sequence numbers strictly
+// increase, and a reaped thread leaves a final frame matching its
+// group's end state.
+func TestGroupFramesEmitted(t *testing.T) {
+	m := newMachine(1)
+	space := mem.NewSpace()
+	prog := groupProg(space, 400_000,
+		[]perfevent.Spec{perfevent.UserSpec(pmu.EvCycles), perfevent.UserSpec(pmu.EvInstructions)},
+		[]perfevent.Spec{perfevent.UserSpec(pmu.EvBranches), perfevent.UserSpec(pmu.EvLoads)},
+		[]perfevent.Spec{perfevent.UserSpec(pmu.EvStores), perfevent.UserSpec(pmu.EvL1DMiss)})
+	proc := m.Kern.NewProcess(prog, space)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	run(t, m)
+
+	frames := m.Kern.Frames()
+	if len(frames) < 2 {
+		t.Fatalf("got %d frames, want rotations plus a final", len(frames))
+	}
+	var final *kernel.Frame
+	for i := range frames {
+		f := &frames[i]
+		if i > 0 && f.Seq <= frames[i-1].Seq {
+			t.Errorf("frame %d seq %d not increasing after %d", i, f.Seq, frames[i-1].Seq)
+		}
+		if f.Final {
+			final = f
+		}
+	}
+	if final == nil {
+		t.Fatal("no final frame for the reaped thread")
+	}
+	if final.TID != th.ID {
+		t.Errorf("final frame TID %d, want %d", final.TID, th.ID)
+	}
+	gs := th.Groups()
+	for _, s := range final.Samples {
+		g := gs[s.Group]
+		var i int
+		for i = range g.Events {
+			if g.Events[i] == s.Event {
+				break
+			}
+		}
+		if s.Estimate != g.Estimate(i) || s.Enabled != g.EnabledCycles || s.Running != g.RunningCycles {
+			t.Errorf("final frame sample %+v disagrees with group end state", s)
+		}
+	}
+}

@@ -58,6 +58,10 @@ type Costs struct {
 	MSRWrite      uint64 // per-counter restore on schedule
 	VCpuSwitch    uint64 // tenant (guest-scheduler) residency switch
 
+	GroupOpen uint64 // validate and install one event group
+	GroupRead uint64 // scaled-estimate read handler
+	MuxRotate uint64 // group rotation handler (MSR traffic priced on top)
+
 	SignalDeliver uint64
 	SigReturn     uint64
 
@@ -100,6 +104,10 @@ func DefaultCosts() Costs {
 		MSRRead:       60,
 		MSRWrite:      90,
 		VCpuSwitch:    2500,
+
+		GroupOpen: 5500,
+		GroupRead: 900,
+		MuxRotate: 350,
 
 		SignalDeliver: 400,
 		SigReturn:     250,
@@ -147,6 +155,12 @@ type Config struct {
 	LimitOverflow OverflowMode
 	// Seed drives the kernel's internal tie-breaking RNG.
 	Seed uint64
+
+	// MuxQuantum is the event-group rotation period, measured in the
+	// owning thread's *scheduled* cycles so preemption storms stretch
+	// wall-clock rotation intervals without shrinking per-window counts.
+	// Defaults to Quantum/6, so several rotations fit one time slice.
+	MuxQuantum uint64
 
 	// VirtSlotCapacity bounds how many pinned virtualized counters
 	// (LiMiT and sampling) may be open kernel-wide at once, modeling the
@@ -369,6 +383,11 @@ type ThreadStats struct {
 	// hardware also counts).
 	UserInstructions uint64
 	UserCycles       uint64
+
+	// SchedCycles is total scheduled time (user + kernel rings) accrued
+	// at span close; group enabled-time conservation is checked against
+	// it. Only accounted once the thread holds event groups.
+	SchedCycles uint64
 }
 
 // Thread is one simulated software thread.
@@ -415,6 +434,16 @@ type Thread struct {
 	muxPos      int
 	spanStartAt uint64
 
+	// Event-group multiplexing state (groups.go): the group table, the
+	// slot→group ledger parallel to hwSlots, the round-robin rotation
+	// cursor, scheduled cycles spent since the last rotation, and the
+	// per-event ground-truth baseline of the current truth interval.
+	groups     []*EventGroup
+	groupSlots []int
+	muxRot     int
+	muxSpent   uint64
+	gtMark     *[pmu.NumEvents][2]uint64
+
 	// FaultMsg records why the thread died, if it faulted.
 	FaultMsg string
 
@@ -457,6 +486,8 @@ type Stats struct {
 	VCpuSwitches      uint64 // tenant residency changes on a core
 	VCpuMigrations    uint64 // cross-core vCPU moves + cap-driven thread moves
 	TenantPreemptions uint64 // vCPU preemptions (quantum expiry or chaos)
+
+	MuxRotations uint64 // event-group rotation windows closed
 }
 
 // Kernel is the simulated OS instance managing a fixed set of cores.
@@ -511,6 +542,11 @@ type Kernel struct {
 	// Config.Tenants > 1 (tenant.go).
 	ts *tenantSched
 
+	// frames collects the per-rotation event-frame snapshots (groups.go);
+	// frameSeq is the kernel-wide emission counter stamped on each.
+	frames   []Frame
+	frameSeq uint64
+
 	Stats Stats
 }
 
@@ -526,6 +562,9 @@ func New(cfg Config, cores []*cpu.Core) *Kernel {
 	}
 	if cfg.Quantum == 0 {
 		cfg.Quantum = DefaultConfig().Quantum
+	}
+	if cfg.MuxQuantum == 0 {
+		cfg.MuxQuantum = cfg.Quantum / 6
 	}
 	k := &Kernel{
 		cfg:          cfg,

@@ -31,7 +31,9 @@ const (
 )
 
 // clone implements SysClone: create a thread at entry whose counters
-// inherit the parent's open set. Returns the child TID or RetErr.
+// inherit the parent's open set. Event groups are NOT inherited —
+// matching perf's semantics, where a group fd measures one task and a
+// child starts with none. Returns the child TID or RetErr.
 func (k *Kernel) clone(coreID int, t *Thread, entry int, tlsArg, seed, tableBase uint64) uint64 {
 	if entry < 0 || entry >= t.Proc.Prog.Len() {
 		return RetErr
@@ -177,6 +179,13 @@ func (k *Kernel) faultThread(coreID int, t *Thread, msg string) {
 // each counter's final value at the Reap probe, before any later
 // thread recycles the word.)
 func (k *Kernel) reapThread(coreID int, t *Thread) {
+	// A group-holding thread's last frame: the deschedule inside exit/
+	// fault already closed the final span, so the snapshot is exact and
+	// host-side consumers (frame totals, derived metrics) see the
+	// thread's complete life.
+	if len(t.groups) != 0 {
+		k.emitFrame(coreID, t, true)
+	}
 	for _, tc := range t.counters {
 		k.releaseCounter(tc)
 	}

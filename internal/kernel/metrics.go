@@ -50,6 +50,10 @@ type Metrics struct {
 	LimitOpenAgain *telemetry.Counter
 	DegradedOpens  *telemetry.Counter
 	DegradedClones *telemetry.Counter
+	// Event-group multiplexing: rotation windows closed and event
+	// frames emitted.
+	MuxRotations *telemetry.Counter
+	GroupFrames  *telemetry.Counter
 
 	// Slot-ledger pressure (mirrored by pmu.Ledger.Instrument).
 	SlotOccupancy *telemetry.Gauge
@@ -73,6 +77,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		LimitOpenAgain:   reg.Counter("kern.limitopen.again"),
 		DegradedOpens:    reg.Counter("kern.opens.degraded"),
 		DegradedClones:   reg.Counter("kern.clones.degraded"),
+		MuxRotations:     reg.Counter("kern.mux.rotations"),
+		GroupFrames:      reg.Counter("kern.mux.frames"),
 		SlotDenied:       reg.Counter("pmu.slots.denied"),
 
 		SlotOccupancy: reg.Gauge("pmu.slots.occupancy"),

@@ -105,6 +105,13 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 	}
 
 	t := k.cur[coreID]
+	// Group rotation rides the timer path: fire before the instruction
+	// when the thread's scheduled time since last rotation fills the
+	// rotation quantum. One add+compare for group-holding threads, no
+	// cost at all for the rest.
+	if len(t.groups) != 0 {
+		k.muxTick(coreID, t)
+	}
 	prevPC := t.Ctx.PC
 	res := core.Step(&t.Ctx)
 	t.Stats.UserInstructions += res.Instrs
@@ -390,11 +397,16 @@ func spanEnd(core *cpu.Core, t *Thread) {
 // each counter costs an MSR read, plus a write for counters that must
 // be stopped.
 func (k *Kernel) saveCounters(core *cpu.Core, t *Thread) {
-	if len(t.counters) == 0 {
+	if len(t.counters) == 0 && len(t.groups) == 0 {
 		return
 	}
 	ensureSlots(core, t)
-	spanEnd(core, t)
+	if len(t.groups) != 0 {
+		ensureGroupSlots(core, t)
+	}
+	// Close the span first: drains loaded group counters and attributes
+	// ground truth at this instant, before any MSR cost lands.
+	k.spanClose(core, t)
 	hwVirt := core.PMU.Features().HardwareVirtualization
 	writeLimit := core.PMU.WriteLimit()
 	for slot, ci := range t.hwSlots {
@@ -437,6 +449,12 @@ func (k *Kernel) saveCounters(core *cpu.Core, t *Thread) {
 		}
 		tc.HWSlot = -1
 		t.hwSlots[slot] = -1
+	}
+	// Park loaded event groups. Their counts were drained by spanClose
+	// above; the park itself is a save (MSR read) plus a disable (MSR
+	// write) per slot, all charged outside the closed span.
+	if parked := k.groupsPark(core, t); parked > 0 && !hwVirt {
+		core.KernelWork((k.cfg.Costs.MSRRead + k.cfg.Costs.MSRWrite) * uint64(parked))
 	}
 }
 
@@ -509,7 +527,15 @@ func (k *Kernel) restoreCounters(core *cpu.Core, t *Thread) {
 			core.PMU.Configure(slot, pmu.CounterConfig{Enabled: false, OverflowBit: -1})
 		}
 	}
+	// Load whatever event groups fit the remaining slots, pricing the
+	// MSR traffic before the span opens so the new span starts with the
+	// groups already counting and the truth baseline marked at the same
+	// instant.
+	if len(t.groups) != 0 {
+		k.groupsLoad(core, t)
+	}
 	t.spanStartAt = core.Now
+	k.groupMark(core, t)
 }
 
 // block removes the current thread from its core with the given state;

@@ -88,6 +88,19 @@ const (
 	// registrations — is reclaimed.
 	SysExit
 
+	// SysGroupOpen opens an event group atomically: R0 is the address of
+	// a descriptor table (one word per event: event id in the low 32
+	// bits, ring flags in the high 32), R1 the event count. The group's
+	// events schedule onto hardware together or not at all and rotate
+	// with the other groups on the kernel's rotation quantum. Returns
+	// the group id or ^0. Groups are not inherited across SysClone.
+	SysGroupOpen
+	// SysGroupRead returns the scaled estimate (raw × enabled/running,
+	// 128-bit integer arithmetic) of event index R1 in group R0.
+	SysGroupRead
+	// SysGroupClose stops group R0; its values freeze for host reads.
+	SysGroupClose
+
 	numSyscalls
 )
 
@@ -268,6 +281,16 @@ func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
 		core.KernelWork(c.Exit)
 		k.exitThread(coreID, t, exitVoluntary)
 		return
+
+	case SysGroupOpen:
+		core.KernelWork(c.GroupOpen)
+		regs[isa.R0] = k.groupOpen(coreID, t, regs[isa.R0], regs[isa.R1])
+	case SysGroupRead:
+		core.KernelWork(c.GroupRead)
+		regs[isa.R0] = k.groupRead(coreID, t, regs[isa.R0], regs[isa.R1])
+	case SysGroupClose:
+		core.KernelWork(c.Simple)
+		regs[isa.R0] = k.groupClose(coreID, t, regs[isa.R0])
 
 	default:
 		k.faultThread(coreID, t, "unknown syscall "+itoa(num))

@@ -496,7 +496,7 @@ func ThreadValue(t *kernel.Thread, idx int) (v uint64, estimated bool, err error
 			return raw, est, nil
 		}
 		countRead(true)
-		return uint64(float64(raw) * float64(tc.WindowCycles) / float64(tc.ActiveCycles)), true, nil
+		return pmu.Scale(raw, tc.WindowCycles, tc.ActiveCycles), true, nil
 	default:
 		return 0, false, fmt.Errorf("limit: thread %d counter %d is %v", t.ID, idx, tc.Kind)
 	}

@@ -1,0 +1,97 @@
+package metrics
+
+// Def is one built-in derived-metric definition. Expressions read the
+// sample names produced by the default multiplexed group set
+// (workloads.DefaultMuxGroups); a definition evaluated over totals
+// missing one of its events reports an error rather than a silent 0.
+type Def struct {
+	Name string
+	Expr string
+	Desc string
+
+	compiled *Expr
+}
+
+// Compiled returns the parsed expression (built-ins parse at init).
+func (d *Def) Compiled() *Expr { return d.compiled }
+
+// Builtin is the derived-metric catalogue: classic rates (CPI, miss
+// ratios), the paper's kernel-share lens, and a TMA-style breakdown.
+// The TMA entries are proxies calibrated to the simulated in-order
+// core: retiring is instructions per cycle (the core is scalar, so an
+// IPC of 1 is the roof), frontend-bound charges each branch mispredict
+// its 15-cycle redirect penalty (cpu.Cost.MispredictPenalty), and
+// backend-bound is the remainder — memory and compute stalls.
+var Builtin = []Def{
+	{
+		Name: "cpi",
+		Expr: "cycles / instructions",
+		Desc: "user cycles per retired instruction",
+	},
+	{
+		Name: "ipc",
+		Expr: "instructions / cycles",
+		Desc: "retired instructions per user cycle",
+	},
+	{
+		Name: "kernel_share",
+		Expr: "cycles:k / cycles:uk",
+		Desc: "fraction of scheduled cycles spent in the kernel ring",
+	},
+	{
+		Name: "branch_miss_rate",
+		Expr: "branch_miss / branches",
+		Desc: "branch mispredicts per branch",
+	},
+	{
+		Name: "l1d_miss_rate",
+		Expr: "l1d_miss / loads",
+		Desc: "L1D misses per load",
+	},
+	{
+		Name: "llc_miss_rate",
+		Expr: "llc_miss / loads",
+		Desc: "LLC misses per load",
+	},
+	{
+		Name: "dtlb_miss_rate",
+		Expr: "dtlb_miss / (loads + stores)",
+		Desc: "DTLB misses per data access",
+	},
+	{
+		Name: "dtlb_walk_rate",
+		Expr: "dtlb_walk / (loads + stores)",
+		Desc: "page walks per data access",
+	},
+	{
+		Name: "tma_retiring",
+		Expr: "min(instructions / cycles, 1)",
+		Desc: "TMA proxy: issue slots doing useful work (IPC vs scalar roof)",
+	},
+	{
+		Name: "tma_frontend",
+		Expr: "min(15 * branch_miss / cycles, 1)",
+		Desc: "TMA proxy: slots lost to branch redirects (15-cycle penalty)",
+	},
+	{
+		Name: "tma_backend",
+		Expr: "max(1 - instructions / cycles - 15 * branch_miss / cycles, 0)",
+		Desc: "TMA proxy: slots lost to memory and execution stalls",
+	},
+}
+
+func init() {
+	for i := range Builtin {
+		Builtin[i].compiled = MustParse(Builtin[i].Expr)
+	}
+}
+
+// Lookup returns the built-in definition named name, or nil.
+func Lookup(name string) *Def {
+	for i := range Builtin {
+		if Builtin[i].Name == name {
+			return &Builtin[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"limitsim/internal/kernel"
+)
+
+// Sample is one event's cumulative state within a frame. Name is the
+// event name plus a ring suffix: "" for user-only, ":k" kernel-only,
+// ":uk" both rings — the same names metric expressions use (with '_'
+// standing in for '-').
+type Sample struct {
+	Name    string `json:"name"`
+	Value   uint64 `json:"value"`   // scaled estimate (exact when never multiplexed)
+	Enabled uint64 `json:"enabled"` // cycles the owning group was open and scheduled
+	Running uint64 `json:"running"` // cycles it was loaded on hardware
+}
+
+// Frame is one snapshot of a thread's event groups. The JSON field
+// order is fixed by this struct, so a rendered frame stream is
+// byte-deterministic given a deterministic simulation.
+type Frame struct {
+	Seq     uint64   `json:"seq"`
+	Cycle   uint64   `json:"cycle"`
+	TID     int      `json:"tid"`
+	Final   bool     `json:"final,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+// SampleName renders a kernel group event as a sample/expression name.
+func SampleName(ge kernel.GroupEvent) string {
+	switch {
+	case ge.CountUser && ge.CountKernel:
+		return ge.Event.String() + ":uk"
+	case ge.CountKernel:
+		return ge.Event.String() + ":k"
+	default:
+		return ge.Event.String()
+	}
+}
+
+// FromKernel converts the kernel's frame log into the metric engine's
+// frame form.
+func FromKernel(k *kernel.Kernel) []Frame {
+	kf := k.Frames()
+	out := make([]Frame, len(kf))
+	for i, f := range kf {
+		nf := Frame{Seq: f.Seq, Cycle: f.Cycle, TID: f.TID, Final: f.Final}
+		nf.Samples = make([]Sample, len(f.Samples))
+		for j, s := range f.Samples {
+			nf.Samples[j] = Sample{
+				Name:    SampleName(s.Event),
+				Value:   s.Estimate,
+				Enabled: s.Enabled,
+				Running: s.Running,
+			}
+		}
+		out[i] = nf
+	}
+	return out
+}
+
+// WriteJSONL renders frames one JSON object per line. Output is
+// byte-deterministic: fixed field order, integer values only.
+func WriteJSONL(w io.Writer, frames []Frame) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range frames {
+		if err := enc.Encode(&frames[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL reads a frame stream written by WriteJSONL.
+func ParseJSONL(r io.Reader) ([]Frame, error) {
+	var out []Frame
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var f Frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return nil, fmt.Errorf("metrics: frames line %d: %w", line, err)
+		}
+		out = append(out, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Merge combines frame streams from several runs or shards into one
+// canonically ordered stream: by cycle, then thread, then sequence.
+// The sort is stable, so equal keys keep their input order and merge
+// output is byte-deterministic for deterministic inputs.
+func Merge(streams ...[]Frame) []Frame {
+	var all []Frame
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Cycle != all[j].Cycle {
+			return all[i].Cycle < all[j].Cycle
+		}
+		if all[i].TID != all[j].TID {
+			return all[i].TID < all[j].TID
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return all
+}
+
+// Totals folds a frame stream into per-event end-of-run totals summed
+// across threads: for each thread the last frame wins (samples are
+// cumulative), and within a frame the first sample of a name wins
+// (groups may duplicate an event; their windows overlap, so adding
+// them would double count).
+func Totals(frames []Frame) map[string]uint64 {
+	last := make(map[int]*Frame)
+	var tids []int
+	for i := range frames {
+		f := &frames[i]
+		if _, seen := last[f.TID]; !seen {
+			tids = append(tids, f.TID)
+		}
+		last[f.TID] = f
+	}
+	sort.Ints(tids)
+	totals := make(map[string]uint64)
+	for _, tid := range tids {
+		seen := make(map[string]bool)
+		for _, s := range last[tid].Samples {
+			if seen[s.Name] {
+				continue
+			}
+			seen[s.Name] = true
+			totals[s.Name] += s.Value
+		}
+	}
+	return totals
+}
+
+// Env converts totals into an expression environment.
+func Env(totals map[string]uint64) map[string]float64 {
+	env := make(map[string]float64, len(totals))
+	for k, v := range totals {
+		env[k] = float64(v)
+	}
+	return env
+}

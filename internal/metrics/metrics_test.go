@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func env(pairs ...interface{}) map[string]float64 {
+	m := make(map[string]float64)
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return m
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  map[string]float64
+		want float64
+	}{
+		{"1 + 2 * 3", nil, 7},
+		{"(1 + 2) * 3", nil, 9},
+		{"-4 + 6", nil, 2},
+		{"10 / 4", nil, 2.5},
+		{"min(3, 1, 2)", nil, 1},
+		{"max(3, 1, 2)", nil, 3},
+		{"cycles / instructions", env("cycles", 30.0, "instructions", 10.0), 3},
+		{"l1d_miss / loads", env("l1d-miss", 5.0, "loads", 100.0), 0.05},
+		{"cycles:k / cycles:uk", env("cycles:k", 25.0, "cycles:uk", 100.0), 0.25},
+		{"min(instructions / cycles, 1)", env("instructions", 80.0, "cycles", 40.0), 1},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		got, err := e.Eval(c.env)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprUnknownEvent(t *testing.T) {
+	e := MustParse("cycles / bogus_event")
+	if _, err := e.Eval(env("cycles", 10.0)); err == nil ||
+		!strings.Contains(err.Error(), "bogus-event") {
+		t.Errorf("unknown event error = %v, want mention of bogus-event", err)
+	}
+}
+
+func TestExprDivByZeroPolicy(t *testing.T) {
+	for _, src := range []string{"1 / 0", "cycles / instructions", "1 / (2 - 2)"} {
+		e := MustParse(src)
+		got, err := e.Eval(env("cycles", 5.0, "instructions", 0.0))
+		if err != nil {
+			t.Errorf("Eval(%q): %v", src, err)
+		}
+		if got != 0 {
+			t.Errorf("Eval(%q) = %v, want 0 (div-by-zero policy)", src, got)
+		}
+	}
+}
+
+func TestExprSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		"(1 + 2",     // unbalanced open paren
+		"1 + 2)",     // unbalanced close paren
+		"1 +",        // dangling operator
+		"min(1)",     // min needs 2+ args
+		"min 1, 2",   // missing parens
+		"cycles $ 2", // bad token
+		"",           // empty
+		"1 2",        // juxtaposition
+		"max(1, 2,)", // trailing comma
+		"1..5 + 2",   // malformed number
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want syntax error", src)
+		}
+	}
+}
+
+func TestExprIdents(t *testing.T) {
+	e := MustParse("max(1 - instructions / cycles - 15 * branch_miss / cycles, 0)")
+	got := e.Idents()
+	want := map[string]bool{"instructions": true, "cycles": true, "branch-miss": true}
+	if len(got) != len(want) {
+		t.Fatalf("Idents() = %v, want %v", got, want)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Errorf("unexpected ident %q", id)
+		}
+	}
+}
+
+func TestBuiltinDefsParseAndCover(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := range Builtin {
+		d := &Builtin[i]
+		if seen[d.Name] {
+			t.Errorf("duplicate builtin %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Compiled() == nil {
+			t.Errorf("builtin %q not compiled", d.Name)
+		}
+		if Lookup(d.Name) != d {
+			t.Errorf("Lookup(%q) misses", d.Name)
+		}
+	}
+	if Lookup("no_such_metric") != nil {
+		t.Error("Lookup of unknown metric returned a def")
+	}
+}
+
+func sampleFrames() []Frame {
+	return []Frame{
+		{Seq: 0, Cycle: 100, TID: 1, Samples: []Sample{
+			{Name: "cycles", Value: 90, Enabled: 100, Running: 50},
+			{Name: "instructions", Value: 40, Enabled: 100, Running: 50},
+		}},
+		{Seq: 1, Cycle: 200, TID: 2, Samples: []Sample{
+			{Name: "cycles", Value: 180, Enabled: 190, Running: 190},
+		}},
+		{Seq: 2, Cycle: 300, TID: 1, Final: true, Samples: []Sample{
+			{Name: "cycles", Value: 280, Enabled: 290, Running: 150},
+			{Name: "instructions", Value: 120, Enabled: 290, Running: 150},
+		}},
+	}
+}
+
+// Golden determinism: render → parse → render must be byte-identical,
+// and the golden bytes themselves are pinned so any schema drift is a
+// conscious choice.
+func TestFrameJSONLGolden(t *testing.T) {
+	frames := sampleFrames()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"seq":0,"cycle":100,"tid":1,"samples":[{"name":"cycles","value":90,"enabled":100,"running":50},{"name":"instructions","value":40,"enabled":100,"running":50}]}
+{"seq":1,"cycle":200,"tid":2,"samples":[{"name":"cycles","value":180,"enabled":190,"running":190}]}
+{"seq":2,"cycle":300,"tid":1,"final":true,"samples":[{"name":"cycles","value":280,"enabled":290,"running":150},{"name":"instructions","value":120,"enabled":290,"running":150}]}
+`
+	if buf.String() != golden {
+		t.Errorf("JSONL render drifted from golden:\n got: %q\nwant: %q", buf.String(), golden)
+	}
+	parsed, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != golden {
+		t.Error("render→parse→render not byte-identical")
+	}
+}
+
+// Merge is canonical: any interleaving of shard streams produces the
+// same bytes.
+func TestFrameMergeDeterministic(t *testing.T) {
+	frames := sampleFrames()
+	a := []Frame{frames[0], frames[2]}
+	b := []Frame{frames[1]}
+	var m1, m2 bytes.Buffer
+	if err := WriteJSONL(&m1, Merge(a, b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&m2, Merge(b, a)); err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Errorf("merge order changed bytes:\n a+b: %q\n b+a: %q", m1.String(), m2.String())
+	}
+	merged := Merge(b, a)
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Cycle < merged[i-1].Cycle {
+			t.Error("merged frames not cycle-ordered")
+		}
+	}
+}
+
+// Totals: last frame per thread wins, threads sum.
+func TestTotals(t *testing.T) {
+	totals := Totals(sampleFrames())
+	if got := totals["cycles"]; got != 280+180 {
+		t.Errorf("cycles total %d, want %d", got, 280+180)
+	}
+	if got := totals["instructions"]; got != 120 {
+		t.Errorf("instructions total %d, want 120", got)
+	}
+	cpi := Lookup("cpi")
+	v, err := cpi.Compiled().Eval(Env(totals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(280+180) / 120; v != want {
+		t.Errorf("cpi over totals = %v, want %v", v, want)
+	}
+}

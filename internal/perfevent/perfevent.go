@@ -15,6 +15,7 @@ import (
 
 	"limitsim/internal/isa"
 	"limitsim/internal/kernel"
+	"limitsim/internal/mem"
 	"limitsim/internal/pmu"
 )
 
@@ -30,6 +31,9 @@ func UserSpec(ev pmu.Event) Spec { return Spec{Event: ev, CountUser: true} }
 
 // AllRingsSpec counts ev in both rings.
 func AllRingsSpec(ev pmu.Event) Spec { return Spec{Event: ev, CountUser: true, CountKernel: true} }
+
+// KernelSpec counts ev in the kernel ring only.
+func KernelSpec(ev pmu.Event) Spec { return Spec{Event: ev, CountKernel: true} }
 
 func (s Spec) flags() int64 {
 	f := int64(0)
@@ -81,6 +85,42 @@ func EmitClose(b *isa.Builder, fdReg isa.Reg) {
 	b.Syscall(kernel.SysPerfClose)
 }
 
+// GroupWord encodes one spec as a SysGroupOpen descriptor word: event
+// id in the low 32 bits, ring flags in the high 32.
+func GroupWord(s Spec) uint64 {
+	return uint64(s.Event) | uint64(s.flags())<<32
+}
+
+// GroupTable allocates and fills a SysGroupOpen descriptor table in
+// space at build time, returning its address. Build-time allocation
+// keeps the open sequence to three instructions.
+func GroupTable(space *mem.Space, specs []Spec) uint64 {
+	addr := space.AllocWords(uint64(len(specs)))
+	for i, s := range specs {
+		space.Write64(addr+uint64(i)*8, GroupWord(s))
+	}
+	return addr
+}
+
+// EmitGroupOpen emits the group-open syscall for a descriptor table of
+// n events at table; the group id lands in R0. Clobbers R0 and R1.
+func EmitGroupOpen(b *isa.Builder, table uint64, n int) {
+	b.MovImm(isa.R0, int64(table))
+	b.MovImm(isa.R1, int64(n))
+	b.Syscall(kernel.SysGroupOpen)
+}
+
+// EmitGroupRead emits the group-read syscall for event idx of group
+// gid; the scaled estimate lands in dst. Clobbers R0 and R1.
+func EmitGroupRead(b *isa.Builder, gid, idx int, dst isa.Reg) {
+	b.MovImm(isa.R0, int64(gid))
+	b.MovImm(isa.R1, int64(idx))
+	b.Syscall(kernel.SysGroupRead)
+	if dst != isa.R0 {
+		b.Mov(dst, isa.R0)
+	}
+}
+
 // FinalValue returns the final 64-bit value of thread t's perf counter
 // fd after the thread has exited (counters are virtualized into the
 // kernel accumulator at the final deschedule). Over-subscribed
@@ -102,7 +142,9 @@ func FinalValue(t *kernel.Thread, fd int) (uint64, error) {
 	if !tc.Multiplexed() {
 		return raw, nil
 	}
-	return uint64(float64(raw) * float64(tc.WindowCycles) / float64(tc.ActiveCycles)), nil
+	// 128-bit integer scaling: float64 drops low bits past 2^53 cycles,
+	// which long runs reach (see pmu.Scale's large-magnitude test).
+	return pmu.Scale(raw, tc.WindowCycles, tc.ActiveCycles), nil
 }
 
 // MustFinalValue is FinalValue but panics on error. It exists for

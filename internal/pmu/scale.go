@@ -1,0 +1,36 @@
+package pmu
+
+import "math/bits"
+
+// Scale returns v × num / den computed in 128-bit integer arithmetic
+// with round-to-nearest on the remainder — the multiplexing estimate
+// raw × time_enabled / time_running, never float. float64 has a 53-bit
+// mantissa, so the float spelling silently loses low bits once counts
+// cross 2^53; every scaled-estimate path in the tree routes through
+// here instead.
+//
+// den == 0 returns 0 (nothing ever ran: nothing measured). A quotient
+// that cannot fit 64 bits saturates to ^0 rather than panicking —
+// callers treat it like the error sentinel it collides with.
+func Scale(v, num, den uint64) uint64 {
+	if den == 0 {
+		return 0
+	}
+	if num == den || v == 0 {
+		return v
+	}
+	hi, lo := bits.Mul64(v, num)
+	if hi >= den {
+		return ^uint64(0)
+	}
+	q, r := bits.Div64(hi, lo, den)
+	// Round half away from zero: the truncated quotient gains one when
+	// the remainder is at least half the divisor.
+	if r >= den-r {
+		if q == ^uint64(0) {
+			return q
+		}
+		q++
+	}
+	return q
+}

@@ -1,0 +1,69 @@
+package pmu
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestScaleExactWhenNotMultiplexed(t *testing.T) {
+	for _, v := range []uint64{0, 1, 12345, 1 << 53, ^uint64(0)} {
+		if got := Scale(v, 1000, 1000); got != v {
+			t.Errorf("Scale(%d, eq, eq) = %d, want identity", v, got)
+		}
+	}
+}
+
+func TestScaleRounding(t *testing.T) {
+	cases := []struct {
+		v, num, den, want uint64
+	}{
+		{10, 3, 2, 15},
+		{10, 2, 3, 7}, // 6.67 rounds to 7
+		{1, 1, 2, 1},  // 0.5 rounds up (half away from zero)
+		{1, 1, 3, 0},  // 0.33 rounds down
+		{0, 5, 3, 0},
+		{7, 0, 3, 0},
+		{42, 9, 0, 0}, // never ran: nothing measured
+	}
+	for _, c := range cases {
+		if got := Scale(c.v, c.num, c.den); got != c.want {
+			t.Errorf("Scale(%d,%d,%d) = %d, want %d", c.v, c.num, c.den, got, c.want)
+		}
+	}
+}
+
+// TestScaleLargeMagnitude is the regression test for the float64
+// estimate path this helper replaced: above 2^53 the float mantissa
+// drops low bits, so the two spellings disagree and only the integer
+// one matches the 128-bit reference.
+func TestScaleLargeMagnitude(t *testing.T) {
+	cases := []struct {
+		v, num, den uint64
+	}{
+		{(1 << 53) + 1, (1 << 20) + 1, 1 << 20},
+		{(1 << 60) + 12345, 3_000_001, 3_000_000},
+		{^uint64(0) >> 2, 5, 4},
+		{123456789123456789, 987654321, 887654321},
+	}
+	for _, c := range cases {
+		hi, lo := bits.Mul64(c.v, c.num)
+		q, r := bits.Div64(hi, lo, c.den)
+		if r >= c.den-r {
+			q++
+		}
+		got := Scale(c.v, c.num, c.den)
+		if got != q {
+			t.Errorf("Scale(%d,%d,%d) = %d, want exact %d", c.v, c.num, c.den, got, q)
+		}
+		asFloat := uint64(float64(c.v) * float64(c.num) / float64(c.den))
+		if asFloat == q {
+			t.Errorf("case (%d,%d,%d) does not expose the float64 precision loss", c.v, c.num, c.den)
+		}
+	}
+}
+
+func TestScaleOverflowSaturates(t *testing.T) {
+	if got := Scale(^uint64(0), ^uint64(0), 2); got != ^uint64(0) {
+		t.Errorf("overflowing Scale = %d, want saturation to ^0", got)
+	}
+}

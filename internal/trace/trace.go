@@ -35,6 +35,9 @@ const (
 	VCpuPreempt
 	VCpuResume
 	VCpuMigrate
+	// MuxRotate records an event-group rotation window closing (arg is
+	// the new rotation cursor).
+	MuxRotate
 )
 
 // kindNames is indexed by Kind — the enum is dense, so a slice lookup
@@ -54,6 +57,7 @@ var kindNames = [...]string{
 	VCpuPreempt: "vcpu-preempt",
 	VCpuResume:  "vcpu-resume",
 	VCpuMigrate: "vcpu-migrate",
+	MuxRotate:   "mux-rotate",
 }
 
 func (k Kind) String() string {

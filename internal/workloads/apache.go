@@ -52,7 +52,7 @@ func BuildApache(cfg ApacheConfig, ins Instrumentation) *App {
 	space := mem.NewSpace()
 	b := isa.NewBuilder()
 	layout := &tls.Layout{}
-	r := newReader(b, layout, ins)
+	r := newReader(b, layout, space, ins)
 
 	recCap := cfg.RequestsPerWorker
 	lockRec := rec.At(layout.Reserve(rec.SizeWords(recCap, 2)), recCap, 2)

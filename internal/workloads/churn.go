@@ -7,6 +7,7 @@ import (
 	"limitsim/internal/kernel"
 	"limitsim/internal/limit"
 	"limitsim/internal/mem"
+	"limitsim/internal/perfevent"
 	"limitsim/internal/pmu"
 	"limitsim/internal/ref"
 	"limitsim/internal/tls"
@@ -57,6 +58,11 @@ type ChurnConfig struct {
 	// Tenants is how many independent manager+pool copies the program
 	// carries (default 1 — the classic single-tenant churn).
 	Tenants int
+	// MuxGroups opens one multiplexed event group per entry on each
+	// manager thread (workers never open groups: SysClone does not
+	// inherit them, matching perf semantics). Managers live the whole
+	// run, so their frame streams span every wave.
+	MuxGroups [][]perfevent.Spec
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -214,10 +220,15 @@ func buildChurnTenant(b *isa.Builder, w *Churn, m int, tableRef ref.Ref) {
 
 	// Manager: open counters (exact, or degrade via the policy), then
 	// run the wave loop either way — a degraded manager still serves.
+	// Event groups open after the fallback label so a degraded manager
+	// still carries them (they use leftover slots, never pinned ones).
 	w.Entries = append(w.Entries, b.PC())
 	w.Layout.EmitProlog(b)
 	e.EmitInit()
 	b.Label(lbl("mgr.run"))
+	for _, specs := range cfg.MuxGroups {
+		perfevent.EmitGroupOpen(b, perfevent.GroupTable(w.Space, specs), len(specs))
+	}
 	b.MovImm(isa.R8, 0) // wave
 	b.Label(lbl("mgr.wave"))
 	b.MovImm(isa.R10, int64(w.wave+uint64(m)*8))

@@ -56,8 +56,8 @@ func BuildFirefox(cfg FirefoxConfig, ins Instrumentation) *App {
 
 	// Each body gets its own reader (its own per-thread counter state),
 	// but buffers and totals share the layout.
-	rMain := newReader(b, layout, ins)
-	rHelp := newReader(b, layout, ins)
+	rMain := newReader(b, layout, space, ins)
+	rHelp := newReader(b, layout, space, ins)
 
 	mainCap := cfg.EventsPerThread
 	helpCap := cfg.EventsPerThread * cfg.MallocsPerTask

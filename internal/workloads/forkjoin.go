@@ -55,7 +55,7 @@ func BuildForkJoin(cfg ForkJoinConfig, ins Instrumentation) *App {
 	space := mem.NewSpace()
 	b := isa.NewBuilder()
 	layout := &tls.Layout{}
-	r := newReader(b, layout, ins)
+	r := newReader(b, layout, space, ins)
 
 	lockRec := rec.At(layout.Reserve(rec.SizeWords(cfg.Iterations, 2)), cfg.Iterations, 2)
 	barRec := rec.At(layout.Reserve(rec.SizeWords(cfg.Iterations, 1)), cfg.Iterations, 1)

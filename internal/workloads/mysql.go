@@ -96,7 +96,7 @@ func BuildMySQL(cfg MySQLConfig, ins Instrumentation) *App {
 	space := mem.NewSpace()
 	b := isa.NewBuilder()
 	layout := &tls.Layout{}
-	r := newReader(b, layout, ins)
+	r := newReader(b, layout, space, ins)
 
 	recCap := cfg.TxnsPerWorker * cfg.OpsPerTxn
 	lockRec := rec.At(layout.Reserve(rec.SizeWords(recCap, 2)), recCap, 2)

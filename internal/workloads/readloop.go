@@ -32,7 +32,7 @@ func BuildReadLoop(cfg ReadLoopConfig, ins Instrumentation) *App {
 	space := mem.NewSpace()
 	b := isa.NewBuilder()
 	layout := &tls.Layout{}
-	r := newReader(b, layout, ins)
+	r := newReader(b, layout, space, ins)
 
 	startRef := layout.Reserve(1)
 	totalRef := layout.Reserve(1)
@@ -103,7 +103,7 @@ func BuildMeasuredRegions(cfg RegionConfig, ins Instrumentation) *App {
 	space := mem.NewSpace()
 	b := isa.NewBuilder()
 	layout := &tls.Layout{}
-	r := newReader(b, layout, ins)
+	r := newReader(b, layout, space, ins)
 
 	buf := rec.At(layout.Reserve(rec.SizeWords(cfg.Iters, 1)), cfg.Iters, 1)
 	startRef := layout.Reserve(1)

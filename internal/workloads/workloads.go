@@ -64,11 +64,60 @@ type Instrumentation struct {
 	// nanoseconds. Per-operation (acq, cs) records are not collected in
 	// this mode.
 	Profile *profile.Spec
+	// MuxGroups opens one multiplexed event group per entry at body
+	// start, alongside whatever explicit instrumentation Kind selects.
+	// The groups rotate through leftover counter slots under the
+	// kernel's multiplexing scheduler and feed the per-rotation frame
+	// stream the derived-metric engine consumes; they never perturb the
+	// body itself (no reads are emitted — estimates are collected
+	// host-side from frames).
+	MuxGroups [][]perfevent.Spec
 }
 
 // LimitInstr is the default instrumentation for the case studies.
 func LimitInstr() Instrumentation {
 	return Instrumentation{Kind: probe.KindLimit, Mode: limit.ModeStock, MeasureRings: true}
+}
+
+// defaultMuxEvents is the flat event list DefaultMuxGroups chunks into
+// groups: the events the built-in derived metrics (metrics.Builtin)
+// read, ordered so narrow widths still pair each rate's numerator with
+// its denominator inside one group (atomically co-scheduled).
+var defaultMuxEvents = []perfevent.Spec{
+	perfevent.UserSpec(pmu.EvCycles),
+	perfevent.UserSpec(pmu.EvInstructions),
+	perfevent.UserSpec(pmu.EvBranches),
+	perfevent.UserSpec(pmu.EvBranchMiss),
+	perfevent.AllRingsSpec(pmu.EvCycles),
+	perfevent.KernelSpec(pmu.EvCycles),
+	perfevent.UserSpec(pmu.EvLoads),
+	perfevent.UserSpec(pmu.EvStores),
+	perfevent.UserSpec(pmu.EvL1DMiss),
+	perfevent.UserSpec(pmu.EvL2Miss),
+	perfevent.UserSpec(pmu.EvLLCMiss),
+	perfevent.UserSpec(pmu.EvDTLBMiss),
+	perfevent.UserSpec(pmu.EvDTLBWalk),
+	perfevent.UserSpec(pmu.EvAtomics),
+	perfevent.AllRingsSpec(pmu.EvSyscalls),
+	perfevent.AllRingsSpec(pmu.EvCtxSwitches),
+}
+
+// DefaultMuxGroups chunks the default metric event set into groups of
+// the given width (events per group). Narrower groups fit leftover
+// counters more easily but need more rotations to cover the set.
+func DefaultMuxGroups(width int) [][]perfevent.Spec {
+	if width <= 0 {
+		width = 4
+	}
+	var groups [][]perfevent.Spec
+	for i := 0; i < len(defaultMuxEvents); i += width {
+		end := i + width
+		if end > len(defaultMuxEvents) {
+			end = len(defaultMuxEvents)
+		}
+		groups = append(groups, defaultMuxEvents[i:end])
+	}
+	return groups
 }
 
 // ProfileInstr is region-attribution profiling instrumentation with
@@ -193,6 +242,15 @@ type reader struct {
 
 	// prof is the region-attribution instrumenter (Profile mode only).
 	prof *profile.Instrumenter
+
+	// muxTables holds one (table address, event count) pair per
+	// multiplexed group; the prolog opens them.
+	muxTables []muxTable
+}
+
+type muxTable struct {
+	addr uint64
+	n    int
 }
 
 // enterRegion/exitRegion annotate a profiled region boundary; no-ops
@@ -210,9 +268,17 @@ func (r *reader) exitRegion() {
 }
 
 // newReader reserves TLS state and constructs emitters. Must be
-// called while the layout is still open.
-func newReader(b *isa.Builder, layout *tls.Layout, ins Instrumentation) *reader {
+// called while the layout is still open. space backs the group tables
+// for MuxGroups instrumentation (the tables are read-only at open, so
+// every thread shares them).
+func newReader(b *isa.Builder, layout *tls.Layout, space *mem.Space, ins Instrumentation) *reader {
 	r := &reader{ins: ins}
+	for _, specs := range ins.MuxGroups {
+		r.muxTables = append(r.muxTables, muxTable{
+			addr: perfevent.GroupTable(space, specs),
+			n:    len(specs),
+		})
+	}
 	spec := limit.UserCounter(pmu.EvCycles)
 	if ins.CountKernelRing {
 		spec = limit.AllRingsCounter(pmu.EvCycles)
@@ -266,6 +332,9 @@ func newReader(b *isa.Builder, layout *tls.Layout, ins Instrumentation) *reader 
 
 // prolog emits per-thread setup at body entry (after the TLS prolog).
 func (r *reader) prolog(b *isa.Builder) {
+	for _, mt := range r.muxTables {
+		perfevent.EmitGroupOpen(b, mt.addr, mt.n)
+	}
 	switch r.ins.Kind {
 	case probe.KindLimit:
 		r.le.EmitInit()
