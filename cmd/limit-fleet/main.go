@@ -26,7 +26,10 @@
 // job accounted exactly once, merged counters conserved, and the
 // report byte-identical to the unsharded engine's.
 //
-// The campaign report goes to stdout (or -report FILE); the fleet
+// The campaign report goes to stdout (or -report FILE; a FILE ending
+// in .html writes the self-contained HTML artifact instead — the
+// assembled report plus merged telemetry, byte-identical at any shard
+// width because supervision stats stay out of it); the fleet
 // supervision summary goes to stderr. Exit status: 0 on a clean,
 // complete, audit-passing run (with the same verdict discipline as
 // limit-chaos for campaign/soak spaces); 1 on quarantined jobs, audit
@@ -38,12 +41,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"limitsim/internal/chaos"
 	"limitsim/internal/experiments"
 	"limitsim/internal/fleet"
 	"limitsim/internal/fleet/spaces"
+	"limitsim/internal/report"
+	"limitsim/internal/telemetry"
 )
 
 func main() {
@@ -98,8 +104,11 @@ func main() {
 		cfg.Chaos = fleet.KillStorm(*fleetSeed)
 	}
 
+	// -report FILE.html selects the self-contained HTML artifact; any
+	// other -report value (or none) keeps the plain text report.
+	html := *report != "" && strings.HasSuffix(*report, ".html")
 	out := io.Writer(os.Stdout)
-	if *report != "" {
+	if *report != "" && !html {
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "limit-fleet: %v\n", err)
@@ -127,7 +136,11 @@ func main() {
 		rep := runFleet(cfg, spec, spawn)
 		res, err := chaos.AssembleCampaign(ccfg, rep.Payloads)
 		check(err)
-		res.Render(out)
+		if html {
+			writeHTMLReport(*report, "campaign", len(rep.Payloads), res.Render, res.Telemetry)
+		} else {
+			res.Render(out)
+		}
 		campaignVerdict(res, *nofixup)
 	case "soak":
 		scfg := chaos.SoakConfig{
@@ -141,7 +154,11 @@ func main() {
 		rep := runFleet(cfg, spec, spawn)
 		res, err := chaos.AssembleSoak(scfg, rep.Payloads)
 		check(err)
-		res.Render(out)
+		if html {
+			writeHTMLReport(*report, "soak", len(rep.Payloads), res.Render, res.Telemetry)
+		} else {
+			res.Render(out)
+		}
 		soakVerdict(res, *nofixup || *ablateReclaim)
 	case "f2":
 		spec, err := spaces.F2Spec(experiments.Scale(*scale))
@@ -149,11 +166,41 @@ func main() {
 		rep := runFleet(cfg, spec, spawn)
 		res, err := experiments.AssembleF2Payloads(rep.Payloads)
 		check(err)
-		res.Render(out)
+		if html {
+			writeHTMLReport(*report, "f2", len(rep.Payloads), res.Render, nil)
+		} else {
+			res.Render(out)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "limit-fleet: unknown space %q (campaign, soak, f2)\n", *space)
 		os.Exit(2)
 	}
+}
+
+// writeHTMLReport renders the assembled result as one self-contained
+// HTML artifact: the byte-deterministic assembled report plus the
+// merged telemetry registry when the run carried one. Fleet
+// supervision stats are deliberately absent — they vary with worker
+// count and timing, and the artifact must be byte-identical at any
+// shard width (they still go to stderr via RenderSummary).
+func writeHTMLReport(path, space string, jobs int, render func(io.Writer), reg *telemetry.Registry) {
+	a := report.New(
+		fmt.Sprintf("limit-fleet %s report", space),
+		fmt.Sprintf("%d jobs merged with commutative rules — identical at any shard width", jobs))
+	var sb strings.Builder
+	render(&sb)
+	a.AddPre("Assembled report", sb.String())
+	if reg != nil {
+		a.AddRegistry("Merged telemetry", reg)
+	}
+	f, err := os.Create(path)
+	check(err)
+	werr := a.Render(f)
+	cerr := f.Close()
+	if werr != nil {
+		check(werr)
+	}
+	check(cerr)
 }
 
 // runWorker is the -worker entry point: serve frames over stdin/stdout

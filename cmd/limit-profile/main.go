@@ -13,7 +13,7 @@
 //	              [-events cycles,cycles:k,l1d-miss,branch-miss]
 //	              [-stride N | -budget 1.05]
 //	              [-top 10] [-format text|markdown|jsonl]
-//	              [-flame FILE] [-hist] [-metrics] [-parallel N]
+//	              [-flame FILE] [-html FILE] [-hist] [-metrics] [-parallel N]
 //
 // -events takes a comma-separated bundle; a ":k" suffix counts the
 // event across all rings (user+kernel) instead of user-only. The first
@@ -37,6 +37,7 @@ import (
 	"limitsim/internal/pmu"
 	"limitsim/internal/probe"
 	"limitsim/internal/profile"
+	"limitsim/internal/report"
 	"limitsim/internal/runner"
 	"limitsim/internal/telemetry"
 	"limitsim/internal/trace"
@@ -180,6 +181,7 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	top := fs.Int("top", 10, "rows in the ranked report")
 	format := fs.String("format", "text", "output format: text, markdown, jsonl")
 	flame := fs.String("flame", "", "write the self-time hierarchy as Chrome trace JSON to FILE")
+	htmlOut := fs.String("html", "", "write a self-contained HTML report (ranked table + flame) to FILE")
 	hist := fs.Bool("hist", false, "append per-region latency histograms (text format)")
 	metrics := fs.Bool("metrics", false, "append the profiler's telemetry registry (text format)")
 	parallel := fs.Int("parallel", 0, "worker count calibration arms fan out across (0 = GOMAXPROCS, 1 = serial); output is byte-identical at every width")
@@ -268,6 +270,26 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 		cerr := f.Close()
 		if werr != nil || cerr != nil {
 			fmt.Fprintf(stderr, "limit-profile: writing %s: %v%v\n", *flame, werr, cerr)
+			return 1
+		}
+	}
+
+	if *htmlOut != "" {
+		a := report.New(
+			fmt.Sprintf("Bottleneck profile: %s", prof.App),
+			fmt.Sprintf("stride %d, %d threads", prof.Spec.Stride, prof.Threads))
+		self := &profile.SelfCostRecord{SelfCycles: rep.Self.Pair(), PairVsBareRatio: rep.Self.Ratio()}
+		a.AddFindings("Ranked bottlenecks", rep.Records(), self)
+		a.AddFlame("Flame view", prof.FlameSpans())
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "limit-profile: %v\n", err)
+			return 1
+		}
+		werr := a.Render(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(stderr, "limit-profile: writing %s: %v%v\n", *htmlOut, werr, cerr)
 			return 1
 		}
 	}

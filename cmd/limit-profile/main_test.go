@@ -134,3 +134,44 @@ func TestHistAndMetricsRender(t *testing.T) {
 		}
 	}
 }
+
+// The -html artifact is byte-deterministic: across repeated runs, and
+// across calibration fan-out widths (the runner must keep parallelism
+// invisible all the way into the report bytes).
+func TestHTMLReportDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	render := func(name string, extra ...string) string {
+		path := filepath.Join(dir, name)
+		args := append(append([]string{}, profileArgs...), "-html", path)
+		run(t, append(args, extra...)...)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a := render("a.html")
+	b := render("b.html")
+	if a != b {
+		t.Error("two same-seed HTML reports differ")
+	}
+	if !strings.HasPrefix(a, "<!DOCTYPE html>") {
+		t.Error("missing doctype")
+	}
+	for _, want := range []string{"Ranked bottlenecks", "Flame view", "<svg", "profiler self-cost"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("HTML report lacks %q", want)
+		}
+	}
+	for _, banned := range []string{"http://", "https://", "<script"} {
+		if strings.Contains(a, banned) {
+			t.Errorf("HTML report contains %q — not self-contained", banned)
+		}
+	}
+
+	serial := render("serial.html", "-budget", "1.10", "-parallel", "1")
+	wide := render("wide.html", "-budget", "1.10", "-parallel", "8")
+	if serial != wide {
+		t.Error("calibration fan-out width changed the HTML report bytes")
+	}
+}

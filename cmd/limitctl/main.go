@@ -15,7 +15,10 @@
 //	limitctl stats [-app ...] [-format text|jsonl]
 //	limitctl merge [-format text|jsonl] <file.jsonl> <file.jsonl> [...]
 //	limitctl metrics [-app ...] [-rotation N] [-width N] [-metric cpi,ipc,...]
-//	         [-format text|frames]
+//	         [-tenants N] [-series -window N [-split none|tenant|thread]]
+//	         [-format text|frames|jsonl]
+//	limitctl report [-o out.html] [-profile f.jsonl] [-series f.jsonl]
+//	         [-frames f.jsonl -window N] [-telemetry a.jsonl,b.jsonl] [-flame f.json]
 //
 // Bare "limitctl" (or -h) prints the help with the subcommand index
 // and exits 0. -list/list prints the available event/counter
@@ -30,10 +33,15 @@
 // merge; schema drift between files exits 1 naming the metric. The
 // metrics subcommand runs a workload with the full derived-metric
 // event set opened as multiplexed groups and reports derived metrics
-// over the scaled estimates — or the raw per-rotation frame stream as
-// JSONL with -format frames. Unknown subcommands, unknown -format
-// values, unknown -metric names, and merge with no input files exit 2
-// with usage.
+// over the scaled estimates — the raw per-rotation frame stream as
+// JSONL with -format frames (tenant-stamped when -tenants is active),
+// or a windowed time series with -series -window N. The report
+// subcommand assembles one self-contained HTML artifact from
+// measurement files on disk (profiler findings, windowed series,
+// telemetry registries, flame spans) without running a simulation.
+// Unknown subcommands, unknown -format values, unknown -metric names,
+// a non-positive -window, merge with no input files, and report with
+// no inputs exit 2 with usage.
 package main
 
 import (
@@ -163,7 +171,8 @@ var subcommands = []struct {
 	{"trace", "run with the kernel tracer attached; -format text|chrome|jsonl", runTrace},
 	{"stats", "run with the telemetry layer attached; -format text|jsonl", runStats},
 	{"merge", "fold telemetry JSONL files into one registry; drift between files is an error", runMerge},
-	{"metrics", "run with multiplexed event groups and report derived metrics; -format text|frames", runMetrics},
+	{"metrics", "run with multiplexed event groups and report derived metrics; -series -window N for time series; -format text|frames|jsonl", runMetrics},
+	{"report", "assemble a self-contained HTML artifact from measurement files on disk", runReport},
 }
 
 // usage writes the flag help plus the subcommand index.

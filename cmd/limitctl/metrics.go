@@ -17,10 +17,16 @@ import (
 
 // runMetrics runs one workload with the full derived-metric event set
 // opened as multiplexed groups alongside the LiMiT instrumentation,
-// then either renders derived metrics over the end-of-run totals
-// (-format text) or streams the raw per-rotation frames as JSONL
-// (-format frames). Unknown metric names are rejected before any
-// simulation runs. Returns the process exit code.
+// then renders derived metrics over the end-of-run totals (-format
+// text), streams the raw per-rotation frames as JSONL (-format
+// frames), or — with -series -window N — evaluates every selected
+// metric per fixed cycle window as a time series (text table or, with
+// -format jsonl, one window×key object per line). -tenants N > 1
+// activates the guest-scheduler layer, deals workload threads
+// round-robin across guests, and stamps every frame with its tenant
+// id; -split tenant|thread keys the series per guest or per worker
+// thread. Unknown metric names and a non-positive -window are rejected
+// before any simulation runs. Returns the process exit code.
 func runMetrics(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("limitctl metrics", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -30,8 +36,12 @@ func runMetrics(args []string, stdout, stderr io.Writer) int {
 	rotation := fs.Uint64("rotation", 0, "group rotation quantum in scheduled cycles (0 = kernel default, quantum/6)")
 	width := fs.Int("width", 4, "events per multiplexed group")
 	counters := fs.Int("counters", 6, "PMU counter slots (2 are pinned by LiMiT; the rest rotate groups)")
+	tenants := fs.Int("tenants", 1, "guest VMs; >1 activates the tenant layer and deals threads round-robin")
 	metricList := fs.String("metric", "", "comma-separated derived metrics to report (default: all built-ins)")
-	format := fs.String("format", "text", "output format: text, frames")
+	series := fs.Bool("series", false, "evaluate metrics per fixed cycle window instead of end-of-run totals")
+	window := fs.Int64("window", 0, "series window size in cycles (required with -series, must be positive)")
+	splitName := fs.String("split", "none", "series split: none, tenant, thread")
+	format := fs.String("format", "text", "output format: text, frames, jsonl (jsonl requires -series)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,10 +50,41 @@ func runMetrics(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	switch *format {
-	case "text", "frames":
+	case "text", "frames", "jsonl":
 	default:
-		fmt.Fprintf(stderr, "limitctl metrics: unknown -format %q (text, frames)\n", *format)
+		fmt.Fprintf(stderr, "limitctl metrics: unknown -format %q (text, frames, jsonl)\n", *format)
 		fs.Usage()
+		return 2
+	}
+
+	// Series-mode validation before anything runs: -window > 0 selects
+	// the windowed series (with or without the -series spelling), and a
+	// non-positive -window with -series is a usage error, never a
+	// silent fallback to totals.
+	seriesMode := *series || *window > 0
+	if seriesMode && *window <= 0 {
+		fmt.Fprintf(stderr, "limitctl metrics: -window must be positive (got %d)\n", *window)
+		fs.Usage()
+		return 2
+	}
+	if *window < 0 {
+		fmt.Fprintf(stderr, "limitctl metrics: -window must be positive (got %d)\n", *window)
+		fs.Usage()
+		return 2
+	}
+	split, ok := metrics.ParseSplit(*splitName)
+	if !ok {
+		fmt.Fprintf(stderr, "limitctl metrics: unknown -split %q (none, tenant, thread)\n", *splitName)
+		fs.Usage()
+		return 2
+	}
+	if *format == "jsonl" && !seriesMode {
+		fmt.Fprintln(stderr, "limitctl metrics: -format jsonl requires -series -window N")
+		fs.Usage()
+		return 2
+	}
+	if *tenants < 1 {
+		fmt.Fprintf(stderr, "limitctl metrics: -tenants must be >= 1 (got %d)\n", *tenants)
 		return 2
 	}
 
@@ -88,8 +129,14 @@ func runMetrics(args []string, stdout, stderr io.Writer) int {
 	f.NumCounters = *counters
 	kcfg := kernel.DefaultConfig()
 	kcfg.MuxQuantum = *rotation
-	m := machine.New(machine.Config{NumCores: *cores, PMU: f, Kernel: kcfg})
-	app.Launch(m)
+	kcfg.Tenants = *tenants
+	m := machine.New(machine.Config{NumCores: *cores, PMU: f, Kernel: kcfg, Uncore: *tenants > 1})
+	threads := app.Launch(m)
+	if *tenants > 1 {
+		for i, t := range threads {
+			t.Tenant = i % *tenants // deal threads round-robin across guests
+		}
+	}
 	res := m.Run(machine.RunLimits{})
 	if len(res.Faults) > 0 {
 		fmt.Fprintf(stderr, "limitctl metrics: faults: %v\n", res.Faults)
@@ -102,6 +149,28 @@ func runMetrics(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "limitctl metrics: %v\n", err)
 			return 1
 		}
+		return 0
+	}
+
+	if seriesMode {
+		ss, err := metrics.Windowed(frames, uint64(*window), split)
+		if err != nil {
+			fmt.Fprintf(stderr, "limitctl metrics: %v\n", err)
+			return 1
+		}
+		rows := ss.Rows(defs)
+		if *format == "jsonl" {
+			if err := metrics.WriteSeriesJSONL(stdout, rows); err != nil {
+				fmt.Fprintf(stderr, "limitctl metrics: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintf(stdout, "%s on %d cores: %s\n", app.Name, *cores, res)
+		fmt.Fprintf(stdout, "%d frames, %d rotations, rotation quantum %d cycles\n\n",
+			len(frames), m.Kern.Stats.MuxRotations, m.Kern.Config().MuxQuantum)
+		title := fmt.Sprintf("Windowed metrics (window=%d cycles, split=%s)", *window, split)
+		metrics.RenderSeriesText(stdout, title, rows)
 		return 0
 	}
 

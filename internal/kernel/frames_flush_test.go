@@ -1,0 +1,162 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"limitsim/internal/invariant"
+	"limitsim/internal/isa"
+	"limitsim/internal/kernel"
+	"limitsim/internal/machine"
+	"limitsim/internal/mem"
+	"limitsim/internal/perfevent"
+	"limitsim/internal/pmu"
+)
+
+// closeProg opens one group, busy-loops long enough for rotations to
+// fire, closes the group, then runs a tail far shorter than the mux
+// quantum before halting — so the only frames after the close syscall
+// are the close snapshot itself and the reap-time final.
+func closeProg(space *mem.Space, iters, tail int64) *isa.Program {
+	b := isa.NewBuilder()
+	table := perfevent.GroupTable(space, []perfevent.Spec{
+		perfevent.UserSpec(pmu.EvCycles), perfevent.UserSpec(pmu.EvInstructions)})
+	perfevent.EmitGroupOpen(b, table, 2)
+	b.MovImm(isa.R1, iters)
+	b.MovImm(isa.R2, 0)
+	b.Label("loop")
+	b.AddImm(isa.R1, isa.R1, -1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "loop")
+	b.MovImm(isa.R0, 0) // gid 0
+	b.Syscall(kernel.SysGroupClose)
+	b.MovImm(isa.R1, tail)
+	b.Label("tail")
+	b.AddImm(isa.R1, isa.R1, -1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "tail")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// tidFrames filters the kernel frame log to one thread.
+func tidFrames(k *kernel.Kernel, tid int) []kernel.Frame {
+	var out []kernel.Frame
+	for _, f := range k.Frames() {
+		if f.TID == tid {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Closing a group snapshots it immediately: the frame stream must
+// carry a non-final frame at the close instant whose samples already
+// equal the frozen end state the final reap frame reports — without
+// it, a mid-run close would smear the group's last counts into
+// whichever window the next rotation lands in.
+func TestGroupCloseEmitsFrame(t *testing.T) {
+	m := newMachine(1)
+	space := mem.NewSpace()
+	proc := m.Kern.NewProcess(closeProg(space, 200_000, 100), space)
+	th := m.Kern.Spawn(proc, "w", 0, 1)
+	run(t, m)
+
+	g := th.Groups()[0]
+	if !g.Closed {
+		t.Fatal("group not closed")
+	}
+	frames := tidFrames(m.Kern, th.ID)
+	if len(frames) < 3 {
+		t.Fatalf("got %d frames, want rotations + close + final", len(frames))
+	}
+	final := frames[len(frames)-1]
+	if !final.Final {
+		t.Fatal("last frame not final")
+	}
+	closeFrame := frames[len(frames)-2]
+	if closeFrame.Final {
+		t.Fatal("no distinct close-instant frame before the final")
+	}
+	if len(closeFrame.Samples) != len(final.Samples) {
+		t.Fatalf("close frame %d samples, final %d", len(closeFrame.Samples), len(final.Samples))
+	}
+	for i, s := range closeFrame.Samples {
+		if s != final.Samples[i] {
+			t.Errorf("sample %d changed after close: close %+v, final %+v", i, s, final.Samples[i])
+		}
+		if s.Enabled != g.EnabledCycles || s.Estimate != g.Estimate(i) {
+			t.Errorf("close frame sample %d %+v disagrees with frozen group state", i, s)
+		}
+	}
+	if closeFrame.Cycle > final.Cycle {
+		t.Errorf("close frame cycle %d after final %d", closeFrame.Cycle, final.Cycle)
+	}
+
+	chk := invariant.New(nil)
+	chk.CheckGroups(m.Kern)
+	for _, v := range chk.Violations() {
+		t.Errorf("violation: %v", v)
+	}
+}
+
+// spinProg opens one group and loops forever — the run only ends when
+// a limit truncates it.
+func spinProg(space *mem.Space) *isa.Program {
+	b := isa.NewBuilder()
+	table := perfevent.GroupTable(space, []perfevent.Spec{
+		perfevent.UserSpec(pmu.EvCycles), perfevent.UserSpec(pmu.EvInstructions)})
+	perfevent.EmitGroupOpen(b, table, 2)
+	b.MovImm(isa.R1, 1)
+	b.MovImm(isa.R2, 0)
+	b.Label("loop")
+	b.Br(isa.CondNE, isa.R1, isa.R2, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// A run truncated by a cycle limit must still end every live thread's
+// frame stream with a final frame carrying its complete cumulative
+// state — FlushFrames' contract. Two spinners on one core exercise
+// both flush paths: the running thread (own core clock) and the
+// descheduled one (stamped at the most advanced clock so per-thread
+// frame cycles stay non-decreasing).
+func TestFlushFramesOnTruncatedRun(t *testing.T) {
+	m := newMachine(1)
+	space := mem.NewSpace()
+	proc := m.Kern.NewProcess(spinProg(space), space)
+	a := m.Kern.Spawn(proc, "a", 0, 1)
+	bth := m.Kern.Spawn(proc, "b", 0, 1)
+	res := m.Run(machine.RunLimits{MaxCycles: 900_000})
+	if res.AllDone {
+		t.Fatal("spinners finished; the truncation did not truncate")
+	}
+	if len(res.Faults) > 0 {
+		t.Fatalf("faults: %v", res.Faults)
+	}
+
+	for _, th := range []*kernel.Thread{a, bth} {
+		frames := tidFrames(m.Kern, th.ID)
+		if len(frames) == 0 {
+			t.Fatalf("thread %d left no frames", th.ID)
+		}
+		final := frames[len(frames)-1]
+		if !final.Final {
+			t.Errorf("thread %d stream does not end in a final frame", th.ID)
+		}
+		g := th.Groups()[0]
+		for i, s := range final.Samples {
+			if s.Estimate != g.Estimate(i) || s.Enabled != g.EnabledCycles || s.Running != g.RunningCycles {
+				t.Errorf("thread %d final sample %d %+v disagrees with live group state", th.ID, i, s)
+			}
+		}
+		for i := 1; i < len(frames); i++ {
+			if frames[i].Cycle < frames[i-1].Cycle {
+				t.Errorf("thread %d frame cycles regress: %d after %d", th.ID, frames[i].Cycle, frames[i-1].Cycle)
+			}
+		}
+	}
+
+	chk := invariant.New(nil)
+	chk.CheckGroups(m.Kern)
+	for _, v := range chk.Violations() {
+		t.Errorf("violation: %v", v)
+	}
+}

@@ -97,14 +97,19 @@ type FrameSample struct {
 }
 
 // Frame is one snapshot of a thread's event groups, emitted at every
-// rotation and once (Final) when the thread is reaped. Seq is the
-// kernel-wide emission order; frames are deterministic by construction
-// because the simulation is.
+// rotation, at each group close, and once (Final) when the thread is
+// reaped or the run ends (FlushFrames) — so the stream always ends
+// with each thread's complete cumulative state and windowed consumers
+// never lose a partial tail. Seq is the kernel-wide emission order;
+// frames are deterministic by construction because the simulation is.
+// Tenant is the owning guest VM when the tenant layer is active
+// (Config.Tenants > 1), else 0.
 type Frame struct {
 	Seq     uint64
 	Cycle   uint64
 	Core    int
 	TID     int
+	Tenant  int
 	Final   bool
 	Samples []FrameSample
 }
@@ -394,11 +399,12 @@ func (k *Kernel) emitFrame(coreID int, t *Thread, final bool) {
 		return
 	}
 	f := Frame{
-		Seq:   k.frameSeq,
-		Cycle: k.cores[coreID].Now,
-		Core:  coreID,
-		TID:   t.ID,
-		Final: final,
+		Seq:    k.frameSeq,
+		Cycle:  k.cores[coreID].Now,
+		Core:   coreID,
+		TID:    t.ID,
+		Tenant: t.Tenant,
+		Final:  final,
 	}
 	k.frameSeq++
 	for gi, g := range t.groups {
@@ -517,5 +523,44 @@ func (k *Kernel) groupClose(coreID int, t *Thread, gid uint64) uint64 {
 	}
 	g.Closed = true
 	g.CloseSchedMark = t.Stats.SchedCycles
+	// Snapshot the frozen group (and its siblings) at the close
+	// instant: without this a group closed mid-run would only be seen
+	// by windowed consumers at the next rotation, silently shifting its
+	// final counts into a later window.
+	k.emitFrame(coreID, t, false)
 	return 0
+}
+
+// FlushFrames emits one final frame for every live group-holding
+// thread, so a run truncated by a cycle or step limit still ends its
+// frame stream with each thread's complete cumulative state (reap does
+// the same for threads that exit; all-done runs make this a no-op).
+// Running threads close their current span first, at their own core
+// clock; descheduled threads closed theirs on deschedule and are
+// stamped with the most advanced core clock, which keeps per-thread
+// frame cycles non-decreasing. The machine calls this exactly once at
+// the end of Run.
+func (k *Kernel) FlushFrames() {
+	latest := 0
+	for coreID, t := range k.cur {
+		if t != nil && len(t.groups) != 0 {
+			k.spanClose(k.cores[coreID], t)
+		}
+		if k.cores[coreID].Now > k.cores[latest].Now {
+			latest = coreID
+		}
+	}
+	for _, t := range k.threads {
+		if t.State == StateDone || len(t.groups) == 0 {
+			continue
+		}
+		coreID := latest
+		for cid, cur := range k.cur {
+			if cur == t {
+				coreID = cid
+				break
+			}
+		}
+		k.emitFrame(coreID, t, true)
+	}
 }

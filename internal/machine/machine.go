@@ -225,6 +225,11 @@ func (m *Machine) Run(limits RunLimits) RunResult {
 		}
 	}
 
+	// Flush a final frame for any live group-holding thread so a run
+	// truncated by a limit (or deadlocked) still ends its frame stream
+	// with complete cumulative state; a no-op when every thread exited.
+	m.Kern.FlushFrames()
+
 	for _, c := range m.Cores {
 		if c.Now > res.Cycles {
 			res.Cycles = c.Now

@@ -2,12 +2,15 @@ package metrics
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"limitsim/internal/kernel"
+	"limitsim/internal/telemetry"
 )
 
 // Sample is one event's cumulative state within a frame. Name is the
@@ -23,13 +26,26 @@ type Sample struct {
 
 // Frame is one snapshot of a thread's event groups. The JSON field
 // order is fixed by this struct, so a rendered frame stream is
-// byte-deterministic given a deterministic simulation.
+// byte-deterministic given a deterministic simulation. Tenant is the
+// owning guest VM, carried only when the tenant layer was active for
+// the run (nil otherwise, and omitted from JSON — single-tenant
+// streams keep their historical byte shape).
 type Frame struct {
 	Seq     uint64   `json:"seq"`
 	Cycle   uint64   `json:"cycle"`
 	TID     int      `json:"tid"`
+	Tenant  *int     `json:"tenant,omitempty"`
 	Final   bool     `json:"final,omitempty"`
 	Samples []Sample `json:"samples"`
+}
+
+// TenantID returns the frame's tenant, defaulting to 0 for
+// single-tenant streams.
+func (f *Frame) TenantID() int {
+	if f.Tenant == nil {
+		return 0
+	}
+	return *f.Tenant
 }
 
 // SampleName renders a kernel group event as a sample/expression name.
@@ -45,12 +61,18 @@ func SampleName(ge kernel.GroupEvent) string {
 }
 
 // FromKernel converts the kernel's frame log into the metric engine's
-// frame form.
+// frame form. Tenant ids ride along only when the run's tenant layer
+// was active (Config.Tenants > 1).
 func FromKernel(k *kernel.Kernel) []Frame {
 	kf := k.Frames()
+	tenants := k.Config().Tenants > 1
 	out := make([]Frame, len(kf))
 	for i, f := range kf {
 		nf := Frame{Seq: f.Seq, Cycle: f.Cycle, TID: f.TID, Final: f.Final}
+		if tenants {
+			tenant := f.Tenant
+			nf.Tenant = &tenant
+		}
 		nf.Samples = make([]Sample, len(f.Samples))
 		for j, s := range f.Samples {
 			nf.Samples[j] = Sample{
@@ -78,7 +100,42 @@ func WriteJSONL(w io.Writer, frames []Frame) error {
 	return bw.Flush()
 }
 
-// ParseJSONL reads a frame stream written by WriteJSONL.
+// jsonlFrame and jsonlSample are the strict parse shapes for one
+// WriteJSONL line. Pointer fields distinguish absent from zero so
+// required-field checks can name what is missing.
+type jsonlFrame struct {
+	Seq     *uint64       `json:"seq"`
+	Cycle   *uint64       `json:"cycle"`
+	TID     *int          `json:"tid"`
+	Tenant  *int          `json:"tenant"`
+	Final   *bool         `json:"final"`
+	Samples []jsonlSample `json:"samples"`
+}
+
+type jsonlSample struct {
+	Name    *string `json:"name"`
+	Value   *uint64 `json:"value"`
+	Enabled *uint64 `json:"enabled"`
+	Running *uint64 `json:"running"`
+}
+
+// frameDrift builds the typed schema-drift error for a frame stream:
+// the same *telemetry.SchemaError the registry merge raises, so fleet
+// and report consumers distinguish drift (a versioning bug) from
+// ordinary I/O failures with one errors.As.
+func frameDrift(line int, detail string) error {
+	return &telemetry.SchemaError{
+		Kind:   "frame",
+		Name:   fmt.Sprintf("line %d", line),
+		Detail: detail,
+	}
+}
+
+// ParseJSONL reads a frame stream written by WriteJSONL. Parsing is
+// strict: an unknown field or a missing required field is schema drift
+// and fails with a *telemetry.SchemaError naming the line; malformed
+// JSON fails with an ordinary error. Nothing is silently skipped or
+// defaulted.
 func ParseJSONL(r io.Reader) ([]Frame, error) {
 	var out []Frame
 	sc := bufio.NewScanner(r)
@@ -89,9 +146,42 @@ func ParseJSONL(r io.Reader) ([]Frame, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var f Frame
-		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+		dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		dec.DisallowUnknownFields()
+		var jf jsonlFrame
+		if err := dec.Decode(&jf); err != nil {
+			if strings.Contains(err.Error(), "unknown field") {
+				return nil, frameDrift(line, err.Error())
+			}
 			return nil, fmt.Errorf("metrics: frames line %d: %w", line, err)
+		}
+		switch {
+		case jf.Seq == nil:
+			return nil, frameDrift(line, "missing field \"seq\"")
+		case jf.Cycle == nil:
+			return nil, frameDrift(line, "missing field \"cycle\"")
+		case jf.TID == nil:
+			return nil, frameDrift(line, "missing field \"tid\"")
+		case jf.Samples == nil:
+			return nil, frameDrift(line, "missing field \"samples\"")
+		}
+		f := Frame{Seq: *jf.Seq, Cycle: *jf.Cycle, TID: *jf.TID, Tenant: jf.Tenant}
+		if jf.Final != nil {
+			f.Final = *jf.Final
+		}
+		f.Samples = make([]Sample, len(jf.Samples))
+		for i, js := range jf.Samples {
+			switch {
+			case js.Name == nil:
+				return nil, frameDrift(line, fmt.Sprintf("sample %d: missing field \"name\"", i))
+			case js.Value == nil:
+				return nil, frameDrift(line, fmt.Sprintf("sample %d: missing field \"value\"", i))
+			case js.Enabled == nil:
+				return nil, frameDrift(line, fmt.Sprintf("sample %d: missing field \"enabled\"", i))
+			case js.Running == nil:
+				return nil, frameDrift(line, fmt.Sprintf("sample %d: missing field \"running\"", i))
+			}
+			f.Samples[i] = Sample{Name: *js.Name, Value: *js.Value, Enabled: *js.Enabled, Running: *js.Running}
 		}
 		out = append(out, f)
 	}

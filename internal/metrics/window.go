@@ -1,0 +1,355 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"limitsim/internal/tabwrite"
+)
+
+// Windowed metric evaluation: slice a per-rotation frame stream into
+// fixed cycle windows and evaluate catalogue expressions per window —
+// the time-series view of the same counters Totals folds into one
+// number. Window w covers machine cycles [w*W, (w+1)*W); a frame at
+// cycle c lands in window c/W. Samples are cumulative, so a window's
+// contribution is the per-thread delta between consecutive frames,
+// kept *signed*: scaled estimates are documented as non-monotonic
+// (the enabled/running ratio moves), so individual deltas may dip
+// below zero while the telescoped sum over all windows still equals
+// the end-of-run total exactly — the reconciliation guarantee the
+// regression tests pin.
+//
+// Determinism rules, fixed here so every renderer inherits them:
+//
+//   - The tail window is Partial when the stream's last frame lands
+//     before the window's nominal end (the run ended inside it).
+//   - An event that never ran in a window contributes a delta of 0;
+//     a metric whose inputs are all zero (or that references events
+//     absent from the stream) evaluates to 0, never NaN/Inf — the
+//     expression engine's division policy.
+//   - Split keys and event names render in sorted order; windows in
+//     index order. Same frames, same bytes.
+
+// Split selects how a windowed series is keyed: one aggregate series,
+// one per tenant, or one per thread (the per-worker view — workload
+// threads are the simulated workers).
+type Split int
+
+// Split values.
+const (
+	SplitNone Split = iota
+	SplitTenant
+	SplitThread
+)
+
+// ParseSplit resolves a -split flag value.
+func ParseSplit(s string) (Split, bool) {
+	switch s {
+	case "", "none":
+		return SplitNone, true
+	case "tenant":
+		return SplitTenant, true
+	case "thread", "worker":
+		return SplitThread, true
+	}
+	return SplitNone, false
+}
+
+func (s Split) String() string {
+	switch s {
+	case SplitTenant:
+		return "tenant"
+	case SplitThread:
+		return "thread"
+	default:
+		return "none"
+	}
+}
+
+// keyLabel renders one split key. SplitNone uses "all" so a JSONL row
+// is self-describing without the split context.
+func (s Split) keyLabel(id int) string {
+	switch s {
+	case SplitTenant:
+		return fmt.Sprintf("tenant%d", id)
+	case SplitThread:
+		return fmt.Sprintf("tid%d", id)
+	default:
+		return "all"
+	}
+}
+
+// WindowSpan is one fixed cycle window of a series.
+type WindowSpan struct {
+	Index      int
+	Start, End uint64 // nominal bounds [Start, End)
+	// Partial marks the tail window the frame stream ended inside.
+	Partial bool
+}
+
+// SeriesSet is the windowed view of a frame stream: per split key and
+// window, the signed per-event deltas every metric evaluates over.
+type SeriesSet struct {
+	WindowCycles uint64
+	Split        Split
+	Windows      []WindowSpan
+	// Keys are the split key ids in ascending order (a single 0 for
+	// SplitNone).
+	Keys []int
+	// Names is the sorted union of sample names seen in the stream.
+	Names []string
+	// deltas[key][window][name]; absent names mean 0.
+	deltas map[int][]map[string]int64
+}
+
+// Windowed slices frames into fixed windows of window cycles. The
+// frames may come straight from FromKernel or from merged shards; they
+// are canonicalized with Merge first, so any input order yields the
+// same set.
+func Windowed(frames []Frame, window uint64, split Split) (*SeriesSet, error) {
+	if window == 0 {
+		return nil, fmt.Errorf("metrics: window must be positive")
+	}
+	frames = Merge(frames)
+	ss := &SeriesSet{
+		WindowCycles: window,
+		Split:        split,
+		deltas:       make(map[int][]map[string]int64),
+	}
+	if len(frames) == 0 {
+		return ss, nil
+	}
+
+	var maxCycle uint64
+	for i := range frames {
+		if frames[i].Cycle > maxCycle {
+			maxCycle = frames[i].Cycle
+		}
+	}
+	numWin := int(maxCycle/window) + 1
+	ss.Windows = make([]WindowSpan, numWin)
+	for w := range ss.Windows {
+		ss.Windows[w] = WindowSpan{
+			Index: w,
+			Start: uint64(w) * window,
+			End:   uint64(w+1) * window,
+		}
+	}
+	last := &ss.Windows[numWin-1]
+	last.Partial = maxCycle+1 < last.End
+
+	// Per-thread cumulative tracking mirrors Totals exactly: samples
+	// are cumulative, the first sample of a duplicated name wins
+	// within a frame (overlapping groups would double count), and the
+	// telescoped deltas of a thread sum to its last frame's values.
+	cum := make(map[int]map[string]uint64)
+	nameSet := make(map[string]bool)
+	for i := range frames {
+		f := &frames[i]
+		key := 0
+		switch split {
+		case SplitTenant:
+			key = f.TenantID()
+		case SplitThread:
+			key = f.TID
+		}
+		wins, ok := ss.deltas[key]
+		if !ok {
+			wins = make([]map[string]int64, numWin)
+			ss.deltas[key] = wins
+			ss.Keys = append(ss.Keys, key)
+		}
+		w := int(f.Cycle / window)
+		if wins[w] == nil {
+			wins[w] = make(map[string]int64)
+		}
+		prev := cum[f.TID]
+		if prev == nil {
+			prev = make(map[string]uint64)
+			cum[f.TID] = prev
+		}
+		seen := make(map[string]bool, len(f.Samples))
+		for _, s := range f.Samples {
+			if seen[s.Name] {
+				continue
+			}
+			seen[s.Name] = true
+			nameSet[s.Name] = true
+			wins[w][s.Name] += int64(s.Value) - int64(prev[s.Name])
+			prev[s.Name] = s.Value
+		}
+	}
+	sort.Ints(ss.Keys)
+	ss.Names = make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		ss.Names = append(ss.Names, name)
+	}
+	sort.Strings(ss.Names)
+	return ss, nil
+}
+
+// Delta returns one key's signed per-event deltas for window w (nil
+// for a window in which the key never ran).
+func (ss *SeriesSet) Delta(key, w int) map[string]int64 {
+	wins, ok := ss.deltas[key]
+	if !ok || w < 0 || w >= len(wins) {
+		return nil
+	}
+	return wins[w]
+}
+
+// WindowRow is one (window, key) evaluation: the signed event deltas
+// and the derived metric values. It is the JSONL line shape and the
+// parse result of ParseSeriesJSONL.
+type WindowRow struct {
+	Window  int                `json:"window"`
+	Start   uint64             `json:"start"`
+	End     uint64             `json:"end"`
+	Partial bool               `json:"partial"`
+	Key     string             `json:"key"`
+	Inputs  map[string]int64   `json:"inputs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Rows evaluates the chosen metric definitions per window per key,
+// window-major then key order. A metric referencing events absent from
+// the stream evaluates to 0 in every window (deterministic, mirroring
+// the never-ran rule); negative input deltas are clamped to 0 for
+// evaluation only (a scaled estimate briefly revising downward is not
+// a negative event rate) while Inputs keeps the exact signed values
+// the reconciliation guarantee sums.
+func (ss *SeriesSet) Rows(defs []*Def) []WindowRow {
+	rows := make([]WindowRow, 0, len(ss.Windows)*len(ss.Keys))
+	for _, win := range ss.Windows {
+		for _, key := range ss.Keys {
+			deltas := ss.Delta(key, win.Index)
+			row := WindowRow{
+				Window:  win.Index,
+				Start:   win.Start,
+				End:     win.End,
+				Partial: win.Partial,
+				Key:     ss.Split.keyLabel(key),
+				Inputs:  make(map[string]int64, len(ss.Names)),
+				Metrics: make(map[string]float64, len(defs)),
+			}
+			env := make(map[string]float64, len(ss.Names))
+			for _, name := range ss.Names {
+				d := deltas[name]
+				row.Inputs[name] = d
+				if d < 0 {
+					d = 0
+				}
+				env[name] = float64(d)
+			}
+			for _, d := range defs {
+				v, err := d.Compiled().Eval(env)
+				if err != nil {
+					v = 0
+				}
+				row.Metrics[d.Name] = v
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// sortedKeys returns a string map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteSeriesJSONL renders rows one JSON object per line,
+// hand-formatted for byte determinism: fixed field order, inputs and
+// metrics keys sorted, metric values with six decimals.
+func WriteSeriesJSONL(w io.Writer, rows []WindowRow) error {
+	bw := bufio.NewWriter(w)
+	for i := range rows {
+		r := &rows[i]
+		fmt.Fprintf(bw, "{\"window\":%d,\"start\":%d,\"end\":%d,\"partial\":%v,\"key\":%q,\"inputs\":{",
+			r.Window, r.Start, r.End, r.Partial, r.Key)
+		for j, name := range sortedKeys(r.Inputs) {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%q:%d", name, r.Inputs[name])
+		}
+		bw.WriteString("},\"metrics\":{")
+		for j, name := range sortedKeys(r.Metrics) {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%q:%.6f", name, r.Metrics[name])
+		}
+		bw.WriteString("}}\n")
+	}
+	return bw.Flush()
+}
+
+// ParseSeriesJSONL reads a WriteSeriesJSONL stream back. Strict like
+// ParseJSONL: unknown fields are schema drift (*telemetry.SchemaError).
+func ParseSeriesJSONL(r io.Reader) ([]WindowRow, error) {
+	var out []WindowRow
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		dec.DisallowUnknownFields()
+		var row WindowRow
+		if err := dec.Decode(&row); err != nil {
+			if strings.Contains(err.Error(), "unknown field") {
+				return nil, frameDrift(line, err.Error())
+			}
+			return nil, fmt.Errorf("metrics: series line %d: %w", line, err)
+		}
+		if row.Inputs == nil || row.Metrics == nil {
+			return nil, frameDrift(line, "missing field \"inputs\" or \"metrics\"")
+		}
+		out = append(out, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RenderSeriesText writes rows as one aligned table: a window and key
+// column, then one column per metric in sorted name order. The tail
+// window's span is marked "(partial)".
+func RenderSeriesText(w io.Writer, title string, rows []WindowRow) {
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "%s: no frames\n", title)
+		return
+	}
+	names := sortedKeys(rows[0].Metrics)
+	header := append([]string{"window", "cycles", "key"}, names...)
+	t := tabwrite.New(title, header...)
+	for i := range rows {
+		r := &rows[i]
+		span := fmt.Sprintf("%d..%d", r.Start, r.End)
+		if r.Partial {
+			span += " (partial)"
+		}
+		cells := []any{r.Window, span, r.Key}
+		for _, name := range names {
+			cells = append(cells, fmt.Sprintf("%.4f", r.Metrics[name]))
+		}
+		t.Row(cells...)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,160 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"limitsim/internal/metrics"
+	"limitsim/internal/profile"
+	"limitsim/internal/telemetry"
+	"limitsim/internal/trace"
+)
+
+// AddFindings appends the ranked bottleneck table from a profiler
+// report's wire records, with proportional share bars. self is the
+// optional trailing self-cost disclosure (nil to omit).
+func (a *Artifact) AddFindings(title string, recs []profile.FindingRecord, self *profile.SelfCostRecord) {
+	var b strings.Builder
+	b.WriteString("<table>\n<thead><tr>")
+	for _, h := range []string{"rank", "region", "kind", "class", "share", "self-Mcyc", "count", "mean-cyc", "kernel%", "l1d/kc", "brmiss/kc", ""} {
+		b.WriteString("<th>" + esc(h) + "</th>")
+	}
+	b.WriteString("</tr></thead>\n<tbody>\n")
+	for _, r := range recs {
+		var selfMcyc float64
+		if len(r.Self) > 0 {
+			selfMcyc = float64(r.Self[0]) / 1e6
+		}
+		width := int(r.Share*120 + 0.5)
+		fmt.Fprintf(&b,
+			"<tr><td>%d</td><td><code>%s</code></td><td>%s</td><td>%s</td><td>%s%%</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td><span class=\"bar\" style=\"width:%dpx\"></span></td></tr>\n",
+			r.Rank, esc(r.Region), esc(r.Kind), esc(r.Class),
+			f2(r.Share*100), f2(selfMcyc), r.Count, f2(r.MeanCycles),
+			f2(r.KernelShare*100), f2(r.L1DPerKC), f2(r.BrMissPerKC), width)
+	}
+	b.WriteString("</tbody>\n</table>\n")
+	if self != nil {
+		fmt.Fprintf(&b, "<p>profiler self-cost: %s cycles; pair cost vs bare read pair: %sx</p>\n",
+			f2(self.SelfCycles), f4(self.PairVsBareRatio))
+	}
+	a.add(title, b.String())
+}
+
+// AddRegistry appends a telemetry registry as counter/gauge and
+// histogram tables, in registration order — the same order and values
+// Render prints, so serial and fleet-merged registries produce
+// identical sections.
+func (a *Artifact) AddRegistry(title string, reg *telemetry.Registry) {
+	counters, gauges, hists := reg.Names()
+	var b strings.Builder
+	if len(counters)+len(gauges) > 0 {
+		var rows [][]string
+		for _, name := range counters {
+			rows = append(rows, []string{name, fmt.Sprintf("%d", reg.LookupCounter(name).Value()), "-"})
+		}
+		for _, name := range gauges {
+			g := reg.LookupGauge(name)
+			rows = append(rows, []string{name, fmt.Sprintf("%d", g.Value()), fmt.Sprintf("%d", g.Peak())})
+		}
+		tableHTML(&b, []string{"metric", "value", "peak"}, rows)
+	}
+	if len(hists) > 0 {
+		var rows [][]string
+		for _, name := range hists {
+			h := reg.LookupHistogram(name)
+			rows = append(rows, []string{
+				name, fmt.Sprintf("%d", h.Count()), f2(h.Mean()),
+				fmt.Sprintf("%d", h.Min()), fmt.Sprintf("%d", h.Quantile(0.50)),
+				fmt.Sprintf("%d", h.Quantile(0.99)), fmt.Sprintf("%d", h.Max()),
+			})
+		}
+		tableHTML(&b, []string{"histogram (cycles)", "count", "mean", "min", "p50", "p99", "max"}, rows)
+	}
+	if b.Len() == 0 {
+		b.WriteString("<p>empty registry</p>\n")
+	}
+	a.add(title, b.String())
+}
+
+// AddSeries appends one line chart per metric from windowed series
+// rows (metrics in sorted name order, one colored line per split key),
+// followed by the compact per-window table.
+func (a *Artifact) AddSeries(title string, rows []metrics.WindowRow) {
+	var b strings.Builder
+	if len(rows) == 0 {
+		b.WriteString("<p>no windows</p>\n")
+		a.add(title, b.String())
+		return
+	}
+
+	// Index values by metric, then key, then window.
+	type keyed map[string]map[int]float64 // key -> window -> value
+	metricNames := map[string]bool{}
+	keys := map[string]bool{}
+	maxWin := 0
+	byMetric := map[string]keyed{}
+	for _, r := range rows {
+		if r.Window > maxWin {
+			maxWin = r.Window
+		}
+		keys[r.Key] = true
+		for name, v := range r.Metrics {
+			metricNames[name] = true
+			if byMetric[name] == nil {
+				byMetric[name] = keyed{}
+			}
+			if byMetric[name][r.Key] == nil {
+				byMetric[name][r.Key] = map[int]float64{}
+			}
+			byMetric[name][r.Key][r.Window] = v
+		}
+	}
+	sortedMetrics := make([]string, 0, len(metricNames))
+	for name := range metricNames {
+		sortedMetrics = append(sortedMetrics, name)
+	}
+	sort.Strings(sortedMetrics)
+	sortedKeyList := make([]string, 0, len(keys))
+	for k := range keys {
+		sortedKeyList = append(sortedKeyList, k)
+	}
+	sort.Strings(sortedKeyList)
+
+	for _, name := range sortedMetrics {
+		fmt.Fprintf(&b, "<h3>%s</h3>\n", esc(name))
+		var series []chartSeries
+		for _, key := range sortedKeyList {
+			vals := make([]float64, maxWin+1)
+			for w, v := range byMetric[name][key] {
+				vals[w] = v
+			}
+			series = append(series, chartSeries{Label: key, Values: vals})
+		}
+		lineChart(&b, series)
+	}
+
+	// The compact table mirrors the text renderer: window-major rows.
+	header := append([]string{"window", "cycles", "key"}, sortedMetrics...)
+	var tbl [][]string
+	for _, r := range rows {
+		span := fmt.Sprintf("%d..%d", r.Start, r.End)
+		if r.Partial {
+			span += " (partial)"
+		}
+		cells := []string{fmt.Sprintf("%d", r.Window), span, r.Key}
+		for _, name := range sortedMetrics {
+			cells = append(cells, f4(r.Metrics[name]))
+		}
+		tbl = append(tbl, cells)
+	}
+	tableHTML(&b, header, tbl)
+	a.add(title, b.String())
+}
+
+// AddFlame appends a flame view of the Chrome-span export.
+func (a *Artifact) AddFlame(title string, spans []trace.Span) {
+	var b strings.Builder
+	flameSVG(&b, spans)
+	a.add(title, b.String())
+}

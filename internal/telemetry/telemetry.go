@@ -268,6 +268,13 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	return h
 }
 
+// Names returns the registered metric names by kind, each in
+// registration order — the iteration hook report builders pair with
+// Lookup* to render a registry without reaching into its internals.
+func (r *Registry) Names() (counters, gauges, hists []string) {
+	return r.counterIDs, r.gaugeIDs, r.histIDs
+}
+
 // LookupCounter returns the named counter, or nil.
 func (r *Registry) LookupCounter(name string) *Counter {
 	if i, ok := r.index[name]; ok && i&kindMask == kindCounter {
