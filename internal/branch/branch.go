@@ -79,6 +79,24 @@ func (p *Gshare) Update(pc uint64, taken bool) {
 	p.history = ((p.history << 1) | b2u(taken)) & ((1 << p.histLen) - 1)
 }
 
+// PredictUpdate is Predict followed by Update in one call: both use
+// the same table entry (history only shifts afterwards), so the fused
+// form indexes once. The interpreter's branch path calls this directly
+// to skip two interface dispatches per branch.
+func (p *Gshare) PredictUpdate(pc uint64, taken bool) bool {
+	e := &p.table[p.index(pc)]
+	predicted := *e >= 2
+	if taken {
+		if *e < 3 {
+			*e++
+		}
+	} else if *e > 0 {
+		*e--
+	}
+	p.history = ((p.history << 1) | b2u(taken)) & ((1 << p.histLen) - 1)
+	return predicted
+}
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1

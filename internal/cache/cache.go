@@ -53,19 +53,29 @@ type Result struct {
 	MissLLC bool
 }
 
-// set is one associative set; ways are kept in LRU order, index 0 most
-// recent.
-type set struct {
-	tags  []uint64
-	valid []bool
-}
+// Sets are grouped into chunks of chunkSets, each chunk's tag state
+// allocated on first touch. Machines are built per run by the campaign
+// worker pools, and eagerly allocating the LLC's thousands of sets
+// dominated construction time for short runs.
+const (
+	chunkSetBits = 6
+	chunkSets    = 1 << chunkSetBits
+)
 
-// cacheLevel is a single set-associative cache.
+// cacheLevel is a single set-associative cache. Tag state lives in
+// flat per-chunk arrays: set s occupies the ways
+// [(s%chunkSets)*Ways, ...) of chunk s/chunkSets, in LRU order (index
+// 0 most recent). Entries store tag+1 so that zero — the state of a
+// freshly allocated chunk — means invalid.
 type cacheLevel struct {
 	cfg       Config
-	sets      []set
 	setMask   uint64
 	lineShift uint
+	tagShift  uint   // log2(nsets), precomputed off the access path
+	hitLat    uint64 // cfg.HitCycles, widened once
+	ways      int
+	chunkLen  int // ways per chunk: min(chunkSets, nsets) * ways
+	chunks    [][]uint64
 }
 
 func newLevel(cfg Config) *cacheLevel {
@@ -78,19 +88,20 @@ func newLevel(cfg Config) *cacheLevel {
 	for nsets&(nsets-1) != 0 {
 		nsets--
 	}
-	c := &cacheLevel{
+	setsPerChunk := nsets
+	if setsPerChunk > chunkSets {
+		setsPerChunk = chunkSets
+	}
+	return &cacheLevel{
 		cfg:       cfg,
-		sets:      make([]set, nsets),
 		setMask:   uint64(nsets - 1),
 		lineShift: log2(uint64(cfg.LineBytes)),
+		tagShift:  log2(uint64(nsets)),
+		hitLat:    uint64(cfg.HitCycles),
+		ways:      cfg.Ways,
+		chunkLen:  setsPerChunk * cfg.Ways,
+		chunks:    make([][]uint64, (nsets+chunkSets-1)/chunkSets),
 	}
-	for i := range c.sets {
-		c.sets[i] = set{
-			tags:  make([]uint64, cfg.Ways),
-			valid: make([]bool, cfg.Ways),
-		}
-	}
-	return c
 }
 
 func log2(v uint64) uint {
@@ -102,36 +113,52 @@ func log2(v uint64) uint {
 	return n
 }
 
+// setWays returns set si's ways, materializing the chunk if needed.
+func (c *cacheLevel) setWays(si uint64) []uint64 {
+	ch := c.chunks[si>>chunkSetBits]
+	if ch == nil {
+		ch = make([]uint64, c.chunkLen)
+		c.chunks[si>>chunkSetBits] = ch
+	}
+	lo := (int(si) & (chunkSets - 1)) * c.ways
+	return ch[lo : lo+c.ways : lo+c.ways]
+}
+
 // access probes the level and installs the line on miss. Returns true on
 // hit.
 func (c *cacheLevel) access(addr uint64) bool {
 	line := addr >> c.lineShift
-	s := &c.sets[line&c.setMask]
-	tag := line >> log2(uint64(len(c.sets)))
-	for i, ok := range s.valid {
-		if ok && s.tags[i] == tag {
+	tag := (line >> c.tagShift) + 1
+	ws := c.setWays(line & c.setMask)
+	// MRU fast path: a hit in way 0 needs no LRU reordering.
+	if ws[0] == tag {
+		return true
+	}
+	for i, t := range ws {
+		if t == tag {
 			// Move to MRU position.
-			copy(s.tags[1:i+1], s.tags[:i])
-			s.tags[0] = tag
+			copy(ws[1:i+1], ws[:i])
+			ws[0] = tag
 			return true
 		}
 	}
 	// Miss: evict LRU (last way), install at MRU.
-	copy(s.tags[1:], s.tags[:len(s.tags)-1])
-	copy(s.valid[1:], s.valid[:len(s.valid)-1])
-	s.tags[0] = tag
-	s.valid[0] = true
+	copy(ws[1:], ws[:len(ws)-1])
+	ws[0] = tag
 	return false
 }
 
 // flushLine invalidates the line containing addr if present.
 func (c *cacheLevel) flushLine(addr uint64) {
 	line := addr >> c.lineShift
-	s := &c.sets[line&c.setMask]
-	tag := line >> log2(uint64(len(c.sets)))
-	for i, ok := range s.valid {
-		if ok && s.tags[i] == tag {
-			s.valid[i] = false
+	if c.chunks[(line&c.setMask)>>chunkSetBits] == nil {
+		return
+	}
+	tag := (line >> c.tagShift) + 1
+	ws := c.setWays(line & c.setMask)
+	for i, t := range ws {
+		if t == tag {
+			ws[i] = 0
 			return
 		}
 	}
@@ -141,6 +168,15 @@ func (c *cacheLevel) flushLine(addr uint64) {
 type Hierarchy struct {
 	l1, l2, llc *cacheLevel
 	memCycles   int
+
+	// lastLine is the most recently accessed line number plus one
+	// (zero = invalid), with l1Shift/l1Lat copied off *l1. After any
+	// access the line is resident at L1's MRU way, so a repeat access
+	// is an L1 hit that moves no LRU state and raises no events —
+	// Access answers it inline with one compare.
+	lastLine uint64
+	l1Shift  uint
+	l1Lat    uint64
 }
 
 // HierarchyConfig configures a Hierarchy.
@@ -163,12 +199,15 @@ func DefaultConfig() HierarchyConfig {
 
 // NewHierarchy builds a hierarchy from the config.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{
+	h := &Hierarchy{
 		l1:        newLevel(cfg.L1),
 		l2:        newLevel(cfg.L2),
 		llc:       newLevel(cfg.LLC),
 		memCycles: cfg.MemoryCycles,
 	}
+	h.l1Shift = h.l1.lineShift
+	h.l1Lat = h.l1.hitLat
+	return h
 }
 
 // NewDefault builds a hierarchy with DefaultConfig.
@@ -176,19 +215,28 @@ func NewDefault() *Hierarchy { return NewHierarchy(DefaultConfig()) }
 
 // Access simulates a load or store to addr and returns latency and miss
 // events. Stores are write-allocate and cost the same as loads in this
-// model.
+// model. Small enough to inline: the repeat-line case never leaves the
+// caller.
 func (h *Hierarchy) Access(addr uint64) Result {
+	if addr>>h.l1Shift+1 == h.lastLine {
+		return Result{Cycles: h.l1Lat}
+	}
+	return h.accessSlow(addr)
+}
+
+func (h *Hierarchy) accessSlow(addr uint64) Result {
+	h.lastLine = addr>>h.l1Shift + 1
 	if h.l1.access(addr) {
-		return Result{Cycles: uint64(h.l1.cfg.HitCycles)}
+		return Result{Cycles: h.l1.hitLat}
 	}
 	r := Result{MissL1: true}
 	if h.l2.access(addr) {
-		r.Cycles = uint64(h.l2.cfg.HitCycles)
+		r.Cycles = h.l2.hitLat
 		return r
 	}
 	r.MissL2 = true
 	if h.llc.access(addr) {
-		r.Cycles = uint64(h.llc.cfg.HitCycles)
+		r.Cycles = h.llc.hitLat
 		return r
 	}
 	r.MissLLC = true
@@ -199,6 +247,9 @@ func (h *Hierarchy) Access(addr uint64) Result {
 // FlushLine removes the line containing addr from every level. The
 // kernel uses it to approximate cache pollution from context switches.
 func (h *Hierarchy) FlushLine(addr uint64) {
+	if addr>>h.l1Shift+1 == h.lastLine {
+		h.lastLine = 0
+	}
 	h.l1.flushLine(addr)
 	h.l2.flushLine(addr)
 	h.llc.flushLine(addr)
@@ -206,11 +257,10 @@ func (h *Hierarchy) FlushLine(addr uint64) {
 
 // FlushAll invalidates the entire hierarchy.
 func (h *Hierarchy) FlushAll() {
+	h.lastLine = 0
 	for _, lv := range []*cacheLevel{h.l1, h.l2, h.llc} {
-		for i := range lv.sets {
-			for j := range lv.sets[i].valid {
-				lv.sets[i].valid[j] = false
-			}
+		for i := range lv.chunks {
+			lv.chunks[i] = nil
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"limitsim/internal/branch"
 	"limitsim/internal/cache"
 	"limitsim/internal/isa"
+	"limitsim/internal/mem"
 	"limitsim/internal/pmu"
 	"limitsim/internal/tlb"
 )
@@ -75,6 +76,45 @@ type Core struct {
 	// Instructions retired in user ring, kept outside the PMU as a raw
 	// progress meter for the machine loop's run limits.
 	Retired uint64
+
+	// Per-core translation hint: the word array backing the last page
+	// this core touched, so hit-dominated access streams skip the
+	// space's page-map lookup entirely. hintSpace/hintBase/hintGen
+	// validate the hint; hintWr is non-nil only once the page's dirty
+	// barrier has run this generation (mem.Space.WritePage), and
+	// hintRd aliases it then. A generation change in the space
+	// (Snapshot/Restore) invalidates via the hintGen compare.
+	hintSpace *mem.Space
+	hintBase  uint64
+	hintGen   uint64
+	hintRd    *mem.PageData
+	hintWr    *mem.PageData
+}
+
+// load reads the word at addr through the translation hint.
+func (c *Core) load(m *mem.Space, addr uint64) uint64 {
+	mem.CheckAligned(addr)
+	base := addr &^ uint64(mem.PageSize-1)
+	if c.hintRd == nil || c.hintBase != base || c.hintSpace != m || c.hintGen != m.Gen() {
+		c.hintRd = m.ReadPage(addr)
+		c.hintWr = nil
+		c.hintSpace, c.hintBase, c.hintGen = m, base, m.Gen()
+	}
+	return c.hintRd[(addr&(mem.PageSize-1))>>3]
+}
+
+// store writes the word at addr through the translation hint. The
+// write side demands hintWr, which proves the page's dirty barrier ran
+// in the current generation.
+func (c *Core) store(m *mem.Space, addr, v uint64) {
+	mem.CheckAligned(addr)
+	base := addr &^ uint64(mem.PageSize-1)
+	if c.hintWr == nil || c.hintBase != base || c.hintSpace != m || c.hintGen != m.Gen() {
+		c.hintWr = m.WritePage(addr)
+		c.hintRd = c.hintWr
+		c.hintSpace, c.hintBase, c.hintGen = m, base, m.Gen()
+	}
+	c.hintWr[(addr&(mem.PageSize-1))>>3] = v
 }
 
 // NewCore builds a core with default cache, TLB, predictor, cost
@@ -90,24 +130,14 @@ func NewCore(id int, feats pmu.Features) *Core {
 	}
 }
 
-// count is shorthand for feeding the PMU in user ring.
-func (c *Core) count(ev pmu.Event, n uint64) { c.PMU.AddEvent(pmu.RingUser, ev, n) }
-
-// finish charges cycles in user ring and advances the clock.
-func (c *Core) finish(cycles uint64) uint64 {
-	c.Now += cycles
-	c.count(pmu.EvCycles, cycles)
-	return cycles
-}
-
 // KernelWork models the kernel executing on this core for the given
 // number of cycles, retiring approximately 0.8 instructions per cycle.
 // Events land in the kernel ring. The kernel calls this for every
 // syscall handler, context switch, interrupt, and signal delivery.
 func (c *Core) KernelWork(cycles uint64) {
 	c.Now += cycles
-	c.PMU.AddEvent(pmu.RingKernel, pmu.EvCycles, cycles)
-	c.PMU.AddEvent(pmu.RingKernel, pmu.EvInstructions, cycles*4/5)
+	c.PMU.AddKernel(pmu.EvCycles, cycles)
+	c.PMU.AddKernel(pmu.EvInstructions, cycles*4/5)
 }
 
 // KernelCachePollution models kernel data touching n cache lines
@@ -115,23 +145,31 @@ func (c *Core) KernelWork(cycles uint64) {
 // application lines as a side effect and charging the access latency in
 // kernel ring.
 func (c *Core) KernelCachePollution(base uint64, n int) {
-	var cycles uint64
+	// Miss counts are accumulated and fed to the PMU once per event
+	// after the loop. This is observationally identical to per-line
+	// AddEvent calls: pending overflows are a bitmask the machine loop
+	// consumes only at instruction boundaries, i.e. after this whole
+	// call, and counter sums are order-independent within it.
+	var cycles, miss1, miss2, missL uint64
 	for i := 0; i < n; i++ {
 		r := c.Caches.Access(base + uint64(i)*64)
 		cycles += r.Cycles
-		c.PMU.AddEvent(pmu.RingKernel, pmu.EvLoads, 1)
 		if r.MissL1 {
-			c.PMU.AddEvent(pmu.RingKernel, pmu.EvL1DMiss, 1)
+			miss1++
 		}
 		if r.MissL2 {
-			c.PMU.AddEvent(pmu.RingKernel, pmu.EvL2Miss, 1)
+			miss2++
 		}
 		if r.MissLLC {
-			c.PMU.AddEvent(pmu.RingKernel, pmu.EvLLCMiss, 1)
+			missL++
 		}
 	}
+	c.PMU.AddKernel(pmu.EvLoads, uint64(n))
+	c.PMU.AddKernel(pmu.EvL1DMiss, miss1)
+	c.PMU.AddKernel(pmu.EvL2Miss, miss2)
+	c.PMU.AddKernel(pmu.EvLLCMiss, missL)
 	c.Now += cycles
-	c.PMU.AddEvent(pmu.RingKernel, pmu.EvCycles, cycles)
+	c.PMU.AddKernel(pmu.EvCycles, cycles)
 }
 
 func fault(format string, args ...any) StepResult {
@@ -142,16 +180,38 @@ func fault(format string, args ...any) StepResult {
 // caller must check for pending interrupts (timer, PMU overflow) around
 // Step; Step itself never switches contexts.
 func (c *Core) Step(ctx *Context) StepResult {
+	var res StepResult
+	res.Instrs, res.Cycles, res.Trap = c.StepInto(ctx, &res)
+	c.Retired += res.Instrs
+	return res
+}
+
+// regIndexMask masks architectural register indices to the file size.
+// NumRegs is a power of two and the builder API only names R0..R15, so
+// masking is the identity on every constructible program while proving
+// to the compiler that register accesses cannot fault — which removes
+// a bounds check from nearly every interpreted instruction.
+const regIndexMask = isa.NumRegs - 1
+
+// StepInto is Step writing trap state into a caller-owned result —
+// letting the kernel's per-instruction loop reuse one StepResult —
+// and returning the retired-instruction count, cycle count, and trap
+// kind in registers, where the burst loop consumes them without
+// touching memory. res carries only the trap operands (syscall number,
+// fault text); the counts and the trap kind are NOT stored into it,
+// and the caller owns the Retired accumulation — Step materializes
+// all three for callers that want the struct form.
+func (c *Core) StepInto(ctx *Context, res *StepResult) (instrs, cycles uint64, trap TrapKind) {
 	prog := ctx.Prog
-	if ctx.PC < 0 || ctx.PC >= len(prog.Instrs) {
-		return fault("pc %d out of range [0,%d)", ctx.PC, len(prog.Instrs))
+	if uint(ctx.PC) >= uint(len(prog.Instrs)) {
+		*res = fault("pc %d out of range [0,%d)", ctx.PC, len(prog.Instrs))
+		return 0, 0, TrapFault
 	}
-	in := prog.Instrs[ctx.PC]
-	cost := c.Cost
+	in := &prog.Instrs[ctx.PC]
+	cost := &c.Cost
 	nextPC := ctx.PC + 1
-	cycles := cost.ALU
-	instrs := uint64(1)
-	res := StepResult{}
+	cycles = cost.ALU
+	instrs = 1
 
 	switch in.Op {
 	case isa.OpNop:
@@ -162,69 +222,69 @@ func (c *Core) Step(ctx *Context) StepResult {
 		instrs = uint64(in.Imm)
 
 	case isa.OpMovImm:
-		ctx.Regs[in.Dst] = uint64(in.Imm)
+		ctx.Regs[in.Dst&regIndexMask] = uint64(in.Imm)
 	case isa.OpMov:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1]
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask]
 	case isa.OpAdd:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] + ctx.Regs[in.Src2]
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] + ctx.Regs[in.Src2&regIndexMask]
 	case isa.OpAddImm:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] + uint64(in.Imm)
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] + uint64(in.Imm)
 	case isa.OpSub:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] - ctx.Regs[in.Src2]
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] - ctx.Regs[in.Src2&regIndexMask]
 	case isa.OpMul:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] * ctx.Regs[in.Src2]
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] * ctx.Regs[in.Src2&regIndexMask]
 		cycles = cost.Mul
 	case isa.OpAnd:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] & ctx.Regs[in.Src2]
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] & ctx.Regs[in.Src2&regIndexMask]
 	case isa.OpOr:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] | ctx.Regs[in.Src2]
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] | ctx.Regs[in.Src2&regIndexMask]
 	case isa.OpXor:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] ^ ctx.Regs[in.Src2]
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] ^ ctx.Regs[in.Src2&regIndexMask]
 	case isa.OpShl:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] << (uint64(in.Imm) & 63)
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] << (uint64(in.Imm) & 63)
 	case isa.OpShr:
-		ctx.Regs[in.Dst] = ctx.Regs[in.Src1] >> (uint64(in.Imm) & 63)
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Regs[in.Src1&regIndexMask] >> (uint64(in.Imm) & 63)
 
 	case isa.OpLoad:
-		addr := ctx.Regs[in.Src1] + uint64(in.Imm)
+		addr := ctx.Regs[in.Src1&regIndexMask] + uint64(in.Imm)
 		cycles = cost.MemBase + c.memAccess(addr)
-		ctx.Regs[in.Dst] = ctx.Mem.Read64(addr)
-		c.count(pmu.EvLoads, 1)
+		ctx.Regs[in.Dst&regIndexMask] = c.load(ctx.Mem, addr)
+		c.PMU.AddUser(pmu.EvLoads, 1)
 
 	case isa.OpStore:
-		addr := ctx.Regs[in.Src1] + uint64(in.Imm)
+		addr := ctx.Regs[in.Src1&regIndexMask] + uint64(in.Imm)
 		cycles = cost.MemBase + c.memAccess(addr)
-		ctx.Mem.Write64(addr, ctx.Regs[in.Src2])
-		c.count(pmu.EvStores, 1)
+		c.store(ctx.Mem, addr, ctx.Regs[in.Src2&regIndexMask])
+		c.PMU.AddUser(pmu.EvStores, 1)
 
 	case isa.OpCAS:
-		addr := ctx.Regs[in.Src1]
+		addr := ctx.Regs[in.Src1&regIndexMask]
 		cycles = cost.MemBase + c.memAccess(addr) + cost.AtomicPenalty
-		old := ctx.Mem.Read64(addr)
-		if old == ctx.Regs[in.Src2] {
-			ctx.Mem.Write64(addr, ctx.Regs[isa.Reg(in.Imm)])
-			c.count(pmu.EvStores, 1)
+		old := c.load(ctx.Mem, addr)
+		if old == ctx.Regs[in.Src2&regIndexMask] {
+			c.store(ctx.Mem, addr, ctx.Regs[isa.Reg(in.Imm)&regIndexMask])
+			c.PMU.AddUser(pmu.EvStores, 1)
 		}
-		ctx.Regs[in.Dst] = old
-		c.count(pmu.EvLoads, 1)
-		c.count(pmu.EvAtomics, 1)
+		ctx.Regs[in.Dst&regIndexMask] = old
+		c.PMU.AddUser(pmu.EvLoads, 1)
+		c.PMU.AddUser(pmu.EvAtomics, 1)
 
 	case isa.OpXAdd:
-		addr := ctx.Regs[in.Src1]
+		addr := ctx.Regs[in.Src1&regIndexMask]
 		cycles = cost.MemBase + c.memAccess(addr) + cost.AtomicPenalty
-		old := ctx.Mem.Read64(addr)
-		ctx.Mem.Write64(addr, old+ctx.Regs[in.Src2])
-		ctx.Regs[in.Dst] = old
-		c.count(pmu.EvLoads, 1)
-		c.count(pmu.EvStores, 1)
-		c.count(pmu.EvAtomics, 1)
+		old := c.load(ctx.Mem, addr)
+		c.store(ctx.Mem, addr, old+ctx.Regs[in.Src2&regIndexMask])
+		ctx.Regs[in.Dst&regIndexMask] = old
+		c.PMU.AddUser(pmu.EvLoads, 1)
+		c.PMU.AddUser(pmu.EvStores, 1)
+		c.PMU.AddUser(pmu.EvAtomics, 1)
 
 	case isa.OpJmp:
 		nextPC = int(in.Imm)
 		cycles = cost.Branch
 
 	case isa.OpBr:
-		taken := in.Cond.Eval(ctx.Regs[in.Src1], ctx.Regs[in.Src2])
+		taken := in.Cond.Eval(ctx.Regs[in.Src1&regIndexMask], ctx.Regs[in.Src2&regIndexMask])
 		cycles = c.branchCost(uint64(ctx.PC), taken)
 		if taken {
 			nextPC = int(in.Imm)
@@ -238,56 +298,59 @@ func (c *Core) Step(ctx *Context) StepResult {
 		}
 
 	case isa.OpRand:
-		ctx.Regs[in.Dst] = ctx.Rand()
+		ctx.Regs[in.Dst&regIndexMask] = ctx.Rand()
 		cycles = 6 // inlined xorshift
 
 	case isa.OpRdPMC:
 		if !ctx.AllowRdPMC {
-			return fault("rdpmc at pc %d without userspace counter access", ctx.PC)
+			*res = fault("rdpmc at pc %d without userspace counter access", ctx.PC)
+			return 0, 0, TrapFault
 		}
 		idx := int(in.Imm)
 		if idx < 0 || idx >= c.PMU.NumCounters() {
-			return fault("rdpmc of nonexistent counter %d", idx)
+			*res = fault("rdpmc of nonexistent counter %d", idx)
+			return 0, 0, TrapFault
 		}
 		if in.Cond != 0 {
 			if !c.PMU.Features().DestructiveReads {
-				return fault("destructive rdpmc without hardware support")
+				*res = fault("destructive rdpmc without hardware support")
+				return 0, 0, TrapFault
 			}
-			ctx.Regs[in.Dst] = c.PMU.ReadAndReset(idx)
+			ctx.Regs[in.Dst&regIndexMask] = c.PMU.ReadAndReset(idx)
 		} else {
-			ctx.Regs[in.Dst] = c.PMU.Read(idx)
+			ctx.Regs[in.Dst&regIndexMask] = c.PMU.Read(idx)
 		}
 		cycles = cost.RdPMC
 
 	case isa.OpRdCycle:
-		ctx.Regs[in.Dst] = c.Now
+		ctx.Regs[in.Dst&regIndexMask] = c.Now
 		cycles = cost.RdCycle
 
 	case isa.OpSyscall:
-		res.Trap = TrapSyscall
+		trap = TrapSyscall
 		res.SyscallNum = in.Imm
 		cycles = cost.TrapEntry
-		c.count(pmu.EvSyscalls, 1)
+		c.PMU.AddUser(pmu.EvSyscalls, 1)
 
 	case isa.OpSigReturn:
 		if ctx.SigDepth == 0 {
-			return fault("sigreturn outside signal handler at pc %d", ctx.PC)
+			*res = fault("sigreturn outside signal handler at pc %d", ctx.PC)
+			return 0, 0, TrapFault
 		}
-		res.Trap = TrapSigReturn
+		trap = TrapSigReturn
 
 	case isa.OpHalt:
-		res.Trap = TrapHalt
+		trap = TrapHalt
 
 	default:
-		return fault("illegal opcode %d at pc %d", in.Op, ctx.PC)
+		*res = fault("illegal opcode %d at pc %d", in.Op, ctx.PC)
+		return 0, 0, TrapFault
 	}
 
 	ctx.PC = nextPC
-	c.count(pmu.EvInstructions, instrs)
-	c.Retired += instrs
-	res.Instrs = instrs
-	res.Cycles = c.finish(cycles)
-	return res
+	c.Now += cycles
+	c.PMU.AddRetire(instrs, cycles)
+	return instrs, cycles, trap
 }
 
 // memAccess runs addr through the TLB and cache hierarchy, counts miss
@@ -295,20 +358,20 @@ func (c *Core) Step(ctx *Context) StepResult {
 func (c *Core) memAccess(addr uint64) uint64 {
 	tr := c.TLB.Translate(addr)
 	if tr.MissL1 {
-		c.count(pmu.EvDTLBMiss, 1)
+		c.PMU.AddUser(pmu.EvDTLBMiss, 1)
 	}
 	if tr.MissL2 {
-		c.count(pmu.EvDTLBWalk, 1)
+		c.PMU.AddUser(pmu.EvDTLBWalk, 1)
 	}
 	r := c.Caches.Access(addr)
 	if r.MissL1 {
-		c.count(pmu.EvL1DMiss, 1)
+		c.PMU.AddUser(pmu.EvL1DMiss, 1)
 	}
 	if r.MissL2 {
-		c.count(pmu.EvL2Miss, 1)
+		c.PMU.AddUser(pmu.EvL2Miss, 1)
 	}
 	if r.MissLLC {
-		c.count(pmu.EvLLCMiss, 1)
+		c.PMU.AddUser(pmu.EvLLCMiss, 1)
 	}
 	return tr.Cycles + r.Cycles
 }
@@ -316,11 +379,18 @@ func (c *Core) memAccess(addr uint64) uint64 {
 // branchCost consults and trains the predictor, counts branch events,
 // and returns the cycle cost.
 func (c *Core) branchCost(pc uint64, taken bool) uint64 {
-	predicted := c.Pred.Predict(pc)
-	c.Pred.Update(pc, taken)
-	c.count(pmu.EvBranches, 1)
+	var predicted bool
+	if g, ok := c.Pred.(*branch.Gshare); ok {
+		// The default predictor, devirtualized: one fused table access
+		// instead of two interface calls.
+		predicted = g.PredictUpdate(pc, taken)
+	} else {
+		predicted = c.Pred.Predict(pc)
+		c.Pred.Update(pc, taken)
+	}
+	c.PMU.AddUser(pmu.EvBranches, 1)
 	if predicted != taken {
-		c.count(pmu.EvBranchMiss, 1)
+		c.PMU.AddUser(pmu.EvBranchMiss, 1)
 		return c.Cost.Branch + c.Cost.MispredictPenalty
 	}
 	return c.Cost.Branch

@@ -497,6 +497,7 @@ type Kernel struct {
 
 	procs   []*Process
 	threads []*Thread
+	live    int // threads not yet StateDone, so AllDone is O(1)
 
 	cur        []*Thread   // per-core current thread
 	runq       [][]*Thread // per-core ready queues
@@ -504,6 +505,7 @@ type Kernel struct {
 	lastProc   []int       // per-core last process ID (TLB flush decisions)
 
 	sleepers []*Thread // unsorted; scanned (small populations)
+	minWake  uint64    // earliest sleeper deadline; ^0 when none sleep
 	futexes  map[futexKey][]*Thread
 
 	samples []Sample
@@ -531,6 +533,24 @@ type Kernel struct {
 	// hook sets (hooks.go). Attach with SetChaos/SetProbes.
 	chaos  *Chaos
 	probes *Probes
+
+	// slowStep caches chaos != nil || probes != nil || ts != nil — the
+	// "something observes every instruction boundary" condition that
+	// forces RunCore to single-step. Maintained by the three writers
+	// (SetChaos, SetProbes, New's tenant setup) so the burst fast path
+	// tests one bool instead of three pointers.
+	slowStep bool
+
+	// Burst resume cache: a clean RunCore burst runs no kernel code
+	// anywhere, so the entry-block derivation for a core — current
+	// thread, quantum end, run-queue occupancy, group flag — stays
+	// exact across other cores' clean bursts, and RunCore can reuse
+	// it when the machine re-picks the core. An entry is live while
+	// its gen matches burstGen; every kernel mutation path (StepCore,
+	// postStep, sleeper wakes, Spawn, PostSignal) bumps burstGen,
+	// invalidating all entries at once.
+	burst    []burstEntry
+	burstGen uint64
 
 	// metrics, when non-nil, is the kernel's self-measurement surface
 	// (metrics.go). pmiRaiseAt holds per-core, per-slot raise marks for
@@ -574,10 +594,13 @@ func New(cfg Config, cores []*cpu.Core) *Kernel {
 		quantumEnd:   make([]uint64, len(cores)),
 		lastProc:     make([]int, len(cores)),
 		futexes:      make(map[futexKey][]*Thread),
+		minWake:      ^uint64(0),
 		kernDataBase: 0xffff_8000_0000_0000,
 		rng:          cfg.Seed ^ 0x8c0ffee0,
 		slots:        pmu.NewLedger(cfg.VirtSlotCapacity),
 		tableWords:   pmu.NewLedger(0),
+		burst:        make([]burstEntry, len(cores)),
+		burstGen:     1,
 	}
 	if cfg.Tenants > 1 {
 		// The zero UncoreEvent (EvCycles) means "default": attribute the
@@ -586,6 +609,7 @@ func New(cfg Config, cores []*cpu.Core) *Kernel {
 			k.cfg.UncoreEvent = pmu.EvLLCMiss
 		}
 		k.ts = newTenantSched(k.cfg, len(cores))
+		k.slowStep = true
 	}
 	return k
 }
@@ -619,6 +643,7 @@ func (k *Kernel) NewProcess(prog *isa.Program, space *mem.Space) *Process {
 // loaded core. Initial register values may be supplied via regs (pairs
 // applied in order).
 func (k *Kernel) Spawn(proc *Process, name string, entry int, seed uint64) *Thread {
+	k.burstGen++
 	t := &Thread{
 		ID:         len(k.threads) + 1,
 		Name:       name,
@@ -635,6 +660,7 @@ func (k *Kernel) Spawn(proc *Process, name string, entry int, seed uint64) *Thre
 	core := k.leastLoadedCore()
 	t.HomeCore = core
 	k.threads = append(k.threads, t)
+	k.live++
 	k.runq[core] = append(k.runq[core], t)
 	k.tr(core, t, trace.Spawn, uint64(entry))
 	return t
@@ -670,14 +696,7 @@ func (k *Kernel) FaultedThreads() []*Thread {
 }
 
 // AllDone reports whether every spawned thread has terminated.
-func (k *Kernel) AllDone() bool {
-	for _, t := range k.threads {
-		if t.State != StateDone {
-			return false
-		}
-	}
-	return true
-}
+func (k *Kernel) AllDone() bool { return k.live == 0 }
 
 // SetTracer attaches an event trace buffer (nil detaches).
 func (k *Kernel) SetTracer(b *trace.Buffer) { k.tracer = b }
@@ -727,6 +746,9 @@ func (k *Kernel) leastLoadedCore() int {
 // fault, regardless of which kernel path raised it.
 func (k *Kernel) fault(coreID int, t *Thread, pc int, msg string) {
 	t.FaultMsg = msg
+	if t.State != StateDone {
+		k.live--
+	}
 	t.State = StateDone
 	k.faults = append(k.faults, fmt.Sprintf(
 		"thread %d (%s) core%d pc=%d: %s", t.ID, t.Name, coreID, pc, msg))

@@ -145,6 +145,9 @@ func (k *Kernel) inheritCounters(t, nt *Thread, tableBase uint64) bool {
 func (k *Kernel) exitThread(coreID int, t *Thread, how uint64) {
 	start := k.cores[coreID].Now
 	k.deschedule(coreID, t)
+	if t.State != StateDone {
+		k.live--
+	}
 	t.State = StateDone
 	k.reapThread(coreID, t)
 	k.Stats.Exits++
@@ -296,5 +299,6 @@ func (k *Kernel) Resources() Resources {
 // saved). Tests use it to land deliveries inside read-critical
 // regions.
 func (k *Kernel) PostSignal(t *Thread, num int, arg uint64) {
+	k.burstGen++
 	k.post(t, num, arg)
 }

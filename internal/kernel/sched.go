@@ -6,6 +6,16 @@ import (
 	"limitsim/internal/trace"
 )
 
+// burstEntry is one core's RunCore resume cache slot (see the burst
+// fields on Kernel).
+type burstEntry struct {
+	gen    uint64
+	t      *Thread
+	qEnd   uint64
+	others bool
+	groups bool
+}
+
 // StepStatus reports what a StepCore call accomplished.
 type StepStatus uint8
 
@@ -42,29 +52,43 @@ func (k *Kernel) NextActionTime(coreID int) (uint64, bool) {
 // NextSleeperWake returns the earliest nanosleep deadline, if any
 // thread is sleeping.
 func (k *Kernel) NextSleeperWake() (uint64, bool) {
-	best, ok := uint64(0), false
-	for _, t := range k.sleepers {
-		if !ok || t.WakeAt < best {
-			best, ok = t.WakeAt, true
-		}
+	if k.minWake == ^uint64(0) {
+		return 0, false
 	}
-	return best, ok
+	return k.minWake, true
 }
 
 // WakeSleepersUpTo moves every sleeper whose deadline is ≤ cycle onto a
-// run queue.
-func (k *Kernel) WakeSleepersUpTo(cycle uint64) {
+// run queue. Small enough to inline: minWake caches the earliest
+// deadline, so the machine loop's per-burst call is one compare while
+// nobody's alarm has fired.
+func (k *Kernel) WakeSleepersUpTo(cycle uint64) bool {
+	if cycle < k.minWake {
+		return false
+	}
+	return k.wakeSleepers(cycle)
+}
+
+func (k *Kernel) wakeSleepers(cycle uint64) (woke bool) {
+	k.burstGen++
 	kept := k.sleepers[:0]
+	min := ^uint64(0)
 	for _, t := range k.sleepers {
 		if t.WakeAt <= cycle {
 			t.State = StateReady
 			t.ReadyAt = t.WakeAt
 			k.enqueue(t)
+			woke = true
 		} else {
 			kept = append(kept, t)
+			if t.WakeAt < min {
+				min = t.WakeAt
+			}
 		}
 	}
 	k.sleepers = kept
+	k.minWake = min
+	return woke
 }
 
 // enqueue places a ready thread on a core's run queue according to the
@@ -86,6 +110,7 @@ func (k *Kernel) enqueue(t *Thread) {
 // needed) and handles any resulting trap, interrupt, or signal. It is
 // the kernel's single entry point for the machine loop.
 func (k *Kernel) StepCore(coreID int) StepStatus {
+	k.burstGen++
 	core := k.cores[coreID]
 
 	// Tenant timer first: an expired vCPU quantum preempts the whole
@@ -113,16 +138,28 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 		k.muxTick(coreID, t)
 	}
 	prevPC := t.Ctx.PC
-	res := core.Step(&t.Ctx)
-	t.Stats.UserInstructions += res.Instrs
-	t.Stats.UserCycles += res.Cycles
+	var res cpu.StepResult
+	instrs, cycles, trap := core.StepInto(&t.Ctx, &res)
+	core.Retired += instrs
+	t.Stats.UserInstructions += instrs
+	t.Stats.UserCycles += cycles
 	k.probeStep(coreID, t, prevPC)
+	k.postStep(coreID, t, trap, &res, core.PMU.TakePendingOverflows())
+	return StepRan
+}
+
+// postStep runs the instruction-boundary work after one executed
+// instruction: PMI raising and delivery, trap routing, chaos hooks,
+// and signal delivery. StepCore and the burst loop in RunCore share it
+// so the boundary behaves identically on both paths.
+func (k *Kernel) postStep(coreID int, t *Thread, trap cpu.TrapKind, res *cpu.StepResult, mask uint64) {
+	k.burstGen++
+	core := k.cores[coreID]
 
 	// Overflow interrupts land at the instruction boundary, before any
 	// trap handling — exactly where they can tear a LiMiT read. The
 	// chaos filter may delay bits (withholding them for later) or set
 	// extra ones (spurious interrupts).
-	mask := core.PMU.TakePendingOverflows()
 	k.markPMIRaise(coreID, mask)
 	if k.chaos != nil && k.chaos.FilterPMI != nil {
 		mask = k.chaos.FilterPMI(coreID, t, mask)
@@ -131,7 +168,7 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 		k.handlePMI(coreID, mask)
 	}
 
-	switch res.Trap {
+	switch trap {
 	case cpu.TrapNone:
 		// fall through to signal delivery
 	case cpu.TrapSyscall:
@@ -169,7 +206,134 @@ func (k *Kernel) StepCore(coreID int) StepStatus {
 			k.deliverSignals(coreID, ct)
 		}
 	}
-	return StepRan
+}
+
+// RunCore advances core coreID until its clock reaches horizon, up to
+// maxSteps instructions (0 means unbounded), or until any event that
+// could influence another core or the sleeper set — a trap, a PMI, a
+// scheduling decision, or a pending signal — at which point it hands
+// control back for a global core re-pick. Within those bounds it runs
+// a tight loop with the per-instruction hook checks hoisted out, which
+// is where the simulator spends nearly all of its time.
+//
+// The burst is observationally identical to calling StepCore in a
+// machine loop that re-picks after every instruction: while no
+// boundary event fires, the running core's state is invisible to other
+// cores, so the global pick would keep choosing it until its clock
+// passes the horizon the machine computed.
+// The clean result reports that the burst ended purely on the horizon
+// or step budget: no kernel code ran, so no state outside this core —
+// other cores' queues, sleepers, thread lifetimes — can have changed,
+// and the caller may keep its cached view of them. now returns the
+// core's clock after the burst, saving the caller the re-read.
+func (k *Kernel) RunCore(coreID int, horizon uint64, maxSteps uint64) (steps, now uint64, clean bool) {
+	if maxSteps == 0 {
+		maxSteps = ^uint64(0)
+	}
+	// Chaos, tenant scheduling, and probes observe or perturb every
+	// instruction boundary, possibly across cores: single-step.
+	if k.slowStep {
+		if k.StepCore(coreID) == StepIdle {
+			return 0, 0, false
+		}
+		return 1, k.cores[coreID].Now, false
+	}
+
+	core := k.cores[coreID]
+	bc := &k.burst[coreID]
+	var t *Thread
+	var hasGroups, hasSignals, othersWaiting bool
+	var qEnd uint64
+	if bc.gen == k.burstGen {
+		// Resume: the previous burst on this core ended clean and no
+		// kernel code has run anywhere since, so its hoisted entry
+		// state is still exact (and its signal queue was necessarily
+		// empty at the clean exit — a pending signal ends a burst).
+		t = bc.t
+		hasGroups, othersWaiting, qEnd = bc.groups, bc.others, bc.qEnd
+		if othersWaiting && core.Now >= qEnd {
+			if k.StepCore(coreID) == StepIdle {
+				return 0, 0, false
+			}
+			return 1, core.Now, false
+		}
+	} else {
+		t = k.cur[coreID]
+		if t == nil || (core.Now >= k.quantumEnd[coreID] && len(k.runq[coreID]) > 0) {
+			// Scheduling (preemption, work stealing, wake migration)
+			// consults and mutates other cores' queues: take one full
+			// StepCore, then hand back for a global re-pick.
+			if k.StepCore(coreID) == StepIdle {
+				return 0, 0, false
+			}
+			return 1, core.Now, false
+		}
+		hasGroups = len(t.groups) != 0
+		hasSignals = len(t.pending) > 0
+		othersWaiting = len(k.runq[coreID]) > 0
+		qEnd = k.quantumEnd[coreID]
+	}
+	// Loop invariants: nothing in the tight loop runs kernel code, and
+	// no other core runs during the burst, so the current thread, its
+	// signal queue, this core's run-queue length, and the quantum end
+	// cannot change until postStep or StepCore — both of which end the
+	// burst. Hoisting their loads out of the loop is therefore exact.
+	var res cpu.StepResult
+	// The loop's stop line folds the horizon and (when other threads
+	// wait) the quantum end into one compare; the exit path then sorts
+	// out which fired, horizon first, exactly as separate per-step
+	// checks would.
+	stop := horizon
+	if othersWaiting && qEnd < stop {
+		stop = qEnd
+	}
+	// Per-thread stats accumulate in locals and flush on every exit
+	// path, always before postStep or StepCore can observe them.
+	var ui, uc uint64
+	for {
+		if hasGroups {
+			k.muxTick(coreID, t) // core-local counter rotation
+		}
+		si, sc, tr := core.StepInto(&t.Ctx, &res)
+		ui += si
+		uc += sc
+		steps++
+		mask := core.PMU.TakePendingOverflows()
+		if mask != 0 || tr != cpu.TrapNone || hasSignals {
+			// Kernel-visible boundary: finish it exactly as StepCore
+			// would, then return for a global re-pick (the kernel may
+			// have woken, migrated, or exited threads).
+			core.Retired += ui
+			t.Stats.UserInstructions += ui
+			t.Stats.UserCycles += uc
+			k.postStep(coreID, t, tr, &res, mask)
+			return steps, core.Now, false
+		}
+		if steps >= maxSteps || core.Now >= stop {
+			core.Retired += ui
+			t.Stats.UserInstructions += ui
+			t.Stats.UserCycles += uc
+			if steps >= maxSteps || core.Now >= horizon {
+				// Field-at-a-time refresh: the conditional keeps the
+				// pointer store (and its write barrier) off the common
+				// path where the same thread keeps running.
+				bc.gen = k.burstGen
+				if bc.t != t {
+					bc.t = t
+				}
+				bc.qEnd = qEnd
+				bc.others = othersWaiting
+				bc.groups = hasGroups
+				return steps, core.Now, true
+			}
+			// Quantum expired mid-burst: preempt via a full StepCore,
+			// exactly as the next single-step iteration would have.
+			if k.StepCore(coreID) == StepIdle {
+				return steps, 0, false
+			}
+			return steps + 1, core.Now, false
+		}
+	}
 }
 
 // schedule installs the next runnable thread on the core. Returns false

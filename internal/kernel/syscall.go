@@ -154,6 +154,9 @@ func (k *Kernel) syscall(coreID int, t *Thread, num int64) {
 		k.block(coreID, t, StateSleeping)
 		t.WakeAt = core.Now + dur
 		k.sleepers = append(k.sleepers, t)
+		if t.WakeAt < k.minWake {
+			k.minWake = t.WakeAt
+		}
 
 	case SysFutexWait:
 		core.KernelWork(c.Futex)

@@ -178,51 +178,202 @@ func (e *FaultError) DumpTrace(w io.Writer, max int) {
 // Run executes until all threads finish, a limit is hit, or the system
 // deadlocks.
 func (m *Machine) Run(limits RunLimits) RunResult {
+	const never = ^uint64(0)
 	var res RunResult
+	// Cached next-action time per core (never = no runnable work). A
+	// clean RunCore burst touches nothing outside its core, so only
+	// that core's entry needs refreshing before the next pick; any
+	// kernel activity (scheduling, wakes, exits) invalidates the lot.
+	ats := make([]uint64, len(m.Cores))
+	dirty := true
+	last := -1
+	// Mirror of the kernel's earliest sleeper deadline. It can change
+	// only inside kernel code (the nanosleep syscall, which dirties the
+	// pick) or when this loop wakes sleepers — both refresh it — so the
+	// two per-burst sleeper queries become compares on a local.
+	nextWake := never
+	var lastNow uint64
+	// Limits normalized to "never" sentinels so the per-burst checks
+	// are single compares instead of enabled-and-exceeded pairs.
+	maxCyc, maxSteps := limits.MaxCycles, limits.MaxSteps
+	if maxCyc == 0 {
+		maxCyc = never
+	}
+	if maxSteps == 0 {
+		maxSteps = never
+	}
 	for {
-		if m.Kern.AllDone() {
-			res.AllDone = true
-			break
-		}
-		if limits.MaxSteps > 0 && res.Steps >= limits.MaxSteps {
+		if res.Steps >= maxSteps {
 			break
 		}
 
-		// Pick the causally-next core: smallest next-action time.
-		best, bestT := -1, uint64(0)
-		for i := range m.Cores {
-			if at, ok := m.Kern.NextActionTime(i); ok {
-				if best == -1 || at < bestT {
+		if dirty {
+			// Threads can only finish inside kernel code, which also
+			// sets dirty — so AllDone needs rechecking exactly here.
+			if m.Kern.AllDone() {
+				res.AllDone = true
+				break
+			}
+			for i := range m.Cores {
+				ats[i] = never
+				if at, ok := m.Kern.NextActionTime(i); ok {
+					ats[i] = at
+				}
+			}
+			nextWake = never
+			if at, ok := m.Kern.NextSleeperWake(); ok {
+				nextWake = at
+			}
+			dirty = false
+		} else if last >= 0 {
+			// A clean burst ran no kernel code, so the thread is still
+			// current on its core and the core's next action is simply
+			// its clock, which RunCore reported on the way out.
+			ats[last] = lastNow
+		}
+
+		// Pick the causally-next core (smallest next-action time, lowest
+		// index on ties) and, in the same pass, the burst horizon: the
+		// chosen core keeps winning the global pick until it reaches an
+		// earlier core's next-action time (equality already loses) or
+		// strictly passes a later core's (it wins those ties). That is
+		// m2 — the smallest non-best time — when some core *below* best
+		// attains it, else m2+1. lowTie tracks the "below best" part: a
+		// displaced best always sits below its displacer, as does every
+		// core scanned before it, so displacement sets it outright.
+		best, bestT := -1, never
+		m2 := never
+		lowTie := false
+		if len(ats) == 4 {
+			// Unrolled four-core pick — the common shape — with the
+			// scan's semantics restated directly: best is the
+			// lowest-index minimum, m2 the minimum over the rest, and
+			// lowTie whether some core below best attains m2 (below
+			// best=0 nothing can; below best=3 something must, since
+			// best=3 means the others are strictly larger). Idle cores
+			// hold never, which loses every min and, when m2 itself is
+			// never, leaves the horizon uncapped exactly as the scan's
+			// skip does.
+			a0, a1, a2, a3 := ats[0], ats[1], ats[2], ats[3]
+			b, bt := 0, a0
+			if a1 < bt {
+				b, bt = 1, a1
+			}
+			if a2 < bt {
+				b, bt = 2, a2
+			}
+			if a3 < bt {
+				b, bt = 3, a3
+			}
+			if bt != never {
+				best, bestT = b, bt
+				switch b {
+				case 0:
+					m2 = min(a1, a2, a3)
+				case 1:
+					m2 = min(a0, a2, a3)
+					lowTie = a0 == m2
+				case 2:
+					m2 = min(a0, a1, a3)
+					lowTie = a0 == m2 || a1 == m2
+				default:
+					m2 = min(a0, a1, a2)
+					lowTie = true
+				}
+			}
+		} else {
+			for i, at := range ats {
+				if at == never {
+					continue
+				}
+				if best == -1 {
 					best, bestT = i, at
+					continue
+				}
+				if at < bestT {
+					if bestT < m2 {
+						m2 = bestT
+					}
+					lowTie = true
+					best, bestT = i, at
+				} else if at < m2 {
+					m2, lowTie = at, false
 				}
 			}
 		}
 
 		if best == -1 {
 			// No core has runnable work; jump to the next sleeper wake.
-			wakeAt, ok := m.Kern.NextSleeperWake()
-			if !ok {
+			if nextWake == never {
 				res.Deadlocked = true
 				break
 			}
-			if limits.MaxCycles > 0 && wakeAt >= limits.MaxCycles {
+			if nextWake >= maxCyc {
 				break
 			}
-			m.Kern.WakeSleepersUpTo(wakeAt)
+			m.Kern.WakeSleepersUpTo(nextWake)
+			dirty = true
 			continue
 		}
 
-		if limits.MaxCycles > 0 && bestT >= limits.MaxCycles {
+		if bestT >= maxCyc {
 			break
 		}
 
 		// Wake any sleepers whose deadline the chosen core has reached,
-		// so they compete for cores at the right time.
-		m.Kern.WakeSleepersUpTo(bestT)
-
-		if m.Kern.StepCore(best) == kernel.StepRan {
-			res.Steps++
+		// so they compete for cores at the right time. A wake can land
+		// a thread on any core, so the cached times must be rebuilt and
+		// the horizon inputs recomputed (relative to the already-chosen
+		// core) before the burst starts.
+		if bestT >= nextWake {
+			if m.Kern.WakeSleepersUpTo(bestT) {
+				m2, lowTie = never, false
+				for i := range m.Cores {
+					ats[i] = never
+					at, ok := m.Kern.NextActionTime(i)
+					if !ok {
+						continue
+					}
+					ats[i] = at
+					if i == best {
+						continue
+					}
+					if at < m2 {
+						m2, lowTie = at, i < best
+					} else if at == m2 && i < best {
+						lowTie = true
+					}
+				}
+			}
+			nextWake = never
+			if at, ok := m.Kern.NextSleeperWake(); ok {
+				nextWake = at
+			}
 		}
+
+		// Cap the horizon by the next sleeper deadline and the cycle
+		// limit. RunCore also hands back on every kernel-visible event,
+		// so anything that could change another core's next-action time
+		// re-picks first.
+		horizon := never
+		if m2 != never {
+			horizon = m2
+			if !lowTie {
+				horizon++
+			}
+		}
+		if nextWake < horizon {
+			horizon = nextWake
+		}
+		if maxCyc < horizon {
+			horizon = maxCyc
+		}
+		// maxSteps-res.Steps stays astronomically large in the unlimited
+		// case, which RunCore's step budget treats the same as no bound.
+		steps, now, clean := m.Kern.RunCore(best, horizon, maxSteps-res.Steps)
+		res.Steps += steps
+		dirty = !clean
+		last, lastNow = best, now
 	}
 
 	// Flush a final frame for any live group-holding thread so a run

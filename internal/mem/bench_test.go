@@ -1,0 +1,50 @@
+package mem
+
+import "testing"
+
+// benchSnapshotRestore measures one Restore after dirtying the given
+// number of a 256-page working set's pages. With dirty-page tracking
+// the cost must scale with pages touched, not total guest memory.
+func benchSnapshotRestore(b *testing.B, dirtyPages int) {
+	const pages = 256
+	s := NewSpace()
+	base := s.Alloc(pages * PageSize)
+	for i := uint64(0); i < pages; i++ {
+		s.Write64((base+i*PageSize)&^7, i+1)
+	}
+	snap := s.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := uint64(0); j < uint64(dirtyPages); j++ {
+			s.Write64((base+j*PageSize+8)&^7, uint64(i)+j)
+		}
+		s.Restore(snap)
+	}
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	b.Run("clean", func(b *testing.B) { benchSnapshotRestore(b, 0) })
+	b.Run("dirty-10%", func(b *testing.B) { benchSnapshotRestore(b, 26) })
+	b.Run("dirty-100%", func(b *testing.B) { benchSnapshotRestore(b, 256) })
+}
+
+func BenchmarkRead64(b *testing.B) {
+	s := NewSpace()
+	addr := s.AllocWords(1)
+	s.Write64(addr, 42)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += s.Read64(addr)
+	}
+	_ = sink
+}
+
+func BenchmarkWrite64(b *testing.B) {
+	s := NewSpace()
+	addr := s.AllocWords(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write64(addr, uint64(i))
+	}
+}

@@ -6,6 +6,15 @@
 // it. The host-side harness also reads Spaces directly after a run to
 // extract instrumentation buffers the simulated program wrote (the
 // analogue of reading a results file the real benchmark produced).
+//
+// Pages are stored as arrays of 64-bit little-endian words — the only
+// access granularity the ISA has — so Read64/Write64 are single
+// indexed loads/stores rather than byte loops. A one-entry last-page
+// cache on each of the read and write paths removes the page-map
+// lookup from hit-dominated access streams, and dirty-page tracking
+// makes Snapshot/Restore cost proportional to the pages actually
+// touched between runs rather than to total guest memory (the
+// copy-on-write contract the runner's worker pools rely on).
 package mem
 
 import "fmt"
@@ -15,28 +24,99 @@ import "fmt"
 // 8-byte alignment.
 const PageSize = 1 << 12
 
+// PageWords is the page size in 64-bit words.
+const PageWords = PageSize / 8
+
+// PageData is the word-level backing store of one page, index i
+// holding the little-endian word at byte offset 8i.
+type PageData [PageWords]uint64
+
+// page is one backing page plus its dirty mark: mark == Space.gen
+// exactly when the page has already been recorded in the dirty list of
+// the current snapshot generation, so the write barrier costs one
+// compare per write after the first.
+type page struct {
+	words PageData
+	mark  uint64
+}
+
 // Space is a sparse simulated address space. The zero value is not
 // usable; call NewSpace.
 type Space struct {
-	pages map[uint64]*[PageSize]byte
+	pages map[uint64]*page
 	brk   uint64 // next allocation address
+
+	// gen is the snapshot generation, bumped by Snapshot and Restore.
+	// It validates the hot-page caches and the per-page dirty marks:
+	// nothing is swept on a generation change, stale state simply stops
+	// comparing equal. Starts at 1 so a fresh page's zero mark is never
+	// "already dirty".
+	gen uint64
+	// active is the snapshot incremental Restore rewinds to; dirty and
+	// created record the page bases written to / materialized since it
+	// was taken (only maintained while active is non-nil).
+	active  *Snapshot
+	dirty   []uint64
+	created []uint64
+
+	// One-entry last-page caches. The read cache is valid until a
+	// Restore (which may delete pages); the write cache is valid only
+	// within the generation whose dirty barrier it passed.
+	rBase uint64
+	rPage *page
+	wBase uint64
+	wPage *page
+	wGen  uint64
+
+	// pcache is a small direct-mapped page-pointer cache serving
+	// ReadPage/WritePage — the CPU cores' translation-hint refill path.
+	// Several cores share one Space (threads of a process), so their
+	// interleaved refills thrash a single entry; a few indexed slots
+	// keep them off the page map. Entries hold base+1 (zero = invalid)
+	// and are cleared whenever pages may be deleted (adoptBaseline).
+	pcache [pcacheSize]pcacheEntry
+}
+
+const pcacheSize = 16 // power of two
+
+type pcacheEntry struct {
+	base uint64 // page base + 1; zero = invalid
+	p    *page
 }
 
 // NewSpace returns an empty address space. Allocations start at a
 // non-zero base so that address 0 stays invalid (a useful tripwire).
 func NewSpace() *Space {
 	return &Space{
-		pages: make(map[uint64]*[PageSize]byte),
+		pages: make(map[uint64]*page),
 		brk:   0x1000,
+		gen:   1,
 	}
 }
 
-func (s *Space) page(addr uint64) *[PageSize]byte {
-	base := addr &^ uint64(PageSize-1)
+// pageFor returns the page based at base (which must be page-aligned),
+// materializing it if needed.
+func (s *Space) pageFor(base uint64) *page {
 	p, ok := s.pages[base]
 	if !ok {
-		p = new([PageSize]byte)
+		p = new(page)
 		s.pages[base] = p
+		if s.active != nil {
+			s.created = append(s.created, base)
+		}
+	}
+	return p
+}
+
+// pageForWrite is pageFor plus the dirty barrier: the first write to a
+// page in each snapshot generation records it for incremental Restore.
+func (s *Space) pageForWrite(base uint64) *page {
+	p := s.pageFor(base)
+	if p.mark != s.gen {
+		p.mark = s.gen
+		if s.active != nil {
+			s.dirty = append(s.dirty, base)
+		}
 	}
 	return p
 }
@@ -60,47 +140,80 @@ func (s *Space) Brk() uint64 { return s.brk }
 // 8-byte aligned; unaligned access panics (simulated programs are
 // generated, so this is a bug trap rather than a runtime condition).
 func (s *Space) Read64(addr uint64) uint64 {
-	checkAligned(addr)
-	p := s.page(addr)
-	off := addr & (PageSize - 1)
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(p[off+uint64(i)])
+	CheckAligned(addr)
+	base := addr &^ uint64(PageSize-1)
+	p := s.rPage
+	if p == nil || s.rBase != base {
+		p = s.pageFor(base)
+		s.rPage, s.rBase = p, base
 	}
-	return v
+	return p.words[(addr&(PageSize-1))>>3]
 }
 
 // Write64 stores the 8-byte little-endian word v at addr (8-byte
 // aligned).
 func (s *Space) Write64(addr, v uint64) {
-	checkAligned(addr)
-	p := s.page(addr)
-	off := addr & (PageSize - 1)
-	for i := 0; i < 8; i++ {
-		p[off+uint64(i)] = byte(v >> (8 * i))
-	}
+	CheckAligned(addr)
+	p := s.writePage(addr)
+	p.words[(addr&(PageSize-1))>>3] = v
 }
 
-// Add64 adds delta to the word at addr and returns the new value.
+// writePage resolves addr's page through the write-path cache; on a
+// hit the dirty barrier has already run this generation.
+func (s *Space) writePage(addr uint64) *page {
+	base := addr &^ uint64(PageSize-1)
+	if s.wGen == s.gen && s.wBase == base && s.wPage != nil {
+		return s.wPage
+	}
+	p := s.pageForWrite(base)
+	s.wPage, s.wBase, s.wGen = p, base, s.gen
+	return p
+}
+
+// Add64 adds delta to the word at addr and returns the new value. The
+// page is resolved once for the read-modify-write.
 func (s *Space) Add64(addr, delta uint64) uint64 {
-	v := s.Read64(addr) + delta
-	s.Write64(addr, v)
+	CheckAligned(addr)
+	p := s.writePage(addr)
+	i := (addr & (PageSize - 1)) >> 3
+	v := p.words[i] + delta
+	p.words[i] = v
 	return v
 }
 
-// ReadWords reads n consecutive 8-byte words starting at addr.
+// ReadWords reads n consecutive 8-byte words starting at addr,
+// resolving each spanned page once.
 func (s *Space) ReadWords(addr uint64, n int) []uint64 {
+	CheckAligned(addr)
 	out := make([]uint64, n)
-	for i := range out {
-		out[i] = s.Read64(addr + uint64(i)*8)
+	for i := 0; i < n; {
+		base := addr &^ uint64(PageSize-1)
+		off := int((addr & (PageSize - 1)) >> 3)
+		take := PageWords - off
+		if rem := n - i; take > rem {
+			take = rem
+		}
+		copy(out[i:i+take], s.pageFor(base).words[off:off+take])
+		i += take
+		addr += uint64(take) * 8
 	}
 	return out
 }
 
-// WriteWords writes the words consecutively starting at addr.
+// WriteWords writes the words consecutively starting at addr,
+// resolving each spanned page (and running its dirty barrier) once.
 func (s *Space) WriteWords(addr uint64, words []uint64) {
-	for i, w := range words {
-		s.Write64(addr+uint64(i)*8, w)
+	CheckAligned(addr)
+	for i := 0; i < len(words); {
+		base := addr &^ uint64(PageSize-1)
+		off := int((addr & (PageSize - 1)) >> 3)
+		take := PageWords - off
+		if rem := len(words) - i; take > rem {
+			take = rem
+		}
+		copy(s.pageForWrite(base).words[off:off+take], words[i:i+take])
+		i += take
+		addr += uint64(take) * 8
 	}
 }
 
@@ -108,53 +221,137 @@ func (s *Space) WriteWords(addr uint64, words []uint64) {
 // Useful in tests to confirm sparseness.
 func (s *Space) PageCount() int { return len(s.pages) }
 
+// Gen returns the space's snapshot generation. It changes whenever a
+// page pointer handed out by ReadPage/WritePage may have been
+// invalidated (Snapshot or Restore); holders revalidate by comparing.
+func (s *Space) Gen() uint64 { return s.gen }
+
+// ReadPage returns the word array backing addr's page for read-only
+// use. The pointer stays valid — and its contents coherent with
+// Read64/Write64 — until the space's Gen changes. Used by the CPU
+// core's per-core translation hint to keep hit-dominated access
+// streams off the page map entirely.
+func (s *Space) ReadPage(addr uint64) *PageData {
+	base := addr &^ uint64(PageSize-1)
+	e := &s.pcache[(base/PageSize)&(pcacheSize-1)]
+	if e.base != base+1 {
+		e.p = s.pageFor(base)
+		e.base = base + 1
+	}
+	return &e.p.words
+}
+
+// WritePage is ReadPage for writable use: the page's dirty barrier
+// runs now, covering every direct store to the returned array for the
+// current generation. The pointer must be dropped when Gen changes.
+func (s *Space) WritePage(addr uint64) *PageData {
+	base := addr &^ uint64(PageSize-1)
+	e := &s.pcache[(base/PageSize)&(pcacheSize-1)]
+	if e.base != base+1 {
+		e.p = s.pageFor(base)
+		e.base = base + 1
+	}
+	p := e.p
+	// Dirty barrier, exactly as pageForWrite runs it: the cache only
+	// short-circuits the page-map lookup, never the barrier.
+	if p.mark != s.gen {
+		p.mark = s.gen
+		if s.active != nil {
+			s.dirty = append(s.dirty, base)
+		}
+	}
+	return &p.words
+}
+
 // Snapshot is a frozen copy of a Space's full state, taken with
 // Space.Snapshot and reapplied with Space.Restore. The runner's worker
 // pools use it to reuse one built workload across many runs: build
 // once, snapshot, then Restore before each run instead of paying the
 // whole program/emitter/allocation construction again.
 type Snapshot struct {
-	pages map[uint64]*[PageSize]byte
+	pages map[uint64]*PageData
 	brk   uint64
 }
 
 // Snapshot captures the space's current contents and allocation mark.
 // The returned snapshot owns copies of every page; later writes to the
-// space do not leak into it.
+// space do not leak into it. The snapshot also becomes the space's
+// restore baseline: from here on the space tracks dirtied and
+// newly-materialized pages so Restore back to this snapshot touches
+// only those.
 func (s *Space) Snapshot() *Snapshot {
-	snap := &Snapshot{pages: make(map[uint64]*[PageSize]byte, len(s.pages)), brk: s.brk}
+	snap := &Snapshot{pages: make(map[uint64]*PageData, len(s.pages)), brk: s.brk}
 	for base, p := range s.pages {
-		cp := new([PageSize]byte)
-		*cp = *p
+		cp := new(PageData)
+		*cp = p.words
 		snap.pages[base] = cp
 	}
+	s.adoptBaseline(snap)
 	return snap
+}
+
+// adoptBaseline resets dirty tracking against snap and invalidates
+// every outstanding page handle by bumping the generation.
+func (s *Space) adoptBaseline(snap *Snapshot) {
+	s.gen++
+	s.active = snap
+	s.dirty = s.dirty[:0]
+	s.created = s.created[:0]
+	s.rPage = nil
+	s.wPage = nil
+	s.pcache = [pcacheSize]pcacheEntry{}
 }
 
 // Restore rewinds the space to exactly the snapshot's state: pages
 // materialized since are dropped, surviving pages are restored byte
 // for byte, and the allocation mark rewinds. After Restore the space
 // is indistinguishable from the one Snapshot saw.
+//
+// Restoring the space's current baseline (the common worker-pool loop:
+// one Snapshot, then Restore before every run) is incremental — cost
+// scales with the pages written or created since, not with the space's
+// size. Restoring any other snapshot falls back to a full sweep and
+// adopts that snapshot as the new baseline.
 func (s *Space) Restore(snap *Snapshot) {
+	if snap == s.active {
+		for _, base := range s.dirty {
+			if orig, ok := snap.pages[base]; ok {
+				s.pages[base].words = *orig
+			}
+			// Pages dirtied but absent from the snapshot were created
+			// since it was taken; the created sweep deletes them.
+		}
+		for _, base := range s.created {
+			delete(s.pages, base)
+		}
+		s.brk = snap.brk
+		s.adoptBaseline(snap)
+		return
+	}
+
+	// Full restore against a foreign snapshot.
 	for base, p := range s.pages {
 		orig, ok := snap.pages[base]
 		if !ok {
 			delete(s.pages, base)
 			continue
 		}
-		*p = *orig
+		p.words = *orig
 	}
 	for base, orig := range snap.pages {
 		if _, ok := s.pages[base]; !ok {
-			cp := new([PageSize]byte)
-			*cp = *orig
-			s.pages[base] = cp
+			p := new(page)
+			p.words = *orig
+			s.pages[base] = p
 		}
 	}
 	s.brk = snap.brk
+	s.adoptBaseline(snap)
 }
 
-func checkAligned(addr uint64) {
+// CheckAligned panics unless addr is 8-byte aligned — the bug trap
+// every 64-bit accessor (and the CPU core's fast path) runs first.
+func CheckAligned(addr uint64) {
 	if addr&7 != 0 {
 		panic(fmt.Sprintf("mem: unaligned 64-bit access at %#x", addr))
 	}

@@ -33,13 +33,20 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 }
 
-func TestLittleEndianLayout(t *testing.T) {
+func TestWordPageLayout(t *testing.T) {
 	s := NewSpace()
 	s.Write64(0x1000, 0x0102030405060708)
-	// The byte at the lowest address is the least significant.
-	p := s.page(0x1000)
-	if p[0] != 0x08 || p[7] != 0x01 {
-		t.Errorf("layout bytes [0]=%#x [7]=%#x, want little-endian", p[0], p[7])
+	s.Write64(0x1000+8*(PageWords-1), 0x1122)
+	// Word i of a page backs byte offset 8i; the page's word array is
+	// directly coherent with Read64/Write64.
+	p := s.ReadPage(0x1000)
+	if p[0] != 0x0102030405060708 || p[PageWords-1] != 0x1122 {
+		t.Errorf("layout words [0]=%#x [last]=%#x", p[0], p[PageWords-1])
+	}
+	wp := s.WritePage(0x1000)
+	wp[1] = 0xabcd
+	if got := s.Read64(0x1008); got != 0xabcd {
+		t.Errorf("direct page store invisible to Read64: %#x", got)
 	}
 }
 

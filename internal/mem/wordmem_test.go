@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// byteSpace is the pre-word-level reference model: a sparse map of
+// byte pages with little-endian 64-bit accessors, replicating the old
+// byte-array Space exactly. The fuzz cross-check below demands that
+// the word-level implementation is indistinguishable from it.
+type byteSpace struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+func newByteSpace() *byteSpace {
+	return &byteSpace{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (b *byteSpace) page(base uint64) *[PageSize]byte {
+	p, ok := b.pages[base]
+	if !ok {
+		p = new([PageSize]byte)
+		b.pages[base] = p
+	}
+	return p
+}
+
+func (b *byteSpace) read64(addr uint64) uint64 {
+	CheckAligned(addr)
+	p := b.page(addr &^ uint64(PageSize-1))
+	off := addr & (PageSize - 1)
+	return binary.LittleEndian.Uint64(p[off : off+8])
+}
+
+func (b *byteSpace) write64(addr, v uint64) {
+	CheckAligned(addr)
+	p := b.page(addr &^ uint64(PageSize-1))
+	off := addr & (PageSize - 1)
+	binary.LittleEndian.PutUint64(p[off:off+8], v)
+}
+
+// fuzzAddr picks addresses clustered around page boundaries so first
+// and last words of pages, and runs that straddle them, dominate the
+// stream.
+func fuzzAddr(rng *rand.Rand) uint64 {
+	page := uint64(rng.Intn(8)) * PageSize
+	switch rng.Intn(3) {
+	case 0: // first words of the page
+		return page + uint64(rng.Intn(4))*8
+	case 1: // last words of the page
+		return page + PageSize - uint64(1+rng.Intn(4))*8
+	default:
+		return page + (uint64(rng.Intn(PageSize)) &^ 7)
+	}
+}
+
+// TestWordByteCrossCheck fuzzes the word-level Space against the
+// byte-wise reference model: every Read64/Write64/Add64 and every
+// multi-page ReadWords/WriteWords must agree at page-boundary-adjacent
+// addresses, interleaved with Snapshot/Restore to stress the hot-page
+// caches across generation changes.
+func TestWordByteCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xb17e))
+	s := NewSpace()
+	ref := newByteSpace()
+	var snap *Snapshot
+	var refSnap map[uint64][PageSize]byte
+
+	for step := 0; step < 30_000; step++ {
+		switch rng.Intn(12) {
+		case 0, 1, 2, 3: // write
+			addr, v := fuzzAddr(rng), rng.Uint64()
+			s.Write64(addr, v)
+			ref.write64(addr, v)
+		case 4, 5, 6: // read
+			addr := fuzzAddr(rng)
+			if got, want := s.Read64(addr), ref.read64(addr); got != want {
+				t.Fatalf("step %d: Read64(%#x) = %#x, reference %#x", step, addr, got, want)
+			}
+		case 7: // read-modify-write
+			addr, d := fuzzAddr(rng), rng.Uint64()
+			got := s.Add64(addr, d)
+			want := ref.read64(addr) + d
+			ref.write64(addr, want)
+			if got != want {
+				t.Fatalf("step %d: Add64(%#x) = %#x, reference %#x", step, addr, got, want)
+			}
+		case 8: // bulk write straddling up to three pages
+			addr := fuzzAddr(rng)
+			words := make([]uint64, 1+rng.Intn(2*PageWords+8))
+			for i := range words {
+				words[i] = rng.Uint64()
+				ref.write64(addr+uint64(i)*8, words[i])
+			}
+			s.WriteWords(addr, words)
+		case 9: // bulk read straddling up to three pages
+			addr := fuzzAddr(rng)
+			n := 1 + rng.Intn(2*PageWords+8)
+			got := s.ReadWords(addr, n)
+			for i := 0; i < n; i++ {
+				if want := ref.read64(addr + uint64(i)*8); got[i] != want {
+					t.Fatalf("step %d: ReadWords(%#x)[%d] = %#x, reference %#x", step, addr, i, got[i], want)
+				}
+			}
+		case 10: // snapshot both models
+			snap = s.Snapshot()
+			refSnap = make(map[uint64][PageSize]byte, len(ref.pages))
+			for base, p := range ref.pages {
+				refSnap[base] = *p
+			}
+		case 11: // restore both models
+			if snap != nil {
+				s.Restore(snap)
+				ref.pages = make(map[uint64]*[PageSize]byte, len(refSnap))
+				for base, data := range refSnap {
+					cp := data
+					ref.pages[base] = &cp
+				}
+			}
+		}
+	}
+
+	// Final sweep: every word of every reference page agrees.
+	for base, p := range ref.pages {
+		for off := uint64(0); off < PageSize; off += 8 {
+			want := binary.LittleEndian.Uint64(p[off : off+8])
+			if got := s.Read64(base + off); got != want {
+				t.Fatalf("final sweep: word at %#x = %#x, reference %#x", base+off, got, want)
+			}
+		}
+	}
+}

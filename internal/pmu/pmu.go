@@ -23,7 +23,10 @@
 // context-switch path).
 package pmu
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Event identifies a countable architectural event.
 type Event uint8
@@ -71,6 +74,20 @@ func (e Event) String() string {
 		return eventNames[e]
 	}
 	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// uncoreBit is set in every dispatch-table entry while an Uncore is
+// attached, folding "is anything mirrored to the socket block?" into
+// the same load that answers "does any counter watch this event?".
+// Counter indices are therefore capped at 63 (enforced by New).
+const uncoreBit = uint64(1) << 63
+
+// eventEntry is one (event, ring) slot of the dispatch table: the
+// omniscient accumulator and the mask of parties that must also see
+// the event (watching counters, plus uncoreBit).
+type eventEntry struct {
+	truth    uint64
+	watchers uint64
 }
 
 // Ring is the privilege level at which events occur.
@@ -159,8 +176,15 @@ func EnhancedHWVirtualization() Features {
 }
 
 type counter struct {
-	cfg   CounterConfig
+	// value and threshold lead the struct: bump touches only these two
+	// fields once per watched event per instruction, so they sit at
+	// offset 0/8 of the slot with cfg's cold bytes behind them.
 	value uint64
+	// threshold is 1<<cfg.OverflowBit, precomputed by Configure; zero
+	// means overflow interrupts are disabled (no valid threshold is 0,
+	// since OverflowBit 0 yields 1).
+	threshold uint64
+	cfg       CounterConfig
 }
 
 // PMU is one core's performance monitoring unit.
@@ -170,11 +194,48 @@ type PMU struct {
 	mask     uint64 // value mask from CounterWidth
 	pending  uint64 // bitmask of counters with a pending overflow interrupt
 
-	// groundTruth accumulates every event per ring regardless of
-	// counter programming. It models an omniscient observer and is
-	// used by experiments to compute true totals that the paper
-	// obtained from long calibration runs.
-	groundTruth [NumEvents][2]uint64
+	// events is the per-(event, ring) dispatch table.
+	//
+	// truth accumulates every event regardless of counter programming:
+	// an omniscient observer, used by experiments to compute true
+	// totals that the paper obtained from long calibration runs.
+	//
+	// watchers is the bitmask of enabled counters whose event selector
+	// and ring filter accept (ev, ring), plus uncoreBit when a socket
+	// counter block is attached. It is rebuilt by Configure — the only
+	// place a counter's programming changes — so AddEvent's common
+	// case ("no counter watches this event") is a single indexed
+	// entry: one add, one load, one branch, instead of a scan over
+	// every counter. The machine loop calls AddEvent several times per
+	// simulated instruction, which made the scan the interpreter's
+	// hottest path; sharing one entry for truth and watchers keeps
+	// AddEvent within the inlining budget.
+	// Laid out flat with the user ring in the first NumEvents slots:
+	// AddUser then indexes with ev alone, which is what lets it fit
+	// the inlining budget.
+	events [2 * int(NumEvents)]eventEntry
+
+	// Deferred retirement accounting. AddRetire runs once per simulated
+	// instruction; when counters watch the retirement pair, bumping them
+	// every step dominated the interpreter profile. Instead, while
+	// deferBudget is nonzero AddRetire accumulates into defRetire
+	// (packed sums), and flushRetire folds them in later — exact,
+	// because counter values are modular sums and the budget is sized so
+	// that no watched counter can cross its overflow threshold (or wrap)
+	// inside the window, so no pending bit can be produced early or
+	// late. Every observer of counter values, ground truth, or
+	// programming flushes first (Read, Write, Configure, GroundTruth*,
+	// and any kernel/user add to the retirement events, whose watchers
+	// may share counters with the deferred stream); PMI-precision paths
+	// degrade to per-step bumping automatically as a threshold nears,
+	// because the recomputed budget reaches zero.
+	// defRetire packs the whole deferral state into one word so the
+	// per-instruction fast path is a single load and store: bits 48+
+	// hold the remaining budget, bits [24,48) the deferred instruction
+	// sum, bits [0,24) the deferred cycle sum. Budget and per-step
+	// deltas are capped at deferStepMask (4095), so each 24-bit lane
+	// tops out at 4095*4095 < 2^24 and lanes never carry.
+	defRetire uint64
 
 	// uncore, when attached, receives a copy of every event. Several
 	// cores on one socket share a single Uncore, modeling socket-level
@@ -187,6 +248,11 @@ type PMU struct {
 func New(f Features) *PMU {
 	if f.NumCounters <= 0 {
 		panic("pmu: NumCounters must be positive")
+	}
+	if f.NumCounters > 63 {
+		// Counter index i occupies bit i of the dispatch-table masks;
+		// bit 63 is reserved for the uncore-attached flag.
+		panic("pmu: NumCounters must be at most 63")
 	}
 	if f.CounterWidth <= 0 || f.CounterWidth > 64 {
 		panic("pmu: CounterWidth out of range")
@@ -221,8 +287,35 @@ func (p *PMU) check(idx int) {
 // value separately, as on real hardware).
 func (p *PMU) Configure(idx int, cfg CounterConfig) {
 	p.check(idx)
-	p.counters[idx].cfg = cfg
+	p.syncRetire() // deferred retirements precede the reprogramming
+	c := &p.counters[idx]
+	c.cfg = cfg
+	if ob := cfg.OverflowBit; ob >= 0 && ob < 64 {
+		c.threshold = 1 << uint(ob)
+	} else {
+		c.threshold = 0
+	}
 	p.pending &^= 1 << uint(idx)
+	p.rebuildDispatch(idx)
+}
+
+// rebuildDispatch re-derives counter idx's dispatch-table bits from
+// its current programming.
+func (p *PMU) rebuildDispatch(idx int) {
+	bit := uint64(1) << uint(idx)
+	for i := range p.events {
+		p.events[i].watchers &^= bit
+	}
+	cfg := p.counters[idx].cfg
+	if !cfg.Enabled || int(cfg.Event) >= int(NumEvents) {
+		return
+	}
+	if cfg.CountUser {
+		p.events[cfg.Event].watchers |= bit
+	}
+	if cfg.CountKernel {
+		p.events[int(NumEvents)+int(cfg.Event)].watchers |= bit
+	}
 }
 
 // Config returns counter idx's current programming.
@@ -235,6 +328,7 @@ func (p *PMU) Config(idx int) CounterConfig {
 // both see this).
 func (p *PMU) Read(idx int) uint64 {
 	p.check(idx)
+	p.flushRetire() // the window survives: reading mutates nothing
 	return p.counters[idx].value
 }
 
@@ -245,6 +339,7 @@ func (p *PMU) ReadAndReset(idx int) uint64 {
 		panic("pmu: destructive read without DestructiveReads feature")
 	}
 	p.check(idx)
+	p.syncRetire()
 	v := p.counters[idx].value
 	p.counters[idx].value = 0
 	p.pending &^= 1 << uint(idx)
@@ -258,6 +353,7 @@ func (p *PMU) ReadAndReset(idx int) uint64 {
 // overflow folding exists to satisfy).
 func (p *PMU) Write(idx int, v uint64) {
 	p.check(idx)
+	p.syncRetire()
 	var wmask uint64
 	if p.feats.WriteWidth >= 64 {
 		wmask = ^uint64(0)
@@ -280,28 +376,250 @@ func (p *PMU) WriteLimit() uint64 {
 // AddEvent advances every enabled counter whose event and ring filter
 // match by n, records ground truth, and accumulates pending overflow
 // interrupts for counters that crossed their overflow threshold.
+//
+// The ground-truth update and the watcher lookup share one table
+// index; when no counter watches (ev, ring) — the dominant case in the
+// interpreter hot loop — the call costs two indexed adds and a branch.
 func (p *PMU) AddEvent(ring Ring, ev Event, n uint64) {
-	if n == 0 {
+	e := &p.events[int(ring)*int(NumEvents)+int(ev)]
+	e.truth += n
+	if e.watchers != 0 {
+		p.addSlow(ev, e.watchers, n)
+	}
+}
+
+// AddUser and AddKernel are AddEvent with the ring fixed. The generic
+// form is one parameter over the inlining budget; these two fit, so
+// the interpreter's per-instruction count sites and the kernel-work
+// accounting pay no call in the nobody-watching case.
+
+// AddUser records ev in the user ring.
+func (p *PMU) AddUser(ev Event, n uint64) {
+	e := &p.events[ev]
+	e.truth += n
+	if e.watchers != 0 {
+		p.addUserSlow(ev, n)
+	}
+}
+
+// AddKernel records ev in the kernel ring.
+func (p *PMU) AddKernel(ev Event, n uint64) {
+	e := &p.events[ev+NumEvents] // Event is uint8; NumEvents+ev < 2*NumEvents fits
+	e.truth += n
+	if e.watchers != 0 {
+		p.addKernelSlow(ev, n)
+	}
+}
+
+// AddRetire records one instruction's retirement: instrs in
+// EvInstructions and cycles in EvCycles, both in the user ring, in
+// that order. It is AddUser twice with the slow paths fused — the
+// interpreter calls it once per instruction, and in limit mode both
+// events are watched, so the split form paid two out-of-line calls
+// per instruction.
+//
+// Callers must keep instrs <= max(1, cycles) — true of any real
+// retirement stream (an instruction costs at least one cycle, and the
+// batched-compute op retires one instruction per cycle) — so bounding
+// cycles bounds both deferral lanes.
+//
+// The guard admits a step into the deferral window only when cycles is
+// below the remaining budget — a stricter test than the window
+// requires (< 2^12 would do), chosen because it folds the
+// budget-nonzero and step-small-enough checks into one compare that
+// fits the inlining budget. Ground truth defers along with the bumps;
+// every observer flushes first.
+func (p *PMU) AddRetire(instrs, cycles uint64) {
+	if p.defRetire>>48 > cycles {
+		p.defRetire += instrs<<24 + cycles - 1<<48
 		return
 	}
-	p.groundTruth[ev][ring] += n
-	if p.uncore != nil {
-		p.uncore.add(ev, n)
+	p.addRetireSlow(instrs, cycles)
+}
+
+// Deferral window sizing: a deferred step may add at most deferStepMask
+// to each retirement event (larger steps — e.g. big batched compute
+// ops — take the immediate path), so a budget of rem>>deferStepBits
+// steps can never move a counter rem closer to a crossing. The window
+// cap doubles as the budget bound that lets AddRetire fold its two
+// guards (budget nonzero, step small enough) into one compare.
+const (
+	deferStepBits  = 12
+	deferStepMask  = 1<<deferStepBits - 1
+	maxDeferWindow = deferStepMask
+)
+
+// addRetireSlow is the out-of-window retirement path: record ground
+// truth, fold any deferred sums, bump the watching counters, and open
+// a fresh window.
+//
+//go:noinline
+func (p *PMU) addRetireSlow(instrs, cycles uint64) {
+	p.events[EvInstructions].truth += instrs
+	p.events[EvCycles].truth += cycles
+	p.flushRetire()
+	p.bumpRetire(instrs, cycles)
+	p.recomputeDeferBudget()
+}
+
+// flushRetire folds the deferred retirement sums into ground truth and
+// the watched counters. Modular addition commutes with itself, and the
+// window invariant guarantees no crossing occurred inside it, so the
+// fold is byte-exact with per-step bumping. Watcher sets cannot have
+// changed while the sums accumulated: reprogramming syncs first.
+func (p *PMU) flushRetire() {
+	d := p.defRetire
+	i, c := d>>24&(1<<24-1), d&(1<<24-1)
+	if i|c == 0 {
+		return
 	}
-	for i := range p.counters {
+	p.defRetire = d >> 48 << 48 // sums applied; the window survives
+	p.events[EvInstructions].truth += i
+	p.events[EvCycles].truth += c
+	p.bumpRetire(i, c)
+}
+
+// syncRetire flushes and kills the deferral window; used by every
+// operation that mutates counter values, programming, or watcher sets.
+// The next AddRetire recomputes a fresh budget.
+func (p *PMU) syncRetire() {
+	p.flushRetire()
+	p.defRetire = 0
+}
+
+// recomputeDeferBudget sizes the deferral window: the number of
+// ≤deferStepMask-per-event steps guaranteed not to bring any watched
+// retirement counter to its overflow threshold or full-width wrap —
+// the two transitions bump can observe. Counters without a threshold
+// never produce pending bits, so only their final modular value
+// matters, which deferral preserves exactly; they impose no bound.
+func (p *PMU) recomputeDeferBudget() {
+	p.defRetire = 0
+	im := p.events[EvInstructions].watchers
+	cm := p.events[EvCycles].watchers
+	if (im|cm)&uncoreBit != 0 {
+		// The socket block is shared across cores and read without
+		// this PMU's involvement; its mirror cannot lag.
+		return
+	}
+	w := uint64(maxDeferWindow)
+	for m := im | cm; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
 		c := &p.counters[i]
-		if c.cfg.Event != ev || !c.cfg.counts(ring) {
+		if c.threshold == 0 {
 			continue
 		}
-		before := c.value
-		c.value = (c.value + n) & p.mask
-		if ob := c.cfg.OverflowBit; ob >= 0 && ob < 64 {
-			threshold := uint64(1) << uint(ob)
-			// Crossing detection: the counter moved from below the
-			// threshold to at-or-above it (or wrapped the full width).
-			if (before < threshold && c.value >= threshold) || c.value < before {
-				p.pending |= 1 << uint(i)
-			}
+		rem := p.mask - c.value + 1 // distance to full-width wrap
+		if rem == 0 {
+			rem = ^uint64(0) // 64-bit counter at zero: wrap unreachable
+		}
+		if th := c.threshold; c.value < th && th-c.value < rem {
+			rem = th - c.value
+		}
+		if steps := rem >> deferStepBits; steps < w {
+			w = steps
+		}
+	}
+	p.defRetire = w << 48
+}
+
+// bumpRetire applies a retirement pair (or a folded window of them) to
+// every watching counter, in the same ascending-index order per event
+// as the pre-dispatch-table scan.
+func (p *PMU) bumpRetire(instrs, cycles uint64) {
+	m := p.events[EvInstructions].watchers
+	if m&uncoreBit != 0 {
+		p.uncore.add(EvInstructions, instrs)
+		m &^= uncoreBit
+	}
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		p.bump(i, instrs)
+	}
+	m = p.events[EvCycles].watchers
+	if m&uncoreBit != 0 {
+		p.uncore.add(EvCycles, cycles)
+		m &^= uncoreBit
+	}
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		p.bump(i, cycles)
+	}
+}
+
+// addUserSlow and addKernelSlow are addSlow with the watcher mask
+// re-read from the fixed ring's table half. They repeat addSlow's body
+// rather than call it: the watched path runs twice per instruction
+// when cycles and instructions are both counted (the limit-mode
+// default), and the extra frame was visible in profiles.
+
+//go:noinline
+func (p *PMU) addUserSlow(ev Event, n uint64) {
+	if ev <= EvInstructions {
+		p.syncRetire() // this add may advance a retirement-watching counter
+	}
+	m := p.events[ev].watchers
+	if m&uncoreBit != 0 {
+		p.uncore.add(ev, n)
+		m &^= uncoreBit
+	}
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		p.bump(i, n)
+	}
+}
+
+//go:noinline
+func (p *PMU) addKernelSlow(ev Event, n uint64) {
+	if ev <= EvInstructions {
+		p.syncRetire() // a CountUser+CountKernel counter may also watch retirement
+	}
+	m := p.events[int(NumEvents)+int(ev)].watchers
+	if m&uncoreBit != 0 {
+		p.uncore.add(ev, n)
+		m &^= uncoreBit
+	}
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		p.bump(i, n)
+	}
+}
+
+// addSlow handles the uncore mirror and watched counters. Kept out of
+// line so AddEvent inlines into every count site — the common "nobody
+// watches this event" case is then add, load, branch, with no call.
+func (p *PMU) addSlow(ev Event, m, n uint64) {
+	if ev <= EvInstructions {
+		p.syncRetire()
+	}
+	if m&uncoreBit != 0 {
+		p.uncore.add(ev, n)
+		m &^= uncoreBit
+	}
+	// Counters advance in ascending index order, exactly as the
+	// pre-dispatch-table scan did.
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		p.bump(i, n)
+	}
+}
+
+// bump advances counter i by n with overflow-threshold crossing
+// detection: the counter moved from below the threshold to at-or-above
+// it, or wrapped the full width.
+func (p *PMU) bump(i int, n uint64) {
+	c := &p.counters[i]
+	before := c.value
+	c.value = (before + n) & p.mask
+	if th := c.threshold; th != 0 {
+		if (before < th && c.value >= th) || c.value < before {
+			p.pending |= 1 << uint(i)
 		}
 	}
 }
@@ -311,7 +629,9 @@ func (p *PMU) AddEvent(ring Ring, ev Event, n uint64) {
 // instruction and routes nonzero masks to the kernel's PMI handler.
 func (p *PMU) TakePendingOverflows() uint64 {
 	m := p.pending
-	p.pending = 0
+	if m != 0 {
+		p.pending = 0
+	}
 	return m
 }
 
@@ -321,14 +641,21 @@ func (p *PMU) HasPending() bool { return p.pending != 0 }
 
 // GroundTruth returns the omniscient count of ev in ring since reset.
 func (p *PMU) GroundTruth(ev Event, ring Ring) uint64 {
-	return p.groundTruth[ev][ring]
+	p.flushRetire()
+	return p.events[int(ring)*int(NumEvents)+int(ev)].truth
 }
 
 // GroundTruthTotal returns user+kernel ground truth for ev.
 func (p *PMU) GroundTruthTotal(ev Event) uint64 {
-	return p.groundTruth[ev][RingUser] + p.groundTruth[ev][RingKernel]
+	p.flushRetire()
+	return p.events[ev].truth + p.events[int(NumEvents)+int(ev)].truth
 }
 
-// ResetGroundTruth zeroes the omniscient accumulators (counters are
-// unaffected).
-func (p *PMU) ResetGroundTruth() { p.groundTruth = [NumEvents][2]uint64{} }
+// ResetGroundTruth zeroes the omniscient accumulators (counters and
+// dispatch state are unaffected).
+func (p *PMU) ResetGroundTruth() {
+	p.flushRetire() // deferred retirements precede the reset
+	for i := range p.events {
+		p.events[i].truth = 0
+	}
+}

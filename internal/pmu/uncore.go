@@ -27,8 +27,19 @@ func (u *Uncore) Reset() { u.values = [NumEvents]uint64{} }
 
 // AttachUncore connects this core's PMU to a shared socket counter
 // block; every subsequent event is mirrored into it. Pass nil to
-// detach.
-func (p *PMU) AttachUncore(u *Uncore) { p.uncore = u }
+// detach. Attachment is flagged in every dispatch-table entry (see
+// uncoreBit) so AddEvent's fast path stays a single load and branch.
+func (p *PMU) AttachUncore(u *Uncore) {
+	p.syncRetire() // deferred retirements predate the attachment
+	p.uncore = u
+	for i := range p.events {
+		if u != nil {
+			p.events[i].watchers |= uncoreBit
+		} else {
+			p.events[i].watchers &^= uncoreBit
+		}
+	}
+}
 
 // Uncore returns the attached socket counter block (nil if none).
 func (p *PMU) Uncore() *Uncore { return p.uncore }

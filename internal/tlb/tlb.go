@@ -40,16 +40,20 @@ func DefaultConfig() Config {
 	}
 }
 
-// TLB is one core's data TLB.
+// TLB is one core's data TLB. Entries store page+1 so that zero means
+// invalid; both levels keep ways in LRU order (index 0 = MRU). The L2
+// is one flat array — set s occupies [s*ways, (s+1)*ways) — because
+// TLBs are rebuilt with every machine the worker pools construct and
+// per-set slice allocations add up.
 type TLB struct {
-	cfg Config
+	cfg      Config
+	pageBits uint // cfg.PageBits, hoisted for the Translate fast path
 
-	l1      []uint64 // pages, LRU order (index 0 = MRU)
-	l1Valid []bool
+	l1 []uint64
 
-	l2Sets  int
-	l2Tags  [][]uint64
-	l2Valid [][]bool
+	l2Sets int
+	l2Ways int
+	l2     []uint64
 }
 
 // New builds a TLB.
@@ -61,92 +65,96 @@ func New(cfg Config) *TLB {
 	for sets&(sets-1) != 0 {
 		sets--
 	}
-	t := &TLB{
-		cfg:     cfg,
-		l1:      make([]uint64, cfg.L1Entries),
-		l1Valid: make([]bool, cfg.L1Entries),
-		l2Sets:  sets,
+	return &TLB{
+		cfg:      cfg,
+		pageBits: cfg.PageBits,
+		l1:       make([]uint64, cfg.L1Entries),
+		l2Sets:   sets,
+		l2Ways:   cfg.L2Ways,
+		l2:       make([]uint64, sets*cfg.L2Ways),
 	}
-	t.l2Tags = make([][]uint64, sets)
-	t.l2Valid = make([][]bool, sets)
-	for i := 0; i < sets; i++ {
-		t.l2Tags[i] = make([]uint64, cfg.L2Ways)
-		t.l2Valid[i] = make([]bool, cfg.L2Ways)
-	}
-	return t
 }
 
 // NewDefault builds a TLB with DefaultConfig.
 func NewDefault() *TLB { return New(DefaultConfig()) }
 
 // Translate looks up the page containing addr, filling both levels on
-// a miss and returning the added latency.
+// a miss and returning the added latency. Small enough to inline: the
+// MRU-hit case — a hit in way 0 needs no LRU reordering, and spatial
+// locality makes it the dominant outcome — never leaves the caller.
 func (t *TLB) Translate(addr uint64) Result {
-	page := addr >> t.cfg.PageBits
-	if t.l1Lookup(page) {
+	if t.l1[0] == addr>>t.pageBits+1 {
+		return Result{}
+	}
+	return t.translateSlow(addr)
+}
+
+func (t *TLB) translateSlow(addr uint64) Result {
+	tag := addr>>t.pageBits + 1
+	if t.l1Lookup(tag) {
 		return Result{}
 	}
 	r := Result{MissL1: true}
-	t.l1Insert(page)
-	if t.l2Lookup(page) {
+	t.l1Insert(tag)
+	if t.l2Lookup(tag) {
 		r.Cycles = uint64(t.cfg.L2Cycles)
 		return r
 	}
 	r.MissL2 = true
-	t.l2Insert(page)
+	t.l2Insert(tag)
 	r.Cycles = uint64(t.cfg.L2Cycles + t.cfg.WalkBase)
 	return r
 }
 
-func (t *TLB) l1Lookup(page uint64) bool {
-	for i, ok := range t.l1Valid {
-		if ok && t.l1[i] == page {
+func (t *TLB) l1Lookup(tag uint64) bool {
+	for i, v := range t.l1 {
+		if v == tag {
 			copy(t.l1[1:i+1], t.l1[:i])
-			t.l1[0] = page
+			t.l1[0] = tag
 			return true
 		}
 	}
 	return false
 }
 
-func (t *TLB) l1Insert(page uint64) {
+func (t *TLB) l1Insert(tag uint64) {
 	copy(t.l1[1:], t.l1[:len(t.l1)-1])
-	copy(t.l1Valid[1:], t.l1Valid[:len(t.l1Valid)-1])
-	t.l1[0] = page
-	t.l1Valid[0] = true
+	t.l1[0] = tag
 }
 
-func (t *TLB) l2Index(page uint64) int { return int(page) & (t.l2Sets - 1) }
+// l2Set returns the ways of the set indexed by the raw page number
+// (tag-1, so the set index matches the untranslated encoding).
+func (t *TLB) l2Set(tag uint64) []uint64 {
+	s := int(tag-1) & (t.l2Sets - 1)
+	lo := s * t.l2Ways
+	return t.l2[lo : lo+t.l2Ways : lo+t.l2Ways]
+}
 
-func (t *TLB) l2Lookup(page uint64) bool {
-	s := t.l2Index(page)
-	for i, ok := range t.l2Valid[s] {
-		if ok && t.l2Tags[s][i] == page {
-			copy(t.l2Tags[s][1:i+1], t.l2Tags[s][:i])
-			t.l2Tags[s][0] = page
+func (t *TLB) l2Lookup(tag uint64) bool {
+	ws := t.l2Set(tag)
+	for i, v := range ws {
+		if v == tag {
+			copy(ws[1:i+1], ws[:i])
+			ws[0] = tag
 			return true
 		}
 	}
 	return false
 }
 
-func (t *TLB) l2Insert(page uint64) {
-	s := t.l2Index(page)
-	copy(t.l2Tags[s][1:], t.l2Tags[s][:len(t.l2Tags[s])-1])
-	copy(t.l2Valid[s][1:], t.l2Valid[s][:len(t.l2Valid[s])-1])
-	t.l2Tags[s][0] = page
-	t.l2Valid[s][0] = true
+func (t *TLB) l2Insert(tag uint64) {
+	ws := t.l2Set(tag)
+	copy(ws[1:], ws[:len(ws)-1])
+	ws[0] = tag
 }
 
 // FlushAll empties the TLB (address-space switch without tagged
 // entries).
 func (t *TLB) FlushAll() {
-	for i := range t.l1Valid {
-		t.l1Valid[i] = false
+	for i := range t.l1 {
+		t.l1[i] = 0
 	}
-	for s := range t.l2Valid {
-		for i := range t.l2Valid[s] {
-			t.l2Valid[s][i] = false
-		}
+	for i := range t.l2 {
+		t.l2[i] = 0
 	}
 }

@@ -1,0 +1,97 @@
+// Machine throughput benchmarks: one benchmark per standard workload,
+// each reporting simulated cycles per wall-clock second — the
+// simulator's headline speed metric. CI runs these, emits
+// BENCH_machine.json, and gates the ratio against the recorded seed
+// baseline in bench/BENCH_machine_baseline.json (see that file and the
+// machine-bench job in .github/workflows/ci.yml).
+//
+// Each iteration restores the workload's memory image from a snapshot
+// and runs it on a fresh machine, mirroring how the runner's worker
+// pools drive campaigns — so the number includes the per-run restore
+// cost the COW snapshot work targets, not just the interpreter loop.
+package limitsim_test
+
+import (
+	"testing"
+
+	"limitsim/internal/machine"
+	"limitsim/internal/tls"
+	"limitsim/internal/workloads"
+)
+
+// reportSimRate attaches the simulated-cycles-per-wall-second metric.
+func reportSimRate(b *testing.B, simCycles uint64) {
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(simCycles)/s/1e6, "Msimcyc/s")
+	}
+}
+
+// benchMachineApp drives one pre-built App per iteration.
+func benchMachineApp(b *testing.B, app *workloads.App, cores int) {
+	snap := app.Space.Snapshot()
+	var sim uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Space.Restore(snap)
+		m := machine.New(machine.Config{NumCores: cores})
+		app.Launch(m)
+		res := m.Run(machine.RunLimits{})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		sim += res.Cycles
+	}
+	reportSimRate(b, sim)
+}
+
+func BenchmarkMachineMysql(b *testing.B) {
+	benchMachineApp(b, workloads.BuildMySQL(workloads.DefaultMySQL(), workloads.LimitInstr()), 4)
+}
+
+func BenchmarkMachineApache(b *testing.B) {
+	benchMachineApp(b, workloads.BuildApache(workloads.DefaultApache(), workloads.LimitInstr()), 4)
+}
+
+func BenchmarkMachineForkjoin(b *testing.B) {
+	benchMachineApp(b, workloads.BuildForkJoin(workloads.DefaultForkJoin(), workloads.LimitInstr()), 4)
+}
+
+func BenchmarkMachineChurn(b *testing.B) {
+	w := workloads.BuildChurn(workloads.ChurnConfig{})
+	snap := w.Space.Snapshot()
+	var sim uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Space.Restore(snap)
+		m := machine.New(machine.Config{NumCores: 4})
+		proc := m.Kern.NewProcess(w.Prog, w.Space)
+		mgr := m.Kern.Spawn(proc, "churn-mgr", w.Entries[0], 12345)
+		mgr.SetReg(tls.SlotReg, uint64(w.ManagerSlot(0)))
+		res := m.Run(machine.RunLimits{})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		sim += res.Cycles
+	}
+	reportSimRate(b, sim)
+}
+
+var calibSink uint64
+
+// BenchmarkHostCalibration is a fixed pure-Go splitmix64 loop with no
+// simulator code in it. The machine-bench CI gate divides the workload
+// speedups by the calibration ratio so a slower or faster CI runner
+// does not masquerade as a simulator regression or improvement.
+func BenchmarkHostCalibration(b *testing.B) {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			calibSink += z ^ (z >> 31)
+		}
+	}
+}
